@@ -1,0 +1,39 @@
+"""Shared machinery for the Fig.-5 throughput-comparison benches.
+
+Each subplot uses five seeded random mixes of a fixed size (the paper
+"constructed multiple random mixes"), runs the four schedulers through
+the evaluation harness and prints the normalized rows the figure plots.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import Workload
+from repro.evaluation import ComparisonTable, EvaluationHarness, format_comparison
+from repro.workloads import WorkloadGenerator
+
+#: Seeds chosen once for the three subplots (any seed works; these are
+#: fixed so the benches are reproducible run to run).
+MIX_SEEDS = {3: 101, 4: 202, 5: 303}
+NUM_MIXES = 5
+
+
+def paper_mixes(size: int, count: int = NUM_MIXES) -> List[Workload]:
+    """Five random size-``size`` mixes, as in Section V-A."""
+    generator = WorkloadGenerator(seed=MIX_SEEDS[size])
+    return [generator.sample_mix(size) for _ in range(count)]
+
+
+def run_comparison(system, mixes: List[Workload], label: str) -> ComparisonTable:
+    """Evaluate all four schedulers over ``mixes`` and print the table."""
+    harness = EvaluationHarness(
+        system.simulator, system.schedulers, baseline_name="Baseline"
+    )
+    table = harness.evaluate_mixes(mixes)
+    print()
+    print(format_comparison(table, title=f"[{label}] normalized average throughput"))
+    for evaluation in table.evaluations:
+        names = ", ".join(evaluation.workload.model_names)
+        print(f"[{label}] {evaluation.mix_name}: {names}")
+    return table

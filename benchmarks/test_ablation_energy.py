@@ -1,0 +1,153 @@
+"""ABL-ENERGY -- the pluggable-objective extension (DESIGN.md §5).
+
+The paper optimizes throughput only but positions OmniBoost as
+extensible; the natural extension on a battery-powered board is an
+energy-aware objective.  This ablation swaps the MCTS reward for
+predicted inferences-per-joule (same estimator, same budget, zero extra
+queries) and checks the mechanical effect: the returned mappings draw
+less board power, trading some throughput for efficiency.
+"""
+
+import numpy as np
+
+from repro.core import EnergyAwareObjective, MCTSConfig, OmniBoostScheduler
+from repro.evaluation import format_table
+from repro.hw import hikey970_power
+from repro.workloads import WorkloadGenerator
+
+SEEDS = (31, 32)
+
+
+def test_ablation_energy_objective(benchmark, paper_system):
+    power_model = hikey970_power()
+    generator = WorkloadGenerator(seed=909)
+    mixes = [generator.sample_mix(4) for _ in range(3)]
+    energy_objective = EnergyAwareObjective(
+        power_model, paper_system.platform, paper_system.latency_table
+    )
+
+    def compare():
+        outcomes = {"throughput": [], "energy-aware": []}
+        for mix in mixes:
+            for seed in SEEDS:
+                for label, objective in (
+                    ("throughput", None),
+                    ("energy-aware", energy_objective),
+                ):
+                    scheduler = OmniBoostScheduler(
+                        paper_system.estimator,
+                        config=MCTSConfig(seed=seed),
+                        objective=objective,
+                    )
+                    decision = scheduler.schedule(mix)
+                    measured = paper_system.simulator.simulate(
+                        mix.models, decision.mapping
+                    )
+                    report = power_model.report(paper_system.platform, measured)
+                    outcomes[label].append(
+                        (
+                            measured.average_throughput,
+                            report.total_w,
+                            report.inferences_per_joule,
+                        )
+                    )
+        return outcomes
+
+    outcomes = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    summary = {}
+    for label, rows in outcomes.items():
+        throughput, power, efficiency = (np.mean([r[i] for r in rows]) for i in range(3))
+        summary[label] = (throughput, power, efficiency)
+    print()
+    print(
+        format_table(
+            ["objective", "T (inf/s)", "board power (W)", "inf/J"],
+            [
+                [label, f"{t:.2f}", f"{p:.2f}", f"{e:.3f}"]
+                for label, (t, p, e) in summary.items()
+            ],
+        )
+    )
+
+    throughput_mode = summary["throughput"]
+    energy_mode = summary["energy-aware"]
+    # Measured space: the energy objective holds its own on efficiency
+    # and does not collapse on throughput.  (In the inferences-per-joule
+    # regime the two objectives nearly coincide -- the idle floor
+    # dominates predicted power -- so differences sit inside estimator
+    # noise; the sharp mechanism check is below.)
+    assert energy_mode[2] >= throughput_mode[2] * 0.90
+    assert energy_mode[0] >= throughput_mode[0] * 0.45
+
+    # Mechanism check, exact and deterministic: over one fixed candidate
+    # set, the mapping the energy objective prefers never has a higher
+    # predicted power than the one the throughput objective prefers.
+    from repro.core import ThroughputObjective
+    from repro.workloads.generator import random_contiguous_mapping
+
+    throughput_objective = ThroughputObjective()
+    rng = np.random.default_rng(42)
+    for mix in mixes:
+        candidates = [
+            random_contiguous_mapping(mix.models, 3, rng, max_stages=3)
+            for _ in range(40)
+        ]
+        predictions = [
+            paper_system.estimator.predict_throughput(mix, mapping)
+            for mapping in candidates
+        ]
+        energy_pick = max(
+            range(len(candidates)),
+            key=lambda i: energy_objective.score(
+                mix, candidates[i], predictions[i]
+            ),
+        )
+        throughput_pick = max(
+            range(len(candidates)),
+            key=lambda i: throughput_objective.score(
+                mix, candidates[i], predictions[i]
+            ),
+        )
+        energy_power = energy_objective.predicted_power_w(
+            mix, candidates[energy_pick], predictions[energy_pick]
+        )
+        throughput_power = energy_objective.predicted_power_w(
+            mix, candidates[throughput_pick], predictions[throughput_pick]
+        )
+        assert energy_power <= throughput_power + 1e-9
+
+
+def test_ablation_energy_tradeoff_direction(benchmark, paper_system):
+    """Weighted mode: raising the power exchange rate monotonically
+    trades measured board power down (allowing small estimator noise)."""
+    power_model = hikey970_power()
+    mix = WorkloadGenerator(seed=910).sample_mix(4)
+
+    def sweep():
+        powers = []
+        for tradeoff in (0.0, 0.2, 1.0):
+            objective = EnergyAwareObjective(
+                power_model,
+                paper_system.platform,
+                paper_system.latency_table,
+                mode="weighted",
+                tradeoff_w=tradeoff,
+            )
+            scheduler = OmniBoostScheduler(
+                paper_system.estimator,
+                config=MCTSConfig(seed=5),
+                objective=objective,
+            )
+            decision = scheduler.schedule(mix)
+            measured = paper_system.simulator.simulate(mix.models, decision.mapping)
+            report = power_model.report(paper_system.platform, measured)
+            powers.append(report.total_w)
+        return powers
+
+    powers = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\n[ABL-ENERGY] board power at tradeoff 0/0.2/1.0: "
+          f"{', '.join(f'{p:.2f} W' for p in powers)}")
+    # The strongest power weighting must not draw more than the pure
+    # throughput objective.
+    assert powers[-1] <= powers[0] * 1.02

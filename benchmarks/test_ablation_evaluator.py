@@ -1,0 +1,72 @@
+"""ABL-EVAL -- CNN estimator vs. a board-oracle evaluator.
+
+DESIGN.md calls out the estimator as the component to ablate: how much
+throughput is lost by evaluating MCTS rollouts with the learned CNN
+instead of (infeasibly slow) live board measurements?  The paper argues
+the estimator is accurate enough for scheduling; here we quantify the
+gap on the same searches.
+"""
+
+import numpy as np
+
+from repro.core import MCTSConfig, MonteCarloTreeSearch, SchedulingEnv
+from repro.evaluation import format_table
+from repro.workloads import WorkloadGenerator
+
+
+def test_ablation_estimator_vs_oracle(benchmark, paper_system):
+    generator = WorkloadGenerator(seed=707)
+    mixes = [generator.sample_mix(4) for _ in range(3)]
+    simulator = paper_system.simulator
+
+    def run():
+        rows = []
+        for mix in mixes:
+            env = SchedulingEnv(mix, simulator.platform.num_devices)
+            oracle_search = MonteCarloTreeSearch(
+                env,
+                lambda mapping, mix=mix: simulator.simulate(
+                    mix.models, mapping
+                ).average_throughput,
+                MCTSConfig(budget=500, seed=23),
+            )
+            oracle_mapping = oracle_search.search().mapping
+            oracle_throughput = simulator.simulate(
+                mix.models, oracle_mapping
+            ).average_throughput
+
+            estimator_search = MonteCarloTreeSearch(
+                env,
+                lambda mapping, mix=mix: paper_system.estimator.reward(
+                    mix, mapping
+                ),
+                MCTSConfig(budget=500, seed=23),
+            )
+            estimator_mapping = estimator_search.search().mapping
+            estimator_throughput = simulator.simulate(
+                mix.models, estimator_mapping
+            ).average_throughput
+            rows.append((mix.name, oracle_throughput, estimator_throughput))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table_rows = [
+        [name[:40], f"{oracle:.2f}", f"{est:.2f}", f"{est / oracle:.2f}"]
+        for name, oracle, est in rows
+    ]
+    print()
+    print(
+        format_table(
+            ["mix", "oracle T", "estimator T", "retention"], table_rows
+        )
+    )
+
+    retention = np.mean([est / oracle for _, oracle, est in rows])
+    print(f"\n[ABL-EVAL] mean retention = {retention:.2f} "
+          "(1.0 = estimator as good as live measurement)")
+    # The learned estimator must retain most of the oracle's quality --
+    # that is the premise of the whole framework.
+    assert retention > 0.6
+    # And it cannot (systematically) beat the oracle.
+    assert retention < 1.15

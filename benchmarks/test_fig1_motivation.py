@@ -1,0 +1,102 @@
+"""FIG1 -- the motivational experiment (paper Section II, Fig. 1).
+
+Four concurrent DNNs (AlexNet, MobileNet, VGG-19, SqueezeNet); 200
+random two-stage big-CPU/GPU splits; throughput normalized to the
+all-on-GPU baseline.  Paper shape: set-ups spread widely on both sides
+of the baseline, the best reaching ~+60%.
+
+Known deviation (see EXPERIMENTS.md): on our board model the GPU-only
+baseline suffers more from 4-way time slicing than the authors'
+board did, so the *median* random split lands slightly above 1.0 where
+the paper's landed below; the distribution extremes match.
+
+Also reports the Section-II design-space arithmetic (C(84, 3) ~ 95k).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Workload, hikey970
+from repro.evaluation import (
+    paper_combination_estimate,
+    total_contiguous_mappings,
+)
+from repro.hw import BIG_CPU_ID, GPU_ID
+from repro.sim import BoardSimulator, Mapping
+from repro.workloads.generator import random_two_stage_mapping
+
+NUM_SETUPS = 200
+SEED = 0
+
+#: The motivational experiment runs each DNN continuously (a benchmark
+#: loop, not a frame-rate-bounded application), so demand is unbounded.
+UNBOUNDED = [1e9] * 4
+
+
+@pytest.fixture(scope="module")
+def motivation_mix():
+    return Workload.from_names(["alexnet", "mobilenet", "vgg19", "squeezenet"])
+
+
+def run_sweep(simulator, mix, num_setups: int, seed: int) -> np.ndarray:
+    baseline = simulator.simulate(
+        mix.models,
+        Mapping.single_device(mix.models, GPU_ID),
+        offered_rates=UNBOUNDED,
+    ).average_throughput
+    rng = np.random.default_rng(seed)
+    normalized = np.empty(num_setups)
+    for index in range(num_setups):
+        mapping = random_two_stage_mapping(
+            mix.models, rng, devices=(GPU_ID, BIG_CPU_ID)
+        )
+        measured = simulator.measure(
+            mix.models, mapping, rng=rng, offered_rates=UNBOUNDED
+        )
+        normalized[index] = measured.average_throughput / baseline
+    return normalized
+
+
+def test_fig1_motivation(benchmark, motivation_mix):
+    simulator = BoardSimulator(hikey970())
+    normalized = benchmark.pedantic(
+        run_sweep,
+        args=(simulator, motivation_mix, NUM_SETUPS, SEED),
+        rounds=1,
+        iterations=1,
+    )
+
+    best = float(normalized.max())
+    worst = float(normalized.min())
+    median = float(np.median(normalized))
+    below = float((normalized < 1.0).mean())
+
+    print("\n[FIG1] normalized throughput of 200 random split set-ups")
+    print(f"[FIG1] best={best:.2f}  median={median:.2f}  "
+          f"share<baseline={below * 100:.0f}%  worst={worst:.2f}")
+    print("[FIG1] paper shape: best ~1.6, set-ups spread on both sides "
+          "of the baseline")
+
+    # Shape assertions: the best set-up gains large double digits (the
+    # paper reports +60%; our board model favours splits a little more,
+    # EXPERIMENTS.md deviation 3), bad set-ups lose badly, and the
+    # distribution straddles the baseline.
+    assert 1.3 < best < 2.6, "best random split should gain tens of percent"
+    assert worst < 0.85, "bad splits should clearly lose to the baseline"
+    assert 0.02 < below < 0.75, "set-ups must fall on both sides of 1.0"
+
+
+def test_fig1_design_space_size(benchmark, motivation_mix):
+    total_layers = motivation_mix.total_layers
+    estimate = benchmark.pedantic(
+        paper_combination_estimate, args=(total_layers, 3), rounds=1, iterations=1
+    )
+    exact = total_contiguous_mappings(motivation_mix.models, 3, 3)
+    print(f"\n[FIG1] total layers = {total_layers} (paper counts 84)")
+    print(f"[FIG1] C({total_layers}, 3) = {estimate:,} (paper ~95,000)")
+    print(f"[FIG1] exact stage-capped contiguous mappings = {exact:,}")
+    # Our unit-counting convention lands within a few layers of the
+    # paper's 84; the combination estimate stays in the same decade.
+    assert 70 <= total_layers <= 95
+    assert 30_000 < estimate < 200_000
+    assert exact > 1e6

@@ -1,0 +1,61 @@
+"""FIG5a -- five random 3-DNN mixes (paper Fig. 5a).
+
+Paper shape: the board is not saturated by three networks, so gains are
+moderate -- OmniBoost averages +54% over the baseline, +19% over MOSAIC
+and +18% over the GA, and on the lightest mix all schedulers tie.
+"""
+
+from fig5_common import paper_mixes, run_comparison
+
+
+def test_fig5a_three_dnn_mixes(benchmark, paper_system):
+    mixes = paper_mixes(3)
+    table = benchmark.pedantic(
+        run_comparison, args=(paper_system, mixes, "FIG5a"), rounds=1, iterations=1
+    )
+
+    averages = table.averages()
+    print(f"\n[FIG5a] averages: {averages}")
+    print("[FIG5a] paper: OmniBoost +54% vs baseline, +19% vs MOSAIC, "
+          "+18% vs GA")
+
+    # Shape: OmniBoost clearly above the baseline, in the same band as
+    # the strongest competitor, gains moderate (not the 4-DNN collapse
+    # regime).  Our GA baseline is stronger than the paper's
+    # (DESIGN.md deviation 4), so OmniBoost is only required to stay
+    # within its band rather than lead it outright.
+    assert averages["OmniBoost"] > 1.05
+    assert averages["OmniBoost"] < 2.5
+    assert averages["OmniBoost"] >= averages["MOSAIC"] * 0.85
+    assert averages["OmniBoost"] >= averages["GA"] * 0.75
+    assert averages["Baseline"] == 1.0
+
+
+def test_fig5a_light_mix_ties(benchmark, paper_system):
+    """Paper: 'mix-5 consists of lightweight DNNs such as AlexNet,
+    VGG-13, and MobileNet' and every scheduler lands close to the
+    baseline there."""
+    from repro import Workload
+    from repro.evaluation import EvaluationHarness
+
+    light = Workload.from_names(["alexnet", "vgg13", "mobilenet"])
+    harness = EvaluationHarness(
+        paper_system.simulator, paper_system.schedulers, baseline_name="Baseline"
+    )
+    evaluation = benchmark.pedantic(
+        harness.evaluate_mix,
+        args=(light,),
+        kwargs=dict(mix_name="light-mix"),
+        rounds=1,
+        iterations=1,
+    )
+    spread = [
+        evaluation.outcome(name).normalized_throughput
+        for name in evaluation.scheduler_names
+    ]
+    print(f"\n[FIG5a] light mix normalized: "
+          f"{dict(zip(evaluation.scheduler_names, [round(s, 2) for s in spread]))}")
+    # No scheduler should be able to find more than ~35% on this mix,
+    # and nobody should fall far below the baseline either.
+    assert max(spread) < 1.45
+    assert min(spread) > 0.75

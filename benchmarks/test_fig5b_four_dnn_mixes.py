@@ -1,0 +1,68 @@
+"""FIG5b -- five random 4-DNN mixes (paper Fig. 5b).
+
+The headline regime: a fourth concurrent network pushes the GPU-only
+baseline (and MOSAIC, which also overloads the GPU) past the working
+set it can serve, while the GA and OmniBoost distribute the workload.
+Paper numbers: OmniBoost x4.6 vs the baseline, x2.83 vs MOSAIC, +23%
+vs the GA.
+"""
+
+from fig5_common import paper_mixes, run_comparison
+
+
+def test_fig5b_four_dnn_mixes(benchmark, paper_system):
+    mixes = paper_mixes(4)
+    table = benchmark.pedantic(
+        run_comparison, args=(paper_system, mixes, "FIG5b"), rounds=1, iterations=1
+    )
+
+    averages = table.averages()
+    omni_vs_mosaic = table.relative_gain("OmniBoost", "MOSAIC")
+    omni_vs_ga = table.relative_gain("OmniBoost", "GA")
+    print(f"\n[FIG5b] averages: {averages}")
+    print(f"[FIG5b] OmniBoost vs MOSAIC = x{omni_vs_mosaic:.2f} (paper x2.83), "
+          f"vs GA = x{omni_vs_ga:.2f} (paper x1.23)")
+    print("[FIG5b] paper: OmniBoost x4.6 vs baseline")
+
+    # Shape: this is the collapse regime -- OmniBoost's average gain
+    # over the baseline is the largest of the three mix sizes (the
+    # cross-figure bench asserts the ordering) and sits in the band of
+    # the strongest competitor.  With the bounded thrash model the
+    # collapse factor is x1.5-2+ rather than the paper's x4.6
+    # (DESIGN.md deviation 4); our GA baseline is also stronger than
+    # the paper's (deviation 5).
+    assert averages["OmniBoost"] > 1.5
+    assert averages["OmniBoost"] >= averages["MOSAIC"] * 0.85
+    assert averages["OmniBoost"] >= averages["GA"] * 0.6
+    assert averages["GA"] > 1.5  # distributors beat the baseline by a lot
+
+
+def test_fig5b_baseline_saturates_gpu(benchmark, paper_system):
+    """The mechanism behind the gap: on a heavy 4-mix the baseline
+    saturates (and thrashes) the GPU while OmniBoost spreads load."""
+    from repro import Workload
+    from repro.hw import GPU_ID
+
+    mix = Workload.from_names(["vgg19", "inception_v4", "resnet101", "vgg16"])
+    baseline = paper_system.baseline.schedule(mix)
+    result = benchmark.pedantic(
+        paper_system.simulator.simulate,
+        args=(mix.models, baseline.mapping),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n[FIG5b] baseline GPU utilization={result.device_utilization[GPU_ID]:.2f}, "
+          f"GPU slowdown factor={result.device_scale[GPU_ID]:.1f}x")
+    assert result.device_utilization[GPU_ID] > 0.99
+    assert result.device_scale[GPU_ID] > 2.0
+
+    # OmniBoost spreads the load and clearly beats the saturated
+    # baseline even on this mix -- the single heaviest (2.0 GB) in the
+    # evaluation and the worst case for the latency-only estimator,
+    # whose byte-driven effects it can only infer indirectly.  A
+    # simulator-oracle search reaches ~x2.9 here; the estimator-driven
+    # scheduler must keep a solid fraction of that.
+    omni = paper_system.omniboost.schedule(mix)
+    spread = paper_system.simulator.simulate(mix.models, omni.mapping)
+    assert len(omni.mapping.devices_used()) >= 2
+    assert spread.average_throughput > 1.25 * result.average_throughput

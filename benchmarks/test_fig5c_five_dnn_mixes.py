@@ -1,0 +1,66 @@
+"""FIG5c -- five random 5-DNN mixes (paper Fig. 5c).
+
+Five concurrent networks overload *all* computing resources: residency
+pressure degrades the CPU clusters that load-balancing relies on, so
+every scheduler's gains compress.  Paper numbers: MOSAIC falls 2.7%
+behind the baseline, the GA gains +7%, OmniBoost +22%.
+"""
+
+from fig5_common import paper_mixes, run_comparison
+
+
+def test_fig5c_five_dnn_mixes(benchmark, paper_system):
+    mixes = paper_mixes(5)
+    table = benchmark.pedantic(
+        run_comparison, args=(paper_system, mixes, "FIG5c"), rounds=1, iterations=1
+    )
+
+    averages = table.averages()
+    print(f"\n[FIG5c] averages: {averages}")
+    print("[FIG5c] paper: MOSAIC -2.7%, GA +7%, OmniBoost +22% vs baseline")
+
+    # Shape: gains compressed relative to the 4-DNN regime; OmniBoost
+    # still above the baseline; nobody wins by the 4-DNN multiples.
+    # The 5-DNN regime is where our reproduction deviates most: the
+    # strengthened GA (DESIGN.md deviation 4) leads it, so OmniBoost is
+    # only required to stay within a loose band of the competitors.
+    assert 0.95 < averages["OmniBoost"] < 2.6
+    assert averages["OmniBoost"] >= averages["MOSAIC"] * 0.6
+    assert averages["OmniBoost"] >= averages["GA"] * 0.55
+
+
+def test_fig5c_gains_compress_relative_to_fig5b(benchmark, paper_system):
+    """The cross-figure shape the paper reports: the OmniBoost-over-
+    baseline factor at 5 DNNs is well below the 4-DNN factor."""
+    table4 = benchmark.pedantic(
+        run_comparison,
+        args=(paper_system, paper_mixes(4), "FIG5c/ref4"),
+        rounds=1,
+        iterations=1,
+    )
+    table5 = run_comparison(paper_system, paper_mixes(5), "FIG5c/ref5")
+    gain4 = table4.average("OmniBoost")
+    gain5 = table5.average("OmniBoost")
+    print(f"\n[FIG5c] OmniBoost avg gain: 4-DNN x{gain4:.2f} vs 5-DNN x{gain5:.2f}")
+    assert gain5 < gain4
+
+
+def test_fig5c_six_dnns_hang_the_board(benchmark, paper_system):
+    """Paper: 'we also tried mixes with 6 concurrent DNNs, but the
+    overall workload [was] too heavy ... making it unresponsive.'"""
+    import pytest
+
+    from repro import Workload
+    from repro.sim import BoardUnresponsiveError, Mapping
+
+    mix = Workload.from_names(
+        ["alexnet", "squeezenet", "mobilenet", "vgg13", "resnet34", "resnet50"]
+    )
+
+    def attempt():
+        with pytest.raises(BoardUnresponsiveError):
+            paper_system.simulator.simulate(
+                mix.models, Mapping.single_device(mix.models, 0)
+            )
+
+    benchmark.pedantic(attempt, rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Sweep the MCTS computational budget (the paper's Section V-B knob).
+
+The paper fixes the budget at 500 iterations as the best trade-off
+between decision latency (~30 s on-device) and solution quality, noting
+"budgetary constraints can be adjusted for any use-case scenario".
+This example shows the trade-off curve: measured throughput of the
+chosen mapping and estimator-query count versus budget.
+"""
+
+import argparse
+
+from repro import Workload, build_system
+from repro.core import MCTSConfig, OmniBoostScheduler
+from repro.evaluation import RuntimeCostModel, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--budgets",
+        type=int,
+        nargs="*",
+        default=[25, 50, 100, 250, 500, 1000],
+    )
+    parser.add_argument("--epochs", type=int, default=25)
+    parser.add_argument("--samples", type=int, default=300)
+    args = parser.parse_args()
+
+    system = build_system(num_training_samples=args.samples, epochs=args.epochs)
+    mix = Workload.from_names(["vgg19", "resnet50", "inception_v3", "alexnet"])
+    baseline = system.simulator.simulate(
+        mix.models, system.baseline.schedule(mix).mapping
+    ).average_throughput
+
+    cost_model = RuntimeCostModel()
+    rows = []
+    for budget in args.budgets:
+        scheduler = OmniBoostScheduler(
+            system.estimator, config=MCTSConfig(budget=budget, seed=17)
+        )
+        decision = scheduler.schedule(mix)
+        result = system.simulator.simulate(mix.models, decision.mapping)
+        rows.append(
+            [
+                budget,
+                f"{result.average_throughput:.2f}",
+                f"{result.average_throughput / baseline:.2f}",
+                f"{cost_model.decision_time(decision.cost):.1f}",
+                f"{decision.wall_time_s:.1f}",
+            ]
+        )
+    print(f"Mix: {', '.join(mix.model_names)}; baseline T = {baseline:.2f} inf/s\n")
+    print(
+        format_table(
+            [
+                "budget",
+                "T (inf/s)",
+                "normalized",
+                "modeled board decision (s)",
+                "host wall (s)",
+            ],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

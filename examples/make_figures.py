@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure as an SVG file.
+
+Writes ``figures/fig1_motivation.svg`` (the 200-random-set-up
+motivational sweep), ``figures/fig4_training.svg`` (estimator loss
+curves) and ``figures/fig5{a,b,c}_mixes.svg`` (normalized-throughput
+comparisons for 3/4/5-DNN mixes) using the pure-Python SVG charts in
+:mod:`repro.evaluation.charts`.
+
+The full regeneration trains the estimator at design time and runs all
+four schedulers over fifteen mixes (~minutes); ``--quick`` shrinks the
+training campaign and the MCTS budget for a fast smoke run.
+"""
+
+import argparse
+import os
+
+import numpy as np
+
+from repro import Workload, build_system
+from repro.core import MCTSConfig
+from repro.evaluation import (
+    BarChart,
+    EvaluationHarness,
+    LineChart,
+    ScatterChart,
+)
+from repro.hw import BIG_CPU_ID, GPU_ID
+from repro.sim import Mapping
+from repro.workloads import WorkloadGenerator
+from repro.workloads.generator import random_two_stage_mapping
+
+#: Mix seeds matching the benchmark suite (benchmarks/fig5_common.py).
+MIX_SEEDS = {3: 101, 4: 202, 5: 303}
+
+
+def figure1(system, out_dir: str, setups: int, seed: int) -> None:
+    mix = Workload.from_names(["alexnet", "mobilenet", "vgg19", "squeezenet"])
+    # Continuous benchmark loop (paper Section II): demand unbounded.
+    unbounded = [1e9] * mix.num_dnns
+    baseline = system.simulator.simulate(
+        mix.models,
+        Mapping.single_device(mix.models, GPU_ID),
+        offered_rates=unbounded,
+    ).average_throughput
+    rng = np.random.default_rng(seed)
+    normalized = []
+    for _ in range(setups):
+        mapping = random_two_stage_mapping(
+            mix.models, rng, devices=(GPU_ID, BIG_CPU_ID)
+        )
+        measured = system.simulator.measure(
+            mix.models, mapping, rng=rng, offered_rates=unbounded
+        )
+        normalized.append(measured.average_throughput / baseline)
+    chart = ScatterChart(
+        "Fig. 1 -- normalized throughput of random CPU/GPU splits",
+        x_label="set-up",
+        y_label="normalized throughput",
+    )
+    chart.add_series("random split set-ups", list(range(len(normalized))), normalized)
+    chart.add_reference_line("all-on-GPU baseline", 1.0)
+    path = os.path.join(out_dir, "fig1_motivation.svg")
+    chart.save(path)
+    print(f"wrote {path} (best {max(normalized):.2f}, worst {min(normalized):.2f})")
+
+
+def figure4(system, out_dir: str) -> None:
+    history = system.training_history
+    if history is None:
+        print("skipping fig4: system was built with train=False")
+        return
+    epochs = list(range(1, history.epochs + 1))
+    chart = LineChart(
+        "Fig. 4 -- throughput estimator training behaviour",
+        x_label="epoch",
+        y_label="L1 loss",
+    )
+    chart.add_series("training loss", epochs, history.train_losses)
+    chart.add_series("validation loss", epochs, history.val_losses)
+    path = os.path.join(out_dir, "fig4_training.svg")
+    chart.save(path)
+    print(
+        f"wrote {path} (train {history.final_train_loss:.3f}, "
+        f"val {history.final_val_loss:.3f})"
+    )
+
+
+def figure5(system, out_dir: str, panel: str, mix_size: int, num_mixes: int) -> None:
+    generator = WorkloadGenerator(seed=MIX_SEEDS[mix_size])
+    mixes = [generator.sample_mix(mix_size) for _ in range(num_mixes)]
+    harness = EvaluationHarness(
+        system.simulator, system.schedulers, baseline_name="Baseline"
+    )
+    table = harness.evaluate_mixes(mixes)
+    categories = [f"mix-{i + 1}" for i in range(num_mixes)] + ["Average"]
+    chart = BarChart(
+        f"Fig. 5{panel} -- {mix_size} concurrent DNNs",
+        categories=categories,
+        y_label="normalized average throughput",
+    )
+    for scheduler in table.scheduler_names:
+        values = table.normalized_series(scheduler)
+        values.append(table.average(scheduler))
+        chart.add_group(scheduler, values)
+    path = os.path.join(out_dir, f"fig5{panel}_mixes.svg")
+    chart.save(path)
+    print(f"wrote {path} (OmniBoost avg x{table.average('OmniBoost'):.2f})")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="figures")
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    os.makedirs(args.out, exist_ok=True)
+    if args.quick:
+        system = build_system(
+            num_training_samples=200,
+            epochs=15,
+            mcts_config=MCTSConfig(budget=100, seed=5),
+            seed=args.seed,
+        )
+        setups, num_mixes = 50, 2
+    else:
+        system = build_system(seed=args.seed)  # paper defaults: 500/100
+        setups, num_mixes = 200, 5
+
+    figure1(system, args.out, setups, args.seed)
+    figure4(system, args.out)
+    for panel, mix_size in (("a", 3), ("b", 4), ("c", 5)):
+        figure5(system, args.out, panel, mix_size, num_mixes)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's motivational experiment (Section II, Fig. 1).
+
+Four concurrent DNNs (AlexNet, MobileNet, VGG-19, SqueezeNet) are run
+under 200 random layer-split set-ups; throughput is normalized to the
+all-on-GPU baseline.  The paper observes that although the baseline
+beats most random set-ups, the best ones reach ~+60%.
+
+Also prints the design-space arithmetic the paper quotes:
+C(84, 3) ~ 95,000 combinations for this example alone.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import Workload, hikey970
+from repro.evaluation import (
+    format_table,
+    paper_combination_estimate,
+    total_contiguous_mappings,
+)
+from repro.hw import BIG_CPU_ID, GPU_ID
+from repro.sim import BoardSimulator, Mapping
+from repro.workloads.generator import random_two_stage_mapping
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--setups", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    platform = hikey970()
+    simulator = BoardSimulator(platform)
+    mix = Workload.from_names(["alexnet", "mobilenet", "vgg19", "squeezenet"])
+
+    # The motivational experiment runs each DNN continuously (benchmark
+    # loop), so demand is unbounded rather than frame-rate capped.
+    unbounded = [1e9] * mix.num_dnns
+    baseline = simulator.simulate(
+        mix.models, Mapping.single_device(mix.models, GPU_ID),
+        offered_rates=unbounded,
+    ).average_throughput
+    print(f"Baseline (all DNNs on the GPU): {baseline:.2f} inferences/s\n")
+
+    rng = np.random.default_rng(args.seed)
+    normalized = []
+    for _ in range(args.setups):
+        mapping = random_two_stage_mapping(
+            mix.models, rng, devices=(GPU_ID, BIG_CPU_ID)
+        )
+        result = simulator.measure(
+            mix.models, mapping, rng=rng, offered_rates=unbounded
+        )
+        normalized.append(result.average_throughput / baseline)
+    normalized = np.array(normalized)
+
+    print(f"{args.setups} random split set-ups, normalized to the baseline:")
+    rows = [
+        ["best", f"{normalized.max():.2f}"],
+        ["p90", f"{np.percentile(normalized, 90):.2f}"],
+        ["median", f"{np.median(normalized):.2f}"],
+        ["worst", f"{normalized.min():.2f}"],
+        ["share beating baseline", f"{(normalized > 1.0).mean() * 100:.0f}%"],
+    ]
+    print(format_table(["statistic", "normalized throughput"], rows))
+
+    print("\nASCII histogram (x = set-ups, normalized throughput buckets):")
+    edges = np.arange(0.0, max(2.0, normalized.max()) + 0.2, 0.2)
+    counts, _ = np.histogram(normalized, bins=edges)
+    for low, high, count in zip(edges, edges[1:], counts):
+        bar = "#" * count
+        print(f"  {low:4.1f}-{high:4.1f} | {bar}")
+
+    total_layers = mix.total_layers
+    print(
+        f"\nDesign space: {total_layers} total layers; the paper's estimate "
+        f"C({total_layers}, 3) = {paper_combination_estimate(total_layers, 3):,}"
+    )
+    exact = total_contiguous_mappings(mix.models, 3, 3)
+    print(f"Exact stage-capped contiguous mappings of this mix: {exact:,}")
+
+
+if __name__ == "__main__":
+    main()

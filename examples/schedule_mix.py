@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare all four schedulers on a user-chosen mix (one Fig.-5 bar group).
+
+Pick any subset of the eleven dataset models, e.g.::
+
+    python examples/schedule_mix.py vgg19 resnet50 inception_v3 alexnet
+
+The script trains the estimator (or loads a checkpoint saved by
+``train_estimator.py``), schedules the mix with the baseline, MOSAIC,
+the GA and OmniBoost, deploys each mapping on the simulated board and
+prints measured + normalized throughput plus the modeled on-board
+decision time of Section V-B.
+"""
+
+import argparse
+import os
+
+from repro import MODEL_NAMES, Workload, build_system
+from repro.evaluation import RuntimeCostModel, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "models",
+        nargs="*",
+        default=["vgg19", "resnet50", "inception_v3", "alexnet"],
+        help=f"mix members, out of: {', '.join(MODEL_NAMES)}",
+    )
+    parser.add_argument("--checkpoint", type=str, default="")
+    parser.add_argument("--epochs", type=int, default=25)
+    parser.add_argument("--samples", type=int, default=300)
+    args = parser.parse_args()
+
+    mix = Workload.from_names(args.models)
+    print(f"Mix: {', '.join(mix.model_names)} ({mix.total_layers} layers, "
+          f"{mix.total_weight_bytes / 1e9:.2f} GB weights)\n")
+
+    use_checkpoint = args.checkpoint and os.path.exists(args.checkpoint)
+    system = build_system(
+        num_training_samples=args.samples,
+        epochs=args.epochs,
+        train=not use_checkpoint,
+    )
+    if use_checkpoint:
+        system.estimator.load(args.checkpoint)
+        print(f"Loaded estimator checkpoint {args.checkpoint}")
+
+    cost_model = RuntimeCostModel()
+    rows = []
+    baseline_throughput = None
+    for scheduler in system.schedulers:
+        decision = scheduler.schedule(mix)
+        result = system.simulator.measure(mix.models, decision.mapping)
+        if scheduler.name == "Baseline":
+            baseline_throughput = result.average_throughput
+        rows.append(
+            [
+                scheduler.name,
+                f"{result.average_throughput:.2f}",
+                f"{result.average_throughput / baseline_throughput:.2f}",
+                f"{cost_model.decision_time(decision.cost):.1f}",
+                f"{max(result.device_utilization):.2f}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "scheduler",
+                "T (inf/s)",
+                "normalized",
+                "board decision (s)",
+                "peak device util",
+            ],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

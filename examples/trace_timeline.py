@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Execute a mapping event-by-event and print the device timeline.
+
+The fluid simulator answers "what throughput?", the trace simulator
+shows *how*: frames arriving at each DNN, stage tasks queueing on
+devices, per-frame latency.  Useful for debugging why a mapping is
+slow (watch a device sit idle waiting for an upstream stage).
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import Workload, hikey970
+from repro.evaluation import format_table
+from repro.hw import BIG_CPU_ID, GPU_ID, LITTLE_CPU_ID
+from repro.sim import BoardSimulator, Mapping, TraceSimulator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=10.0)
+    parser.add_argument("--events", type=int, default=25)
+    args = parser.parse_args()
+
+    platform = hikey970()
+    mix = Workload.from_names(["alexnet", "mobilenet", "squeezenet"])
+    # A 2-stage split for AlexNet, whole-model placements for the rest.
+    mapping = Mapping(
+        [
+            [GPU_ID] * 4 + [BIG_CPU_ID] * 4,
+            [LITTLE_CPU_ID] * 28,
+            [GPU_ID] * 18,
+        ]
+    )
+
+    fluid = BoardSimulator(platform).simulate(mix.models, mapping)
+    trace = TraceSimulator(platform).run(
+        mix.models, mapping, duration_s=args.duration, record_events=True
+    )
+
+    print(f"Mix: {', '.join(mix.model_names)}")
+    rows = []
+    for index, model in enumerate(mix.models):
+        rows.append(
+            [
+                model.name,
+                f"{fluid.rates[index]:.2f}",
+                f"{trace.rates[index]:.2f}",
+                f"{trace.mean_latency(index) * 1000:.0f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["model", "fluid rate (inf/s)", "trace rate (inf/s)", "latency (ms)"],
+            rows,
+        )
+    )
+    print(
+        f"\nDevice utilization (trace): "
+        f"{np.round(trace.device_utilization, 2).tolist()} "
+        "(GPU, big, LITTLE)"
+    )
+    print(f"\nFirst {args.events} events:")
+    print(trace.timeline(max_rows=args.events))
+
+
+if __name__ == "__main__":
+    main()

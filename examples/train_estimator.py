@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Train the throughput estimator and print the Fig.-4 loss curves.
+
+Runs the paper's design-time pipeline: kernel-profile the eleven-model
+zoo on the (simulated) board, collect 500 random multi-DNN workloads,
+train the 20,044-parameter ResNet9 regressor with L1 loss for 100
+epochs on a 400/100 split, and print the training/validation series.
+Optionally saves a reusable checkpoint.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import hikey970
+from repro.estimator import (
+    EmbeddingSpace,
+    EstimatorDatasetBuilder,
+    EstimatorTrainer,
+    ThroughputEstimator,
+)
+from repro.evaluation import format_table
+from repro.models import MODEL_NAMES, build_all_models
+from repro.sim import BoardSimulator, KernelProfiler
+from repro.workloads import WorkloadGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=500)
+    parser.add_argument("--epochs", type=int, default=100)
+    parser.add_argument("--loss", choices=["l1", "l2"], default="l1")
+    parser.add_argument("--checkpoint", type=str, default="")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    platform = hikey970()
+    simulator = BoardSimulator(platform)
+    models = build_all_models()
+
+    print("Kernel-based exploration (paper Eq. 1-3)...")
+    table = KernelProfiler(platform).profile(models, seed=args.seed)
+    embedding = EmbeddingSpace(table, MODEL_NAMES)
+    print(f"Distributed embedding tensor: {embedding.input_shape}")
+
+    estimator = ThroughputEstimator(
+        embedding, rng=np.random.default_rng(args.seed + 1)
+    )
+    print(f"Estimator: {estimator.num_parameters} trainable parameters")
+
+    generator = WorkloadGenerator(seed=args.seed + 2)
+    builder = EstimatorDatasetBuilder(simulator, generator, estimator)
+    print(f"Measuring {args.samples} random workloads on the board...")
+    dataset = builder.build(num_samples=args.samples, measurement_seed=args.seed + 3)
+
+    trainer = EstimatorTrainer(estimator, loss=args.loss)
+    train_size = int(round(args.samples * 0.8))
+    history = trainer.train(
+        dataset, epochs=args.epochs, train_size=train_size, seed=args.seed + 4
+    )
+
+    stride = max(1, args.epochs // 20)
+    rows = [
+        [epoch, f"{train:.4f}", f"{val:.4f}"]
+        for epoch, train, val in history.rows()[::stride]
+    ]
+    print()
+    print(format_table(["epoch", "train loss", "val loss"], rows))
+    print(
+        f"\nFinal: train {history.final_train_loss:.4f}, "
+        f"val {history.final_val_loss:.4f} "
+        f"(best {history.best_val_loss:.4f}) in {history.wall_time_s:.0f}s"
+    )
+
+    if args.checkpoint:
+        estimator.save(args.checkpoint)
+        print(f"Checkpoint written to {args.checkpoint}")
+
+
+if __name__ == "__main__":
+    main()

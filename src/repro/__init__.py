@@ -1,0 +1,61 @@
+"""OmniBoost reproduction: multi-DNN scheduling on heterogeneous edge SoCs.
+
+A from-scratch Python implementation of *OmniBoost: Boosting Throughput
+of Heterogeneous Embedded Devices under Multi-DNN Workload* (Karatzas &
+Anagnostopoulos, DAC 2023), including every substrate the paper relies
+on: an analytical HiKey970 board model, the eleven-network model zoo, a
+numpy autograd framework for the throughput estimator, the MCTS
+scheduler, and the three comparison schedulers.
+
+Quick start::
+
+    from repro import build_system, Workload
+
+    system = build_system(epochs=20)      # profile + train the estimator
+    mix = Workload.from_names(["vgg19", "resnet50", "mobilenet", "alexnet"])
+    decision = system.omniboost.schedule(mix)
+    result = system.simulator.measure(mix.models, decision.mapping)
+    print(result.average_throughput)
+"""
+
+from . import baselines, core, estimator, evaluation, hw, models, nn, sim, workloads
+from .core import MCTSConfig, OmniBoostScheduler, ScheduleDecision, Scheduler
+from .estimator import EmbeddingSpace, ThroughputEstimator
+from .hw import Platform, hikey970
+from .models import MODEL_NAMES, build_model
+from .pipeline import OmniBoostSystem, build_system
+from .sim import BoardSimulator, BoardUnresponsiveError, Mapping, SimConfig
+from .workloads import Workload, WorkloadGenerator
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "BoardSimulator",
+    "BoardUnresponsiveError",
+    "EmbeddingSpace",
+    "MCTSConfig",
+    "MODEL_NAMES",
+    "Mapping",
+    "OmniBoostScheduler",
+    "OmniBoostSystem",
+    "Platform",
+    "ScheduleDecision",
+    "Scheduler",
+    "SimConfig",
+    "ThroughputEstimator",
+    "Workload",
+    "WorkloadGenerator",
+    "__version__",
+    "baselines",
+    "build_model",
+    "build_system",
+    "core",
+    "estimator",
+    "evaluation",
+    "hikey970",
+    "hw",
+    "models",
+    "nn",
+    "sim",
+    "workloads",
+]

@@ -1,0 +1,16 @@
+"""Comparison schedulers: GPU-only baseline, MOSAIC and the GA."""
+
+from .ga import GAConfig, GeneticScheduler, StaticCostModel, merge_redundant_stages
+from .gpu_only import GpuOnlyScheduler, SingleDeviceScheduler
+from .mosaic import LayerLatencyRegression, MosaicScheduler
+
+__all__ = [
+    "GAConfig",
+    "GeneticScheduler",
+    "StaticCostModel",
+    "GpuOnlyScheduler",
+    "LayerLatencyRegression",
+    "MosaicScheduler",
+    "SingleDeviceScheduler",
+    "merge_redundant_stages",
+]

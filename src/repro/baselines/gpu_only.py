@@ -1,0 +1,57 @@
+"""The common scheduling approach: map every DNN onto the GPU.
+
+This is the paper's normalization baseline -- "the case in which all
+the layers of the DNNs are executed on the GPU", i.e. what every
+mobile deep-learning stack does when told to use the accelerator.  It
+has zero decision overhead and no awareness of contention, which is
+exactly why heavy mixes collapse on it.
+"""
+
+from __future__ import annotations
+
+from ..core.base import ScheduleDecision, Scheduler
+from ..hw.platform_ import Platform
+from ..sim.mapping import Mapping
+from ..workloads.mix import Workload
+
+__all__ = ["GpuOnlyScheduler", "SingleDeviceScheduler"]
+
+
+class SingleDeviceScheduler(Scheduler):
+    """Maps every layer of every DNN onto one fixed device."""
+
+    def __init__(self, device_id: int, name: str = "") -> None:
+        if device_id < 0:
+            raise ValueError(f"device_id must be non-negative, got {device_id}")
+        self.device_id = device_id
+        if name:
+            self.name = name
+        else:
+            self.name = f"device-{device_id}"
+
+    def _decide(self, workload: Workload) -> ScheduleDecision:
+        mapping = Mapping.single_device(workload.models, self.device_id)
+        return ScheduleDecision(
+            mapping=mapping,
+            expected_score=0.0,
+            wall_time_s=0.0,
+            cost={},  # no queries, no training: the zero-overhead baseline
+        )
+
+
+class GpuOnlyScheduler(SingleDeviceScheduler):
+    """All layers on the platform's GPU (the paper's baseline)."""
+
+    name = "Baseline"
+
+    def __init__(self, platform: Platform) -> None:
+        gpus = platform.devices_of_kind("gpu")
+        if gpus:
+            device_id = gpus[0].device_id
+        else:
+            # Fall back to the arithmetically strongest device so the
+            # baseline stays meaningful on GPU-less platforms.
+            device_id = max(
+                platform.devices, key=lambda device: device.peak_gflops
+            ).device_id
+        super().__init__(device_id, name="Baseline")

@@ -1,0 +1,295 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the lifecycle of a deployment:
+
+* ``models``   -- list the zoo with per-model footprints;
+* ``profile``  -- kernel-profile the zoo and print latency tables;
+* ``train``    -- run the design-time pipeline and save a checkpoint;
+* ``schedule`` -- schedule a mix (optionally from a checkpoint) and
+  report measured throughput for all four schedulers;
+* ``motivate`` -- the Fig.-1 motivational sweep;
+* ``space``    -- design-space size arithmetic for a mix;
+* ``power``    -- throughput-vs-power comparison of the paper objective
+  against the energy-aware extension on one mix.
+
+All commands run against the simulated HiKey970.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import build_system
+from .estimator import (
+    EmbeddingSpace,
+    EstimatorDatasetBuilder,
+    EstimatorTrainer,
+    ThroughputEstimator,
+)
+from .evaluation import (
+    RuntimeCostModel,
+    format_table,
+    paper_combination_estimate,
+    total_contiguous_mappings,
+)
+from .hw import BIG_CPU_ID, GPU_ID, hikey970
+from .models import (
+    EXTENSION_MODEL_NAMES,
+    MODEL_NAMES,
+    build_all_models,
+    build_model,
+)
+from .sim import BoardSimulator, KernelProfiler, Mapping
+from .workloads import Workload, WorkloadGenerator, random_two_stage_mapping
+
+__all__ = ["main"]
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    names = list(MODEL_NAMES)
+    if args.all:
+        names += list(EXTENSION_MODEL_NAMES)
+    rows = []
+    for name in names:
+        graph = build_model(name)
+        dataset = "paper" if name in MODEL_NAMES else "extension"
+        rows.append(
+            [
+                name,
+                dataset,
+                graph.num_layers,
+                f"{graph.total_flops / 1e9:.2f}",
+                f"{graph.total_weight_bytes / 1e6:.1f}",
+                str(graph.input_shape),
+            ]
+        )
+    print(
+        format_table(
+            ["model", "dataset", "units", "GFLOPs", "weights MB", "input"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    platform = hikey970()
+    profiler = KernelProfiler(platform)
+    table = profiler.profile(build_all_models(), seed=args.seed)
+    device_names = [device.name for device in platform.devices]
+    rows = []
+    for name in MODEL_NAMES:
+        per_device = table.tables[name].sum(axis=1) * 1000
+        rows.append([name] + [f"{value:.1f}" for value in per_device])
+    print(format_table(["model (total ms/inference)"] + device_names, rows))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    platform = hikey970()
+    simulator = BoardSimulator(platform)
+    table = KernelProfiler(platform).profile(build_all_models(), seed=args.seed)
+    embedding = EmbeddingSpace(table, MODEL_NAMES)
+    estimator = ThroughputEstimator(
+        embedding, rng=np.random.default_rng(args.seed + 1)
+    )
+    generator = WorkloadGenerator(seed=args.seed + 2)
+    dataset = EstimatorDatasetBuilder(simulator, generator, estimator).build(
+        num_samples=args.samples, measurement_seed=args.seed + 3
+    )
+    trainer = EstimatorTrainer(estimator)
+    history = trainer.train(
+        dataset,
+        epochs=args.epochs,
+        train_size=int(round(args.samples * 0.8)),
+        seed=args.seed + 4,
+    )
+    print(
+        f"trained {estimator.num_parameters}-parameter estimator: "
+        f"val L1 {history.final_val_loss:.4f} in {history.wall_time_s:.0f}s"
+    )
+    estimator.save(args.checkpoint)
+    print(f"checkpoint saved to {args.checkpoint}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    mix = Workload.from_names(args.mix)
+    use_checkpoint = bool(args.checkpoint) and os.path.exists(args.checkpoint)
+    system = build_system(
+        num_training_samples=args.samples,
+        epochs=args.epochs,
+        train=not use_checkpoint,
+        seed=args.seed,
+    )
+    if use_checkpoint:
+        system.estimator.load(args.checkpoint)
+    cost_model = RuntimeCostModel()
+    rows = []
+    baseline_throughput: Optional[float] = None
+    for scheduler in system.schedulers:
+        decision = scheduler.schedule(mix)
+        result = system.simulator.measure(mix.models, decision.mapping)
+        if baseline_throughput is None:
+            baseline_throughput = result.average_throughput
+        rows.append(
+            [
+                scheduler.name,
+                f"{result.average_throughput:.2f}",
+                f"{result.average_throughput / baseline_throughput:.2f}",
+                f"{cost_model.decision_time(decision.cost):.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ["scheduler", "T (inf/s)", "normalized", "board decision (s)"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_motivate(args: argparse.Namespace) -> int:
+    platform = hikey970()
+    simulator = BoardSimulator(platform)
+    mix = Workload.from_names(["alexnet", "mobilenet", "vgg19", "squeezenet"])
+    # Continuous benchmark loop (paper Section II): demand unbounded.
+    unbounded = [1e9] * mix.num_dnns
+    baseline = simulator.simulate(
+        mix.models,
+        Mapping.single_device(mix.models, GPU_ID),
+        offered_rates=unbounded,
+    ).average_throughput
+    rng = np.random.default_rng(args.seed)
+    normalized = []
+    for _ in range(args.setups):
+        mapping = random_two_stage_mapping(mix.models, rng, (GPU_ID, BIG_CPU_ID))
+        measured = simulator.measure(
+            mix.models, mapping, rng=rng, offered_rates=unbounded
+        )
+        normalized.append(measured.average_throughput / baseline)
+    values = np.array(normalized)
+    print(
+        f"{args.setups} random set-ups vs GPU-only baseline: "
+        f"best {values.max():.2f}, median {np.median(values):.2f}, "
+        f"worst {values.min():.2f}"
+    )
+    return 0
+
+
+def _cmd_space(args: argparse.Namespace) -> int:
+    mix = Workload.from_names(args.mix)
+    total_layers = mix.total_layers
+    print(f"mix: {', '.join(mix.model_names)} ({total_layers} layers)")
+    print(
+        f"paper estimate C({total_layers}, 3) = "
+        f"{paper_combination_estimate(total_layers, 3):,}"
+    )
+    print(
+        "exact stage-capped contiguous mappings = "
+        f"{total_contiguous_mappings(mix.models, 3, 3):,}"
+    )
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from .core import EnergyAwareObjective, MCTSConfig, OmniBoostScheduler
+    from .hw import hikey970_power
+
+    mix = Workload.from_names(args.mix)
+    system = build_system(
+        num_training_samples=args.samples, epochs=args.epochs, seed=args.seed
+    )
+    power_model = hikey970_power()
+    energy_objective = EnergyAwareObjective(
+        power_model, system.platform, system.latency_table
+    )
+    rows = []
+    for label, objective in (
+        ("throughput (paper)", None),
+        ("inferences/joule", energy_objective),
+    ):
+        scheduler = OmniBoostScheduler(
+            system.estimator,
+            config=MCTSConfig(seed=args.seed + 5),
+            objective=objective,
+        )
+        decision = scheduler.schedule(mix)
+        measured = system.simulator.simulate(mix.models, decision.mapping)
+        report = power_model.report(system.platform, measured)
+        rows.append(
+            [
+                label,
+                f"{measured.average_throughput:.2f}",
+                f"{report.total_w:.2f}",
+                f"{report.inferences_per_joule:.3f}",
+            ]
+        )
+    print(format_table(["objective", "T (inf/s)", "power (W)", "inf/J"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="OmniBoost reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    models = sub.add_parser("models", help="list the model zoo")
+    models.add_argument(
+        "--all", action="store_true", help="include extension models"
+    )
+    models.set_defaults(fn=_cmd_models)
+
+    profile = sub.add_parser("profile", help="kernel-profile the zoo")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.set_defaults(fn=_cmd_profile)
+
+    train = sub.add_parser("train", help="train and checkpoint the estimator")
+    train.add_argument("--samples", type=int, default=500)
+    train.add_argument("--epochs", type=int, default=100)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--checkpoint", type=str, default="estimator.npz")
+    train.set_defaults(fn=_cmd_train)
+
+    schedule = sub.add_parser("schedule", help="schedule a mix, compare schedulers")
+    schedule.add_argument("mix", nargs="+", help=f"models: {', '.join(MODEL_NAMES)}")
+    schedule.add_argument("--checkpoint", type=str, default="")
+    schedule.add_argument("--samples", type=int, default=300)
+    schedule.add_argument("--epochs", type=int, default=25)
+    schedule.add_argument("--seed", type=int, default=0)
+    schedule.set_defaults(fn=_cmd_schedule)
+
+    motivate = sub.add_parser("motivate", help="run the Fig.-1 sweep")
+    motivate.add_argument("--setups", type=int, default=200)
+    motivate.add_argument("--seed", type=int, default=0)
+    motivate.set_defaults(fn=_cmd_motivate)
+
+    space = sub.add_parser("space", help="design-space size of a mix")
+    space.add_argument("mix", nargs="+")
+    space.set_defaults(fn=_cmd_space)
+
+    power = sub.add_parser(
+        "power", help="throughput-vs-power objectives on one mix"
+    )
+    power.add_argument("mix", nargs="+")
+    power.add_argument("--samples", type=int, default=300)
+    power.add_argument("--epochs", type=int, default=25)
+    power.add_argument("--seed", type=int, default=0)
+    power.set_defaults(fn=_cmd_power)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main
+    sys.exit(main())

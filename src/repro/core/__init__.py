@@ -1,0 +1,40 @@
+"""OmniBoost core: scheduling environment, MCTS and the scheduler facade."""
+
+from .base import ScheduleDecision, Scheduler
+from .environment import LOSS_REWARD, WIN_BONUS, SchedulingEnv, SchedulingState
+from .mcts import MCTSConfig, MCTSNode, MCTSResult, MonteCarloTreeSearch
+from .objectives import (
+    EnergyAwareObjective,
+    SchedulingObjective,
+    ThroughputObjective,
+)
+from .scheduler import OmniBoostScheduler
+from .search_baselines import (
+    ExhaustiveSearchScheduler,
+    GreedyImprovementScheduler,
+    RandomSearchScheduler,
+    SimulatedAnnealingScheduler,
+    enumerate_contiguous_rows,
+)
+
+__all__ = [
+    "EnergyAwareObjective",
+    "ExhaustiveSearchScheduler",
+    "LOSS_REWARD",
+    "MCTSConfig",
+    "MCTSNode",
+    "MCTSResult",
+    "MonteCarloTreeSearch",
+    "GreedyImprovementScheduler",
+    "OmniBoostScheduler",
+    "RandomSearchScheduler",
+    "SimulatedAnnealingScheduler",
+    "enumerate_contiguous_rows",
+    "ScheduleDecision",
+    "Scheduler",
+    "SchedulingEnv",
+    "SchedulingObjective",
+    "SchedulingState",
+    "ThroughputObjective",
+    "WIN_BONUS",
+]

@@ -1,0 +1,62 @@
+"""Common scheduler interface shared by OmniBoost and the baselines."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..sim.mapping import Mapping
+from ..workloads.mix import Workload
+
+__all__ = ["ScheduleDecision", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class ScheduleDecision:
+    """A scheduler's answer for one workload.
+
+    Attributes
+    ----------
+    mapping:
+        The chosen layer-to-device assignment.
+    expected_score:
+        The scheduler's own internal score of the mapping (estimator
+        reward, GA fitness, predicted latency...); scales differ
+        between schedulers and are not comparable across them.
+    wall_time_s:
+        Host seconds spent deciding.
+    cost:
+        Decision-cost accounting for the paper's Section V-B run-time
+        analysis, e.g. ``{"estimator_queries": 500}`` or
+        ``{"board_measurements": 1500}``.
+    """
+
+    mapping: Mapping
+    expected_score: float
+    wall_time_s: float
+    cost: Dict[str, float] = field(default_factory=dict)
+
+
+class Scheduler:
+    """Base class: subclasses implement :meth:`_decide`."""
+
+    #: Human-readable scheduler name used in reports and figures.
+    name: str = "scheduler"
+
+    def schedule(self, workload: Workload) -> ScheduleDecision:
+        """Produce a mapping for ``workload`` (timed)."""
+        started = time.perf_counter()
+        decision = self._decide(workload)
+        elapsed = time.perf_counter() - started
+        if decision.wall_time_s == 0.0:
+            decision = ScheduleDecision(
+                mapping=decision.mapping,
+                expected_score=decision.expected_score,
+                wall_time_s=elapsed,
+                cost=decision.cost,
+            )
+        return decision
+
+    def _decide(self, workload: Workload) -> ScheduleDecision:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,174 @@
+"""The scheduling environment: states, actions, rewards (paper IV-C).
+
+A Gym-like episodic environment over partial mappings:
+
+* **State** -- the per-layer device assignments made so far, in
+  decision order: DNNs are scheduled one after another; within a DNN,
+  the first decision pins layer 1 (conceptually the whole network, as
+  the paper notes), then layers 2..n are assigned one by one.
+* **Action** -- a device id (3 actions on HiKey970, one per computing
+  component).
+* **Terminal states** -- *winning* when every layer of every DNN is
+  assigned; *losing* when a DNN's pipeline exceeds the stage cap
+  (``x`` = number of computing components), which the paper penalizes
+  to avoid redundant pipeline stages and their data transfers.
+
+Two enforcement modes for the stage cap exist because the ablation
+benches compare them: ``mask_illegal=True`` (default) removes
+cap-violating actions from the legal set, so rollouts always reach a
+winning state; ``False`` reproduces the paper's formulation verbatim,
+where violating actions lead to losing leaves with a static penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.mapping import Mapping
+from ..workloads.mix import Workload
+
+__all__ = ["SchedulingState", "SchedulingEnv", "LOSS_REWARD", "WIN_BONUS"]
+
+#: Static reward of a losing leaf (paper: "exceptionally" bad).
+LOSS_REWARD = -1.0
+#: Additive bonus of reaching a winning (complete) state, on top of the
+#: estimator's throughput reward.
+WIN_BONUS = 0.0
+
+
+@dataclass(frozen=True)
+class SchedulingState:
+    """An immutable partial assignment.
+
+    ``assigned`` stores one tuple of device ids per DNN; the DNN under
+    construction is the first whose tuple is shorter than its layer
+    count.
+    """
+
+    assigned: Tuple[Tuple[int, ...], ...]
+
+    def key(self) -> Tuple[Tuple[int, ...], ...]:
+        """Hashable identity of the state (used by tree nodes)."""
+        return self.assigned
+
+
+class SchedulingEnv:
+    """Episodic environment the MCTS explores.
+
+    Parameters
+    ----------
+    workload:
+        The mix to schedule.
+    num_devices:
+        Number of computing components (= action count).
+    stage_cap:
+        Maximum pipeline stages per DNN before a state is losing.
+        Defaults to ``num_devices`` as in the paper.
+    mask_illegal:
+        If True, actions that would breach the stage cap are simply not
+        legal; if False they are legal but lead to losing states.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        num_devices: int,
+        stage_cap: Optional[int] = None,
+        mask_illegal: bool = True,
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        self.workload = workload
+        self.num_devices = num_devices
+        self.stage_cap = stage_cap if stage_cap is not None else num_devices
+        if self.stage_cap < 1:
+            raise ValueError(f"stage_cap must be >= 1, got {self.stage_cap}")
+        self.mask_illegal = mask_illegal
+        self._layer_counts = tuple(model.num_layers for model in workload.models)
+
+    # ------------------------------------------------------------------
+    # Episode protocol
+    # ------------------------------------------------------------------
+    def reset(self) -> SchedulingState:
+        """The empty assignment."""
+        return SchedulingState(tuple(() for _ in self._layer_counts))
+
+    @property
+    def total_decisions(self) -> int:
+        """Episode length: one decision per layer of every DNN."""
+        return sum(self._layer_counts)
+
+    def decisions_made(self, state: SchedulingState) -> int:
+        return sum(len(row) for row in state.assigned)
+
+    def current_dnn(self, state: SchedulingState) -> Optional[int]:
+        """Index of the DNN receiving the next decision (None if done)."""
+        for index, row in enumerate(state.assigned):
+            if len(row) < self._layer_counts[index]:
+                return index
+        return None
+
+    def is_complete(self, state: SchedulingState) -> bool:
+        """Winning state: every layer assigned."""
+        return self.current_dnn(state) is None
+
+    def is_losing(self, state: SchedulingState) -> bool:
+        """Losing state: some DNN exceeds the stage cap."""
+        return any(
+            _stage_count(row) > self.stage_cap for row in state.assigned if row
+        )
+
+    def is_terminal(self, state: SchedulingState) -> bool:
+        return self.is_complete(state) or self.is_losing(state)
+
+    def legal_actions(self, state: SchedulingState) -> List[int]:
+        """Device ids playable from ``state``.
+
+        With masking on, a DNN already at the stage cap may only keep
+        extending its current stage (continuing on the same device).
+        """
+        dnn = self.current_dnn(state)
+        if dnn is None or self.is_losing(state):
+            return []
+        row = state.assigned[dnn]
+        actions = list(range(self.num_devices))
+        if not self.mask_illegal or not row:
+            return actions
+        if _stage_count(row) >= self.stage_cap:
+            return [row[-1]]
+        return actions
+
+    def step(self, state: SchedulingState, action: int) -> SchedulingState:
+        """Assign the next layer of the current DNN to ``action``."""
+        if not 0 <= action < self.num_devices:
+            raise ValueError(
+                f"action {action} out of range for {self.num_devices} devices"
+            )
+        dnn = self.current_dnn(state)
+        if dnn is None:
+            raise RuntimeError("cannot step a completed episode")
+        if self.mask_illegal and action not in self.legal_actions(state):
+            raise ValueError(
+                f"action {action} is illegal in this state (stage cap "
+                f"{self.stage_cap})"
+            )
+        rows = list(state.assigned)
+        rows[dnn] = rows[dnn] + (action,)
+        return SchedulingState(tuple(rows))
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def mapping(self, state: SchedulingState) -> Mapping:
+        """The complete mapping of a winning state."""
+        if not self.is_complete(state):
+            raise ValueError("cannot decode a mapping from an incomplete state")
+        return Mapping(state.assigned)
+
+
+def _stage_count(row: Sequence[int]) -> int:
+    """Pipeline stages of a (possibly partial) assignment row."""
+    if not row:
+        return 0
+    return 1 + sum(1 for a, b in zip(row, row[1:]) if a != b)

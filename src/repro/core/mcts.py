@@ -1,0 +1,385 @@
+"""Monte Carlo Tree Search over the scheduling environment (paper IV-C).
+
+The classic four phases under a fixed computational budget:
+
+1. **Selection** -- descend from the root by UCT while nodes are fully
+   expanded;
+2. **Expansion** -- attach one untried child of the selected node;
+3. **Evaluation** -- random rollout from the new child to a leaf; a
+   winning leaf's trajectory is scored by the throughput estimator
+   (one query), a losing leaf receives the static loss reward;
+4. **Back-propagation** -- the reward updates visit counts and value
+   sums along the path.
+
+The budget is the number of iterations (== estimator queries for
+winning rollouts); the paper uses 500 with search depth 100.  The
+depth parameter caps how deep the *tree* may grow (nodes past it are
+evaluated by rollout only); rollouts themselves always play to a
+terminal state, otherwise mixes with more total layers than the depth
+cap could never be scheduled.  The
+search keeps the best complete trajectory seen anywhere and returns
+its mapping -- the paper's "candidate state with the highest expected
+reward".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim.mapping import Mapping
+from .environment import LOSS_REWARD, SchedulingEnv, SchedulingState
+
+__all__ = ["MCTSConfig", "MCTSResult", "MCTSNode", "MonteCarloTreeSearch"]
+
+#: An evaluation function: complete mapping -> scalar reward.
+RewardFn = Callable[[Mapping], float]
+
+
+@dataclass(frozen=True)
+class MCTSConfig:
+    """Search hyper-parameters.
+
+    ``budget`` and ``max_depth`` default to the paper's Section V
+    settings (500 iterations, depth 100).  ``exploration`` is the UCT
+    constant; ``seed`` drives all stochastic choices.  ``elite``
+    selects how the final mapping is extracted: ``"max"`` returns the
+    highest-reward trajectory seen anywhere, ``"mean-descent"`` walks
+    the tree by expected reward first (a winner's-curse guard when the
+    evaluator is noisy) and returns that subtree's best trajectory.
+    """
+
+    budget: int = 500
+    max_depth: int = 100
+    exploration: float = 1.2
+    rollout_stay_prob: float = 0.85
+    elite: str = "max"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.exploration < 0:
+            raise ValueError(f"exploration must be >= 0, got {self.exploration}")
+        if not 0 <= self.rollout_stay_prob < 1:
+            raise ValueError(
+                f"rollout_stay_prob must be in [0, 1), got {self.rollout_stay_prob}"
+            )
+        if self.elite not in ("max", "mean-descent"):
+            raise ValueError(
+                f"elite must be 'max' or 'mean-descent', got {self.elite!r}"
+            )
+
+
+class MCTSNode:
+    """One tree node: a state plus UCT statistics.
+
+    Besides the classic visit/value statistics each node remembers the
+    best *complete* trajectory evaluated anywhere in its subtree, so
+    elite extraction can descend by expected reward and still hand back
+    a full mapping.
+    """
+
+    __slots__ = (
+        "state",
+        "parent",
+        "action",
+        "children",
+        "untried",
+        "visits",
+        "value_sum",
+        "best_reward",
+        "best_mapping",
+    )
+
+    def __init__(
+        self,
+        state: SchedulingState,
+        parent: Optional["MCTSNode"],
+        action: Optional[int],
+        untried: List[int],
+    ) -> None:
+        self.state = state
+        self.parent = parent
+        self.action = action
+        self.children: Dict[int, MCTSNode] = {}
+        self.untried = untried
+        self.visits = 0
+        self.value_sum = 0.0
+        self.best_reward = -math.inf
+        self.best_mapping: Optional[Mapping] = None
+
+    @property
+    def mean_value(self) -> float:
+        """Average backed-up reward (0 before any visit)."""
+        return self.value_sum / self.visits if self.visits else 0.0
+
+    def is_fully_expanded(self) -> bool:
+        return not self.untried
+
+    def uct_child(
+        self,
+        exploration: float,
+        reward_low: float,
+        reward_high: float,
+    ) -> "MCTSNode":
+        """Child maximizing the UCT score.
+
+        Mean values are min-max normalized by the reward range observed
+        so far (``reward_low``/``reward_high``): the estimator returns
+        physical inferences/second, whose scale varies per mix, and an
+        un-normalized exploitation term would drown the exploration
+        bonus.
+        """
+        log_visits = math.log(max(self.visits, 1))
+        span = max(reward_high - reward_low, 1e-9)
+        best_child = None
+        best_score = -math.inf
+        for child in self.children.values():
+            if child.visits == 0:
+                return child
+            exploitation = (child.mean_value - reward_low) / span
+            score = exploitation + exploration * math.sqrt(
+                log_visits / child.visits
+            )
+            if score > best_score:
+                best_score = score
+                best_child = child
+        if best_child is None:
+            raise RuntimeError("uct_child called on a childless node")
+        return best_child
+
+
+@dataclass
+class MCTSResult:
+    """Outcome of one search.
+
+    ``mapping`` is the elite trajectory's mapping; ``reward`` its
+    estimator score.  ``iterations`` counts MCTS iterations,
+    ``evaluations`` the estimator queries (losing rollouts cost none),
+    ``losing_rollouts`` how many rollouts died on the stage cap.
+
+    ``improvements`` records the search's *anytime* behaviour: one
+    ``(iteration, reward, mapping)`` entry each time the incumbent
+    (best complete trajectory so far) improved, with ``iteration``
+    1-based.  Because the RNG stream consumed per iteration does not
+    depend on the budget, a search with budget ``B`` and the same seed
+    is exactly the first ``B`` iterations of a longer search -- so
+    :meth:`incumbent_at` reproduces what any smaller budget would have
+    returned, and incumbent reward is monotone in the budget.
+    """
+
+    mapping: Mapping
+    reward: float
+    iterations: int
+    evaluations: int
+    losing_rollouts: int
+    root_visits: int
+    rewards_seen: List[float] = field(default_factory=list)
+    improvements: List[Tuple[int, float, Mapping]] = field(default_factory=list)
+
+    def incumbent_at(self, iteration: int) -> Tuple[Optional[Mapping], float]:
+        """Best (mapping, reward) after the first ``iteration`` iterations.
+
+        Returns ``(None, -inf)`` if no winning rollout had completed by
+        then.  Only meaningful for ``elite="max"`` searches, where the
+        returned mapping *is* the incumbent.
+        """
+        if iteration < 1:
+            raise ValueError(f"iteration must be >= 1, got {iteration}")
+        best: Tuple[Optional[Mapping], float] = (None, -math.inf)
+        for when, reward, mapping in self.improvements:
+            if when > iteration:
+                break
+            best = (mapping, reward)
+        return best
+
+
+class MonteCarloTreeSearch:
+    """UCT search over a :class:`SchedulingEnv`."""
+
+    def __init__(
+        self,
+        env: SchedulingEnv,
+        reward_fn: RewardFn,
+        config: Optional[MCTSConfig] = None,
+    ) -> None:
+        self.env = env
+        self.reward_fn = reward_fn
+        self.config = config or MCTSConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self._reward_low = math.inf
+        self._reward_high = -math.inf
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def search(self) -> MCTSResult:
+        """Run the budgeted search and return the elite mapping."""
+        env = self.env
+        root_state = env.reset()
+        root = MCTSNode(root_state, None, None, env.legal_actions(root_state))
+        best_mapping: Optional[Mapping] = None
+        best_reward = -math.inf
+        evaluations = 0
+        losing = 0
+        rewards_seen: List[float] = []
+        improvements: List[Tuple[int, float, Mapping]] = []
+        self._reward_low = math.inf
+        self._reward_high = -math.inf
+
+        for iteration in range(1, self.config.budget + 1):
+            node = self._select(root)
+            node = self._expand(node)
+            final_state = self._rollout(node.state)
+            # A state can be complete AND losing at once (the very last
+            # decision opens a cap-breaking stage); losing dominates.
+            if env.is_complete(final_state) and not env.is_losing(final_state):
+                mapping = env.mapping(final_state)
+                reward = self.reward_fn(mapping)
+                evaluations += 1
+                rewards_seen.append(reward)
+                self._reward_low = min(self._reward_low, reward)
+                self._reward_high = max(self._reward_high, reward)
+                if reward > best_reward:
+                    best_reward = reward
+                    best_mapping = mapping
+                    improvements.append((iteration, reward, mapping))
+                self._backpropagate(node, reward, mapping)
+            else:
+                reward = LOSS_REWARD
+                losing += 1
+                self._reward_low = min(self._reward_low, reward)
+                self._backpropagate(node, reward, None)
+
+        if self.config.elite == "mean-descent":
+            elite_mapping, elite_reward = self._extract_elite(root)
+            if elite_mapping is not None:
+                best_mapping = elite_mapping
+                best_reward = elite_reward
+
+        if best_mapping is None:
+            # Every rollout lost (possible only with masking disabled
+            # and a tiny budget); fall back to the single-stage mapping
+            # on device 0 so callers always get a valid schedule.
+            best_mapping = Mapping(
+                [[0] * model.num_layers for model in env.workload.models]
+            )
+            best_reward = LOSS_REWARD
+        return MCTSResult(
+            mapping=best_mapping,
+            reward=best_reward,
+            iterations=self.config.budget,
+            evaluations=evaluations,
+            losing_rollouts=losing,
+            root_visits=root.visits,
+            rewards_seen=rewards_seen,
+            improvements=improvements,
+        )
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _select(self, node: MCTSNode) -> MCTSNode:
+        """Descend by UCT until a not-fully-expanded or terminal node."""
+        env = self.env
+        low = self._reward_low if self._reward_low < math.inf else 0.0
+        high = self._reward_high if self._reward_high > -math.inf else 1.0
+        while node.is_fully_expanded() and node.children:
+            node = node.uct_child(self.config.exploration, low, high)
+            if env.is_terminal(node.state):
+                break
+        return node
+
+    def _expand(self, node: MCTSNode) -> MCTSNode:
+        """Attach one untried child.
+
+        No-op on terminal nodes and at the tree-depth cap.
+        """
+        if not node.untried or self.env.is_terminal(node.state):
+            return node
+        if self.env.decisions_made(node.state) >= self.config.max_depth:
+            return node
+        index = int(self.rng.integers(len(node.untried)))
+        action = node.untried.pop(index)
+        child_state = self.env.step(node.state, action)
+        child = MCTSNode(
+            child_state,
+            node,
+            action,
+            self.env.legal_actions(child_state),
+        )
+        node.children[action] = child
+        return child
+
+    def _rollout(self, state: SchedulingState) -> SchedulingState:
+        """Biased random playout to a terminal state.
+
+        With probability ``rollout_stay_prob`` the playout keeps the
+        current DNN on its present device (extending the stage); a
+        uniform choice over legal actions otherwise.  Uniform per-layer
+        choices would place almost every stage boundary within the
+        first few layers (the chance of *never* switching across n
+        layers is (1/3)^n), which is a terrible proposal distribution;
+        the stay bias makes split points roughly uniform over depth,
+        matching the set-ups the paper's motivational experiment
+        samples.
+        """
+        env = self.env
+        stay = self.config.rollout_stay_prob
+        while not env.is_terminal(state):
+            actions = env.legal_actions(state)
+            if not actions:
+                break
+            dnn = env.current_dnn(state)
+            row = state.assigned[dnn] if dnn is not None else ()
+            if row and row[-1] in actions and self.rng.random() < stay:
+                action = row[-1]
+            else:
+                action = actions[int(self.rng.integers(len(actions)))]
+            state = env.step(state, action)
+        return state
+
+    @staticmethod
+    def _backpropagate(
+        node: Optional[MCTSNode],
+        reward: float,
+        mapping: Optional[Mapping],
+    ) -> None:
+        while node is not None:
+            node.visits += 1
+            node.value_sum += reward
+            if mapping is not None and reward > node.best_reward:
+                node.best_reward = reward
+                node.best_mapping = mapping
+            node = node.parent
+
+    @staticmethod
+    def _extract_elite(root: MCTSNode) -> Tuple[Optional[Mapping], float]:
+        """Elite trajectory: descend by expected reward, then take the
+        subtree's best evaluated completion.
+
+        The paper fetches "the candidate state with the highest
+        expected reward" -- node means, which average many rollout
+        evaluations and are therefore far less exposed to single-query
+        estimator error than the raw global maximum (a winner's-curse
+        guard).
+        """
+        node = root
+        while node.children:
+            # Only trust means backed by enough rollouts; below that the
+            # subtree statistics are noise and the descent stops.
+            trusted = [
+                child
+                for child in node.children.values()
+                if child.visits >= 16 and child.best_mapping is not None
+            ]
+            if not trusted:
+                break
+            node = max(trusted, key=lambda child: child.mean_value)
+        return node.best_mapping, node.best_reward

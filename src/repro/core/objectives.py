@@ -1,0 +1,165 @@
+"""Pluggable scheduling objectives (the paper's extensibility axis).
+
+OmniBoost's MCTS maximizes whatever scalar the evaluation step returns;
+the paper uses predicted system throughput.  This module makes that
+choice explicit and pluggable: an objective turns the estimator's
+per-device throughput prediction (plus design-time knowledge about the
+mapping) into the scalar reward the search climbs.
+
+Two objectives ship:
+
+* :class:`ThroughputObjective` — the paper's reward: mean predicted
+  per-component inferences/second.
+* :class:`EnergyAwareObjective` — the energy extension: predicted
+  inferences per joule (battery life) or a weighted
+  throughput-vs-power trade-off.  Power is estimated entirely from
+  design-time data — the profiled latency table and the
+  :class:`~repro.hw.power.PowerModel` — so scheduling still costs one
+  estimator query per candidate and never touches the board.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..hw.platform_ import Platform
+from ..hw.power import PowerModel
+from ..sim.mapping import Mapping
+from ..sim.profiler import LatencyTable
+from ..workloads.mix import Workload
+
+__all__ = [
+    "SchedulingObjective",
+    "ThroughputObjective",
+    "EnergyAwareObjective",
+]
+
+_ENERGY_MODES = ("inferences-per-joule", "weighted")
+
+
+class SchedulingObjective:
+    """Scalar MCTS reward from a throughput prediction.
+
+    Subclasses implement :meth:`score`; higher is better.  The
+    ``predicted`` argument is the estimator's physical per-device
+    throughput vector (inferences/second, platform device order).
+    """
+
+    #: Human-readable objective name used in reports.
+    name: str = "objective"
+
+    def score(
+        self,
+        workload: Workload,
+        mapping: Mapping,
+        predicted: np.ndarray,
+    ) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class ThroughputObjective(SchedulingObjective):
+    """The paper's reward: mean predicted per-component throughput.
+
+    Equivalent to
+    :meth:`~repro.estimator.model.ThroughputEstimator.reward`; it
+    exists so that "the paper's objective" has a name in ablation
+    tables.
+    """
+
+    name = "throughput"
+
+    def score(
+        self,
+        workload: Workload,
+        mapping: Mapping,
+        predicted: np.ndarray,
+    ) -> float:
+        """Mean predicted per-component inferences/second."""
+        return float(np.asarray(predicted, dtype=float).mean())
+
+
+class EnergyAwareObjective(SchedulingObjective):
+    """Energy-aware reward built on the board power model.
+
+    Predicted board power combines the static idle floor with dynamic
+    draw estimated as ``total_rate * e_dyn``, where ``e_dyn`` is the
+    mapping's mix-average dynamic joules per inference from the
+    profiled latency table (a design-time quantity; see
+    :meth:`~repro.hw.power.PowerModel.dynamic_energy_per_inference`).
+
+    Parameters
+    ----------
+    power_model:
+        Board power model.
+    platform:
+        The platform the latency table was profiled on.
+    latency_table:
+        Design-time per-layer latencies (the same data the embedding
+        tensor is built from).
+    mode:
+        ``"inferences-per-joule"`` (default) maximizes predicted
+        efficiency — the battery-life objective.  ``"weighted"``
+        maximizes ``mean_throughput - tradeoff_w * power_w``, trading
+        inferences/second against watts at an explicit exchange rate.
+    tradeoff_w:
+        Exchange rate for ``"weighted"`` mode, in (inferences/second)
+        per watt.  Ignored otherwise.
+    """
+
+    name = "energy-aware"
+
+    def __init__(
+        self,
+        power_model: PowerModel,
+        platform: Platform,
+        latency_table: LatencyTable,
+        mode: str = "inferences-per-joule",
+        tradeoff_w: Optional[float] = None,
+    ) -> None:
+        if mode not in _ENERGY_MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {_ENERGY_MODES}"
+            )
+        if mode == "weighted":
+            if tradeoff_w is None or tradeoff_w < 0:
+                raise ValueError(
+                    "weighted mode needs a non-negative tradeoff_w, "
+                    f"got {tradeoff_w}"
+                )
+        self.power_model = power_model
+        self.platform = platform
+        self.latency_table = latency_table
+        self.mode = mode
+        self.tradeoff_w = tradeoff_w
+
+    def predicted_power_w(
+        self,
+        workload: Workload,
+        mapping: Mapping,
+        predicted: np.ndarray,
+    ) -> float:
+        """Design-time board power estimate for a candidate mapping."""
+        total_rate = float(np.asarray(predicted, dtype=float).sum())
+        dynamic_energy = self.power_model.dynamic_energy_per_inference(
+            self.platform, workload.models, mapping, self.latency_table
+        )
+        return (
+            self.power_model.idle_floor_w(self.platform)
+            + max(total_rate, 0.0) * dynamic_energy
+        )
+
+    def score(
+        self,
+        workload: Workload,
+        mapping: Mapping,
+        predicted: np.ndarray,
+    ) -> float:
+        """Predicted inferences/joule, or the weighted trade-off."""
+        predicted = np.asarray(predicted, dtype=float)
+        power = self.predicted_power_w(workload, mapping, predicted)
+        if self.mode == "inferences-per-joule":
+            total_rate = max(float(predicted.sum()), 0.0)
+            return total_rate / power
+        return float(predicted.mean()) - self.tradeoff_w * power

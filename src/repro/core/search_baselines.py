@@ -1,0 +1,379 @@
+"""Estimator-driven search baselines for ablating the MCTS.
+
+The paper argues MCTS is the right way to spend a fixed budget of
+estimator queries.  These schedulers spend the *same* budget
+differently, so the ablation bench can isolate what the tree buys:
+
+* :class:`RandomSearchScheduler` -- sample N random stage-capped
+  mappings, keep the best by estimator reward (no structure reuse);
+* :class:`GreedyImprovementScheduler` -- start from the all-GPU
+  mapping and greedily re-slice one DNN at a time over a coarse menu
+  of candidate slicings, keeping any improvement (local search);
+* :class:`SimulatedAnnealingScheduler` -- Metropolis walk over
+  single-DNN re-slicing moves with geometric cooling (global local
+  search without a tree);
+* :class:`ExhaustiveSearchScheduler` -- enumerate *every* stage-capped
+  contiguous mapping (tiny mixes only); the optimality reference that
+  Section II argues is infeasible at scale.
+
+All share the OmniBoost estimator, never touch the board at decision
+time, and report their query counts for the runtime accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..estimator.model import ThroughputEstimator
+from ..sim.mapping import Mapping
+from ..workloads.generator import random_contiguous_mapping
+from ..workloads.mix import Workload
+from .base import ScheduleDecision, Scheduler
+
+__all__ = [
+    "ExhaustiveSearchScheduler",
+    "GreedyImprovementScheduler",
+    "RandomSearchScheduler",
+    "SimulatedAnnealingScheduler",
+    "enumerate_contiguous_rows",
+]
+
+
+class RandomSearchScheduler(Scheduler):
+    """Best-of-N random mappings under the estimator."""
+
+    name = "RandomSearch"
+
+    def __init__(
+        self,
+        estimator: ThroughputEstimator,
+        num_samples: int = 500,
+        max_stages: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_samples < 1:
+            raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        self.estimator = estimator
+        self.num_samples = num_samples
+        self.max_stages = max_stages
+        self.seed = seed
+
+    def _decide(self, workload: Workload) -> ScheduleDecision:
+        rng = np.random.default_rng(self.seed)
+        num_devices = self.estimator.embedding.num_devices
+        queries_before = self.estimator.query_count
+        best_mapping: Optional[Mapping] = None
+        best_reward = -np.inf
+        for _ in range(self.num_samples):
+            mapping = random_contiguous_mapping(
+                workload.models, num_devices, rng, max_stages=self.max_stages
+            )
+            reward = self.estimator.reward(workload, mapping)
+            if reward > best_reward:
+                best_reward = reward
+                best_mapping = mapping
+        assert best_mapping is not None  # num_samples >= 1
+        return ScheduleDecision(
+            mapping=best_mapping,
+            expected_score=float(best_reward),
+            wall_time_s=0.0,
+            cost={
+                "estimator_queries": float(
+                    self.estimator.query_count - queries_before
+                )
+            },
+        )
+
+
+def _candidate_rows(
+    num_layers: int, num_devices: int, splits_per_pair: int
+) -> List[Tuple[int, ...]]:
+    """A coarse menu of 1- and 2-stage slicings for one DNN."""
+    rows: List[Tuple[int, ...]] = []
+    for device in range(num_devices):
+        rows.append((device,) * num_layers)
+    if num_layers < 2:
+        return rows
+    cut_points = sorted(
+        {
+            max(1, min(num_layers - 1, round(num_layers * fraction)))
+            for fraction in np.linspace(0.2, 0.8, splits_per_pair)
+        }
+    )
+    for first, second in itertools.permutations(range(num_devices), 2):
+        for cut in cut_points:
+            rows.append((first,) * cut + (second,) * (num_layers - cut))
+    return rows
+
+
+class GreedyImprovementScheduler(Scheduler):
+    """Coordinate-descent over per-DNN slicings, scored by the estimator.
+
+    Starts from the common all-on-GPU mapping; in each of ``passes``
+    sweeps it revisits every DNN and keeps the best-scoring candidate
+    slicing given the others' current assignments.  This is the
+    "trial-and-error greedy" family of schedulers the related work
+    section criticizes for space-exploration inefficiency.
+    """
+
+    name = "Greedy"
+
+    def __init__(
+        self,
+        estimator: ThroughputEstimator,
+        start_device: int = 0,
+        splits_per_pair: int = 3,
+        passes: int = 2,
+    ) -> None:
+        if splits_per_pair < 1:
+            raise ValueError(f"splits_per_pair must be >= 1, got {splits_per_pair}")
+        if passes < 1:
+            raise ValueError(f"passes must be >= 1, got {passes}")
+        self.estimator = estimator
+        self.start_device = start_device
+        self.splits_per_pair = splits_per_pair
+        self.passes = passes
+
+    def _decide(self, workload: Workload) -> ScheduleDecision:
+        num_devices = self.estimator.embedding.num_devices
+        queries_before = self.estimator.query_count
+        rows: List[Tuple[int, ...]] = [
+            (self.start_device,) * model.num_layers for model in workload.models
+        ]
+        best_reward = self.estimator.reward(workload, Mapping(rows))
+        for _ in range(self.passes):
+            improved = False
+            for dnn_index, model in enumerate(workload.models):
+                candidates = _candidate_rows(
+                    model.num_layers, num_devices, self.splits_per_pair
+                )
+                for candidate in candidates:
+                    if candidate == rows[dnn_index]:
+                        continue
+                    trial = list(rows)
+                    trial[dnn_index] = candidate
+                    reward = self.estimator.reward(workload, Mapping(trial))
+                    if reward > best_reward:
+                        best_reward = reward
+                        rows = trial
+                        improved = True
+            if not improved:
+                break
+        return ScheduleDecision(
+            mapping=Mapping(rows),
+            expected_score=float(best_reward),
+            wall_time_s=0.0,
+            cost={
+                "estimator_queries": float(
+                    self.estimator.query_count - queries_before
+                )
+            },
+        )
+
+
+class SimulatedAnnealingScheduler(Scheduler):
+    """Metropolis search over single-DNN re-slicing moves.
+
+    Starts from a random stage-capped mapping; each step re-slices one
+    randomly chosen DNN (a fresh contiguous row) and accepts worsening
+    moves with probability ``exp(delta / temperature)`` under geometric
+    cooling.  Budget counts estimator queries, exactly like the MCTS
+    budget, so the ablation bench can compare the two at equal cost.
+    """
+
+    name = "Annealing"
+
+    def __init__(
+        self,
+        estimator: ThroughputEstimator,
+        budget: int = 500,
+        max_stages: Optional[int] = None,
+        initial_temperature: float = 0.5,
+        cooling: float = 0.99,
+        seed: int = 0,
+    ) -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        if initial_temperature <= 0:
+            raise ValueError(
+                f"initial_temperature must be positive, got {initial_temperature}"
+            )
+        if not 0 < cooling < 1:
+            raise ValueError(f"cooling must be in (0, 1), got {cooling}")
+        self.estimator = estimator
+        self.budget = budget
+        self.max_stages = max_stages
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.seed = seed
+
+    def _decide(self, workload: Workload) -> ScheduleDecision:
+        rng = np.random.default_rng(self.seed)
+        num_devices = self.estimator.embedding.num_devices
+        queries_before = self.estimator.query_count
+
+        current = random_contiguous_mapping(
+            workload.models, num_devices, rng, max_stages=self.max_stages
+        )
+        current_reward = self.estimator.reward(workload, current)
+        best_mapping, best_reward = current, current_reward
+
+        # Normalize the acceptance scale to the reward magnitude so one
+        # temperature setting works across mixes of any size.
+        scale = max(abs(current_reward), 1e-6)
+        temperature = self.initial_temperature
+
+        for _ in range(self.budget - 1):
+            dnn_index = int(rng.integers(workload.num_dnns))
+            proposal_rows = [list(row) for row in current.assignments]
+            proposal_rows[dnn_index] = list(
+                random_contiguous_mapping(
+                    [workload.models[dnn_index]],
+                    num_devices,
+                    rng,
+                    max_stages=self.max_stages,
+                ).assignments[0]
+            )
+            proposal = Mapping(proposal_rows)
+            reward = self.estimator.reward(workload, proposal)
+            delta = (reward - current_reward) / scale
+            if delta >= 0 or rng.random() < np.exp(delta / max(temperature, 1e-9)):
+                current, current_reward = proposal, reward
+                if reward > best_reward:
+                    best_mapping, best_reward = proposal, reward
+            temperature *= self.cooling
+
+        return ScheduleDecision(
+            mapping=best_mapping,
+            expected_score=float(best_reward),
+            wall_time_s=0.0,
+            cost={
+                "estimator_queries": float(
+                    self.estimator.query_count - queries_before
+                )
+            },
+        )
+
+
+def enumerate_contiguous_rows(
+    num_layers: int, num_devices: int, max_stages: int
+) -> Iterator[Tuple[int, ...]]:
+    """Yield every contiguous stage-capped row for one DNN.
+
+    A row is a choice of stage count ``s <= max_stages``, ``s - 1``
+    distinct ordered cut positions and a device per stage with no two
+    adjacent stages on the same device.
+    """
+    if num_layers < 1:
+        raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+    max_stages = max(1, min(max_stages, num_devices, num_layers))
+    for stage_count in range(1, max_stages + 1):
+        for cuts in itertools.combinations(range(1, num_layers), stage_count - 1):
+            boundaries = (0,) + cuts + (num_layers,)
+            for devices in itertools.product(range(num_devices), repeat=stage_count):
+                if any(a == b for a, b in zip(devices, devices[1:])):
+                    continue
+                row: Tuple[int, ...] = ()
+                for device, start, end in zip(
+                    devices, boundaries, boundaries[1:]
+                ):
+                    row += (device,) * (end - start)
+                yield row
+
+
+class ExhaustiveSearchScheduler(Scheduler):
+    """Enumerate the whole stage-capped space (tiny mixes only).
+
+    This is the "greedy search [that] is infeasible" of Section II made
+    concrete: the space is the product of every DNN's contiguous
+    slicings, so the scheduler refuses mixes whose space exceeds
+    ``max_evaluations``.  Tests use it as the optimality reference for
+    MCTS on small mixes.
+    """
+
+    name = "Exhaustive"
+
+    #: Mappings per vectorized estimator call.
+    _batch_size = 128
+
+    def __init__(
+        self,
+        estimator: ThroughputEstimator,
+        max_stages: Optional[int] = None,
+        max_evaluations: int = 200_000,
+    ) -> None:
+        if max_evaluations < 1:
+            raise ValueError(
+                f"max_evaluations must be >= 1, got {max_evaluations}"
+            )
+        self.estimator = estimator
+        self.max_stages = max_stages
+        self.max_evaluations = max_evaluations
+
+    def _fold_chunk(
+        self,
+        workload: Workload,
+        chunk: List[Mapping],
+        best_mapping: Optional[Mapping],
+        best_reward: float,
+    ) -> Tuple[Optional[Mapping], float]:
+        """Score one batch and fold it into the running best."""
+        rewards = self.estimator.reward_batch(
+            [(workload, mapping) for mapping in chunk]
+        )
+        index = int(np.argmax(rewards))
+        if rewards[index] > best_reward:
+            return chunk[index], float(rewards[index])
+        return best_mapping, best_reward
+
+    def _decide(self, workload: Workload) -> ScheduleDecision:
+        num_devices = self.estimator.embedding.num_devices
+        max_stages = self.max_stages or num_devices
+        per_dnn = [
+            list(
+                enumerate_contiguous_rows(
+                    model.num_layers, num_devices, max_stages
+                )
+            )
+            for model in workload.models
+        ]
+        space = 1
+        for rows in per_dnn:
+            space *= len(rows)
+        if space > self.max_evaluations:
+            raise ValueError(
+                f"mapping space of {space:,} exceeds max_evaluations="
+                f"{self.max_evaluations:,}; exhaustive search is what the "
+                "paper's Section II rules out at this scale"
+            )
+        queries_before = self.estimator.query_count
+        best_mapping: Optional[Mapping] = None
+        best_reward = -np.inf
+        # Batched evaluation: one vectorized forward pass per chunk
+        # instead of one scalar query per mapping.
+        chunk: List[Mapping] = []
+        for rows in itertools.product(*per_dnn):
+            chunk.append(Mapping([list(row) for row in rows]))
+            if len(chunk) == self._batch_size:
+                best_mapping, best_reward = self._fold_chunk(
+                    workload, chunk, best_mapping, best_reward
+                )
+                chunk = []
+        if chunk:
+            best_mapping, best_reward = self._fold_chunk(
+                workload, chunk, best_mapping, best_reward
+            )
+        assert best_mapping is not None  # space >= 1 always
+        return ScheduleDecision(
+            mapping=best_mapping,
+            expected_score=float(best_reward),
+            wall_time_s=0.0,
+            cost={
+                "estimator_queries": float(
+                    self.estimator.query_count - queries_before
+                )
+            },
+        )

@@ -1,0 +1,26 @@
+"""Throughput estimator: embeddings, preprocessing, CNN and training."""
+
+from .embedding import EmbeddingSpace
+from .model import ThroughputEstimator
+from .preprocessing import TargetTransform
+from .quality import RankingReport, ranking_report, spearman_rho, top_k_regret
+from .training import (
+    EstimatorDataset,
+    EstimatorDatasetBuilder,
+    EstimatorTrainer,
+    TrainingHistory,
+)
+
+__all__ = [
+    "EmbeddingSpace",
+    "EstimatorDataset",
+    "EstimatorDatasetBuilder",
+    "EstimatorTrainer",
+    "RankingReport",
+    "TargetTransform",
+    "ranking_report",
+    "spearman_rho",
+    "top_k_regret",
+    "ThroughputEstimator",
+    "TrainingHistory",
+]

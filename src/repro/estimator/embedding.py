@@ -1,0 +1,266 @@
+"""The distributed embeddings tensor (paper Section IV-A).
+
+Profiled per-layer latencies are assembled into one tensor ``U`` of
+shape ``(num_devices, max_layers, num_models)``: slice ``d`` holds the
+performance matrix ``P_d`` whose column ``m`` is the zero-padded
+performance vector ``p_m^d`` (Eq. 2-3).  Queried workloads are encoded
+by *masking*: a boolean tensor of the same shape selects exactly the
+(device, layer, model) cells the candidate mapping activates, and the
+element-wise product ``mask * U`` is the estimator's input (Fig. 3).
+
+Cell values are normalized; the default is min-max over
+log-latencies, which conditions the 4-orders-of-magnitude latency
+range onto [0, 1] (a plain global max would crush every light layer to
+~0).  The paper's plain normalization is available as ``"global-max"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.mapping import Mapping
+from ..sim.profiler import LatencyTable
+from ..workloads.mix import Workload
+
+__all__ = ["EmbeddingSpace"]
+
+_NORMALIZATIONS = ("log-minmax", "global-max")
+
+
+class EmbeddingSpace:
+    """Holds ``U`` and renders (workload, mapping) pairs as masked tensors.
+
+    Parameters
+    ----------
+    latency_table:
+        Profiled per-layer latencies for every dataset model.
+    model_names:
+        Column order of the tensor (one column per dataset model).
+    normalization:
+        ``"log-minmax"`` (default) or ``"global-max"``.
+    reserve_layers:
+        Minimum tensor height.  Zero-padding rows above the tallest
+        dataset model are reserved headroom for models added later.
+    reserve_models:
+        Minimum tensor width.  Zero columns beyond the dataset are
+        reserved slots that :meth:`extend` fills *without changing the
+        input geometry* -- the production recipe for the paper's
+        robustness-to-new-models claim, because a stable geometry keeps
+        the trained estimator's predictions on existing mixes exactly
+        intact (growing the tensor instead dilutes its globally pooled
+        features; the new-model benchmark quantifies the damage).
+    """
+
+    def __init__(
+        self,
+        latency_table: LatencyTable,
+        model_names: Optional[Sequence[str]] = None,
+        normalization: str = "log-minmax",
+        reserve_layers: int = 0,
+        reserve_models: int = 0,
+    ) -> None:
+        if normalization not in _NORMALIZATIONS:
+            raise ValueError(
+                f"unknown normalization {normalization!r}; "
+                f"expected one of {_NORMALIZATIONS}"
+            )
+        if reserve_layers < 0 or reserve_models < 0:
+            raise ValueError("reservations must be non-negative")
+        self.normalization = normalization
+        self.model_names: Tuple[str, ...] = tuple(
+            model_names if model_names is not None else latency_table.model_names
+        )
+        missing = [
+            name for name in self.model_names if name not in latency_table.tables
+        ]
+        if missing:
+            raise KeyError(f"latency table lacks models: {missing}")
+        self.num_devices = latency_table.num_devices
+        self.max_layers = max(
+            max(
+                latency_table.tables[name].shape[1] for name in self.model_names
+            ),
+            reserve_layers,
+        )
+        self.num_columns = max(len(self.model_names), reserve_models)
+        self._column: Dict[str, int] = {
+            name: index for index, name in enumerate(self.model_names)
+        }
+        raw = self._compile(latency_table)
+        self._fit_normalization(raw)
+        self.tensor = self._apply_normalization(raw)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _compile(self, latency_table: LatencyTable) -> np.ndarray:
+        """Stack zero-padded performance matrices into ``U`` (Eq. 3)."""
+        raw = np.zeros((self.num_devices, self.max_layers, self.num_columns))
+        for name, column in self._column.items():
+            table = latency_table.tables[name]  # (devices, layers)
+            raw[:, : table.shape[1], column] = table
+        return raw
+
+    def _fit_normalization(self, raw: np.ndarray) -> None:
+        """Freeze normalization statistics from the design-time tensor.
+
+        Frozen stats are what makes :meth:`extend` retraining-free: a
+        model added later is encoded on the *same* scale the estimator
+        was trained against, instead of silently re-scaling every
+        existing column.
+        """
+        populated = raw > 0
+        if not populated.any():
+            raise ValueError("latency table holds no positive latencies")
+        if self.normalization == "global-max":
+            self._scale_stats = (float(raw.max()),)
+        else:
+            log_values = np.log(raw[populated])
+            self._scale_stats = (
+                float(log_values.min()),
+                float(log_values.max()),
+            )
+
+    def _apply_normalization(self, raw: np.ndarray) -> np.ndarray:
+        populated = raw > 0
+        if self.normalization == "global-max":
+            (high,) = self._scale_stats
+            return raw / high
+        low, high = self._scale_stats
+        span = max(high - low, 1e-12)
+        log_values = np.zeros_like(raw)
+        np.log(raw, out=log_values, where=populated)
+        # Shift into (0, 1]; padding cells stay exactly 0 so masks and
+        # padding are indistinguishable from "no work here", as in the
+        # paper's representation.  Out-of-range latencies of late-added
+        # models may exceed 1 slightly; that is deliberate (frozen
+        # scale), not a bug.
+        scaled = np.where(populated, 0.05 + 0.95 * (log_values - low) / span, 0.0)
+        return scaled
+
+    def extend(
+        self, latency_table: LatencyTable, new_model_names: Sequence[str]
+    ) -> "EmbeddingSpace":
+        """A new space with extra model columns on the *frozen* scale.
+
+        This is the paper's contribution (iii) mechanically: a new DNN
+        is profiled (kernel-based, cheap), appended as a fresh column
+        of ``U``, and every existing column keeps its exact design-time
+        encoding -- so the trained estimator can be reused without
+        retraining (see
+        :meth:`~repro.estimator.model.ThroughputEstimator.with_embedding`).
+        If a new model has more layers than the tensor is tall, the
+        tensor grows and existing columns keep their zero padding;
+        because the backbone is fully convolutional and globally
+        pooled, the estimator accepts the new geometry (its pooled
+        features dilute slightly -- benchmarks quantify the effect).
+        """
+        new_model_names = tuple(new_model_names)
+        if not new_model_names:
+            raise ValueError("extend needs at least one new model name")
+        duplicates = [
+            name for name in new_model_names if name in self._column
+        ]
+        if duplicates:
+            raise ValueError(f"models already embedded: {duplicates}")
+        missing = [
+            name
+            for name in new_model_names
+            if name not in latency_table.tables
+        ]
+        if missing:
+            raise KeyError(f"latency table lacks models: {missing}")
+        if latency_table.num_devices != self.num_devices:
+            raise ValueError(
+                f"latency table profiles {latency_table.num_devices} devices, "
+                f"embedding has {self.num_devices}"
+            )
+        extended = EmbeddingSpace.__new__(EmbeddingSpace)
+        extended.normalization = self.normalization
+        extended.model_names = self.model_names + new_model_names
+        extended.num_devices = self.num_devices
+        extended.max_layers = max(
+            self.max_layers,
+            max(
+                latency_table.tables[name].shape[1]
+                for name in new_model_names
+            ),
+        )
+        extended.num_columns = max(len(extended.model_names), self.num_columns)
+        extended._column = {
+            name: index for index, name in enumerate(extended.model_names)
+        }
+        extended._scale_stats = self._scale_stats
+        raw = np.zeros(
+            (self.num_devices, extended.max_layers, extended.num_columns)
+        )
+        for name in new_model_names:
+            table = latency_table.tables[name]
+            raw[:, : table.shape[1], extended._column[name]] = table
+        tensor = extended._apply_normalization(raw)
+        # Existing columns keep their exact design-time encoding; with
+        # enough reserved capacity the geometry is unchanged too.
+        tensor[:, : self.max_layers, : self.num_columns] = self.tensor
+        extended.tensor = tensor
+        return extended
+
+    # ------------------------------------------------------------------
+    # Masking (Fig. 3, steps 1-3)
+    # ------------------------------------------------------------------
+    def column_of(self, model_name: str) -> int:
+        """Tensor column of a dataset model."""
+        if model_name not in self._column:
+            raise KeyError(
+                f"model {model_name!r} is not part of this embedding space; "
+                f"known: {', '.join(self.model_names)}"
+            )
+        return self._column[model_name]
+
+    def mask(self, workload: Workload, mapping: Mapping) -> np.ndarray:
+        """Boolean tensor selecting the cells a mapping activates."""
+        mask = np.zeros_like(self.tensor, dtype=bool)
+        if mapping.num_dnns != workload.num_dnns:
+            raise ValueError(
+                f"mapping covers {mapping.num_dnns} DNNs, workload has "
+                f"{workload.num_dnns}"
+            )
+        for model, row in zip(workload.models, mapping.assignments):
+            if len(row) != model.num_layers:
+                raise ValueError(
+                    f"mapping assigns {len(row)} layers for model "
+                    f"{model.name!r} with {model.num_layers}"
+                )
+            column = self.column_of(model.name)
+            for layer_index, device_id in enumerate(row):
+                if device_id >= self.num_devices:
+                    raise ValueError(
+                        f"device id {device_id} out of range "
+                        f"({self.num_devices} devices)"
+                    )
+                mask[device_id, layer_index, column] = True
+        return mask
+
+    def encode(self, workload: Workload, mapping: Mapping) -> np.ndarray:
+        """The estimator input: element-wise ``mask * U``."""
+        return self.tensor * self.mask(workload, mapping)
+
+    def encode_batch(
+        self, pairs: Sequence[Tuple[Workload, Mapping]]
+    ) -> np.ndarray:
+        """Stack encodings into an ``(N, D, L, M)`` batch."""
+        if not pairs:
+            raise ValueError("encode_batch needs at least one pair")
+        return np.stack(
+            [self.encode(workload, mapping) for workload, mapping in pairs]
+        )
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        """The estimator's input geometry ``(devices, max_layers, columns)``.
+
+        ``columns`` equals the dataset size unless capacity was
+        reserved for future models.
+        """
+        return (self.num_devices, self.max_layers, self.num_columns)

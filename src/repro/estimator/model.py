@@ -1,0 +1,160 @@
+"""The throughput estimator: masked embedding tensor in, 3 rates out.
+
+Wraps the 20,044-parameter ResNet9 backbone with the embedding space
+(input rendering) and the target transform (output denormalization),
+exposing the two calls the rest of the framework needs:
+
+* :meth:`predict_throughput` -- physical per-device inferences/second
+  for a complete mapping (Fig. 3 end to end);
+* :meth:`reward` -- the scalar MCTS reward: the predicted expected
+  system throughput (Section IV-C).
+
+Every call counts queries, because the paper's run-time analysis
+(Section V-B) reasons in estimator queries (500 per scheduling
+decision).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.resnet9 import ResNet9
+from ..nn.tensor import Tensor, no_grad
+from ..sim.mapping import Mapping
+from ..workloads.mix import Workload
+from .embedding import EmbeddingSpace
+from .preprocessing import TargetTransform
+
+__all__ = ["ThroughputEstimator"]
+
+
+class ThroughputEstimator:
+    """CNN predictor of per-component throughput under a mapping."""
+
+    def __init__(
+        self,
+        embedding: EmbeddingSpace,
+        backbone: Optional[ResNet9] = None,
+        target_transform: Optional[TargetTransform] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.embedding = embedding
+        self.network = backbone or ResNet9(
+            in_channels=embedding.num_devices,
+            out_features=embedding.num_devices,
+            rng=rng or np.random.default_rng(0),
+        )
+        self.target_transform = target_transform or TargetTransform()
+        self.query_count = 0
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict_normalized(
+        self, workload: Workload, mapping: Mapping
+    ) -> np.ndarray:
+        """Per-device outputs in the network's normalized target space."""
+        batch = self.predict_normalized_batch([(workload, mapping)])
+        return batch[0]
+
+    def predict_normalized_batch(
+        self, pairs: Sequence[Tuple[Workload, Mapping]]
+    ) -> np.ndarray:
+        """Batched normalized predictions ``(N, num_devices)``."""
+        inputs = self.embedding.encode_batch(pairs)
+        self.query_count += len(pairs)
+        self.network.eval()
+        with no_grad():
+            outputs = self.network(Tensor(inputs))
+        return outputs.numpy().copy()
+
+    def predict_throughput(
+        self, workload: Workload, mapping: Mapping
+    ) -> np.ndarray:
+        """Physical per-device throughput (inferences/second)."""
+        normalized = self.predict_normalized(workload, mapping)
+        return self.target_transform.inverse(normalized[None, :])[0]
+
+    def reward(self, workload: Workload, mapping: Mapping) -> float:
+        """Scalar MCTS reward: expected system throughput.
+
+        The mean of the *denormalized* per-device predictions, i.e.
+        predicted aggregate inferences/second divided by the device
+        count -- "the expected system throughput as a reward" (paper
+        IV-C).  Averaging the normalized outputs instead would weight a
+        LITTLE-CPU inference as heavily as a GPU one.
+        """
+        return float(self.predict_throughput(workload, mapping).mean())
+
+    def reward_batch(
+        self, pairs: Sequence[Tuple[Workload, Mapping]]
+    ) -> np.ndarray:
+        """Vectorized :meth:`reward` over many (workload, mapping) pairs.
+
+        One batched forward pass instead of ``len(pairs)`` scalar
+        queries -- the numpy convolutions amortize dramatically, which
+        is what makes exhaustive enumeration of small design spaces
+        practical.  Query accounting is identical (``len(pairs)``
+        queries).
+        """
+        normalized = self.predict_normalized_batch(pairs)
+        return self.target_transform.inverse(normalized).mean(axis=1)
+
+    # ------------------------------------------------------------------
+    # Extensibility (paper contribution iii)
+    # ------------------------------------------------------------------
+    def with_embedding(self, embedding: EmbeddingSpace) -> "ThroughputEstimator":
+        """The same trained network over a different embedding space.
+
+        The intended use is pairing with
+        :meth:`~repro.estimator.embedding.EmbeddingSpace.extend`: a new
+        DNN is profiled into a fresh column and the returned estimator
+        schedules mixes containing it *without retraining* -- backbone
+        weights and target statistics are shared with ``self`` (not
+        copied).  The backbone is fully convolutional, so the widened
+        (or taller) tensor is accepted as-is.
+        """
+        if embedding.num_devices != self.embedding.num_devices:
+            raise ValueError(
+                f"embedding has {embedding.num_devices} device channels, "
+                f"the trained backbone expects {self.embedding.num_devices}"
+            )
+        return ThroughputEstimator(
+            embedding,
+            backbone=self.network,
+            target_transform=self.target_transform,
+        )
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def reset_query_count(self) -> int:
+        """Zero the query counter, returning the previous value."""
+        previous = self.query_count
+        self.query_count = 0
+        return previous
+
+    @property
+    def num_parameters(self) -> int:
+        """Trainable parameter count (the paper reports 20,044)."""
+        return self.network.num_parameters()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist backbone weights and target statistics as ``.npz``."""
+        state = self.network.state_dict()
+        if self.target_transform.fitted:
+            state.update(self.target_transform.state_dict())
+        np.savez(path, **state)
+
+    def load(self, path: str) -> None:
+        """Restore a checkpoint produced by :meth:`save`."""
+        with np.load(path) as archive:
+            state = {key: archive[key] for key in archive.files}
+        self.network.load_state_dict(state)
+        if "target_mean" in state:
+            self.target_transform.load_state_dict(state)

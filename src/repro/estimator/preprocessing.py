@@ -1,0 +1,89 @@
+"""Target preprocessing: standardize, then normalize to [0, 1].
+
+Paper Section V: "we incorporate two preprocessing methods ... The
+first standardizes the dataset output to address large variations and
+non-uniform distribution, while the second normalizes the output
+vector elements to values between 0 and 1."
+
+Both transforms are fit on training targets only and applied to
+training and validation alike; ``inverse`` maps estimator outputs back
+to physical inferences/second.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["TargetTransform"]
+
+
+class TargetTransform:
+    """Invertible standardize + min-max pipeline for estimator targets."""
+
+    def __init__(self) -> None:
+        self.mean: Optional[np.ndarray] = None
+        self.std: Optional[np.ndarray] = None
+        self.low: Optional[np.ndarray] = None
+        self.high: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, targets: np.ndarray) -> "TargetTransform":
+        """Estimate statistics from training targets ``(N, outputs)``."""
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim != 2 or len(targets) < 2:
+            raise ValueError(
+                f"fit expects a (N>=2, outputs) array, got shape {targets.shape}"
+            )
+        self.mean = targets.mean(axis=0)
+        self.std = np.maximum(targets.std(axis=0), 1e-9)
+        standardized = (targets - self.mean) / self.std
+        self.low = standardized.min(axis=0)
+        self.high = np.maximum(standardized.max(axis=0), self.low + 1e-9)
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self.mean is not None
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError("TargetTransform used before fit()")
+
+    # ------------------------------------------------------------------
+    # Transforms
+    # ------------------------------------------------------------------
+    def transform(self, targets: np.ndarray) -> np.ndarray:
+        """Physical targets -> network training space ([0, 1]-ish)."""
+        self._require_fitted()
+        targets = np.asarray(targets, dtype=float)
+        standardized = (targets - self.mean) / self.std
+        return (standardized - self.low) / (self.high - self.low)
+
+    def inverse(self, outputs: np.ndarray) -> np.ndarray:
+        """Network outputs -> physical inferences/second."""
+        self._require_fitted()
+        outputs = np.asarray(outputs, dtype=float)
+        standardized = outputs * (self.high - self.low) + self.low
+        return standardized * self.std + self.mean
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        self._require_fitted()
+        return {
+            "target_mean": self.mean.copy(),
+            "target_std": self.std.copy(),
+            "target_low": self.low.copy(),
+            "target_high": self.high.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.mean = np.asarray(state["target_mean"], dtype=float)
+        self.std = np.asarray(state["target_std"], dtype=float)
+        self.low = np.asarray(state["target_low"], dtype=float)
+        self.high = np.asarray(state["target_high"], dtype=float)

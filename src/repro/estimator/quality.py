@@ -1,0 +1,111 @@
+"""Estimator quality metrics.
+
+What matters for the scheduler is not absolute prediction error but
+*ranking fidelity*: the MCTS only needs the estimator to order
+candidate mappings of the same mix correctly, especially near the top.
+These helpers quantify exactly that and are used by tests, benches and
+the documentation pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["spearman_rho", "top_k_regret", "RankingReport", "ranking_report"]
+
+
+def spearman_rho(truth: Sequence[float], predicted: Sequence[float]) -> float:
+    """Spearman rank correlation (no scipy dependency).
+
+    Ties get average ranks, matching the standard definition.
+    """
+    truth = np.asarray(list(truth), dtype=float)
+    predicted = np.asarray(list(predicted), dtype=float)
+    if truth.shape != predicted.shape:
+        raise ValueError(
+            f"shape mismatch: {truth.shape} vs {predicted.shape}"
+        )
+    if truth.size < 2:
+        raise ValueError("need at least two samples for a rank correlation")
+    rank_truth = _average_ranks(truth)
+    rank_predicted = _average_ranks(predicted)
+    if rank_truth.std() == 0 or rank_predicted.std() == 0:
+        return 0.0
+    return float(np.corrcoef(rank_truth, rank_predicted)[0, 1])
+
+
+def top_k_regret(
+    truth: Sequence[float], predicted: Sequence[float], k: int = 1
+) -> float:
+    """Relative loss from trusting the predictor's top-k picks.
+
+    ``1 - best_true_among_predicted_topk / best_true_overall``: 0 means
+    the predictor's shortlist contains the true optimum, 0.3 means the
+    best mapping it would shortlist is 30% below the true best.  This
+    is the quantity that decides OmniBoost's final solution quality.
+    """
+    truth = np.asarray(list(truth), dtype=float)
+    predicted = np.asarray(list(predicted), dtype=float)
+    if truth.shape != predicted.shape:
+        raise ValueError(f"shape mismatch: {truth.shape} vs {predicted.shape}")
+    if not 1 <= k <= truth.size:
+        raise ValueError(f"k must be in [1, {truth.size}], got {k}")
+    if truth.max() <= 0:
+        raise ValueError("true values must contain something positive")
+    shortlist = np.argsort(predicted)[-k:]
+    return float(1.0 - truth[shortlist].max() / truth.max())
+
+
+@dataclass(frozen=True)
+class RankingReport:
+    """Summary of a predictor's ranking fidelity on one mapping set."""
+
+    num_samples: int
+    rho: float
+    regret_top1: float
+    regret_top5: float
+    mae: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"rho={self.rho:.3f} regret@1={self.regret_top1:.2f} "
+            f"regret@5={self.regret_top5:.2f} MAE={self.mae:.3f} "
+            f"(n={self.num_samples})"
+        )
+
+
+def ranking_report(
+    truth: Sequence[float], predicted: Sequence[float]
+) -> RankingReport:
+    """Compute the full ranking-fidelity summary."""
+    truth_arr = np.asarray(list(truth), dtype=float)
+    predicted_arr = np.asarray(list(predicted), dtype=float)
+    return RankingReport(
+        num_samples=truth_arr.size,
+        rho=spearman_rho(truth_arr, predicted_arr),
+        regret_top1=top_k_regret(truth_arr, predicted_arr, k=1),
+        regret_top5=top_k_regret(truth_arr, predicted_arr, k=min(5, truth_arr.size)),
+        mae=float(np.abs(truth_arr - predicted_arr).mean()),
+    )
+
+
+def _average_ranks(values: np.ndarray) -> np.ndarray:
+    """Ranks with ties averaged (1-based)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=float)
+    position = 0
+    sorted_values = values[order]
+    while position < values.size:
+        tie_end = position
+        while (
+            tie_end + 1 < values.size
+            and sorted_values[tie_end + 1] == sorted_values[position]
+        ):
+            tie_end += 1
+        average = (position + tie_end) / 2.0 + 1.0
+        ranks[order[position : tie_end + 1]] = average
+        position = tie_end + 1
+    return ranks

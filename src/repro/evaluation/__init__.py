@@ -1,0 +1,59 @@
+"""Evaluation: metrics, comparison harness, runtime accounting, reporting."""
+
+from .charts import BarChart, LineChart, ScatterChart
+from .export import (
+    comparison_to_dict,
+    comparison_to_rows,
+    runtime_to_rows,
+    write_comparison_csv,
+    write_comparison_json,
+    write_runtime_csv,
+)
+from .harness import (
+    ComparisonTable,
+    EvaluationHarness,
+    MixEvaluation,
+    SchedulerOutcome,
+)
+from .metrics import average_throughput, geometric_mean, normalized, speedup
+from .pareto import dominates, pareto_front
+from .reporting import format_comparison, format_runtime_report, format_table
+from .runtime import RuntimeCostModel, RuntimeReport, RuntimeRow
+from .spacesize import (
+    contiguous_mappings_per_model,
+    paper_combination_estimate,
+    total_contiguous_mappings,
+    unrestricted_mappings,
+)
+
+__all__ = [
+    "BarChart",
+    "dominates",
+    "pareto_front",
+    "LineChart",
+    "ScatterChart",
+    "ComparisonTable",
+    "EvaluationHarness",
+    "MixEvaluation",
+    "RuntimeCostModel",
+    "RuntimeReport",
+    "RuntimeRow",
+    "SchedulerOutcome",
+    "average_throughput",
+    "comparison_to_dict",
+    "comparison_to_rows",
+    "runtime_to_rows",
+    "write_comparison_csv",
+    "write_comparison_json",
+    "write_runtime_csv",
+    "contiguous_mappings_per_model",
+    "format_comparison",
+    "format_runtime_report",
+    "format_table",
+    "geometric_mean",
+    "normalized",
+    "paper_combination_estimate",
+    "speedup",
+    "total_contiguous_mappings",
+    "unrestricted_mappings",
+]

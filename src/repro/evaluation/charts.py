@@ -1,0 +1,392 @@
+"""Minimal SVG charts for regenerating the paper's figures.
+
+matplotlib is not available in the reproduction environment, so this
+module renders the three chart shapes the paper uses -- line charts
+(Fig. 4 loss curves), grouped bar charts (Fig. 5 normalized
+throughput) and scatter/series charts (Fig. 1 motivational sweep) --
+as standalone SVG documents with pure Python.
+
+The goal is faithful, legible figures, not a plotting library: fixed
+layout, automatic "nice" axis ticks, a small color palette, and a
+legend.  ``examples/make_figures.py`` uses these to write every paper
+figure to ``figures/*.svg``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+__all__ = ["LineChart", "BarChart", "ScatterChart"]
+
+#: Default figure geometry (pixels).
+_WIDTH = 640
+_HEIGHT = 400
+_MARGIN_LEFT = 64
+_MARGIN_RIGHT = 16
+_MARGIN_TOP = 40
+_MARGIN_BOTTOM = 56
+
+#: Colorblind-friendly palette (Okabe-Ito).
+_PALETTE = (
+    "#0072B2",
+    "#E69F00",
+    "#009E73",
+    "#D55E00",
+    "#CC79A7",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+)
+
+
+def _nice_ticks(low: float, high: float, target: int = 6) -> List[float]:
+    """Round tick positions covering [low, high] (a classic nice-number axis)."""
+    if math.isclose(low, high):
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(target - 1, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 2.5, 5, 10):
+        step = multiple * magnitude
+        if step >= raw_step:
+            break
+    first = math.floor(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + step * 1e-9:
+        if value >= low - step * 1e-9:
+            ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:g}"
+
+
+@dataclass
+class _Series:
+    name: str
+    xs: List[float]
+    ys: List[float]
+
+
+class _ChartBase:
+    """Shared frame: title, axes, ticks, legend, SVG assembly."""
+
+    def __init__(
+        self,
+        title: str,
+        x_label: str = "",
+        y_label: str = "",
+        width: int = _WIDTH,
+        height: int = _HEIGHT,
+    ) -> None:
+        if width <= _MARGIN_LEFT + _MARGIN_RIGHT:
+            raise ValueError(f"width {width} too small")
+        if height <= _MARGIN_TOP + _MARGIN_BOTTOM:
+            raise ValueError(f"height {height} too small")
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.width = width
+        self.height = height
+
+    # -- plotting area ------------------------------------------------
+    @property
+    def _plot_left(self) -> float:
+        return _MARGIN_LEFT
+
+    @property
+    def _plot_right(self) -> float:
+        return self.width - _MARGIN_RIGHT
+
+    @property
+    def _plot_top(self) -> float:
+        return _MARGIN_TOP
+
+    @property
+    def _plot_bottom(self) -> float:
+        return self.height - _MARGIN_BOTTOM
+
+    def _x_px(self, value: float, low: float, high: float) -> float:
+        span = max(high - low, 1e-12)
+        fraction = (value - low) / span
+        return self._plot_left + fraction * (self._plot_right - self._plot_left)
+
+    def _y_px(self, value: float, low: float, high: float) -> float:
+        span = max(high - low, 1e-12)
+        fraction = (value - low) / span
+        return self._plot_bottom - fraction * (self._plot_bottom - self._plot_top)
+
+    # -- SVG fragments -------------------------------------------------
+    def _frame(self) -> List[str]:
+        return [
+            f'<rect x="0" y="0" width="{self.width}" height="{self.height}" '
+            'fill="white"/>',
+            f'<text x="{self.width / 2:.1f}" y="20" text-anchor="middle" '
+            f'font-size="15" font-family="sans-serif" font-weight="bold">'
+            f"{escape(self.title)}</text>",
+        ]
+
+    def _axes(self, y_ticks: Sequence[float], y_low: float, y_high: float) -> List[str]:
+        parts = [
+            f'<line x1="{self._plot_left}" y1="{self._plot_bottom}" '
+            f'x2="{self._plot_right}" y2="{self._plot_bottom}" stroke="black"/>',
+            f'<line x1="{self._plot_left}" y1="{self._plot_top}" '
+            f'x2="{self._plot_left}" y2="{self._plot_bottom}" stroke="black"/>',
+        ]
+        for tick in y_ticks:
+            y = self._y_px(tick, y_low, y_high)
+            parts.append(
+                f'<line x1="{self._plot_left - 4}" y1="{y:.1f}" '
+                f'x2="{self._plot_right}" y2="{y:.1f}" '
+                'stroke="#dddddd" stroke-width="1"/>'
+            )
+            parts.append(
+                f'<text x="{self._plot_left - 8}" y="{y + 4:.1f}" '
+                'text-anchor="end" font-size="11" font-family="sans-serif">'
+                f"{_format_tick(tick)}</text>"
+            )
+        if self.x_label:
+            parts.append(
+                f'<text x="{(self._plot_left + self._plot_right) / 2:.1f}" '
+                f'y="{self.height - 12}" text-anchor="middle" font-size="12" '
+                f'font-family="sans-serif">{escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            x = 16
+            y = (self._plot_top + self._plot_bottom) / 2
+            parts.append(
+                f'<text x="{x}" y="{y:.1f}" text-anchor="middle" '
+                f'font-size="12" font-family="sans-serif" '
+                f'transform="rotate(-90 {x} {y:.1f})">{escape(self.y_label)}</text>'
+            )
+        return parts
+
+    def _legend(self, names: Sequence[str]) -> List[str]:
+        parts = []
+        x = self._plot_left + 10
+        y = self._plot_top + 6
+        for index, name in enumerate(names):
+            color = _PALETTE[index % len(_PALETTE)]
+            parts.append(
+                f'<rect x="{x}" y="{y + index * 18}" width="12" height="12" '
+                f'fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{x + 18}" y="{y + index * 18 + 10}" font-size="12" '
+                f'font-family="sans-serif">{escape(name)}</text>'
+            )
+        return parts
+
+    def _document(self, body: Sequence[str]) -> str:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">'
+            + "".join(body)
+            + "</svg>"
+        )
+
+    def save(self, path: str) -> None:
+        """Write the rendered SVG document to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())
+
+    def render(self) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class LineChart(_ChartBase):
+    """Multi-series line chart (the Fig.-4 loss curves)."""
+
+    def __init__(self, title: str, x_label: str = "", y_label: str = "", **kwargs) -> None:
+        super().__init__(title, x_label, y_label, **kwargs)
+        self._series: List[_Series] = []
+
+    def add_series(
+        self, name: str, xs: Sequence[float], ys: Sequence[float]
+    ) -> "LineChart":
+        """Append one named polyline (chainable)."""
+        xs = [float(x) for x in xs]
+        ys = [float(y) for y in ys]
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+        self._series.append(_Series(name, xs, ys))
+        return self
+
+    def render(self) -> str:
+        """Render the chart as a standalone SVG document string."""
+        if not self._series:
+            raise ValueError("no series to render")
+        x_low = min(min(s.xs) for s in self._series)
+        x_high = max(max(s.xs) for s in self._series)
+        y_low = min(min(s.ys) for s in self._series)
+        y_high = max(max(s.ys) for s in self._series)
+        y_ticks = _nice_ticks(min(y_low, 0.0 if y_low > 0 else y_low), y_high)
+        y_low = min(y_ticks[0], y_low)
+        y_high = max(y_ticks[-1], y_high)
+        body = self._frame() + self._axes(y_ticks, y_low, y_high)
+        for tick in _nice_ticks(x_low, x_high):
+            x = self._x_px(tick, x_low, x_high)
+            body.append(
+                f'<text x="{x:.1f}" y="{self._plot_bottom + 16}" '
+                'text-anchor="middle" font-size="11" font-family="sans-serif">'
+                f"{_format_tick(tick)}</text>"
+            )
+        for index, series in enumerate(self._series):
+            color = _PALETTE[index % len(_PALETTE)]
+            points = " ".join(
+                f"{self._x_px(x, x_low, x_high):.1f},"
+                f"{self._y_px(y, y_low, y_high):.1f}"
+                for x, y in zip(series.xs, series.ys)
+            )
+            body.append(
+                f'<polyline points="{points}" fill="none" stroke="{color}" '
+                'stroke-width="2"/>'
+            )
+        body += self._legend([series.name for series in self._series])
+        return self._document(body)
+
+
+class ScatterChart(_ChartBase):
+    """Point series (the Fig.-1 motivational sweep), with optional
+    horizontal reference lines (e.g. the baseline at 1.0)."""
+
+    def __init__(self, title: str, x_label: str = "", y_label: str = "", **kwargs) -> None:
+        super().__init__(title, x_label, y_label, **kwargs)
+        self._series: List[_Series] = []
+        self._reference_lines: List[Tuple[str, float]] = []
+
+    def add_series(
+        self, name: str, xs: Sequence[float], ys: Sequence[float]
+    ) -> "ScatterChart":
+        """Append one named point cloud (chainable)."""
+        xs = [float(x) for x in xs]
+        ys = [float(y) for y in ys]
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+        self._series.append(_Series(name, xs, ys))
+        return self
+
+    def add_reference_line(self, name: str, y: float) -> "ScatterChart":
+        """Add a labeled dashed horizontal line (e.g. the baseline)."""
+        self._reference_lines.append((name, float(y)))
+        return self
+
+    def render(self) -> str:
+        """Render the chart as a standalone SVG document string."""
+        if not self._series:
+            raise ValueError("no series to render")
+        x_low = min(min(s.xs) for s in self._series)
+        x_high = max(max(s.xs) for s in self._series)
+        y_values = [y for s in self._series for y in s.ys]
+        y_values += [y for _, y in self._reference_lines]
+        y_ticks = _nice_ticks(min(y_values), max(y_values))
+        y_low = min(y_ticks[0], min(y_values))
+        y_high = max(y_ticks[-1], max(y_values))
+        body = self._frame() + self._axes(y_ticks, y_low, y_high)
+        for tick in _nice_ticks(x_low, x_high):
+            x = self._x_px(tick, x_low, x_high)
+            body.append(
+                f'<text x="{x:.1f}" y="{self._plot_bottom + 16}" '
+                'text-anchor="middle" font-size="11" font-family="sans-serif">'
+                f"{_format_tick(tick)}</text>"
+            )
+        for index, series in enumerate(self._series):
+            color = _PALETTE[index % len(_PALETTE)]
+            for x, y in zip(series.xs, series.ys):
+                body.append(
+                    f'<circle cx="{self._x_px(x, x_low, x_high):.1f}" '
+                    f'cy="{self._y_px(y, y_low, y_high):.1f}" r="2.5" '
+                    f'fill="{color}" fill-opacity="0.75"/>'
+                )
+        for name, y_value in self._reference_lines:
+            y = self._y_px(y_value, y_low, y_high)
+            body.append(
+                f'<line x1="{self._plot_left}" y1="{y:.1f}" '
+                f'x2="{self._plot_right}" y2="{y:.1f}" stroke="#D55E00" '
+                'stroke-width="1.5" stroke-dasharray="6,4"/>'
+            )
+            body.append(
+                f'<text x="{self._plot_right - 4}" y="{y - 5:.1f}" '
+                'text-anchor="end" font-size="11" font-family="sans-serif" '
+                f'fill="#D55E00">{escape(name)}</text>'
+            )
+        body += self._legend([series.name for series in self._series])
+        return self._document(body)
+
+
+class BarChart(_ChartBase):
+    """Grouped bar chart (the Fig.-5 normalized-throughput panels).
+
+    Categories go along the x axis (mix-1..mix-5, Average); each call
+    to :meth:`add_group` adds one bar per category (Baseline, MOSAIC,
+    GA, OmniBoost).
+    """
+
+    def __init__(
+        self,
+        title: str,
+        categories: Sequence[str],
+        y_label: str = "",
+        **kwargs,
+    ) -> None:
+        super().__init__(title, "", y_label, **kwargs)
+        if not categories:
+            raise ValueError("need at least one category")
+        self.categories = [str(c) for c in categories]
+        self._groups: List[Tuple[str, List[float]]] = []
+
+    def add_group(self, name: str, values: Sequence[float]) -> "BarChart":
+        """Append one bar group (one value per category; chainable)."""
+        values = [float(v) for v in values]
+        if len(values) != len(self.categories):
+            raise ValueError(
+                f"group {name!r} has {len(values)} values for "
+                f"{len(self.categories)} categories"
+            )
+        self._groups.append((name, values))
+        return self
+
+    def render(self) -> str:
+        """Render the chart as a standalone SVG document string."""
+        if not self._groups:
+            raise ValueError("no groups to render")
+        y_high = max(max(values) for _, values in self._groups)
+        y_ticks = _nice_ticks(0.0, y_high)
+        y_low = 0.0
+        y_high = max(y_ticks[-1], y_high)
+        body = self._frame() + self._axes(y_ticks, y_low, y_high)
+        num_categories = len(self.categories)
+        num_groups = len(self._groups)
+        slot_width = (self._plot_right - self._plot_left) / num_categories
+        bar_width = slot_width * 0.8 / num_groups
+        for category_index, category in enumerate(self.categories):
+            slot_left = self._plot_left + category_index * slot_width
+            body.append(
+                f'<text x="{slot_left + slot_width / 2:.1f}" '
+                f'y="{self._plot_bottom + 16}" text-anchor="middle" '
+                f'font-size="11" font-family="sans-serif">{escape(category)}</text>'
+            )
+            for group_index, (_, values) in enumerate(self._groups):
+                color = _PALETTE[group_index % len(_PALETTE)]
+                value = values[category_index]
+                top = self._y_px(value, y_low, y_high)
+                x = slot_left + slot_width * 0.1 + group_index * bar_width
+                body.append(
+                    f'<rect x="{x:.1f}" y="{top:.1f}" width="{bar_width:.1f}" '
+                    f'height="{max(self._plot_bottom - top, 0):.1f}" '
+                    f'fill="{color}"/>'
+                )
+        body += self._legend([name for name, _ in self._groups])
+        return self._document(body)

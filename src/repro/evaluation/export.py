@@ -1,0 +1,100 @@
+"""Machine-readable exports of evaluation artifacts.
+
+Reproduction runs should leave auditable traces: these helpers write
+comparison tables and runtime reports as CSV or JSON so figures can be
+re-plotted and results diffed across code versions.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List
+
+from .harness import ComparisonTable
+from .runtime import RuntimeReport
+
+__all__ = [
+    "comparison_to_rows",
+    "write_comparison_csv",
+    "comparison_to_dict",
+    "write_comparison_json",
+    "runtime_to_rows",
+    "write_runtime_csv",
+]
+
+
+def comparison_to_rows(table: ComparisonTable) -> List[List[object]]:
+    """Header + per-mix normalized rows + the Average row."""
+    names = list(table.scheduler_names)
+    rows: List[List[object]] = [["mix"] + names]
+    for evaluation in table.evaluations:
+        rows.append(
+            [evaluation.mix_name]
+            + [
+                evaluation.outcome(name).normalized_throughput
+                for name in names
+            ]
+        )
+    rows.append(["Average"] + [table.average(name) for name in names])
+    return rows
+
+
+def write_comparison_csv(table: ComparisonTable, path: str) -> None:
+    """Write a Fig.-5-style table as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerows(comparison_to_rows(table))
+
+
+def comparison_to_dict(table: ComparisonTable) -> Dict:
+    """A JSON-friendly dump including raw measured throughput."""
+    return {
+        "schedulers": list(table.scheduler_names),
+        "mixes": [
+            {
+                "name": evaluation.mix_name,
+                "models": list(evaluation.workload.model_names),
+                "results": {
+                    outcome.scheduler_name: {
+                        "average_throughput": outcome.average_throughput,
+                        "normalized": outcome.normalized_throughput,
+                        "cost": dict(outcome.decision.cost),
+                    }
+                    for outcome in evaluation.outcomes
+                },
+            }
+            for evaluation in table.evaluations
+        ],
+        "averages": table.averages(),
+    }
+
+
+def write_comparison_json(table: ComparisonTable, path: str) -> None:
+    """Write the full comparison (raw + normalized) as JSON."""
+    with open(path, "w") as handle:
+        json.dump(comparison_to_dict(table), handle, indent=2, sort_keys=True)
+
+
+def runtime_to_rows(report: RuntimeReport) -> List[List[object]]:
+    """Header + one row per (mix, scheduler) runtime record."""
+    rows: List[List[object]] = [
+        ["scheduler", "host_wall_s", "board_decision_s", "one_time_cost_s"]
+    ]
+    for row in report.rows:
+        rows.append(
+            [
+                row.scheduler_name,
+                row.host_wall_time_s,
+                row.board_decision_time_s,
+                row.one_time_cost_s,
+            ]
+        )
+    return rows
+
+
+def write_runtime_csv(report: RuntimeReport, path: str) -> None:
+    """Write the Section V-B runtime report as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerows(runtime_to_rows(report))

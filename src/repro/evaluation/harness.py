@@ -1,0 +1,161 @@
+"""Mix-comparison harness: the machinery behind Fig. 5a/5b/5c.
+
+For each mix, every scheduler produces a mapping, the mapping is
+*deployed* (measured on the board simulator), and throughputs are
+normalized to the GPU-only baseline of the same mix -- the exact
+protocol of the paper's Section V-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.base import ScheduleDecision, Scheduler
+from ..sim.simulator import BoardSimulator, SimulationResult
+from ..workloads.mix import Workload
+from .metrics import normalized
+
+__all__ = ["SchedulerOutcome", "MixEvaluation", "ComparisonTable", "EvaluationHarness"]
+
+
+@dataclass(frozen=True)
+class SchedulerOutcome:
+    """One scheduler's result on one mix."""
+
+    scheduler_name: str
+    decision: ScheduleDecision
+    measurement: SimulationResult
+    normalized_throughput: float
+
+    @property
+    def average_throughput(self) -> float:
+        return self.measurement.average_throughput
+
+
+@dataclass(frozen=True)
+class MixEvaluation:
+    """All schedulers' outcomes on one mix."""
+
+    mix_name: str
+    workload: Workload
+    outcomes: Tuple[SchedulerOutcome, ...]
+
+    def outcome(self, scheduler_name: str) -> SchedulerOutcome:
+        for outcome in self.outcomes:
+            if outcome.scheduler_name == scheduler_name:
+                return outcome
+        raise KeyError(f"no outcome for scheduler {scheduler_name!r}")
+
+    @property
+    def scheduler_names(self) -> Tuple[str, ...]:
+        return tuple(outcome.scheduler_name for outcome in self.outcomes)
+
+
+@dataclass
+class ComparisonTable:
+    """The data behind one Fig.-5 subplot: mixes x schedulers."""
+
+    evaluations: List[MixEvaluation] = field(default_factory=list)
+
+    @property
+    def scheduler_names(self) -> Tuple[str, ...]:
+        if not self.evaluations:
+            return ()
+        return self.evaluations[0].scheduler_names
+
+    def normalized_series(self, scheduler_name: str) -> List[float]:
+        """Per-mix normalized throughput of one scheduler."""
+        return [
+            evaluation.outcome(scheduler_name).normalized_throughput
+            for evaluation in self.evaluations
+        ]
+
+    def average(self, scheduler_name: str) -> float:
+        """The figure's "Average" bar for one scheduler."""
+        series = self.normalized_series(scheduler_name)
+        return float(np.mean(series))
+
+    def averages(self) -> Dict[str, float]:
+        return {name: self.average(name) for name in self.scheduler_names}
+
+    def relative_gain(self, scheduler_a: str, scheduler_b: str) -> float:
+        """Average of per-mix ratios ``a / b`` (how the paper quotes gains)."""
+        series_a = self.normalized_series(scheduler_a)
+        series_b = self.normalized_series(scheduler_b)
+        return float(
+            np.mean([a / b for a, b in zip(series_a, series_b)])
+        )
+
+
+class EvaluationHarness:
+    """Runs schedulers over mixes and measures their mappings."""
+
+    def __init__(
+        self,
+        simulator: BoardSimulator,
+        schedulers: Sequence[Scheduler],
+        baseline_name: str = "Baseline",
+        measurement_seed: Optional[int] = 500,
+    ) -> None:
+        if not schedulers:
+            raise ValueError("need at least one scheduler")
+        names = [scheduler.name for scheduler in schedulers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"scheduler names must be unique, got {names}")
+        if baseline_name not in names:
+            raise ValueError(
+                f"baseline {baseline_name!r} missing from schedulers {names}"
+            )
+        self.simulator = simulator
+        self.schedulers = list(schedulers)
+        self.baseline_name = baseline_name
+        self.measurement_seed = measurement_seed
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_mix(self, workload: Workload, mix_name: str = "") -> MixEvaluation:
+        """Schedule + deploy every scheduler on one mix."""
+        decisions = [
+            (scheduler.name, scheduler.schedule(workload))
+            for scheduler in self.schedulers
+        ]
+        measurements = {}
+        for name, decision in decisions:
+            rng = (
+                np.random.default_rng(self.measurement_seed)
+                if self.measurement_seed is not None
+                else None
+            )
+            measurements[name] = self.simulator.measure(
+                workload.models, decision.mapping, rng=rng
+            )
+        baseline_throughput = measurements[self.baseline_name].average_throughput
+        outcomes = tuple(
+            SchedulerOutcome(
+                scheduler_name=name,
+                decision=decision,
+                measurement=measurements[name],
+                normalized_throughput=normalized(
+                    measurements[name].average_throughput, baseline_throughput
+                ),
+            )
+            for name, decision in decisions
+        )
+        return MixEvaluation(
+            mix_name=mix_name or workload.name, workload=workload, outcomes=outcomes
+        )
+
+    def evaluate_mixes(
+        self, workloads: Sequence[Workload], mix_prefix: str = "mix"
+    ) -> ComparisonTable:
+        """Evaluate a family of mixes (one Fig.-5 subplot)."""
+        table = ComparisonTable()
+        for index, workload in enumerate(workloads, start=1):
+            table.evaluations.append(
+                self.evaluate_mix(workload, mix_name=f"{mix_prefix}-{index}")
+            )
+        return table

@@ -1,0 +1,78 @@
+"""Pareto-front utilities for multi-objective scheduling comparisons.
+
+The energy extension turns scheduling into a two-objective problem
+(throughput up, board power down); examples and benches use
+:func:`pareto_front` to mark the non-dominated operating points of an
+objective sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["dominates", "pareto_front"]
+
+
+def _oriented(
+    point: Sequence[float], maximize: Sequence[bool]
+) -> Tuple[float, ...]:
+    """Flip minimized coordinates so domination is uniformly >=."""
+    return tuple(
+        value if keep_max else -value
+        for value, keep_max in zip(point, maximize)
+    )
+
+
+def dominates(
+    a: Sequence[float],
+    b: Sequence[float],
+    maximize: Sequence[bool],
+) -> bool:
+    """True if ``a`` Pareto-dominates ``b``.
+
+    ``maximize[k]`` selects the direction of objective ``k`` (True =
+    larger is better).  Domination is the usual weak-inequality form:
+    at least as good everywhere and strictly better somewhere.
+    """
+    if len(a) != len(b) or len(a) != len(maximize):
+        raise ValueError(
+            f"dimension mismatch: |a|={len(a)}, |b|={len(b)}, "
+            f"|maximize|={len(maximize)}"
+        )
+    if len(a) == 0:
+        raise ValueError("points must have at least one objective")
+    oriented_a = _oriented(a, maximize)
+    oriented_b = _oriented(b, maximize)
+    at_least_as_good = all(x >= y for x, y in zip(oriented_a, oriented_b))
+    strictly_better = any(x > y for x, y in zip(oriented_a, oriented_b))
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(
+    points: Sequence[Sequence[float]],
+    maximize: Sequence[bool],
+) -> List[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Duplicate points are all kept (none strictly dominates another).
+    """
+    if not points:
+        raise ValueError("need at least one point")
+    array = np.asarray(points, dtype=float)
+    if array.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {array.shape}")
+    if array.shape[1] != len(maximize):
+        raise ValueError(
+            f"{array.shape[1]}-objective points with {len(maximize)} directions"
+        )
+    front = []
+    for index, candidate in enumerate(array):
+        if not any(
+            dominates(other, candidate, maximize)
+            for other_index, other in enumerate(array)
+            if other_index != index
+        ):
+            front.append(index)
+    return front

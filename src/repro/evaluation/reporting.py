@@ -1,0 +1,80 @@
+"""Plain-text rendering of tables and figure series.
+
+Benches print the same rows/series the paper's figures plot; these
+helpers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .harness import ComparisonTable
+from .runtime import RuntimeReport
+
+__all__ = ["format_table", "format_comparison", "format_runtime_report"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width ASCII table."""
+    columns = [list(map(_render, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_cells = [h.ljust(w) for h, w in zip(map(_render, headers), widths)]
+    lines.append("  ".join(header_cells).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        cells = [
+            _render(value).ljust(width) for value, width in zip(row, widths)
+        ]
+        lines.append("  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def format_comparison(table: ComparisonTable, title: str = "") -> str:
+    """Render a Fig.-5-style subplot: per-mix normalized throughput."""
+    names = table.scheduler_names
+    headers = ["mix"] + list(names)
+    rows: List[List[object]] = []
+    for evaluation in table.evaluations:
+        rows.append(
+            [evaluation.mix_name]
+            + [
+                f"{evaluation.outcome(name).normalized_throughput:.2f}"
+                for name in names
+            ]
+        )
+    rows.append(
+        ["Average"] + [f"{table.average(name):.2f}" for name in names]
+    )
+    body = format_table(headers, rows)
+    return f"{title}\n{body}" if title else body
+
+
+def format_runtime_report(report: RuntimeReport) -> str:
+    """Render the Section V-B run-time comparison."""
+    headers = [
+        "scheduler",
+        "host wall (s)",
+        "board decision (s)",
+        "one-time cost (s)",
+    ]
+    rows: List[List[object]] = []
+    for name in report.scheduler_names():
+        scheduler_rows = [
+            row for row in report.rows if row.scheduler_name == name
+        ]
+        host = sum(row.host_wall_time_s for row in scheduler_rows) / len(
+            scheduler_rows
+        )
+        board = report.mean_decision_time(name)
+        one_time = max(row.one_time_cost_s for row in scheduler_rows)
+        rows.append([name, f"{host:.2f}", f"{board:.1f}", f"{one_time:.0f}"])
+    return format_table(headers, rows)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,72 @@
+"""Design-space size accounting (paper Section II).
+
+The motivational example estimates the mapping space of four concurrent
+DNNs with 84 total layers on 3 computing components as
+``C(84, 3) ~= 95,000`` and notes the space reaches tens of millions
+once the full dataset is considered.  This module provides both that
+back-of-envelope count and the exact count of valid contiguous-stage
+mappings the schedulers actually search.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Sequence
+
+from ..models.graph import ModelGraph
+
+__all__ = [
+    "paper_combination_estimate",
+    "contiguous_mappings_per_model",
+    "total_contiguous_mappings",
+    "unrestricted_mappings",
+]
+
+
+def paper_combination_estimate(total_layers: int, num_devices: int) -> int:
+    """The paper's ``C(L, D)`` estimate for a mix (Section II)."""
+    if total_layers < 0 or num_devices < 0:
+        raise ValueError("arguments must be non-negative")
+    return comb(total_layers, num_devices)
+
+
+def contiguous_mappings_per_model(
+    num_layers: int, num_devices: int, max_stages: int
+) -> int:
+    """Exact count of contiguous mappings of one DNN.
+
+    A mapping with ``s`` stages chooses ``s-1`` split points among
+    ``num_layers - 1`` positions and an ordered sequence of ``s``
+    devices with no two consecutive stages sharing a device:
+    ``D * (D-1)^(s-1)`` sequences.
+    """
+    if num_layers < 1:
+        raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    if max_stages < 1:
+        raise ValueError(f"max_stages must be >= 1, got {max_stages}")
+    total = 0
+    for stages in range(1, min(max_stages, num_layers) + 1):
+        split_choices = comb(num_layers - 1, stages - 1)
+        device_sequences = num_devices * (num_devices - 1) ** (stages - 1)
+        total += split_choices * device_sequences
+    return total
+
+
+def total_contiguous_mappings(
+    models: Sequence[ModelGraph], num_devices: int, max_stages: int
+) -> int:
+    """Size of the joint search space of a mix (product over DNNs)."""
+    total = 1
+    for model in models:
+        total *= contiguous_mappings_per_model(
+            model.num_layers, num_devices, max_stages
+        )
+    return total
+
+
+def unrestricted_mappings(models: Sequence[ModelGraph], num_devices: int) -> int:
+    """All per-layer assignments with no stage cap: ``D^(total layers)``."""
+    total_layers = sum(model.num_layers for model in models)
+    return num_devices**total_layers

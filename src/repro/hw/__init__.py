@@ -1,0 +1,45 @@
+"""Hardware substrate: devices, kernels, links and platform presets.
+
+This package is the analytical stand-in for the physical HiKey970 board
+used in the paper.  See ``DESIGN.md`` ("Hardware gate and the
+substitution") for the rationale behind each model.
+"""
+
+from .device import DEFAULT_EFFICIENCY, Device, DeviceKind
+from .kernels import KERNEL_KINDS, KernelCostModel, KernelSpec
+from .platform_ import Link, MemorySystem, Platform
+from .power import DevicePowerSpec, PowerModel, PowerReport, hikey970_power
+from .presets import (
+    BIG_CPU_ID,
+    GPU_ID,
+    LITTLE_CPU_ID,
+    NPU_ID,
+    cpu_only_board,
+    hikey970,
+    hikey970_with_npu,
+    symmetric_board,
+)
+
+__all__ = [
+    "DEFAULT_EFFICIENCY",
+    "Device",
+    "DeviceKind",
+    "DevicePowerSpec",
+    "KERNEL_KINDS",
+    "KernelCostModel",
+    "KernelSpec",
+    "Link",
+    "MemorySystem",
+    "Platform",
+    "PowerModel",
+    "PowerReport",
+    "hikey970_power",
+    "BIG_CPU_ID",
+    "GPU_ID",
+    "LITTLE_CPU_ID",
+    "NPU_ID",
+    "cpu_only_board",
+    "hikey970",
+    "hikey970_with_npu",
+    "symmetric_board",
+]

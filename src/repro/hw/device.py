@@ -1,0 +1,171 @@
+"""Computing-component models for heterogeneous embedded platforms.
+
+The paper's target board (HiKey970) exposes three *computing components*:
+a Mali-G72 MP12 GPU, a quad-core Cortex-A73 "big" CPU cluster and a
+quad-core Cortex-A53 "LITTLE" CPU cluster.  OmniBoost treats each of
+them as an opaque device with a measurable per-kernel execution time.
+
+This module defines :class:`Device`, the analytical stand-in for one
+such component.  A device is described by a handful of first-order
+parameters (peak arithmetic throughput, effective memory bandwidth,
+per-kernel dispatch overhead) plus a table of *efficiency factors*
+keyed by kernel kind.  The efficiency table encodes well-known
+micro-architectural asymmetries -- e.g. mobile GPUs run dense
+convolutions near peak but are notoriously inefficient on depthwise
+convolutions, while in-order LITTLE cores lose ground on large GEMMs
+that thrash their small caches.
+
+All latencies produced from these parameters are in seconds; sizes are
+in bytes; arithmetic throughput is in FLOP/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+__all__ = ["DeviceKind", "Device", "DEFAULT_EFFICIENCY"]
+
+
+class DeviceKind:
+    """Symbolic names for the classes of computing components we model.
+
+    The values double as keys in efficiency tables and as human-readable
+    labels in reports.
+    """
+
+    GPU = "gpu"
+    BIG_CPU = "big_cpu"
+    LITTLE_CPU = "little_cpu"
+    NPU = "npu"
+
+    ALL = (GPU, BIG_CPU, LITTLE_CPU, NPU)
+
+
+#: Baseline efficiency factors (fraction of peak achieved) per device
+#: kind and kernel kind.  These are deliberately coarse: the simulator
+#: only needs the *ordering* and rough magnitudes to reproduce the
+#: paper's behaviour, not cycle accuracy.
+DEFAULT_EFFICIENCY: Dict[str, Dict[str, float]] = {
+    DeviceKind.GPU: {
+        "conv": 0.50,
+        "depthwise_conv": 0.12,
+        "gemm": 0.55,
+        "pool": 0.35,
+        "activation": 0.40,
+        "norm": 0.30,
+        "elementwise": 0.40,
+        "softmax": 0.25,
+        "transform": 0.35,
+    },
+    DeviceKind.BIG_CPU: {
+        "conv": 0.42,
+        "depthwise_conv": 0.38,
+        "gemm": 0.48,
+        "pool": 0.45,
+        "activation": 0.55,
+        "norm": 0.50,
+        "elementwise": 0.55,
+        "softmax": 0.45,
+        "transform": 0.45,
+    },
+    DeviceKind.LITTLE_CPU: {
+        "conv": 0.33,
+        "depthwise_conv": 0.35,
+        "gemm": 0.35,
+        "pool": 0.40,
+        "activation": 0.50,
+        "norm": 0.45,
+        "elementwise": 0.50,
+        "softmax": 0.40,
+        "transform": 0.40,
+    },
+    DeviceKind.NPU: {
+        "conv": 0.80,
+        "depthwise_conv": 0.60,
+        "gemm": 0.80,
+        "pool": 0.50,
+        "activation": 0.50,
+        "norm": 0.40,
+        "elementwise": 0.50,
+        "softmax": 0.30,
+        "transform": 0.40,
+    },
+}
+
+
+@dataclass(frozen=True)
+class Device:
+    """An analytical model of one computing component.
+
+    Parameters
+    ----------
+    device_id:
+        Dense integer index of the device inside its platform.  Mappings
+        and embedding tensors index devices by this id.
+    name:
+        Human-readable name (``"Mali-G72 MP12"``).
+    kind:
+        One of :class:`DeviceKind`; selects the default efficiency table.
+    peak_gflops:
+        Theoretical single-precision arithmetic peak, in GFLOP/s.
+    mem_bandwidth_gbs:
+        Effective DRAM bandwidth available to this device, in GB/s.
+        On a shared-memory SoC each component sees only a slice of the
+        total controller bandwidth.
+    launch_overhead_s:
+        Fixed cost of dispatching one kernel (driver/queue overhead for
+        the GPU, thread wake-up and scheduling for the CPU clusters).
+    efficiency:
+        Fraction-of-peak factors per kernel kind.  Missing kinds fall
+        back to ``default_efficiency``.
+    default_efficiency:
+        Efficiency used for kernel kinds absent from ``efficiency``.
+    """
+
+    device_id: int
+    name: str
+    kind: str
+    peak_gflops: float
+    mem_bandwidth_gbs: float
+    launch_overhead_s: float
+    efficiency: Mapping[str, float] = field(default_factory=dict)
+    default_efficiency: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise ValueError(f"device_id must be non-negative, got {self.device_id}")
+        if self.peak_gflops <= 0:
+            raise ValueError(f"peak_gflops must be positive, got {self.peak_gflops}")
+        if self.mem_bandwidth_gbs <= 0:
+            raise ValueError(
+                f"mem_bandwidth_gbs must be positive, got {self.mem_bandwidth_gbs}"
+            )
+        if self.launch_overhead_s < 0:
+            raise ValueError(
+                f"launch_overhead_s must be non-negative, got {self.launch_overhead_s}"
+            )
+        if not self.efficiency:
+            table = DEFAULT_EFFICIENCY.get(self.kind, {})
+            object.__setattr__(self, "efficiency", dict(table))
+
+    @property
+    def peak_flops(self) -> float:
+        """Arithmetic peak in FLOP/s."""
+        return self.peak_gflops * 1e9
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """Memory bandwidth in bytes/s."""
+        return self.mem_bandwidth_gbs * 1e9
+
+    def efficiency_for(self, kernel_kind: str) -> float:
+        """Fraction of peak this device achieves on ``kernel_kind`` kernels."""
+        return self.efficiency.get(kernel_kind, self.default_efficiency)
+
+    def effective_flops(self, kernel_kind: str) -> float:
+        """Achievable FLOP/s for a kernel kind (peak scaled by efficiency)."""
+        return self.peak_flops * self.efficiency_for(kernel_kind)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} (#{self.device_id}, {self.kind})"

@@ -1,0 +1,106 @@
+"""Roofline-style kernel latency model.
+
+OmniBoost profiles DNNs at *kernel* granularity (paper Eq. 1): the
+latency of a layer on a computing component is the sum of the latencies
+of the kernels that implement it.  On the real board those numbers come
+from executing ARM Compute Library kernels; here they come from a
+roofline model:
+
+``time(kernel, device) = overhead + max(compute_time, memory_time)``
+
+where ``compute_time = flops / (peak_flops * efficiency[kind])`` and
+``memory_time = bytes_moved / bandwidth``.  The max() captures whether
+the kernel is compute- or memory-bound on that device, which is the
+single most important first-order effect: big dense convolutions are
+compute-bound everywhere, pooling/activation layers are memory-bound
+everywhere, and depthwise convolutions flip between the two depending
+on the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import Device
+
+__all__ = ["KernelSpec", "KernelCostModel", "KERNEL_KINDS"]
+
+#: The kernel taxonomy used across the code base.  Layer builders in
+#: :mod:`repro.models` decompose layers into kernels of these kinds.
+KERNEL_KINDS = (
+    "conv",
+    "depthwise_conv",
+    "gemm",
+    "pool",
+    "activation",
+    "norm",
+    "elementwise",
+    "softmax",
+    "transform",
+)
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A single device-executable kernel.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`KERNEL_KINDS`; selects the device efficiency factor.
+    flops:
+        Floating point operations performed by the kernel.
+    bytes_read / bytes_written:
+        Traffic to and from memory, in bytes.  Used for the memory-bound
+        side of the roofline.
+    name:
+        Optional label for reports (``"conv3x3_64"``).
+    """
+
+    kind: str
+    flops: float
+    bytes_read: float
+    bytes_written: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KERNEL_KINDS:
+            raise ValueError(f"unknown kernel kind {self.kind!r}; expected one of {KERNEL_KINDS}")
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ValueError("kernel flops/bytes must be non-negative")
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total memory traffic of the kernel in bytes."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of memory traffic (0 for pure data movement)."""
+        moved = self.bytes_moved
+        if moved == 0:
+            return 0.0
+        return self.flops / moved
+
+
+class KernelCostModel:
+    """Maps (kernel, device) pairs to latencies via the roofline model.
+
+    The model is deterministic; measurement noise is added by the
+    profiler (:mod:`repro.sim.profiler`), not here, so that the
+    simulator can also act as a noise-free oracle for ablations.
+    """
+
+    def latency(self, kernel: KernelSpec, device: Device) -> float:
+        """Latency in seconds of running ``kernel`` once on ``device``."""
+        compute_time = 0.0
+        if kernel.flops > 0:
+            compute_time = kernel.flops / device.effective_flops(kernel.kind)
+        memory_time = kernel.bytes_moved / device.mem_bandwidth
+        return device.launch_overhead_s + max(compute_time, memory_time)
+
+    def is_compute_bound(self, kernel: KernelSpec, device: Device) -> bool:
+        """True when the kernel's runtime on ``device`` is dominated by math."""
+        compute_time = kernel.flops / device.effective_flops(kernel.kind) if kernel.flops else 0.0
+        memory_time = kernel.bytes_moved / device.mem_bandwidth
+        return compute_time >= memory_time

@@ -1,0 +1,192 @@
+"""Platform model: a set of devices plus the interconnect between them.
+
+A :class:`Platform` is what the scheduler sees: an ordered list of
+computing components and, for every ordered device pair, a
+:class:`Link` describing how expensive it is to hand activations from a
+pipeline stage on one device to the next stage on another.
+
+On a shared-memory SoC like the HiKey970 there is no explicit DMA
+fabric between the CPU clusters and the GPU -- a "transfer" is really a
+buffer map/unmap plus cache maintenance.  We model that as a fixed
+latency plus a bandwidth term, which is both how the ARM Compute
+Library behaves in practice and all the granularity the scheduler can
+observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .device import Device
+
+__all__ = ["Link", "MemorySystem", "Platform"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """Cost model for moving data between two devices.
+
+    ``transfer_time = latency_s + bytes / bandwidth`` for transfers
+    between distinct devices; same-device "transfers" are free (the
+    tensor is already resident).
+    """
+
+    bandwidth_gbs: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ValueError(f"link bandwidth must be positive, got {self.bandwidth_gbs}")
+        if self.latency_s < 0:
+            raise ValueError(f"link latency must be non-negative, got {self.latency_s}")
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` across this link."""
+        if num_bytes < 0:
+            raise ValueError(f"cannot transfer a negative byte count ({num_bytes})")
+        return self.latency_s + num_bytes / (self.bandwidth_gbs * 1e9)
+
+
+@dataclass(frozen=True)
+class MemorySystem:
+    """Shared memory-controller model used for multi-DNN pressure.
+
+    Concurrent DNNs compete for the LPDDR controller and for the small
+    system-level cache.  The paper observed this directly: mixes of six
+    concurrent DNNs exceeded the board's capability and made it
+    unresponsive.  We reproduce the effect with a soft penalty that
+    grows with the number of co-resident networks beyond
+    ``comfortable_residency`` and a hard cliff at ``max_residency``.
+
+    Parameters
+    ----------
+    total_bandwidth_gbs:
+        Aggregate DRAM controller bandwidth (all devices combined).
+    comfortable_residency:
+        Number of concurrent DNNs the memory system absorbs without
+        measurable interference.
+    pressure_per_dnn:
+        Fractional slowdown added per co-resident DNN beyond the
+        comfortable point (e.g. 0.18 = 18% per extra network).
+    max_residency:
+        Residency at which the board becomes unresponsive; the
+        simulator raises instead of returning numbers past this point.
+    """
+
+    total_bandwidth_gbs: float = 25.6
+    comfortable_residency: int = 3
+    pressure_per_dnn: float = 0.18
+    max_residency: int = 5
+
+    def pressure_factor(self, num_dnns: int) -> float:
+        """Multiplicative slowdown applied to all stage latencies.
+
+        Returns 1.0 when at or below the comfortable residency and grows
+        linearly beyond it.
+        """
+        if num_dnns < 0:
+            raise ValueError(f"num_dnns must be non-negative, got {num_dnns}")
+        excess = max(0, num_dnns - self.comfortable_residency)
+        return 1.0 + self.pressure_per_dnn * excess
+
+
+class Platform:
+    """An ordered collection of devices plus their interconnect.
+
+    Parameters
+    ----------
+    name:
+        Platform label (``"HiKey970"``).
+    devices:
+        Devices in id order; ``devices[i].device_id`` must equal ``i``.
+    links:
+        Mapping from ``(src_id, dst_id)`` to :class:`Link`.  Pairs not
+        present fall back to ``default_link``.  Same-device pairs never
+        consult the table (cost 0).
+    default_link:
+        Fallback link for unlisted device pairs.
+    memory:
+        Shared memory-system model.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        devices: Sequence[Device],
+        links: Optional[Dict[Tuple[int, int], Link]] = None,
+        default_link: Optional[Link] = None,
+        memory: Optional[MemorySystem] = None,
+    ) -> None:
+        if not devices:
+            raise ValueError("a platform needs at least one device")
+        for index, device in enumerate(devices):
+            if device.device_id != index:
+                raise ValueError(
+                    f"devices must be listed in id order: position {index} "
+                    f"holds device_id {device.device_id}"
+                )
+        self.name = name
+        self.devices: List[Device] = list(devices)
+        self.links: Dict[Tuple[int, int], Link] = dict(links or {})
+        self.default_link = default_link or Link(bandwidth_gbs=6.0, latency_s=150e-6)
+        self.memory = memory or MemorySystem()
+        for (src, dst) in self.links:
+            self._check_device_id(src)
+            self._check_device_id(dst)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        """Number of computing components on the platform."""
+        return len(self.devices)
+
+    def device(self, device_id: int) -> Device:
+        """Return the device with the given id."""
+        self._check_device_id(device_id)
+        return self.devices[device_id]
+
+    def device_named(self, name: str) -> Device:
+        """Return the device whose name matches ``name`` exactly."""
+        for device in self.devices:
+            if device.name == name:
+                return device
+        raise KeyError(f"no device named {name!r} on platform {self.name!r}")
+
+    def devices_of_kind(self, kind: str) -> List[Device]:
+        """All devices of a given :class:`~repro.hw.device.DeviceKind`."""
+        return [device for device in self.devices if device.kind == kind]
+
+    # ------------------------------------------------------------------
+    # Interconnect
+    # ------------------------------------------------------------------
+    def link(self, src_id: int, dst_id: int) -> Optional[Link]:
+        """The link between two distinct devices (None for same device)."""
+        self._check_device_id(src_id)
+        self._check_device_id(dst_id)
+        if src_id == dst_id:
+            return None
+        return self.links.get((src_id, dst_id), self.default_link)
+
+    def transfer_time(self, src_id: int, dst_id: int, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` from ``src_id`` to ``dst_id``.
+
+        Zero when source and destination are the same device.
+        """
+        link = self.link(src_id, dst_id)
+        if link is None:
+            return 0.0
+        return link.transfer_time(num_bytes)
+
+    def _check_device_id(self, device_id: int) -> None:
+        if not 0 <= device_id < len(self.devices):
+            raise KeyError(
+                f"device id {device_id} out of range for platform {self.name!r} "
+                f"with {len(self.devices)} devices"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ", ".join(device.name for device in self.devices)
+        return f"Platform({self.name!r}: {names})"

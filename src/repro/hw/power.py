@@ -1,0 +1,238 @@
+"""Board power modeling — the energy extension of the reproduction.
+
+The paper optimizes throughput only, but every embedded deployment it
+motivates (digital assistants, AR, drones) is battery-constrained, and
+the authors position OmniBoost as *extensible*: swapping the reward is
+the intended extension axis.  This module supplies the missing
+substrate: a first-order power model of the board, power/energy
+accounting for simulation results, and the design-time quantities an
+energy-aware scheduling objective needs (see
+:mod:`repro.core.objectives`).
+
+The model is the standard linear utilization model used by mobile SoC
+power estimators: each computing component draws ``idle_w`` when
+powered but unused and ramps linearly to ``active_w`` at full
+utilization; the board adds a constant base draw (regulators, DRAM
+refresh, peripherals).  Absolute watt figures are first-order estimates
+from public HiKey970/Kirin-970 measurements — as with the latency
+model, only the orderings and rough ratios matter for scheduling
+behaviour (the GPU is the most efficient *per inference* on dense work
+despite the highest draw; the LITTLE cluster draws least but runs so
+slowly that its energy per inference is often worse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+import numpy as np
+
+from .device import DeviceKind
+from .platform_ import Platform
+
+if TYPE_CHECKING:  # higher-layer types used in annotations only
+    from ..models.graph import ModelGraph
+    from ..sim.mapping import Mapping
+    from ..sim.profiler import LatencyTable
+
+__all__ = [
+    "DevicePowerSpec",
+    "PowerModel",
+    "PowerReport",
+    "hikey970_power",
+]
+
+
+@dataclass(frozen=True)
+class DevicePowerSpec:
+    """Linear utilization power model of one computing component.
+
+    Parameters
+    ----------
+    idle_w:
+        Draw when the component is powered but idle (clock-gated
+        pipelines, retention leakage).
+    active_w:
+        Draw at full utilization.
+    """
+
+    idle_w: float
+    active_w: float
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0:
+            raise ValueError(f"idle_w must be non-negative, got {self.idle_w}")
+        if self.active_w < self.idle_w:
+            raise ValueError(
+                f"active_w ({self.active_w}) must be >= idle_w ({self.idle_w})"
+            )
+
+    def power_at(self, utilization: float) -> float:
+        """Draw in watts at a utilization in [0, 1] (clamped)."""
+        utilization = min(max(utilization, 0.0), 1.0)
+        return self.idle_w + (self.active_w - self.idle_w) * utilization
+
+    @property
+    def dynamic_w(self) -> float:
+        """The utilization-proportional share of the draw."""
+        return self.active_w - self.idle_w
+
+
+#: First-order per-kind power specs for the HiKey970 class of SoC.
+DEFAULT_POWER_SPECS: Dict[str, DevicePowerSpec] = {
+    DeviceKind.GPU: DevicePowerSpec(idle_w=0.25, active_w=4.5),
+    DeviceKind.BIG_CPU: DevicePowerSpec(idle_w=0.30, active_w=3.9),
+    DeviceKind.LITTLE_CPU: DevicePowerSpec(idle_w=0.15, active_w=1.3),
+    DeviceKind.NPU: DevicePowerSpec(idle_w=0.20, active_w=2.2),
+}
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Power/energy accounting of one steady-state simulation.
+
+    Attributes
+    ----------
+    per_device_w:
+        Modeled draw of each computing component, platform device
+        order.
+    board_base_w:
+        Constant board draw outside the computing components.
+    total_throughput:
+        Aggregate inferences/second of the mix the report was taken
+        over.
+    """
+
+    per_device_w: np.ndarray
+    board_base_w: float
+    total_throughput: float
+
+    @property
+    def total_w(self) -> float:
+        """Whole-board draw in watts."""
+        return float(self.per_device_w.sum()) + self.board_base_w
+
+    @property
+    def energy_per_inference_j(self) -> float:
+        """Joules the board spends per completed inference."""
+        if self.total_throughput <= 0:
+            raise ValueError(
+                "energy per inference undefined at zero throughput"
+            )
+        return self.total_w / self.total_throughput
+
+    @property
+    def inferences_per_joule(self) -> float:
+        """The efficiency metric energy-aware scheduling maximizes."""
+        return self.total_throughput / self.total_w
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP per inference (J·s): energy/inference × time/inference."""
+        return self.energy_per_inference_j / self.total_throughput
+
+
+class PowerModel:
+    """Linear-utilization power model of a whole platform.
+
+    Parameters
+    ----------
+    board_base_w:
+        Constant draw of everything that is not a computing component
+        (DRAM refresh, regulators, peripherals).
+    specs:
+        Per-device-kind :class:`DevicePowerSpec`; kinds absent from the
+        mapping fall back to ``default_spec``.
+    """
+
+    def __init__(
+        self,
+        board_base_w: float = 1.6,
+        specs: Optional[Dict[str, DevicePowerSpec]] = None,
+        default_spec: DevicePowerSpec = DevicePowerSpec(0.2, 2.0),
+    ) -> None:
+        if board_base_w < 0:
+            raise ValueError(
+                f"board_base_w must be non-negative, got {board_base_w}"
+            )
+        self.board_base_w = board_base_w
+        self.specs = dict(DEFAULT_POWER_SPECS if specs is None else specs)
+        self.default_spec = default_spec
+
+    def spec_for(self, kind: str) -> DevicePowerSpec:
+        """Power spec of a device kind."""
+        return self.specs.get(kind, self.default_spec)
+
+    # ------------------------------------------------------------------
+    # Accounting over simulation results
+    # ------------------------------------------------------------------
+    def report(self, platform: Platform, result) -> PowerReport:
+        """Power/energy report for a :class:`~repro.sim.simulator.SimulationResult`.
+
+        Device utilizations drive the linear model; the result's
+        aggregate rate converts draw into energy per inference.
+        """
+        utilization = np.asarray(result.device_utilization, dtype=float)
+        per_device = np.empty(platform.num_devices)
+        for device in platform.devices:
+            spec = self.spec_for(device.kind)
+            per_device[device.device_id] = spec.power_at(
+                utilization[device.device_id]
+            )
+        return PowerReport(
+            per_device_w=per_device,
+            board_base_w=self.board_base_w,
+            total_throughput=float(result.total_throughput),
+        )
+
+    # ------------------------------------------------------------------
+    # Design-time quantities (no board access)
+    # ------------------------------------------------------------------
+    def dynamic_energy_per_inference(
+        self,
+        platform: Platform,
+        models: Sequence[ModelGraph],
+        mapping: Mapping,
+        latency_table: LatencyTable,
+    ) -> float:
+        """Mix-average dynamic joules per inference of a mapping.
+
+        Uses only design-time data (the profiled latency table): each
+        layer contributes its measured latency on its assigned device
+        times that device's dynamic power — ``E = sum_l B_l^alpha *
+        P_dyn(alpha)``, averaged over the mix.  This is what an
+        energy-aware objective can know *without* running the mapping.
+        """
+        if len(models) == 0:
+            raise ValueError("need at least one model")
+        if mapping.num_dnns != len(models):
+            raise ValueError(
+                f"mapping covers {mapping.num_dnns} DNNs, mix has {len(models)}"
+            )
+        total = 0.0
+        for model, row in zip(models, mapping.assignments):
+            for layer_index, device_id in enumerate(row):
+                device = platform.device(device_id)
+                latency = latency_table.latency(
+                    model.name, device_id, layer_index
+                )
+                total += latency * self.spec_for(device.kind).dynamic_w
+        return total / len(models)
+
+    def idle_floor_w(self, platform: Platform) -> float:
+        """Board draw with every component idle (the static floor)."""
+        return self.board_base_w + sum(
+            self.spec_for(device.kind).idle_w for device in platform.devices
+        )
+
+
+def hikey970_power() -> PowerModel:
+    """Power model matching the :func:`~repro.hw.presets.hikey970` preset.
+
+    Board base ~1.6 W (LPDDR4X refresh + rails + USB/UART glue); the
+    component specs follow published Kirin-970 class measurements:
+    Mali-G72 MP12 peaks near 4.5 W, the A73 quad near 3.9 W, the A53
+    quad near 1.3 W.
+    """
+    return PowerModel(board_base_w=1.6, specs=dict(DEFAULT_POWER_SPECS))

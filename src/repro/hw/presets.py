@@ -1,0 +1,174 @@
+"""Ready-made platform configurations.
+
+:func:`hikey970` is the board the paper evaluates on and the default
+everywhere in this code base.  The parameter values are first-order
+estimates assembled from public HiKey970 / Kirin 970 documentation:
+
+* Mali-G72 MP12 at ~767 MHz: ~140 GFLOPS FP32 theoretical.  OpenCL
+  kernel dispatch through the ACL runtime costs tens of microseconds.
+* Cortex-A73 quad at 2.36 GHz: one 128-bit NEON FMA pipe per core
+  (8 FLOP/cycle) gives ~75 GFLOPS for the cluster.
+* Cortex-A53 quad at 1.8 GHz: narrower in-order NEON (~4 FLOP/cycle)
+  gives ~29 GFLOPS for the cluster.
+* LPDDR4X-1866, dual channel: ~25.6 GB/s at the controller, of which
+  each client sees a fraction under load.
+
+Absolute accuracy is not the goal -- the reproduction only needs the
+relative ordering and rough ratios between the components, which these
+numbers preserve (GPU ~2-4x big CPU on dense conv, big ~2.5-3x LITTLE).
+"""
+
+from __future__ import annotations
+
+from .device import Device, DeviceKind
+from .platform_ import Link, MemorySystem, Platform
+
+__all__ = [
+    "hikey970",
+    "hikey970_with_npu",
+    "GPU_ID",
+    "BIG_CPU_ID",
+    "LITTLE_CPU_ID",
+    "NPU_ID",
+    "cpu_only_board",
+    "symmetric_board",
+]
+
+#: Device ids on the HiKey970 preset, in the order the paper lists them.
+GPU_ID = 0
+BIG_CPU_ID = 1
+LITTLE_CPU_ID = 2
+#: Device id of the NPU on the extended preset (see hikey970_with_npu).
+NPU_ID = 3
+
+
+def hikey970() -> Platform:
+    """The HiKey970 development board used throughout the paper."""
+    gpu = Device(
+        device_id=GPU_ID,
+        name="Mali-G72 MP12",
+        kind=DeviceKind.GPU,
+        peak_gflops=140.0,
+        mem_bandwidth_gbs=14.0,
+        launch_overhead_s=55e-6,
+    )
+    big = Device(
+        device_id=BIG_CPU_ID,
+        name="Cortex-A73 x4",
+        kind=DeviceKind.BIG_CPU,
+        peak_gflops=75.0,
+        mem_bandwidth_gbs=9.0,
+        launch_overhead_s=6e-6,
+    )
+    little = Device(
+        device_id=LITTLE_CPU_ID,
+        name="Cortex-A53 x4",
+        kind=DeviceKind.LITTLE_CPU,
+        peak_gflops=29.0,
+        mem_bandwidth_gbs=6.0,
+        launch_overhead_s=9e-6,
+    )
+    # GPU<->CPU hops pay an OpenCL queue flush, buffer map/unmap and
+    # cache maintenance -- milliseconds on this class of driver stack;
+    # CPU<->CPU hops ride the cache-coherent interconnect.
+    gpu_cpu = Link(bandwidth_gbs=5.5, latency_s=3e-3)
+    cpu_cpu = Link(bandwidth_gbs=9.0, latency_s=0.3e-3)
+    links = {
+        (GPU_ID, BIG_CPU_ID): gpu_cpu,
+        (BIG_CPU_ID, GPU_ID): gpu_cpu,
+        (GPU_ID, LITTLE_CPU_ID): gpu_cpu,
+        (LITTLE_CPU_ID, GPU_ID): gpu_cpu,
+        (BIG_CPU_ID, LITTLE_CPU_ID): cpu_cpu,
+        (LITTLE_CPU_ID, BIG_CPU_ID): cpu_cpu,
+    }
+    memory = MemorySystem(
+        total_bandwidth_gbs=25.6,
+        comfortable_residency=3,
+        pressure_per_dnn=0.18,
+        max_residency=5,
+    )
+    return Platform("HiKey970", [gpu, big, little], links=links, memory=memory)
+
+
+def hikey970_with_npu() -> Platform:
+    """HiKey970 with its Cambricon NPU enabled.
+
+    The paper could not use the NPU "due to compatibility issues with
+    the utilized compute library"; this preset models the board as it
+    would look with a working driver, and exists to demonstrate that
+    every component of the reproduction (environment actions, embedding
+    channels, estimator geometry, schedulers) generalizes beyond three
+    devices.  NPU parameters follow the Kirin 970 marketing numbers
+    (~1.9 TOPS int8, which we discount heavily for an fp16-equivalent
+    sustained figure) with a high per-kernel offload cost.
+    """
+    base = hikey970()
+    npu = Device(
+        device_id=NPU_ID,
+        name="Cambricon NPU",
+        kind=DeviceKind.NPU,
+        peak_gflops=480.0,
+        mem_bandwidth_gbs=12.0,
+        launch_overhead_s=150e-6,
+    )
+    npu_link = Link(bandwidth_gbs=4.0, latency_s=4e-3)
+    links = dict(base.links)
+    for device in base.devices:
+        links[(device.device_id, NPU_ID)] = npu_link
+        links[(NPU_ID, device.device_id)] = npu_link
+    return Platform(
+        "HiKey970+NPU",
+        list(base.devices) + [npu],
+        links=links,
+        default_link=base.default_link,
+        memory=base.memory,
+    )
+
+
+def cpu_only_board() -> Platform:
+    """A big.LITTLE-only platform (no GPU), as targeted by Pipe-it [7].
+
+    Useful for ablations that disable functional heterogeneity.
+    """
+    big = Device(
+        device_id=0,
+        name="Cortex-A73 x4",
+        kind=DeviceKind.BIG_CPU,
+        peak_gflops=75.0,
+        mem_bandwidth_gbs=9.0,
+        launch_overhead_s=6e-6,
+    )
+    little = Device(
+        device_id=1,
+        name="Cortex-A53 x4",
+        kind=DeviceKind.LITTLE_CPU,
+        peak_gflops=29.0,
+        mem_bandwidth_gbs=6.0,
+        launch_overhead_s=9e-6,
+    )
+    link = Link(bandwidth_gbs=9.0, latency_s=25e-6)
+    links = {(0, 1): link, (1, 0): link}
+    return Platform("big.LITTLE", [big, little], links=links, memory=MemorySystem())
+
+
+def symmetric_board(num_devices: int = 3, peak_gflops: float = 60.0) -> Platform:
+    """A homogeneous platform of identical devices.
+
+    Degenerate case used by tests: with no heterogeneity the best
+    mapping is pure load balancing, which gives cheap-to-verify
+    invariants.
+    """
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    devices = [
+        Device(
+            device_id=index,
+            name=f"core-{index}",
+            kind=DeviceKind.BIG_CPU,
+            peak_gflops=peak_gflops,
+            mem_bandwidth_gbs=8.0,
+            launch_overhead_s=5e-6,
+        )
+        for index in range(num_devices)
+    ]
+    return Platform("symmetric", devices, memory=MemorySystem())

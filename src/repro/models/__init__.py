@@ -1,0 +1,30 @@
+"""DNN workload descriptions: layers, kernels, graphs and the model zoo."""
+
+from .builder import ModelBuilder
+from .graph import ModelGraph
+from .layer import DTYPE_BYTES, KernelSpec, LayerSpec, TensorShape
+from .registry import (
+    EXTENSION_MODEL_NAMES,
+    MODEL_NAMES,
+    available_models,
+    build_all_models,
+    build_model,
+    max_layer_count,
+    register_model,
+)
+
+__all__ = [
+    "DTYPE_BYTES",
+    "KernelSpec",
+    "LayerSpec",
+    "ModelBuilder",
+    "ModelGraph",
+    "TensorShape",
+    "EXTENSION_MODEL_NAMES",
+    "MODEL_NAMES",
+    "available_models",
+    "build_all_models",
+    "build_model",
+    "max_layer_count",
+    "register_model",
+]

@@ -1,0 +1,618 @@
+"""Fluent builder for model graphs.
+
+The zoo modules (:mod:`repro.models.zoo`) describe each architecture by
+chaining builder calls; the builder tracks the activation shape,
+decomposes every unit into roofline kernels and computes FLOP / byte /
+weight footprints from the real layer hyper-parameters.
+
+The constructs the eleven paper models need are provided -- plain and
+depthwise convolutions, fully connected layers, folded pooling / LRN /
+activations, residual blocks (basic and bottleneck), SqueezeNet fire
+stages and Inception mixed blocks -- plus two constructs for the
+extension zoo (paper contribution iii, robustness to new models):
+DenseNet composite layers and EfficientNet MBConv blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..hw.kernels import KernelSpec
+from .graph import ModelGraph
+from .layer import DTYPE_BYTES, LayerSpec, TensorShape
+
+__all__ = ["ModelBuilder"]
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial size of a convolution/pool along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution collapses dimension: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def _conv_kernels(
+    name: str,
+    in_shape: TensorShape,
+    out_channels: int,
+    kernel: Tuple[int, int],
+    stride: int,
+    padding: Tuple[int, int],
+    groups: int,
+) -> Tuple[List[KernelSpec], TensorShape, int]:
+    """Kernels, output shape and weight bytes of one convolution."""
+    kh, kw = kernel
+    pad_h, pad_w = padding
+    if in_shape.channels % groups != 0 or out_channels % groups != 0:
+        raise ValueError(
+            f"{name}: groups={groups} must divide both in_channels="
+            f"{in_shape.channels} and out_channels={out_channels}"
+        )
+    out_h = _conv_out(in_shape.height, kh, stride, pad_h)
+    out_w = _conv_out(in_shape.width, kw, stride, pad_w)
+    out_shape = TensorShape(out_channels, out_h, out_w)
+    in_per_group = in_shape.channels // groups
+    flops = 2.0 * out_shape.numel * in_per_group * kh * kw
+    weight_count = out_channels * in_per_group * kh * kw + out_channels
+    weight_bytes = weight_count * DTYPE_BYTES
+    depthwise = groups == in_shape.channels and groups == out_channels and groups > 1
+    kind = "depthwise_conv" if depthwise else "conv"
+    conv = KernelSpec(
+        kind=kind,
+        flops=flops,
+        bytes_read=in_shape.nbytes + weight_bytes,
+        bytes_written=out_shape.nbytes,
+        name=f"{name}.conv{kh}x{kw}",
+    )
+    return [conv], out_shape, weight_bytes
+
+
+def _activation_kernel(name: str, shape: TensorShape, kind_label: str = "relu") -> KernelSpec:
+    """Pointwise activation over ``shape`` (ReLU/ReLU6/etc. cost alike)."""
+    return KernelSpec(
+        kind="activation",
+        flops=float(shape.numel),
+        bytes_read=float(shape.nbytes),
+        bytes_written=float(shape.nbytes),
+        name=f"{name}.{kind_label}",
+    )
+
+
+def _pool_kernels(
+    name: str,
+    in_shape: TensorShape,
+    kernel: int,
+    stride: int,
+    padding: int,
+    global_pool: bool,
+) -> Tuple[List[KernelSpec], TensorShape]:
+    """Kernels and output shape of a (max/avg) pooling op."""
+    if global_pool:
+        kernel, stride, padding = in_shape.height, 1, 0
+        out_shape = TensorShape(in_shape.channels, 1, 1)
+    else:
+        out_h = _conv_out(in_shape.height, kernel, stride, padding)
+        out_w = _conv_out(in_shape.width, kernel, stride, padding)
+        out_shape = TensorShape(in_shape.channels, out_h, out_w)
+    pool = KernelSpec(
+        kind="pool",
+        flops=float(out_shape.numel * kernel * kernel),
+        bytes_read=float(in_shape.nbytes),
+        bytes_written=float(out_shape.nbytes),
+        name=f"{name}.pool{kernel}x{kernel}",
+    )
+    return [pool], out_shape
+
+
+class ModelBuilder:
+    """Accumulates :class:`LayerSpec` units while tracking shapes.
+
+    Example
+    -------
+    >>> b = ModelBuilder("toy", TensorShape(3, 32, 32))
+    >>> b.conv("conv1", 16, kernel=3, padding=1).fc("fc", 10)
+    >>> graph = b.build()
+    >>> graph.num_layers
+    2
+    """
+
+    def __init__(self, model_name: str, input_shape: TensorShape) -> None:
+        self.model_name = model_name
+        self.input_shape = input_shape
+        self._shape = input_shape
+        self._layers: List[LayerSpec] = []
+
+    # ------------------------------------------------------------------
+    # Plain units
+    # ------------------------------------------------------------------
+    def conv(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        groups: int = 1,
+        activation: Optional[str] = "relu",
+        pool: Optional[Tuple[int, int]] = None,
+        pool_padding: int = 0,
+        lrn: bool = False,
+    ) -> "ModelBuilder":
+        """Append one convolution unit (+ folded activation/LRN/pool).
+
+        ``pool`` is ``(kernel, stride)`` of a max-pool fused after the
+        conv, following the fusion conventions of mobile runtimes.
+        ``padding`` defaults to "same" padding for odd kernels.
+        """
+        if padding is None:
+            padding = kernel // 2
+        in_shape = self._shape
+        kernels, shape, weight_bytes = _conv_kernels(
+            name, in_shape, out_channels, (kernel, kernel), stride, (padding, padding), groups
+        )
+        if activation:
+            kernels.append(_activation_kernel(name, shape, activation))
+        if lrn:
+            kernels.append(
+                KernelSpec(
+                    kind="norm",
+                    flops=float(5 * shape.numel),
+                    bytes_read=float(shape.nbytes),
+                    bytes_written=float(shape.nbytes),
+                    name=f"{name}.lrn",
+                )
+            )
+        if pool is not None:
+            pool_kernel, pool_stride = pool
+            pool_kernels, shape = _pool_kernels(
+                name, shape, pool_kernel, pool_stride, pool_padding, global_pool=False
+            )
+            kernels.extend(pool_kernels)
+        role = "depthwise" if kernels[0].kind == "depthwise_conv" else "conv"
+        self._append(name, kernels, in_shape, shape, weight_bytes, role)
+        return self
+
+    def depthwise_conv(
+        self,
+        name: str,
+        kernel: int = 3,
+        stride: int = 1,
+        activation: Optional[str] = "relu",
+    ) -> "ModelBuilder":
+        """Depthwise convolution unit (groups == channels)."""
+        channels = self._shape.channels
+        return self.conv(
+            name,
+            channels,
+            kernel=kernel,
+            stride=stride,
+            groups=channels,
+            activation=activation,
+        )
+
+    def fc(
+        self,
+        name: str,
+        out_features: int,
+        activation: Optional[str] = None,
+        softmax: bool = False,
+    ) -> "ModelBuilder":
+        """Fully connected unit; flattens the incoming activation."""
+        in_shape = self._shape
+        in_features = in_shape.numel
+        out_shape = TensorShape(out_features)
+        weight_bytes = (in_features * out_features + out_features) * DTYPE_BYTES
+        kernels = [
+            KernelSpec(
+                kind="gemm",
+                flops=2.0 * in_features * out_features,
+                bytes_read=float(in_shape.nbytes + weight_bytes),
+                bytes_written=float(out_shape.nbytes),
+                name=f"{name}.gemm",
+            )
+        ]
+        if activation:
+            kernels.append(_activation_kernel(name, out_shape, activation))
+        if softmax:
+            kernels.append(
+                KernelSpec(
+                    kind="softmax",
+                    flops=float(5 * out_features),
+                    bytes_read=float(out_shape.nbytes),
+                    bytes_written=float(out_shape.nbytes),
+                    name=f"{name}.softmax",
+                )
+            )
+        self._append(name, kernels, in_shape, out_shape, weight_bytes, "fc")
+        return self
+
+    def pool_into_last(
+        self,
+        kernel: int = 2,
+        stride: int = 2,
+        padding: int = 0,
+        global_pool: bool = False,
+    ) -> "ModelBuilder":
+        """Fold a pooling op into the most recent unit.
+
+        Standalone pools are not partition units (no runtime splits a
+        pipeline on a pooling op), so they always attach backwards.
+        """
+        if not self._layers:
+            raise ValueError("pool_into_last requires at least one existing unit")
+        last = self._layers.pop()
+        pool_kernels, shape = _pool_kernels(
+            last.name, last.output_shape, kernel, stride, padding, global_pool
+        )
+        merged = LayerSpec(
+            name=last.name,
+            kernels=last.kernels + tuple(pool_kernels),
+            input_shape=last.input_shape,
+            output_shape=shape,
+            weight_bytes=last.weight_bytes,
+            role=last.role,
+        )
+        self._layers.append(merged)
+        self._shape = shape
+        return self
+
+    # ------------------------------------------------------------------
+    # Composite (branching) units
+    # ------------------------------------------------------------------
+    def residual_basic(
+        self, name: str, out_channels: int, stride: int = 1
+    ) -> "ModelBuilder":
+        """ResNet basic block (two 3x3 convs + identity/projection add)."""
+        in_shape = self._shape
+        kernels: List[KernelSpec] = []
+        weight_bytes = 0
+        branch, shape, wb = _conv_kernels(
+            f"{name}.conv1", in_shape, out_channels, (3, 3), stride, (1, 1), 1
+        )
+        kernels.extend(branch)
+        kernels.append(_activation_kernel(f"{name}.conv1", shape))
+        weight_bytes += wb
+        branch, shape, wb = _conv_kernels(
+            f"{name}.conv2", shape, out_channels, (3, 3), 1, (1, 1), 1
+        )
+        kernels.extend(branch)
+        weight_bytes += wb
+        if stride != 1 or in_shape.channels != out_channels:
+            branch, _, wb = _conv_kernels(
+                f"{name}.proj", in_shape, out_channels, (1, 1), stride, (0, 0), 1
+            )
+            kernels.extend(branch)
+            weight_bytes += wb
+        kernels.append(self._residual_add(name, shape))
+        kernels.append(_activation_kernel(name, shape))
+        self._append(name, kernels, in_shape, shape, weight_bytes, "block")
+        return self
+
+    def residual_bottleneck(
+        self, name: str, mid_channels: int, out_channels: int, stride: int = 1
+    ) -> "ModelBuilder":
+        """ResNet bottleneck block (1x1 reduce, 3x3, 1x1 expand + add)."""
+        in_shape = self._shape
+        kernels: List[KernelSpec] = []
+        weight_bytes = 0
+        branch, shape, wb = _conv_kernels(
+            f"{name}.reduce", in_shape, mid_channels, (1, 1), 1, (0, 0), 1
+        )
+        kernels.extend(branch)
+        kernels.append(_activation_kernel(f"{name}.reduce", shape))
+        weight_bytes += wb
+        branch, shape, wb = _conv_kernels(
+            f"{name}.conv3x3", shape, mid_channels, (3, 3), stride, (1, 1), 1
+        )
+        kernels.extend(branch)
+        kernels.append(_activation_kernel(f"{name}.conv3x3", shape))
+        weight_bytes += wb
+        branch, shape, wb = _conv_kernels(
+            f"{name}.expand", shape, out_channels, (1, 1), 1, (0, 0), 1
+        )
+        kernels.extend(branch)
+        weight_bytes += wb
+        if stride != 1 or in_shape.channels != out_channels:
+            branch, _, wb = _conv_kernels(
+                f"{name}.proj", in_shape, out_channels, (1, 1), stride, (0, 0), 1
+            )
+            kernels.extend(branch)
+            weight_bytes += wb
+        kernels.append(self._residual_add(name, shape))
+        kernels.append(_activation_kernel(name, shape))
+        self._append(name, kernels, in_shape, shape, weight_bytes, "block")
+        return self
+
+    def fire_squeeze(self, name: str, squeeze_channels: int) -> "ModelBuilder":
+        """SqueezeNet fire-module squeeze stage (1x1 conv)."""
+        return self.conv(name, squeeze_channels, kernel=1, padding=0)
+
+    def fire_expand(
+        self, name: str, expand1x1: int, expand3x3: int
+    ) -> "ModelBuilder":
+        """SqueezeNet fire-module expand stage (parallel 1x1 & 3x3 + concat)."""
+        in_shape = self._shape
+        kernels: List[KernelSpec] = []
+        weight_bytes = 0
+        branch, shape1, wb = _conv_kernels(
+            f"{name}.e1x1", in_shape, expand1x1, (1, 1), 1, (0, 0), 1
+        )
+        kernels.extend(branch)
+        kernels.append(_activation_kernel(f"{name}.e1x1", shape1))
+        weight_bytes += wb
+        branch, shape3, wb = _conv_kernels(
+            f"{name}.e3x3", in_shape, expand3x3, (3, 3), 1, (1, 1), 1
+        )
+        kernels.extend(branch)
+        kernels.append(_activation_kernel(f"{name}.e3x3", shape3))
+        weight_bytes += wb
+        out_shape = TensorShape(expand1x1 + expand3x3, shape1.height, shape1.width)
+        kernels.append(self._concat_kernel(name, (shape1, shape3), out_shape))
+        self._append(name, kernels, in_shape, out_shape, weight_bytes, "block")
+        return self
+
+    def mixed_block(
+        self,
+        name: str,
+        branches: Sequence[Sequence[Tuple[int, int, int, int]]],
+        pool_branch: Optional[int] = None,
+        branch_strides: Optional[Sequence[int]] = None,
+    ) -> "ModelBuilder":
+        """Generic Inception "mixed" block.
+
+        ``branches`` is a list of conv chains; each chain element is a
+        ``(out_channels, kernel_h, kernel_w, stride)`` tuple applied in
+        sequence (asymmetric 1x7/7x1 factorized convs are expressed
+        directly).  ``pool_branch`` optionally appends a pool+1x1-conv
+        branch producing that many channels (0 = pool only, passthrough
+        channels).  ``branch_strides`` gives the *overall* stride of a
+        branch when it differs from the product of its conv strides
+        (used by reduction blocks whose pool branch strides by 2).
+
+        All branch outputs are concatenated along channels; spatial
+        sizes must agree, which the builder checks.
+        """
+        in_shape = self._shape
+        kernels: List[KernelSpec] = []
+        weight_bytes = 0
+        branch_shapes: List[TensorShape] = []
+        for branch_index, chain in enumerate(branches):
+            shape = in_shape
+            for step_index, (out_channels, kh, kw, stride) in enumerate(chain):
+                # Stride-1 convs use "same" padding (spatial size kept,
+                # including asymmetric 1x7/7x1 kernels); reduction convs
+                # (stride > 1) are "valid", as in the Inception papers.
+                if stride == 1:
+                    pad = (kh // 2, kw // 2)
+                else:
+                    pad = (0, 0)
+                step_name = f"{name}.b{branch_index}.{step_index}"
+                step_kernels, shape, wb = _conv_kernels(
+                    step_name, shape, out_channels, (kh, kw), stride, pad, 1
+                )
+                kernels.extend(step_kernels)
+                kernels.append(_activation_kernel(step_name, shape))
+                weight_bytes += wb
+            branch_shapes.append(shape)
+        if pool_branch is not None:
+            stride = 1
+            if branch_strides is not None:
+                stride = branch_strides[len(branches)]
+            pool_kernels, shape = _pool_kernels(
+                f"{name}.pool",
+                in_shape,
+                3,
+                stride,
+                1 if stride == 1 else 0,
+                global_pool=False,
+            )
+            kernels.extend(pool_kernels)
+            if pool_branch > 0:
+                step_kernels, shape, wb = _conv_kernels(
+                    f"{name}.pool_proj", shape, pool_branch, (1, 1), 1, (0, 0), 1
+                )
+                kernels.extend(step_kernels)
+                kernels.append(_activation_kernel(f"{name}.pool_proj", shape))
+                weight_bytes += wb
+            branch_shapes.append(shape)
+        heights = {shape.height for shape in branch_shapes}
+        widths = {shape.width for shape in branch_shapes}
+        if len(heights) != 1 or len(widths) != 1:
+            raise ValueError(
+                f"{name}: branch spatial shapes disagree: "
+                f"{[str(s) for s in branch_shapes]}"
+            )
+        out_shape = TensorShape(
+            sum(shape.channels for shape in branch_shapes),
+            branch_shapes[0].height,
+            branch_shapes[0].width,
+        )
+        kernels.append(self._concat_kernel(name, branch_shapes, out_shape))
+        self._append(name, kernels, in_shape, out_shape, weight_bytes, "block")
+        return self
+
+    def dense_layer(
+        self, name: str, growth: int, bottleneck_mult: int = 4
+    ) -> "ModelBuilder":
+        """DenseNet composite layer (BN-ReLU-1x1, BN-ReLU-3x3, concat).
+
+        The unit's output is the input concatenated with ``growth`` new
+        channels, so the activation a downstream device would receive
+        grows along the block -- the property that makes DenseNets
+        expensive to split late in a block.
+        """
+        in_shape = self._shape
+        kernels: List[KernelSpec] = []
+        weight_bytes = 0
+        mid_channels = bottleneck_mult * growth
+        kernels.append(self._norm_kernel(f"{name}.bn1", in_shape))
+        kernels.append(_activation_kernel(f"{name}.bn1", in_shape))
+        branch, shape, wb = _conv_kernels(
+            f"{name}.conv1x1", in_shape, mid_channels, (1, 1), 1, (0, 0), 1
+        )
+        kernels.extend(branch)
+        weight_bytes += wb
+        kernels.append(self._norm_kernel(f"{name}.bn2", shape))
+        kernels.append(_activation_kernel(f"{name}.bn2", shape))
+        branch, shape, wb = _conv_kernels(
+            f"{name}.conv3x3", shape, growth, (3, 3), 1, (1, 1), 1
+        )
+        kernels.extend(branch)
+        weight_bytes += wb
+        out_shape = TensorShape(
+            in_shape.channels + growth, shape.height, shape.width
+        )
+        kernels.append(self._concat_kernel(name, (in_shape, shape), out_shape))
+        self._append(name, kernels, in_shape, out_shape, weight_bytes, "block")
+        return self
+
+    def mbconv(
+        self,
+        name: str,
+        out_channels: int,
+        expand_ratio: int,
+        kernel: int = 3,
+        stride: int = 1,
+        se_ratio: float = 0.25,
+    ) -> "ModelBuilder":
+        """EfficientNet MBConv block (expand, depthwise, SE, project).
+
+        The squeeze-and-excitation branch is priced as a global pool,
+        two tiny GEMMs and an elementwise channel scale; the skip
+        connection applies when ``stride == 1`` and channels match, as
+        in the paper.
+        """
+        if expand_ratio < 1:
+            raise ValueError(f"{name}: expand_ratio must be >= 1, got {expand_ratio}")
+        in_shape = self._shape
+        kernels: List[KernelSpec] = []
+        weight_bytes = 0
+        shape = in_shape
+        mid_channels = in_shape.channels * expand_ratio
+        if expand_ratio != 1:
+            branch, shape, wb = _conv_kernels(
+                f"{name}.expand", in_shape, mid_channels, (1, 1), 1, (0, 0), 1
+            )
+            kernels.extend(branch)
+            kernels.append(_activation_kernel(f"{name}.expand", shape, "silu"))
+            weight_bytes += wb
+        branch, shape, wb = _conv_kernels(
+            f"{name}.dw",
+            shape,
+            mid_channels,
+            (kernel, kernel),
+            stride,
+            (kernel // 2, kernel // 2),
+            mid_channels,
+        )
+        kernels.extend(branch)
+        kernels.append(_activation_kernel(f"{name}.dw", shape, "silu"))
+        weight_bytes += wb
+        if se_ratio > 0:
+            se_channels = max(1, int(in_shape.channels * se_ratio))
+            pool_kernels, pooled = _pool_kernels(
+                f"{name}.se", shape, 0, 1, 0, global_pool=True
+            )
+            kernels.extend(pool_kernels)
+            for se_name, se_in, se_out in (
+                (f"{name}.se.reduce", mid_channels, se_channels),
+                (f"{name}.se.expand", se_channels, mid_channels),
+            ):
+                se_weight = (se_in * se_out + se_out) * DTYPE_BYTES
+                kernels.append(
+                    KernelSpec(
+                        kind="gemm",
+                        flops=2.0 * se_in * se_out,
+                        bytes_read=float(se_in * DTYPE_BYTES + se_weight),
+                        bytes_written=float(se_out * DTYPE_BYTES),
+                        name=f"{se_name}.gemm",
+                    )
+                )
+                weight_bytes += se_weight
+            kernels.append(
+                KernelSpec(
+                    kind="elementwise",
+                    flops=float(shape.numel),
+                    bytes_read=float(shape.nbytes + mid_channels * DTYPE_BYTES),
+                    bytes_written=float(shape.nbytes),
+                    name=f"{name}.se.scale",
+                )
+            )
+        branch, shape, wb = _conv_kernels(
+            f"{name}.project", shape, out_channels, (1, 1), 1, (0, 0), 1
+        )
+        kernels.extend(branch)
+        weight_bytes += wb
+        if stride == 1 and in_shape.channels == out_channels:
+            kernels.append(self._residual_add(name, shape))
+        self._append(name, kernels, in_shape, shape, weight_bytes, "block")
+        return self
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self) -> ModelGraph:
+        """Freeze the accumulated units into a :class:`ModelGraph`."""
+        return ModelGraph(self.model_name, self.input_shape, tuple(self._layers))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _append(
+        self,
+        name: str,
+        kernels: Sequence[KernelSpec],
+        in_shape: TensorShape,
+        out_shape: TensorShape,
+        weight_bytes: int,
+        role: str,
+    ) -> None:
+        if any(layer.name == name for layer in self._layers):
+            raise ValueError(f"duplicate layer name {name!r} in model {self.model_name!r}")
+        self._layers.append(
+            LayerSpec(
+                name=name,
+                kernels=tuple(kernels),
+                input_shape=in_shape,
+                output_shape=out_shape,
+                weight_bytes=weight_bytes,
+                role=role,
+            )
+        )
+        self._shape = out_shape
+
+    @staticmethod
+    def _norm_kernel(name: str, shape: TensorShape) -> KernelSpec:
+        return KernelSpec(
+            kind="norm",
+            flops=float(2 * shape.numel),
+            bytes_read=float(shape.nbytes),
+            bytes_written=float(shape.nbytes),
+            name=f"{name}.bn",
+        )
+
+    @staticmethod
+    def _residual_add(name: str, shape: TensorShape) -> KernelSpec:
+        return KernelSpec(
+            kind="elementwise",
+            flops=float(shape.numel),
+            bytes_read=float(2 * shape.nbytes),
+            bytes_written=float(shape.nbytes),
+            name=f"{name}.add",
+        )
+
+    @staticmethod
+    def _concat_kernel(
+        name: str, inputs: Sequence[TensorShape], out_shape: TensorShape
+    ) -> KernelSpec:
+        return KernelSpec(
+            kind="transform",
+            flops=0.0,
+            bytes_read=float(sum(shape.nbytes for shape in inputs)),
+            bytes_written=float(out_shape.nbytes),
+            name=f"{name}.concat",
+        )

@@ -1,0 +1,111 @@
+"""Model graphs: ordered sequences of partitionable layers.
+
+The scheduler views every DNN as a linear chain of
+:class:`~repro.models.layer.LayerSpec` units (branching blocks are
+encapsulated inside single units; see that module's docstring).  A
+:class:`ModelGraph` is that chain plus summary accessors used by the
+profiler, the simulator and the reporting code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from .layer import LayerSpec, TensorShape
+
+__all__ = ["ModelGraph"]
+
+
+class ModelGraph:
+    """An immutable, named chain of partitionable layers.
+
+    Parameters
+    ----------
+    name:
+        Model name as registered in the zoo (``"vgg19"``).
+    input_shape:
+        Shape of the network input (e.g. ``3x224x224``).
+    layers:
+        The partition units in execution order.  Consecutive units must
+        agree on shapes: ``layers[i].output_shape == layers[i+1].input_shape``.
+    """
+
+    def __init__(
+        self, name: str, input_shape: TensorShape, layers: Tuple[LayerSpec, ...]
+    ) -> None:
+        if not layers:
+            raise ValueError(f"model {name!r} has no layers")
+        if layers[0].input_shape != input_shape:
+            raise ValueError(
+                f"model {name!r}: first layer expects {layers[0].input_shape}, "
+                f"model input is {input_shape}"
+            )
+        for prev, nxt in zip(layers, layers[1:]):
+            if prev.output_shape != nxt.input_shape:
+                raise ValueError(
+                    f"model {name!r}: shape mismatch between {prev.name!r} "
+                    f"({prev.output_shape}) and {nxt.name!r} ({nxt.input_shape})"
+                )
+        self.name = name
+        self.input_shape = input_shape
+        self.layers: Tuple[LayerSpec, ...] = tuple(layers)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[LayerSpec]:
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> LayerSpec:
+        return self.layers[index]
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        """Number of partition units."""
+        return len(self.layers)
+
+    @property
+    def total_flops(self) -> float:
+        """FLOPs of one inference."""
+        return sum(layer.flops for layer in self.layers)
+
+    @property
+    def total_weight_bytes(self) -> int:
+        """Total parameter footprint in bytes."""
+        return sum(layer.weight_bytes for layer in self.layers)
+
+    @property
+    def output_shape(self) -> TensorShape:
+        """Shape of the network output."""
+        return self.layers[-1].output_shape
+
+    def layer_index(self, layer_name: str) -> int:
+        """Index of the layer with the given name."""
+        for index, layer in enumerate(self.layers):
+            if layer.name == layer_name:
+                return index
+        raise KeyError(f"model {self.name!r} has no layer named {layer_name!r}")
+
+    def summary(self) -> str:
+        """A human-readable per-layer table (name, shape, MFLOPs, params)."""
+        lines = [
+            f"{self.name}: {self.num_layers} partition units, "
+            f"{self.total_flops / 1e9:.2f} GFLOPs, "
+            f"{self.total_weight_bytes / 1e6:.1f} MB weights",
+            f"{'#':>3} {'name':<18} {'out shape':<14} {'MFLOPs':>9} {'kB out':>8}",
+        ]
+        for index, layer in enumerate(self.layers):
+            lines.append(
+                f"{index:>3} {layer.name:<18} {str(layer.output_shape):<14} "
+                f"{layer.flops / 1e6:>9.1f} {layer.output_bytes / 1e3:>8.1f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelGraph({self.name!r}, layers={self.num_layers})"

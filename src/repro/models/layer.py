@@ -1,0 +1,129 @@
+"""Layer- and kernel-level description of DNN workloads.
+
+OmniBoost partitions each DNN into contiguous runs of *layers* and
+profiles each layer as the sum of its *kernels* (paper Eq. 1).  This
+module defines the two corresponding datatypes:
+
+* :class:`~repro.hw.kernels.KernelSpec` (re-exported) -- one
+  device-executable kernel with a FLOP and byte footprint.
+* :class:`LayerSpec` -- one partitionable unit: an ordered bag of
+  kernels plus the activation footprint entering and leaving the unit
+  (needed to price pipeline-stage handoffs between devices).
+
+Partitioning granularity
+------------------------
+A ``LayerSpec`` is the smallest unit the scheduler may move between
+devices.  Plain feed-forward layers (conv, fc, depthwise conv) map
+one-to-one onto units; auxiliary ops (pooling, normalization,
+activations) are folded into the preceding unit, matching how inference
+runtimes fuse them; and *branching* blocks (residual blocks, Inception
+mixed blocks, SqueezeNet expand stages) are encapsulated as single
+units so that a device boundary never cuts through a skip connection or
+a concat.  ``DESIGN.md`` records the resulting unit counts per model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..hw.kernels import KernelSpec
+
+__all__ = ["KernelSpec", "TensorShape", "LayerSpec", "DTYPE_BYTES"]
+
+#: All activations are single-precision floats, matching the FP32
+#: OpenCL/NEON path the paper uses through the ARM Compute Library.
+DTYPE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Shape of an activation tensor flowing between layers.
+
+    ``channels`` x ``height`` x ``width`` for feature maps; fully
+    connected activations use ``height == width == 1`` and put the
+    feature count in ``channels``.
+    """
+
+    channels: int
+    height: int = 1
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.height <= 0 or self.width <= 0:
+            raise ValueError(f"all shape dimensions must be positive, got {self}")
+
+    @property
+    def numel(self) -> int:
+        """Number of elements in the tensor."""
+        return self.channels * self.height * self.width
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the tensor in bytes (FP32)."""
+        return self.numel * DTYPE_BYTES
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.channels}x{self.height}x{self.width}"
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One partitionable unit of a DNN.
+
+    Parameters
+    ----------
+    name:
+        Unique (within the model) label, e.g. ``"conv3_2"`` or
+        ``"mixed_6a"``.
+    kernels:
+        The device-executable kernels implementing the unit, in issue
+        order.  Layer latency on a device is the sum of kernel
+        latencies (paper Eq. 1).
+    input_shape / output_shape:
+        Activation shapes entering and leaving the unit.  The output
+        size prices the transfer when the *next* unit lives on a
+        different device.
+    weight_bytes:
+        Size of the unit's parameters.  Not part of the per-inference
+        roofline (weights stay resident) but reported in model
+        summaries and used by memory-pressure heuristics.
+    role:
+        Coarse functional tag (``"conv"``, ``"fc"``, ``"block"``...)
+        used only for reporting.
+    """
+
+    name: str
+    kernels: Tuple[KernelSpec, ...]
+    input_shape: TensorShape
+    output_shape: TensorShape
+    weight_bytes: int = 0
+    role: str = "conv"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("layer name must be non-empty")
+        if not self.kernels:
+            raise ValueError(f"layer {self.name!r} must contain at least one kernel")
+        if self.weight_bytes < 0:
+            raise ValueError(f"layer {self.name!r} has negative weight_bytes")
+
+    @property
+    def flops(self) -> float:
+        """Total FLOPs across the unit's kernels."""
+        return sum(kernel.flops for kernel in self.kernels)
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total memory traffic across the unit's kernels."""
+        return sum(kernel.bytes_moved for kernel in self.kernels)
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes that must cross a device boundary placed after this unit."""
+        return self.output_shape.nbytes
+
+    @property
+    def num_kernels(self) -> int:
+        """Number of kernels in the unit."""
+        return len(self.kernels)

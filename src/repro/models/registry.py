@@ -1,0 +1,114 @@
+"""Model registry: the paper's eleven-network dataset by name.
+
+The registry maps the canonical model names (the exact set Section V
+trains the estimator on) to builder functions and caches built graphs,
+since graphs are immutable and building Inception-v4 is not free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from .graph import ModelGraph
+from .zoo.alexnet import alexnet
+from .zoo.extensions import densenet121, efficientnet_b0, resnet18
+from .zoo.inception import inception_v3, inception_v4
+from .zoo.mobilenet import mobilenet
+from .zoo.resnet import resnet101, resnet34, resnet50
+from .zoo.squeezenet import squeezenet
+from .zoo.vgg import vgg13, vgg16, vgg19
+
+__all__ = [
+    "EXTENSION_MODEL_NAMES",
+    "MODEL_NAMES",
+    "available_models",
+    "build_model",
+    "build_all_models",
+    "max_layer_count",
+    "register_model",
+]
+
+_BUILDERS: Dict[str, Callable[[], ModelGraph]] = {
+    "alexnet": alexnet,
+    "mobilenet": mobilenet,
+    "resnet34": resnet34,
+    "resnet50": resnet50,
+    "resnet101": resnet101,
+    "vgg13": vgg13,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "squeezenet": squeezenet,
+    "inception_v3": inception_v3,
+    "inception_v4": inception_v4,
+    "resnet18": resnet18,
+    "densenet121": densenet121,
+    "efficientnet_b0": efficientnet_b0,
+}
+
+#: Networks outside the paper's dataset (paper contribution iii:
+#: robustness to new models); buildable by name but never part of the
+#: design-time dataset unless explicitly requested.
+EXTENSION_MODEL_NAMES = (
+    "resnet18",
+    "densenet121",
+    "efficientnet_b0",
+)
+
+#: The paper's dataset, in the order Section V lists it.
+MODEL_NAMES = (
+    "alexnet",
+    "mobilenet",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+    "squeezenet",
+    "inception_v3",
+    "inception_v4",
+)
+
+_CACHE: Dict[str, ModelGraph] = {}
+
+
+def available_models() -> List[str]:
+    """Names of every registered model, registry order."""
+    return list(_BUILDERS)
+
+
+def build_model(name: str) -> ModelGraph:
+    """Build (or fetch from cache) the named model graph."""
+    if name not in _BUILDERS:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(_BUILDERS)}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = _BUILDERS[name]()
+    return _CACHE[name]
+
+
+def build_all_models(names: Sequence[str] = MODEL_NAMES) -> List[ModelGraph]:
+    """Build every named model (defaults to the paper's full dataset)."""
+    return [build_model(name) for name in names]
+
+
+def max_layer_count(names: Sequence[str] = MODEL_NAMES) -> int:
+    """Largest unit count across the named models.
+
+    This is the height the distributed embedding tensor zero-pads every
+    performance vector to (paper Section IV-A).
+    """
+    return max(build_model(name).num_layers for name in names)
+
+
+def register_model(name: str, builder: Callable[[], ModelGraph]) -> None:
+    """Register a custom model.
+
+    OmniBoost is explicitly designed to be extensible with new DNNs
+    (paper contribution iii); adding a model here makes it available to
+    the profiler, the embedding tensor and all schedulers.
+    """
+    if name in _BUILDERS:
+        raise ValueError(f"model {name!r} is already registered")
+    _BUILDERS[name] = builder

@@ -1,0 +1,31 @@
+"""The eleven-DNN model zoo from the paper's Section V dataset.
+
+:mod:`.extensions` holds three architectures *outside* the dataset
+(ResNet-18, DenseNet-121, EfficientNet-B0), used to exercise the
+paper's robustness-to-new-models claim.
+"""
+
+from .alexnet import alexnet
+from .extensions import densenet121, efficientnet_b0, resnet18
+from .inception import inception_v3, inception_v4
+from .mobilenet import mobilenet
+from .resnet import resnet101, resnet34, resnet50
+from .squeezenet import squeezenet
+from .vgg import vgg13, vgg16, vgg19
+
+__all__ = [
+    "alexnet",
+    "densenet121",
+    "efficientnet_b0",
+    "inception_v3",
+    "inception_v4",
+    "mobilenet",
+    "resnet101",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "squeezenet",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+]

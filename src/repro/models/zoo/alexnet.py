@@ -1,0 +1,29 @@
+"""AlexNet (Krizhevsky et al.) -- 8 partition units.
+
+The original single-tower configuration: five convolutions (LRN after
+conv1/conv2, max-pools folded into conv1/conv2/conv5) followed by three
+fully connected layers.  Matches the paper's counting of AlexNet as an
+8-layer network.
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder
+from ..graph import ModelGraph
+from ..layer import TensorShape
+
+__all__ = ["alexnet"]
+
+
+def alexnet() -> ModelGraph:
+    """Build the AlexNet partition graph (input 3x224x224)."""
+    b = ModelBuilder("alexnet", TensorShape(3, 224, 224))
+    b.conv("conv1", 96, kernel=11, stride=4, padding=2, lrn=True, pool=(3, 2))
+    b.conv("conv2", 256, kernel=5, padding=2, lrn=True, pool=(3, 2))
+    b.conv("conv3", 384, kernel=3)
+    b.conv("conv4", 384, kernel=3)
+    b.conv("conv5", 256, kernel=3, pool=(3, 2))
+    b.fc("fc6", 4096, activation="relu")
+    b.fc("fc7", 4096, activation="relu")
+    b.fc("fc8", 1000, softmax=True)
+    return b.build()

@@ -1,0 +1,111 @@
+"""Extension zoo: networks *outside* the paper's eleven-model dataset.
+
+The paper claims OmniBoost "is designed to be robust to new DNN models
+added on top of the existing dataset" (contribution iii).  These three
+architectures exist to test that claim: they are never part of
+``MODEL_NAMES`` (the design-time dataset) and enter experiments only
+through :func:`~repro.models.registry.register_model` — e.g. the
+leave-one-out robustness benchmark and the ``custom_model`` example.
+
+* **ResNet-18** — the smallest mainstream residual network; same block
+  family as the dataset's ResNet-34 (near-distribution newcomer).
+* **DenseNet-121** — dense connectivity: activations *grow* along each
+  block, so late splits are expensive; a shape the dataset never shows
+  the estimator.
+* **EfficientNet-B0** — depthwise-separable MBConv blocks with
+  squeeze-and-excitation; heavy on the depthwise kernels the GPU is
+  bad at, like MobileNet but with very different layer statistics.
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder
+from ..graph import ModelGraph
+from ..layer import TensorShape
+
+__all__ = ["resnet18", "densenet121", "efficientnet_b0"]
+
+#: DenseNet-121 layers per dense block.
+_DENSE_BLOCKS = (6, 12, 24, 16)
+#: DenseNet growth rate.
+_GROWTH = 32
+
+#: EfficientNet-B0 stages: (expand_ratio, out_channels, repeats, kernel, stride).
+_B0_STAGES = (
+    (1, 16, 1, 3, 1),
+    (6, 24, 2, 3, 2),
+    (6, 40, 2, 5, 2),
+    (6, 80, 3, 3, 2),
+    (6, 112, 3, 5, 1),
+    (6, 192, 4, 5, 2),
+    (6, 320, 1, 3, 1),
+)
+
+
+def resnet18() -> ModelGraph:
+    """ResNet-18: stem + 8 basic blocks + classifier (10 units)."""
+    b = ModelBuilder("resnet18", TensorShape(3, 224, 224))
+    b.conv("conv1", 64, kernel=7, stride=2, padding=3, pool=(3, 2), pool_padding=1)
+    for stage_index, channels in enumerate((64, 128, 256, 512), start=1):
+        for block_index in (1, 2):
+            stride = 2 if stage_index > 1 and block_index == 1 else 1
+            b.residual_basic(f"layer{stage_index}.{block_index}", channels, stride)
+    b.pool_into_last(global_pool=True)
+    b.fc("fc", 1000, softmax=True)
+    return b.build()
+
+
+def densenet121() -> ModelGraph:
+    """DenseNet-121: stem + 58 dense layers + 3 transitions + classifier.
+
+    63 partition units.  Each dense layer is one unit whose output is
+    the concatenation of everything before it in the block, so the
+    handoff cost of a split grows toward the end of each block —
+    behaviour no dataset model exhibits.
+    """
+    b = ModelBuilder("densenet121", TensorShape(3, 224, 224))
+    b.conv("conv0", 64, kernel=7, stride=2, padding=3, pool=(3, 2), pool_padding=1)
+    channels = 64
+    for block_index, num_layers in enumerate(_DENSE_BLOCKS, start=1):
+        for layer_index in range(1, num_layers + 1):
+            b.dense_layer(f"dense{block_index}.{layer_index}", _GROWTH)
+            channels += _GROWTH
+        if block_index < len(_DENSE_BLOCKS):
+            channels //= 2
+            b.conv(
+                f"transition{block_index}",
+                channels,
+                kernel=1,
+                padding=0,
+                activation="relu",
+            )
+            b.pool_into_last(kernel=2, stride=2)
+    b.pool_into_last(global_pool=True)
+    b.fc("classifier", 1000, softmax=True)
+    return b.build()
+
+
+def efficientnet_b0() -> ModelGraph:
+    """EfficientNet-B0: stem + 16 MBConv blocks + head + classifier.
+
+    19 partition units dominated by depthwise convolutions and
+    squeeze-and-excitation GEMMs.
+    """
+    b = ModelBuilder("efficientnet_b0", TensorShape(3, 224, 224))
+    b.conv("stem", 32, kernel=3, stride=2, padding=1, activation="silu")
+    for stage_index, (expand, out_channels, repeats, kernel, stride) in enumerate(
+        _B0_STAGES, start=1
+    ):
+        for block_index in range(1, repeats + 1):
+            block_stride = stride if block_index == 1 else 1
+            b.mbconv(
+                f"mb{stage_index}.{block_index}",
+                out_channels,
+                expand_ratio=expand,
+                kernel=kernel,
+                stride=block_stride,
+            )
+    b.conv("head", 1280, kernel=1, padding=0, activation="silu")
+    b.pool_into_last(global_pool=True)
+    b.fc("classifier", 1000, softmax=True)
+    return b.build()

@@ -1,0 +1,192 @@
+"""Inception-v3 and Inception-v4 (Szegedy et al.) -- 17/23 partition units.
+
+Each "mixed" block is one partition unit (branches and concat are
+encapsulated).  Branch chains follow the published configurations;
+two modelling approximations are documented inline:
+
+* stride-1 convolutions inside mixed blocks use "same" padding, so the
+  v4 stem keeps 73x73 where the paper's valid convs give 71x71 (the
+  next reduction re-synchronizes the grid);
+* Inception-C blocks fan a 1x1 (or 3x1/1x3 chain) out into two parallel
+  tails; we express the two tails as separate chains that each repeat
+  the shared prefix, double-counting a small prefix conv at 8x8 spatial
+  size (<2% of block FLOPs).
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder
+from ..graph import ModelGraph
+from ..layer import TensorShape
+
+__all__ = ["inception_v3", "inception_v4"]
+
+
+def inception_v3() -> ModelGraph:
+    """Build the Inception-v3 partition graph (input 3x299x299)."""
+    b = ModelBuilder("inception_v3", TensorShape(3, 299, 299))
+    # Stem: five conv units (pools folded), 299 -> 35 spatial.
+    b.conv("conv1a", 32, kernel=3, stride=2, padding=0)
+    b.conv("conv2a", 32, kernel=3, padding=0)
+    b.conv("conv2b", 64, kernel=3, padding=1, pool=(3, 2))
+    b.conv("conv3b", 80, kernel=1, padding=0)
+    b.conv("conv4a", 192, kernel=3, padding=0, pool=(3, 2))
+    # 3x Inception-A at 35x35 (pool_proj 32/64/64).
+    for index, pool_proj in enumerate((32, 64, 64), start=1):
+        b.mixed_block(
+            f"mixed5{'bcd'[index - 1]}",
+            branches=[
+                [(64, 1, 1, 1)],
+                [(48, 1, 1, 1), (64, 5, 5, 1)],
+                [(64, 1, 1, 1), (96, 3, 3, 1), (96, 3, 3, 1)],
+            ],
+            pool_branch=pool_proj,
+        )
+    # Reduction-A (mixed 6a): 35 -> 17.
+    b.mixed_block(
+        "mixed6a",
+        branches=[
+            [(384, 3, 3, 2)],
+            [(64, 1, 1, 1), (96, 3, 3, 1), (96, 3, 3, 2)],
+        ],
+        pool_branch=0,
+        branch_strides=[2, 2, 2],
+    )
+    # 4x Inception-B at 17x17 with factorized 7x7 (c7 = 128/160/160/192).
+    for index, c7 in enumerate((128, 160, 160, 192), start=1):
+        b.mixed_block(
+            f"mixed6{'bcde'[index - 1]}",
+            branches=[
+                [(192, 1, 1, 1)],
+                [(c7, 1, 1, 1), (c7, 1, 7, 1), (192, 7, 1, 1)],
+                [
+                    (c7, 1, 1, 1),
+                    (c7, 7, 1, 1),
+                    (c7, 1, 7, 1),
+                    (c7, 7, 1, 1),
+                    (192, 1, 7, 1),
+                ],
+            ],
+            pool_branch=192,
+        )
+    # Reduction-B (mixed 7a): 17 -> 8.
+    b.mixed_block(
+        "mixed7a",
+        branches=[
+            [(192, 1, 1, 1), (320, 3, 3, 2)],
+            [(192, 1, 1, 1), (192, 1, 7, 1), (192, 7, 1, 1), (192, 3, 3, 2)],
+        ],
+        pool_branch=0,
+        branch_strides=[2, 2, 2],
+    )
+    # 2x Inception-C at 8x8 (parallel tails expressed as separate chains).
+    for suffix in ("b", "c"):
+        b.mixed_block(
+            f"mixed7{suffix}",
+            branches=[
+                [(320, 1, 1, 1)],
+                [(384, 1, 1, 1), (384, 1, 3, 1)],
+                [(384, 1, 1, 1), (384, 3, 1, 1)],
+                [(448, 1, 1, 1), (384, 3, 3, 1), (384, 1, 3, 1)],
+                [(448, 1, 1, 1), (384, 3, 3, 1), (384, 3, 1, 1)],
+            ],
+            pool_branch=192,
+        )
+    b.pool_into_last(global_pool=True)
+    b.fc("fc", 1000, softmax=True)
+    return b.build()
+
+
+def inception_v4() -> ModelGraph:
+    """Build the Inception-v4 partition graph (input 3x299x299)."""
+    b = ModelBuilder("inception_v4", TensorShape(3, 299, 299))
+    # Stem convs: 299 -> 147.
+    b.conv("stem_conv1", 32, kernel=3, stride=2, padding=0)
+    b.conv("stem_conv2", 32, kernel=3, padding=0)
+    b.conv("stem_conv3", 64, kernel=3, padding=1)
+    # Stem mixed 1: parallel maxpool / stride-2 conv, 147 -> 73.
+    b.mixed_block(
+        "stem_mixed1",
+        branches=[[(96, 3, 3, 2)]],
+        pool_branch=0,
+        branch_strides=[2, 2],
+    )
+    # Stem mixed 2: dual conv chains (73x73 kept via same padding).
+    b.mixed_block(
+        "stem_mixed2",
+        branches=[
+            [(64, 1, 1, 1), (96, 3, 3, 1)],
+            [(64, 1, 1, 1), (64, 1, 7, 1), (64, 7, 1, 1), (96, 3, 3, 1)],
+        ],
+    )
+    # Stem mixed 3: parallel stride-2 conv / maxpool, 73 -> 36.
+    b.mixed_block(
+        "stem_mixed3",
+        branches=[[(192, 3, 3, 2)]],
+        pool_branch=0,
+        branch_strides=[2, 2],
+    )
+    # 4x Inception-A at 36x36.
+    for index in range(1, 5):
+        b.mixed_block(
+            f"inceptionA{index}",
+            branches=[
+                [(96, 1, 1, 1)],
+                [(64, 1, 1, 1), (96, 3, 3, 1)],
+                [(64, 1, 1, 1), (96, 3, 3, 1), (96, 3, 3, 1)],
+            ],
+            pool_branch=96,
+        )
+    # Reduction-A: 36 -> 17.
+    b.mixed_block(
+        "reductionA",
+        branches=[
+            [(384, 3, 3, 2)],
+            [(192, 1, 1, 1), (224, 3, 3, 1), (256, 3, 3, 2)],
+        ],
+        pool_branch=0,
+        branch_strides=[2, 2, 2],
+    )
+    # 7x Inception-B at 17x17.
+    for index in range(1, 8):
+        b.mixed_block(
+            f"inceptionB{index}",
+            branches=[
+                [(384, 1, 1, 1)],
+                [(192, 1, 1, 1), (224, 1, 7, 1), (256, 7, 1, 1)],
+                [
+                    (192, 1, 1, 1),
+                    (192, 7, 1, 1),
+                    (224, 1, 7, 1),
+                    (224, 7, 1, 1),
+                    (256, 1, 7, 1),
+                ],
+            ],
+            pool_branch=128,
+        )
+    # Reduction-B: 17 -> 8.
+    b.mixed_block(
+        "reductionB",
+        branches=[
+            [(192, 1, 1, 1), (192, 3, 3, 2)],
+            [(256, 1, 1, 1), (256, 1, 7, 1), (320, 7, 1, 1), (320, 3, 3, 2)],
+        ],
+        pool_branch=0,
+        branch_strides=[2, 2, 2],
+    )
+    # 3x Inception-C at 8x8 (parallel tails as separate chains).
+    for index in range(1, 4):
+        b.mixed_block(
+            f"inceptionC{index}",
+            branches=[
+                [(256, 1, 1, 1)],
+                [(384, 1, 1, 1), (256, 1, 3, 1)],
+                [(384, 1, 1, 1), (256, 3, 1, 1)],
+                [(384, 1, 1, 1), (448, 3, 1, 1), (512, 1, 3, 1), (256, 1, 3, 1)],
+                [(384, 1, 1, 1), (448, 3, 1, 1), (512, 1, 3, 1), (256, 3, 1, 1)],
+            ],
+            pool_branch=256,
+        )
+    b.pool_into_last(global_pool=True)
+    b.fc("fc", 1000, softmax=True)
+    return b.build()

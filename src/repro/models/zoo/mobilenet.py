@@ -1,0 +1,45 @@
+"""MobileNet v1 (Howard et al.) -- 28 partition units.
+
+One full-width stem convolution, thirteen depthwise-separable blocks
+(each contributing a *depthwise* unit and a *pointwise* unit, the
+granularity the paper uses when it counts MobileNet as 28 layers:
+1 + 13x2 + classifier), a global average pool folded into the last
+pointwise conv, and the classifier.
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder
+from ..graph import ModelGraph
+from ..layer import TensorShape
+
+__all__ = ["mobilenet"]
+
+#: (pointwise output channels, depthwise stride) per separable block.
+_BLOCKS = (
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+)
+
+
+def mobilenet() -> ModelGraph:
+    """Build the MobileNet v1 partition graph (input 3x224x224)."""
+    b = ModelBuilder("mobilenet", TensorShape(3, 224, 224))
+    b.conv("conv1", 32, kernel=3, stride=2, padding=1)
+    for index, (channels, stride) in enumerate(_BLOCKS, start=1):
+        b.depthwise_conv(f"dw{index}", kernel=3, stride=stride)
+        b.conv(f"pw{index}", channels, kernel=1, padding=0)
+    b.pool_into_last(global_pool=True)
+    b.fc("fc", 1000, softmax=True)
+    return b.build()

@@ -1,0 +1,75 @@
+"""ResNet-34/50/101 (He et al.) -- 18/18/35 partition units.
+
+Residual blocks are single partition units (a device boundary must not
+cut a skip connection), so ResNet-34 contributes 16 basic-block units,
+ResNet-50 and -101 contribute 16 and 33 bottleneck units, plus the
+7x7 stem (with folded max-pool) and the classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..builder import ModelBuilder
+from ..graph import ModelGraph
+from ..layer import TensorShape
+
+__all__ = ["resnet34", "resnet50", "resnet101"]
+
+#: Blocks per stage for each variant.
+_STAGES = {
+    "resnet34": (3, 4, 6, 3),
+    "resnet50": (3, 4, 6, 3),
+    "resnet101": (3, 4, 23, 3),
+}
+#: Basic-block output channels per stage (ResNet-34).
+_BASIC_CHANNELS = (64, 128, 256, 512)
+#: Bottleneck (mid, out) channels per stage (ResNet-50/101).
+_BOTTLENECK_CHANNELS = ((64, 256), (128, 512), (256, 1024), (512, 2048))
+
+
+def _stem(b: ModelBuilder) -> None:
+    b.conv("conv1", 64, kernel=7, stride=2, padding=3, pool=(3, 2), pool_padding=1)
+
+
+def _build_basic(name: str, stages: Sequence[int]) -> ModelGraph:
+    b = ModelBuilder(name, TensorShape(3, 224, 224))
+    _stem(b)
+    for stage_index, (num_blocks, channels) in enumerate(
+        zip(stages, _BASIC_CHANNELS), start=1
+    ):
+        for block_index in range(1, num_blocks + 1):
+            stride = 2 if stage_index > 1 and block_index == 1 else 1
+            b.residual_basic(f"layer{stage_index}.{block_index}", channels, stride)
+    b.pool_into_last(global_pool=True)
+    b.fc("fc", 1000, softmax=True)
+    return b.build()
+
+
+def _build_bottleneck(name: str, stages: Sequence[int]) -> ModelGraph:
+    b = ModelBuilder(name, TensorShape(3, 224, 224))
+    _stem(b)
+    for stage_index, (num_blocks, (mid, out)) in enumerate(
+        zip(stages, _BOTTLENECK_CHANNELS), start=1
+    ):
+        for block_index in range(1, num_blocks + 1):
+            stride = 2 if stage_index > 1 and block_index == 1 else 1
+            b.residual_bottleneck(f"layer{stage_index}.{block_index}", mid, out, stride)
+    b.pool_into_last(global_pool=True)
+    b.fc("fc", 1000, softmax=True)
+    return b.build()
+
+
+def resnet34() -> ModelGraph:
+    """ResNet-34: stem + 16 basic blocks + classifier (18 units)."""
+    return _build_basic("resnet34", _STAGES["resnet34"])
+
+
+def resnet50() -> ModelGraph:
+    """ResNet-50: stem + 16 bottleneck blocks + classifier (18 units)."""
+    return _build_bottleneck("resnet50", _STAGES["resnet50"])
+
+
+def resnet101() -> ModelGraph:
+    """ResNet-101: stem + 33 bottleneck blocks + classifier (35 units)."""
+    return _build_bottleneck("resnet101", _STAGES["resnet101"])

@@ -1,0 +1,46 @@
+"""SqueezeNet 1.0 (Iandola et al.) -- 18 partition units.
+
+Stem conv, eight fire modules -- each split into a *squeeze* unit
+(1x1 conv) and an *expand* unit (parallel 1x1/3x3 convs + concat,
+encapsulated so a device boundary never separates the two expand
+branches) -- and the conv10 classifier head with its global pool.
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder
+from ..graph import ModelGraph
+from ..layer import TensorShape
+
+__all__ = ["squeezenet"]
+
+#: (squeeze, expand1x1, expand3x3) channels per fire module.
+_FIRES = (
+    (16, 64, 64),
+    (16, 64, 64),
+    (32, 128, 128),
+    (32, 128, 128),
+    (48, 192, 192),
+    (48, 192, 192),
+    (64, 256, 256),
+    (64, 256, 256),
+)
+
+#: Fire modules (1-based position among the eight) after which the
+#: architecture places a 3x3/2 max-pool.
+_POOL_AFTER = {3, 7}
+
+
+def squeezenet() -> ModelGraph:
+    """Build the SqueezeNet 1.0 partition graph (input 3x224x224)."""
+    b = ModelBuilder("squeezenet", TensorShape(3, 224, 224))
+    b.conv("conv1", 96, kernel=7, stride=2, padding=3, pool=(3, 2))
+    for index, (squeeze, expand1, expand3) in enumerate(_FIRES, start=1):
+        fire_id = index + 1  # fire modules are conventionally numbered 2..9
+        b.fire_squeeze(f"fire{fire_id}_squeeze", squeeze)
+        b.fire_expand(f"fire{fire_id}_expand", expand1, expand3)
+        if index in _POOL_AFTER:
+            b.pool_into_last(kernel=3, stride=2)
+    b.conv("conv10", 1000, kernel=1, padding=0)
+    b.pool_into_last(global_pool=True)
+    return b.build()

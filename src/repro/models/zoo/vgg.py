@@ -1,0 +1,60 @@
+"""VGG-13/16/19 (Simonyan & Zisserman) -- 13/16/19 partition units.
+
+All three variants share the five-stage 3x3 convolution trunk followed
+by the 4096-4096-1000 classifier; they differ only in convs per stage.
+Max-pools are folded into the last conv of each stage, so the unit
+counts match the paper's layer counts exactly (e.g. VGG-19 = 16 conv
+units + 3 fc units).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..builder import ModelBuilder
+from ..graph import ModelGraph
+from ..layer import TensorShape
+
+__all__ = ["vgg13", "vgg16", "vgg19"]
+
+#: Convolutions per stage for each variant.
+_STAGE_CONFIGS = {
+    "vgg13": (2, 2, 2, 2, 2),
+    "vgg16": (2, 2, 3, 3, 3),
+    "vgg19": (2, 2, 4, 4, 4),
+}
+_STAGE_CHANNELS = (64, 128, 256, 512, 512)
+
+
+def _build_vgg(name: str, convs_per_stage: Sequence[int]) -> ModelGraph:
+    b = ModelBuilder(name, TensorShape(3, 224, 224))
+    for stage_index, (num_convs, channels) in enumerate(
+        zip(convs_per_stage, _STAGE_CHANNELS), start=1
+    ):
+        for conv_index in range(1, num_convs + 1):
+            is_last_in_stage = conv_index == num_convs
+            b.conv(
+                f"conv{stage_index}_{conv_index}",
+                channels,
+                kernel=3,
+                pool=(2, 2) if is_last_in_stage else None,
+            )
+    b.fc("fc6", 4096, activation="relu")
+    b.fc("fc7", 4096, activation="relu")
+    b.fc("fc8", 1000, softmax=True)
+    return b.build()
+
+
+def vgg13() -> ModelGraph:
+    """VGG-13 (configuration B), 13 partition units."""
+    return _build_vgg("vgg13", _STAGE_CONFIGS["vgg13"])
+
+
+def vgg16() -> ModelGraph:
+    """VGG-16 (configuration D), 16 partition units."""
+    return _build_vgg("vgg16", _STAGE_CONFIGS["vgg16"])
+
+
+def vgg19() -> ModelGraph:
+    """VGG-19 (configuration E), 19 partition units."""
+    return _build_vgg("vgg19", _STAGE_CONFIGS["vgg19"])

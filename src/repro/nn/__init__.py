@@ -1,0 +1,67 @@
+"""A from-scratch numpy deep-learning framework.
+
+Stand-in for the paper's PyTorch dependency: autograd tensors,
+conv/pool/linear layers, BatchNorm, GELU, Adam/SGD, L1/L2 losses, data
+loaders and the ResNet9 estimator backbone.
+"""
+
+from . import functional
+from .data import DataLoader, TensorDataset
+from .functional import (
+    avg_pool2d,
+    conv2d,
+    global_avg_pool2d,
+    l1_loss,
+    linear,
+    max_pool2d,
+    mse_loss,
+    pad2d,
+)
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from .optim import SGD, Adam, Optimizer
+from .resnet9 import ConvBlock, ResidualBlock, ResNet9
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Adam",
+    "BatchNorm2d",
+    "Conv2d",
+    "ConvBlock",
+    "DataLoader",
+    "Flatten",
+    "GELU",
+    "GlobalAvgPool2d",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "Optimizer",
+    "ReLU",
+    "ResNet9",
+    "ResidualBlock",
+    "SGD",
+    "Sequential",
+    "Tensor",
+    "TensorDataset",
+    "avg_pool2d",
+    "conv2d",
+    "functional",
+    "global_avg_pool2d",
+    "is_grad_enabled",
+    "l1_loss",
+    "linear",
+    "max_pool2d",
+    "mse_loss",
+    "no_grad",
+    "pad2d",
+]

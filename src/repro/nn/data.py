@@ -1,0 +1,78 @@
+"""Datasets and a mini-batch loader with deterministic shuffling."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TensorDataset", "DataLoader"]
+
+
+class TensorDataset:
+    """Paired input/target arrays addressed by index."""
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray) -> None:
+        inputs = np.asarray(inputs)
+        targets = np.asarray(targets)
+        if len(inputs) != len(targets):
+            raise ValueError(
+                f"inputs ({len(inputs)}) and targets ({len(targets)}) differ in length"
+            )
+        if len(inputs) == 0:
+            raise ValueError("dataset must contain at least one sample")
+        self.inputs = inputs
+        self.targets = targets
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self.inputs[index], self.targets[index]
+
+    def split(
+        self, first_size: int
+    ) -> Tuple["TensorDataset", "TensorDataset"]:
+        """Split into (first ``first_size`` samples, the rest), in order.
+
+        The paper's 400/100 train/validation split is produced this way
+        after the generator has already shuffled sample order.
+        """
+        if not 0 < first_size < len(self):
+            raise ValueError(
+                f"first_size must be in (0, {len(self)}), got {first_size}"
+            )
+        return (
+            TensorDataset(self.inputs[:first_size], self.targets[:first_size]),
+            TensorDataset(self.inputs[first_size:], self.targets[first_size:]),
+        )
+
+
+class DataLoader:
+    """Iterate a dataset in mini-batches, optionally shuffled per epoch."""
+
+    def __init__(
+        self,
+        dataset: TensorDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch (last partial batch included)."""
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self.rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch = indices[start : start + self.batch_size]
+            yield self.dataset.inputs[batch], self.dataset.targets[batch]

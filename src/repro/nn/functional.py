@@ -1,0 +1,288 @@
+"""Convolution, pooling and loss functionals with hand-derived backwards.
+
+These are the structured ops the autograd tape cannot compose from
+arithmetic primitives efficiently.  Convolution uses im2col/col2im with
+numpy stride tricks; inputs are NCHW.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "linear",
+    "batch_norm2d",
+    "l1_loss",
+    "mse_loss",
+    "pad2d",
+]
+
+
+def _as_pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        first, second = value
+        return int(first), int(second)
+    return int(value), int(value)
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: Tuple[int, int]
+) -> Tuple[np.ndarray, int, int]:
+    """Expand padded NCHW input into column form.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N, C*kh*kw, out_h*out_w)``.
+    """
+    n, c, h, w = x.shape
+    sh, sw = stride
+    out_h = (h - kh) // sh + 1
+    out_w = (w - kw) // sw + 1
+    stride_n, stride_c, stride_h, stride_w = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, out_h, out_w),
+        strides=(stride_n, stride_c, stride_h, stride_w, stride_h * sh, stride_w * sw),
+        writeable=False,
+    )
+    cols = windows.reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: Tuple[int, int],
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Scatter-add column gradients back to padded input positions."""
+    n, c, h, w = x_shape
+    sh, sw = stride
+    grad_x = np.zeros(x_shape, dtype=cols.dtype)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for row in range(kh):
+        row_end = row + sh * out_h
+        for col in range(kw):
+            col_end = col + sw * out_w
+            grad_x[:, :, row:row_end:sh, col:col_end:sw] += cols[:, :, row, col]
+    return grad_x
+
+
+def pad2d(x: Tensor, padding: Tuple[int, int]) -> Tensor:
+    """Zero-pad the two trailing (spatial) dimensions."""
+    ph, pw = padding
+    if ph == 0 and pw == 0:
+        return x
+    out_data = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad[:, :, ph : grad.shape[2] - ph, pw : grad.shape[3] - pw])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride=1,
+    padding=0,
+) -> Tensor:
+    """2-D convolution (NCHW x OIHW -> NCHW)."""
+    stride_pair = _as_pair(stride)
+    padding_pair = _as_pair(padding)
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects a 4-D NCHW input, got shape {x.shape}")
+    if weight.ndim != 4:
+        raise ValueError(f"conv2d expects a 4-D OIHW weight, got shape {weight.shape}")
+    out_channels, in_channels, kh, kw = weight.shape
+    if x.shape[1] != in_channels:
+        raise ValueError(
+            f"input has {x.shape[1]} channels, weight expects {in_channels}"
+        )
+    x_padded = pad2d(x, padding_pair)
+    cols, out_h, out_w = _im2col(x_padded.data, kh, kw, stride_pair)
+    n = x.shape[0]
+    w_mat = weight.data.reshape(out_channels, -1)
+    out = np.matmul(w_mat, cols)  # (O, F) @ (N, F, P) -> (N, O, P)
+    out_data = out.reshape(n, out_channels, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x_padded, weight) if bias is None else (x_padded, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, out_channels, out_h * out_w)
+        if weight.requires_grad:
+            grad_w = np.matmul(grad_mat, cols.transpose(0, 2, 1)).sum(axis=0)
+            weight._accumulate(grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x_padded.requires_grad:
+            grad_cols = np.matmul(w_mat.T, grad_mat)  # (F, O) @ (N, O, P)
+            grad_x = _col2im(
+                grad_cols, x_padded.shape, kh, kw, stride_pair, out_h, out_w
+            )
+            x_padded._accumulate(grad_x)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
+    """Max pooling over NCHW spatial dims."""
+    kh, kw = _as_pair(kernel_size)
+    stride_pair = _as_pair(stride) if stride is not None else (kh, kw)
+    cols, out_h, out_w = _im2col(x.data, kh, kw, stride_pair)
+    n, c = x.shape[0], x.shape[1]
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out_data = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).reshape(
+        n, c, out_h, out_w
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_cols = np.zeros((n, c, kh * kw, out_h * out_w), dtype=grad.dtype)
+        np.put_along_axis(
+            grad_cols,
+            argmax[:, :, None, :],
+            grad.reshape(n, c, 1, out_h * out_w),
+            axis=2,
+        )
+        grad_x = _col2im(
+            grad_cols.reshape(n, c * kh * kw, out_h * out_w),
+            x.shape,
+            kh,
+            kw,
+            stride_pair,
+            out_h,
+            out_w,
+        )
+        x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size=2, stride=None) -> Tensor:
+    """Average pooling over NCHW spatial dims."""
+    kh, kw = _as_pair(kernel_size)
+    stride_pair = _as_pair(stride) if stride is not None else (kh, kw)
+    cols, out_h, out_w = _im2col(x.data, kh, kw, stride_pair)
+    n, c = x.shape[0], x.shape[1]
+    cols = cols.reshape(n, c, kh * kw, out_h * out_w)
+    out_data = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        spread = np.broadcast_to(
+            grad.reshape(n, c, 1, out_h * out_w) / (kh * kw),
+            (n, c, kh * kw, out_h * out_w),
+        )
+        grad_x = _col2im(
+            spread.reshape(n, c * kh * kw, out_h * out_w),
+            x.shape,
+            kh,
+            kw,
+            stride_pair,
+            out_h,
+            out_w,
+        )
+        x._accumulate(grad_x)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Collapse NCHW spatial dims to 1x1 by averaging."""
+    n, c, h, w = x.shape
+    out_data = x.data.mean(axis=(2, 3), keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(np.broadcast_to(grad / (h * w), x.shape).copy())
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` for 2-D inputs ``(N, in)``."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def batch_norm2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor,
+    eps: float = 1e-5,
+) -> Tuple[Tensor, np.ndarray, np.ndarray]:
+    """Fused training-mode batch normalization over NCHW channels.
+
+    Returns ``(output, batch_mean, batch_var)``; the caller maintains
+    running statistics.  Fusing forward and backward avoids the ~20
+    broadcasting primitives the composed formulation would tape.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"batch_norm2d expects NCHW input, got shape {x.shape}")
+    axes = (0, 2, 3)
+    count = x.shape[0] * x.shape[2] * x.shape[3]
+    mean = x.data.mean(axis=axes, keepdims=True)
+    centered = x.data - mean
+    var = (centered**2).mean(axis=axes, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalized = centered * inv_std
+    gamma = weight.data.reshape(1, -1, 1, 1)
+    out_data = normalized * gamma + bias.data.reshape(1, -1, 1, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate((grad * normalized).sum(axis=axes))
+        if bias.requires_grad:
+            bias._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            grad_norm = grad * gamma
+            # Standard BN input gradient:
+            # dx = inv_std/N * (N*g - sum(g) - x_hat * sum(g*x_hat))
+            sum_grad = grad_norm.sum(axis=axes, keepdims=True)
+            sum_grad_norm = (grad_norm * normalized).sum(axis=axes, keepdims=True)
+            grad_x = (
+                inv_std / count * (count * grad_norm - sum_grad - normalized * sum_grad_norm)
+            )
+            x._accumulate(grad_x)
+
+    out = Tensor._make(out_data, (x, weight, bias), backward)
+    return out, mean.reshape(-1), var.reshape(-1)
+
+
+def l1_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error (the paper's training criterion)."""
+    _check_same_shape(prediction, target)
+    return (prediction - target).abs().mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error (the paper's rejected, "too aggressive" L2)."""
+    _check_same_shape(prediction, target)
+    return ((prediction - target) ** 2).mean()
+
+
+def _check_same_shape(prediction: Tensor, target: Tensor) -> None:
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )

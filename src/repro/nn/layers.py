@@ -1,0 +1,315 @@
+"""Module system and standard layers for the estimator network.
+
+A tiny nn.Module analogue: modules hold parameters (Tensors with
+``requires_grad=True``) and submodules, recurse for ``parameters()``
+and ``state_dict()``, and distinguish train/eval mode (BatchNorm needs
+it).  Initialization takes an explicit ``numpy.random.Generator`` so
+every training run in this code base is reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "GELU",
+    "ReLU",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Sequential",
+]
+
+
+class Module:
+    """Base class: parameter registration, mode switching, state dicts."""
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Tensor] = {}
+        self._buffers: Dict[str, np.ndarray] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration (attribute assignment keeps user code natural)
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track non-learned state (e.g. BatchNorm running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Tensor]:
+        """All trainable tensors, depth-first."""
+        params = list(self._parameters.values())
+        for module in self._modules.values():
+            params.extend(module.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for child_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def num_parameters(self) -> int:
+        """Total trainable parameter count (the paper reports 20,044)."""
+        return sum(param.size for param in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Modes
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        """Flat name -> array mapping of parameters and buffers."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[f"{prefix}{name}"] = param.data.copy()
+        for name, buffer in self._buffers.items():
+            state[f"{prefix}{name}"] = np.asarray(buffer).copy()
+        for child_name, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{child_name}."))
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        """Load arrays saved by :meth:`state_dict` (strict on names/shapes)."""
+        for name, param in self._parameters.items():
+            key = f"{prefix}{name}"
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} in state dict")
+            value = np.asarray(state[key])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: saved {value.shape}, "
+                    f"expected {param.data.shape}"
+                )
+            param.data = value.astype(param.data.dtype).copy()
+        for name in self._buffers:
+            key = f"{prefix}{name}"
+            if key not in state:
+                raise KeyError(f"missing buffer {key!r} in state dict")
+            self._buffers[name][...] = state[key]
+        for child_name, module in self._modules.items():
+            module.load_state_dict(state, prefix=f"{prefix}{child_name}.")
+
+    def save(self, path: str) -> None:
+        """Save the state dict as an ``.npz`` archive."""
+        np.savez(path, **self.state_dict())
+
+    def load(self, path: str) -> None:
+        """Load an ``.npz`` archive produced by :meth:`save`."""
+        with np.load(path) as archive:
+            self.load_state_dict({key: archive[key] for key in archive.files})
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+
+def _kaiming_normal(
+    rng: np.random.Generator, shape: Sequence[int], fan_in: int
+) -> np.ndarray:
+    """He-normal initialization, appropriate before (GE)LU-family units."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+class Conv2d(Module):
+    """2-D convolution layer (NCHW)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Tensor(
+            _kaiming_normal(
+                rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in
+            ),
+            requires_grad=True,
+        )
+        self.bias = (
+            Tensor(np.zeros(out_channels), requires_grad=True) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x, self.weight, self.bias, stride=self.stride, padding=self.padding
+        )
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` for 2-D inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(
+            _kaiming_normal(rng, (out_features, in_features), in_features),
+            requires_grad=True,
+        )
+        self.bias = (
+            Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over NCHW channels with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Tensor(np.ones(num_features), requires_grad=True)
+        self.bias = Tensor(np.zeros(num_features), requires_grad=True)
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        if self.training:
+            out, batch_mean, batch_var = F.batch_norm2d(
+                x, self.weight, self.bias, eps=self.eps
+            )
+            self.running_mean[...] = (
+                (1 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            )
+            self.running_var[...] = (
+                (1 - self.momentum) * self.running_var + self.momentum * batch_var
+            )
+            return out
+        mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+        var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        normalized = (x - mean) / (var + self.eps) ** 0.5
+        scale = self.weight.reshape(1, self.num_features, 1, 1)
+        shift = self.bias.reshape(1, self.num_features, 1, 1)
+        return normalized * scale + shift
+
+
+class GELU(Module):
+    """Gaussian Error Linear Unit activation (paper Section IV-B)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.gelu()
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class MaxPool2d(Module):
+    """Max pooling layer."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling to 1x1 spatial size."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    """Collapse all non-batch dimensions."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_batch()
+
+
+class Sequential(Module):
+    """Run submodules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._sequence: List[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, f"layer{index}", module)
+            self._sequence.append(module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._sequence:
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._sequence)
+
+    def __len__(self) -> int:
+        return len(self._sequence)

@@ -1,0 +1,123 @@
+"""ResNet9-style backbone for the throughput estimator.
+
+The paper describes "a lightweight ResNet9-based CNN performance
+estimator with only 20,044 trainable parameters" using GELU
+activations and a 3-neuron linear output (one expected normalized
+throughput per computing component, no output activation).
+
+This is that network, scaled to the masked embedding tensor's input
+geometry (3 device channels x max_layers x num_models).  The default
+widths (12, 17, 21 channels; 46 hidden units) were chosen so the
+trainable parameter count is exactly 20,044.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    Sequential,
+)
+from .tensor import Tensor
+
+__all__ = ["ConvBlock", "ResidualBlock", "ResNet9"]
+
+
+class ConvBlock(Module):
+    """conv3x3 -> BatchNorm -> GELU (-> optional max-pool)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        pool: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.conv = Conv2d(
+            in_channels, out_channels, kernel_size=3, padding=1, rng=rng
+        )
+        self.norm = BatchNorm2d(out_channels)
+        self.act = GELU()
+        self.pool = MaxPool2d(2) if pool else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.act(self.norm(self.conv(x)))
+        if self.pool is not None:
+            out = self.pool(out)
+        return out
+
+
+class ResidualBlock(Module):
+    """Two ConvBlocks with an identity skip (channels preserved)."""
+
+    def __init__(
+        self, channels: int, rng: Optional[np.random.Generator] = None
+    ) -> None:
+        super().__init__()
+        self.block1 = ConvBlock(channels, channels, rng=rng)
+        self.block2 = ConvBlock(channels, channels, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.block2(self.block1(x)) + x
+
+
+class ResNet9(Module):
+    """The estimator backbone: 2 residual stages + linear regression head.
+
+    Parameters
+    ----------
+    in_channels:
+        Input channels -- one per computing component (3 on HiKey970).
+    out_features:
+        Output neurons -- one per computing component; no output
+        activation because the task is regression (paper IV-B).
+    widths:
+        Channel widths of the three conv stages.
+    hidden:
+        Width of the penultimate fully connected layer.
+    rng:
+        Generator for weight initialization (reproducibility).
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        out_features: int = 3,
+        widths: tuple = (12, 17, 21),
+        hidden: int = 46,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        c1, c2, c3 = widths
+        self.stem = ConvBlock(in_channels, c1, rng=rng)
+        self.stage1 = ConvBlock(c1, c2, pool=True, rng=rng)
+        self.res1 = ResidualBlock(c2, rng=rng)
+        self.stage2 = ConvBlock(c2, c3, pool=True, rng=rng)
+        self.res2 = ResidualBlock(c3, rng=rng)
+        self.head = Sequential(
+            GlobalAvgPool2d(),
+            Flatten(),
+            Linear(c3, hidden, rng=rng),
+            GELU(),
+            Linear(hidden, out_features, rng=rng),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.stage1(out)
+        out = self.res1(out)
+        out = self.stage2(out)
+        out = self.res2(out)
+        return self.head(out)

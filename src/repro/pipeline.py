@@ -1,0 +1,152 @@
+"""End-to-end system assembly: the OmniBoost design-time pipeline.
+
+One call builds everything the paper's Figure 2 shows: the board
+(simulator), the kernel-profiled latency tables, the distributed
+embedding tensor, the estimator trained on random multi-DNN workloads,
+and the MCTS scheduler on top -- plus the three comparison schedulers,
+so examples and benches can reproduce the evaluation with a few lines:
+
+>>> from repro import build_system
+>>> system = build_system(epochs=10)          # doctest: +SKIP
+>>> mix = system.generator.sample_mix(4)      # doctest: +SKIP
+>>> decision = system.omniboost.schedule(mix) # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .baselines.ga import GAConfig, GeneticScheduler, StaticCostModel
+from .baselines.gpu_only import GpuOnlyScheduler
+from .baselines.mosaic import LayerLatencyRegression, MosaicScheduler
+from .core.mcts import MCTSConfig
+from .core.scheduler import OmniBoostScheduler
+from .estimator.embedding import EmbeddingSpace
+from .estimator.model import ThroughputEstimator
+from .estimator.training import (
+    EstimatorDatasetBuilder,
+    EstimatorTrainer,
+    TrainingHistory,
+)
+from .hw.platform_ import Platform
+from .hw.presets import hikey970
+from .models.registry import MODEL_NAMES, build_all_models
+from .sim.profiler import KernelProfiler, LatencyTable
+from .sim.simulator import BoardSimulator, SimConfig
+from .workloads.generator import WorkloadGenerator
+
+__all__ = ["OmniBoostSystem", "build_system"]
+
+
+@dataclass
+class OmniBoostSystem:
+    """Everything assembled: board, estimator, schedulers, generator."""
+
+    platform: Platform
+    simulator: BoardSimulator
+    profiler: KernelProfiler
+    latency_table: LatencyTable
+    embedding: EmbeddingSpace
+    estimator: ThroughputEstimator
+    training_history: Optional[TrainingHistory]
+    generator: WorkloadGenerator
+    omniboost: OmniBoostScheduler
+    baseline: GpuOnlyScheduler
+    mosaic: MosaicScheduler
+    ga: GeneticScheduler
+
+    @property
+    def schedulers(self) -> Tuple:
+        """All four schedulers in the paper's comparison order."""
+        return (self.baseline, self.mosaic, self.ga, self.omniboost)
+
+
+def build_system(
+    platform: Optional[Platform] = None,
+    model_names: Sequence[str] = MODEL_NAMES,
+    sim_config: Optional[SimConfig] = None,
+    mcts_config: Optional[MCTSConfig] = None,
+    ga_config: Optional[GAConfig] = None,
+    num_training_samples: int = 500,
+    epochs: int = 100,
+    measurement_repetitions: int = 3,
+    train: bool = True,
+    reserve_layers: int = 0,
+    reserve_models: int = 0,
+    seed: int = 0,
+) -> OmniBoostSystem:
+    """Build and (optionally) train a complete OmniBoost deployment.
+
+    Parameters mirror the paper's Section V defaults: 500 training
+    workloads, 100 epochs, MCTS budget 500 / depth 100.  Set
+    ``train=False`` to get an untrained estimator (for tests that train
+    their own or load a checkpoint).  ``reserve_layers`` /
+    ``reserve_models`` pre-allocate embedding-tensor capacity so that
+    DNNs arriving after design time can be added without retraining
+    (see :meth:`~repro.estimator.embedding.EmbeddingSpace.extend`).
+    """
+    platform = platform or hikey970()
+    simulator = BoardSimulator(platform, config=sim_config)
+    profiler = KernelProfiler(platform)
+    models = build_all_models(model_names)
+    latency_table = profiler.profile(models, seed=seed)
+    embedding = EmbeddingSpace(
+        latency_table,
+        model_names,
+        reserve_layers=reserve_layers,
+        reserve_models=reserve_models,
+    )
+    estimator = ThroughputEstimator(
+        embedding, rng=np.random.default_rng(seed + 1)
+    )
+    generator = WorkloadGenerator(
+        model_names=model_names,
+        num_devices=platform.num_devices,
+        seed=seed + 2,
+    )
+    history: Optional[TrainingHistory] = None
+    if train:
+        builder = EstimatorDatasetBuilder(simulator, generator, estimator)
+        dataset = builder.build(
+            num_samples=num_training_samples,
+            measurement_seed=seed + 3,
+            repetitions=measurement_repetitions,
+        )
+        train_size = max(1, int(round(0.8 * num_training_samples)))
+        trainer = EstimatorTrainer(estimator)
+        history = trainer.train(
+            dataset, epochs=epochs, train_size=train_size, seed=seed + 4
+        )
+        estimator.reset_query_count()
+
+    omniboost = OmniBoostScheduler(
+        estimator, config=mcts_config or MCTSConfig(seed=seed + 5)
+    )
+    baseline = GpuOnlyScheduler(platform)
+    regression = LayerLatencyRegression(platform.num_devices).fit(
+        models, profiler, seed=seed + 6
+    )
+    mosaic = MosaicScheduler(platform, regression)
+    ga_cost_model = StaticCostModel(
+        platform,
+        latency_table,
+        offered_rate=simulator.config.offered_rate,
+    )
+    ga = GeneticScheduler(ga_cost_model, config=ga_config or GAConfig(seed=seed + 7))
+    return OmniBoostSystem(
+        platform=platform,
+        simulator=simulator,
+        profiler=profiler,
+        latency_table=latency_table,
+        embedding=embedding,
+        estimator=estimator,
+        training_history=history,
+        generator=generator,
+        omniboost=omniboost,
+        baseline=baseline,
+        mosaic=mosaic,
+        ga=ga,
+    )

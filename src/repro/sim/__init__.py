@@ -1,0 +1,35 @@
+"""Board simulator: the reproduction's stand-in for the HiKey970."""
+
+from .contention import max_min_rates, processor_sharing_rates
+from .mapping import Mapping, Stage
+from .pipeline import PipelinePlan, StagePlan, compile_pipelines, layer_latency
+from .profiler import KernelProfiler, LatencyTable
+from .trace import TraceEvent, TraceResult, TraceSimulator
+from .simulator import (
+    BoardSimulator,
+    BoardUnresponsiveError,
+    SimConfig,
+    SimulationResult,
+    model_dram_bytes,
+)
+
+__all__ = [
+    "BoardSimulator",
+    "BoardUnresponsiveError",
+    "KernelProfiler",
+    "LatencyTable",
+    "Mapping",
+    "PipelinePlan",
+    "SimConfig",
+    "SimulationResult",
+    "Stage",
+    "TraceEvent",
+    "TraceResult",
+    "TraceSimulator",
+    "StagePlan",
+    "compile_pipelines",
+    "layer_latency",
+    "max_min_rates",
+    "processor_sharing_rates",
+    "model_dram_bytes",
+]

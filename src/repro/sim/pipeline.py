@@ -1,0 +1,130 @@
+"""Pipeline compilation: from a mapping to per-stage service times.
+
+Given a mix and a mapping, this module prices every pipeline stage:
+its compute time (sum of kernel latencies on the stage's device, paper
+Eq. 1) and its inbound transfer time (activation handoff from the
+previous stage's device).  The resulting :class:`PipelinePlan` objects
+are what the contention solver and all reporting consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..hw.kernels import KernelCostModel
+from ..hw.platform_ import Platform
+from ..models.graph import ModelGraph
+from .mapping import Mapping, Stage
+
+__all__ = ["StagePlan", "PipelinePlan", "compile_pipelines", "layer_latency"]
+
+
+def layer_latency(
+    model: ModelGraph,
+    layer_index: int,
+    device_id: int,
+    platform: Platform,
+    cost_model: KernelCostModel,
+) -> float:
+    """Latency of one layer on one device (sum of its kernels, Eq. 1)."""
+    device = platform.device(device_id)
+    layer = model.layers[layer_index]
+    return sum(cost_model.latency(kernel, device) for kernel in layer.kernels)
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One priced pipeline stage.
+
+    ``service_time`` is the stage's total occupancy per inference on
+    its device: inbound activation transfer plus compute.  Transfers
+    are attributed to the consuming (downstream) stage, matching how
+    the ACL runtime blocks the consumer on buffer map/unmap.
+    """
+
+    stage: Stage
+    compute_time: float
+    transfer_time: float
+
+    @property
+    def device_id(self) -> int:
+        return self.stage.device_id
+
+    @property
+    def service_time(self) -> float:
+        return self.compute_time + self.transfer_time
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """The priced pipeline of one DNN under a mapping."""
+
+    model_name: str
+    stages: Tuple[StagePlan, ...]
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def bottleneck_time(self) -> float:
+        """Service time of the slowest stage.
+
+        With layer-pipelined execution the DNN's standalone throughput
+        is ``1 / bottleneck_time`` (a new inference enters as soon as
+        the slowest stage frees up).
+        """
+        return max(plan.service_time for plan in self.stages)
+
+    @property
+    def total_service_time(self) -> float:
+        """Sum of stage service times (the single-inference latency)."""
+        return sum(plan.service_time for plan in self.stages)
+
+    @property
+    def total_transfer_time(self) -> float:
+        """Seconds per inference spent crossing device boundaries."""
+        return sum(plan.transfer_time for plan in self.stages)
+
+    def work_on_device(self, device_id: int) -> float:
+        """Per-inference occupancy this DNN places on one device."""
+        return sum(
+            plan.service_time for plan in self.stages if plan.device_id == device_id
+        )
+
+
+def compile_pipelines(
+    models: Sequence[ModelGraph],
+    mapping: Mapping,
+    platform: Platform,
+    cost_model: KernelCostModel,
+) -> List[PipelinePlan]:
+    """Price every DNN's pipeline under ``mapping``.
+
+    Raises ``ValueError`` if the mapping does not fit the mix.
+    """
+    mapping.validate(models, platform.num_devices)
+    plans: List[PipelinePlan] = []
+    for dnn_index, model in enumerate(models):
+        stage_plans: List[StagePlan] = []
+        previous_device: int = -1
+        for stage in mapping.stages(dnn_index):
+            device = platform.device(stage.device_id)
+            compute = 0.0
+            for layer in model.layers[stage.start : stage.end]:
+                compute += sum(
+                    cost_model.latency(kernel, device) for kernel in layer.kernels
+                )
+            transfer = 0.0
+            if previous_device >= 0 and previous_device != stage.device_id:
+                handoff_bytes = model.layers[stage.start - 1].output_bytes
+                transfer = platform.transfer_time(
+                    previous_device, stage.device_id, handoff_bytes
+                )
+            stage_plans.append(
+                StagePlan(stage=stage, compute_time=compute, transfer_time=transfer)
+            )
+            previous_device = stage.device_id
+        plans.append(PipelinePlan(model_name=model.name, stages=tuple(stage_plans)))
+    return plans

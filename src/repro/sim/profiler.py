@@ -1,0 +1,119 @@
+"""Kernel-based exploration: building per-layer latency tables.
+
+The paper's design-time step records the execution time of every kernel
+of every DNN layer on every computing component (Eq. 1) and assembles
+per-model performance vectors (Eq. 2).  Our profiler does the same
+against the board simulator's kernel cost model, adding seeded
+measurement noise so that downstream consumers (the embedding tensor
+and the estimator trained on it) never observe the analytical oracle
+exactly -- the same epistemic position the real framework is in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..hw.kernels import KernelCostModel
+from ..hw.platform_ import Platform
+from ..models.graph import ModelGraph
+
+__all__ = ["LatencyTable", "KernelProfiler"]
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Measured per-layer latencies for one mix of models.
+
+    ``tables[name]`` has shape ``(num_devices, num_layers_of_model)``
+    with entry ``[d, l]`` = seconds for layer ``l`` on device ``d``
+    (the paper's ``B_l^alpha``).
+    """
+
+    platform_name: str
+    tables: Dict[str, np.ndarray]
+
+    def latency(self, model_name: str, device_id: int, layer_index: int) -> float:
+        """Measured latency of one (model, device, layer) triple."""
+        return float(self.tables[model_name][device_id, layer_index])
+
+    def performance_vector(self, model_name: str, device_id: int) -> np.ndarray:
+        """The paper's Eq. 2 vector ``p_m^alpha`` for one model/device."""
+        return self.tables[model_name][device_id].copy()
+
+    @property
+    def model_names(self) -> Sequence[str]:
+        return tuple(self.tables)
+
+    @property
+    def num_devices(self) -> int:
+        first = next(iter(self.tables.values()))
+        return first.shape[0]
+
+
+class KernelProfiler:
+    """Records kernel execution times on the (simulated) board.
+
+    Parameters
+    ----------
+    platform:
+        The board to profile.
+    cost_model:
+        Kernel latency model (defaults to the standard roofline).
+    noise_sigma:
+        Relative standard deviation of per-kernel measurement noise;
+        0 gives oracle-exact tables.
+    repetitions:
+        Number of simulated measurement repetitions averaged per
+        kernel.  More repetitions shrink the noise like a real
+        profiling run re-executing kernels.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        cost_model: Optional[KernelCostModel] = None,
+        noise_sigma: float = 0.03,
+        repetitions: int = 5,
+    ) -> None:
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be non-negative, got {noise_sigma}")
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        self.platform = platform
+        self.cost_model = cost_model or KernelCostModel()
+        self.noise_sigma = noise_sigma
+        self.repetitions = repetitions
+
+    def profile_model(
+        self, model: ModelGraph, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Latency table ``(num_devices, num_layers)`` for one model."""
+        rng = rng or np.random.default_rng(0)
+        table = np.zeros((self.platform.num_devices, model.num_layers))
+        for device in self.platform.devices:
+            for layer_index, layer in enumerate(model.layers):
+                total = 0.0
+                for kernel in layer.kernels:
+                    true_latency = self.cost_model.latency(kernel, device)
+                    if self.noise_sigma > 0:
+                        samples = rng.normal(
+                            1.0, self.noise_sigma, size=self.repetitions
+                        ).clip(0.7, 1.3)
+                        total += true_latency * float(samples.mean())
+                    else:
+                        total += true_latency
+                table[device.device_id, layer_index] = total
+        return table
+
+    def profile(
+        self,
+        models: Sequence[ModelGraph],
+        seed: int = 0,
+    ) -> LatencyTable:
+        """Profile every model on every device of the platform."""
+        rng = np.random.default_rng(seed)
+        tables = {model.name: self.profile_model(model, rng) for model in models}
+        return LatencyTable(platform_name=self.platform.name, tables=tables)

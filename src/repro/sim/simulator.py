@@ -1,0 +1,479 @@
+"""The board simulator -- this reproduction's stand-in for the HiKey970.
+
+:class:`BoardSimulator` turns ``(mix, mapping)`` pairs into steady-state
+throughput numbers.  Four effects beyond the per-kernel roofline make
+multi-DNN scheduling interesting, and each is modeled explicitly:
+
+* **Per-device concurrency overhead.**  A device time-slicing ``k``
+  different networks pays context/queue/cache overhead; service times
+  scale by ``1 + beta_kind * (k - 1)``.
+* **Working-set thrash.**  Each device has a comfortable resident
+  working-set capacity (for the GPU: the OpenCL buffer pool the ACL
+  runtime manages well).  When the weights mapped onto a device
+  overflow it, service times inflate -- the driver starts shuffling
+  buffers.  This is what makes "map four large DNNs on the GPU"
+  collapse (the paper's x4.6 headline gap at 4-DNN mixes).  The
+  inflation is *capped* per device kind: once the working set has
+  fully overflowed, every inference simply re-streams its weights
+  from DRAM, which bounds the slowdown -- an uncapped linear model
+  would let heavy mixes degrade without limit, which no real driver
+  stack does.
+* **Unified-RAM squeeze.**  The board's computing components share one
+  LPDDR pool: every resident network's weights occupy it *no matter
+  where its layers are mapped*.  When the mix's total footprint
+  overflows the comfortable RAM budget, each device's effective
+  working-set capacity shrinks proportionally -- on heavy five-network
+  mixes even a scheduler that maps almost nothing to the GPU cannot
+  spare its buffer pool, so *every* mapping pays thrash and the
+  baseline-vs-distributed gap collapses (the paper's Fig. 5c
+  saturation).
+* **Per-kind residency pressure.**  Co-resident DNNs congest the
+  shared LPDDR controller and the kernel's memory-reclaim machinery.
+  Latency-tolerant GPU cores ride it out; the in-order LITTLE cluster
+  stalls badly.  Service times scale by ``1 + p_kind * max(0, M -
+  comfortable_residency)**2`` -- *quadratic* in the excess, because
+  each DNN beyond comfortable both adds its own traffic and shrinks
+  the page cache everyone else runs in.  This is why 5-DNN mixes
+  compress every scheduler's gains: the CPU clusters that spreading
+  relies on degrade the most, exactly when the thrash cap keeps the
+  GPU-only baseline from collapsing further.  Past ``max_residency``
+  the simulator raises :class:`BoardUnresponsiveError` (the paper's
+  6-DNN experience).
+* **DRAM-controller contention.**  Each DNN's per-inference DRAM
+  traffic occupies the shared controller, one extra resource in the
+  max-min solver.
+
+``simulate`` is the noise-free oracle; ``measure`` adds multiplicative
+measurement noise and is what profiling and "deployment" use, so no
+component ever trains on the oracle directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hw.device import DeviceKind
+from ..hw.kernels import KernelCostModel
+from ..hw.platform_ import Platform
+from ..models.graph import ModelGraph
+from .contention import processor_sharing_rates
+from .mapping import Mapping
+from .pipeline import PipelinePlan, compile_pipelines
+
+__all__ = ["SimConfig", "SimulationResult", "BoardSimulator", "BoardUnresponsiveError"]
+
+
+class BoardUnresponsiveError(RuntimeError):
+    """Raised when a mix exceeds the board's residency capability.
+
+    Mirrors the paper's observation that six concurrent DNNs made the
+    HiKey970 unresponsive: past this point there is no throughput to
+    report, only a hung board.
+    """
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Tunable second-order effects of the board model.
+
+    All dictionaries are keyed by device *kind*
+    (:class:`~repro.hw.device.DeviceKind`).
+
+    Parameters
+    ----------
+    concurrency_overhead:
+        Fractional service-time inflation per additional distinct DNN
+        sharing a device.
+    workingset_capacity_bytes:
+        Resident weight bytes a device serves without buffer thrash.
+        The GPU's OpenCL buffer pool is the scarce one; the CPU
+        clusters page against the board's comparatively large RAM.
+    thrash_slope:
+        Service-time inflation per fractional working-set overflow
+        (``1 + slope * overflow_ratio``, saturating at ``thrash_cap``).
+    thrash_cap:
+        Upper bound of the thrash multiplier per device kind: the
+        fully-overflowed regime just re-streams weights every
+        inference, so the slowdown saturates.
+    ram_comfortable_bytes:
+        Total mix footprint (weights + activations of every resident
+        DNN) the unified RAM absorbs without squeezing anybody.
+    ram_squeeze:
+        How fast effective per-device working-set capacities shrink
+        per fractional overflow of the comfortable RAM budget.
+    min_capacity_fraction:
+        Floor of the squeeze: even a hopelessly oversubscribed RAM
+        leaves each device this fraction of its nominal capacity.
+    ram_thrash_slope:
+        Global thrash floor on accelerator kinds (GPU/NPU): past the
+        comfortable RAM budget the kernel's page reclaim evicts driver
+        buffer pages *board-wide*, so an accelerator re-streams part of
+        its working set every inference no matter how little is mapped
+        to it -- ``thrash >= 1 + ram_thrash_slope * ram_overflow``.
+    residency_thrash_floor:
+        Count-driven part of the same reclaim floor:
+        ``thrash >= 1 + coeff * max(0, excess_residency**2 - 1)`` on
+        accelerator kinds -- one DNN beyond comfortable is absorbed,
+        two (the five-network regime) defeat the driver's buffer pool
+        regardless of how *little* is mapped to the accelerator (the
+        board is one step from its 6-DNN hang).  Together the two floors are what makes
+        heavy five-network mixes impossible to game by parking only
+        light networks on the GPU (paper Fig. 5c: nobody beats the
+        baseline by much at five DNNs).
+    residency_pressure:
+        Per-kind service-time inflation coefficient on the *squared*
+        excess residency (``1 + p * excess**2``); at one DNN beyond
+        comfortable this equals the old linear model, at two it bites
+        four times as hard.
+    dram_traffic_fraction:
+        Fraction of nominal kernel byte traffic reaching the DRAM
+        controller (the rest is absorbed by caches/tiling).
+    offered_rate:
+        Default per-DNN offered load in inferences/second -- how fast
+        the application feeds frames (think camera FPS).  Light mixes
+        finish below board capacity, so all schedulers tie on them,
+        exactly the paper's 3-DNN "mix-5" observation.  Override per
+        mix via ``simulate(..., offered_rates=...)``.
+    measurement_noise:
+        Relative sigma of multiplicative noise applied by ``measure``.
+    """
+
+    concurrency_overhead: Dict[str, float] = field(
+        default_factory=lambda: {
+            DeviceKind.GPU: 0.14,
+            DeviceKind.BIG_CPU: 0.12,
+            DeviceKind.LITTLE_CPU: 0.12,
+            DeviceKind.NPU: 0.15,
+        }
+    )
+    workingset_capacity_bytes: Dict[str, float] = field(
+        default_factory=lambda: {
+            DeviceKind.GPU: 0.82e9,
+            DeviceKind.BIG_CPU: 1.5e9,
+            DeviceKind.LITTLE_CPU: 1.2e9,
+            DeviceKind.NPU: 0.5e9,
+        }
+    )
+    thrash_slope: Dict[str, float] = field(
+        default_factory=lambda: {
+            DeviceKind.GPU: 4.0,
+            DeviceKind.BIG_CPU: 2.0,
+            DeviceKind.LITTLE_CPU: 1.5,
+            DeviceKind.NPU: 4.0,
+        }
+    )
+    thrash_cap: Dict[str, float] = field(
+        default_factory=lambda: {
+            DeviceKind.GPU: 2.4,
+            DeviceKind.BIG_CPU: 3.0,
+            DeviceKind.LITTLE_CPU: 3.0,
+            DeviceKind.NPU: 2.4,
+        }
+    )
+    residency_pressure: Dict[str, float] = field(
+        default_factory=lambda: {
+            DeviceKind.GPU: 0.0,
+            DeviceKind.BIG_CPU: 0.80,
+            DeviceKind.LITTLE_CPU: 1.20,
+            DeviceKind.NPU: 0.0,
+        }
+    )
+    default_concurrency_overhead: float = 0.15
+    default_workingset_capacity_bytes: float = 1.5e9
+    default_thrash_slope: float = 2.0
+    default_thrash_cap: float = 3.0
+    default_residency_pressure: float = 0.25
+    ram_comfortable_bytes: float = 0.85e9
+    ram_squeeze: float = 1.0
+    min_capacity_fraction: float = 0.35
+    ram_thrash_slope: float = 2.0
+    residency_thrash_floor: float = 0.47
+    dram_traffic_fraction: float = 0.35
+    offered_rate: float = 1.8
+    measurement_noise: float = 0.02
+
+    def overhead_for(self, kind: str) -> float:
+        return self.concurrency_overhead.get(kind, self.default_concurrency_overhead)
+
+    def capacity_for(self, kind: str) -> float:
+        return self.workingset_capacity_bytes.get(
+            kind, self.default_workingset_capacity_bytes
+        )
+
+    def thrash_slope_for(self, kind: str) -> float:
+        return self.thrash_slope.get(kind, self.default_thrash_slope)
+
+    def thrash_cap_for(self, kind: str) -> float:
+        return self.thrash_cap.get(kind, self.default_thrash_cap)
+
+    def pressure_for(self, kind: str) -> float:
+        return self.residency_pressure.get(kind, self.default_residency_pressure)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Steady-state outcome of running a mix under a mapping.
+
+    Attributes
+    ----------
+    rates:
+        Per-DNN inferences/second, mix order.
+    device_throughput:
+        Per-device share of the aggregate rate: DNN rates attributed to
+        devices proportionally to where their work executes.  Sums to
+        ``rates.sum()``; this is the 3-vector the paper's estimator
+        predicts (Fig. 3, step 4).
+    device_utilization:
+        Fraction of each device's capacity in use (<= 1).
+    device_scale:
+        The composite service-time inflation (concurrency x thrash x
+        pressure) each device ran under; 1.0 = unimpeded.
+    memory_utilization:
+        Fraction of the DRAM controller's capacity in use (<= 1).
+    plans:
+        The priced pipelines (one per DNN).
+    """
+
+    rates: np.ndarray
+    device_throughput: np.ndarray
+    device_utilization: np.ndarray
+    device_scale: np.ndarray
+    memory_utilization: float
+    plans: Tuple[PipelinePlan, ...]
+
+    @property
+    def average_throughput(self) -> float:
+        """The paper's metric ``T``: mean inferences/second over the mix."""
+        return float(self.rates.mean())
+
+    @property
+    def total_throughput(self) -> float:
+        """Aggregate inferences/second across the mix."""
+        return float(self.rates.sum())
+
+
+class BoardSimulator:
+    """Analytical HiKey970: maps (mix, mapping) to steady-state rates."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        cost_model: Optional[KernelCostModel] = None,
+        config: Optional[SimConfig] = None,
+    ) -> None:
+        self.platform = platform
+        self.cost_model = cost_model or KernelCostModel()
+        self.config = config or SimConfig()
+
+    # ------------------------------------------------------------------
+    # Pricing
+    # ------------------------------------------------------------------
+    def layer_latency(
+        self, model: ModelGraph, layer_index: int, device_id: int
+    ) -> float:
+        """Standalone latency of one layer on one device (paper Eq. 1)."""
+        device = self.platform.device(device_id)
+        layer = model.layers[layer_index]
+        return sum(self.cost_model.latency(kernel, device) for kernel in layer.kernels)
+
+    def plan(
+        self, models: Sequence[ModelGraph], mapping: Mapping
+    ) -> Tuple[PipelinePlan, ...]:
+        """Price every DNN's pipeline without contention effects."""
+        return tuple(
+            compile_pipelines(models, mapping, self.platform, self.cost_model)
+        )
+
+    # ------------------------------------------------------------------
+    # Steady-state simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        models: Sequence[ModelGraph],
+        mapping: Mapping,
+        offered_rates: Optional[Sequence[float]] = None,
+    ) -> SimulationResult:
+        """Noise-free steady-state throughput of the mix under ``mapping``.
+
+        ``offered_rates`` bounds each DNN's demand in inferences/second
+        (default: the config's uniform ``offered_rate``).
+        """
+        num_dnns = len(models)
+        if num_dnns == 0:
+            raise ValueError("cannot simulate an empty mix")
+        memory = self.platform.memory
+        if num_dnns > memory.max_residency:
+            raise BoardUnresponsiveError(
+                f"{num_dnns} concurrent DNNs exceed the board's capability "
+                f"(max residency {memory.max_residency}); the board hangs"
+            )
+        plans = self.plan(models, mapping)
+        num_devices = self.platform.num_devices
+
+        # Occupancy matrix before contention scaling.
+        work = np.zeros((num_dnns, num_devices))
+        for dnn_index, plan in enumerate(plans):
+            for device_id in range(num_devices):
+                work[dnn_index, device_id] = plan.work_on_device(device_id)
+
+        scale = self._device_scales(models, mapping, work, num_dnns)
+        work = work * scale[None, :]
+
+        # Per-DNN demand bound: pipeline bottleneck (with the same
+        # inflation applied per stage) and offered load.
+        if offered_rates is None:
+            offered = np.full(num_dnns, self.config.offered_rate)
+        else:
+            offered = np.asarray(list(offered_rates), dtype=float)
+            if offered.shape != (num_dnns,):
+                raise ValueError(
+                    f"offered_rates must provide one rate per DNN "
+                    f"({num_dnns}), got shape {offered.shape}"
+                )
+            if (offered <= 0).any():
+                raise ValueError("offered rates must be positive")
+        rate_caps = np.empty(num_dnns)
+        for dnn_index, plan in enumerate(plans):
+            slowest = max(
+                stage.service_time * scale[stage.device_id] for stage in plan.stages
+            )
+            rate_caps[dnn_index] = min(1.0 / slowest, offered[dnn_index])
+
+        # Shared DRAM controller occupancy per inference.
+        memory_work = np.zeros(num_dnns)
+        controller_bw = memory.total_bandwidth_gbs * 1e9
+        for dnn_index, model in enumerate(models):
+            dram_bytes = model_dram_bytes(model, self.config.dram_traffic_fraction)
+            memory_work[dnn_index] = dram_bytes / controller_bw
+
+        rates = processor_sharing_rates(work, rate_caps, memory_work)
+
+        device_utilization = rates @ work
+        memory_utilization = float(rates @ memory_work)
+        device_throughput = _attribute_rates(rates, work)
+        return SimulationResult(
+            rates=rates,
+            device_throughput=device_throughput,
+            device_utilization=device_utilization,
+            device_scale=scale,
+            memory_utilization=memory_utilization,
+            plans=plans,
+        )
+
+    def measure(
+        self,
+        models: Sequence[ModelGraph],
+        mapping: Mapping,
+        rng: Optional[np.random.Generator] = None,
+        offered_rates: Optional[Sequence[float]] = None,
+    ) -> SimulationResult:
+        """Like ``simulate`` but with multiplicative measurement noise.
+
+        This is the only interface profiling and evaluation are allowed
+        to use; the noise-free oracle exists for tests and ablations.
+        """
+        result = self.simulate(models, mapping, offered_rates=offered_rates)
+        if rng is None:
+            return result
+        sigma = self.config.measurement_noise
+        noise = rng.normal(1.0, sigma, size=result.rates.shape).clip(0.5, 1.5)
+        throughput_noise = rng.normal(
+            1.0, sigma, size=result.device_throughput.shape
+        ).clip(0.5, 1.5)
+        return SimulationResult(
+            rates=result.rates * noise,
+            device_throughput=result.device_throughput * throughput_noise,
+            device_utilization=result.device_utilization,
+            device_scale=result.device_scale,
+            memory_utilization=result.memory_utilization,
+            plans=result.plans,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _device_scales(
+        self,
+        models: Sequence[ModelGraph],
+        mapping: Mapping,
+        work: np.ndarray,
+        num_dnns: int,
+    ) -> np.ndarray:
+        """Composite service-time inflation per device.
+
+        Combines concurrency overhead, working-set thrash and residency
+        pressure (see module docstring).
+        """
+        num_devices = self.platform.num_devices
+        sharers = (work > 0).sum(axis=0)
+        resident_bytes = np.zeros(num_devices)
+        for dnn_index, model in enumerate(models):
+            row = mapping.assignments[dnn_index]
+            for layer, device_id in zip(model.layers, row):
+                resident_bytes[device_id] += layer.weight_bytes + layer.output_bytes
+        excess_residency = max(
+            0, num_dnns - self.platform.memory.comfortable_residency
+        )
+        # Unified-RAM squeeze: the whole mix's footprint is resident in
+        # the shared LPDDR pool regardless of the mapping, shrinking
+        # every device's effective buffer-pool capacity.
+        total_resident = float(resident_bytes.sum())
+        ram_overflow = max(
+            0.0, total_resident / self.config.ram_comfortable_bytes - 1.0
+        )
+        squeeze = max(
+            self.config.min_capacity_fraction,
+            1.0 - self.config.ram_squeeze * ram_overflow,
+        )
+        scale = np.ones(num_devices)
+        for device_id in range(num_devices):
+            kind = self.platform.device(device_id).kind
+            concurrency = 1.0
+            if sharers[device_id] > 1:
+                concurrency += self.config.overhead_for(kind) * (
+                    sharers[device_id] - 1
+                )
+            capacity = self.config.capacity_for(kind) * squeeze
+            overflow = max(0.0, resident_bytes[device_id] / capacity - 1.0)
+            thrash = 1.0 + self.config.thrash_slope_for(kind) * overflow
+            if kind in (DeviceKind.GPU, DeviceKind.NPU):
+                # Board-wide reclaim floor: accelerator buffer pools are
+                # evicted by global RAM pressure no matter the mapping.
+                thrash = max(
+                    thrash,
+                    1.0 + self.config.ram_thrash_slope * ram_overflow,
+                    1.0
+                    + self.config.residency_thrash_floor
+                    * max(0, excess_residency**2 - 1),
+                )
+            thrash = min(thrash, self.config.thrash_cap_for(kind))
+            pressure = 1.0 + self.config.pressure_for(kind) * excess_residency**2
+            scale[device_id] = concurrency * thrash * pressure
+        return scale
+
+
+def model_dram_bytes(model: ModelGraph, traffic_fraction: float) -> float:
+    """Per-inference DRAM traffic of a model (cache-filtered bytes)."""
+    return traffic_fraction * sum(
+        kernel.bytes_moved for layer in model.layers for kernel in layer.kernels
+    )
+
+
+def _attribute_rates(rates: np.ndarray, work: np.ndarray) -> np.ndarray:
+    """Split each DNN's rate across devices proportionally to its work.
+
+    The result is the per-component throughput vector of paper Fig. 3:
+    it sums to the aggregate mix rate and shows where inference
+    progress physically happens.
+    """
+    num_devices = work.shape[1]
+    totals = work.sum(axis=1, keepdims=True)
+    # A DNN with zero total work cannot happen (every layer costs time),
+    # but guard the division anyway.
+    shares = np.divide(
+        work, totals, out=np.full_like(work, 1.0 / num_devices), where=totals > 0
+    )
+    return rates @ shares

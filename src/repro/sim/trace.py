@@ -1,0 +1,281 @@
+"""Discrete-event trace simulation of pipelined multi-DNN execution.
+
+The steady-state model in :mod:`repro.sim.simulator` answers "what
+rates does this mapping sustain?" analytically.  This module answers
+the same question *constructively*: frames arrive for every DNN at its
+offered rate, flow through their pipeline stages, queue at devices that
+serve one stage-task at a time, and complete.  It exists for three
+reasons:
+
+* **Validation** -- the trace completions must converge to the fluid
+  model's rates (a strong cross-check on the contention solver; see
+  ``tests/test_sim_trace.py``);
+* **Timelines** -- examples can print Gantt-style device schedules,
+  which is how one actually debugs a pipeline mapping;
+* **Latency** -- the fluid model has no notion of per-frame latency;
+  the trace measures it.
+
+Devices dispatch by *least attained service*: when a device frees up,
+it serves the ready task of whichever network has consumed the least of
+that device so far -- the task-granular analogue of the time-fair
+processor sharing the fluid model assumes (and of the preemptive fair
+scheduling a Linux board actually performs).  Service times reuse the
+exact same composite inflation (concurrency, thrash, residency
+pressure) the steady-state model applies, so the two views share one
+notion of physics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..hw.kernels import KernelCostModel
+from ..hw.platform_ import Platform
+from ..models.graph import ModelGraph
+from .mapping import Mapping
+from .simulator import BoardSimulator, SimConfig
+
+__all__ = ["TraceEvent", "TraceResult", "TraceSimulator"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed stage-task on a device."""
+
+    device_id: int
+    dnn_index: int
+    frame_index: int
+    stage_index: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class TraceResult:
+    """Outcome of a trace run.
+
+    ``rates`` counts only frames completed inside the measurement
+    window (after the warm-up fraction), divided by the window length.
+    """
+
+    duration_s: float
+    warmup_s: float
+    completions: np.ndarray  # per DNN, inside the measurement window
+    rates: np.ndarray  # completions / measured window
+    latencies_s: List[List[float]]  # per DNN, per completed frame
+    device_busy_s: np.ndarray
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def average_throughput(self) -> float:
+        """Mix-average completion rate (the paper's ``T``)."""
+        return float(self.rates.mean())
+
+    @property
+    def device_utilization(self) -> np.ndarray:
+        """Busy fraction per device over the full run."""
+        return self.device_busy_s / self.duration_s
+
+    def mean_latency(self, dnn_index: int) -> float:
+        """Average end-to-end latency of a DNN's completed frames."""
+        samples = self.latencies_s[dnn_index]
+        if not samples:
+            raise ValueError(f"DNN #{dnn_index} completed no frames")
+        return float(np.mean(samples))
+
+    def timeline(self, max_rows: int = 40) -> str:
+        """A human-readable event log (first ``max_rows`` events)."""
+        lines = [f"{'t start':>9} {'t end':>9}  dev  dnn  frame  stage"]
+        for event in self.events[:max_rows]:
+            lines.append(
+                f"{event.start_s:9.4f} {event.end_s:9.4f} "
+                f"{event.device_id:>4} {event.dnn_index:>4} "
+                f"{event.frame_index:>6} {event.stage_index:>6}"
+            )
+        if len(self.events) > max_rows:
+            lines.append(f"... {len(self.events) - max_rows} more events")
+        return "\n".join(lines)
+
+
+class TraceSimulator:
+    """Event-driven execution of a mapped multi-DNN workload."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        cost_model: Optional[KernelCostModel] = None,
+        config: Optional[SimConfig] = None,
+    ) -> None:
+        self.platform = platform
+        self.cost_model = cost_model or KernelCostModel()
+        self.config = config or SimConfig()
+        # Reuse the fluid simulator for stage pricing and the composite
+        # device inflation so both views share one physics.
+        self._board = BoardSimulator(platform, self.cost_model, self.config)
+
+    def run(
+        self,
+        models: Sequence[ModelGraph],
+        mapping: Mapping,
+        duration_s: float = 10.0,
+        offered_rates: Optional[Sequence[float]] = None,
+        warmup_fraction: float = 0.2,
+        record_events: bool = False,
+        max_frames_per_dnn: int = 100_000,
+    ) -> TraceResult:
+        """Execute the mix for ``duration_s`` simulated seconds.
+
+        Frames arrive periodically at each DNN's offered rate (cameras
+        are periodic sources).  ``warmup_fraction`` of the run is
+        excluded from rate measurement so pipeline fill does not skew
+        the numbers.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        if not 0 <= warmup_fraction < 1:
+            raise ValueError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        num_dnns = len(models)
+        if num_dnns == 0:
+            raise ValueError("cannot trace an empty mix")
+        steady = self._board.simulate(models, mapping, offered_rates=offered_rates)
+        plans = steady.plans
+        scale = steady.device_scale
+        if offered_rates is None:
+            offered = np.full(num_dnns, self.config.offered_rate)
+        else:
+            offered = np.asarray(list(offered_rates), dtype=float)
+
+        # Per (dnn, stage): inflated service time on its device.
+        stage_service: List[List[Tuple[int, float]]] = []
+        for plan in plans:
+            stage_service.append(
+                [
+                    (
+                        stage.device_id,
+                        stage.service_time * scale[stage.device_id],
+                    )
+                    for stage in plan.stages
+                ]
+            )
+
+        warmup_s = duration_s * warmup_fraction
+        events: List[TraceEvent] = []
+        completions = np.zeros(num_dnns, dtype=int)
+        latencies: List[List[float]] = [[] for _ in range(num_dnns)]
+        num_devices = self.platform.num_devices
+        device_busy = np.zeros(num_devices)
+
+        # Per (device, dnn): FIFO of (ready_time, frame, stage, arrival)
+        # plus the service each DNN has attained on the device so far.
+        queues: List[List[deque]] = [
+            [deque() for _ in range(num_dnns)] for _ in range(num_devices)
+        ]
+        attained = np.zeros((num_devices, num_dnns))
+        device_free_at = np.zeros(num_devices)
+
+        def push_ready(
+            device_id: int,
+            ready_time: float,
+            dnn: int,
+            frame: int,
+            stage: int,
+            arrival: float,
+        ) -> None:
+            queues[device_id][dnn].append((ready_time, frame, stage, arrival))
+
+        # Seed arrivals: frame k of DNN i arrives at k / offered[i].
+        for dnn in range(num_dnns):
+            period = 1.0 / offered[dnn]
+            num_frames = min(int(duration_s / period) + 1, max_frames_per_dnn)
+            for frame in range(num_frames):
+                arrival = frame * period
+                if arrival >= duration_s:
+                    break
+                device_id = stage_service[dnn][0][0]
+                push_ready(device_id, arrival, dnn, frame, 0, arrival)
+
+        def next_dispatch(device_id: int):
+            """(start_time, dnn) the device would run next, or None."""
+            free_at = device_free_at[device_id]
+            ready_now: List[int] = []
+            earliest_time = float("inf")
+            earliest_dnn = -1
+            for dnn in range(num_dnns):
+                queue = queues[device_id][dnn]
+                if not queue:
+                    continue
+                ready_time = queue[0][0]
+                if ready_time <= free_at:
+                    ready_now.append(dnn)
+                elif ready_time < earliest_time:
+                    earliest_time = ready_time
+                    earliest_dnn = dnn
+            if ready_now:
+                # Least-attained-service among tasks ready right now.
+                chosen = min(ready_now, key=lambda d: (attained[device_id, d], d))
+                return free_at, chosen
+            if earliest_dnn >= 0:
+                return earliest_time, earliest_dnn
+            return None
+
+        # Greedy event loop: always run the device able to start the
+        # earliest task next.
+        while True:
+            best_device = -1
+            best_start = float("inf")
+            best_dnn = -1
+            for device_id in range(num_devices):
+                dispatch = next_dispatch(device_id)
+                if dispatch is None:
+                    continue
+                start, dnn = dispatch
+                if start < best_start:
+                    best_start, best_device, best_dnn = start, device_id, dnn
+            if best_device < 0 or best_start >= duration_s:
+                break
+            _, frame, stage, arrival = queues[best_device][best_dnn].popleft()
+            service = stage_service[best_dnn][stage][1]
+            end = best_start + service
+            device_free_at[best_device] = end
+            device_busy[best_device] += service
+            attained[best_device, best_dnn] += service
+            if record_events:
+                events.append(
+                    TraceEvent(
+                        device_id=best_device,
+                        dnn_index=best_dnn,
+                        frame_index=frame,
+                        stage_index=stage,
+                        start_s=best_start,
+                        end_s=end,
+                    )
+                )
+            if stage + 1 < len(stage_service[best_dnn]):
+                next_device = stage_service[best_dnn][stage + 1][0]
+                push_ready(next_device, end, best_dnn, frame, stage + 1, arrival)
+            else:
+                if warmup_s <= end <= duration_s:
+                    completions[best_dnn] += 1
+                    latencies[best_dnn].append(end - arrival)
+
+        measured_window = duration_s - warmup_s
+        rates = completions / measured_window
+        return TraceResult(
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+            completions=completions,
+            rates=rates,
+            latencies_s=latencies,
+            device_busy_s=device_busy,
+            events=events,
+        )

@@ -1,0 +1,20 @@
+"""Workload mixes, random generation and dataset sampling."""
+
+from .generator import (
+    WorkloadGenerator,
+    random_contiguous_mapping,
+    random_two_stage_mapping,
+)
+from .mix import Workload
+from .scenarios import SCENARIOS, Scenario, scenario, scenario_names
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "scenario",
+    "scenario_names",
+    "Workload",
+    "WorkloadGenerator",
+    "random_contiguous_mapping",
+    "random_two_stage_mapping",
+]

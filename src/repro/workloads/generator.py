@@ -1,0 +1,174 @@
+"""Random workload and mapping generation.
+
+Reproduces the paper's data-collection recipe: "we created 500
+workloads, consisting of random mixes ranging from 1 up to 5 concurrent
+DNNs ... each mix was randomly distributed across the computing
+components of the device, in order to create samples with different
+pressure on the computing components."
+
+Feasibility filter: mixes whose aggregate weights exceed the residency
+budget are re-drawn.  On the physical board, heavy mixes simply cannot
+be loaded (the paper's 6-DNN mixes hung the device); this keeps
+generated 5-DNN mixes on the lighter side, exactly the regime Fig. 5c
+operates in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.graph import ModelGraph
+from ..models.registry import MODEL_NAMES
+from ..sim.mapping import Mapping
+from .mix import Workload
+
+__all__ = ["WorkloadGenerator", "random_contiguous_mapping", "random_two_stage_mapping"]
+
+
+def random_contiguous_mapping(
+    models: Sequence[ModelGraph],
+    num_devices: int,
+    rng: np.random.Generator,
+    max_stages: Optional[int] = None,
+) -> Mapping:
+    """Sample a mapping with contiguous per-DNN stages.
+
+    Each DNN gets a random stage count in ``[1, max_stages]``, random
+    distinct devices per stage and random split points -- the same
+    family of set-ups the paper's motivational experiment draws.
+    """
+    if max_stages is None:
+        max_stages = num_devices
+    max_stages = max(1, min(max_stages, num_devices))
+    rows: List[List[int]] = []
+    for model in models:
+        num_layers = model.num_layers
+        stage_count = int(rng.integers(1, min(max_stages, num_layers) + 1))
+        devices = rng.permutation(num_devices)[:stage_count]
+        if stage_count == 1:
+            rows.append([int(devices[0])] * num_layers)
+            continue
+        cut_positions = rng.choice(
+            np.arange(1, num_layers), size=stage_count - 1, replace=False
+        )
+        cuts = sorted(int(c) for c in cut_positions)
+        row: List[int] = []
+        previous = 0
+        for stage_index, cut in enumerate(cuts + [num_layers]):
+            row.extend([int(devices[stage_index])] * (cut - previous))
+            previous = cut
+        rows.append(row)
+    return Mapping(rows)
+
+
+def random_two_stage_mapping(
+    models: Sequence[ModelGraph],
+    rng: np.random.Generator,
+    devices: Tuple[int, int] = (0, 1),
+) -> Mapping:
+    """Sample a set-up from the paper's motivational family (Fig. 1).
+
+    Every DNN is split into exactly two stages between two devices
+    (paper Section II: "we randomly split the layers of the DNNs
+    between the big CPU and the GPU"): a uniform split point and a
+    random orientation (which device runs the head).
+    """
+    first, second = devices
+    rows: List[List[int]] = []
+    for model in models:
+        num_layers = model.num_layers
+        if num_layers < 2:
+            rows.append([int(rng.choice(devices))] * num_layers)
+            continue
+        cut = int(rng.integers(1, num_layers))
+        head, tail = (first, second) if rng.random() < 0.5 else (second, first)
+        rows.append([head] * cut + [tail] * (num_layers - cut))
+    return Mapping(rows)
+
+
+class WorkloadGenerator:
+    """Samples random mixes and random mappings, reproducibly.
+
+    Parameters
+    ----------
+    model_names:
+        Pool to draw from (defaults to the paper's eleven networks).
+    num_devices:
+        Number of computing components mappings may target.
+    max_total_weight_bytes:
+        Residency feasibility budget; mixes above it are re-drawn.
+    seed:
+        Seed for the internal generator.
+    """
+
+    def __init__(
+        self,
+        model_names: Sequence[str] = MODEL_NAMES,
+        num_devices: int = 3,
+        max_total_weight_bytes: float = 2.0e9,
+        seed: int = 0,
+    ) -> None:
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        self.model_names = tuple(model_names)
+        if not self.model_names:
+            raise ValueError("model_names must be non-empty")
+        self.num_devices = num_devices
+        self.max_total_weight_bytes = max_total_weight_bytes
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Mixes
+    # ------------------------------------------------------------------
+    def sample_mix(self, size: int, max_attempts: int = 200) -> Workload:
+        """Draw a feasible mix of ``size`` distinct DNNs."""
+        if not 1 <= size <= len(self.model_names):
+            raise ValueError(
+                f"mix size must be in [1, {len(self.model_names)}], got {size}"
+            )
+        for _ in range(max_attempts):
+            chosen = self.rng.choice(
+                len(self.model_names), size=size, replace=False
+            )
+            names = [self.model_names[int(index)] for index in chosen]
+            workload = Workload.from_names(names)
+            if workload.total_weight_bytes <= self.max_total_weight_bytes:
+                return workload
+        raise RuntimeError(
+            f"could not draw a feasible {size}-DNN mix within {max_attempts} "
+            f"attempts (budget {self.max_total_weight_bytes / 1e9:.1f} GB)"
+        )
+
+    def sample_mixes(
+        self, count: int, sizes: Tuple[int, ...] = (1, 2, 3, 4, 5)
+    ) -> List[Workload]:
+        """Draw ``count`` mixes with sizes sampled uniformly from ``sizes``."""
+        mixes = []
+        for _ in range(count):
+            size = int(self.rng.choice(sizes))
+            mixes.append(self.sample_mix(size))
+        return mixes
+
+    # ------------------------------------------------------------------
+    # Mappings
+    # ------------------------------------------------------------------
+    def sample_mapping(
+        self, workload: Workload, max_stages: Optional[int] = None
+    ) -> Mapping:
+        """Random contiguous mapping for a workload."""
+        return random_contiguous_mapping(
+            workload.models, self.num_devices, self.rng, max_stages=max_stages
+        )
+
+    def sample_training_pairs(
+        self, count: int, sizes: Tuple[int, ...] = (1, 2, 3, 4, 5)
+    ) -> List[Tuple[Workload, Mapping]]:
+        """The paper's estimator-dataset recipe: (mix, random mapping) pairs."""
+        pairs = []
+        for _ in range(count):
+            size = int(self.rng.choice(sizes))
+            workload = self.sample_mix(size)
+            pairs.append((workload, self.sample_mapping(workload)))
+        return pairs

@@ -1,0 +1,75 @@
+"""Workloads: named mixes of concurrently executing DNNs."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from ..models.graph import ModelGraph
+from ..models.registry import build_model
+
+__all__ = ["Workload"]
+
+
+class Workload:
+    """A mix of DNNs to execute concurrently on the board.
+
+    The paper evaluates mixes of 3, 4 and 5 concurrent DNNs drawn from
+    its eleven-model dataset.  A workload is ordered (mappings align
+    with it) but order carries no semantics: the networks run
+    concurrently (paper Section IV-C).
+
+    Duplicate models are rejected: the distributed embedding tensor has
+    one column per dataset model, so two concurrent instances of the
+    same network would collide in the mask representation.
+    """
+
+    def __init__(self, models: Sequence[ModelGraph], name: str = "") -> None:
+        if not models:
+            raise ValueError("a workload needs at least one DNN")
+        names = [model.name for model in models]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(
+                f"workload contains duplicate models: {sorted(duplicates)}; "
+                "the embedding representation requires distinct networks"
+            )
+        self.models: Tuple[ModelGraph, ...] = tuple(models)
+        self.name = name or "+".join(names)
+
+    @classmethod
+    def from_names(cls, names: Sequence[str], name: str = "") -> "Workload":
+        """Build a workload from registry model names."""
+        return cls([build_model(model_name) for model_name in names], name=name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_dnns(self) -> int:
+        return len(self.models)
+
+    @property
+    def model_names(self) -> Tuple[str, ...]:
+        return tuple(model.name for model in self.models)
+
+    @property
+    def total_weight_bytes(self) -> int:
+        """Aggregate parameter footprint of the mix."""
+        return sum(model.total_weight_bytes for model in self.models)
+
+    @property
+    def total_layers(self) -> int:
+        """Total partition units across the mix (the MCTS decision count)."""
+        return sum(model.num_layers for model in self.models)
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    def __iter__(self) -> Iterator[ModelGraph]:
+        return iter(self.models)
+
+    def __getitem__(self, index: int) -> ModelGraph:
+        return self.models[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Workload({self.name!r}, {self.num_dnns} DNNs)"

@@ -1,0 +1,116 @@
+"""Named application scenarios from the paper's motivation.
+
+The introduction motivates multi-DNN workloads with "digital
+assistants, object detection, and virtual/augmented reality services".
+These presets bundle a mix with per-network offered frame rates, so
+examples and benches can evaluate schedulers on workloads that look
+like deployed applications rather than uniform random mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .mix import Workload
+
+__all__ = ["Scenario", "SCENARIOS", "scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A deployable multi-DNN application profile.
+
+    ``offered_rates`` aligns with ``workload.models``; pass it to
+    :meth:`repro.sim.BoardSimulator.simulate` so each network is served
+    at its application rate.
+    """
+
+    name: str
+    description: str
+    workload: Workload
+    offered_rates: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.offered_rates) != self.workload.num_dnns:
+            raise ValueError(
+                f"scenario {self.name!r}: {len(self.offered_rates)} rates for "
+                f"{self.workload.num_dnns} networks"
+            )
+        if any(rate <= 0 for rate in self.offered_rates):
+            raise ValueError(f"scenario {self.name!r}: rates must be positive")
+
+
+def _build() -> Dict[str, Scenario]:
+    presets: List[Scenario] = [
+        Scenario(
+            name="ar-headset",
+            description=(
+                "Augmented reality: hand tracking (MobileNet, 15 FPS), "
+                "scene segmentation backbone (ResNet-50, 5 FPS), object "
+                "classification (SqueezeNet, 10 FPS)"
+            ),
+            workload=Workload.from_names(
+                ["mobilenet", "resnet50", "squeezenet"], name="ar-headset"
+            ),
+            offered_rates=(15.0, 5.0, 10.0),
+        ),
+        Scenario(
+            name="smart-camera",
+            description=(
+                "Security camera: motion-gated detection (AlexNet, 8 FPS), "
+                "face embedding (VGG-16, 2 FPS), activity recognition "
+                "(Inception-v3, 3 FPS), license plates (SqueezeNet, 6 FPS)"
+            ),
+            workload=Workload.from_names(
+                ["alexnet", "vgg16", "inception_v3", "squeezenet"],
+                name="smart-camera",
+            ),
+            offered_rates=(8.0, 2.0, 3.0, 6.0),
+        ),
+        Scenario(
+            name="digital-assistant",
+            description=(
+                "Assistant hub: wake-face check (MobileNet, 10 FPS), "
+                "gesture recognition (ResNet-34, 6 FPS), document OCR "
+                "backbone (VGG-13, 1 FPS)"
+            ),
+            workload=Workload.from_names(
+                ["mobilenet", "resnet34", "vgg13"], name="digital-assistant"
+            ),
+            offered_rates=(10.0, 6.0, 1.0),
+        ),
+        Scenario(
+            name="drone-autonomy",
+            description=(
+                "Drone: obstacle segmentation (ResNet-50, 12 FPS), "
+                "target re-identification (Inception-v3, 4 FPS), "
+                "landing-pad detection (SqueezeNet, 8 FPS), telemetry "
+                "vision (MobileNet, 12 FPS), mapping backbone "
+                "(ResNet-34, 2 FPS)"
+            ),
+            workload=Workload.from_names(
+                ["resnet50", "inception_v3", "squeezenet", "mobilenet", "resnet34"],
+                name="drone-autonomy",
+            ),
+            offered_rates=(12.0, 4.0, 8.0, 12.0, 2.0),
+        ),
+    ]
+    return {preset.name: preset for preset in presets}
+
+
+SCENARIOS: Dict[str, Scenario] = _build()
+
+
+def scenario(name: str) -> Scenario:
+    """Fetch a named scenario."""
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        )
+    return SCENARIOS[name]
+
+
+def scenario_names() -> List[str]:
+    """All scenario names."""
+    return list(SCENARIOS)

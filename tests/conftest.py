@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (the profiled board, a lightly trained estimator)
+are session-scoped: they take seconds to build and many test modules
+share them.  Tests that need pristine state build their own instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimator import (
+    EmbeddingSpace,
+    EstimatorDatasetBuilder,
+    EstimatorTrainer,
+    ThroughputEstimator,
+)
+from repro.hw import hikey970
+from repro.models import MODEL_NAMES, build_all_models, build_model
+from repro.sim import BoardSimulator, KernelProfiler
+from repro.workloads import Workload, WorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def platform():
+    return hikey970()
+
+
+@pytest.fixture(scope="session")
+def simulator(platform):
+    return BoardSimulator(platform)
+
+
+@pytest.fixture(scope="session")
+def all_models():
+    return build_all_models()
+
+
+@pytest.fixture(scope="session")
+def latency_table(platform, all_models):
+    return KernelProfiler(platform).profile(all_models, seed=0)
+
+
+@pytest.fixture(scope="session")
+def embedding(latency_table):
+    return EmbeddingSpace(latency_table, MODEL_NAMES)
+
+
+@pytest.fixture(scope="session")
+def small_mix():
+    return Workload.from_names(["alexnet", "mobilenet", "squeezenet"])
+
+
+@pytest.fixture(scope="session")
+def heavy_mix():
+    return Workload.from_names(["vgg19", "resnet50", "inception_v3", "alexnet"])
+
+
+@pytest.fixture(scope="session")
+def trained_estimator(simulator, embedding):
+    """A quickly trained estimator shared by integration tests.
+
+    20 epochs over 200 samples is enough for a usable ranking signal;
+    the full paper regimen (500/100) lives in the benchmarks.
+    """
+    estimator = ThroughputEstimator(embedding, rng=np.random.default_rng(7))
+    generator = WorkloadGenerator(seed=13)
+    dataset = EstimatorDatasetBuilder(simulator, generator, estimator).build(
+        num_samples=200, measurement_seed=5
+    )
+    trainer = EstimatorTrainer(estimator)
+    trainer.train(dataset, epochs=20, train_size=160, seed=3)
+    estimator.reset_query_count()
+    return estimator
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def alexnet_graph():
+    return build_model("alexnet")

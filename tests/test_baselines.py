@@ -1,0 +1,234 @@
+"""Baseline scheduler tests: GPU-only, MOSAIC, GA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    GAConfig,
+    GeneticScheduler,
+    GpuOnlyScheduler,
+    LayerLatencyRegression,
+    MosaicScheduler,
+    SingleDeviceScheduler,
+    StaticCostModel,
+    merge_redundant_stages,
+)
+from repro.hw import GPU_ID, cpu_only_board, hikey970
+from repro.sim import KernelProfiler
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return hikey970()
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return Workload.from_names(["alexnet", "vgg19", "mobilenet"])
+
+
+class TestGpuOnly:
+    def test_maps_everything_to_gpu(self, platform, mix):
+        decision = GpuOnlyScheduler(platform).schedule(mix)
+        assert decision.mapping.devices_used() == (GPU_ID,)
+        decision.mapping.validate(mix.models, platform.num_devices)
+
+    def test_zero_decision_cost(self, platform, mix):
+        decision = GpuOnlyScheduler(platform).schedule(mix)
+        assert decision.cost == {}
+
+    def test_gpu_less_platform_falls_back_to_strongest(self, mix):
+        board = cpu_only_board()
+        decision = GpuOnlyScheduler(board).schedule(mix)
+        strongest = max(board.devices, key=lambda d: d.peak_gflops).device_id
+        assert decision.mapping.devices_used() == (strongest,)
+
+    def test_single_device_scheduler_validates(self):
+        with pytest.raises(ValueError):
+            SingleDeviceScheduler(-1)
+
+
+class TestMergeRedundantStages:
+    def test_noop_below_cap(self):
+        assert merge_redundant_stages([0, 0, 1, 1], 3) == [0, 0, 1, 1]
+
+    def test_merges_to_cap(self):
+        row = [0, 1, 2, 0, 1]
+        merged = merge_redundant_stages(row, 3)
+        stages = 1 + sum(1 for a, b in zip(merged, merged[1:]) if a != b)
+        assert stages <= 3
+        assert len(merged) == len(row)
+
+    def test_cap_one_gives_single_device(self):
+        merged = merge_redundant_stages([0, 1, 2, 1, 0, 1], 1)
+        assert len(set(merged)) == 1
+
+    def test_preserves_length_always(self):
+        row = [2, 0, 0, 1, 2, 2, 1, 0]
+        assert len(merge_redundant_stages(row, 2)) == len(row)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            merge_redundant_stages([0, 1], 0)
+
+    @given(
+        st.lists(st.integers(0, 2), min_size=1, max_size=40),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_stage_cap_and_length(self, row, cap):
+        merged = merge_redundant_stages(row, cap)
+        assert len(merged) == len(row)
+        stages = 1 + sum(1 for a, b in zip(merged, merged[1:]) if a != b)
+        assert stages <= cap
+        assert set(merged) <= set(row)
+
+
+class TestMosaic:
+    @pytest.fixture(scope="class")
+    def regression(self, platform):
+        from repro.models import build_all_models
+
+        profiler = KernelProfiler(platform)
+        return LayerLatencyRegression(platform.num_devices).fit(
+            build_all_models(), profiler, repetitions=3, seed=0
+        )
+
+    def test_training_points_scale(self, regression):
+        from repro.models import build_all_models
+
+        total_layers = sum(model.num_layers for model in build_all_models())
+        assert regression.training_points == 3 * total_layers * 3
+
+    def test_fourteen_thousand_points_with_twenty_reps(self, platform):
+        """The paper notes MOSAIC is trained on >14,000 data points."""
+        from repro.models import build_all_models
+
+        profiler = KernelProfiler(platform)
+        regression = LayerLatencyRegression(platform.num_devices).fit(
+            build_all_models(), profiler, repetitions=20, seed=0
+        )
+        assert regression.training_points > 12000
+
+    def test_prediction_positive(self, regression):
+        from repro.models import build_model
+
+        model = build_model("vgg19")
+        for layer in model.layers:
+            for device in range(3):
+                assert regression.predict(layer, device) > 0
+
+    def test_predictions_correlate_with_truth(self, regression, platform):
+        from repro.models import build_model
+        from repro.sim import BoardSimulator
+
+        sim = BoardSimulator(platform)
+        model = build_model("vgg16")
+        truth = [sim.layer_latency(model, i, 0) for i in range(model.num_layers)]
+        predicted = regression.predict_model(model)[0]
+        correlation = np.corrcoef(truth, predicted)[0, 1]
+        assert correlation > 0.95
+
+    def test_unfitted_regression_rejected(self):
+        from repro.models import build_model
+
+        fresh = LayerLatencyRegression(3)
+        with pytest.raises(RuntimeError, match="before fit"):
+            fresh.predict(build_model("alexnet").layers[0], 0)
+
+    def test_mapping_valid_and_capped(self, regression, platform, mix):
+        scheduler = MosaicScheduler(platform, regression)
+        decision = scheduler.schedule(mix)
+        decision.mapping.validate(mix.models, platform.num_devices)
+        assert decision.mapping.max_stages <= 3
+
+    def test_deterministic(self, regression, platform, mix):
+        scheduler = MosaicScheduler(platform, regression)
+        assert scheduler.schedule(mix).mapping == scheduler.schedule(mix).mapping
+
+    def test_splits_heavy_models(self, regression, platform):
+        """MOSAIC's point: pipeline-slicing a heavy DNN beats running it
+        whole on one device (by its own latency model)."""
+        mix = Workload.from_names(["vgg19"])
+        decision = MosaicScheduler(platform, regression).schedule(mix)
+        assert decision.mapping.num_stages(0) >= 2
+
+    def test_cost_counters(self, regression, platform, mix):
+        decision = MosaicScheduler(platform, regression).schedule(mix)
+        assert decision.cost["regression_queries"] > 0
+        assert decision.cost["training_points"] == regression.training_points
+
+
+class TestGA:
+    @pytest.fixture(scope="class")
+    def cost_model(self, platform):
+        from repro.models import build_all_models
+
+        table = KernelProfiler(platform).profile(build_all_models(), seed=0)
+        return StaticCostModel(platform, table)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GAConfig(population_size=1)
+        with pytest.raises(ValueError):
+            GAConfig(generations=0)
+        with pytest.raises(ValueError):
+            GAConfig(mutation_rate=1.5)
+        with pytest.raises(ValueError):
+            GAConfig(elite_count=24, population_size=24)
+
+    def test_mapping_valid(self, cost_model, mix):
+        scheduler = GeneticScheduler(
+            cost_model, GAConfig(population_size=8, generations=4, seed=0)
+        )
+        decision = scheduler.schedule(mix)
+        decision.mapping.validate(mix.models, 3)
+        assert decision.mapping.max_stages <= 3
+
+    def test_fitness_evaluation_count(self, cost_model, mix):
+        config = GAConfig(population_size=8, generations=4, seed=0)
+        decision = GeneticScheduler(cost_model, config).schedule(mix)
+        assert decision.cost["fitness_evaluations"] == 8 * 4
+
+    def test_deterministic_under_seed(self, cost_model, mix):
+        config = GAConfig(population_size=8, generations=4, seed=5)
+        a = GeneticScheduler(cost_model, config).schedule(mix)
+        b = GeneticScheduler(cost_model, config).schedule(mix)
+        assert a.mapping == b.mapping
+
+    def test_evolution_improves_over_first_generation(self, cost_model, mix):
+        short = GeneticScheduler(
+            cost_model, GAConfig(population_size=10, generations=1, seed=2)
+        ).schedule(mix)
+        long = GeneticScheduler(
+            cost_model, GAConfig(population_size=10, generations=12, seed=2)
+        ).schedule(mix)
+        assert long.expected_score >= short.expected_score
+
+    def test_static_model_ignores_thrash(self, cost_model):
+        """The GA's belief for a heavy GPU-only mapping must be far
+        more optimistic than the board's measured outcome -- that bias
+        is the paper's criticism of static estimators."""
+        from repro.sim import BoardSimulator, Mapping
+
+        heavy = Workload.from_names(["vgg19", "inception_v4", "resnet101"])
+        mapping = Mapping.single_device(heavy.models, GPU_ID)
+        belief = cost_model.estimate(heavy, mapping)
+        actual = (
+            BoardSimulator(cost_model.platform)
+            .simulate(heavy.models, mapping)
+            .average_throughput
+        )
+        assert belief > 1.5 * actual
+
+    def test_unprofiled_model_rejected(self, platform):
+        from repro.sim import LatencyTable, Mapping
+
+        empty_table = LatencyTable(platform_name="x", tables={})
+        model = StaticCostModel(platform, empty_table)
+        mix = Workload.from_names(["alexnet"])
+        with pytest.raises(KeyError, match="profiled"):
+            model.estimate(mix, Mapping.single_device(mix.models, 0))

@@ -1,0 +1,108 @@
+"""CLI tests (invoking main() in-process and checking stdout)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "alexnet" in out
+        assert "inception_v4" in out
+        assert "GFLOPs" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Mali-G72" in out
+        assert "vgg19" in out
+
+    def test_space(self, capsys):
+        assert main(["space", "alexnet", "mobilenet"]) == 0
+        out = capsys.readouterr().out
+        assert "paper estimate" in out
+        assert "contiguous mappings" in out
+
+    def test_motivate_small(self, capsys):
+        assert main(["motivate", "--setups", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "random set-ups" in out
+
+    def test_train_and_schedule_roundtrip(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "est.npz")
+        assert (
+            main(
+                [
+                    "train",
+                    "--samples",
+                    "40",
+                    "--epochs",
+                    "2",
+                    "--checkpoint",
+                    checkpoint,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "checkpoint saved" in out
+
+        assert (
+            main(
+                [
+                    "schedule",
+                    "alexnet",
+                    "mobilenet",
+                    "--checkpoint",
+                    checkpoint,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "OmniBoost" in out
+        assert "Baseline" in out
+
+
+class TestNewCommands:
+    def test_models_all_includes_extensions(self, capsys):
+        assert main(["models", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "densenet121" in out
+        assert "extension" in out
+
+    def test_models_default_excludes_extensions(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "densenet121" not in out
+
+    def test_power_smoke(self, capsys):
+        assert (
+            main(
+                [
+                    "power",
+                    "alexnet",
+                    "squeezenet",
+                    "--samples",
+                    "30",
+                    "--epochs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "inf/J" in out
+        assert "throughput (paper)" in out

@@ -1,0 +1,138 @@
+"""Scheduling environment tests (states, actions, win/lose rules)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SchedulingEnv
+from repro.workloads import Workload
+
+
+@pytest.fixture()
+def small_env():
+    return SchedulingEnv(Workload.from_names(["alexnet", "squeezenet"]), 3)
+
+
+class TestEpisodeStructure:
+    def test_reset_is_empty(self, small_env):
+        state = small_env.reset()
+        assert small_env.decisions_made(state) == 0
+        assert small_env.current_dnn(state) == 0
+        assert not small_env.is_terminal(state)
+
+    def test_total_decisions_is_total_layers(self, small_env):
+        assert small_env.total_decisions == 8 + 18
+
+    def test_dnns_scheduled_in_order(self, small_env):
+        state = small_env.reset()
+        for _ in range(8):  # all of alexnet
+            state = small_env.step(state, 0)
+        assert small_env.current_dnn(state) == 1
+
+    def test_complete_episode_reaches_win(self, small_env):
+        state = small_env.reset()
+        for _ in range(small_env.total_decisions):
+            state = small_env.step(state, 1)
+        assert small_env.is_complete(state)
+        assert small_env.is_terminal(state)
+        assert not small_env.is_losing(state)
+        assert small_env.legal_actions(state) == []
+
+    def test_step_after_completion_rejected(self, small_env):
+        state = small_env.reset()
+        for _ in range(small_env.total_decisions):
+            state = small_env.step(state, 0)
+        with pytest.raises(RuntimeError, match="completed"):
+            small_env.step(state, 0)
+
+    def test_action_range_checked(self, small_env):
+        with pytest.raises(ValueError, match="out of range"):
+            small_env.step(small_env.reset(), 3)
+
+    def test_mapping_decoding(self, small_env):
+        state = small_env.reset()
+        for _ in range(small_env.total_decisions):
+            state = small_env.step(state, 2)
+        mapping = small_env.mapping(state)
+        mapping.validate(small_env.workload.models, 3)
+        assert mapping.devices_used() == (2,)
+
+    def test_mapping_requires_completion(self, small_env):
+        with pytest.raises(ValueError, match="incomplete"):
+            small_env.mapping(small_env.reset())
+
+
+class TestStageCapMasking:
+    def test_actions_unrestricted_below_cap(self, small_env):
+        state = small_env.reset()
+        state = small_env.step(state, 0)
+        assert small_env.legal_actions(state) == [0, 1, 2]
+
+    def test_at_cap_only_continuation_legal(self):
+        env = SchedulingEnv(Workload.from_names(["alexnet"]), 3, stage_cap=2)
+        state = env.reset()
+        state = env.step(state, 0)
+        state = env.step(state, 1)  # second stage: at cap
+        assert env.legal_actions(state) == [1]
+
+    def test_masked_env_never_loses(self):
+        env = SchedulingEnv(Workload.from_names(["alexnet"]), 3, stage_cap=2)
+        state = env.reset()
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        while not env.is_terminal(state):
+            actions = env.legal_actions(state)
+            state = env.step(state, actions[rng.integers(len(actions))])
+        assert env.is_complete(state)
+        assert env.mapping(state).max_stages <= 2
+
+    def test_illegal_step_rejected_when_masked(self):
+        env = SchedulingEnv(Workload.from_names(["alexnet"]), 3, stage_cap=1)
+        state = env.step(env.reset(), 0)
+        with pytest.raises(ValueError, match="illegal"):
+            env.step(state, 1)
+
+
+class TestLosingStates:
+    def test_unmasked_env_reaches_losing_state(self):
+        env = SchedulingEnv(
+            Workload.from_names(["alexnet"]), 3, stage_cap=2, mask_illegal=False
+        )
+        state = env.reset()
+        for action in (0, 1, 0):  # three stages > cap of 2
+            state = env.step(state, action)
+        assert env.is_losing(state)
+        assert env.is_terminal(state)
+        assert env.legal_actions(state) == []
+
+    def test_default_cap_is_device_count(self):
+        env = SchedulingEnv(Workload.from_names(["alexnet"]), 3)
+        assert env.stage_cap == 3
+
+    def test_invalid_configuration_rejected(self):
+        workload = Workload.from_names(["alexnet"])
+        with pytest.raises(ValueError):
+            SchedulingEnv(workload, 0)
+        with pytest.raises(ValueError):
+            SchedulingEnv(workload, 3, stage_cap=0)
+
+
+class TestStateProperties:
+    @given(st.lists(st.integers(0, 2), min_size=26, max_size=26))
+    @settings(max_examples=60, deadline=None)
+    def test_unmasked_episode_always_terminates_classified(self, actions):
+        env = SchedulingEnv(
+            Workload.from_names(["alexnet", "squeezenet"]), 3, mask_illegal=False
+        )
+        state = env.reset()
+        for action in actions:
+            if env.is_terminal(state):
+                break
+            state = env.step(state, action)
+        if env.is_complete(state):
+            mapping = env.mapping(state)
+            mapping.validate(env.workload.models, 3)
+        # A terminal state is either complete or losing, never both.
+        if env.is_terminal(state):
+            assert env.is_complete(state) != env.is_losing(state)

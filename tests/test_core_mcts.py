@@ -1,0 +1,295 @@
+"""MCTS tests: mechanics, determinism and search quality on oracles."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LOSS_REWARD,
+    MCTSConfig,
+    MonteCarloTreeSearch,
+    SchedulingEnv,
+)
+from repro.workloads import Workload
+
+
+@pytest.fixture()
+def tiny_env():
+    return SchedulingEnv(Workload.from_names(["alexnet"]), 3)
+
+
+def constant_reward(_mapping):
+    return 0.5
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = MCTSConfig()
+        assert config.budget == 500
+        assert config.max_depth == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MCTSConfig(budget=0)
+        with pytest.raises(ValueError):
+            MCTSConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            MCTSConfig(exploration=-1.0)
+        with pytest.raises(ValueError):
+            MCTSConfig(rollout_stay_prob=1.0)
+
+
+class TestMechanics:
+    def test_budget_respected(self, tiny_env):
+        search = MonteCarloTreeSearch(
+            tiny_env, constant_reward, MCTSConfig(budget=37)
+        )
+        result = search.search()
+        assert result.iterations == 37
+        assert result.root_visits == 37
+        assert result.evaluations + result.losing_rollouts == 37
+
+    def test_masked_env_has_no_losing_rollouts(self, tiny_env):
+        search = MonteCarloTreeSearch(
+            tiny_env, constant_reward, MCTSConfig(budget=50)
+        )
+        assert search.search().losing_rollouts == 0
+
+    def test_returns_valid_mapping(self, tiny_env):
+        result = MonteCarloTreeSearch(
+            tiny_env, constant_reward, MCTSConfig(budget=20)
+        ).search()
+        result.mapping.validate(tiny_env.workload.models, 3)
+        assert result.mapping.max_stages <= 3
+
+    def test_deterministic_under_seed(self, tiny_env):
+        def run(seed):
+            return MonteCarloTreeSearch(
+                tiny_env,
+                lambda m: float(hash(m) % 1000) / 1000.0,
+                MCTSConfig(budget=60, seed=seed),
+            ).search()
+
+        assert run(5).mapping == run(5).mapping
+        assert run(5).reward == run(5).reward
+
+    def test_rewards_seen_tracked(self, tiny_env):
+        result = MonteCarloTreeSearch(
+            tiny_env, constant_reward, MCTSConfig(budget=25)
+        ).search()
+        assert len(result.rewards_seen) == result.evaluations
+        assert all(reward == 0.5 for reward in result.rewards_seen)
+
+    def test_unmasked_losing_rollouts_counted(self):
+        env = SchedulingEnv(
+            Workload.from_names(["vgg19"]), 3, stage_cap=1, mask_illegal=False
+        )
+        result = MonteCarloTreeSearch(
+            env, constant_reward, MCTSConfig(budget=100, rollout_stay_prob=0.0)
+        ).search()
+        assert result.losing_rollouts > 0
+
+    def test_complete_but_losing_states_never_win(self):
+        """Regression: the last decision can complete the assignment
+        AND open a cap-breaking stage; such states must receive the
+        loss reward, never the estimator reward, so the returned elite
+        always respects the cap."""
+        env = SchedulingEnv(
+            Workload.from_names(["alexnet", "squeezenet"]),
+            3,
+            mask_illegal=False,
+        )
+        for seed in range(6):
+            result = MonteCarloTreeSearch(
+                env,
+                constant_reward,
+                MCTSConfig(budget=200, rollout_stay_prob=0.6, seed=seed),
+            ).search()
+            if result.evaluations:
+                assert result.mapping.max_stages <= 3
+
+    def test_all_losing_falls_back_to_device_zero(self):
+        """With an impossible stage cap and no masking, the search must
+        still return a valid mapping."""
+        env = SchedulingEnv(
+            Workload.from_names(["alexnet"]),
+            3,
+            stage_cap=1,
+            mask_illegal=False,
+        )
+        # stay_prob=0 makes staying on one device for 8 layers ~(1/3)^7.
+        result = MonteCarloTreeSearch(
+            env, constant_reward, MCTSConfig(budget=5, rollout_stay_prob=0.0, seed=1)
+        ).search()
+        result.mapping.validate(env.workload.models, 3)
+        if result.evaluations == 0:
+            assert result.reward == LOSS_REWARD
+
+
+class TestSearchQuality:
+    def test_finds_optimum_of_simple_objective(self):
+        """Objective: put every layer on device 2.  MCTS must find it."""
+        env = SchedulingEnv(Workload.from_names(["alexnet"]), 3)
+
+        def reward(mapping):
+            row = mapping.assignments[0]
+            return sum(1.0 for device in row if device == 2) / len(row)
+
+        result = MonteCarloTreeSearch(env, reward, MCTSConfig(budget=400, seed=3)).search()
+        assert result.reward == 1.0
+        assert set(result.mapping.assignments[0]) == {2}
+
+    def test_beats_pure_random_on_split_objective(self):
+        """Objective rewards a split at a specific layer; the tree
+        should exploit it better than unguided sampling."""
+        env = SchedulingEnv(Workload.from_names(["alexnet"]), 3)
+
+        def reward(mapping):
+            row = mapping.assignments[0]
+            score = 0.0
+            if row[0] == 0:
+                score += 0.5
+            if row[-1] == 1:
+                score += 0.3
+            if mapping.num_stages(0) == 2:
+                score += 0.2
+            return score
+
+        result = MonteCarloTreeSearch(env, reward, MCTSConfig(budget=500, seed=3)).search()
+        assert result.reward >= 0.8
+
+    def test_more_budget_does_not_hurt(self):
+        env = SchedulingEnv(Workload.from_names(["alexnet", "squeezenet"]), 3)
+        rng = np.random.default_rng(0)
+        table = {}
+
+        def reward(mapping):
+            if mapping not in table:
+                table[mapping] = float(rng.uniform())
+            return table[mapping]
+
+        small = MonteCarloTreeSearch(env, reward, MCTSConfig(budget=50, seed=2)).search()
+        table_copy = dict(table)
+        large = MonteCarloTreeSearch(env, reward, MCTSConfig(budget=400, seed=2)).search()
+        assert large.reward >= small.reward - 1e-9
+
+
+class TestIncumbentHistory:
+    def test_improvements_strictly_increase(self, tiny_env):
+        rng = np.random.default_rng(7)
+        table = {}
+
+        def reward(mapping):
+            if mapping not in table:
+                table[mapping] = float(rng.uniform())
+            return table[mapping]
+
+        result = MonteCarloTreeSearch(
+            tiny_env, reward, MCTSConfig(budget=120, seed=11)
+        ).search()
+        assert result.improvements, "a winning rollout must have happened"
+        iterations = [when for when, _, _ in result.improvements]
+        rewards = [value for _, value, _ in result.improvements]
+        assert iterations == sorted(iterations)
+        assert all(b > a for a, b in zip(rewards, rewards[1:]))
+        # The last improvement is the returned elite.
+        assert result.improvements[-1][1] == result.reward
+        assert result.improvements[-1][2] == result.mapping
+
+    def test_incumbent_at_matches_smaller_budget_run(self, tiny_env):
+        """The prefix property: incumbent_at(B) of a long search equals
+        the elite of a fresh budget-B search with the same seed."""
+        rng = np.random.default_rng(3)
+        table = {}
+
+        def reward(mapping):
+            if mapping not in table:
+                table[mapping] = float(rng.uniform())
+            return table[mapping]
+
+        long = MonteCarloTreeSearch(
+            tiny_env, reward, MCTSConfig(budget=200, seed=9)
+        ).search()
+        short = MonteCarloTreeSearch(
+            tiny_env, reward, MCTSConfig(budget=40, seed=9)
+        ).search()
+        mapping, incumbent_reward = long.incumbent_at(40)
+        assert mapping == short.mapping
+        assert incumbent_reward == short.reward
+
+    def test_incumbent_before_first_win_is_empty(self, tiny_env):
+        result = MonteCarloTreeSearch(
+            tiny_env, constant_reward, MCTSConfig(budget=30)
+        ).search()
+        first_win = result.improvements[0][0]
+        if first_win > 1:
+            mapping, reward = result.incumbent_at(first_win - 1)
+            assert mapping is None
+            assert reward == float("-inf")
+
+    def test_incumbent_at_validates_iteration(self, tiny_env):
+        result = MonteCarloTreeSearch(
+            tiny_env, constant_reward, MCTSConfig(budget=10)
+        ).search()
+        with pytest.raises(ValueError):
+            result.incumbent_at(0)
+
+
+class TestMeanDescentElite:
+    def _tabled_reward(self, seed):
+        rng = np.random.default_rng(seed)
+        table = {}
+
+        def reward(mapping):
+            if mapping not in table:
+                table[mapping] = float(rng.uniform())
+            return table[mapping]
+
+        return reward
+
+    def test_returns_valid_evaluated_mapping(self, tiny_env):
+        search = MonteCarloTreeSearch(
+            tiny_env,
+            self._tabled_reward(3),
+            MCTSConfig(budget=200, elite="mean-descent", seed=5),
+        )
+        result = search.search()
+        result.mapping.validate(tiny_env.workload.models, 3)
+        assert result.reward in result.rewards_seen
+
+    def test_deterministic_under_seed(self, tiny_env):
+        def run():
+            return MonteCarloTreeSearch(
+                tiny_env,
+                self._tabled_reward(7),
+                MCTSConfig(budget=150, elite="mean-descent", seed=2),
+            ).search()
+
+        assert run().mapping == run().mapping
+
+    def test_small_budget_falls_back_to_global_best(self, tiny_env):
+        """Below the visit-trust threshold no child is descendable, so
+        the elite is the plain global maximum."""
+        reward = self._tabled_reward(11)
+        descent = MonteCarloTreeSearch(
+            tiny_env,
+            reward,
+            MCTSConfig(budget=10, elite="mean-descent", seed=4),
+        ).search()
+        plain = MonteCarloTreeSearch(
+            tiny_env,
+            self._tabled_reward(11),
+            MCTSConfig(budget=10, elite="max", seed=4),
+        ).search()
+        assert descent.mapping == plain.mapping
+        assert descent.reward == plain.reward
+
+    def test_never_exceeds_global_max(self, tiny_env):
+        """The descent guards against the winner's curse; it can only
+        return a reward at or below the global maximum seen."""
+        search = MonteCarloTreeSearch(
+            tiny_env,
+            self._tabled_reward(13),
+            MCTSConfig(budget=300, elite="mean-descent", seed=6),
+        )
+        result = search.search()
+        assert result.reward <= max(result.rewards_seen) + 1e-12

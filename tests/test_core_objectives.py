@@ -1,0 +1,167 @@
+"""Scheduling-objective tests: the paper's reward and the energy extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnergyAwareObjective,
+    MCTSConfig,
+    OmniBoostScheduler,
+    ThroughputObjective,
+)
+from repro.hw import hikey970_power
+from repro.sim import Mapping
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def power_model():
+    return hikey970_power()
+
+
+@pytest.fixture(scope="module")
+def energy_objective(power_model, platform, latency_table):
+    return EnergyAwareObjective(power_model, platform, latency_table)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    workload = Workload.from_names(["alexnet", "squeezenet"])
+    mapping = Mapping.single_device(workload.models, 0)
+    return workload, mapping
+
+
+class TestThroughputObjective:
+    def test_score_is_mean(self, pair):
+        workload, mapping = pair
+        objective = ThroughputObjective()
+        predicted = np.array([3.0, 2.0, 1.0])
+        assert objective.score(workload, mapping, predicted) == pytest.approx(2.0)
+
+    def test_matches_estimator_reward(self, trained_estimator, pair):
+        """The named objective reproduces estimator.reward exactly."""
+        workload, mapping = pair
+        objective = ThroughputObjective()
+        predicted = trained_estimator.predict_throughput(workload, mapping)
+        assert objective.score(workload, mapping, predicted) == pytest.approx(
+            trained_estimator.reward(workload, mapping)
+        )
+
+
+class TestEnergyAwareObjective:
+    def test_mode_validation(self, power_model, platform, latency_table):
+        with pytest.raises(ValueError):
+            EnergyAwareObjective(
+                power_model, platform, latency_table, mode="nonsense"
+            )
+        with pytest.raises(ValueError):
+            EnergyAwareObjective(
+                power_model, platform, latency_table, mode="weighted"
+            )
+        with pytest.raises(ValueError):
+            EnergyAwareObjective(
+                power_model,
+                platform,
+                latency_table,
+                mode="weighted",
+                tradeoff_w=-1.0,
+            )
+
+    def test_predicted_power_at_least_idle_floor(
+        self, energy_objective, power_model, platform, pair
+    ):
+        workload, mapping = pair
+        power = energy_objective.predicted_power_w(
+            workload, mapping, np.zeros(3)
+        )
+        assert power == pytest.approx(power_model.idle_floor_w(platform))
+
+    def test_predicted_power_grows_with_rate(self, energy_objective, pair):
+        workload, mapping = pair
+        low = energy_objective.predicted_power_w(
+            workload, mapping, np.array([1.0, 0.0, 0.0])
+        )
+        high = energy_objective.predicted_power_w(
+            workload, mapping, np.array([5.0, 0.0, 0.0])
+        )
+        assert high > low
+
+    def test_inferences_per_joule_score(self, energy_objective, pair):
+        workload, mapping = pair
+        predicted = np.array([2.0, 1.0, 0.5])
+        power = energy_objective.predicted_power_w(workload, mapping, predicted)
+        score = energy_objective.score(workload, mapping, predicted)
+        assert score == pytest.approx(predicted.sum() / power)
+
+    def test_weighted_score(self, power_model, platform, latency_table, pair):
+        workload, mapping = pair
+        objective = EnergyAwareObjective(
+            power_model,
+            platform,
+            latency_table,
+            mode="weighted",
+            tradeoff_w=0.1,
+        )
+        predicted = np.array([2.0, 1.0, 0.5])
+        power = objective.predicted_power_w(workload, mapping, predicted)
+        assert objective.score(workload, mapping, predicted) == pytest.approx(
+            predicted.mean() - 0.1 * power
+        )
+
+    def test_weighted_zero_tradeoff_equals_throughput(
+        self, power_model, platform, latency_table, pair
+    ):
+        workload, mapping = pair
+        objective = EnergyAwareObjective(
+            power_model,
+            platform,
+            latency_table,
+            mode="weighted",
+            tradeoff_w=0.0,
+        )
+        predicted = np.array([4.0, 2.0, 0.0])
+        assert objective.score(workload, mapping, predicted) == pytest.approx(
+            ThroughputObjective().score(workload, mapping, predicted)
+        )
+
+    def test_prefers_lower_energy_mapping_at_equal_throughput(
+        self, energy_objective, latency_table
+    ):
+        """With identical predicted throughput the objective must rank
+        the mapping with lower design-time dynamic energy higher."""
+        workload = Workload.from_names(["vgg16"])
+        gpu_mapping = Mapping.single_device(workload.models, 0)
+        big_mapping = Mapping.single_device(workload.models, 1)
+        predicted = np.array([1.0, 1.0, 1.0])
+        gpu_score = energy_objective.score(workload, gpu_mapping, predicted)
+        big_score = energy_objective.score(workload, big_mapping, predicted)
+        # GPU dynamic energy on dense conv work is lower (see power tests).
+        assert gpu_score > big_score
+
+
+class TestSchedulerObjectiveIntegration:
+    def test_default_objective_unchanged(self, trained_estimator, small_mix):
+        """objective=ThroughputObjective() reproduces the default
+        scheduler decision exactly (same seed, same reward surface)."""
+        default = OmniBoostScheduler(
+            trained_estimator, config=MCTSConfig(budget=60, seed=4)
+        ).schedule(small_mix)
+        named = OmniBoostScheduler(
+            trained_estimator,
+            config=MCTSConfig(budget=60, seed=4),
+            objective=ThroughputObjective(),
+        ).schedule(small_mix)
+        assert named.mapping == default.mapping
+        assert named.expected_score == pytest.approx(default.expected_score)
+
+    def test_energy_objective_returns_valid_mapping(
+        self, trained_estimator, energy_objective, small_mix
+    ):
+        scheduler = OmniBoostScheduler(
+            trained_estimator,
+            config=MCTSConfig(budget=60, seed=4),
+            objective=energy_objective,
+        )
+        decision = scheduler.schedule(small_mix)
+        decision.mapping.validate(small_mix.models, 3)
+        assert decision.cost["estimator_queries"] <= 60

@@ -1,0 +1,66 @@
+"""OmniBoost scheduler facade tests."""
+
+import pytest
+
+from repro.core import MCTSConfig, OmniBoostScheduler
+from repro.workloads import Workload
+
+
+@pytest.fixture()
+def scheduler(trained_estimator):
+    return OmniBoostScheduler(
+        trained_estimator, config=MCTSConfig(budget=120, seed=3)
+    )
+
+
+@pytest.fixture()
+def mix():
+    return Workload.from_names(["alexnet", "vgg19", "mobilenet"])
+
+
+class TestScheduling:
+    def test_produces_valid_capped_mapping(self, scheduler, mix):
+        decision = scheduler.schedule(mix)
+        decision.mapping.validate(mix.models, 3)
+        assert decision.mapping.max_stages <= 3
+
+    def test_counts_one_query_per_winning_rollout(self, scheduler, mix):
+        decision = scheduler.schedule(mix)
+        assert decision.cost["mcts_iterations"] == 120
+        assert decision.cost["estimator_queries"] == 120
+        assert decision.cost["losing_rollouts"] == 0
+
+    def test_no_retraining_between_workloads(self, scheduler, mix):
+        """The paper's headline property: the same trained estimator
+        answers every workload; scheduling must not mutate weights."""
+        before = [
+            parameter.data.copy()
+            for parameter in scheduler.estimator.network.parameters()
+        ]
+        scheduler.schedule(mix)
+        scheduler.schedule(Workload.from_names(["resnet50", "squeezenet"]))
+        after = scheduler.estimator.network.parameters()
+        for old, new in zip(before, after):
+            assert (old == new.data).all()
+
+    def test_deterministic_under_seed(self, trained_estimator, mix):
+        def run():
+            scheduler = OmniBoostScheduler(
+                trained_estimator, config=MCTSConfig(budget=80, seed=9)
+            )
+            return scheduler.schedule(mix).mapping
+
+        assert run() == run()
+
+    def test_wall_time_recorded(self, scheduler, mix):
+        decision = scheduler.schedule(mix)
+        assert decision.wall_time_s > 0
+
+    def test_last_result_exposed(self, scheduler, mix):
+        scheduler.schedule(mix)
+        assert scheduler.last_result is not None
+        assert scheduler.last_result.iterations == 120
+
+    def test_expected_score_is_best_seen(self, scheduler, mix):
+        decision = scheduler.schedule(mix)
+        assert decision.expected_score == max(scheduler.last_result.rewards_seen)

@@ -1,0 +1,204 @@
+"""Tests for the estimator-driven search baselines."""
+
+import pytest
+
+from repro.core import GreedyImprovementScheduler, RandomSearchScheduler
+from repro.workloads import Workload
+
+
+@pytest.fixture()
+def mix():
+    return Workload.from_names(["alexnet", "vgg19", "mobilenet"])
+
+
+class TestRandomSearch:
+    def test_valid_mapping_and_budget(self, trained_estimator, mix):
+        scheduler = RandomSearchScheduler(trained_estimator, num_samples=40, seed=1)
+        decision = scheduler.schedule(mix)
+        decision.mapping.validate(mix.models, 3)
+        assert decision.cost["estimator_queries"] == 40
+
+    def test_deterministic_under_seed(self, trained_estimator, mix):
+        a = RandomSearchScheduler(trained_estimator, num_samples=30, seed=4)
+        b = RandomSearchScheduler(trained_estimator, num_samples=30, seed=4)
+        assert a.schedule(mix).mapping == b.schedule(mix).mapping
+
+    def test_more_samples_never_lower_score(self, trained_estimator, mix):
+        small = RandomSearchScheduler(trained_estimator, num_samples=10, seed=2)
+        large = RandomSearchScheduler(trained_estimator, num_samples=80, seed=2)
+        assert (
+            large.schedule(mix).expected_score
+            >= small.schedule(mix).expected_score - 1e-9
+        )
+
+    def test_stage_cap_respected(self, trained_estimator, mix):
+        scheduler = RandomSearchScheduler(
+            trained_estimator, num_samples=25, max_stages=2, seed=3
+        )
+        decision = scheduler.schedule(mix)
+        assert decision.mapping.max_stages <= 2
+
+    def test_invalid_config(self, trained_estimator):
+        with pytest.raises(ValueError):
+            RandomSearchScheduler(trained_estimator, num_samples=0)
+
+
+class TestGreedyImprovement:
+    def test_valid_mapping(self, trained_estimator, mix):
+        scheduler = GreedyImprovementScheduler(trained_estimator)
+        decision = scheduler.schedule(mix)
+        decision.mapping.validate(mix.models, 3)
+        assert decision.mapping.max_stages <= 2  # menu has <= 2-stage rows
+
+    def test_improves_on_start_point(self, trained_estimator, mix):
+        scheduler = GreedyImprovementScheduler(trained_estimator)
+        start_reward = trained_estimator.reward(
+            mix,
+            __import__("repro.sim", fromlist=["Mapping"]).Mapping.single_device(
+                mix.models, 0
+            ),
+        )
+        decision = scheduler.schedule(mix)
+        assert decision.expected_score >= start_reward - 1e-9
+
+    def test_queries_counted(self, trained_estimator, mix):
+        scheduler = GreedyImprovementScheduler(trained_estimator, passes=1)
+        decision = scheduler.schedule(mix)
+        assert decision.cost["estimator_queries"] > mix.num_dnns  # > 1/DNN
+
+    def test_deterministic(self, trained_estimator, mix):
+        a = GreedyImprovementScheduler(trained_estimator).schedule(mix)
+        b = GreedyImprovementScheduler(trained_estimator).schedule(mix)
+        assert a.mapping == b.mapping
+
+    def test_invalid_config(self, trained_estimator):
+        with pytest.raises(ValueError):
+            GreedyImprovementScheduler(trained_estimator, passes=0)
+        with pytest.raises(ValueError):
+            GreedyImprovementScheduler(trained_estimator, splits_per_pair=0)
+
+
+class TestSimulatedAnnealing:
+    def test_valid_mapping_and_budget(self, trained_estimator, mix):
+        from repro.core import SimulatedAnnealingScheduler
+
+        scheduler = SimulatedAnnealingScheduler(
+            trained_estimator, budget=40, seed=1
+        )
+        decision = scheduler.schedule(mix)
+        decision.mapping.validate(mix.models, 3)
+        assert decision.cost["estimator_queries"] == 40
+
+    def test_deterministic_under_seed(self, trained_estimator, mix):
+        from repro.core import SimulatedAnnealingScheduler
+
+        a = SimulatedAnnealingScheduler(trained_estimator, budget=30, seed=4)
+        b = SimulatedAnnealingScheduler(trained_estimator, budget=30, seed=4)
+        assert a.schedule(mix).mapping == b.schedule(mix).mapping
+
+    def test_best_is_tracked_not_last(self, trained_estimator, mix):
+        """The returned score must be the best seen, never worse than a
+        tiny-budget run with the same seed (prefix property of the
+        best-so-far tracker)."""
+        from repro.core import SimulatedAnnealingScheduler
+
+        small = SimulatedAnnealingScheduler(trained_estimator, budget=10, seed=2)
+        large = SimulatedAnnealingScheduler(trained_estimator, budget=120, seed=2)
+        assert (
+            large.schedule(mix).expected_score
+            >= small.schedule(mix).expected_score - 1e-9
+        )
+
+    def test_stage_cap_respected(self, trained_estimator, mix):
+        from repro.core import SimulatedAnnealingScheduler
+
+        scheduler = SimulatedAnnealingScheduler(
+            trained_estimator, budget=30, max_stages=2, seed=3
+        )
+        assert scheduler.schedule(mix).mapping.max_stages <= 2
+
+    def test_validation(self, trained_estimator):
+        from repro.core import SimulatedAnnealingScheduler
+
+        with pytest.raises(ValueError):
+            SimulatedAnnealingScheduler(trained_estimator, budget=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingScheduler(trained_estimator, initial_temperature=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingScheduler(trained_estimator, cooling=1.0)
+
+
+class TestEnumerateContiguousRows:
+    def test_counts_single_layer(self):
+        from repro.core import enumerate_contiguous_rows
+
+        rows = list(enumerate_contiguous_rows(1, 3, 3))
+        assert sorted(rows) == [(0,), (1,), (2,)]
+
+    def test_counts_two_layers(self):
+        from repro.core import enumerate_contiguous_rows
+
+        rows = list(enumerate_contiguous_rows(2, 3, 3))
+        # 3 one-stage rows + 1 cut x 3x2 ordered device pairs = 9.
+        assert len(rows) == 9
+        assert len(set(rows)) == 9
+
+    def test_no_adjacent_duplicate_devices(self):
+        from repro.core import enumerate_contiguous_rows
+
+        for row in enumerate_contiguous_rows(5, 3, 3):
+            stages = [row[0]]
+            for device in row[1:]:
+                if device != stages[-1]:
+                    stages.append(device)
+            assert all(a != b for a, b in zip(stages, stages[1:]))
+            assert len(stages) <= 3
+
+    def test_matches_spacesize_formula(self):
+        from repro.core import enumerate_contiguous_rows
+        from repro.evaluation import total_contiguous_mappings
+        from repro.models import build_model
+
+        model = build_model("alexnet")
+        rows = list(enumerate_contiguous_rows(model.num_layers, 3, 3))
+        assert len(rows) == total_contiguous_mappings([model], 3, 3)
+
+    def test_validation(self):
+        from repro.core import enumerate_contiguous_rows
+
+        with pytest.raises(ValueError):
+            list(enumerate_contiguous_rows(0, 3, 3))
+
+
+class TestExhaustiveSearch:
+    def test_finds_global_optimum_on_tiny_mix(self, trained_estimator):
+        """MCTS quality reference: on a single small DNN the exhaustive
+        scheduler is by definition optimal; a budget-matched random
+        search cannot beat it."""
+        from repro.core import ExhaustiveSearchScheduler
+
+        tiny = Workload.from_names(["alexnet"])
+        exhaustive = ExhaustiveSearchScheduler(trained_estimator)
+        decision = exhaustive.schedule(tiny)
+        decision.mapping.validate(tiny.models, 3)
+
+        probe = RandomSearchScheduler(trained_estimator, num_samples=60, seed=0)
+        assert (
+            decision.expected_score
+            >= probe.schedule(tiny).expected_score - 1e-9
+        )
+
+    def test_refuses_huge_spaces(self, trained_estimator, mix):
+        from repro.core import ExhaustiveSearchScheduler
+
+        scheduler = ExhaustiveSearchScheduler(
+            trained_estimator, max_evaluations=1000
+        )
+        with pytest.raises(ValueError, match="exceeds max_evaluations"):
+            scheduler.schedule(mix)
+
+    def test_validation(self, trained_estimator):
+        from repro.core import ExhaustiveSearchScheduler
+
+        with pytest.raises(ValueError):
+            ExhaustiveSearchScheduler(trained_estimator, max_evaluations=0)

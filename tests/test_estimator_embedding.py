@@ -1,0 +1,216 @@
+"""Distributed embedding tensor tests (paper IV-A / Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.estimator import EmbeddingSpace
+from repro.models import MODEL_NAMES, build_model
+from repro.sim import Mapping
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def space(latency_table):
+    return EmbeddingSpace(latency_table, MODEL_NAMES)
+
+
+class TestTensorCompilation:
+    def test_shape_is_devices_layers_models(self, space):
+        assert space.tensor.shape == (3, 35, 11)
+        assert space.input_shape == (3, 35, 11)
+
+    def test_padding_cells_are_zero(self, space):
+        """Eq. 3: shorter models are zero-padded to max_layers."""
+        alexnet_column = space.column_of("alexnet")
+        column = space.tensor[:, :, alexnet_column]
+        assert (column[:, 8:] == 0).all()  # AlexNet has 8 units
+        assert (column[:, :8] > 0).all()
+
+    def test_values_in_unit_interval(self, space):
+        assert space.tensor.min() >= 0.0
+        assert space.tensor.max() <= 1.0
+
+    def test_populated_cells_positive(self, space):
+        for name in MODEL_NAMES:
+            column = space.column_of(name)
+            layers = build_model(name).num_layers
+            assert (space.tensor[:, :layers, column] > 0).all()
+
+    def test_global_max_normalization_preserves_ratios(self, latency_table):
+        space = EmbeddingSpace(
+            latency_table, MODEL_NAMES, normalization="global-max"
+        )
+        raw = latency_table.tables["vgg19"]
+        column = space.column_of("vgg19")
+        encoded = space.tensor[:, : raw.shape[1], column]
+        ratio = raw / encoded
+        assert np.allclose(ratio, ratio[0, 0])
+
+    def test_unknown_normalization_rejected(self, latency_table):
+        with pytest.raises(ValueError, match="normalization"):
+            EmbeddingSpace(latency_table, MODEL_NAMES, normalization="softmax")
+
+    def test_missing_model_rejected(self, latency_table):
+        with pytest.raises(KeyError, match="lacks"):
+            EmbeddingSpace(latency_table, ["alexnet", "nonexistent"])
+
+
+class TestMasking:
+    def test_mask_selects_exact_cells(self, space):
+        workload = Workload.from_names(["alexnet"])
+        mapping = Mapping([[0] * 4 + [1] * 4])
+        mask = space.mask(workload, mapping)
+        column = space.column_of("alexnet")
+        assert mask[0, :4, column].all()
+        assert mask[1, 4:8, column].all()
+        assert mask.sum() == 8
+
+    def test_mask_matches_paper_example_structure(self, space):
+        """Fig. 3: each (device, layer) pair of a scheduled model gets
+        exactly one active cell."""
+        workload = Workload.from_names(["alexnet", "vgg19", "mobilenet"])
+        mapping = Mapping(
+            [
+                [0] + [1] * 7,  # L1 -> GPU, rest big
+                [1] + [0] * 18,  # L1 -> big, rest GPU
+                [0, 0] + [2] * 26,  # L1,L2 -> GPU, rest LITTLE
+            ]
+        )
+        mask = space.mask(workload, mapping)
+        assert mask.sum() == workload.total_layers
+        # Each scheduled layer activates exactly one device slice.
+        for model, row in zip(workload.models, mapping.assignments):
+            column = space.column_of(model.name)
+            for layer_index, device in enumerate(row):
+                assert mask[device, layer_index, column]
+                assert mask[:, layer_index, column].sum() == 1
+
+    def test_encode_is_mask_times_tensor(self, space):
+        workload = Workload.from_names(["squeezenet", "mobilenet"])
+        mapping = Mapping.single_device(workload.models, 2)
+        encoded = space.encode(workload, mapping)
+        mask = space.mask(workload, mapping)
+        np.testing.assert_array_equal(encoded, space.tensor * mask)
+
+    def test_encode_zero_outside_workload(self, space):
+        workload = Workload.from_names(["alexnet"])
+        mapping = Mapping.single_device(workload.models, 0)
+        encoded = space.encode(workload, mapping)
+        other_columns = [
+            space.column_of(name) for name in MODEL_NAMES if name != "alexnet"
+        ]
+        assert (encoded[:, :, other_columns] == 0).all()
+
+    def test_mapping_workload_mismatch_rejected(self, space):
+        workload = Workload.from_names(["alexnet", "vgg19"])
+        with pytest.raises(ValueError, match="covers"):
+            space.mask(workload, Mapping([[0] * 8]))
+
+    def test_wrong_layer_count_rejected(self, space):
+        workload = Workload.from_names(["alexnet"])
+        with pytest.raises(ValueError, match="assigns"):
+            space.mask(workload, Mapping([[0] * 5]))
+
+    def test_device_out_of_range_rejected(self, space):
+        workload = Workload.from_names(["alexnet"])
+        with pytest.raises(ValueError, match="out of range"):
+            space.mask(workload, Mapping([[7] * 8]))
+
+    def test_unknown_model_lookup_rejected(self, space):
+        with pytest.raises(KeyError, match="not part"):
+            space.column_of("lenet")
+
+
+class TestBatchEncoding:
+    def test_batch_shape(self, space):
+        workload = Workload.from_names(["alexnet"])
+        pairs = [
+            (workload, Mapping.single_device(workload.models, device))
+            for device in range(3)
+        ]
+        batch = space.encode_batch(pairs)
+        assert batch.shape == (3, 3, 35, 11)
+
+    def test_different_mappings_differ(self, space):
+        workload = Workload.from_names(["alexnet"])
+        a = space.encode(workload, Mapping.single_device(workload.models, 0))
+        b = space.encode(workload, Mapping.single_device(workload.models, 1))
+        assert not np.array_equal(a, b)
+
+    def test_empty_batch_rejected(self, space):
+        with pytest.raises(ValueError, match="at least one"):
+            space.encode_batch([])
+
+
+class TestExtension:
+    """EmbeddingSpace.extend: frozen-scale columns for new models."""
+
+    @pytest.fixture(scope="class")
+    def extension_table(self, platform):
+        from repro.models import build_model
+        from repro.sim import KernelProfiler
+
+        models = [build_model(name) for name in ("resnet18", "efficientnet_b0")]
+        return KernelProfiler(platform).profile(models, seed=77)
+
+    @pytest.fixture(scope="class")
+    def extended(self, space, extension_table):
+        return space.extend(extension_table, ["resnet18", "efficientnet_b0"])
+
+    def test_existing_columns_bit_identical(self, space, extended):
+        assert extended.tensor[:, : space.max_layers, : len(space.model_names)].shape == space.tensor.shape
+        np.testing.assert_array_equal(
+            extended.tensor[:, : space.max_layers, : len(space.model_names)],
+            space.tensor,
+        )
+
+    def test_new_columns_populated(self, extended):
+        column = extended.column_of("resnet18")
+        layers = build_model("resnet18").num_layers
+        assert (extended.tensor[:, :layers, column] > 0).all()
+        assert (extended.tensor[:, layers:, column] == 0).all()
+
+    def test_geometry(self, space, extended):
+        assert extended.max_layers == space.max_layers  # both fit in 35
+        assert extended.input_shape == (3, 35, 13)
+        assert extended.model_names == space.model_names + (
+            "resnet18",
+            "efficientnet_b0",
+        )
+
+    def test_height_grows_for_tall_model(self, space, platform):
+        from repro.sim import KernelProfiler
+
+        table = KernelProfiler(platform).profile(
+            [build_model("densenet121")], seed=78
+        )
+        extended = space.extend(table, ["densenet121"])
+        assert extended.max_layers == 63
+        np.testing.assert_array_equal(
+            extended.tensor[:, :35, :11], space.tensor
+        )
+        assert (extended.tensor[:, 35:, :11] == 0).all()
+
+    def test_frozen_scale_shared(self, space, extended):
+        assert extended._scale_stats == space._scale_stats
+
+    def test_duplicate_model_rejected(self, space, extension_table):
+        table = extension_table
+        with pytest.raises(ValueError):
+            space.extend(table, ["resnet18", "resnet18"][1:] + ["alexnet"])
+
+    def test_empty_extension_rejected(self, space, extension_table):
+        with pytest.raises(ValueError):
+            space.extend(extension_table, [])
+
+    def test_unprofiled_model_rejected(self, space, extension_table):
+        with pytest.raises(KeyError):
+            space.extend(extension_table, ["densenet121"])
+
+    def test_encoding_new_model_mix(self, extended):
+        workload = Workload.from_names(["alexnet", "resnet18"])
+        mapping = Mapping.single_device(workload.models, 1)
+        encoded = extended.encode(workload, mapping)
+        assert encoded.shape == extended.input_shape
+        assert encoded[1].sum() > 0
+        assert encoded[0].sum() == 0

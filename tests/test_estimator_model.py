@@ -1,0 +1,218 @@
+"""ThroughputEstimator wrapper tests: queries, prediction, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.estimator import EmbeddingSpace, ThroughputEstimator
+from repro.sim import Mapping
+from repro.workloads import Workload
+
+
+@pytest.fixture()
+def estimator(embedding):
+    return ThroughputEstimator(embedding, rng=np.random.default_rng(3))
+
+
+@pytest.fixture()
+def workload():
+    return Workload.from_names(["alexnet", "mobilenet"])
+
+
+@pytest.fixture()
+def mapping(workload):
+    return Mapping.single_device(workload.models, 0)
+
+
+class TestPrediction:
+    def test_normalized_prediction_shape(self, estimator, workload, mapping):
+        out = estimator.predict_normalized(workload, mapping)
+        assert out.shape == (3,)
+
+    def test_batch_prediction_shape(self, estimator, workload, mapping):
+        other = Mapping.single_device(workload.models, 1)
+        batch = estimator.predict_normalized_batch(
+            [(workload, mapping), (workload, other)]
+        )
+        assert batch.shape == (2, 3)
+
+    def test_prediction_deterministic(self, estimator, workload, mapping):
+        a = estimator.predict_normalized(workload, mapping)
+        b = estimator.predict_normalized(workload, mapping)
+        np.testing.assert_array_equal(a, b)
+
+    def test_physical_prediction_requires_fit(self, estimator, workload, mapping):
+        with pytest.raises(RuntimeError, match="before fit"):
+            estimator.predict_throughput(workload, mapping)
+
+    def test_physical_prediction_after_fit(self, estimator, workload, mapping):
+        targets = np.random.default_rng(0).uniform(0.5, 5.0, size=(50, 3))
+        estimator.target_transform.fit(targets)
+        out = estimator.predict_throughput(workload, mapping)
+        assert out.shape == (3,)
+        reward = estimator.reward(workload, mapping)
+        assert reward == pytest.approx(out.mean())
+
+    def test_parameter_count_matches_paper(self, estimator):
+        assert estimator.num_parameters == 20044
+
+
+class TestQueryAccounting:
+    def test_queries_counted(self, estimator, workload, mapping):
+        estimator.reset_query_count()
+        estimator.predict_normalized(workload, mapping)
+        estimator.predict_normalized_batch([(workload, mapping)] * 3)
+        assert estimator.query_count == 4
+
+    def test_reset_returns_previous(self, estimator, workload, mapping):
+        estimator.reset_query_count()
+        estimator.predict_normalized(workload, mapping)
+        assert estimator.reset_query_count() == 1
+        assert estimator.query_count == 0
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, embedding, workload, mapping, tmp_path):
+        source = ThroughputEstimator(embedding, rng=np.random.default_rng(1))
+        source.target_transform.fit(
+            np.random.default_rng(0).uniform(0.5, 5.0, size=(50, 3))
+        )
+        path = str(tmp_path / "estimator.npz")
+        source.save(path)
+
+        clone = ThroughputEstimator(embedding, rng=np.random.default_rng(99))
+        clone.load(path)
+        np.testing.assert_allclose(
+            source.predict_throughput(workload, mapping),
+            clone.predict_throughput(workload, mapping),
+            rtol=1e-6,
+        )
+
+    def test_save_without_fit_loads_without_transform(
+        self, embedding, workload, mapping, tmp_path
+    ):
+        source = ThroughputEstimator(embedding, rng=np.random.default_rng(1))
+        path = str(tmp_path / "raw.npz")
+        source.save(path)
+        clone = ThroughputEstimator(embedding, rng=np.random.default_rng(2))
+        clone.load(path)
+        assert not clone.target_transform.fitted
+        np.testing.assert_allclose(
+            source.predict_normalized(workload, mapping),
+            clone.predict_normalized(workload, mapping),
+            rtol=1e-6,
+        )
+
+
+class TestWithEmbedding:
+    """Retraining-free extension (paper contribution iii)."""
+
+    @pytest.fixture(scope="class")
+    def reserved_embedding(self, latency_table):
+        from repro.models import MODEL_NAMES
+
+        return EmbeddingSpace(
+            latency_table, MODEL_NAMES, reserve_layers=64, reserve_models=14
+        )
+
+    @pytest.fixture(scope="class")
+    def extension_table(self, platform):
+        from repro.models import build_model
+        from repro.sim import KernelProfiler
+
+        models = [
+            build_model(name)
+            for name in ("resnet18", "efficientnet_b0", "densenet121")
+        ]
+        return KernelProfiler(platform).profile(models, seed=77)
+
+    def test_reserved_extension_keeps_geometry(
+        self, reserved_embedding, extension_table
+    ):
+        extended = reserved_embedding.extend(
+            extension_table, ["resnet18", "densenet121"]
+        )
+        assert extended.input_shape == reserved_embedding.input_shape
+
+    def test_predictions_bit_identical_with_reservation(
+        self, reserved_embedding, extension_table
+    ):
+        from repro.workloads import Workload
+
+        estimator = ThroughputEstimator(
+            reserved_embedding, rng=np.random.default_rng(3)
+        )
+        extended = estimator.with_embedding(
+            reserved_embedding.extend(extension_table, ["resnet18"])
+        )
+        workload = Workload.from_names(["vgg19", "alexnet"])
+        mapping = Mapping.single_device(workload.models, 1)
+        np.testing.assert_array_equal(
+            estimator.predict_normalized(workload, mapping),
+            extended.predict_normalized(workload, mapping),
+        )
+
+    def test_new_model_mix_predicts(self, reserved_embedding, extension_table):
+        from repro.workloads import Workload
+
+        estimator = ThroughputEstimator(
+            reserved_embedding, rng=np.random.default_rng(3)
+        )
+        extended = estimator.with_embedding(
+            reserved_embedding.extend(
+                extension_table, ["resnet18", "efficientnet_b0"]
+            )
+        )
+        workload = Workload.from_names(["resnet18", "efficientnet_b0"])
+        mapping = Mapping.single_device(workload.models, 0)
+        prediction = extended.predict_normalized(workload, mapping)
+        assert prediction.shape == (3,)
+        assert np.isfinite(prediction).all()
+
+    def test_backbone_is_shared_not_copied(self, embedding):
+        estimator = ThroughputEstimator(embedding, rng=np.random.default_rng(4))
+        sibling = estimator.with_embedding(embedding)
+        assert sibling.network is estimator.network
+        assert sibling.target_transform is estimator.target_transform
+
+    def test_device_mismatch_rejected(self, embedding, platform):
+        from repro.hw import cpu_only_board
+        from repro.models import build_all_models
+        from repro.sim import KernelProfiler
+
+        two_device_table = KernelProfiler(cpu_only_board()).profile(
+            build_all_models(["alexnet", "vgg13"]), seed=1
+        )
+        other = EmbeddingSpace(two_device_table, ["alexnet", "vgg13"])
+        estimator = ThroughputEstimator(embedding, rng=np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            estimator.with_embedding(other)
+
+
+class TestRewardBatch:
+    def test_matches_scalar_reward(self, trained_estimator):
+        from repro.baselines.ga import random_contiguous_mapping
+
+        workload = Workload.from_names(["alexnet", "mobilenet"])
+        rng = np.random.default_rng(2)
+        pairs = [
+            (workload, random_contiguous_mapping(workload.models, 3, rng))
+            for _ in range(8)
+        ]
+        batched = trained_estimator.reward_batch(pairs)
+        scalars = np.array(
+            [trained_estimator.reward(w, m) for w, m in pairs]
+        )
+        np.testing.assert_allclose(batched, scalars, rtol=1e-6)
+
+    def test_counts_queries(self, trained_estimator):
+        from repro.baselines.ga import random_contiguous_mapping
+
+        workload = Workload.from_names(["alexnet"])
+        rng = np.random.default_rng(3)
+        pairs = [
+            (workload, random_contiguous_mapping(workload.models, 3, rng))
+            for _ in range(5)
+        ]
+        before = trained_estimator.query_count
+        trained_estimator.reward_batch(pairs)
+        assert trained_estimator.query_count == before + 5

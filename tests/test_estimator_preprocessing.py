@@ -1,0 +1,92 @@
+"""Target transform tests (standardize + normalize, paper Section V)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimator import TargetTransform
+
+
+@pytest.fixture()
+def targets():
+    rng = np.random.default_rng(0)
+    return rng.gamma(2.0, 2.0, size=(100, 3))
+
+
+class TestFitTransform:
+    def test_training_data_lands_in_unit_interval(self, targets):
+        transform = TargetTransform().fit(targets)
+        normalized = transform.transform(targets)
+        assert normalized.min() >= -1e-9
+        assert normalized.max() <= 1.0 + 1e-9
+
+    def test_inverse_round_trip(self, targets):
+        transform = TargetTransform().fit(targets)
+        recovered = transform.inverse(transform.transform(targets))
+        np.testing.assert_allclose(recovered, targets, rtol=1e-9, atol=1e-9)
+
+    def test_unseen_data_can_exceed_unit_interval(self, targets):
+        """Validation targets outside the training range are not
+        clipped -- they map outside [0, 1], and inverse still works."""
+        transform = TargetTransform().fit(targets)
+        extreme = np.full((1, 3), targets.max() * 2)
+        normalized = transform.transform(extreme)
+        assert normalized.max() > 1.0
+        np.testing.assert_allclose(
+            transform.inverse(normalized), extreme, rtol=1e-9
+        )
+
+    def test_use_before_fit_rejected(self):
+        with pytest.raises(RuntimeError, match="before fit"):
+            TargetTransform().transform(np.ones((2, 3)))
+        with pytest.raises(RuntimeError, match="before fit"):
+            TargetTransform().inverse(np.ones((2, 3)))
+
+    def test_fit_shape_validation(self):
+        with pytest.raises(ValueError):
+            TargetTransform().fit(np.ones(5))
+        with pytest.raises(ValueError):
+            TargetTransform().fit(np.ones((1, 3)))
+
+    def test_constant_column_does_not_crash(self):
+        targets = np.ones((10, 3))
+        targets[:, 1] = np.linspace(0, 1, 10)
+        transform = TargetTransform().fit(targets)
+        normalized = transform.transform(targets)
+        assert np.isfinite(normalized).all()
+
+    def test_state_dict_round_trip(self, targets):
+        source = TargetTransform().fit(targets)
+        clone = TargetTransform()
+        clone.load_state_dict(source.state_dict())
+        probe = targets[:5]
+        np.testing.assert_allclose(
+            source.transform(probe), clone.transform(probe)
+        )
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.lists(st.floats(0.0, 100.0), min_size=3, max_size=3),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, rows):
+        targets = np.asarray(rows)
+        transform = TargetTransform().fit(targets)
+        recovered = transform.inverse(transform.transform(targets))
+        np.testing.assert_allclose(recovered, targets, atol=1e-6)
+
+    @given(st.floats(1.0, 1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_invariance_of_normalized_range(self, scale):
+        rng = np.random.default_rng(4)
+        targets = rng.uniform(0.0, 1.0, size=(30, 3)) * scale
+        transform = TargetTransform().fit(targets)
+        normalized = transform.transform(targets)
+        assert normalized.min() >= -1e-6
+        assert normalized.max() <= 1.0 + 1e-6

@@ -1,0 +1,99 @@
+"""Tests for ranking-fidelity metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimator.quality import (
+    RankingReport,
+    ranking_report,
+    spearman_rho,
+    top_k_regret,
+)
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        truth = [1.0, 2.0, 3.0, 4.0]
+        assert spearman_rho(truth, [10.0, 20.0, 30.0, 40.0]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        truth = [1.0, 2.0, 3.0, 4.0]
+        assert spearman_rho(truth, [4.0, 3.0, 2.0, 1.0]) == pytest.approx(-1.0)
+
+    def test_monotone_transform_invariance(self):
+        rng = np.random.default_rng(0)
+        truth = rng.uniform(0, 10, 50)
+        assert spearman_rho(truth, np.exp(truth)) == pytest.approx(1.0)
+
+    def test_ties_handled(self):
+        rho = spearman_rho([1.0, 1.0, 2.0], [1.0, 1.0, 2.0])
+        assert rho == pytest.approx(1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert spearman_rho([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1.0], [1.0])
+        with pytest.raises(ValueError):
+            spearman_rho([1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(3)
+        truth = rng.normal(size=80)
+        predicted = truth + rng.normal(size=80)
+        ours = spearman_rho(truth, predicted)
+        reference = spearmanr(truth, predicted).statistic
+        assert ours == pytest.approx(reference, abs=1e-12)
+
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=40, unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_property(self, values):
+        rng = np.random.default_rng(0)
+        predicted = rng.permutation(values)
+        rho = spearman_rho(values, predicted)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+
+class TestTopKRegret:
+    def test_zero_when_top_pick_correct(self):
+        truth = [1.0, 3.0, 2.0]
+        predicted = [0.1, 0.9, 0.5]
+        assert top_k_regret(truth, predicted, k=1) == 0.0
+
+    def test_regret_of_wrong_pick(self):
+        truth = [4.0, 2.0, 1.0]
+        predicted = [0.0, 1.0, 0.5]  # predictor prefers index 1 (true 2.0)
+        assert top_k_regret(truth, predicted, k=1) == pytest.approx(0.5)
+
+    def test_larger_k_never_increases_regret(self):
+        rng = np.random.default_rng(2)
+        truth = rng.uniform(1, 10, 30)
+        predicted = truth + rng.normal(0, 3, 30)
+        regrets = [top_k_regret(truth, predicted, k=k) for k in (1, 3, 10, 30)]
+        assert all(a >= b - 1e-12 for a, b in zip(regrets, regrets[1:]))
+        assert regrets[-1] == 0.0  # shortlist of everything has no regret
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_k_regret([1.0, 2.0], [1.0, 2.0], k=0)
+        with pytest.raises(ValueError):
+            top_k_regret([0.0, 0.0], [1.0, 2.0], k=1)
+
+
+class TestReport:
+    def test_fields(self):
+        rng = np.random.default_rng(4)
+        truth = rng.uniform(1, 10, 40)
+        predicted = truth + rng.normal(0, 1, 40)
+        report = ranking_report(truth, predicted)
+        assert isinstance(report, RankingReport)
+        assert report.num_samples == 40
+        assert report.rho > 0.5
+        assert 0.0 <= report.regret_top1 <= 1.0
+        assert report.regret_top5 <= report.regret_top1 + 1e-12
+        assert report.mae > 0

@@ -1,0 +1,234 @@
+"""Evaluation-layer tests: metrics, space sizes, harness, runtime, reports."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GpuOnlyScheduler, SingleDeviceScheduler
+from repro.evaluation import (
+    ComparisonTable,
+    EvaluationHarness,
+    RuntimeCostModel,
+    average_throughput,
+    contiguous_mappings_per_model,
+    format_comparison,
+    format_runtime_report,
+    format_table,
+    geometric_mean,
+    normalized,
+    paper_combination_estimate,
+    speedup,
+    total_contiguous_mappings,
+    unrestricted_mappings,
+)
+from repro.hw import BIG_CPU_ID
+from repro.models import build_model
+from repro.workloads import Workload
+
+
+class TestMetrics:
+    def test_average_throughput(self):
+        assert average_throughput([1.0, 2.0, 3.0]) == 2.0
+
+    def test_average_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            average_throughput([])
+        with pytest.raises(ValueError):
+            average_throughput([1.0, -1.0])
+
+    def test_normalized(self):
+        assert normalized(3.0, 2.0) == 1.5
+        assert speedup(4.0, 2.0) == 2.0
+        with pytest.raises(ValueError):
+            normalized(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestSpaceSize:
+    def test_paper_motivation_number(self):
+        """Section II: C(84, 3) ~= 95,000 for the 4-DNN example."""
+        estimate = paper_combination_estimate(84, 3)
+        assert 90_000 < estimate < 100_000
+
+    def test_contiguous_single_stage(self):
+        assert contiguous_mappings_per_model(5, 3, max_stages=1) == 3
+
+    def test_contiguous_two_stage_count(self):
+        # 4 split points x 3*2 ordered device pairs + 3 single-stage.
+        assert contiguous_mappings_per_model(5, 3, max_stages=2) == 3 + 4 * 6
+
+    def test_total_is_product(self):
+        models = [build_model("alexnet"), build_model("mobilenet")]
+        total = total_contiguous_mappings(models, 3, 3)
+        per_model = [
+            contiguous_mappings_per_model(model.num_layers, 3, 3)
+            for model in models
+        ]
+        assert total == per_model[0] * per_model[1]
+
+    def test_design_space_reaches_millions(self):
+        """Section II: the combined space is 'in the order of millions'
+        -- even the stage-capped contiguous space of one 4-DNN mix."""
+        models = [
+            build_model(name)
+            for name in ("alexnet", "mobilenet", "vgg19", "squeezenet")
+        ]
+        assert total_contiguous_mappings(models, 3, 3) > 1e6
+
+    def test_unrestricted_dominates_contiguous(self):
+        models = [build_model("alexnet")]
+        assert unrestricted_mappings(models, 3) >= total_contiguous_mappings(
+            models, 3, 3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            contiguous_mappings_per_model(0, 3, 3)
+        with pytest.raises(ValueError):
+            contiguous_mappings_per_model(5, 0, 3)
+        with pytest.raises(ValueError):
+            contiguous_mappings_per_model(5, 3, 0)
+
+
+@pytest.fixture(scope="module")
+def harness(simulator, platform):
+    schedulers = [
+        GpuOnlyScheduler(platform),
+        SingleDeviceScheduler(BIG_CPU_ID, name="big-only"),
+    ]
+    return EvaluationHarness(simulator, schedulers, baseline_name="Baseline")
+
+
+class TestHarness:
+    def test_baseline_normalizes_to_one(self, harness):
+        mix = Workload.from_names(["alexnet", "vgg16", "mobilenet"])
+        evaluation = harness.evaluate_mix(mix)
+        assert evaluation.outcome("Baseline").normalized_throughput == pytest.approx(
+            1.0
+        )
+
+    def test_all_schedulers_present(self, harness):
+        mix = Workload.from_names(["alexnet", "mobilenet"])
+        evaluation = harness.evaluate_mix(mix)
+        assert evaluation.scheduler_names == ("Baseline", "big-only")
+        with pytest.raises(KeyError):
+            evaluation.outcome("nope")
+
+    def test_comparison_table_aggregation(self, harness):
+        mixes = [
+            Workload.from_names(["alexnet", "mobilenet"]),
+            Workload.from_names(["vgg16", "squeezenet"]),
+        ]
+        table = harness.evaluate_mixes(mixes)
+        assert len(table.evaluations) == 2
+        assert table.average("Baseline") == pytest.approx(1.0)
+        series = table.normalized_series("big-only")
+        assert len(series) == 2
+        averages = table.averages()
+        assert set(averages) == {"Baseline", "big-only"}
+
+    def test_relative_gain(self, harness):
+        mixes = [Workload.from_names(["alexnet", "mobilenet"])]
+        table = harness.evaluate_mixes(mixes)
+        gain = table.relative_gain("big-only", "Baseline")
+        assert gain == pytest.approx(table.average("big-only"))
+
+    def test_duplicate_scheduler_names_rejected(self, simulator, platform):
+        with pytest.raises(ValueError, match="unique"):
+            EvaluationHarness(
+                simulator,
+                [GpuOnlyScheduler(platform), GpuOnlyScheduler(platform)],
+            )
+
+    def test_baseline_must_exist(self, simulator, platform):
+        with pytest.raises(ValueError, match="missing"):
+            EvaluationHarness(
+                simulator,
+                [GpuOnlyScheduler(platform)],
+                baseline_name="OmniBoost",
+            )
+
+    def test_measurement_seed_makes_runs_repeatable(self, simulator, platform):
+        harness = EvaluationHarness(
+            simulator, [GpuOnlyScheduler(platform)], measurement_seed=77
+        )
+        mix = Workload.from_names(["alexnet", "vgg16"])
+        first = harness.evaluate_mix(mix)
+        second = harness.evaluate_mix(mix)
+        assert (
+            first.outcome("Baseline").average_throughput
+            == second.outcome("Baseline").average_throughput
+        )
+
+
+class TestRuntimeModel:
+    def test_decision_time_composition(self):
+        model = RuntimeCostModel(
+            ga_evaluation_s=0.5, estimator_query_s=0.06, regression_query_s=1.0
+        )
+        assert model.decision_time({"fitness_evaluations": 600}) == pytest.approx(
+            300.0
+        )
+        assert model.decision_time({"estimator_queries": 500}) == pytest.approx(30.0)
+        assert model.decision_time({"regression_queries": 40}) == pytest.approx(1.0)
+        assert model.decision_time({}) == 0.0
+
+    def test_paper_magnitudes(self):
+        """Sec. V-B: GA ~ 5 min, OmniBoost ~ 30 s, MOSAIC ~ 1 s."""
+        model = RuntimeCostModel()
+        ga = model.decision_time({"fitness_evaluations": 600})
+        omni = model.decision_time({"estimator_queries": 500})
+        mosaic = model.decision_time({"regression_queries": 10})
+        assert ga == pytest.approx(300, rel=0.2)
+        assert omni == pytest.approx(30, rel=0.2)
+        assert mosaic == pytest.approx(1.0, rel=0.2)
+        assert ga > omni > mosaic
+
+    def test_one_time_cost(self):
+        model = RuntimeCostModel(training_point_s=0.01)
+        assert model.one_time_cost({"training_points": 14000}) == pytest.approx(140.0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeCostModel(ga_evaluation_s=-1.0)
+
+    def test_report_rows(self, harness):
+        mixes = [Workload.from_names(["alexnet", "mobilenet"])]
+        evaluations = [harness.evaluate_mix(mix) for mix in mixes]
+        report = RuntimeCostModel().report(evaluations)
+        assert len(report.rows) == 2  # 2 schedulers x 1 mix
+        assert report.scheduler_names() == ["Baseline", "big-only"]
+        assert report.mean_decision_time("Baseline") == 0.0
+        with pytest.raises(KeyError):
+            report.mean_decision_time("nope")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1.0], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "longer" in lines[3]
+
+    def test_format_comparison_has_average_row(self, harness):
+        mixes = [Workload.from_names(["alexnet", "mobilenet"])]
+        table = harness.evaluate_mixes(mixes)
+        text = format_comparison(table, title="Fig. X")
+        assert "Fig. X" in text
+        assert "Average" in text
+        assert "mix-1" in text
+
+    def test_format_runtime_report(self, harness):
+        mixes = [Workload.from_names(["alexnet", "mobilenet"])]
+        report = RuntimeCostModel().report(
+            [harness.evaluate_mix(mix) for mix in mixes]
+        )
+        text = format_runtime_report(report)
+        assert "Baseline" in text
+        assert "board decision" in text

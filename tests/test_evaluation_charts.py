@@ -1,0 +1,153 @@
+"""SVG chart tests: well-formedness, geometry, and error handling."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import BarChart, LineChart, ScatterChart
+from repro.evaluation.charts import _nice_ticks
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0
+        assert ticks[-1] >= 10.0 - 1e-9
+
+    def test_monotone(self):
+        ticks = _nice_ticks(0.13, 0.87)
+        assert ticks == sorted(ticks)
+        assert len(set(ticks)) == len(ticks)
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(2.0, 2.0)
+        assert len(ticks) >= 2
+
+    @given(
+        low=st.floats(-1e3, 1e3),
+        span=st.floats(1e-3, 1e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_brackets(self, low, span):
+        ticks = _nice_ticks(low, low + span)
+        assert len(ticks) >= 2
+        assert ticks == sorted(ticks)
+
+
+class TestLineChart:
+    def test_renders_wellformed_svg(self):
+        chart = LineChart("Loss", x_label="epoch", y_label="L1")
+        chart.add_series("train", [1, 2, 3], [0.3, 0.2, 0.1])
+        chart.add_series("val", [1, 2, 3], [0.35, 0.25, 0.15])
+        root = _parse(chart.render())
+        assert root.tag.endswith("svg")
+        assert "train" in chart.render()
+        assert "val" in chart.render()
+
+    def test_higher_value_is_higher_on_screen(self):
+        chart = LineChart("t")
+        chart.add_series("s", [0, 1], [0.0, 1.0])
+        assert chart._y_px(1.0, 0.0, 1.0) < chart._y_px(0.0, 0.0, 1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart("t").add_series("s", [1, 2], [1.0])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart("t").add_series("s", [], [])
+
+    def test_render_without_series_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart("t").render()
+
+    def test_title_is_escaped(self):
+        chart = LineChart("a < b & c")
+        chart.add_series("s", [0, 1], [0, 1])
+        root = _parse(chart.render())  # would raise on bad escaping
+        assert root is not None
+
+    def test_save(self, tmp_path):
+        chart = LineChart("t")
+        chart.add_series("s", [0, 1], [0, 1])
+        path = tmp_path / "chart.svg"
+        chart.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestScatterChart:
+    def test_points_and_reference_line(self):
+        chart = ScatterChart("Fig1", x_label="set-up", y_label="normalized")
+        chart.add_series("random splits", list(range(10)), [0.5 + 0.1 * i for i in range(10)])
+        chart.add_reference_line("baseline", 1.0)
+        svg = chart.render()
+        root = _parse(svg)
+        circles = [el for el in root.iter() if el.tag.endswith("circle")]
+        assert len(circles) == 10
+        assert "baseline" in svg
+
+    def test_reference_line_extends_y_range(self):
+        chart = ScatterChart("t")
+        chart.add_series("s", [0, 1], [0.2, 0.4])
+        chart.add_reference_line("ref", 5.0)
+        assert "ref" in chart.render()
+
+
+class TestBarChart:
+    def test_grouped_bars(self):
+        chart = BarChart(
+            "Fig5a",
+            categories=["mix-1", "mix-2", "Average"],
+            y_label="normalized T",
+        )
+        chart.add_group("Baseline", [1.0, 1.0, 1.0])
+        chart.add_group("OmniBoost", [1.5, 1.2, 1.35])
+        svg = chart.render()
+        root = _parse(svg)
+        bars = [
+            el
+            for el in root.iter()
+            if el.tag.endswith("rect") and el.get("fill") not in ("white",)
+        ]
+        # 2 groups x 3 categories of bars + 2 legend swatches
+        assert len(bars) == 8
+
+    def test_taller_value_taller_bar(self):
+        chart = BarChart("t", categories=["a", "b"])
+        chart.add_group("g", [1.0, 2.0])
+        root = _parse(chart.render())
+        bars = [
+            el
+            for el in root.iter()
+            if el.tag.endswith("rect") and el.get("fill") != "white"
+        ]
+        data_bars = bars[:2]
+        heights = [float(bar.get("height")) for bar in data_bars]
+        assert heights[1] > heights[0]
+
+    def test_group_length_validated(self):
+        chart = BarChart("t", categories=["a", "b"])
+        with pytest.raises(ValueError):
+            chart.add_group("g", [1.0])
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ValueError):
+            BarChart("t", categories=[])
+
+    def test_render_without_groups_rejected(self):
+        with pytest.raises(ValueError):
+            BarChart("t", categories=["a"]).render()
+
+
+class TestGeometryValidation:
+    def test_too_small_figure_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart("t", width=10)
+        with pytest.raises(ValueError):
+            LineChart("t", height=10)

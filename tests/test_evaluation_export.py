@@ -1,0 +1,81 @@
+"""Tests for CSV/JSON evaluation exports."""
+
+import csv
+import json
+
+import pytest
+
+from repro.baselines import GpuOnlyScheduler, SingleDeviceScheduler
+from repro.evaluation import EvaluationHarness, RuntimeCostModel
+from repro.evaluation.export import (
+    comparison_to_dict,
+    comparison_to_rows,
+    runtime_to_rows,
+    write_comparison_csv,
+    write_comparison_json,
+    write_runtime_csv,
+)
+from repro.hw import BIG_CPU_ID
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def table(simulator, platform):
+    harness = EvaluationHarness(
+        simulator,
+        [GpuOnlyScheduler(platform), SingleDeviceScheduler(BIG_CPU_ID, name="big")],
+        baseline_name="Baseline",
+    )
+    mixes = [
+        Workload.from_names(["alexnet", "mobilenet"]),
+        Workload.from_names(["vgg16", "squeezenet"]),
+    ]
+    return harness.evaluate_mixes(mixes)
+
+
+class TestComparisonExport:
+    def test_rows_structure(self, table):
+        rows = comparison_to_rows(table)
+        assert rows[0] == ["mix", "Baseline", "big"]
+        assert rows[-1][0] == "Average"
+        assert len(rows) == 4  # header + 2 mixes + average
+
+    def test_baseline_column_is_one(self, table):
+        rows = comparison_to_rows(table)
+        for row in rows[1:]:
+            assert row[1] == pytest.approx(1.0)
+
+    def test_csv_round_trip(self, table, tmp_path):
+        path = str(tmp_path / "fig5.csv")
+        write_comparison_csv(table, path)
+        with open(path) as handle:
+            parsed = list(csv.reader(handle))
+        assert parsed[0] == ["mix", "Baseline", "big"]
+        assert float(parsed[1][1]) == pytest.approx(1.0)
+
+    def test_dict_contains_costs_and_models(self, table):
+        data = comparison_to_dict(table)
+        assert data["schedulers"] == ["Baseline", "big"]
+        first = data["mixes"][0]
+        assert first["models"] == ["alexnet", "mobilenet"]
+        assert "average_throughput" in first["results"]["Baseline"]
+
+    def test_json_file_valid(self, table, tmp_path):
+        path = str(tmp_path / "fig5.json")
+        write_comparison_json(table, path)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["averages"]["Baseline"] == pytest.approx(1.0)
+
+
+class TestRuntimeExport:
+    def test_rows_and_csv(self, table, tmp_path):
+        report = RuntimeCostModel().report(table.evaluations)
+        rows = runtime_to_rows(report)
+        assert rows[0][0] == "scheduler"
+        assert len(rows) == 1 + len(report.rows)
+        path = str(tmp_path / "runtime.csv")
+        write_runtime_csv(report, path)
+        with open(path) as handle:
+            parsed = list(csv.reader(handle))
+        assert parsed[0][0] == "scheduler"

@@ -1,0 +1,66 @@
+"""Pareto-front tests: domination semantics and front correctness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import dominates, pareto_front
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((2.0, 1.0), (1.0, 2.0), maximize=(True, False))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0), maximize=(True, True))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((2.0, 2.0), (1.0, 1.0), maximize=(True, False))
+        assert not dominates((1.0, 1.0), (2.0, 2.0), maximize=(True, False))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            dominates((1.0,), (1.0, 2.0), maximize=(True, True))
+        with pytest.raises(ValueError):
+            dominates((), (), maximize=())
+
+
+class TestParetoFront:
+    def test_known_front(self):
+        # (throughput up, power down)
+        points = [
+            (2.0, 8.0),   # fast, hungry        -> on front
+            (1.0, 4.0),   # slow, frugal        -> on front
+            (1.5, 9.0),   # dominated by 0
+            (2.0, 8.0),   # duplicate of 0      -> kept
+        ]
+        front = pareto_front(points, maximize=(True, False))
+        assert front == [0, 1, 3]
+
+    def test_single_point(self):
+        assert pareto_front([(1.0, 1.0)], maximize=(True, True)) == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pareto_front([], maximize=(True,))
+        with pytest.raises(ValueError):
+            pareto_front([(1.0, 2.0)], maximize=(True,))
+
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_front_is_exactly_the_nondominated_set(self, points):
+        maximize = (True, False)
+        front = set(pareto_front(points, maximize))
+        for index, point in enumerate(points):
+            dominated = any(
+                dominates(other, point, maximize)
+                for j, other in enumerate(points)
+                if j != index
+            )
+            assert (index in front) == (not dominated)

@@ -1,0 +1,50 @@
+"""Every example must import cleanly (API-drift canary).
+
+Examples are executable scripts guarded by ``if __name__ == "__main__"``,
+so importing them runs no training; what it does catch is any example
+referencing a renamed or removed public API.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[path.stem for path in EXAMPLE_FILES]
+)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    # Examples live outside the package; make sibling imports (none
+    # currently) and repro itself resolvable.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLE_FILES}
+    required = {
+        "quickstart",
+        "motivation_sweep",
+        "train_estimator",
+        "schedule_mix",
+        "budget_sweep",
+        "trace_timeline",
+        "custom_model",
+        "application_scenarios",
+        "energy_tradeoff",
+        "new_model_no_retrain",
+        "make_figures",
+    }
+    missing = required - names
+    assert not missing, f"examples missing: {sorted(missing)}"

@@ -1,0 +1,88 @@
+"""Unit tests for repro.hw.device."""
+
+import pytest
+
+from repro.hw import DEFAULT_EFFICIENCY, Device, DeviceKind
+
+
+def make_device(**overrides):
+    defaults = dict(
+        device_id=0,
+        name="test-gpu",
+        kind=DeviceKind.GPU,
+        peak_gflops=100.0,
+        mem_bandwidth_gbs=10.0,
+        launch_overhead_s=1e-5,
+    )
+    defaults.update(overrides)
+    return Device(**defaults)
+
+
+class TestDeviceValidation:
+    def test_negative_device_id_rejected(self):
+        with pytest.raises(ValueError, match="device_id"):
+            make_device(device_id=-1)
+
+    def test_zero_peak_rejected(self):
+        with pytest.raises(ValueError, match="peak_gflops"):
+            make_device(peak_gflops=0.0)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="mem_bandwidth_gbs"):
+            make_device(mem_bandwidth_gbs=-1.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError, match="launch_overhead_s"):
+            make_device(launch_overhead_s=-1e-6)
+
+    def test_zero_overhead_allowed(self):
+        device = make_device(launch_overhead_s=0.0)
+        assert device.launch_overhead_s == 0.0
+
+
+class TestDeviceUnits:
+    def test_peak_flops_unit_conversion(self):
+        assert make_device(peak_gflops=2.0).peak_flops == 2.0e9
+
+    def test_mem_bandwidth_unit_conversion(self):
+        assert make_device(mem_bandwidth_gbs=3.0).mem_bandwidth == 3.0e9
+
+
+class TestEfficiency:
+    def test_default_table_attached_by_kind(self):
+        device = make_device(kind=DeviceKind.GPU)
+        assert device.efficiency == DEFAULT_EFFICIENCY[DeviceKind.GPU]
+
+    def test_explicit_table_preserved(self):
+        device = make_device(efficiency={"conv": 0.9})
+        assert device.efficiency_for("conv") == 0.9
+
+    def test_unknown_kind_falls_back_to_default_value(self):
+        device = make_device(kind="weird-dsp", efficiency={"conv": 0.5})
+        assert device.efficiency_for("pool") == device.default_efficiency
+
+    def test_gpu_depthwise_penalty_present(self):
+        """Mobile GPUs are known-poor at depthwise convs; the default
+        table must encode that asymmetry (it drives MobileNet mapping
+        decisions)."""
+        gpu = make_device(kind=DeviceKind.GPU)
+        big = make_device(kind=DeviceKind.BIG_CPU)
+        assert gpu.efficiency_for("depthwise_conv") < big.efficiency_for(
+            "depthwise_conv"
+        )
+
+    def test_effective_flops_scales_peak(self):
+        device = make_device(efficiency={"conv": 0.5}, peak_gflops=100.0)
+        assert device.effective_flops("conv") == pytest.approx(50e9)
+
+
+class TestDeviceKind:
+    def test_all_lists_every_kind(self):
+        assert DeviceKind.GPU in DeviceKind.ALL
+        assert DeviceKind.BIG_CPU in DeviceKind.ALL
+        assert DeviceKind.LITTLE_CPU in DeviceKind.ALL
+        assert DeviceKind.NPU in DeviceKind.ALL
+
+    def test_default_efficiency_covers_all_kinds(self):
+        for kind in DeviceKind.ALL:
+            assert kind in DEFAULT_EFFICIENCY

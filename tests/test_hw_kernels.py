@@ -1,0 +1,88 @@
+"""Unit tests for the roofline kernel cost model."""
+
+import pytest
+
+from repro.hw import Device, DeviceKind, KernelCostModel, KernelSpec, KERNEL_KINDS
+
+
+@pytest.fixture()
+def device():
+    return Device(
+        device_id=0,
+        name="dev",
+        kind=DeviceKind.BIG_CPU,
+        peak_gflops=10.0,  # 1e10 flops/s
+        mem_bandwidth_gbs=1.0,  # 1e9 bytes/s
+        launch_overhead_s=1e-6,
+        efficiency={kind: 1.0 for kind in KERNEL_KINDS},
+    )
+
+
+@pytest.fixture()
+def model():
+    return KernelCostModel()
+
+
+class TestKernelSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel kind"):
+            KernelSpec(kind="fft", flops=1, bytes_read=1, bytes_written=1)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            KernelSpec(kind="conv", flops=-1, bytes_read=0, bytes_written=0)
+
+    def test_bytes_moved_sums_read_and_write(self):
+        kernel = KernelSpec(kind="conv", flops=0, bytes_read=30, bytes_written=12)
+        assert kernel.bytes_moved == 42
+
+    def test_arithmetic_intensity(self):
+        kernel = KernelSpec(kind="conv", flops=84, bytes_read=30, bytes_written=12)
+        assert kernel.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_arithmetic_intensity_zero_traffic(self):
+        kernel = KernelSpec(kind="conv", flops=10, bytes_read=0, bytes_written=0)
+        assert kernel.arithmetic_intensity == 0.0
+
+
+class TestRoofline:
+    def test_compute_bound_kernel(self, device, model):
+        # 1e10 flops at 1e10 flops/s = 1s compute; tiny memory traffic.
+        kernel = KernelSpec(kind="conv", flops=1e10, bytes_read=10, bytes_written=0)
+        assert model.latency(kernel, device) == pytest.approx(1.0 + 1e-6)
+        assert model.is_compute_bound(kernel, device)
+
+    def test_memory_bound_kernel(self, device, model):
+        # 1e9 bytes at 1e9 B/s = 1s memory; negligible flops.
+        kernel = KernelSpec(kind="pool", flops=10, bytes_read=1e9, bytes_written=0)
+        assert model.latency(kernel, device) == pytest.approx(1.0 + 1e-6)
+        assert not model.is_compute_bound(kernel, device)
+
+    def test_max_not_sum(self, device, model):
+        kernel = KernelSpec(
+            kind="conv", flops=1e10, bytes_read=1e9, bytes_written=0
+        )
+        # Both sides equal 1s; roofline takes the max (1s), not 2s.
+        assert model.latency(kernel, device) == pytest.approx(1.0 + 1e-6)
+
+    def test_overhead_floor(self, device, model):
+        kernel = KernelSpec(kind="conv", flops=0, bytes_read=0, bytes_written=0)
+        assert model.latency(kernel, device) == pytest.approx(1e-6)
+
+    def test_efficiency_scales_latency(self, model):
+        slow = Device(
+            device_id=0,
+            name="slow",
+            kind=DeviceKind.GPU,
+            peak_gflops=10.0,
+            mem_bandwidth_gbs=1.0,
+            launch_overhead_s=0.0,
+            efficiency={"conv": 0.5},
+        )
+        kernel = KernelSpec(kind="conv", flops=1e10, bytes_read=0, bytes_written=0)
+        assert model.latency(kernel, slow) == pytest.approx(2.0)
+
+    def test_latency_monotone_in_flops(self, device, model):
+        small = KernelSpec(kind="conv", flops=1e9, bytes_read=0, bytes_written=0)
+        large = KernelSpec(kind="conv", flops=2e9, bytes_read=0, bytes_written=0)
+        assert model.latency(large, device) > model.latency(small, device)

@@ -1,0 +1,153 @@
+"""Unit tests for platform, links and the memory system."""
+
+import pytest
+
+from repro.hw import (
+    BIG_CPU_ID,
+    Device,
+    DeviceKind,
+    GPU_ID,
+    LITTLE_CPU_ID,
+    Link,
+    MemorySystem,
+    Platform,
+    cpu_only_board,
+    hikey970,
+    symmetric_board,
+)
+
+
+def make_devices(count=2):
+    return [
+        Device(
+            device_id=index,
+            name=f"dev{index}",
+            kind=DeviceKind.BIG_CPU,
+            peak_gflops=10.0,
+            mem_bandwidth_gbs=5.0,
+            launch_overhead_s=1e-6,
+        )
+        for index in range(count)
+    ]
+
+
+class TestLink:
+    def test_transfer_time_formula(self):
+        link = Link(bandwidth_gbs=1.0, latency_s=0.001)
+        assert link.transfer_time(1e9) == pytest.approx(1.001)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = Link(bandwidth_gbs=1.0, latency_s=0.002)
+        assert link.transfer_time(0) == pytest.approx(0.002)
+
+    def test_negative_bytes_rejected(self):
+        link = Link(bandwidth_gbs=1.0, latency_s=0.0)
+        with pytest.raises(ValueError, match="negative"):
+            link.transfer_time(-5)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            Link(bandwidth_gbs=0.0, latency_s=0.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            Link(bandwidth_gbs=1.0, latency_s=-1e-6)
+
+
+class TestMemorySystem:
+    def test_pressure_is_one_below_comfortable(self):
+        memory = MemorySystem(comfortable_residency=3, pressure_per_dnn=0.2)
+        assert memory.pressure_factor(1) == 1.0
+        assert memory.pressure_factor(3) == 1.0
+
+    def test_pressure_grows_linearly_beyond_comfortable(self):
+        memory = MemorySystem(comfortable_residency=3, pressure_per_dnn=0.2)
+        assert memory.pressure_factor(4) == pytest.approx(1.2)
+        assert memory.pressure_factor(5) == pytest.approx(1.4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MemorySystem().pressure_factor(-1)
+
+
+class TestPlatform:
+    def test_devices_must_be_in_id_order(self):
+        devices = list(reversed(make_devices(2)))
+        with pytest.raises(ValueError, match="id order"):
+            Platform("bad", devices)
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(ValueError, match="at least one device"):
+            Platform("empty", [])
+
+    def test_device_lookup(self):
+        platform = Platform("p", make_devices(3))
+        assert platform.device(1).name == "dev1"
+        assert platform.num_devices == 3
+
+    def test_device_lookup_out_of_range(self):
+        platform = Platform("p", make_devices(2))
+        with pytest.raises(KeyError, match="out of range"):
+            platform.device(5)
+
+    def test_device_named(self):
+        platform = Platform("p", make_devices(2))
+        assert platform.device_named("dev0").device_id == 0
+        with pytest.raises(KeyError):
+            platform.device_named("nope")
+
+    def test_same_device_transfer_is_free(self):
+        platform = Platform("p", make_devices(2))
+        assert platform.transfer_time(0, 0, 1e9) == 0.0
+
+    def test_unlisted_pair_uses_default_link(self):
+        platform = Platform("p", make_devices(2))
+        expected = platform.default_link.transfer_time(1e6)
+        assert platform.transfer_time(0, 1, 1e6) == pytest.approx(expected)
+
+    def test_links_validated_against_devices(self):
+        with pytest.raises(KeyError):
+            Platform(
+                "p",
+                make_devices(2),
+                links={(0, 9): Link(bandwidth_gbs=1.0, latency_s=0.0)},
+            )
+
+
+class TestPresets:
+    def test_hikey970_has_three_components(self):
+        platform = hikey970()
+        assert platform.num_devices == 3
+        assert platform.device(GPU_ID).kind == DeviceKind.GPU
+        assert platform.device(BIG_CPU_ID).kind == DeviceKind.BIG_CPU
+        assert platform.device(LITTLE_CPU_ID).kind == DeviceKind.LITTLE_CPU
+
+    def test_hikey970_device_ordering_by_strength(self):
+        """GPU > big > LITTLE in raw peak -- the premise of the paper's
+        baseline choice."""
+        platform = hikey970()
+        peaks = [device.peak_gflops for device in platform.devices]
+        assert peaks[GPU_ID] > peaks[BIG_CPU_ID] > peaks[LITTLE_CPU_ID]
+
+    def test_hikey970_gpu_hop_slower_than_cpu_hop(self):
+        platform = hikey970()
+        gpu_hop = platform.transfer_time(GPU_ID, BIG_CPU_ID, 1e6)
+        cpu_hop = platform.transfer_time(BIG_CPU_ID, LITTLE_CPU_ID, 1e6)
+        assert gpu_hop > cpu_hop
+
+    def test_hikey970_max_residency_is_five(self):
+        """Six concurrent DNNs hung the board in the paper."""
+        assert hikey970().memory.max_residency == 5
+
+    def test_cpu_only_board_has_no_gpu(self):
+        assert not cpu_only_board().devices_of_kind(DeviceKind.GPU)
+
+    def test_symmetric_board_sizes(self):
+        assert symmetric_board(4).num_devices == 4
+        with pytest.raises(ValueError):
+            symmetric_board(0)
+
+    def test_symmetric_board_devices_identical(self):
+        platform = symmetric_board(3)
+        peaks = {device.peak_gflops for device in platform.devices}
+        assert len(peaks) == 1

@@ -1,0 +1,188 @@
+"""Power model tests: specs, reports and design-time energy accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    DevicePowerSpec,
+    DeviceKind,
+    PowerModel,
+    hikey970,
+    hikey970_power,
+)
+from repro.hw.power import DEFAULT_POWER_SPECS
+from repro.models import build_model
+from repro.sim import BoardSimulator, Mapping
+
+
+@pytest.fixture(scope="module")
+def power_model():
+    return hikey970_power()
+
+
+class TestDevicePowerSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DevicePowerSpec(idle_w=-0.1, active_w=1.0)
+        with pytest.raises(ValueError):
+            DevicePowerSpec(idle_w=2.0, active_w=1.0)
+
+    def test_endpoints(self):
+        spec = DevicePowerSpec(idle_w=0.5, active_w=4.5)
+        assert spec.power_at(0.0) == 0.5
+        assert spec.power_at(1.0) == 4.5
+        assert spec.power_at(0.5) == pytest.approx(2.5)
+        assert spec.dynamic_w == pytest.approx(4.0)
+
+    def test_utilization_clamped(self):
+        spec = DevicePowerSpec(idle_w=0.5, active_w=4.5)
+        assert spec.power_at(-3.0) == 0.5
+        assert spec.power_at(7.0) == 4.5
+
+    @given(
+        utilization_a=st.floats(0.0, 1.0),
+        utilization_b=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_power_monotone_in_utilization(self, utilization_a, utilization_b):
+        spec = DevicePowerSpec(idle_w=0.3, active_w=3.9)
+        low, high = sorted((utilization_a, utilization_b))
+        assert spec.power_at(low) <= spec.power_at(high) + 1e-12
+
+
+class TestPowerModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(board_base_w=-1.0)
+
+    def test_spec_fallback(self):
+        model = PowerModel(specs={})
+        assert model.spec_for("weird_kind") is model.default_spec
+
+    def test_known_kind_specs(self, power_model):
+        gpu = power_model.spec_for(DeviceKind.GPU)
+        little = power_model.spec_for(DeviceKind.LITTLE_CPU)
+        assert gpu == DEFAULT_POWER_SPECS[DeviceKind.GPU]
+        # The GPU draws far more at full tilt than the LITTLE cluster.
+        assert gpu.active_w > 3 * little.active_w
+
+    def test_idle_floor(self, power_model, platform):
+        expected = power_model.board_base_w + sum(
+            power_model.spec_for(device.kind).idle_w
+            for device in platform.devices
+        )
+        assert power_model.idle_floor_w(platform) == pytest.approx(expected)
+
+
+class TestPowerReport:
+    def test_report_bounds(self, power_model, platform, simulator, heavy_mix):
+        mapping = Mapping.single_device(heavy_mix.models, 0)
+        result = simulator.simulate(heavy_mix.models, mapping)
+        report = power_model.report(platform, result)
+        floor = power_model.idle_floor_w(platform)
+        ceiling = power_model.board_base_w + sum(
+            power_model.spec_for(device.kind).active_w
+            for device in platform.devices
+        )
+        assert floor <= report.total_w <= ceiling
+        assert report.per_device_w.shape == (platform.num_devices,)
+
+    def test_energy_consistency(self, power_model, platform, simulator, heavy_mix):
+        mapping = Mapping.single_device(heavy_mix.models, 0)
+        result = simulator.simulate(heavy_mix.models, mapping)
+        report = power_model.report(platform, result)
+        assert report.energy_per_inference_j == pytest.approx(
+            report.total_w / result.total_throughput
+        )
+        assert report.inferences_per_joule == pytest.approx(
+            1.0 / report.energy_per_inference_j
+        )
+        assert report.energy_delay_product == pytest.approx(
+            report.energy_per_inference_j / result.total_throughput
+        )
+
+    def test_zero_throughput_rejected(self, power_model):
+        from repro.hw.power import PowerReport
+
+        report = PowerReport(
+            per_device_w=np.array([1.0]),
+            board_base_w=1.0,
+            total_throughput=0.0,
+        )
+        with pytest.raises(ValueError):
+            _ = report.energy_per_inference_j
+
+    def test_gpu_beats_little_on_energy_for_dense_work(
+        self, power_model, platform, simulator
+    ):
+        """Per inference the GPU is cheaper than the LITTLE cluster on a
+        dense conv network, despite its higher draw: it finishes so much
+        faster that both dynamic and amortized static energy win."""
+        models = [build_model("vgg16")]
+        gpu = simulator.simulate(models, Mapping.single_device(models, 0))
+        little = simulator.simulate(models, Mapping.single_device(models, 2))
+        gpu_report = power_model.report(platform, gpu)
+        little_report = power_model.report(platform, little)
+        assert (
+            gpu_report.energy_per_inference_j
+            < little_report.energy_per_inference_j
+        )
+
+
+class TestDynamicEnergy:
+    def test_manual_computation(self, power_model, platform, latency_table):
+        model = build_model("alexnet")
+        mapping = Mapping.single_device([model], 1)
+        energy = power_model.dynamic_energy_per_inference(
+            platform, [model], mapping, latency_table
+        )
+        spec = power_model.spec_for(platform.device(1).kind)
+        expected = sum(
+            latency_table.latency("alexnet", 1, layer_index)
+            for layer_index in range(model.num_layers)
+        ) * spec.dynamic_w
+        assert energy == pytest.approx(expected)
+
+    def test_mix_average(self, power_model, platform, latency_table):
+        models = [build_model("alexnet"), build_model("squeezenet")]
+        mapping = Mapping.single_device(models, 0)
+        combined = power_model.dynamic_energy_per_inference(
+            platform, models, mapping, latency_table
+        )
+        singles = [
+            power_model.dynamic_energy_per_inference(
+                platform, [model], Mapping.single_device([model], 0), latency_table
+            )
+            for model in models
+        ]
+        assert combined == pytest.approx(sum(singles) / 2)
+
+    def test_validation(self, power_model, platform, latency_table):
+        model = build_model("alexnet")
+        with pytest.raises(ValueError):
+            power_model.dynamic_energy_per_inference(
+                platform, [], Mapping.single_device([model], 0), latency_table
+            )
+        with pytest.raises(ValueError):
+            power_model.dynamic_energy_per_inference(
+                platform,
+                [model, model],
+                Mapping.single_device([model], 0),
+                latency_table,
+            )
+
+    def test_fast_device_lower_dynamic_energy_than_drawy_slow_one(
+        self, power_model, platform, latency_table
+    ):
+        """GPU dynamic energy on VGG-16 undercuts big-CPU dynamic energy:
+        the latency gap outweighs the draw gap."""
+        model = build_model("vgg16")
+        gpu = power_model.dynamic_energy_per_inference(
+            platform, [model], Mapping.single_device([model], 0), latency_table
+        )
+        big = power_model.dynamic_energy_per_inference(
+            platform, [model], Mapping.single_device([model], 1), latency_table
+        )
+        assert gpu < big

@@ -1,0 +1,218 @@
+"""Unit tests for the model builder's shape and cost arithmetic."""
+
+import pytest
+
+from repro.models import ModelBuilder, TensorShape
+
+
+def builder(channels=3, size=32):
+    return ModelBuilder("toy", TensorShape(channels, size, size))
+
+
+class TestConv:
+    def test_same_padding_preserves_spatial(self):
+        b = builder()
+        b.conv("c1", 16, kernel=3)
+        graph = b.build()
+        assert graph.layers[0].output_shape == TensorShape(16, 32, 32)
+
+    def test_stride_halves_spatial(self):
+        b = builder()
+        b.conv("c1", 16, kernel=3, stride=2, padding=1)
+        assert b.build().layers[0].output_shape == TensorShape(16, 16, 16)
+
+    def test_conv_flops_formula(self):
+        b = builder(channels=3, size=8)
+        b.conv("c1", 4, kernel=3, activation=None)
+        layer = b.build().layers[0]
+        # 2 * out_elems * Cin * K * K
+        assert layer.kernels[0].flops == 2 * (4 * 8 * 8) * 3 * 9
+
+    def test_conv_weight_bytes(self):
+        b = builder(channels=3, size=8)
+        b.conv("c1", 4, kernel=3, activation=None)
+        layer = b.build().layers[0]
+        assert layer.weight_bytes == (4 * 3 * 9 + 4) * 4
+
+    def test_activation_kernel_appended(self):
+        b = builder()
+        b.conv("c1", 8, activation="relu")
+        kinds = [kernel.kind for kernel in b.build().layers[0].kernels]
+        assert kinds == ["conv", "activation"]
+
+    def test_lrn_kernel_appended(self):
+        b = builder()
+        b.conv("c1", 8, lrn=True)
+        kinds = [kernel.kind for kernel in b.build().layers[0].kernels]
+        assert "norm" in kinds
+
+    def test_fused_pool_changes_output_shape(self):
+        b = builder()
+        b.conv("c1", 8, pool=(2, 2))
+        assert b.build().layers[0].output_shape == TensorShape(8, 16, 16)
+
+    def test_collapsing_conv_rejected(self):
+        b = builder(size=2)
+        with pytest.raises(ValueError, match="collapses"):
+            b.conv("c1", 8, kernel=5, padding=0)
+
+    def test_bad_groups_rejected(self):
+        b = builder(channels=3)
+        with pytest.raises(ValueError, match="groups"):
+            b.conv("c1", 8, groups=2)
+
+    def test_duplicate_layer_names_rejected(self):
+        b = builder()
+        b.conv("c1", 8)
+        with pytest.raises(ValueError, match="duplicate"):
+            b.conv("c1", 8)
+
+
+class TestDepthwise:
+    def test_depthwise_kind(self):
+        b = builder(channels=8)
+        b.depthwise_conv("dw", kernel=3)
+        layer = b.build().layers[0]
+        assert layer.kernels[0].kind == "depthwise_conv"
+        assert layer.output_shape.channels == 8
+
+    def test_depthwise_flops_cheaper_than_dense(self):
+        dense = builder(channels=8)
+        dense.conv("c", 8, kernel=3, activation=None)
+        dw = builder(channels=8)
+        dw.depthwise_conv("d", kernel=3, activation=None)
+        assert (
+            dw.build().layers[0].kernels[0].flops
+            < dense.build().layers[0].kernels[0].flops
+        )
+
+
+class TestFC:
+    def test_fc_flattens_input(self):
+        b = builder(channels=4, size=4)
+        b.fc("fc", 10)
+        layer = b.build().layers[0]
+        assert layer.output_shape == TensorShape(10)
+        assert layer.kernels[0].flops == 2 * (4 * 4 * 4) * 10
+
+    def test_softmax_appended(self):
+        b = builder()
+        b.fc("fc", 10, softmax=True)
+        kinds = [kernel.kind for kernel in b.build().layers[0].kernels]
+        assert kinds[-1] == "softmax"
+
+
+class TestPoolIntoLast:
+    def test_global_pool(self):
+        b = builder()
+        b.conv("c1", 8)
+        b.pool_into_last(global_pool=True)
+        assert b.build().layers[0].output_shape == TensorShape(8, 1, 1)
+
+    def test_requires_existing_unit(self):
+        with pytest.raises(ValueError, match="existing unit"):
+            builder().pool_into_last()
+
+    def test_does_not_add_a_unit(self):
+        b = builder()
+        b.conv("c1", 8)
+        b.pool_into_last()
+        assert b.build().num_layers == 1
+
+
+class TestResidualBlocks:
+    def test_basic_block_preserves_shape_without_stride(self):
+        b = builder(channels=16)
+        b.residual_basic("res", 16)
+        layer = b.build().layers[0]
+        assert layer.output_shape == TensorShape(16, 32, 32)
+        assert layer.role == "block"
+
+    def test_basic_block_projection_on_channel_change(self):
+        narrow = builder(channels=16)
+        narrow.residual_basic("res", 16)
+        wide = builder(channels=16)
+        wide.residual_basic("res", 32)
+        # The projection conv adds weights.
+        assert (
+            wide.build().layers[0].weight_bytes
+            > 2 * narrow.build().layers[0].weight_bytes / 2
+        )
+        kinds = [kernel.name for kernel in wide.build().layers[0].kernels]
+        assert any("proj" in name for name in kinds)
+
+    def test_bottleneck_output_channels(self):
+        b = builder(channels=64)
+        b.residual_bottleneck("res", 64, 256)
+        assert b.build().layers[0].output_shape.channels == 256
+
+    def test_residual_add_kernel_present(self):
+        b = builder(channels=16)
+        b.residual_basic("res", 16)
+        kinds = [kernel.kind for kernel in b.build().layers[0].kernels]
+        assert "elementwise" in kinds
+
+
+class TestFireAndMixed:
+    def test_fire_expand_concatenates_channels(self):
+        b = builder(channels=16)
+        b.fire_expand("exp", 64, 64)
+        assert b.build().layers[0].output_shape.channels == 128
+
+    def test_mixed_block_concatenates_branches(self):
+        b = builder(channels=32)
+        b.mixed_block(
+            "mix",
+            branches=[[(8, 1, 1, 1)], [(16, 3, 3, 1)]],
+            pool_branch=4,
+        )
+        # 8 + 16 + 4 channels, spatial preserved.
+        assert b.build().layers[0].output_shape == TensorShape(28, 32, 32)
+
+    def test_mixed_block_reduction(self):
+        b = builder(channels=32, size=33)
+        b.mixed_block(
+            "red",
+            branches=[[(8, 3, 3, 2)]],
+            pool_branch=0,
+            branch_strides=[2, 2],
+        )
+        out = b.build().layers[0].output_shape
+        assert out.height == 16  # (33 - 3)//2 + 1
+        assert out.channels == 8 + 32  # conv branch + pool passthrough
+
+    def test_mixed_block_mismatched_spatial_rejected(self):
+        b = builder(channels=32, size=33)
+        with pytest.raises(ValueError, match="spatial"):
+            b.mixed_block(
+                "bad",
+                branches=[[(8, 3, 3, 2)], [(8, 1, 1, 1)]],
+            )
+
+    def test_asymmetric_conv_preserves_spatial(self):
+        b = builder(channels=32)
+        b.mixed_block("mix", branches=[[(8, 1, 7, 1), (8, 7, 1, 1)]])
+        assert b.build().layers[0].output_shape == TensorShape(8, 32, 32)
+
+
+class TestGraphValidation:
+    def test_chained_shapes_validated(self):
+        b = builder()
+        b.conv("c1", 8).conv("c2", 16).fc("fc", 10)
+        graph = b.build()
+        assert graph.num_layers == 3
+        for prev, nxt in zip(graph.layers, graph.layers[1:]):
+            assert prev.output_shape == nxt.input_shape
+
+    def test_summary_contains_layer_names(self):
+        b = builder()
+        b.conv("stem", 8)
+        assert "stem" in b.build().summary()
+
+    def test_layer_index_lookup(self):
+        b = builder()
+        b.conv("c1", 8).conv("c2", 8)
+        graph = b.build()
+        assert graph.layer_index("c2") == 1
+        with pytest.raises(KeyError):
+            graph.layer_index("zz")

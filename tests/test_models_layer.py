@@ -1,0 +1,90 @@
+"""Unit tests for tensor shapes and layer specs."""
+
+import pytest
+
+from repro.models import DTYPE_BYTES, KernelSpec, LayerSpec, TensorShape
+
+
+def conv_kernel(flops=100.0):
+    return KernelSpec(kind="conv", flops=flops, bytes_read=10, bytes_written=10)
+
+
+class TestTensorShape:
+    def test_numel(self):
+        assert TensorShape(3, 4, 5).numel == 60
+
+    def test_nbytes_uses_fp32(self):
+        assert TensorShape(2, 2, 2).nbytes == 8 * DTYPE_BYTES
+
+    def test_fc_shape_defaults_spatial_to_one(self):
+        shape = TensorShape(1000)
+        assert shape.height == 1 and shape.width == 1
+        assert shape.numel == 1000
+
+    def test_nonpositive_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            TensorShape(0, 2, 2)
+        with pytest.raises(ValueError):
+            TensorShape(3, -1, 2)
+
+    def test_equality_is_structural(self):
+        assert TensorShape(3, 2, 2) == TensorShape(3, 2, 2)
+        assert TensorShape(3, 2, 2) != TensorShape(3, 2, 1)
+
+
+class TestLayerSpec:
+    def test_requires_kernels(self):
+        with pytest.raises(ValueError, match="at least one kernel"):
+            LayerSpec(
+                name="empty",
+                kernels=(),
+                input_shape=TensorShape(3, 2, 2),
+                output_shape=TensorShape(3, 2, 2),
+            )
+
+    def test_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            LayerSpec(
+                name="",
+                kernels=(conv_kernel(),),
+                input_shape=TensorShape(3, 2, 2),
+                output_shape=TensorShape(3, 2, 2),
+            )
+
+    def test_negative_weight_bytes_rejected(self):
+        with pytest.raises(ValueError, match="weight_bytes"):
+            LayerSpec(
+                name="l",
+                kernels=(conv_kernel(),),
+                input_shape=TensorShape(3, 2, 2),
+                output_shape=TensorShape(3, 2, 2),
+                weight_bytes=-1,
+            )
+
+    def test_flops_sums_kernels(self):
+        layer = LayerSpec(
+            name="l",
+            kernels=(conv_kernel(100.0), conv_kernel(50.0)),
+            input_shape=TensorShape(3, 2, 2),
+            output_shape=TensorShape(3, 2, 2),
+        )
+        assert layer.flops == 150.0
+        assert layer.num_kernels == 2
+
+    def test_bytes_moved_sums_kernels(self):
+        layer = LayerSpec(
+            name="l",
+            kernels=(conv_kernel(), conv_kernel()),
+            input_shape=TensorShape(3, 2, 2),
+            output_shape=TensorShape(3, 2, 2),
+        )
+        assert layer.bytes_moved == 40
+
+    def test_output_bytes_tracks_output_shape(self):
+        layer = LayerSpec(
+            name="l",
+            kernels=(conv_kernel(),),
+            input_shape=TensorShape(3, 2, 2),
+            output_shape=TensorShape(8, 4, 4),
+        )
+        assert layer.output_bytes == 8 * 4 * 4 * DTYPE_BYTES

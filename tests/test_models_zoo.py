@@ -1,0 +1,209 @@
+"""Zoo tests: every architecture against its published footprint.
+
+FLOP counts use the 2*MACs convention; expected values are the widely
+published ones with a tolerance for our block-encapsulation
+approximations (documented in repro/models/zoo/inception.py).
+"""
+
+import pytest
+
+from repro.models import (
+    MODEL_NAMES,
+    ModelGraph,
+    TensorShape,
+    available_models,
+    build_all_models,
+    build_model,
+    max_layer_count,
+    register_model,
+)
+
+#: name -> (partition units, GFLOPs (2xMACs), weight MB), tolerances below.
+EXPECTED = {
+    "alexnet": (8, 2.27, 250),
+    "mobilenet": (28, 1.14, 17),
+    "resnet34": (18, 7.3, 87),
+    "resnet50": (18, 8.2, 102),
+    "resnet101": (35, 15.6, 178),
+    "vgg13": (13, 22.6, 532),
+    "vgg16": (16, 31.0, 553),
+    "vgg19": (19, 39.3, 575),
+    "squeezenet": (18, 1.7, 5),
+    "inception_v3": (17, 12.2, 119),
+    "inception_v4": (23, 25.8, 199),
+}
+
+
+@pytest.mark.parametrize("name", MODEL_NAMES)
+class TestPerModel:
+    def test_unit_count(self, name):
+        units, _, _ = EXPECTED[name]
+        assert build_model(name).num_layers == units
+
+    def test_gflops_near_published(self, name):
+        _, gflops, _ = EXPECTED[name]
+        actual = build_model(name).total_flops / 1e9
+        assert actual == pytest.approx(gflops, rel=0.15)
+
+    def test_weight_megabytes_near_published(self, name):
+        _, _, weight_mb = EXPECTED[name]
+        actual = build_model(name).total_weight_bytes / 1e6
+        assert actual == pytest.approx(weight_mb, rel=0.15)
+
+    def test_classifier_output(self, name):
+        assert build_model(name).output_shape == TensorShape(1000)
+
+    def test_shapes_chain(self, name):
+        graph = build_model(name)
+        for prev, nxt in zip(graph.layers, graph.layers[1:]):
+            assert prev.output_shape == nxt.input_shape
+
+    def test_layer_names_unique(self, name):
+        graph = build_model(name)
+        names = [layer.name for layer in graph.layers]
+        assert len(names) == len(set(names))
+
+    def test_every_layer_costs_something(self, name):
+        graph = build_model(name)
+        for layer in graph.layers:
+            assert layer.flops > 0 or layer.bytes_moved > 0
+
+
+class TestCrossModel:
+    def test_vgg_family_ordering(self):
+        assert (
+            build_model("vgg13").total_flops
+            < build_model("vgg16").total_flops
+            < build_model("vgg19").total_flops
+        )
+
+    def test_resnet_family_ordering(self):
+        assert (
+            build_model("resnet34").num_layers
+            < build_model("resnet101").num_layers
+        )
+        assert (
+            build_model("resnet50").total_flops
+            < build_model("resnet101").total_flops
+        )
+
+    def test_squeezenet_is_tiny(self):
+        """SqueezeNet's selling point: AlexNet accuracy at 50x fewer
+        parameters."""
+        squeezenet = build_model("squeezenet").total_weight_bytes
+        alexnet = build_model("alexnet").total_weight_bytes
+        assert squeezenet * 30 < alexnet
+
+    def test_max_layer_count_is_resnet101(self):
+        assert max_layer_count() == build_model("resnet101").num_layers
+
+    def test_build_all_models_returns_paper_order(self):
+        graphs = build_all_models()
+        assert [graph.name for graph in graphs] == list(MODEL_NAMES)
+
+
+class TestRegistry:
+    def test_available_models_superset_of_paper_set(self):
+        assert set(MODEL_NAMES) <= set(available_models())
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            build_model("lenet")
+
+    def test_cache_returns_same_object(self):
+        assert build_model("alexnet") is build_model("alexnet")
+
+    def test_register_custom_model(self):
+        from repro.models import ModelBuilder
+
+        def tiny() -> ModelGraph:
+            b = ModelBuilder("tiny_test_net", TensorShape(3, 8, 8))
+            b.conv("c", 4).fc("fc", 10)
+            return b.build()
+
+        register_model("tiny_test_net", tiny)
+        assert build_model("tiny_test_net").num_layers == 2
+        with pytest.raises(ValueError, match="already registered"):
+            register_model("tiny_test_net", tiny)
+
+
+#: Extension models: (units, GFLOPs (2xMACs), weight MB).
+EXPECTED_EXTENSIONS = {
+    "resnet18": (10, 3.6, 47),
+    "densenet121": (63, 5.7, 32),
+    "efficientnet_b0": (19, 0.78, 21),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_EXTENSIONS))
+class TestExtensionModels:
+    """The three networks outside the paper's dataset (contribution iii)."""
+
+    def test_not_in_paper_dataset(self, name):
+        from repro.models import EXTENSION_MODEL_NAMES
+
+        assert name in EXTENSION_MODEL_NAMES
+        assert name not in MODEL_NAMES
+        assert name in available_models()
+
+    def test_unit_count(self, name):
+        units, _, _ = EXPECTED_EXTENSIONS[name]
+        assert build_model(name).num_layers == units
+
+    def test_gflops_near_published(self, name):
+        _, gflops, _ = EXPECTED_EXTENSIONS[name]
+        actual = build_model(name).total_flops / 1e9
+        assert actual == pytest.approx(gflops, rel=0.15)
+
+    def test_weight_megabytes_near_published(self, name):
+        _, _, weight_mb = EXPECTED_EXTENSIONS[name]
+        actual = build_model(name).total_weight_bytes / 1e6
+        assert actual == pytest.approx(weight_mb, rel=0.15)
+
+    def test_shapes_chain(self, name):
+        graph = build_model(name)
+        for previous, current in zip(graph.layers, graph.layers[1:]):
+            assert previous.output_shape == current.input_shape
+
+    def test_classifier_is_last(self, name):
+        graph = build_model(name)
+        assert graph.layers[-1].role == "fc"
+        assert graph.layers[-1].output_shape == TensorShape(1000)
+
+
+class TestDenseNetGrowth:
+    def test_activation_grows_within_block(self):
+        """Dense connectivity: the handoff cost of a split grows along
+        each block, unlike any dataset model."""
+        graph = build_model("densenet121")
+        block1 = [
+            layer for layer in graph.layers if layer.name.startswith("dense1.")
+        ]
+        sizes = [layer.output_shape.channels for layer in block1]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 64 + 32
+        assert sizes[-1] == 64 + 6 * 32
+
+
+class TestEfficientNetBlocks:
+    def test_depthwise_heavy(self):
+        """MBConv blocks make EfficientNet depthwise-dominated, the
+        kernel class mobile GPUs are weak at (like MobileNet)."""
+        graph = build_model("efficientnet_b0")
+        kinds = [
+            kernel.kind
+            for layer in graph.layers
+            for kernel in layer.kernels
+        ]
+        assert kinds.count("depthwise_conv") == 16
+
+    def test_se_gemms_present(self):
+        graph = build_model("efficientnet_b0")
+        se_kernels = [
+            kernel.name
+            for layer in graph.layers
+            for kernel in layer.kernels
+            if ".se." in kernel.name
+        ]
+        # 16 blocks x (global pool + reduce GEMM + expand GEMM + scale)
+        assert len(se_kernels) == 64

@@ -1,0 +1,88 @@
+"""Dataset and loader tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import DataLoader, TensorDataset
+
+
+@pytest.fixture()
+def dataset():
+    inputs = np.arange(20).reshape(10, 2)
+    targets = np.arange(10)
+    return TensorDataset(inputs, targets)
+
+
+class TestTensorDataset:
+    def test_length_and_indexing(self, dataset):
+        assert len(dataset) == 10
+        x, y = dataset[3]
+        np.testing.assert_array_equal(x, [6, 7])
+        assert y == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            TensorDataset(np.ones((3, 2)), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TensorDataset(np.ones((0, 2)), np.ones(0))
+
+    def test_split_sizes(self, dataset):
+        train, val = dataset.split(8)
+        assert len(train) == 8
+        assert len(val) == 2
+
+    def test_split_preserves_order(self, dataset):
+        train, val = dataset.split(8)
+        np.testing.assert_array_equal(val.targets, [8, 9])
+
+    def test_split_bounds_checked(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split(0)
+        with pytest.raises(ValueError):
+            dataset.split(10)
+
+
+class TestDataLoader:
+    def test_batch_count_includes_partial(self, dataset):
+        loader = DataLoader(dataset, batch_size=4)
+        assert len(loader) == 3
+        batches = list(loader)
+        assert [len(batch[0]) for batch in batches] == [4, 4, 2]
+
+    def test_unshuffled_order(self, dataset):
+        loader = DataLoader(dataset, batch_size=5, shuffle=False)
+        first_batch = next(iter(loader))
+        np.testing.assert_array_equal(first_batch[1], [0, 1, 2, 3, 4])
+
+    def test_shuffle_changes_order_deterministically(self, dataset):
+        loader_a = DataLoader(
+            dataset, batch_size=10, shuffle=True, rng=np.random.default_rng(3)
+        )
+        loader_b = DataLoader(
+            dataset, batch_size=10, shuffle=True, rng=np.random.default_rng(3)
+        )
+        batch_a = next(iter(loader_a))[1]
+        batch_b = next(iter(loader_b))[1]
+        np.testing.assert_array_equal(batch_a, batch_b)
+        assert not np.array_equal(batch_a, np.arange(10))
+
+    def test_epochs_reshuffle(self, dataset):
+        loader = DataLoader(
+            dataset, batch_size=10, shuffle=True, rng=np.random.default_rng(3)
+        )
+        first = next(iter(loader))[1].copy()
+        second = next(iter(loader))[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_batches_partition_dataset(self, dataset):
+        loader = DataLoader(
+            dataset, batch_size=3, shuffle=True, rng=np.random.default_rng(0)
+        )
+        seen = np.concatenate([batch[1] for batch in loader])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(10))
+
+    def test_invalid_batch_size_rejected(self, dataset):
+        with pytest.raises(ValueError, match="batch_size"):
+            DataLoader(dataset, batch_size=0)

@@ -1,0 +1,239 @@
+"""Conv/pool/norm functional tests: references and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.tensor import set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def float64_mode():
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(np.float32)
+
+
+RNG = np.random.default_rng(7)
+
+
+def naive_conv2d(x, w, b, stride, padding):
+    """Straightforward quadruple-loop reference convolution."""
+    n, c_in, h, w_in = x.shape
+    c_out, _, kh, kw = w.shape
+    x_padded = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w_in + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, c_out, out_h, out_w))
+    for image in range(n):
+        for out_channel in range(c_out):
+            for row in range(out_h):
+                for col in range(out_w):
+                    patch = x_padded[
+                        image,
+                        :,
+                        row * stride : row * stride + kh,
+                        col * stride : col * stride + kw,
+                    ]
+                    out[image, out_channel, row, col] = (
+                        patch * w[out_channel]
+                    ).sum()
+            if b is not None:
+                out[image, out_channel] += b[out_channel]
+    return out
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_naive_reference(self, stride, padding):
+        x = RNG.normal(size=(2, 3, 7, 6))
+        w = RNG.normal(size=(4, 3, 3, 3))
+        b = RNG.normal(size=4)
+        out = F.conv2d(
+            Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding
+        )
+        expected = naive_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.numpy(), expected, rtol=1e-9, atol=1e-9)
+
+    def test_no_bias(self):
+        x = RNG.normal(size=(1, 2, 5, 5))
+        w = RNG.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), None, padding=1)
+        expected = naive_conv2d(x, w, None, 1, 1)
+        np.testing.assert_allclose(out.numpy(), expected, rtol=1e-9, atol=1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="NCHW"):
+            F.conv2d(Tensor(np.ones((3, 5, 5))), Tensor(np.ones((2, 3, 3, 3))))
+        with pytest.raises(ValueError, match="OIHW"):
+            F.conv2d(Tensor(np.ones((1, 3, 5, 5))), Tensor(np.ones((2, 3, 3))))
+        with pytest.raises(ValueError, match="channels"):
+            F.conv2d(Tensor(np.ones((1, 4, 5, 5))), Tensor(np.ones((2, 3, 3, 3))))
+
+
+class TestConvBackward:
+    def _numeric(self, forward, array, eps=1e-6):
+        grad = np.zeros_like(array)
+        flat = array.reshape(-1)
+        grad_flat = grad.reshape(-1)
+        for index in range(flat.size):
+            saved = flat[index]
+            flat[index] = saved + eps
+            upper = forward()
+            flat[index] = saved - eps
+            lower = forward()
+            flat[index] = saved
+            grad_flat[index] = (upper - lower) / (2 * eps)
+        return grad
+
+    def test_input_weight_bias_gradients(self):
+        x = RNG.normal(size=(2, 2, 5, 5))
+        w = RNG.normal(size=(3, 2, 3, 3))
+        b = RNG.normal(size=3)
+        tx, tw, tb = (
+            Tensor(x.copy(), requires_grad=True),
+            Tensor(w.copy(), requires_grad=True),
+            Tensor(b.copy(), requires_grad=True),
+        )
+        out = F.conv2d(tx, tw, tb, stride=2, padding=1)
+        (out * out).sum().backward()
+
+        def loss():
+            result = naive_conv2d(tx.data, tw.data, tb.data, 2, 1)
+            return (result * result).sum()
+
+        np.testing.assert_allclose(tx.grad, self._numeric(loss, tx.data), atol=1e-4)
+        np.testing.assert_allclose(tw.grad, self._numeric(loss, tw.data), atol=1e-4)
+        np.testing.assert_allclose(tb.grad, self._numeric(loss, tb.data), atol=1e-4)
+
+
+class TestPooling:
+    def test_max_pool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), kernel_size=2)
+        np.testing.assert_allclose(
+            out.numpy().reshape(2, 2), [[5.0, 7.0], [13.0, 15.0]]
+        )
+
+    def test_max_pool_backward_routes_to_argmax(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1.0
+        np.testing.assert_allclose(x.grad.reshape(4, 4), expected)
+
+    def test_avg_pool_forward(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), kernel_size=2)
+        np.testing.assert_allclose(
+            out.numpy().reshape(2, 2), [[2.5, 4.5], [10.5, 12.5]]
+        )
+
+    def test_avg_pool_backward_spreads_evenly(self):
+        x = Tensor(np.ones((1, 1, 4, 4)), requires_grad=True)
+        F.avg_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_global_avg_pool(self):
+        x = RNG.normal(size=(2, 3, 4, 5))
+        out = F.global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 3, 1, 1)
+        np.testing.assert_allclose(
+            out.numpy()[..., 0, 0], x.mean(axis=(2, 3)), rtol=1e-9
+        )
+
+    def test_global_avg_pool_gradient(self):
+        x = Tensor(np.ones((1, 2, 2, 2)), requires_grad=True)
+        F.global_avg_pool2d(x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 2, 2, 2), 0.25))
+
+
+class TestPad:
+    def test_pad_shape_and_content(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        out = F.pad2d(x, (1, 2))
+        assert out.shape == (1, 1, 4, 6)
+        assert out.numpy().sum() == 4.0
+
+    def test_zero_pad_is_identity(self):
+        x = Tensor(np.ones((1, 1, 2, 2)))
+        assert F.pad2d(x, (0, 0)) is x
+
+    def test_pad_gradient_crops(self):
+        x = Tensor(np.ones((1, 1, 2, 2)), requires_grad=True)
+        F.pad2d(x, (1, 1)).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((1, 1, 2, 2)))
+
+
+class TestBatchNorm:
+    def test_normalizes_batch(self):
+        x = Tensor(RNG.normal(2.0, 3.0, size=(8, 4, 5, 5)))
+        weight = Tensor(np.ones(4), requires_grad=True)
+        bias = Tensor(np.zeros(4), requires_grad=True)
+        out, mean, var = F.batch_norm2d(x, weight, bias)
+        normalized = out.numpy()
+        assert abs(normalized.mean()) < 1e-7
+        assert normalized.std() == pytest.approx(1.0, rel=1e-3)
+        assert mean.shape == (4,)
+        assert var.shape == (4,)
+
+    def test_gradient_matches_numeric(self):
+        x = RNG.normal(size=(4, 2, 3, 3))
+        weight = RNG.uniform(0.5, 1.5, size=2)
+        bias = RNG.normal(size=2)
+        tx = Tensor(x.copy(), requires_grad=True)
+        tw = Tensor(weight.copy(), requires_grad=True)
+        tb = Tensor(bias.copy(), requires_grad=True)
+        out, _, _ = F.batch_norm2d(tx, tw, tb)
+        (out * out).sum().backward()
+
+        def loss():
+            axes = (0, 2, 3)
+            mean = tx.data.mean(axis=axes, keepdims=True)
+            var = ((tx.data - mean) ** 2).mean(axis=axes, keepdims=True)
+            normalized = (tx.data - mean) / np.sqrt(var + 1e-5)
+            result = normalized * tw.data.reshape(1, -1, 1, 1) + tb.data.reshape(
+                1, -1, 1, 1
+            )
+            return (result * result).sum()
+
+        checker = TestConvBackward()
+        np.testing.assert_allclose(tx.grad, checker._numeric(loss, tx.data), atol=1e-4)
+        np.testing.assert_allclose(tw.grad, checker._numeric(loss, tw.data), atol=1e-4)
+        np.testing.assert_allclose(tb.grad, checker._numeric(loss, tb.data), atol=1e-4)
+
+    def test_requires_nchw(self):
+        with pytest.raises(ValueError, match="NCHW"):
+            F.batch_norm2d(
+                Tensor(np.ones((2, 3))), Tensor(np.ones(3)), Tensor(np.zeros(3))
+            )
+
+
+class TestLosses:
+    def test_l1_loss_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]]))
+        target = Tensor(np.array([[0.0, 4.0]]))
+        assert F.l1_loss(pred, target).item() == pytest.approx(1.5)
+
+    def test_mse_loss_value(self):
+        pred = Tensor(np.array([[1.0, 2.0]]))
+        target = Tensor(np.array([[0.0, 4.0]]))
+        assert F.mse_loss(pred, target).item() == pytest.approx(2.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            F.l1_loss(Tensor(np.ones((2, 2))), Tensor(np.ones((2, 3))))
+
+    def test_l1_gradient(self):
+        pred = Tensor(np.array([[2.0, -3.0]]), requires_grad=True)
+        target = Tensor(np.array([[0.0, 0.0]]))
+        F.l1_loss(pred, target).backward()
+        np.testing.assert_allclose(pred.grad, [[0.5, -0.5]])
+
+    def test_linear_matches_affine(self):
+        x = RNG.normal(size=(3, 4))
+        w = RNG.normal(size=(2, 4))
+        b = RNG.normal(size=2)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.numpy(), x @ w.T + b, rtol=1e-9)

@@ -1,0 +1,151 @@
+"""Module system and layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+
+
+class TestModuleRegistration:
+    def test_parameters_collected_recursively(self):
+        net = Sequential(Conv2d(3, 4, 3), Linear(4, 2))
+        # conv w+b, linear w+b
+        assert len(net.parameters()) == 4
+
+    def test_named_parameters_have_paths(self):
+        net = Sequential(Linear(4, 2))
+        names = dict(net.named_parameters())
+        assert "layer0.weight" in names
+        assert "layer0.bias" in names
+
+    def test_num_parameters_counts_elements(self):
+        layer = Linear(4, 2)
+        assert layer.num_parameters() == 4 * 2 + 2
+
+    def test_zero_grad_clears_all(self):
+        layer = Linear(3, 2)
+        out = layer(Tensor(np.ones((1, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        net = Sequential(BatchNorm2d(3), Sequential(BatchNorm2d(3)))
+        net.eval()
+        assert all(not module.training for module in net)
+        net.train()
+        assert all(module.training for module in net)
+
+
+class TestStateDict:
+    def test_round_trip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        source = Sequential(Conv2d(3, 4, 3, rng=rng), Linear(4, 2, rng=rng))
+        target = Sequential(Conv2d(3, 4, 3), Linear(4, 2))
+        path = str(tmp_path / "weights.npz")
+        source.save(path)
+        target.load(path)
+        for a, b in zip(source.parameters(), target.parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+    def test_missing_key_rejected(self):
+        layer = Linear(3, 2)
+        with pytest.raises(KeyError, match="missing"):
+            layer.load_state_dict({"weight": np.ones((2, 3))})
+
+    def test_shape_mismatch_rejected(self):
+        layer = Linear(3, 2)
+        state = layer.state_dict()
+        state["weight"] = np.ones((5, 5))
+        with pytest.raises(ValueError, match="shape"):
+            layer.load_state_dict(state)
+
+    def test_buffers_saved(self):
+        norm = BatchNorm2d(3)
+        norm(Tensor(np.random.default_rng(0).normal(size=(4, 3, 2, 2))))
+        state = norm.state_dict()
+        assert "running_mean" in state
+        assert not np.allclose(state["running_mean"], 0.0)
+
+
+class TestConv2dLayer:
+    def test_output_shape(self):
+        layer = Conv2d(3, 8, kernel_size=3, stride=2, padding=1)
+        out = layer(Tensor(np.zeros((2, 3, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_no_bias_option(self):
+        layer = Conv2d(3, 8, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_deterministic_init_with_rng(self):
+        a = Conv2d(3, 4, 3, rng=np.random.default_rng(5))
+        b = Conv2d(3, 4, 3, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestBatchNorm2dLayer:
+    def test_training_updates_running_stats(self):
+        norm = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(16, 2, 4, 4)))
+        norm(x)
+        assert not np.allclose(norm.running_mean, 0.0)
+        assert not np.allclose(norm.running_var, 1.0)
+
+    def test_eval_uses_running_stats(self):
+        norm = BatchNorm2d(2)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            norm(Tensor(rng.normal(1.0, 2.0, size=(16, 2, 4, 4))))
+        norm.eval()
+        x = Tensor(rng.normal(1.0, 2.0, size=(4, 2, 4, 4)))
+        out = norm(x).numpy()
+        # Output should be roughly standardized using the running stats.
+        assert abs(out.mean()) < 0.3
+
+    def test_eval_is_deterministic_function(self):
+        norm = BatchNorm2d(2)
+        norm.eval()
+        x = Tensor(np.ones((1, 2, 2, 2)))
+        np.testing.assert_array_equal(norm(x).numpy(), norm(x).numpy())
+
+
+class TestSimpleLayers:
+    def test_relu(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.numpy(), [0.0, 2.0])
+
+    def test_gelu_close_to_relu_for_large_values(self):
+        out = GELU()(Tensor(np.array([10.0])))
+        assert out.numpy()[0] == pytest.approx(10.0, rel=1e-4)
+
+    def test_maxpool_layer(self):
+        out = MaxPool2d(2)(Tensor(np.arange(16.0).reshape(1, 1, 4, 4)))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_global_pool_and_flatten(self):
+        out = Flatten()(GlobalAvgPool2d()(Tensor(np.ones((2, 3, 4, 4)))))
+        assert out.shape == (2, 3)
+
+    def test_sequential_iteration_and_len(self):
+        net = Sequential(ReLU(), GELU())
+        assert len(net) == 2
+        assert len(list(net)) == 2
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(Tensor(np.ones(1)))

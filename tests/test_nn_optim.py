@@ -1,0 +1,82 @@
+"""Optimizer tests: validation plus convergence on convex problems."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, Tensor
+
+
+def quadratic_loss(parameter, target):
+    diff = parameter - Tensor(target)
+    return (diff * diff).sum()
+
+
+class TestValidation:
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            SGD([])
+
+    def test_bad_learning_rates_rejected(self):
+        param = [Tensor(np.ones(1), requires_grad=True)]
+        with pytest.raises(ValueError, match="learning rate"):
+            SGD(param, lr=0.0)
+        with pytest.raises(ValueError, match="learning rate"):
+            Adam(param, lr=-1.0)
+
+    def test_bad_momentum_rejected(self):
+        param = [Tensor(np.ones(1), requires_grad=True)]
+        with pytest.raises(ValueError, match="momentum"):
+            SGD(param, momentum=1.5)
+
+    def test_bad_betas_rejected(self):
+        param = [Tensor(np.ones(1), requires_grad=True)]
+        with pytest.raises(ValueError, match="betas"):
+            Adam(param, betas=(1.0, 0.9))
+
+
+class TestConvergence:
+    target = np.array([3.0, -2.0, 0.5])
+
+    def _minimize(self, optimizer_factory, steps=300):
+        param = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = optimizer_factory([param])
+        for _ in range(steps):
+            loss = quadratic_loss(param, self.target)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return param.data
+
+    def test_sgd_converges(self):
+        result = self._minimize(lambda p: SGD(p, lr=0.1))
+        np.testing.assert_allclose(result, self.target, atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        result = self._minimize(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(result, self.target, atol=1e-4)
+
+    def test_adam_converges(self):
+        result = self._minimize(lambda p: Adam(p, lr=0.1), steps=500)
+        np.testing.assert_allclose(result, self.target, atol=1e-3)
+
+    def test_weight_decay_shrinks_solution(self):
+        plain = self._minimize(lambda p: SGD(p, lr=0.1))
+        decayed = self._minimize(lambda p: SGD(p, lr=0.1, weight_decay=1.0))
+        assert np.linalg.norm(decayed) < np.linalg.norm(plain)
+
+    def test_step_skips_parameters_without_grad(self):
+        used = Tensor(np.zeros(1), requires_grad=True)
+        unused = Tensor(np.ones(1), requires_grad=True)
+        optimizer = Adam([used, unused], lr=0.1)
+        loss = quadratic_loss(used, np.array([1.0]))
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        np.testing.assert_array_equal(unused.data, [1.0])
+
+    def test_zero_grad_resets(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = SGD([param], lr=0.1)
+        quadratic_loss(param, np.array([1.0])).backward()
+        optimizer.zero_grad()
+        assert param.grad is None

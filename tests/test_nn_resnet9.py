@@ -1,0 +1,99 @@
+"""Estimator backbone tests, including the paper's parameter count."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, ResNet9, Tensor, l1_loss, no_grad
+from repro.nn.resnet9 import ConvBlock, ResidualBlock
+
+
+class TestArchitecture:
+    def test_exact_paper_parameter_count(self):
+        """Paper IV-B: 'only 20,044 trainable parameters'."""
+        assert ResNet9().num_parameters() == 20044
+
+    def test_output_shape(self):
+        net = ResNet9()
+        out = net(Tensor(np.zeros((5, 3, 35, 11))))
+        assert out.shape == (5, 3)
+
+    def test_no_output_activation(self):
+        """Regression head: outputs are unconstrained reals (paper IV-B),
+        so a strongly negative input regime must be able to produce
+        negative outputs."""
+        rng = np.random.default_rng(0)
+        net = ResNet9(rng=rng)
+        out = net(Tensor(rng.normal(-5.0, 1.0, size=(64, 3, 35, 11))))
+        values = out.numpy()
+        assert values.min() < 0 or values.max() > 1  # not squashed to [0,1]
+
+    def test_custom_geometry(self):
+        net = ResNet9(in_channels=2, out_features=4)
+        out = net(Tensor(np.zeros((1, 2, 20, 8))))
+        assert out.shape == (1, 4)
+
+    def test_conv_block_pool_halves(self):
+        block = ConvBlock(3, 8, pool=True)
+        out = block(Tensor(np.zeros((1, 3, 8, 8))))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_residual_block_preserves_shape(self):
+        block = ResidualBlock(8)
+        out = block(Tensor(np.zeros((2, 8, 6, 6))))
+        assert out.shape == (2, 8, 6, 6)
+
+    def test_residual_skip_contributes(self):
+        """Zeroing the residual branch must leave the identity path."""
+        block = ResidualBlock(4)
+        for conv_block in (block.block1, block.block2):
+            conv_block.conv.weight.data[...] = 0.0
+            conv_block.conv.bias.data[...] = 0.0
+            conv_block.norm.weight.data[...] = 0.0
+        x = np.random.default_rng(0).normal(size=(1, 4, 5, 5))
+        block.eval()
+        out = block(Tensor(x))
+        np.testing.assert_allclose(out.numpy(), x, atol=1e-6)
+
+    def test_deterministic_build(self):
+        a = ResNet9(rng=np.random.default_rng(3))
+        b = ResNet9(rng=np.random.default_rng(3))
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+class TestTrainability:
+    def test_overfits_small_batch(self):
+        """The backbone must be able to memorize 8 samples quickly --
+        a standard sanity check that gradients flow through every
+        stage."""
+        rng = np.random.default_rng(42)
+        net = ResNet9(rng=rng)
+        x = Tensor(rng.normal(size=(8, 3, 35, 11)))
+        y = Tensor(rng.uniform(0, 1, size=(8, 3)))
+        optimizer = Adam(net.parameters(), lr=3e-3)
+        first_loss = None
+        for _ in range(60):
+            out = net(x)
+            loss = l1_loss(out, y)
+            if first_loss is None:
+                first_loss = loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.25
+
+    def test_eval_mode_inference_under_no_grad(self):
+        net = ResNet9()
+        net.eval()
+        with no_grad():
+            out = net(Tensor(np.zeros((2, 3, 35, 11))))
+        assert not out.requires_grad
+
+    def test_gradients_reach_every_parameter(self):
+        rng = np.random.default_rng(1)
+        net = ResNet9(rng=rng)
+        out = net(Tensor(rng.normal(size=(2, 3, 35, 11))))
+        l1_loss(out, Tensor(np.zeros((2, 3)))).backward()
+        for name, param in net.named_parameters():
+            assert param.grad is not None, f"no gradient for {name}"
+            assert np.abs(param.grad).sum() > 0, f"zero gradient for {name}"

@@ -1,0 +1,206 @@
+"""Autograd engine tests: every op against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad
+from repro.nn.tensor import is_grad_enabled, set_default_dtype
+
+
+@pytest.fixture(autouse=True)
+def float64_mode():
+    """Finite-difference checks need double precision."""
+    set_default_dtype(np.float64)
+    yield
+    set_default_dtype(np.float32)
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = fn()
+        flat[index] = original - eps
+        lower = fn()
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, data, tolerance=1e-5):
+    """Compare autograd and numeric gradients of scalar-valued ``build``."""
+    tensor = Tensor(data.copy(), requires_grad=True)
+    out = build(tensor)
+    out.backward()
+    expected = numeric_grad(lambda: build(Tensor(tensor.data)).item(), tensor.data)
+    np.testing.assert_allclose(tensor.grad, expected, rtol=tolerance, atol=tolerance)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestGradients:
+    def test_add(self):
+        check_gradient(lambda t: (t + 3.0).sum(), RNG.normal(size=(4, 3)))
+
+    def test_add_broadcast(self):
+        other = Tensor(RNG.normal(size=(1, 3)))
+        check_gradient(lambda t: (t + other).sum(), RNG.normal(size=(4, 3)))
+
+    def test_broadcast_gradient_reduces_to_parent(self):
+        small = Tensor(RNG.normal(size=(1, 3)), requires_grad=True)
+        big = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        (small + big).sum().backward()
+        assert small.grad.shape == (1, 3)
+        np.testing.assert_allclose(small.grad, np.full((1, 3), 4.0))
+
+    def test_mul(self):
+        other = Tensor(RNG.normal(size=(4, 3)))
+        check_gradient(lambda t: (t * other).sum(), RNG.normal(size=(4, 3)))
+
+    def test_div(self):
+        other = Tensor(RNG.uniform(0.5, 2.0, size=(4, 3)))
+        check_gradient(lambda t: (t / other).sum(), RNG.normal(size=(4, 3)))
+
+    def test_rdiv(self):
+        check_gradient(lambda t: (2.0 / t).sum(), RNG.uniform(0.5, 2.0, size=(3, 3)))
+
+    def test_neg_sub(self):
+        other = Tensor(RNG.normal(size=(4,)))
+        check_gradient(lambda t: (other - t).sum(), RNG.normal(size=(4,)))
+
+    def test_pow(self):
+        check_gradient(lambda t: (t**3).sum(), RNG.uniform(0.5, 2.0, size=(5,)))
+
+    def test_matmul(self):
+        other = Tensor(RNG.normal(size=(3, 2)))
+        check_gradient(lambda t: (t @ other).sum(), RNG.normal(size=(4, 3)))
+
+    def test_matmul_right_operand(self):
+        left = RNG.normal(size=(4, 3))
+
+        def build(t):
+            return (Tensor(left) @ t).sum()
+
+        check_gradient(build, RNG.normal(size=(3, 2)))
+
+    def test_sum_axis(self):
+        check_gradient(lambda t: (t.sum(axis=1) ** 2).sum(), RNG.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self):
+        check_gradient(
+            lambda t: (t.sum(axis=0, keepdims=True) ** 2).sum(),
+            RNG.normal(size=(3, 4)),
+        )
+
+    def test_mean(self):
+        check_gradient(lambda t: (t.mean() * 7.0), RNG.normal(size=(4, 5)))
+
+    def test_abs(self):
+        # Keep away from the kink at zero.
+        data = RNG.uniform(0.5, 2.0, size=(4,)) * RNG.choice([-1.0, 1.0], size=(4,))
+        check_gradient(lambda t: t.abs().sum(), data)
+
+    def test_relu(self):
+        data = RNG.uniform(0.5, 2.0, size=(6,)) * RNG.choice([-1.0, 1.0], size=(6,))
+        check_gradient(lambda t: t.relu().sum(), data)
+
+    def test_gelu(self):
+        check_gradient(lambda t: t.gelu().sum(), RNG.normal(size=(8,)))
+
+    def test_tanh(self):
+        check_gradient(lambda t: t.tanh().sum(), RNG.normal(size=(6,)))
+
+    def test_exp_log(self):
+        check_gradient(
+            lambda t: (t.exp() + t.log()).sum(), RNG.uniform(0.5, 2.0, size=(5,))
+        )
+
+    def test_sqrt(self):
+        check_gradient(lambda t: t.sqrt().sum(), RNG.uniform(0.5, 4.0, size=(5,)))
+
+    def test_reshape(self):
+        check_gradient(
+            lambda t: (t.reshape(2, 6) ** 2).sum(), RNG.normal(size=(3, 4))
+        )
+
+    def test_transpose(self):
+        other = Tensor(RNG.normal(size=(4, 3)))
+        check_gradient(lambda t: (t.transpose() * other).sum(), RNG.normal(size=(3, 4)))
+
+    def test_max(self):
+        data = np.array([1.0, 5.0, 2.0])
+        tensor = Tensor(data, requires_grad=True)
+        tensor.max().backward()
+        np.testing.assert_allclose(tensor.grad, [0.0, 1.0, 0.0])
+
+    def test_chained_expression(self):
+        other = Tensor(RNG.normal(size=(3, 3)))
+        check_gradient(
+            lambda t: ((t @ other).gelu() * 2.0 + t).abs().mean(),
+            RNG.normal(size=(3, 3)),
+        )
+
+    def test_gradient_accumulates_over_reuse(self):
+        tensor = Tensor(np.array([2.0]), requires_grad=True)
+        (tensor * tensor).backward()  # d(x^2)/dx = 2x = 4
+        np.testing.assert_allclose(tensor.grad, [4.0])
+
+
+class TestMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError, match="requires no grad"):
+            Tensor(np.ones(3)).backward()
+
+    def test_backward_requires_scalar_without_seed(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError, match="scalar"):
+            (tensor * 2).backward()
+
+    def test_backward_seed_shape_checked(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        out = tensor * 2
+        with pytest.raises(ValueError, match="shape"):
+            out.backward(np.ones(4))
+
+    def test_no_grad_disables_tape(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = tensor * 2
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach_breaks_graph(self):
+        tensor = Tensor(np.ones(3), requires_grad=True)
+        assert not tensor.detach().requires_grad
+
+    def test_zero_grad(self):
+        tensor = Tensor(np.ones(1), requires_grad=True)
+        (tensor * 2).backward()
+        assert tensor.grad is not None
+        tensor.zero_grad()
+        assert tensor.grad is None
+
+    def test_item_requires_single_element(self):
+        with pytest.raises(ValueError, match="one-element"):
+            Tensor(np.ones(3)).item()
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Tensor(np.ones((2, 2, 2))) @ Tensor(np.ones((2, 2)))
+
+    def test_default_dtype_switch(self):
+        set_default_dtype(np.float32)
+        assert Tensor(np.ones(2)).data.dtype == np.float32
+        set_default_dtype(np.float64)
+        assert Tensor(np.ones(2)).data.dtype == np.float64
+        with pytest.raises(ValueError, match="unsupported"):
+            set_default_dtype(np.int32)
+
+    def test_flatten_batch(self):
+        tensor = Tensor(np.ones((4, 2, 3)))
+        assert tensor.flatten_batch().shape == (4, 6)

@@ -1,0 +1,177 @@
+"""End-to-end integration tests over the assembled system.
+
+These reproduce the paper's qualitative claims at reduced scale (small
+training runs, reduced MCTS budgets) so the suite stays fast; the full
+paper-scale numbers live in the benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro import build_system, Workload
+from repro.core import MCTSConfig
+from repro.baselines import GAConfig
+from repro.evaluation import EvaluationHarness, RuntimeCostModel
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system(
+        num_training_samples=250,
+        epochs=25,
+        mcts_config=MCTSConfig(budget=250, seed=5),
+        ga_config=GAConfig(population_size=12, generations=10, seed=5),
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="module")
+def heavy_mix():
+    return Workload.from_names(["vgg19", "resnet50", "inception_v3", "alexnet"])
+
+
+class TestSystemAssembly:
+    def test_all_components_present(self, system):
+        assert system.platform.num_devices == 3
+        assert system.estimator.num_parameters == 20044
+        assert system.training_history is not None
+        assert len(system.schedulers) == 4
+
+    def test_training_history_shows_convergence(self, system):
+        history = system.training_history
+        assert history.final_val_loss < history.val_losses[0]
+
+    def test_scheduler_names_match_paper_comparison(self, system):
+        names = [scheduler.name for scheduler in system.schedulers]
+        assert names == ["Baseline", "MOSAIC", "GA", "OmniBoost"]
+
+    def test_untrained_build(self):
+        system = build_system(train=False)
+        assert system.training_history is None
+
+
+class TestPaperClaims:
+    def test_omniboost_beats_baseline_on_heavy_mix(self, system, heavy_mix):
+        """The core claim: on a heavy 4-DNN mix, OmniBoost's mapping
+        yields substantially higher measured throughput than GPU-only."""
+        baseline = system.baseline.schedule(heavy_mix)
+        omniboost = system.omniboost.schedule(heavy_mix)
+        baseline_throughput = system.simulator.simulate(
+            heavy_mix.models, baseline.mapping
+        ).average_throughput
+        omni_throughput = system.simulator.simulate(
+            heavy_mix.models, omniboost.mapping
+        ).average_throughput
+        assert omni_throughput > 1.5 * baseline_throughput
+
+    def test_omniboost_spreads_heavy_workload(self, system, heavy_mix):
+        """Where the baseline saturates the GPU, OmniBoost must use all
+        three computing components (the Fig. 2 narrative)."""
+        decision = system.omniboost.schedule(heavy_mix)
+        assert len(decision.mapping.devices_used()) >= 2
+
+    def test_harness_comparison_runs_end_to_end(self, system):
+        harness = EvaluationHarness(
+            system.simulator, system.schedulers, baseline_name="Baseline"
+        )
+        mixes = [
+            Workload.from_names(["vgg19", "resnet50", "mobilenet"]),
+            Workload.from_names(["alexnet", "inception_v3", "squeezenet"]),
+        ]
+        table = harness.evaluate_mixes(mixes)
+        assert table.average("Baseline") == pytest.approx(1.0)
+        # Every scheduler produced measurable mappings on every mix.
+        for name in table.scheduler_names:
+            assert all(value > 0 for value in table.normalized_series(name))
+
+    def test_runtime_ordering_matches_section_vb(self, system, heavy_mix):
+        """GA decision cost >> OmniBoost >> MOSAIC > baseline."""
+        cost_model = RuntimeCostModel()
+        times = {}
+        for scheduler in system.schedulers:
+            decision = scheduler.schedule(heavy_mix)
+            times[scheduler.name] = cost_model.decision_time(decision.cost)
+        assert times["GA"] > times["OmniBoost"] > times["MOSAIC"]
+        assert times["Baseline"] == 0.0
+
+    def test_estimator_ranking_beats_chance(self, system):
+        """Spearman correlation between estimator reward and measured
+        throughput over random mappings must be clearly positive."""
+        from repro.workloads.generator import random_contiguous_mapping
+
+        mix = Workload.from_names(["vgg19", "resnet50", "inception_v3", "alexnet"])
+        rng = np.random.default_rng(0)
+        mappings = [
+            random_contiguous_mapping(mix.models, 3, rng) for _ in range(60)
+        ]
+        measured = np.array(
+            [
+                system.simulator.simulate(mix.models, mapping).average_throughput
+                for mapping in mappings
+            ]
+        )
+        predicted = np.array(
+            [system.estimator.reward(mix, mapping) for mapping in mappings]
+        )
+        measured_ranks = np.argsort(np.argsort(measured))
+        predicted_ranks = np.argsort(np.argsort(predicted))
+        rho = np.corrcoef(measured_ranks, predicted_ranks)[0, 1]
+        assert rho > 0.2
+
+    def test_five_dnn_mix_schedulable(self, system):
+        mix = Workload.from_names(
+            ["alexnet", "squeezenet", "mobilenet", "vgg13", "resnet34"]
+        )
+        decision = system.omniboost.schedule(mix)
+        result = system.simulator.simulate(mix.models, decision.mapping)
+        assert result.average_throughput > 0
+
+
+class TestReservedSystemIntegration:
+    """build_system with embedding-capacity reservation, end to end."""
+
+    @pytest.fixture(scope="class")
+    def reserved_system(self):
+        from repro import build_system
+
+        return build_system(
+            num_training_samples=60,
+            epochs=4,
+            reserve_layers=64,
+            reserve_models=13,
+            seed=9,
+        )
+
+    def test_geometry_reserved(self, reserved_system):
+        assert reserved_system.embedding.input_shape == (3, 64, 13)
+
+    def test_schedules_normally(self, reserved_system):
+        mix = Workload.from_names(["alexnet", "mobilenet"])
+        decision = reserved_system.omniboost.schedule(mix)
+        decision.mapping.validate(mix.models, 3)
+
+    def test_extension_flow_end_to_end(self, reserved_system):
+        """Profile a never-seen model, extend, schedule a mix with it —
+        no retraining, geometry intact."""
+        from repro.models import build_model
+        from repro.sim import KernelProfiler
+
+        table = KernelProfiler(reserved_system.platform).profile(
+            [build_model("resnet18")], seed=55
+        )
+        extended = reserved_system.embedding.extend(table, ["resnet18"])
+        assert extended.input_shape == reserved_system.embedding.input_shape
+
+        estimator = reserved_system.estimator.with_embedding(extended)
+        from repro.core import MCTSConfig, OmniBoostScheduler
+
+        scheduler = OmniBoostScheduler(
+            estimator, config=MCTSConfig(budget=60, seed=3)
+        )
+        mix = Workload.from_names(["resnet18", "vgg19"])
+        decision = scheduler.schedule(mix)
+        decision.mapping.validate(mix.models, 3)
+        measured = reserved_system.simulator.simulate(
+            mix.models, decision.mapping
+        )
+        assert measured.average_throughput > 0

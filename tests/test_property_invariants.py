@@ -1,0 +1,204 @@
+"""Cross-module property-based invariants (hypothesis).
+
+Each property here is a *theorem about the implementation* rather than
+a unit behaviour: MCTS anytime monotonicity, the simulator's
+permutation equivariance over mix order (paper IV-C: "the order of
+DNNs ... is not important"), contention monotonicity under added load,
+and conservation of attributed throughput.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MCTSConfig, MonteCarloTreeSearch, SchedulingEnv
+from repro.models import build_model
+from repro.sim import BoardSimulator, Mapping
+from repro.workloads import Workload
+from repro.workloads.generator import random_contiguous_mapping
+
+#: Small models keep environments tiny enough for hundreds of searches.
+_SMALL_MODELS = ("alexnet", "squeezenet", "mobilenet")
+
+
+class TestMCTSAnytimeMonotonicity:
+    """Budget monotonicity: incumbent reward never decreases."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        budget_small=st.integers(5, 60),
+        budget_extra=st.integers(1, 120),
+        reward_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_larger_budget_never_worse(
+        self, seed, budget_small, budget_extra, reward_seed
+    ):
+        env = SchedulingEnv(Workload.from_names(["alexnet"]), 3)
+        rng = np.random.default_rng(reward_seed)
+        table = {}
+
+        def reward(mapping):
+            if mapping not in table:
+                table[mapping] = float(rng.uniform())
+            return table[mapping]
+
+        small = MonteCarloTreeSearch(
+            env, reward, MCTSConfig(budget=budget_small, seed=seed)
+        ).search()
+        large = MonteCarloTreeSearch(
+            env,
+            reward,
+            MCTSConfig(budget=budget_small + budget_extra, seed=seed),
+        ).search()
+        assert large.reward >= small.reward - 1e-12
+        # And incumbent_at reproduces the small run exactly.
+        mapping, incumbent = large.incumbent_at(budget_small)
+        assert incumbent == small.reward
+        assert mapping == small.mapping
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_improvements_sorted_and_strict(self, seed):
+        env = SchedulingEnv(Workload.from_names(["squeezenet"]), 3)
+        rng = np.random.default_rng(seed)
+        table = {}
+
+        def reward(mapping):
+            if mapping not in table:
+                table[mapping] = float(rng.uniform())
+            return table[mapping]
+
+        result = MonteCarloTreeSearch(
+            env, reward, MCTSConfig(budget=80, seed=seed)
+        ).search()
+        iterations = [when for when, _, _ in result.improvements]
+        rewards = [value for _, value, _ in result.improvements]
+        assert iterations == sorted(iterations)
+        assert all(b > a for a, b in zip(rewards, rewards[1:]))
+
+
+@pytest.fixture(scope="module")
+def property_simulator(platform):
+    return BoardSimulator(platform)
+
+
+class TestSimulatorPermutationEquivariance:
+    """Paper IV-C: mix order must not matter (models run concurrently)."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        order_seed=st.integers(0, 2**16),
+        size=st.integers(2, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rates_permute_with_mix(
+        self, property_simulator, seed, order_seed, size
+    ):
+        rng = np.random.default_rng(seed)
+        names = list(
+            rng.choice(_SMALL_MODELS, size=size, replace=True)
+        )
+        models = [build_model(name) for name in names]
+        mapping = random_contiguous_mapping(models, 3, rng, max_stages=3)
+
+        permutation = np.random.default_rng(order_seed).permutation(size)
+        permuted_models = [models[i] for i in permutation]
+        permuted_mapping = Mapping(
+            [mapping.assignments[i] for i in permutation]
+        )
+
+        original = property_simulator.simulate(models, mapping)
+        permuted = property_simulator.simulate(
+            permuted_models, permuted_mapping
+        )
+        np.testing.assert_allclose(
+            original.rates[permutation], permuted.rates, rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            original.device_throughput,
+            permuted.device_throughput,
+            rtol=1e-9,
+        )
+
+
+class TestContentionMonotonicity:
+    """Adding a co-resident DNN can only hurt the incumbents."""
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_added_dnn_never_helps(self, property_simulator, seed):
+        rng = np.random.default_rng(seed)
+        names = list(rng.choice(_SMALL_MODELS, size=2, replace=True))
+        models = [build_model(name) for name in names]
+        mapping = random_contiguous_mapping(models, 3, rng, max_stages=3)
+        alone = property_simulator.simulate(models, mapping)
+
+        extra = build_model("vgg13")
+        extended_models = models + [extra]
+        extended_mapping = Mapping(
+            list(mapping.assignments)
+            + list(
+                random_contiguous_mapping(
+                    [extra], 3, rng, max_stages=3
+                ).assignments
+            )
+        )
+        together = property_simulator.simulate(
+            extended_models, extended_mapping
+        )
+        assert (together.rates[:2] <= alone.rates + 1e-9).all()
+
+
+class TestThroughputConservation:
+    """Attributed per-device throughput sums to the aggregate rate."""
+
+    @given(seed=st.integers(0, 2**16), size=st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_attribution_sums(self, property_simulator, seed, size):
+        rng = np.random.default_rng(seed)
+        names = list(rng.choice(_SMALL_MODELS, size=size, replace=True))
+        models = [build_model(name) for name in names]
+        mapping = random_contiguous_mapping(models, 3, rng, max_stages=3)
+        result = property_simulator.simulate(models, mapping)
+        assert result.device_throughput.sum() == pytest.approx(
+            result.rates.sum(), rel=1e-9
+        )
+        assert (result.rates > 0).all()
+        assert (result.device_utilization <= 1.0 + 1e-9).all()
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_measurement_noise_bounded(self, property_simulator, seed):
+        models = [build_model("alexnet"), build_model("mobilenet")]
+        mapping = Mapping.single_device(models, 0)
+        exact = property_simulator.simulate(models, mapping)
+        noisy = property_simulator.measure(
+            models, mapping, rng=np.random.default_rng(seed)
+        )
+        ratio = noisy.rates / exact.rates
+        # The clip in measure() bounds multiplicative noise to [0.5, 1.5].
+        assert (ratio >= 0.5 - 1e-9).all()
+        assert (ratio <= 1.5 + 1e-9).all()
+
+
+class TestMappingRoundTrips:
+    """Stage compilation invariants under random mappings."""
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_stages_partition_layers(self, seed):
+        rng = np.random.default_rng(seed)
+        model = build_model("mobilenet")
+        mapping = random_contiguous_mapping([model], 3, rng)
+        stages = mapping.stages(0)
+        assert stages[0].start == 0
+        assert stages[-1].end == model.num_layers
+        for before, after in zip(stages, stages[1:]):
+            assert before.end == after.start
+            assert before.device_id != after.device_id
+        rebuilt = []
+        for stage in stages:
+            rebuilt.extend([stage.device_id] * stage.num_layers)
+        assert rebuilt == list(mapping.assignments[0])

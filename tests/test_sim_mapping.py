@@ -1,0 +1,129 @@
+"""Unit tests for mappings and stage decomposition."""
+
+import pytest
+
+from repro.models import build_model
+from repro.sim import Mapping, Stage
+
+
+@pytest.fixture()
+def models():
+    return [build_model("alexnet"), build_model("mobilenet")]
+
+
+class TestStage:
+    def test_fields(self):
+        stage = Stage(2, 0, 5)
+        assert stage.device_id == 2
+        assert stage.start == 0
+        assert stage.end == 5
+        assert stage.num_layers == 5
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(0, 3, 3)
+        with pytest.raises(ValueError):
+            Stage(0, -1, 2)
+
+    def test_tuple_compatibility(self):
+        assert Stage(1, 0, 4) == (1, 0, 4)
+
+
+class TestMappingConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one DNN"):
+            Mapping([])
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(ValueError, match="empty assignment"):
+            Mapping([[0, 1], []])
+
+    def test_negative_device_rejected(self):
+        with pytest.raises(ValueError, match="negative device"):
+            Mapping([[0, -1]])
+
+    def test_single_device_constructor(self, models):
+        mapping = Mapping.single_device(models, 1)
+        assert mapping.num_dnns == 2
+        for model, row in zip(models, mapping.assignments):
+            assert len(row) == model.num_layers
+            assert set(row) == {1}
+
+    def test_from_split_points(self, models):
+        mapping = Mapping.from_split_points(
+            models,
+            [
+                [(0, 4), (1, 4)],  # alexnet: 4 on GPU, 4 on big
+                [(2, 28)],  # mobilenet all LITTLE
+            ],
+        )
+        assert mapping.assignments[0] == (0,) * 4 + (1,) * 4
+        assert set(mapping.assignments[1]) == {2}
+
+    def test_from_split_points_wrong_total_rejected(self, models):
+        with pytest.raises(ValueError, match="cover"):
+            Mapping.from_split_points(models, [[(0, 3)], [(1, 28)]])
+
+    def test_from_split_points_zero_run_rejected(self, models):
+        with pytest.raises(ValueError, match="positive"):
+            Mapping.from_split_points(models, [[(0, 0), (1, 8)], [(1, 28)]])
+
+
+class TestValidation:
+    def test_validate_passes_for_matching(self, models):
+        Mapping.single_device(models, 0).validate(models, num_devices=3)
+
+    def test_wrong_dnn_count(self, models):
+        with pytest.raises(ValueError, match="mix has"):
+            Mapping([[0] * 8]).validate(models, 3)
+
+    def test_wrong_layer_count(self, models):
+        mapping = Mapping([[0] * 7, [0] * 28])
+        with pytest.raises(ValueError, match="has 8 layers"):
+            mapping.validate(models, 3)
+
+    def test_device_out_of_range(self, models):
+        mapping = Mapping([[5] * 8, [0] * 28])
+        with pytest.raises(ValueError, match="out of"):
+            mapping.validate(models, 3)
+
+
+class TestStages:
+    def test_single_stage(self):
+        mapping = Mapping([[1, 1, 1]])
+        assert mapping.stages(0) == [Stage(1, 0, 3)]
+        assert mapping.num_stages(0) == 1
+
+    def test_multi_stage_decomposition(self):
+        mapping = Mapping([[0, 0, 1, 1, 1, 2]])
+        stages = mapping.stages(0)
+        assert stages == [Stage(0, 0, 2), Stage(1, 2, 5), Stage(2, 5, 6)]
+
+    def test_alternating_devices(self):
+        mapping = Mapping([[0, 1, 0, 1]])
+        assert mapping.num_stages(0) == 4
+
+    def test_max_stages_across_dnns(self):
+        mapping = Mapping([[0, 0, 0], [0, 1, 2]])
+        assert mapping.max_stages == 3
+
+    def test_devices_used(self):
+        mapping = Mapping([[0, 0], [2, 2]])
+        assert mapping.devices_used() == (0, 2)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = Mapping([[0, 1], [2, 2]])
+        b = Mapping([[0, 1], [2, 2]])
+        c = Mapping([[0, 1], [2, 1]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_usable_as_dict_key(self):
+        cache = {Mapping([[0, 1]]): 42}
+        assert cache[Mapping([[0, 1]])] == 42
+
+    def test_not_equal_to_other_types(self):
+        assert Mapping([[0]]) != [[0]]

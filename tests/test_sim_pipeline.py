@@ -1,0 +1,93 @@
+"""Tests for pipeline compilation and stage pricing."""
+
+import pytest
+
+from repro.hw import KernelCostModel, hikey970, GPU_ID, BIG_CPU_ID, LITTLE_CPU_ID
+from repro.models import build_model
+from repro.sim import Mapping, compile_pipelines, layer_latency
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return hikey970()
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    return KernelCostModel()
+
+
+@pytest.fixture(scope="module")
+def alexnet():
+    return build_model("alexnet")
+
+
+class TestLayerLatency:
+    def test_positive(self, platform, cost_model, alexnet):
+        for device in platform.devices:
+            for index in range(alexnet.num_layers):
+                assert (
+                    layer_latency(alexnet, index, device.device_id, platform, cost_model)
+                    > 0
+                )
+
+    def test_gpu_faster_on_big_conv(self, platform, cost_model, alexnet):
+        conv_index = 1  # conv2, clearly compute-bound
+        gpu = layer_latency(alexnet, conv_index, GPU_ID, platform, cost_model)
+        little = layer_latency(alexnet, conv_index, LITTLE_CPU_ID, platform, cost_model)
+        assert gpu < little
+
+
+class TestCompilePipelines:
+    def test_single_stage_no_transfers(self, platform, cost_model, alexnet):
+        mapping = Mapping.single_device([alexnet], GPU_ID)
+        (plan,) = compile_pipelines([alexnet], mapping, platform, cost_model)
+        assert plan.num_stages == 1
+        assert plan.total_transfer_time == 0.0
+        assert plan.bottleneck_time == plan.total_service_time
+
+    def test_stage_compute_sums_layer_latencies(
+        self, platform, cost_model, alexnet
+    ):
+        mapping = Mapping.single_device([alexnet], BIG_CPU_ID)
+        (plan,) = compile_pipelines([alexnet], mapping, platform, cost_model)
+        expected = sum(
+            layer_latency(alexnet, index, BIG_CPU_ID, platform, cost_model)
+            for index in range(alexnet.num_layers)
+        )
+        assert plan.stages[0].compute_time == pytest.approx(expected)
+
+    def test_split_adds_transfer(self, platform, cost_model, alexnet):
+        mapping = Mapping([[GPU_ID] * 4 + [BIG_CPU_ID] * 4])
+        (plan,) = compile_pipelines([alexnet], mapping, platform, cost_model)
+        assert plan.num_stages == 2
+        handoff_bytes = alexnet.layers[3].output_bytes
+        expected = platform.transfer_time(GPU_ID, BIG_CPU_ID, handoff_bytes)
+        assert plan.stages[1].transfer_time == pytest.approx(expected)
+        assert plan.stages[0].transfer_time == 0.0
+
+    def test_work_on_device_partitions_total(self, platform, cost_model, alexnet):
+        mapping = Mapping([[GPU_ID] * 3 + [BIG_CPU_ID] * 3 + [LITTLE_CPU_ID] * 2])
+        (plan,) = compile_pipelines([alexnet], mapping, platform, cost_model)
+        split_sum = sum(
+            plan.work_on_device(device.device_id) for device in platform.devices
+        )
+        assert split_sum == pytest.approx(plan.total_service_time)
+
+    def test_bottleneck_is_max_stage(self, platform, cost_model, alexnet):
+        mapping = Mapping([[GPU_ID] * 4 + [LITTLE_CPU_ID] * 4])
+        (plan,) = compile_pipelines([alexnet], mapping, platform, cost_model)
+        assert plan.bottleneck_time == max(
+            stage.service_time for stage in plan.stages
+        )
+
+    def test_invalid_mapping_rejected(self, platform, cost_model, alexnet):
+        mapping = Mapping([[0] * 4])  # wrong layer count
+        with pytest.raises(ValueError):
+            compile_pipelines([alexnet], mapping, platform, cost_model)
+
+    def test_multi_dnn_plans_aligned(self, platform, cost_model):
+        models = [build_model("alexnet"), build_model("squeezenet")]
+        mapping = Mapping.single_device(models, GPU_ID)
+        plans = compile_pipelines(models, mapping, platform, cost_model)
+        assert [plan.model_name for plan in plans] == ["alexnet", "squeezenet"]

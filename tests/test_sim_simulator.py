@@ -1,0 +1,191 @@
+"""Behavioural tests for the board simulator."""
+
+import numpy as np
+import pytest
+
+from repro.hw import GPU_ID, BIG_CPU_ID, LITTLE_CPU_ID, hikey970
+from repro.models import build_model
+from repro.sim import (
+    BoardSimulator,
+    BoardUnresponsiveError,
+    Mapping,
+    SimConfig,
+    model_dram_bytes,
+)
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return BoardSimulator(hikey970())
+
+
+@pytest.fixture(scope="module")
+def heavy_models():
+    return Workload.from_names(
+        ["vgg19", "inception_v4", "resnet101", "vgg16"]
+    ).models
+
+
+class TestBasicInvariants:
+    def test_rates_positive(self, sim, heavy_models):
+        result = sim.simulate(heavy_models, Mapping.single_device(heavy_models, GPU_ID))
+        assert (result.rates > 0).all()
+
+    def test_device_throughput_sums_to_total(self, sim, heavy_models):
+        mapping = Mapping.single_device(heavy_models, GPU_ID)
+        result = sim.simulate(heavy_models, mapping)
+        assert result.device_throughput.sum() == pytest.approx(
+            result.total_throughput, rel=1e-6
+        )
+
+    def test_average_is_mean_of_rates(self, sim, heavy_models):
+        mapping = Mapping.single_device(heavy_models, GPU_ID)
+        result = sim.simulate(heavy_models, mapping)
+        assert result.average_throughput == pytest.approx(result.rates.mean())
+
+    def test_utilization_bounded(self, sim, heavy_models):
+        mapping = Mapping.single_device(heavy_models, GPU_ID)
+        result = sim.simulate(heavy_models, mapping)
+        assert (result.device_utilization <= 1.0 + 1e-6).all()
+        assert result.memory_utilization <= 1.0 + 1e-6
+
+    def test_gpu_only_uses_only_gpu(self, sim, heavy_models):
+        result = sim.simulate(heavy_models, Mapping.single_device(heavy_models, GPU_ID))
+        assert result.device_utilization[GPU_ID] == pytest.approx(1.0, abs=1e-6)
+        assert result.device_utilization[BIG_CPU_ID] == 0.0
+        assert result.device_utilization[LITTLE_CPU_ID] == 0.0
+
+    def test_empty_mix_rejected(self, sim):
+        with pytest.raises(ValueError, match="empty"):
+            sim.simulate([], Mapping([[0]]))
+
+
+class TestPaperRegimes:
+    def test_heavy_mix_collapses_on_gpu_only(self, sim, heavy_models):
+        """Fig. 5b regime: the GPU-only mapping of a heavy 4-mix thrashes
+        the GPU working set; even a naive hand-balanced mapping wins by
+        a solid factor (a searched mapping approaches ~2.9x)."""
+        gpu_only = sim.simulate(
+            heavy_models, Mapping.single_device(heavy_models, GPU_ID)
+        )
+        balanced = Mapping(
+            [
+                [GPU_ID] * heavy_models[0].num_layers,
+                [BIG_CPU_ID] * heavy_models[1].num_layers,
+                [LITTLE_CPU_ID] * heavy_models[2].num_layers,
+                [BIG_CPU_ID] * heavy_models[3].num_layers,
+            ]
+        )
+        spread = sim.simulate(heavy_models, balanced)
+        assert spread.average_throughput > 1.5 * gpu_only.average_throughput
+
+    def test_gpu_scale_reflects_thrash(self, sim, heavy_models):
+        gpu_only = sim.simulate(
+            heavy_models, Mapping.single_device(heavy_models, GPU_ID)
+        )
+        # Four heavy DNNs (1.5 GB weights) on a 0.9 GB working set: the
+        # GPU must run visibly inflated.
+        assert gpu_only.device_scale[GPU_ID] > 2.0
+
+    def test_light_mix_no_thrash(self, sim):
+        models = Workload.from_names(["alexnet", "squeezenet", "mobilenet"]).models
+        result = sim.simulate(models, Mapping.single_device(models, GPU_ID))
+        # Concurrency overhead only: 1 + 0.14 * 2.
+        assert result.device_scale[GPU_ID] == pytest.approx(1.28, rel=0.01)
+
+    def test_six_dnns_hang_the_board(self, sim):
+        models = Workload.from_names(
+            ["alexnet", "squeezenet", "mobilenet", "vgg13", "resnet34", "resnet50"]
+        ).models
+        with pytest.raises(BoardUnresponsiveError, match="unresponsive|hangs"):
+            sim.simulate(models, Mapping.single_device(models, GPU_ID))
+
+    def test_residency_pressure_hits_little_hardest(self, sim):
+        models = Workload.from_names(
+            ["alexnet", "squeezenet", "mobilenet", "vgg13", "resnet34"]
+        ).models
+        # GPU hosts the two lightest-weight networks (no working-set
+        # overflow), the CPU clusters take the rest.
+        mapping = Mapping(
+            [
+                [GPU_ID] * models[0].num_layers,  # alexnet (250 MB)
+                [GPU_ID] * models[1].num_layers,  # squeezenet (5 MB)
+                [LITTLE_CPU_ID] * models[2].num_layers,  # mobilenet
+                [BIG_CPU_ID] * models[3].num_layers,  # vgg13
+                [BIG_CPU_ID] * models[4].num_layers,  # resnet34
+            ]
+        )
+        result = sim.simulate(models, mapping)
+        little = result.device_scale[LITTLE_CPU_ID]
+        gpu = result.device_scale[GPU_ID]
+        # LITTLE runs one DNN (no concurrency term) yet is more inflated
+        # than the GPU running two: pressure dominates it.
+        assert little > 1.5
+        assert little > gpu
+
+    def test_offered_rate_caps_light_models(self, sim):
+        models = Workload.from_names(["mobilenet"]).models
+        mapping = Mapping.single_device(models, GPU_ID)
+        capped = sim.simulate(models, mapping)
+        assert capped.rates[0] == pytest.approx(sim.config.offered_rate)
+        free = sim.simulate(models, mapping, offered_rates=[1000.0])
+        assert free.rates[0] > capped.rates[0]
+
+    def test_offered_rates_validation(self, sim):
+        models = Workload.from_names(["mobilenet"]).models
+        mapping = Mapping.single_device(models, GPU_ID)
+        with pytest.raises(ValueError, match="one rate per DNN"):
+            sim.simulate(models, mapping, offered_rates=[1.0, 2.0])
+        with pytest.raises(ValueError, match="positive"):
+            sim.simulate(models, mapping, offered_rates=[0.0])
+
+
+class TestMeasurement:
+    def test_measure_without_rng_is_exact(self, sim, heavy_models):
+        mapping = Mapping.single_device(heavy_models, GPU_ID)
+        exact = sim.simulate(heavy_models, mapping)
+        measured = sim.measure(heavy_models, mapping)
+        assert np.array_equal(exact.rates, measured.rates)
+
+    def test_measure_noise_is_seeded(self, sim, heavy_models):
+        mapping = Mapping.single_device(heavy_models, GPU_ID)
+        first = sim.measure(heavy_models, mapping, rng=np.random.default_rng(5))
+        second = sim.measure(heavy_models, mapping, rng=np.random.default_rng(5))
+        third = sim.measure(heavy_models, mapping, rng=np.random.default_rng(6))
+        assert np.array_equal(first.rates, second.rates)
+        assert not np.array_equal(first.rates, third.rates)
+
+    def test_measure_noise_is_small(self, sim, heavy_models):
+        mapping = Mapping.single_device(heavy_models, GPU_ID)
+        exact = sim.simulate(heavy_models, mapping)
+        measured = sim.measure(heavy_models, mapping, rng=np.random.default_rng(5))
+        ratio = measured.rates / exact.rates
+        assert (np.abs(ratio - 1.0) < 0.2).all()
+
+
+class TestConfig:
+    def test_custom_config_changes_behaviour(self, heavy_models):
+        calm = BoardSimulator(
+            hikey970(),
+            config=SimConfig(
+                concurrency_overhead={},
+                default_concurrency_overhead=0.0,
+                thrash_slope={},
+                default_thrash_slope=0.0,
+                residency_pressure={},
+                default_residency_pressure=0.0,
+                ram_thrash_slope=0.0,
+                residency_thrash_floor=0.0,
+                ram_squeeze=0.0,
+            ),
+        )
+        mapping = Mapping.single_device(heavy_models, GPU_ID)
+        result = calm.simulate(heavy_models, mapping)
+        assert (result.device_scale == 1.0).all()
+
+    def test_dram_bytes_scale_with_fraction(self):
+        model = build_model("vgg16")
+        assert model_dram_bytes(model, 0.5) == pytest.approx(
+            2 * model_dram_bytes(model, 0.25)
+        )

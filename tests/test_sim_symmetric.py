@@ -1,0 +1,104 @@
+"""Invariant tests on the degenerate homogeneous platform.
+
+With identical devices there is no heterogeneity to exploit, so clean
+symmetry properties must hold -- cheap, strong checks on the contention
+solver and the scale model.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.hw import symmetric_board
+from repro.sim import BoardSimulator, Mapping
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def board():
+    return BoardSimulator(symmetric_board(3))
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return Workload.from_names(["alexnet", "vgg16", "squeezenet"])
+
+
+class TestSymmetry:
+    def test_single_device_choice_is_irrelevant(self, board, mix):
+        """All-on-device-k gives identical results for every k."""
+        throughputs = [
+            board.simulate(mix.models, Mapping.single_device(mix.models, k))
+            .average_throughput
+            for k in range(3)
+        ]
+        assert max(throughputs) == pytest.approx(min(throughputs), rel=1e-9)
+
+    def test_device_permutation_invariance(self, board, mix):
+        """Renaming devices in a mapping cannot change throughput."""
+        base_rows = [
+            [0] * mix.models[0].num_layers,
+            [1] * mix.models[1].num_layers,
+            [2] * mix.models[2].num_layers,
+        ]
+        reference = board.simulate(mix.models, Mapping(base_rows)).average_throughput
+        for permutation in itertools.permutations(range(3)):
+            rows = [[permutation[d] for d in row] for row in base_rows]
+            permuted = board.simulate(mix.models, Mapping(rows)).average_throughput
+            assert permuted == pytest.approx(reference, rel=1e-9)
+
+    def test_spreading_beats_piling(self, board, mix):
+        """On a homogeneous board, one-DNN-per-device dominates
+        everything-on-one-device (pure load balancing)."""
+        piled = board.simulate(
+            mix.models, Mapping.single_device(mix.models, 0)
+        ).average_throughput
+        spread = board.simulate(
+            mix.models,
+            Mapping(
+                [
+                    [0] * mix.models[0].num_layers,
+                    [1] * mix.models[1].num_layers,
+                    [2] * mix.models[2].num_layers,
+                ]
+            ),
+        ).average_throughput
+        assert spread > piled
+
+    def test_rates_identical_for_identical_models(self, board):
+        """Two copies of the same architecture (registered under
+        different names) mapped symmetrically must earn equal rates."""
+        mix = Workload.from_names(["vgg16", "vgg19"])  # close cousins
+        mapping = Mapping(
+            [[0] * mix.models[0].num_layers, [1] * mix.models[1].num_layers]
+        )
+        result = board.simulate(mix.models, mapping)
+        # vgg16 is strictly lighter than vgg19, so on identical private
+        # devices it must be at least as fast.
+        assert result.rates[0] >= result.rates[1]
+
+
+class TestScaleModelOnSymmetricBoard:
+    def test_no_thrash_for_small_weights(self, board):
+        mix = Workload.from_names(["squeezenet", "mobilenet"])
+        mapping = Mapping.single_device(mix.models, 0)
+        result = board.simulate(mix.models, mapping)
+        # Only the concurrency term applies: 1 + beta * (2 - 1).
+        expected = 1.0 + board.config.overhead_for("big_cpu")
+        assert result.device_scale[0] == pytest.approx(expected)
+        assert result.device_scale[1] == 1.0
+
+    def test_utilization_conservation(self, board, mix):
+        mapping = Mapping(
+            [
+                [0] * mix.models[0].num_layers,
+                [1] * mix.models[1].num_layers,
+                [2] * mix.models[2].num_layers,
+            ]
+        )
+        result = board.simulate(mix.models, mapping)
+        assert result.device_throughput.sum() == pytest.approx(
+            result.rates.sum(), rel=1e-9
+        )
+        assert (result.device_utilization <= 1.0 + 1e-9).all()

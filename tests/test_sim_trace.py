@@ -1,0 +1,163 @@
+"""Trace simulator tests, including fluid-model cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.hw import BIG_CPU_ID, GPU_ID, LITTLE_CPU_ID, hikey970
+from repro.sim import BoardSimulator, Mapping, TraceSimulator
+from repro.workloads import Workload
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return hikey970()
+
+
+@pytest.fixture(scope="module")
+def tracer(platform):
+    return TraceSimulator(platform)
+
+
+@pytest.fixture(scope="module")
+def board(platform):
+    return BoardSimulator(platform)
+
+
+@pytest.fixture(scope="module")
+def light_mix():
+    return Workload.from_names(["alexnet", "mobilenet", "squeezenet"])
+
+
+class TestValidationAgainstFluidModel:
+    """The trace and the steady-state solver must agree -- they are two
+    views of the same physics."""
+
+    def test_unsaturated_mix_hits_offered_rates(self, tracer, board, light_mix):
+        mapping = Mapping(
+            [
+                [GPU_ID] * 8,
+                [BIG_CPU_ID] * 28,
+                [LITTLE_CPU_ID] * 18,
+            ]
+        )
+        fluid = board.simulate(light_mix.models, mapping)
+        trace = tracer.run(light_mix.models, mapping, duration_s=20.0)
+        np.testing.assert_allclose(trace.rates, fluid.rates, rtol=0.05)
+
+    def test_saturated_gpu_only_rates_match(self, tracer, board):
+        mix = Workload.from_names(["vgg19", "resnet50", "inception_v3", "alexnet"])
+        mapping = Mapping.single_device(mix.models, GPU_ID)
+        fluid = board.simulate(mix.models, mapping)
+        trace = tracer.run(mix.models, mapping, duration_s=120.0)
+        np.testing.assert_allclose(trace.rates, fluid.rates, rtol=0.15)
+
+    def test_saturated_spread_rates_match(self, tracer, board):
+        mix = Workload.from_names(["vgg19", "resnet50", "inception_v3", "alexnet"])
+        mapping = Mapping(
+            [
+                [GPU_ID] * 19,
+                [BIG_CPU_ID] * 18,
+                [LITTLE_CPU_ID] * 17,
+                [BIG_CPU_ID] * 8,
+            ]
+        )
+        fluid = board.simulate(mix.models, mapping)
+        trace = tracer.run(mix.models, mapping, duration_s=120.0)
+        np.testing.assert_allclose(trace.rates, fluid.rates, rtol=0.15)
+
+
+class TestTraceMechanics:
+    def test_invalid_arguments(self, tracer, light_mix):
+        mapping = Mapping.single_device(light_mix.models, GPU_ID)
+        with pytest.raises(ValueError, match="duration"):
+            tracer.run(light_mix.models, mapping, duration_s=0.0)
+        with pytest.raises(ValueError, match="warmup"):
+            tracer.run(light_mix.models, mapping, warmup_fraction=1.0)
+        with pytest.raises(ValueError, match="empty"):
+            tracer.run([], mapping)
+
+    def test_events_recorded_when_requested(self, tracer, light_mix):
+        mapping = Mapping.single_device(light_mix.models, GPU_ID)
+        silent = tracer.run(light_mix.models, mapping, duration_s=3.0)
+        verbose = tracer.run(
+            light_mix.models, mapping, duration_s=3.0, record_events=True
+        )
+        assert silent.events == []
+        assert len(verbose.events) > 0
+
+    def test_events_never_overlap_per_device(self, tracer, light_mix):
+        mapping = Mapping(
+            [[GPU_ID] * 4 + [BIG_CPU_ID] * 4, [GPU_ID] * 28, [LITTLE_CPU_ID] * 18]
+        )
+        trace = tracer.run(
+            light_mix.models, mapping, duration_s=5.0, record_events=True
+        )
+        by_device = {}
+        for event in trace.events:
+            by_device.setdefault(event.device_id, []).append(event)
+        for device_events in by_device.values():
+            device_events.sort(key=lambda event: event.start_s)
+            for first, second in zip(device_events, device_events[1:]):
+                assert second.start_s >= first.end_s - 1e-9
+
+    def test_stage_order_preserved_per_frame(self, tracer, light_mix):
+        mapping = Mapping(
+            [[GPU_ID] * 4 + [BIG_CPU_ID] * 4, [GPU_ID] * 28, [LITTLE_CPU_ID] * 18]
+        )
+        trace = tracer.run(
+            light_mix.models, mapping, duration_s=5.0, record_events=True
+        )
+        frames = {}
+        for event in trace.events:
+            frames.setdefault((event.dnn_index, event.frame_index), []).append(event)
+        for events in frames.values():
+            events.sort(key=lambda event: event.start_s)
+            stages = [event.stage_index for event in events]
+            assert stages == sorted(stages)
+
+    def test_latency_at_least_service_time(self, tracer, board, light_mix):
+        mapping = Mapping.single_device(light_mix.models, GPU_ID)
+        fluid = board.simulate(light_mix.models, mapping)
+        trace = tracer.run(light_mix.models, mapping, duration_s=10.0)
+        for dnn_index, plan in enumerate(fluid.plans):
+            scale = fluid.device_scale
+            floor = sum(
+                stage.service_time * scale[stage.device_id]
+                for stage in plan.stages
+            )
+            assert trace.mean_latency(dnn_index) >= floor * 0.99
+
+    def test_mean_latency_requires_completions(self):
+        from repro.sim import TraceResult
+
+        empty = TraceResult(
+            duration_s=1.0,
+            warmup_s=0.0,
+            completions=np.zeros(1, dtype=int),
+            rates=np.zeros(1),
+            latencies_s=[[]],
+            device_busy_s=np.zeros(3),
+        )
+        with pytest.raises(ValueError, match="no frames"):
+            empty.mean_latency(0)
+
+    def test_utilization_bounded(self, tracer, light_mix):
+        mapping = Mapping.single_device(light_mix.models, GPU_ID)
+        trace = tracer.run(light_mix.models, mapping, duration_s=10.0)
+        assert (trace.device_utilization <= 1.0 + 1e-9).all()
+
+    def test_timeline_rendering(self, tracer, light_mix):
+        mapping = Mapping.single_device(light_mix.models, GPU_ID)
+        trace = tracer.run(
+            light_mix.models, mapping, duration_s=2.0, record_events=True
+        )
+        text = trace.timeline(max_rows=5)
+        assert "t start" in text
+        assert len(text.splitlines()) <= 7
+
+    def test_offered_rate_override(self, tracer, light_mix):
+        mapping = Mapping.single_device(light_mix.models, GPU_ID)
+        slow = tracer.run(
+            light_mix.models, mapping, duration_s=10.0, offered_rates=[1.0, 1.0, 1.0]
+        )
+        assert np.allclose(slow.rates, 1.0, rtol=0.1)

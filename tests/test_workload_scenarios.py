@@ -1,0 +1,64 @@
+"""Tests for the named application scenarios."""
+
+import pytest
+
+from repro.sim import BoardSimulator, Mapping
+from repro.workloads.scenarios import SCENARIOS, Scenario, scenario, scenario_names
+from repro.workloads import Workload
+
+
+class TestRegistry:
+    def test_names_non_empty(self):
+        assert len(scenario_names()) >= 4
+
+    def test_lookup(self):
+        preset = scenario("ar-headset")
+        assert preset.workload.num_dnns == 3
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario("toaster")
+
+    def test_all_scenarios_well_formed(self):
+        for preset in SCENARIOS.values():
+            assert preset.description
+            assert len(preset.offered_rates) == preset.workload.num_dnns
+            assert all(rate > 0 for rate in preset.offered_rates)
+
+    def test_scenarios_fit_board_residency(self, platform):
+        for preset in SCENARIOS.values():
+            assert preset.workload.num_dnns <= platform.memory.max_residency
+
+
+class TestValidation:
+    def test_rate_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="rates"):
+            Scenario(
+                name="bad",
+                description="x",
+                workload=Workload.from_names(["alexnet", "vgg16"]),
+                offered_rates=(1.0,),
+            )
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Scenario(
+                name="bad",
+                description="x",
+                workload=Workload.from_names(["alexnet"]),
+                offered_rates=(0.0,),
+            )
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_simulates(self, simulator, name):
+        preset = scenario(name)
+        mapping = Mapping.single_device(preset.workload.models, 0)
+        result = simulator.simulate(
+            preset.workload.models, mapping, offered_rates=preset.offered_rates
+        )
+        assert (result.rates > 0).all()
+        # Rates never exceed the application's demand.
+        for rate, offered in zip(result.rates, preset.offered_rates):
+            assert rate <= offered + 1e-9

@@ -1,0 +1,135 @@
+"""Workload and generator tests, including mapping-validity properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import MODEL_NAMES, build_model
+from repro.workloads import Workload, WorkloadGenerator, random_contiguous_mapping
+
+
+class TestWorkload:
+    def test_from_names(self):
+        workload = Workload.from_names(["alexnet", "vgg19"])
+        assert workload.num_dnns == 2
+        assert workload.model_names == ("alexnet", "vgg19")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Workload([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Workload.from_names(["alexnet", "alexnet"])
+
+    def test_total_layers(self):
+        workload = Workload.from_names(["alexnet", "vgg19"])
+        assert workload.total_layers == 8 + 19
+
+    def test_total_weight_bytes(self):
+        workload = Workload.from_names(["alexnet", "squeezenet"])
+        expected = (
+            build_model("alexnet").total_weight_bytes
+            + build_model("squeezenet").total_weight_bytes
+        )
+        assert workload.total_weight_bytes == expected
+
+    def test_iteration_and_indexing(self):
+        workload = Workload.from_names(["alexnet", "vgg19"])
+        assert len(workload) == 2
+        assert workload[1].name == "vgg19"
+        assert [model.name for model in workload] == ["alexnet", "vgg19"]
+
+    def test_default_name(self):
+        workload = Workload.from_names(["alexnet", "vgg19"])
+        assert workload.name == "alexnet+vgg19"
+
+
+class TestRandomContiguousMapping:
+    def test_valid_for_mix(self):
+        models = Workload.from_names(["alexnet", "vgg19", "mobilenet"]).models
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            mapping = random_contiguous_mapping(models, 3, rng)
+            mapping.validate(models, 3)
+            assert mapping.max_stages <= 3
+
+    def test_max_stages_parameter(self):
+        models = Workload.from_names(["vgg19"]).models
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            mapping = random_contiguous_mapping(models, 3, rng, max_stages=2)
+            assert mapping.max_stages <= 2
+
+    def test_single_device_platform(self):
+        models = Workload.from_names(["alexnet"]).models
+        mapping = random_contiguous_mapping(models, 1, np.random.default_rng(0))
+        assert set(mapping.assignments[0]) == {0}
+
+    def test_stages_use_distinct_devices(self):
+        models = Workload.from_names(["vgg19"]).models
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            mapping = random_contiguous_mapping(models, 3, rng)
+            stages = mapping.stages(0)
+            devices = [stage.device_id for stage in stages]
+            assert len(devices) == len(set(devices))
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_always_valid_property(self, seed):
+        models = Workload.from_names(["resnet101", "squeezenet"]).models
+        rng = np.random.default_rng(seed)
+        mapping = random_contiguous_mapping(models, 3, rng)
+        mapping.validate(models, 3)
+        assert 1 <= mapping.max_stages <= 3
+
+
+class TestWorkloadGenerator:
+    def test_mix_sizes_respected(self):
+        generator = WorkloadGenerator(seed=0)
+        for size in (1, 3, 5):
+            assert generator.sample_mix(size).num_dnns == size
+
+    def test_invalid_size_rejected(self):
+        generator = WorkloadGenerator(seed=0)
+        with pytest.raises(ValueError):
+            generator.sample_mix(0)
+        with pytest.raises(ValueError):
+            generator.sample_mix(len(MODEL_NAMES) + 1)
+
+    def test_weight_budget_respected(self):
+        generator = WorkloadGenerator(seed=0, max_total_weight_bytes=1.2e9)
+        for _ in range(30):
+            mix = generator.sample_mix(4)
+            assert mix.total_weight_bytes <= 1.2e9
+
+    def test_impossible_budget_raises(self):
+        generator = WorkloadGenerator(seed=0, max_total_weight_bytes=1.0)
+        with pytest.raises(RuntimeError, match="feasible"):
+            generator.sample_mix(3)
+
+    def test_determinism_by_seed(self):
+        names_a = [WorkloadGenerator(seed=9).sample_mix(4).model_names for _ in (1,)]
+        names_b = [WorkloadGenerator(seed=9).sample_mix(4).model_names for _ in (1,)]
+        assert names_a == names_b
+
+    def test_sample_mixes_sizes_from_menu(self):
+        generator = WorkloadGenerator(seed=3)
+        mixes = generator.sample_mixes(20, sizes=(2, 3))
+        assert all(mix.num_dnns in (2, 3) for mix in mixes)
+
+    def test_training_pairs_align(self):
+        generator = WorkloadGenerator(seed=3)
+        pairs = generator.sample_training_pairs(10)
+        for workload, mapping in pairs:
+            mapping.validate(workload.models, 3)
+
+    def test_empty_model_pool_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            WorkloadGenerator(model_names=[])
+
+    def test_invalid_device_count_rejected(self):
+        with pytest.raises(ValueError, match="num_devices"):
+            WorkloadGenerator(num_devices=0)
