@@ -1,0 +1,139 @@
+"""PERF-BATCH -- wall-clock of the batched evaluation subsystem.
+
+The paper budgets 500 estimator queries per scheduling decision
+(Section V-B); this bench measures what the batched evaluation path
+and the MCTS transposition cache buy on exactly that workload shape,
+against the unbatched/uncached sequential path the seed implemented
+(``eval_batch_size=1``, ``use_eval_cache=False``; batch size 1 is
+still the default, the cache now defaults on because it is
+result-identical for the deterministic estimator).
+
+Three measurements:
+
+* a 500-query random search, sequential vs. batched estimator calls
+  (pure vectorization win, no cache effects);
+* a 500-budget MCTS on a small mix whose rollouts revisit leaves
+  often, unbatched/uncached vs. batched+cached (vectorization + the
+  transposition cache);
+* a 500-budget MCTS on a paper-scale 4-DNN mix, reported for context
+  (rollout bookkeeping, not evaluation, dominates there, so the
+  speedup is real but smaller).
+
+The >= 2x acceptance gate applies to the first two.
+"""
+
+import time
+
+from repro import Workload
+from repro.core import MCTSConfig, OmniBoostScheduler, RandomSearchScheduler
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_perf_batched_random_search(benchmark, paper_system):
+    """500 estimator queries, scalar loop vs. vectorized chunks."""
+    estimator = paper_system.estimator
+    mix = Workload.from_names(["vgg19", "resnet50", "mobilenet", "alexnet"])
+    sequential = RandomSearchScheduler(
+        estimator, num_samples=500, seed=7, eval_batch_size=1
+    )
+    batched = RandomSearchScheduler(
+        estimator, num_samples=500, seed=7, eval_batch_size=64
+    )
+    sequential.schedule(mix)  # warm-up: BLAS init, allocator, caches
+
+    def run():
+        sequential_s, slow = _timed(lambda: sequential.schedule(mix))
+        batched_s, fast = _timed(lambda: batched.schedule(mix))
+        return sequential_s, batched_s, slow, fast
+
+    sequential_s, batched_s, slow, fast = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    speedup = sequential_s / batched_s
+    print(
+        f"\n[PERF-BATCH] random search, 500 queries: "
+        f"sequential {sequential_s:.2f}s, batched {batched_s:.2f}s "
+        f"({speedup:.2f}x)"
+    )
+    # Identical search, identical accounting -- only the clock moves.
+    assert fast.mapping == slow.mapping
+    assert fast.cost["estimator_queries"] == 500
+    assert speedup >= 2.0
+
+
+def test_perf_batched_cached_mcts(benchmark, paper_system):
+    """The paper's 500-iteration MCTS through the batched+cached path."""
+    estimator = paper_system.estimator
+    mix = Workload.from_names(["alexnet"])
+    unbatched = OmniBoostScheduler(
+        estimator,
+        config=MCTSConfig(
+            budget=500, seed=5, eval_batch_size=1, use_eval_cache=False
+        ),
+    )
+    batched = OmniBoostScheduler(
+        estimator,
+        config=MCTSConfig(
+            budget=500, seed=5, eval_batch_size=32, use_eval_cache=True
+        ),
+    )
+    unbatched.schedule(mix)  # warm-up
+
+    def run():
+        unbatched_s, _ = _timed(lambda: unbatched.schedule(mix))
+        batched_s, _ = _timed(lambda: batched.schedule(mix))
+        return unbatched_s, batched_s
+
+    unbatched_s, batched_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = batched.last_result
+    speedup = unbatched_s / batched_s
+    print(
+        f"\n[PERF-BATCH] MCTS budget=500 on {mix.name}: "
+        f"unbatched {unbatched_s:.2f}s, batched+cached {batched_s:.2f}s "
+        f"({speedup:.2f}x); cache {result.cache_hits} hits / "
+        f"{result.cache_misses} misses in {result.eval_batches} batches"
+    )
+    # The cache accounting must reconcile with the budget.
+    assert result.evaluations == result.cache_hits + result.cache_misses
+    assert result.evaluations + result.losing_rollouts == 500
+    assert result.cache_hits > 0
+    assert speedup >= 2.0
+
+
+def test_perf_batched_mcts_paper_mix(benchmark, paper_system):
+    """Context: a 4-DNN paper-scale mix, where rollout bookkeeping
+    (selection/expansion/playout Python) bounds the achievable win."""
+    estimator = paper_system.estimator
+    mix = Workload.from_names(["vgg19", "resnet50", "mobilenet", "alexnet"])
+    unbatched = OmniBoostScheduler(
+        estimator,
+        config=MCTSConfig(
+            budget=500, seed=5, eval_batch_size=1, use_eval_cache=False
+        ),
+    )
+    batched = OmniBoostScheduler(
+        estimator,
+        config=MCTSConfig(
+            budget=500, seed=5, eval_batch_size=32, use_eval_cache=True
+        ),
+    )
+    unbatched.schedule(mix)  # warm-up
+
+    def run():
+        unbatched_s, _ = _timed(lambda: unbatched.schedule(mix))
+        batched_s, _ = _timed(lambda: batched.schedule(mix))
+        return unbatched_s, batched_s
+
+    unbatched_s, batched_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = unbatched_s / batched_s
+    print(
+        f"\n[PERF-BATCH] MCTS budget=500 on 4-DNN mix: "
+        f"unbatched {unbatched_s:.2f}s, batched {batched_s:.2f}s "
+        f"({speedup:.2f}x)"
+    )
+    assert speedup >= 1.2

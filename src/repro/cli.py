@@ -118,12 +118,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
+    from .core import MCTSConfig
+
     mix = Workload.from_names(args.mix)
     use_checkpoint = bool(args.checkpoint) and os.path.exists(args.checkpoint)
     system = build_system(
         num_training_samples=args.samples,
         epochs=args.epochs,
         train=not use_checkpoint,
+        mcts_config=MCTSConfig(
+            seed=args.seed + 5,
+            eval_batch_size=args.eval_batch_size,
+            use_eval_cache=not args.no_eval_cache,
+        ),
         seed=args.seed,
     )
     if use_checkpoint:
@@ -148,6 +155,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         format_table(
             ["scheduler", "T (inf/s)", "normalized", "board decision (s)"], rows
         )
+    )
+    cache_hits = system.omniboost.last_result.cache_hits
+    cache_misses = system.omniboost.last_result.cache_misses
+    print(
+        f"OmniBoost eval cache: {cache_hits} hits / {cache_misses} misses "
+        f"(batch size {args.eval_batch_size})"
     )
     return 0
 
@@ -214,7 +227,11 @@ def _cmd_power(args: argparse.Namespace) -> int:
     ):
         scheduler = OmniBoostScheduler(
             system.estimator,
-            config=MCTSConfig(seed=args.seed + 5),
+            config=MCTSConfig(
+                seed=args.seed + 5,
+                eval_batch_size=args.eval_batch_size,
+                use_eval_cache=not args.no_eval_cache,
+            ),
             objective=objective,
         )
         decision = scheduler.schedule(mix)
@@ -230,6 +247,15 @@ def _cmd_power(args: argparse.Namespace) -> int:
         )
     print(format_table(["objective", "T (inf/s)", "power (W)", "inf/J"], rows))
     return 0
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -262,6 +288,19 @@ def build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--samples", type=int, default=300)
     schedule.add_argument("--epochs", type=int, default=25)
     schedule.add_argument("--seed", type=int, default=0)
+    schedule.add_argument(
+        "--eval-batch-size",
+        type=_positive_int,
+        default=1,
+        help="MCTS rollouts scored per vectorized estimator call "
+        "(1 = the paper's sequential semantics)",
+    )
+    schedule.add_argument(
+        "--no-eval-cache",
+        action="store_true",
+        help="disable the MCTS transposition cache (re-query repeated "
+        "rollout leaves)",
+    )
     schedule.set_defaults(fn=_cmd_schedule)
 
     motivate = sub.add_parser("motivate", help="run the Fig.-1 sweep")
@@ -280,6 +319,8 @@ def build_parser() -> argparse.ArgumentParser:
     power.add_argument("--samples", type=int, default=300)
     power.add_argument("--epochs", type=int, default=25)
     power.add_argument("--seed", type=int, default=0)
+    power.add_argument("--eval-batch-size", type=_positive_int, default=1)
+    power.add_argument("--no-eval-cache", action="store_true")
     power.set_defaults(fn=_cmd_power)
     return parser
 

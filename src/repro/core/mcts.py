@@ -11,8 +11,8 @@ The classic four phases under a fixed computational budget:
 4. **Back-propagation** -- the reward updates visit counts and value
    sums along the path.
 
-The budget is the number of iterations (== estimator queries for
-winning rollouts); the paper uses 500 with search depth 100.  The
+The budget is the number of iterations (== scored rollouts for
+winning trajectories); the paper uses 500 with search depth 100.  The
 depth parameter caps how deep the *tree* may grow (nodes past it are
 evaluated by rollout only); rollouts themselves always play to a
 terminal state, otherwise mixes with more total layers than the depth
@@ -20,13 +20,32 @@ cap could never be scheduled.  The
 search keeps the best complete trajectory seen anywhere and returns
 its mapping -- the paper's "candidate state with the highest expected
 reward".
+
+Two run-time optimizations sit on top of the classic loop, both
+*result*-neutral for deterministic evaluators:
+
+* a **transposition cache** (on by default) keyed by the canonical
+  mapping (mappings are value objects) short-circuits repeated
+  rollout leaves so the estimator is queried once per distinct
+  mapping -- rewards, tree statistics and the returned elite are
+  identical to re-querying, but actual query counts drop (the
+  ``MCTSResult`` counters record both views);
+* **micro-batched evaluation** (``MCTSConfig.eval_batch_size``)
+  defers winning rollouts and scores several leaves in one vectorized
+  estimator call.  Deferred rollouts post a *virtual visit* along
+  their path (the classic virtual-loss trick) so UCT selection keeps
+  diversifying inside a micro-batch; rewards are backed up when the
+  batch is flushed.  At the default ``eval_batch_size=1`` every
+  rollout flushes immediately and the search is step-for-step
+  identical to the paper's sequential loop, including the seeded RNG
+  stream.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +56,10 @@ __all__ = ["MCTSConfig", "MCTSResult", "MCTSNode", "MonteCarloTreeSearch"]
 
 #: An evaluation function: complete mapping -> scalar reward.
 RewardFn = Callable[[Mapping], float]
+
+#: A vectorized evaluation function: mappings -> rewards, one batched
+#: estimator forward instead of ``len(mappings)`` scalar queries.
+RewardBatchFn = Callable[[Sequence[Mapping]], Sequence[float]]
 
 
 @dataclass(frozen=True)
@@ -50,6 +73,15 @@ class MCTSConfig:
     highest-reward trajectory seen anywhere, ``"mean-descent"`` walks
     the tree by expected reward first (a winner's-curse guard when the
     evaluator is noisy) and returns that subtree's best trajectory.
+
+    ``eval_batch_size`` collects that many distinct winning rollouts
+    before scoring them in one vectorized evaluator call; the default
+    of 1 preserves the paper's strictly sequential semantics (and the
+    exact seeded trajectory).  ``use_eval_cache`` enables the
+    transposition cache over rollout leaves; with a deterministic
+    evaluator the cache is result-identical and only saves queries, so
+    it defaults to on.  Disable it for noisy evaluators where every
+    rollout should draw a fresh sample.
     """
 
     budget: int = 500
@@ -58,6 +90,8 @@ class MCTSConfig:
     rollout_stay_prob: float = 0.85
     elite: str = "max"
     seed: int = 0
+    eval_batch_size: int = 1
+    use_eval_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.budget < 1:
@@ -73,6 +107,10 @@ class MCTSConfig:
         if self.elite not in ("max", "mean-descent"):
             raise ValueError(
                 f"elite must be 'max' or 'mean-descent', got {self.elite!r}"
+            )
+        if self.eval_batch_size < 1:
+            raise ValueError(
+                f"eval_batch_size must be >= 1, got {self.eval_batch_size}"
             )
 
 
@@ -161,8 +199,15 @@ class MCTSResult:
 
     ``mapping`` is the elite trajectory's mapping; ``reward`` its
     estimator score.  ``iterations`` counts MCTS iterations,
-    ``evaluations`` the estimator queries (losing rollouts cost none),
-    ``losing_rollouts`` how many rollouts died on the stage cap.
+    ``evaluations`` the scored winning rollouts (losing rollouts cost
+    none), ``losing_rollouts`` how many rollouts died on the stage
+    cap.  Scored rollouts split into ``cache_misses`` (actual
+    evaluator queries) and ``cache_hits`` (rewards served by the
+    transposition cache, costing no query):
+    ``evaluations == cache_hits + cache_misses`` always, and with the
+    cache disabled every evaluation is a miss.  ``eval_batches``
+    counts vectorized evaluator calls (== ``cache_misses`` when
+    ``eval_batch_size`` is 1).
 
     ``improvements`` records the search's *anytime* behaviour: one
     ``(iteration, reward, mapping)`` entry each time the incumbent
@@ -171,7 +216,10 @@ class MCTSResult:
     depend on the budget, a search with budget ``B`` and the same seed
     is exactly the first ``B`` iterations of a longer search -- so
     :meth:`incumbent_at` reproduces what any smaller budget would have
-    returned, and incumbent reward is monotone in the budget.
+    returned, and incumbent reward is monotone in the budget.  (The
+    prefix property is exact at ``eval_batch_size=1``; larger batches
+    flush the final partial batch at the budget end, so the tail may
+    differ between budgets.)
     """
 
     mapping: Mapping
@@ -182,6 +230,9 @@ class MCTSResult:
     root_visits: int
     rewards_seen: List[float] = field(default_factory=list)
     improvements: List[Tuple[int, float, Mapping]] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    eval_batches: int = 0
 
     def incumbent_at(self, iteration: int) -> Tuple[Optional[Mapping], float]:
         """Best (mapping, reward) after the first ``iteration`` iterations.
@@ -208,9 +259,11 @@ class MonteCarloTreeSearch:
         env: SchedulingEnv,
         reward_fn: RewardFn,
         config: Optional[MCTSConfig] = None,
+        reward_batch_fn: Optional[RewardBatchFn] = None,
     ) -> None:
         self.env = env
         self.reward_fn = reward_fn
+        self.reward_batch_fn = reward_batch_fn
         self.config = config or MCTSConfig()
         self.rng = np.random.default_rng(self.config.seed)
         self._reward_low = math.inf
@@ -222,18 +275,72 @@ class MonteCarloTreeSearch:
     def search(self) -> MCTSResult:
         """Run the budgeted search and return the elite mapping."""
         env = self.env
+        config = self.config
         root_state = env.reset()
         root = MCTSNode(root_state, None, None, env.legal_actions(root_state))
         best_mapping: Optional[Mapping] = None
         best_reward = -math.inf
         evaluations = 0
         losing = 0
+        cache_hits = 0
+        cache_misses = 0
+        eval_batches = 0
         rewards_seen: List[float] = []
         improvements: List[Tuple[int, float, Mapping]] = []
         self._reward_low = math.inf
         self._reward_high = -math.inf
 
-        for iteration in range(1, self.config.budget + 1):
+        #: Transposition table: canonical mapping -> evaluator reward.
+        cache: Dict[Mapping, float] = {}
+        #: Deferred winning rollouts awaiting one batched evaluation:
+        #: (mapping, [(iteration, leaf node), ...]) in first-seen order.
+        pending: List[Tuple[Mapping, List[Tuple[int, MCTSNode]]]] = []
+        pending_index: Dict[Mapping, int] = {}
+        #: Cache hits observed while a batch is open; settled together
+        #: with the batch so improvements stay in iteration order.
+        resolved: List[Tuple[int, MCTSNode, Mapping, float]] = []
+
+        def settle(
+            iteration: int, node: MCTSNode, mapping: Mapping, reward: float
+        ) -> None:
+            """Account one scored rollout whose visits are already posted."""
+            nonlocal evaluations, best_mapping, best_reward
+            evaluations += 1
+            rewards_seen.append(reward)
+            self._reward_low = min(self._reward_low, reward)
+            self._reward_high = max(self._reward_high, reward)
+            if reward > best_reward:
+                best_reward = reward
+                best_mapping = mapping
+                improvements.append((iteration, reward, mapping))
+            walk: Optional[MCTSNode] = node
+            while walk is not None:
+                walk.value_sum += reward
+                if reward > walk.best_reward:
+                    walk.best_reward = reward
+                    walk.best_mapping = mapping
+                walk = walk.parent
+
+        def flush() -> None:
+            """Score the open micro-batch and settle it in iteration order."""
+            nonlocal eval_batches
+            entries = list(resolved)
+            resolved.clear()
+            if pending:
+                eval_batches += 1
+                rewards = self._evaluate_batch([m for m, _ in pending])
+                for (mapping, waiters), reward in zip(pending, rewards):
+                    if config.use_eval_cache:
+                        cache[mapping] = reward
+                    for when, waiter in waiters:
+                        entries.append((when, waiter, mapping, reward))
+                pending.clear()
+                pending_index.clear()
+            entries.sort(key=lambda entry: entry[0])
+            for when, waiter, mapping, reward in entries:
+                settle(when, waiter, mapping, reward)
+
+        for iteration in range(1, config.budget + 1):
             node = self._select(root)
             node = self._expand(node)
             final_state = self._rollout(node.state)
@@ -241,21 +348,35 @@ class MonteCarloTreeSearch:
             # decision opens a cap-breaking stage); losing dominates.
             if env.is_complete(final_state) and not env.is_losing(final_state):
                 mapping = env.mapping(final_state)
-                reward = self.reward_fn(mapping)
-                evaluations += 1
-                rewards_seen.append(reward)
-                self._reward_low = min(self._reward_low, reward)
-                self._reward_high = max(self._reward_high, reward)
-                if reward > best_reward:
-                    best_reward = reward
-                    best_mapping = mapping
-                    improvements.append((iteration, reward, mapping))
-                self._backpropagate(node, reward, mapping)
+                self._post_virtual_visit(node)
+                if config.use_eval_cache and mapping in cache:
+                    cache_hits += 1
+                    if pending:
+                        resolved.append(
+                            (iteration, node, mapping, cache[mapping])
+                        )
+                    else:
+                        settle(iteration, node, mapping, cache[mapping])
+                elif config.use_eval_cache and mapping in pending_index:
+                    # Same leaf twice inside one micro-batch: attach the
+                    # rollout to the queued query instead of re-asking.
+                    cache_hits += 1
+                    pending[pending_index[mapping]][1].append(
+                        (iteration, node)
+                    )
+                else:
+                    cache_misses += 1
+                    if config.use_eval_cache:
+                        pending_index[mapping] = len(pending)
+                    pending.append((mapping, [(iteration, node)]))
+                    if len(pending) >= config.eval_batch_size:
+                        flush()
             else:
                 reward = LOSS_REWARD
                 losing += 1
                 self._reward_low = min(self._reward_low, reward)
                 self._backpropagate(node, reward, None)
+        flush()
 
         if self.config.elite == "mean-descent":
             elite_mapping, elite_reward = self._extract_elite(root)
@@ -280,7 +401,16 @@ class MonteCarloTreeSearch:
             root_visits=root.visits,
             rewards_seen=rewards_seen,
             improvements=improvements,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            eval_batches=eval_batches,
         )
+
+    def _evaluate_batch(self, mappings: Sequence[Mapping]) -> List[float]:
+        """Score a micro-batch, vectorized when a batch fn is wired."""
+        if self.reward_batch_fn is not None:
+            return [float(value) for value in self.reward_batch_fn(mappings)]
+        return [float(self.reward_fn(mapping)) for mapping in mappings]
 
     # ------------------------------------------------------------------
     # Phases
@@ -344,6 +474,20 @@ class MonteCarloTreeSearch:
                 action = actions[int(self.rng.integers(len(actions)))]
             state = env.step(state, action)
         return state
+
+    @staticmethod
+    def _post_virtual_visit(node: Optional[MCTSNode]) -> None:
+        """Count a deferred rollout's visit along its path (virtual loss).
+
+        Deferred rollouts post their visit immediately and their value
+        at flush time (:func:`settle` adds ``value_sum`` only).  Inside
+        an open micro-batch the extra visits depress the pending path's
+        UCT score, steering subsequent selections elsewhere -- without
+        them every iteration of a batch would descend to the same leaf.
+        """
+        while node is not None:
+            node.visits += 1
+            node = node.parent
 
     @staticmethod
     def _backpropagate(

@@ -23,7 +23,7 @@ time, and report their query counts for the runtime accounting.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,7 +43,17 @@ __all__ = [
 
 
 class RandomSearchScheduler(Scheduler):
-    """Best-of-N random mappings under the estimator."""
+    """Best-of-N random mappings under the estimator.
+
+    Candidates are scored through the estimator's vectorized batch
+    path in chunks of ``eval_batch_size``.  Sampling order and query
+    accounting are identical to the scalar one-query-per-candidate
+    loop, and the fold keeps the *first* candidate attaining the best
+    reward, matching the sequential strict-improve rule -- so the
+    returned mapping matches up to float32 batch-shape rounding
+    (~1e-7 in the rewards; only an exact near-tie could pick a
+    different winner).
+    """
 
     name = "RandomSearch"
 
@@ -53,28 +63,33 @@ class RandomSearchScheduler(Scheduler):
         num_samples: int = 500,
         max_stages: Optional[int] = None,
         seed: int = 0,
+        eval_batch_size: int = 64,
     ) -> None:
         if num_samples < 1:
             raise ValueError(f"num_samples must be >= 1, got {num_samples}")
+        if eval_batch_size < 1:
+            raise ValueError(
+                f"eval_batch_size must be >= 1, got {eval_batch_size}"
+            )
         self.estimator = estimator
         self.num_samples = num_samples
         self.max_stages = max_stages
         self.seed = seed
+        self.eval_batch_size = eval_batch_size
 
     def _decide(self, workload: Workload) -> ScheduleDecision:
         rng = np.random.default_rng(self.seed)
         num_devices = self.estimator.embedding.num_devices
         queries_before = self.estimator.query_count
-        best_mapping: Optional[Mapping] = None
-        best_reward = -np.inf
-        for _ in range(self.num_samples):
-            mapping = random_contiguous_mapping(
+        candidates = [
+            random_contiguous_mapping(
                 workload.models, num_devices, rng, max_stages=self.max_stages
             )
-            reward = self.estimator.reward(workload, mapping)
-            if reward > best_reward:
-                best_reward = reward
-                best_mapping = mapping
+            for _ in range(self.num_samples)
+        ]
+        best_mapping, best_reward = _best_of_batched(
+            self.estimator, workload, candidates, self.eval_batch_size
+        )
         assert best_mapping is not None  # num_samples >= 1
         return ScheduleDecision(
             mapping=best_mapping,
@@ -86,6 +101,27 @@ class RandomSearchScheduler(Scheduler):
                 )
             },
         )
+
+
+def _best_of_batched(
+    estimator: ThroughputEstimator,
+    workload: Workload,
+    candidates: Sequence[Mapping],
+    eval_batch_size: int,
+    best_mapping: Optional[Mapping] = None,
+    best_reward: float = -np.inf,
+) -> Tuple[Optional[Mapping], float]:
+    """Fold batched rewards into a running best (first-max tie-break)."""
+    for start in range(0, len(candidates), eval_batch_size):
+        chunk = candidates[start : start + eval_batch_size]
+        rewards = estimator.reward_batch(
+            [(workload, mapping) for mapping in chunk]
+        )
+        index = int(np.argmax(rewards))
+        if rewards[index] > best_reward:
+            best_mapping = chunk[index]
+            best_reward = float(rewards[index])
+    return best_mapping, best_reward
 
 
 def _candidate_rows(
@@ -127,15 +163,21 @@ class GreedyImprovementScheduler(Scheduler):
         start_device: int = 0,
         splits_per_pair: int = 3,
         passes: int = 2,
+        eval_batch_size: int = 64,
     ) -> None:
         if splits_per_pair < 1:
             raise ValueError(f"splits_per_pair must be >= 1, got {splits_per_pair}")
         if passes < 1:
             raise ValueError(f"passes must be >= 1, got {passes}")
+        if eval_batch_size < 1:
+            raise ValueError(
+                f"eval_batch_size must be >= 1, got {eval_batch_size}"
+            )
         self.estimator = estimator
         self.start_device = start_device
         self.splits_per_pair = splits_per_pair
         self.passes = passes
+        self.eval_batch_size = eval_batch_size
 
     def _decide(self, workload: Workload) -> ScheduleDecision:
         num_devices = self.estimator.embedding.num_devices
@@ -147,19 +189,34 @@ class GreedyImprovementScheduler(Scheduler):
         for _ in range(self.passes):
             improved = False
             for dnn_index, model in enumerate(workload.models):
-                candidates = _candidate_rows(
-                    model.num_layers, num_devices, self.splits_per_pair
-                )
+                # One DNN's whole candidate menu shares the other DNNs'
+                # current rows, so the scan is a pure argmax over trial
+                # mappings -- batched here.  The sequential
+                # strict-improve scan also ends on the first candidate
+                # attaining the scan maximum, so the accepted row is
+                # the same (up to float32 batch rounding); the only
+                # divergence is that the old loop could waste one query
+                # re-scoring the pre-scan row after an early acceptance,
+                # which this filter always skips.
+                candidates = [
+                    candidate
+                    for candidate in _candidate_rows(
+                        model.num_layers, num_devices, self.splits_per_pair
+                    )
+                    if candidate != rows[dnn_index]
+                ]
+                trials = []
                 for candidate in candidates:
-                    if candidate == rows[dnn_index]:
-                        continue
                     trial = list(rows)
                     trial[dnn_index] = candidate
-                    reward = self.estimator.reward(workload, Mapping(trial))
-                    if reward > best_reward:
-                        best_reward = reward
-                        rows = trial
-                        improved = True
+                    trials.append(Mapping(trial))
+                trial_best, trial_reward = _best_of_batched(
+                    self.estimator, workload, trials, self.eval_batch_size
+                )
+                if trial_best is not None and trial_reward > best_reward:
+                    best_reward = trial_reward
+                    rows = list(trial_best.assignments)
+                    improved = True
             if not improved:
                 break
         return ScheduleDecision(
@@ -296,38 +353,25 @@ class ExhaustiveSearchScheduler(Scheduler):
 
     name = "Exhaustive"
 
-    #: Mappings per vectorized estimator call.
-    _batch_size = 128
-
     def __init__(
         self,
         estimator: ThroughputEstimator,
         max_stages: Optional[int] = None,
         max_evaluations: int = 200_000,
+        eval_batch_size: int = 128,
     ) -> None:
         if max_evaluations < 1:
             raise ValueError(
                 f"max_evaluations must be >= 1, got {max_evaluations}"
             )
+        if eval_batch_size < 1:
+            raise ValueError(
+                f"eval_batch_size must be >= 1, got {eval_batch_size}"
+            )
         self.estimator = estimator
         self.max_stages = max_stages
         self.max_evaluations = max_evaluations
-
-    def _fold_chunk(
-        self,
-        workload: Workload,
-        chunk: List[Mapping],
-        best_mapping: Optional[Mapping],
-        best_reward: float,
-    ) -> Tuple[Optional[Mapping], float]:
-        """Score one batch and fold it into the running best."""
-        rewards = self.estimator.reward_batch(
-            [(workload, mapping) for mapping in chunk]
-        )
-        index = int(np.argmax(rewards))
-        if rewards[index] > best_reward:
-            return chunk[index], float(rewards[index])
-        return best_mapping, best_reward
+        self.eval_batch_size = eval_batch_size
 
     def _decide(self, workload: Workload) -> ScheduleDecision:
         num_devices = self.estimator.embedding.num_devices
@@ -357,14 +401,24 @@ class ExhaustiveSearchScheduler(Scheduler):
         chunk: List[Mapping] = []
         for rows in itertools.product(*per_dnn):
             chunk.append(Mapping([list(row) for row in rows]))
-            if len(chunk) == self._batch_size:
-                best_mapping, best_reward = self._fold_chunk(
-                    workload, chunk, best_mapping, best_reward
+            if len(chunk) == self.eval_batch_size:
+                best_mapping, best_reward = _best_of_batched(
+                    self.estimator,
+                    workload,
+                    chunk,
+                    self.eval_batch_size,
+                    best_mapping,
+                    best_reward,
                 )
                 chunk = []
         if chunk:
-            best_mapping, best_reward = self._fold_chunk(
-                workload, chunk, best_mapping, best_reward
+            best_mapping, best_reward = _best_of_batched(
+                self.estimator,
+                workload,
+                chunk,
+                self.eval_batch_size,
+                best_mapping,
+                best_reward,
             )
         assert best_mapping is not None  # space >= 1 always
         return ScheduleDecision(

@@ -208,6 +208,36 @@ class TestGA:
         ).schedule(mix)
         assert long.expected_score >= short.expected_score
 
+    def test_estimate_batch_matches_scalar(self, cost_model, mix):
+        import numpy as np
+
+        from repro.workloads.generator import random_contiguous_mapping
+
+        rng = np.random.default_rng(4)
+        mappings = [
+            random_contiguous_mapping(mix.models, 3, rng) for _ in range(10)
+        ]
+        batched = cost_model.estimate_batch(mix, mappings)
+        scalar = [cost_model.estimate(mix, mapping) for mapping in mappings]
+        assert batched.shape == (10,)
+        assert list(batched) == scalar
+
+    def test_fitness_cache_is_result_neutral(self, cost_model, mix):
+        config = GAConfig(population_size=8, generations=6, seed=3)
+        plain = GeneticScheduler(cost_model, config).schedule(mix)
+        cached_scheduler = GeneticScheduler(
+            cost_model, config, cache_fitness=True
+        )
+        cached = cached_scheduler.schedule(mix)
+        assert cached.mapping == plain.mapping
+        assert cached.expected_score == plain.expected_score
+        # Elites survive every generation, so memoization must save
+        # re-pricings -- and the honest counter reflects only the
+        # distinct evaluations performed.
+        assert cached.cost["fitness_evaluations"] < plain.cost[
+            "fitness_evaluations"
+        ]
+
     def test_static_model_ignores_thrash(self, cost_model):
         """The GA's belief for a heavy GPU-only mapping must be far
         more optimistic than the board's measured outcome -- that bias

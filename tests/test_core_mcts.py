@@ -125,6 +125,148 @@ class TestMechanics:
             assert result.reward == LOSS_REWARD
 
 
+class TestTranspositionCache:
+    def _tabled_reward(self, seed, counter=None):
+        rng = np.random.default_rng(seed)
+        table = {}
+
+        def reward(mapping):
+            if counter is not None:
+                counter[mapping] = counter.get(mapping, 0) + 1
+            if mapping not in table:
+                table[mapping] = float(rng.uniform())
+            return table[mapping]
+
+        return reward
+
+    def test_hit_miss_counters_partition_evaluations(self, tiny_env):
+        result = MonteCarloTreeSearch(
+            tiny_env, constant_reward, MCTSConfig(budget=200, seed=1)
+        ).search()
+        assert result.cache_hits + result.cache_misses == result.evaluations
+        # The tiny single-DNN space guarantees repeated rollout leaves.
+        assert result.cache_hits > 0
+
+    def test_cache_never_requeries_a_mapping(self, tiny_env):
+        counter = {}
+        MonteCarloTreeSearch(
+            tiny_env,
+            self._tabled_reward(3, counter),
+            MCTSConfig(budget=200, seed=1),
+        ).search()
+        assert counter, "search must evaluate at least one mapping"
+        assert max(counter.values()) == 1
+
+    def test_no_cache_parity(self, tiny_env):
+        """With a deterministic evaluator the cache must be invisible:
+        same elite, same reward, same improvement history."""
+        cached = MonteCarloTreeSearch(
+            tiny_env, self._tabled_reward(7), MCTSConfig(budget=150, seed=2)
+        ).search()
+        plain = MonteCarloTreeSearch(
+            tiny_env,
+            self._tabled_reward(7),
+            MCTSConfig(budget=150, seed=2, use_eval_cache=False),
+        ).search()
+        assert cached.mapping == plain.mapping
+        assert cached.reward == plain.reward
+        assert cached.improvements == plain.improvements
+        assert cached.rewards_seen == plain.rewards_seen
+        assert plain.cache_hits == 0
+        assert plain.cache_misses == plain.evaluations
+
+    def test_disabled_cache_requeries(self, tiny_env):
+        counter = {}
+        MonteCarloTreeSearch(
+            tiny_env,
+            self._tabled_reward(3, counter),
+            MCTSConfig(budget=200, seed=1, use_eval_cache=False),
+        ).search()
+        assert max(counter.values()) > 1
+
+
+class TestBatchedEvaluation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MCTSConfig(eval_batch_size=0)
+
+    def test_batch_size_one_is_sequential_semantics(self, tiny_env):
+        """eval_batch_size=1 (the default) must reproduce the exact
+        seeded trajectory of the paper's sequential loop -- including
+        through the vectorized reward path."""
+
+        def reward(mapping):
+            return float(hash(mapping) % 1000) / 1000.0
+
+        def reward_batch(mappings):
+            return [reward(mapping) for mapping in mappings]
+
+        scalar = MonteCarloTreeSearch(
+            tiny_env, reward, MCTSConfig(budget=120, seed=5)
+        ).search()
+        vectorized = MonteCarloTreeSearch(
+            tiny_env,
+            reward,
+            MCTSConfig(budget=120, seed=5),
+            reward_batch_fn=reward_batch,
+        ).search()
+        assert scalar.mapping == vectorized.mapping
+        assert scalar.improvements == vectorized.improvements
+        assert vectorized.eval_batches == vectorized.cache_misses
+
+    def test_batched_search_respects_budget(self, tiny_env):
+        result = MonteCarloTreeSearch(
+            tiny_env,
+            constant_reward,
+            MCTSConfig(budget=100, seed=3, eval_batch_size=16),
+        ).search()
+        assert result.iterations == 100
+        assert result.root_visits == 100
+        assert result.evaluations + result.losing_rollouts == 100
+        assert len(result.rewards_seen) == result.evaluations
+        result.mapping.validate(tiny_env.workload.models, 3)
+
+    def test_batched_improvements_stay_ordered(self, tiny_env):
+        rng = np.random.default_rng(17)
+        table = {}
+
+        def reward(mapping):
+            if mapping not in table:
+                table[mapping] = float(rng.uniform())
+            return table[mapping]
+
+        result = MonteCarloTreeSearch(
+            tiny_env, reward, MCTSConfig(budget=200, seed=8, eval_batch_size=8)
+        ).search()
+        iterations = [when for when, _, _ in result.improvements]
+        rewards = [value for _, value, _ in result.improvements]
+        assert iterations == sorted(iterations)
+        assert all(b > a for a, b in zip(rewards, rewards[1:]))
+        assert result.improvements[-1][1] == result.reward
+
+    def test_batched_uses_fewer_eval_calls(self, tiny_env):
+        result = MonteCarloTreeSearch(
+            tiny_env,
+            constant_reward,
+            MCTSConfig(budget=200, seed=3, eval_batch_size=16),
+        ).search()
+        assert result.eval_batches < result.cache_misses
+        assert result.eval_batches >= result.cache_misses / 16
+
+    def test_batched_deterministic_under_seed(self, tiny_env):
+        def run():
+            return MonteCarloTreeSearch(
+                tiny_env,
+                lambda m: float(hash(m) % 1000) / 1000.0,
+                MCTSConfig(budget=150, seed=4, eval_batch_size=8),
+            ).search()
+
+        first, second = run(), run()
+        assert first.mapping == second.mapping
+        assert first.reward == second.reward
+        assert first.cache_hits == second.cache_hits
+
+
 class TestSearchQuality:
     def test_finds_optimum_of_simple_objective(self):
         """Objective: put every layer on device 2.  MCTS must find it."""

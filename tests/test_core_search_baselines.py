@@ -41,6 +41,20 @@ class TestRandomSearch:
     def test_invalid_config(self, trained_estimator):
         with pytest.raises(ValueError):
             RandomSearchScheduler(trained_estimator, num_samples=0)
+        with pytest.raises(ValueError):
+            RandomSearchScheduler(trained_estimator, eval_batch_size=0)
+
+    def test_batched_matches_sequential(self, trained_estimator, mix):
+        """Chunked vectorized scoring must pick the same mapping as the
+        one-query-per-candidate loop (eval_batch_size=1)."""
+        sequential = RandomSearchScheduler(
+            trained_estimator, num_samples=50, seed=6, eval_batch_size=1
+        ).schedule(mix)
+        batched = RandomSearchScheduler(
+            trained_estimator, num_samples=50, seed=6, eval_batch_size=16
+        ).schedule(mix)
+        assert batched.mapping == sequential.mapping
+        assert batched.cost["estimator_queries"] == 50
 
 
 class TestGreedyImprovement:

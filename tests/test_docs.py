@@ -1,0 +1,102 @@
+"""Documentation checks: code fences parse, cross-references resolve.
+
+The docs CI job runs this module (plus the examples-importable canary)
+so README/docs drift is caught the same way API drift is: every
+``python`` fence must be syntactically valid, fences must be balanced
+and language-tagged, and `file:line` anchors in the architecture doc
+must point inside real files.
+"""
+
+import ast
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+DOC_FILES = sorted(
+    [ROOT / "README.md", ROOT / "PAPER.md", *sorted((ROOT / "docs").glob("*.md"))]
+)
+
+FENCE_RE = re.compile(r"^```(\S*)\s*$")
+
+
+def _fences(path):
+    """Yield (language, first_line_number, code) per fence in a doc."""
+    language = None
+    start = 0
+    body = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        match = FENCE_RE.match(line)
+        if match is None:
+            if language is not None:
+                body.append(line)
+            continue
+        if language is None:
+            language, start, body = match.group(1), number, []
+        else:
+            yield language, start, "\n".join(body)
+            language = None
+    assert language is None, f"{path.name}: unclosed fence opened at line {start}"
+
+
+@pytest.mark.parametrize(
+    "path", DOC_FILES, ids=[str(p.relative_to(ROOT)) for p in DOC_FILES]
+)
+def test_fences_are_tagged_and_parse(path):
+    for language, line, code in _fences(path):
+        assert language, (
+            f"{path.name}:{line}: fence needs a language tag "
+            "(```python, ```bash, ```text, ...)"
+        )
+        if language == "python":
+            try:
+                ast.parse(code)
+            except SyntaxError as error:  # pragma: no cover - failure path
+                pytest.fail(f"{path.name}:{line}: python fence: {error}")
+        elif language == "bash":
+            assert code.strip(), f"{path.name}:{line}: empty bash fence"
+            # Line continuations must not dangle past the fence.
+            assert not code.rstrip().endswith("\\\\"), (
+                f"{path.name}:{line}: trailing continuation"
+            )
+
+
+ANCHOR_RE = re.compile(r"`((?:src|tests|benchmarks|examples|docs)/[\w./]+):(\d+)`")
+PATH_RE = re.compile(r"`((?:src|tests|benchmarks|examples|docs)/[\w./]+\.(?:py|md))`")
+LINK_RE = re.compile(r"\[[^\]]+\]\((?!https?://)([^)#]+)\)")
+
+
+@pytest.mark.parametrize(
+    "path", DOC_FILES, ids=[str(p.relative_to(ROOT)) for p in DOC_FILES]
+)
+def test_file_line_anchors_resolve(path):
+    text = path.read_text()
+    for target, line in ANCHOR_RE.findall(text):
+        file = ROOT / target
+        assert file.is_file(), f"{path.name}: anchor to missing file {target}"
+        total = len(file.read_text().splitlines())
+        assert int(line) <= total, (
+            f"{path.name}: anchor {target}:{line} is past end of file ({total})"
+        )
+
+
+@pytest.mark.parametrize(
+    "path", DOC_FILES, ids=[str(p.relative_to(ROOT)) for p in DOC_FILES]
+)
+def test_referenced_paths_exist(path):
+    text = path.read_text()
+    for target in PATH_RE.findall(text):
+        assert (ROOT / target).is_file(), (
+            f"{path.name}: reference to missing file {target}"
+        )
+    for target in LINK_RE.findall(text):
+        resolved = (path.parent / target).resolve()
+        assert resolved.exists(), f"{path.name}: broken relative link {target}"
+
+
+def test_docs_exist():
+    assert (ROOT / "README.md").is_file()
+    assert (ROOT / "docs" / "architecture.md").is_file()
+    assert (ROOT / "docs" / "examples.md").is_file()
+    assert "## Abstract" in (ROOT / "PAPER.md").read_text()

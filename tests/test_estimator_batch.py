@@ -1,0 +1,128 @@
+"""Batched estimator evaluation: equivalence, accounting, geometry.
+
+The batched path must be a pure wall-clock optimization: stacking N
+masked embedding tensors and running one ResNet9 forward has to give
+the same numbers as N scalar queries, and the query counter has to
+keep the paper's Section V-B accounting intact either way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimator import ThroughputEstimator
+from repro.sim import Mapping
+from repro.workloads import Workload
+from repro.workloads.generator import random_contiguous_mapping
+
+
+@pytest.fixture()
+def estimator(embedding):
+    est = ThroughputEstimator(embedding, rng=np.random.default_rng(3))
+    targets = np.random.default_rng(0).uniform(0.5, 5.0, size=(50, 3))
+    est.target_transform.fit(targets)
+    return est
+
+
+@pytest.fixture()
+def workload():
+    return Workload.from_names(["alexnet", "mobilenet", "squeezenet"])
+
+
+@pytest.fixture()
+def mappings(workload):
+    rng = np.random.default_rng(11)
+    return [
+        random_contiguous_mapping(workload.models, 3, rng) for _ in range(20)
+    ]
+
+
+class TestBatchEquivalence:
+    def test_throughput_batch_matches_sequential(
+        self, estimator, workload, mappings
+    ):
+        """Acceptance: batch of >= 16 within 1e-6 of the scalar loop."""
+        assert len(mappings) >= 16
+        batched = estimator.predict_throughput_batch(
+            [(workload, mapping) for mapping in mappings]
+        )
+        sequential = np.stack(
+            [
+                estimator.predict_throughput(workload, mapping)
+                for mapping in mappings
+            ]
+        )
+        assert batched.shape == (len(mappings), 3)
+        np.testing.assert_allclose(batched, sequential, atol=1e-6, rtol=0)
+
+    def test_reward_batch_matches_sequential(
+        self, estimator, workload, mappings
+    ):
+        batched = estimator.reward_batch(
+            [(workload, mapping) for mapping in mappings]
+        )
+        sequential = np.array(
+            [estimator.reward(workload, mapping) for mapping in mappings]
+        )
+        assert batched.shape == (len(mappings),)
+        np.testing.assert_allclose(batched, sequential, atol=1e-6, rtol=0)
+
+    def test_batch_of_one_matches_scalar(self, estimator, workload, mappings):
+        scalar = estimator.predict_throughput(workload, mappings[0])
+        batch = estimator.predict_throughput_batch([(workload, mappings[0])])
+        np.testing.assert_array_equal(batch[0], scalar)
+
+    def test_mixed_workloads_in_one_batch(self, estimator, mappings):
+        """Pairs may mix different workloads; each row is independent."""
+        mix_a = Workload.from_names(["alexnet", "mobilenet", "squeezenet"])
+        mix_b = Workload.from_names(["alexnet"])
+        mapping_b = Mapping.single_device(mix_b.models, 1)
+        batched = estimator.predict_throughput_batch(
+            [(mix_a, mappings[0]), (mix_b, mapping_b)]
+        )
+        # float32 BLAS may pick different accumulation orders per batch
+        # shape, so equivalence is to tolerance, not bitwise.
+        np.testing.assert_allclose(
+            batched[1],
+            estimator.predict_throughput(mix_b, mapping_b),
+            atol=1e-6,
+            rtol=0,
+        )
+
+
+class TestQueryAccounting:
+    def test_batch_counts_every_pair(self, estimator, workload, mappings):
+        estimator.reset_query_count()
+        estimator.predict_throughput_batch(
+            [(workload, mapping) for mapping in mappings]
+        )
+        assert estimator.query_count == len(mappings)
+
+    def test_reward_batch_counts_every_pair(
+        self, estimator, workload, mappings
+    ):
+        estimator.reset_query_count()
+        estimator.reward_batch([(workload, mapping) for mapping in mappings])
+        assert estimator.query_count == len(mappings)
+
+    def test_sequential_and_batched_accounting_agree(
+        self, estimator, workload, mappings
+    ):
+        estimator.reset_query_count()
+        for mapping in mappings:
+            estimator.reward(workload, mapping)
+        sequential = estimator.reset_query_count()
+        estimator.reward_batch([(workload, mapping) for mapping in mappings])
+        assert estimator.reset_query_count() == sequential
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self, estimator):
+        with pytest.raises(ValueError, match="at least one pair"):
+            estimator.predict_throughput_batch([])
+
+    def test_requires_fitted_transform(self, embedding, workload, mappings):
+        untrained = ThroughputEstimator(
+            embedding, rng=np.random.default_rng(3)
+        )
+        with pytest.raises(RuntimeError, match="before fit"):
+            untrained.predict_throughput_batch([(workload, mappings[0])])
