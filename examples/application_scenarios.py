@@ -12,7 +12,7 @@ import argparse
 
 import numpy as np
 
-from repro import build_system
+from repro import SchedulingService, SystemBuilder
 from repro.evaluation import format_table
 from repro.workloads import SCENARIOS, scenario
 
@@ -29,20 +29,27 @@ def main() -> None:
     parser.add_argument("--samples", type=int, default=300)
     args = parser.parse_args()
 
-    system = build_system(num_training_samples=args.samples, epochs=args.epochs)
+    builder = SystemBuilder().with_estimator(
+        num_training_samples=args.samples, epochs=args.epochs
+    )
+    # Scenarios arrive as a request stream: the service runs their MCTS
+    # searches concurrently, pooling estimator evaluations, and dedupes
+    # any scenarios sharing a mix.
+    service = SchedulingService(builder)
+    baseline = builder.build_scheduler("baseline")
+
+    presets = [scenario(name) for name in args.names]
+    responses = service.schedule_many([preset.workload for preset in presets])
 
     rows = []
-    for name in args.names:
-        preset = scenario(name)
+    for name, preset, omni in zip(args.names, presets, responses):
         mix = preset.workload
         rates = preset.offered_rates
 
-        baseline = system.baseline.schedule(mix)
-        base_result = system.simulator.simulate(
-            mix.models, baseline.mapping, offered_rates=rates
+        base_result = builder.simulator.simulate(
+            mix.models, baseline.schedule(mix).mapping, offered_rates=rates
         )
-        omni = system.omniboost.schedule(mix)
-        omni_result = system.simulator.simulate(
+        omni_result = builder.simulator.simulate(
             mix.models, omni.mapping, offered_rates=rates
         )
 

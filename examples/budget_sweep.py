@@ -10,8 +10,8 @@ chosen mapping and estimator-query count versus budget.
 
 import argparse
 
-from repro import Workload, build_system
-from repro.core import MCTSConfig, OmniBoostScheduler
+from repro import SchedulingService, SystemBuilder, Workload
+from repro.core import MCTSConfig
 from repro.evaluation import RuntimeCostModel, format_table
 
 
@@ -27,27 +27,32 @@ def main() -> None:
     parser.add_argument("--samples", type=int, default=300)
     args = parser.parse_args()
 
-    system = build_system(num_training_samples=args.samples, epochs=args.epochs)
+    # The budget is a per-request knob on the service: one builder, one
+    # trained estimator, one scheduler -- each request overrides only
+    # the MCTS iteration budget.
+    builder = (
+        SystemBuilder()
+        .with_estimator(num_training_samples=args.samples, epochs=args.epochs)
+        .with_mcts_config(MCTSConfig(seed=17))
+    )
+    service = SchedulingService(builder)
     mix = Workload.from_names(["vgg19", "resnet50", "inception_v3", "alexnet"])
-    baseline = system.simulator.simulate(
-        mix.models, system.baseline.schedule(mix).mapping
+    baseline = builder.simulator.simulate(
+        mix.models, builder.build_scheduler("baseline").schedule(mix).mapping
     ).average_throughput
 
     cost_model = RuntimeCostModel()
     rows = []
     for budget in args.budgets:
-        scheduler = OmniBoostScheduler(
-            system.estimator, config=MCTSConfig(budget=budget, seed=17)
-        )
-        decision = scheduler.schedule(mix)
-        result = system.simulator.simulate(mix.models, decision.mapping)
+        response = service.submit(mix, budget=budget)
+        result = builder.simulator.simulate(mix.models, response.mapping)
         rows.append(
             [
                 budget,
                 f"{result.average_throughput:.2f}",
                 f"{result.average_throughput / baseline:.2f}",
-                f"{cost_model.decision_time(decision.cost):.1f}",
-                f"{decision.wall_time_s:.1f}",
+                f"{cost_model.decision_time(response.decision.cost):.1f}",
+                f"{response.measured_wall_time_s:.1f}",
             ]
         )
     print(f"Mix: {', '.join(mix.model_names)}; baseline T = {baseline:.2f} inf/s\n")

@@ -14,8 +14,8 @@ Every variant uses the same trained estimator and the same MCTS budget
 
 import argparse
 
-from repro import Workload, build_system
-from repro.core import EnergyAwareObjective, MCTSConfig, OmniBoostScheduler
+from repro import SchedulingService, SystemBuilder, Workload
+from repro.core import EnergyAwareObjective, MCTSConfig
 from repro.evaluation import format_table, pareto_front
 from repro.hw import hikey970_power
 
@@ -34,7 +34,12 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    system = build_system(num_training_samples=args.samples, epochs=args.epochs)
+    builder = (
+        SystemBuilder()
+        .with_estimator(num_training_samples=args.samples, epochs=args.epochs)
+        .with_mcts_config(MCTSConfig(seed=17))
+    )
+    service = SchedulingService(builder)
     power_model = hikey970_power()
     mix = Workload.from_names(args.mix)
 
@@ -43,7 +48,7 @@ def main() -> None:
         (
             "inferences/joule",
             EnergyAwareObjective(
-                power_model, system.platform, system.latency_table
+                power_model, builder.platform, builder.latency_table
             ),
         )
     )
@@ -53,8 +58,8 @@ def main() -> None:
                 f"weighted λ={tradeoff:g}",
                 EnergyAwareObjective(
                     power_model,
-                    system.platform,
-                    system.latency_table,
+                    builder.platform,
+                    builder.latency_table,
                     mode="weighted",
                     tradeoff_w=tradeoff,
                 ),
@@ -64,12 +69,11 @@ def main() -> None:
     operating_points = []
     rows = []
     for label, objective in variants:
-        scheduler = OmniBoostScheduler(
-            system.estimator, config=MCTSConfig(seed=17), objective=objective
-        )
-        decision = scheduler.schedule(mix)
-        measured = system.simulator.simulate(mix.models, decision.mapping)
-        report = power_model.report(system.platform, measured)
+        # The objective is a per-request knob; every variant reuses the
+        # same trained estimator through the same service.
+        response = service.submit(mix, objective=objective)
+        measured = builder.simulator.simulate(mix.models, response.mapping)
+        report = power_model.report(builder.platform, measured)
         operating_points.append(
             (measured.average_throughput, report.total_w)
         )
@@ -89,7 +93,7 @@ def main() -> None:
         row[0] = ("* " if index in front else "  ") + row[0]
 
     print(f"\nMix: {', '.join(mix.model_names)}")
-    print(f"Board idle floor: {power_model.idle_floor_w(system.platform):.2f} W")
+    print(f"Board idle floor: {power_model.idle_floor_w(builder.platform):.2f} W")
     print("(* = Pareto-optimal operating point: throughput vs power)\n")
     print(
         format_table(

@@ -17,7 +17,7 @@ import os
 
 import numpy as np
 
-from repro import Workload, build_system
+from repro import SystemBuilder, Workload
 from repro.core import MCTSConfig
 from repro.evaluation import (
     BarChart,
@@ -117,15 +117,16 @@ def main() -> None:
 
     os.makedirs(args.out, exist_ok=True)
     if args.quick:
-        system = build_system(
-            num_training_samples=200,
-            epochs=15,
-            mcts_config=MCTSConfig(budget=100, seed=5),
-            seed=args.seed,
+        system = (
+            SystemBuilder(seed=args.seed)
+            .with_estimator(num_training_samples=200, epochs=15)
+            .with_mcts_config(MCTSConfig(budget=100, seed=5))
+            .build()
         )
         setups, num_mixes = 50, 2
     else:
-        system = build_system(seed=args.seed)  # paper defaults: 500/100
+        # Paper defaults: 500 samples / 100 epochs, MCTS budget 500.
+        system = SystemBuilder(seed=args.seed).build()
         setups, num_mixes = 200, 5
 
     figure1(system, args.out, setups, args.seed)

@@ -21,7 +21,7 @@ dataset.
 
 import argparse
 
-from repro import Workload, build_system
+from repro import SystemBuilder, Workload
 from repro.core import MCTSConfig, OmniBoostScheduler
 from repro.evaluation import format_table
 from repro.models import EXTENSION_MODEL_NAMES, build_model
@@ -38,11 +38,15 @@ def main() -> None:
 
     # Design time: reserve room for future models (64 layers tall,
     # 14 columns wide -- 3 spare).
-    system = build_system(
-        num_training_samples=args.samples,
-        epochs=args.epochs,
-        reserve_layers=64,
-        reserve_models=14,
+    system = (
+        SystemBuilder()
+        .with_estimator(
+            num_training_samples=args.samples,
+            epochs=args.epochs,
+            reserve_layers=64,
+            reserve_models=14,
+        )
+        .build()
     )
     print(f"design-time embedding geometry: {system.embedding.input_shape}")
 

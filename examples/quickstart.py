@@ -12,7 +12,7 @@ regimen from Section V.
 
 import argparse
 
-from repro import Workload, build_system
+from repro import SystemBuilder, Workload
 from repro.evaluation import format_table
 
 
@@ -26,9 +26,14 @@ def main() -> None:
     args = parser.parse_args()
 
     if args.paper_scale:
-        system = build_system(num_training_samples=500, epochs=100)
+        builder = SystemBuilder().with_estimator(
+            num_training_samples=500, epochs=100
+        )
     else:
-        system = build_system(num_training_samples=300, epochs=20)
+        builder = SystemBuilder().with_estimator(
+            num_training_samples=300, epochs=20
+        )
+    system = builder.build()
 
     history = system.training_history
     print(

@@ -15,7 +15,7 @@ decision time of Section V-B.
 import argparse
 import os
 
-from repro import MODEL_NAMES, Workload, build_system
+from repro import MODEL_NAMES, SystemBuilder, Workload
 from repro.evaluation import RuntimeCostModel, format_table
 
 
@@ -36,15 +36,15 @@ def main() -> None:
     print(f"Mix: {', '.join(mix.model_names)} ({mix.total_layers} layers, "
           f"{mix.total_weight_bytes / 1e9:.2f} GB weights)\n")
 
-    use_checkpoint = args.checkpoint and os.path.exists(args.checkpoint)
-    system = build_system(
-        num_training_samples=args.samples,
-        epochs=args.epochs,
-        train=not use_checkpoint,
-    )
-    if use_checkpoint:
-        system.estimator.load(args.checkpoint)
-        print(f"Loaded estimator checkpoint {args.checkpoint}")
+    builder = SystemBuilder()
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        builder.from_checkpoint(args.checkpoint)
+        print(f"Loading estimator checkpoint {args.checkpoint}")
+    else:
+        builder.with_estimator(
+            num_training_samples=args.samples, epochs=args.epochs
+        )
+    system = builder.build()
 
     cost_model = RuntimeCostModel()
     rows = []

@@ -9,25 +9,43 @@ scheduler, and the three comparison schedulers.
 
 Quick start::
 
-    from repro import build_system, Workload
+    from repro import SchedulingService, SystemBuilder, Workload
 
-    system = build_system(epochs=20)      # profile + train the estimator
+    builder = SystemBuilder().with_estimator(epochs=20)
+    service = SchedulingService(builder)   # lazy: nothing trained yet
     mix = Workload.from_names(["vgg19", "resnet50", "mobilenet", "alexnet"])
-    decision = system.omniboost.schedule(mix)
-    result = system.simulator.measure(mix.models, decision.mapping)
-    print(result.average_throughput)
+    response = service.submit(mix)         # profile + train + search
+    result = builder.simulator.measure(mix.models, response.mapping)
+    print(result.average_throughput, service.stats().cache_hit_rate)
+
+The original eager entry point is unchanged: ``build_system(epochs=20)``
+returns the same fully-assembled ``OmniBoostSystem`` (it is now a thin
+shim over :class:`~repro.builder.SystemBuilder`).
 """
 
 from . import baselines, core, estimator, evaluation, hw, models, nn, sim, workloads
-from .core import MCTSConfig, OmniBoostScheduler, ScheduleDecision, Scheduler
+from .builder import SystemBuilder
+from .core import (
+    MCTSConfig,
+    OmniBoostScheduler,
+    ScheduleDecision,
+    ScheduleRequest,
+    ScheduleResponse,
+    Scheduler,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    unregister_scheduler,
+)
 from .estimator import EmbeddingSpace, ThroughputEstimator
 from .hw import Platform, hikey970
 from .models import MODEL_NAMES, build_model
 from .pipeline import OmniBoostSystem, build_system
+from .service import SchedulingService, ServiceStats
 from .sim import BoardSimulator, BoardUnresponsiveError, Mapping, SimConfig
 from .workloads import Workload, WorkloadGenerator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BoardSimulator",
@@ -40,22 +58,31 @@ __all__ = [
     "OmniBoostSystem",
     "Platform",
     "ScheduleDecision",
+    "ScheduleRequest",
+    "ScheduleResponse",
     "Scheduler",
+    "SchedulingService",
+    "ServiceStats",
     "SimConfig",
+    "SystemBuilder",
     "ThroughputEstimator",
     "Workload",
     "WorkloadGenerator",
     "__version__",
+    "available_schedulers",
     "baselines",
     "build_model",
     "build_system",
     "core",
     "estimator",
     "evaluation",
+    "get_scheduler",
     "hikey970",
     "hw",
     "models",
     "nn",
+    "register_scheduler",
     "sim",
+    "unregister_scheduler",
     "workloads",
 ]

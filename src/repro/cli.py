@@ -2,35 +2,36 @@
 
 Subcommands mirror the lifecycle of a deployment:
 
-* ``models``   -- list the zoo with per-model footprints;
-* ``profile``  -- kernel-profile the zoo and print latency tables;
-* ``train``    -- run the design-time pipeline and save a checkpoint;
-* ``schedule`` -- schedule a mix (optionally from a checkpoint) and
-  report measured throughput for all four schedulers;
-* ``motivate`` -- the Fig.-1 motivational sweep;
-* ``space``    -- design-space size arithmetic for a mix;
-* ``power``    -- throughput-vs-power comparison of the paper objective
+* ``models``      -- list the zoo with per-model footprints;
+* ``profile``     -- kernel-profile the zoo and print latency tables;
+* ``train``       -- run the design-time pipeline and save a checkpoint;
+* ``schedule``    -- schedule a mix (optionally from a checkpoint) and
+  report measured throughput for every registered scheduler (or the
+  ``--scheduler`` selection);
+* ``serve-batch`` -- answer a JSON file of mixes through the
+  :class:`~repro.service.SchedulingService` (decision cache + pooled
+  concurrent MCTS) and report per-request and service statistics;
+* ``motivate``    -- the Fig.-1 motivational sweep;
+* ``space``       -- design-space size arithmetic for a mix;
+* ``power``       -- throughput-vs-power comparison of the paper objective
   against the energy-aware extension on one mix.
 
-All commands run against the simulated HiKey970.
+All commands run against the simulated HiKey970 and assemble it
+through the lazy :class:`~repro.builder.SystemBuilder`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Optional, Sequence
 
 import numpy as np
 
-from . import build_system
-from .estimator import (
-    EmbeddingSpace,
-    EstimatorDatasetBuilder,
-    EstimatorTrainer,
-    ThroughputEstimator,
-)
+from .builder import SystemBuilder
+from .core.registry import available_schedulers
 from .evaluation import (
     RuntimeCostModel,
     format_table,
@@ -44,8 +45,9 @@ from .models import (
     build_all_models,
     build_model,
 )
+from .service import SchedulingService
 from .sim import BoardSimulator, KernelProfiler, Mapping
-from .workloads import Workload, WorkloadGenerator, random_two_stage_mapping
+from .workloads import Workload, random_two_stage_mapping
 
 __all__ = ["main"]
 
@@ -90,24 +92,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    platform = hikey970()
-    simulator = BoardSimulator(platform)
-    table = KernelProfiler(platform).profile(build_all_models(), seed=args.seed)
-    embedding = EmbeddingSpace(table, MODEL_NAMES)
-    estimator = ThroughputEstimator(
-        embedding, rng=np.random.default_rng(args.seed + 1)
+    builder = SystemBuilder(seed=args.seed).with_estimator(
+        num_training_samples=args.samples, epochs=args.epochs
     )
-    generator = WorkloadGenerator(seed=args.seed + 2)
-    dataset = EstimatorDatasetBuilder(simulator, generator, estimator).build(
-        num_samples=args.samples, measurement_seed=args.seed + 3
-    )
-    trainer = EstimatorTrainer(estimator)
-    history = trainer.train(
-        dataset,
-        epochs=args.epochs,
-        train_size=int(round(args.samples * 0.8)),
-        seed=args.seed + 4,
-    )
+    estimator = builder.estimator  # triggers the design-time pipeline
+    history = builder.training_history
     print(
         f"trained {estimator.num_parameters}-parameter estimator: "
         f"val L1 {history.final_val_loss:.4f} in {history.wall_time_s:.0f}s"
@@ -117,50 +106,176 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_schedule(args: argparse.Namespace) -> int:
+def _make_builder(args: argparse.Namespace) -> SystemBuilder:
+    """A builder from the shared training/search CLI flags."""
     from .core import MCTSConfig
 
-    mix = Workload.from_names(args.mix)
-    use_checkpoint = bool(args.checkpoint) and os.path.exists(args.checkpoint)
-    system = build_system(
-        num_training_samples=args.samples,
-        epochs=args.epochs,
-        train=not use_checkpoint,
-        mcts_config=MCTSConfig(
+    builder = SystemBuilder(seed=args.seed).with_mcts_config(
+        MCTSConfig(
             seed=args.seed + 5,
-            eval_batch_size=args.eval_batch_size,
-            use_eval_cache=not args.no_eval_cache,
-        ),
-        seed=args.seed,
-    )
-    if use_checkpoint:
-        system.estimator.load(args.checkpoint)
-    cost_model = RuntimeCostModel()
-    rows = []
-    baseline_throughput: Optional[float] = None
-    for scheduler in system.schedulers:
-        decision = scheduler.schedule(mix)
-        result = system.simulator.measure(mix.models, decision.mapping)
-        if baseline_throughput is None:
-            baseline_throughput = result.average_throughput
-        rows.append(
-            [
-                scheduler.name,
-                f"{result.average_throughput:.2f}",
-                f"{result.average_throughput / baseline_throughput:.2f}",
-                f"{cost_model.decision_time(decision.cost):.1f}",
-            ]
+            eval_batch_size=getattr(args, "eval_batch_size", 1),
+            use_eval_cache=not getattr(args, "no_eval_cache", False),
         )
+    )
+    checkpoint = getattr(args, "checkpoint", "")
+    if checkpoint and os.path.exists(checkpoint):
+        builder.from_checkpoint(checkpoint)
+        print(f"loaded estimator checkpoint {checkpoint}")
+    else:
+        builder.with_estimator(
+            num_training_samples=args.samples, epochs=args.epochs
+        )
+    return builder
+
+
+def _validate_scheduler_names(names) -> list:
+    """Fail fast (before any training) on unknown scheduler names."""
+    canonical = [name.strip().lower() for name in names]
+    known = available_schedulers()
+    unknown = [name for name in canonical if name not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown scheduler(s): {', '.join(unknown)}; "
+            f"registered: {', '.join(known)}"
+        )
+    return canonical
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    mix = Workload.from_names(args.mix)
+    names = (
+        _validate_scheduler_names(args.scheduler)
+        if args.scheduler
+        else list(available_schedulers())
+    )
+    builder = _make_builder(args)
+    cost_model = RuntimeCostModel()
+    omniboost = None
+    outcomes = []
+    for name in names:
+        scheduler = builder.build_scheduler(name)
+        decision = scheduler.schedule(mix)
+        if name == "omniboost":
+            omniboost = scheduler
+        result = builder.simulator.measure(mix.models, decision.mapping)
+        outcomes.append((name, scheduler, decision, result))
+    # Normalize against the GPU-only baseline when it is in the
+    # selection (whatever its position); the first row otherwise.
+    anchor = next(
+        (o for o in outcomes if o[0] == "baseline"), outcomes[0]
+    )[3].average_throughput
+    rows = [
+        [
+            scheduler.name,
+            f"{result.average_throughput:.2f}",
+            f"{result.average_throughput / anchor:.2f}",
+            f"{cost_model.decision_time(decision.cost):.1f}",
+        ]
+        for name, scheduler, decision, result in outcomes
+    ]
     print(
         format_table(
             ["scheduler", "T (inf/s)", "normalized", "board decision (s)"], rows
         )
     )
-    cache_hits = system.omniboost.last_result.cache_hits
-    cache_misses = system.omniboost.last_result.cache_misses
+    if omniboost is not None and omniboost.last_result is not None:
+        cache_hits = omniboost.last_result.cache_hits
+        cache_misses = omniboost.last_result.cache_misses
+        print(
+            f"OmniBoost eval cache: {cache_hits} hits / {cache_misses} misses "
+            f"(batch size {args.eval_batch_size})"
+        )
+    return 0
+
+
+def _load_mix_file(path: str):
+    """Parse a serve-batch JSON file into (model names, knobs) entries.
+
+    Accepted shapes: a top-level list (or ``{"mixes": [...]}``) whose
+    entries are either lists of model names or objects
+    ``{"models": [...], "budget": int, "priority": int, "id": str}``.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        payload = payload.get("mixes", payload.get("requests"))
+    if not isinstance(payload, list) or not payload:
+        raise SystemExit(
+            f"{path}: expected a non-empty JSON list of mixes "
+            '(or {"mixes": [...]})'
+        )
+    entries = []
+    for index, entry in enumerate(payload):
+        if isinstance(entry, list):
+            entries.append((entry, {}))
+        elif isinstance(entry, dict):
+            models = entry.get("models")
+            if not models:
+                raise SystemExit(f"{path}: mix #{index} has no 'models' list")
+            knobs = {}
+            if entry.get("budget") is not None:
+                budget = int(entry["budget"])
+                if budget < 1:
+                    raise SystemExit(
+                        f"{path}: mix #{index}: budget must be >= 1, got {budget}"
+                    )
+                knobs["budget"] = budget
+            if entry.get("priority") is not None:
+                knobs["priority"] = int(entry["priority"])
+            knobs["request_id"] = str(entry.get("id", index))
+            entries.append((models, knobs))
+        else:
+            raise SystemExit(f"{path}: mix #{index} must be a list or object")
+    return entries
+
+
+def _cmd_serve_batch(args: argparse.Namespace) -> int:
+    from .core import ScheduleRequest
+
+    entries = _load_mix_file(args.mix_file)
+    (scheduler_name,) = _validate_scheduler_names([args.scheduler])
+    builder = _make_builder(args)
+    service = SchedulingService(builder, scheduler=scheduler_name)
+    requests = [
+        ScheduleRequest(
+            workload=Workload.from_names(models),
+            request_id=str(knobs.get("request_id", index)),
+            budget=knobs.get("budget"),
+            priority=knobs.get("priority", 0),
+        )
+        for index, (models, knobs) in enumerate(entries)
+    ]
+    responses = service.schedule_many(requests)
+    rows = []
+    for request, response in zip(requests, responses):
+        row = [
+            response.request_id,
+            "+".join(request.workload.model_names),
+            response.cache_status,
+            f"{response.expected_score:.3f}",
+            f"{response.measured_wall_time_s * 1000:.0f}",
+        ]
+        if args.measure:
+            measured = builder.simulator.measure(
+                request.workload.models, response.mapping
+            )
+            row.append(f"{measured.average_throughput:.2f}")
+        rows.append(row)
+    # Latency, not attributable compute: concurrent searches overlap,
+    # so per-request latencies do not sum to the batch wall time.
+    headers = ["request", "mix", "cache", "score", "latency ms"]
+    if args.measure:
+        headers.append("T (inf/s)")
+    print(format_table(headers, rows))
+    stats = service.stats()
     print(
-        f"OmniBoost eval cache: {cache_hits} hits / {cache_misses} misses "
-        f"(batch size {args.eval_batch_size})"
+        f"\nservice: {stats.requests_served} requests, "
+        f"cache hit rate {stats.cache_hit_rate:.0%} "
+        f"({stats.cache_hits} hits / {stats.cache_misses} misses), "
+        f"{stats.pooled_eval_batches} pooled estimator batches "
+        f"(mean size {stats.mean_pooled_batch_size:.1f}), "
+        f"{stats.estimator_queries_actual:.0f} estimator queries paid "
+        f"of {stats.estimator_queries:.0f} budgeted"
     )
     return 0
 
@@ -209,34 +324,24 @@ def _cmd_space(args: argparse.Namespace) -> int:
 
 
 def _cmd_power(args: argparse.Namespace) -> int:
-    from .core import EnergyAwareObjective, MCTSConfig, OmniBoostScheduler
+    from .core import EnergyAwareObjective
     from .hw import hikey970_power
 
     mix = Workload.from_names(args.mix)
-    system = build_system(
-        num_training_samples=args.samples, epochs=args.epochs, seed=args.seed
-    )
+    builder = _make_builder(args)
+    service = SchedulingService(builder)
     power_model = hikey970_power()
     energy_objective = EnergyAwareObjective(
-        power_model, system.platform, system.latency_table
+        power_model, builder.platform, builder.latency_table
     )
     rows = []
     for label, objective in (
         ("throughput (paper)", None),
         ("inferences/joule", energy_objective),
     ):
-        scheduler = OmniBoostScheduler(
-            system.estimator,
-            config=MCTSConfig(
-                seed=args.seed + 5,
-                eval_batch_size=args.eval_batch_size,
-                use_eval_cache=not args.no_eval_cache,
-            ),
-            objective=objective,
-        )
-        decision = scheduler.schedule(mix)
-        measured = system.simulator.simulate(mix.models, decision.mapping)
-        report = power_model.report(system.platform, measured)
+        response = service.submit(mix, objective=objective)
+        measured = builder.simulator.simulate(mix.models, response.mapping)
+        report = power_model.report(builder.platform, measured)
         rows.append(
             [
                 label,
@@ -301,7 +406,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the MCTS transposition cache (re-query repeated "
         "rollout leaves)",
     )
+    schedule.add_argument(
+        "--scheduler",
+        action="append",
+        metavar="NAME",
+        help="compare only the named registered scheduler(s); repeatable "
+        f"(registered: {', '.join(available_schedulers())}); "
+        "default: every registered scheduler",
+    )
     schedule.set_defaults(fn=_cmd_schedule)
+
+    serve = sub.add_parser(
+        "serve-batch",
+        help="answer a JSON file of mixes through the scheduling service",
+    )
+    serve.add_argument(
+        "mix_file",
+        help="JSON: a list of mixes, each a list of model names or an "
+        'object {"models": [...], "budget": N, "priority": N, "id": "..."}',
+    )
+    serve.add_argument("--checkpoint", type=str, default="")
+    serve.add_argument("--samples", type=int, default=300)
+    serve.add_argument("--epochs", type=int, default=25)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--eval-batch-size", type=_positive_int, default=1)
+    serve.add_argument("--no-eval-cache", action="store_true")
+    serve.add_argument(
+        "--scheduler",
+        type=str,
+        default="omniboost",
+        help="registered scheduler answering the batch",
+    )
+    serve.add_argument(
+        "--measure",
+        action="store_true",
+        help="also deploy each mapping on the simulated board",
+    )
+    serve.set_defaults(fn=_cmd_serve_batch)
 
     motivate = sub.add_parser("motivate", help="run the Fig.-1 sweep")
     motivate.add_argument("--setups", type=int, default=200)

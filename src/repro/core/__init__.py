@@ -1,12 +1,18 @@
 """OmniBoost core: scheduling environment, MCTS and the scheduler facade."""
 
-from .base import ScheduleDecision, Scheduler
+from .base import ScheduleDecision, ScheduleRequest, ScheduleResponse, Scheduler
 from .environment import LOSS_REWARD, WIN_BONUS, SchedulingEnv, SchedulingState
 from .mcts import MCTSConfig, MCTSNode, MCTSResult, MonteCarloTreeSearch
 from .objectives import (
     EnergyAwareObjective,
     SchedulingObjective,
     ThroughputObjective,
+)
+from .registry import (
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    unregister_scheduler,
 )
 from .scheduler import OmniBoostScheduler
 from .search_baselines import (
@@ -29,12 +35,18 @@ __all__ = [
     "OmniBoostScheduler",
     "RandomSearchScheduler",
     "SimulatedAnnealingScheduler",
+    "available_schedulers",
     "enumerate_contiguous_rows",
+    "get_scheduler",
+    "register_scheduler",
     "ScheduleDecision",
+    "ScheduleRequest",
+    "ScheduleResponse",
     "Scheduler",
     "SchedulingEnv",
     "SchedulingObjective",
     "SchedulingState",
     "ThroughputObjective",
+    "unregister_scheduler",
     "WIN_BONUS",
 ]

@@ -1,15 +1,43 @@
-"""Common scheduler interface shared by OmniBoost and the baselines."""
+"""Common scheduler interface shared by OmniBoost and the baselines.
+
+Two surfaces live here:
+
+* the classic one-shot call — :meth:`Scheduler.schedule` takes a
+  :class:`~repro.workloads.mix.Workload` and returns a
+  :class:`ScheduleDecision` (kept verbatim for back compatibility);
+* the typed request/response protocol — :meth:`Scheduler.respond`
+  takes a :class:`ScheduleRequest` carrying per-call knobs (objective,
+  budget override, priority, request id) and returns a
+  :class:`ScheduleResponse` wrapping the decision with scheduler
+  identity, cache status and the *host-measured* wall time.
+
+The response's ``measured_wall_time_s`` is always the host-clock
+elapsed time around the decision, recorded unconditionally — unlike
+``ScheduleDecision.wall_time_s``, which a scheduler may self-report
+(and which :meth:`Scheduler.schedule` historically only back-filled
+when it was exactly ``0.0``).  Keeping the two in separate fields
+means a scheduler's self-reported timing can never be conflated with
+what the host actually observed.
+"""
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..sim.mapping import Mapping
 from ..workloads.mix import Workload
 
-__all__ = ["ScheduleDecision", "Scheduler"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .objectives import SchedulingObjective
+
+__all__ = [
+    "ScheduleDecision",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "Scheduler",
+]
 
 
 @dataclass(frozen=True)
@@ -38,6 +66,83 @@ class ScheduleDecision:
     cost: Dict[str, float] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One scheduling query, with its per-call knobs.
+
+    Attributes
+    ----------
+    workload:
+        The mix to map.
+    objective:
+        Optional :class:`~repro.core.objectives.SchedulingObjective`
+        override for this request only; ``None`` keeps the scheduler's
+        configured objective (the paper's throughput reward for
+        OmniBoost).  Schedulers without a pluggable objective ignore
+        it.
+    budget:
+        Optional search-budget override (MCTS iterations for
+        OmniBoost).  Schedulers without a budget knob ignore it.
+    priority:
+        Service scheduling hint: higher-priority requests are searched
+        first when a batch is processed.  Results never depend on it.
+    request_id:
+        Caller-chosen correlation id, echoed on the response.
+    """
+
+    workload: Workload
+    objective: Optional["SchedulingObjective"] = None
+    budget: Optional[int] = None
+    priority: int = 0
+    request_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.budget is not None and self.budget < 1:
+            raise ValueError(f"budget override must be >= 1, got {self.budget}")
+
+
+@dataclass(frozen=True)
+class ScheduleResponse:
+    """One scheduling answer, with provenance and timing.
+
+    Attributes
+    ----------
+    decision:
+        The underlying :class:`ScheduleDecision`.
+    scheduler_name:
+        Which scheduler produced (or originally produced, for cache
+        hits) the decision.
+    cache_status:
+        ``"uncached"`` for a direct scheduler call, ``"miss"`` /
+        ``"hit"`` when a decision cache sat in front of the scheduler,
+        ``"bypass"`` when the request's knobs made it uncacheable.
+    measured_wall_time_s:
+        Host-clock seconds from accepting the request to this response
+        being ready — always recorded by the host, never a scheduler's
+        self-report (that stays on ``decision.wall_time_s``).  This is
+        request *latency*: when a service processes several requests
+        concurrently, their latencies overlap and do not sum to the
+        batch's wall time (the per-decision compute attribution lives
+        in ``decision.cost``).
+    request_id:
+        Echo of :attr:`ScheduleRequest.request_id`.
+    """
+
+    decision: ScheduleDecision
+    scheduler_name: str
+    cache_status: str = "uncached"
+    measured_wall_time_s: float = 0.0
+    request_id: str = ""
+
+    @property
+    def mapping(self) -> Mapping:
+        return self.decision.mapping
+
+    @property
+    def expected_score(self) -> float:
+        return self.decision.expected_score
+
+
 class Scheduler:
     """Base class: subclasses implement :meth:`_decide`."""
 
@@ -46,17 +151,31 @@ class Scheduler:
 
     def schedule(self, workload: Workload) -> ScheduleDecision:
         """Produce a mapping for ``workload`` (timed)."""
+        return self.respond(ScheduleRequest(workload=workload)).decision
+
+    def respond(self, request: ScheduleRequest) -> ScheduleResponse:
+        """Answer one :class:`ScheduleRequest` (timed by the host)."""
         started = time.perf_counter()
-        decision = self._decide(workload)
+        decision = self._decide_request(request)
         elapsed = time.perf_counter() - started
         if decision.wall_time_s == 0.0:
-            decision = ScheduleDecision(
-                mapping=decision.mapping,
-                expected_score=decision.expected_score,
-                wall_time_s=elapsed,
-                cost=decision.cost,
-            )
-        return decision
+            # Back-compat: schedulers that don't self-report get the
+            # host measurement on the decision too.
+            decision = replace(decision, wall_time_s=elapsed)
+        return ScheduleResponse(
+            decision=decision,
+            scheduler_name=self.name,
+            measured_wall_time_s=elapsed,
+            request_id=request.request_id,
+        )
+
+    def _decide_request(self, request: ScheduleRequest) -> ScheduleDecision:
+        """Hook for schedulers that honor per-request knobs.
+
+        The default ignores everything but the workload; schedulers
+        with a budget or objective knob (OmniBoost) override this.
+        """
+        return self._decide(request.workload)
 
     def _decide(self, workload: Workload) -> ScheduleDecision:  # pragma: no cover
         raise NotImplementedError

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -274,6 +274,28 @@ class MonteCarloTreeSearch:
     # ------------------------------------------------------------------
     def search(self) -> MCTSResult:
         """Run the budgeted search and return the elite mapping."""
+        steps = self.search_steps()
+        try:
+            request = next(steps)
+            while True:
+                request = steps.send(self._evaluate_batch(request))
+        except StopIteration as stop:
+            return stop.value
+
+    def search_steps(self) -> "Generator[List[Mapping], Sequence[float], MCTSResult]":
+        """The search as a coroutine that externalizes leaf evaluation.
+
+        Yields the open micro-batch (a list of distinct complete
+        mappings awaiting rewards) every time the search would have
+        called the evaluator, and expects the matching reward list via
+        ``send()``.  The generator's return value is the
+        :class:`MCTSResult`.  :meth:`search` drives this with the
+        wired reward functions; a scheduling service can instead drive
+        several searches at once and score their pending leaves in one
+        pooled evaluator call — with a deterministic evaluator the
+        trajectory is identical either way, because each step consumes
+        exactly the rewards it would have computed itself.
+        """
         env = self.env
         config = self.config
         root_state = env.reset()
@@ -321,15 +343,13 @@ class MonteCarloTreeSearch:
                     walk.best_mapping = mapping
                 walk = walk.parent
 
-        def flush() -> None:
-            """Score the open micro-batch and settle it in iteration order."""
-            nonlocal eval_batches
+        def drain(rewards: Sequence[float]) -> None:
+            """Settle the open micro-batch (scored externally) in iteration order."""
             entries = list(resolved)
             resolved.clear()
             if pending:
-                eval_batches += 1
-                rewards = self._evaluate_batch([m for m, _ in pending])
                 for (mapping, waiters), reward in zip(pending, rewards):
+                    reward = float(reward)
                     if config.use_eval_cache:
                         cache[mapping] = reward
                     for when, waiter in waiters:
@@ -370,13 +390,18 @@ class MonteCarloTreeSearch:
                         pending_index[mapping] = len(pending)
                     pending.append((mapping, [(iteration, node)]))
                     if len(pending) >= config.eval_batch_size:
-                        flush()
+                        eval_batches += 1
+                        drain((yield [m for m, _ in pending]))
             else:
                 reward = LOSS_REWARD
                 losing += 1
                 self._reward_low = min(self._reward_low, reward)
                 self._backpropagate(node, reward, None)
-        flush()
+        if pending:
+            eval_batches += 1
+            drain((yield [m for m, _ in pending]))
+        else:
+            drain(())
 
         if self.config.elite == "mean-descent":
             elite_mapping, elite_reward = self._extract_elite(root)

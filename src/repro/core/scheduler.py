@@ -6,16 +6,27 @@ query builds a :class:`~repro.core.environment.SchedulingEnv` over the
 workload, runs budgeted MCTS with the estimator as the evaluation
 function, and returns the elite mapping.  No per-workload retraining
 happens anywhere -- the paper's headline property.
+
+The search machinery is factored so a long-lived front end can drive
+it stepwise: :meth:`OmniBoostScheduler.make_search` wires environment
+and reward functions into a :class:`MonteCarloTreeSearch` without
+running it, and :meth:`OmniBoostScheduler.decision_from_result` turns
+a finished :class:`MCTSResult` into the :class:`ScheduleDecision` with
+the paper's cost accounting.  ``_decide`` composes the two; the
+:class:`~repro.service.SchedulingService` instead drives several
+searches' ``search_steps()`` coroutines concurrently and pools their
+leaf evaluations.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from ..estimator.model import ThroughputEstimator
 from ..sim.mapping import Mapping
 from ..workloads.mix import Workload
-from .base import ScheduleDecision, Scheduler
+from .base import ScheduleDecision, ScheduleRequest, Scheduler
 from .environment import SchedulingEnv
 from .mcts import MCTSConfig, MCTSResult, MonteCarloTreeSearch
 from .objectives import SchedulingObjective
@@ -47,6 +58,10 @@ class OmniBoostScheduler(Scheduler):
         reward.  ``None`` (default) uses the paper's reward — mean
         predicted system throughput.  Either way each candidate costs
         exactly one estimator query.
+
+    Per-request knobs: a :class:`~repro.core.base.ScheduleRequest`'s
+    ``budget`` overrides ``config.budget`` and its ``objective``
+    overrides the constructor objective, for that request only.
     """
 
     name = "OmniBoost"
@@ -66,7 +81,25 @@ class OmniBoostScheduler(Scheduler):
         self.objective = objective
         self.last_result: Optional[MCTSResult] = None
 
-    def _decide(self, workload: Workload) -> ScheduleDecision:
+    # ------------------------------------------------------------------
+    # Search assembly
+    # ------------------------------------------------------------------
+    def make_search(
+        self,
+        workload: Workload,
+        config: Optional[MCTSConfig] = None,
+        objective: Optional[SchedulingObjective] = None,
+    ) -> MonteCarloTreeSearch:
+        """Wire a ready-to-run search for one workload.
+
+        ``config`` / ``objective`` default to the scheduler's own; the
+        returned search has the estimator's scalar *and* batched reward
+        functions attached, so ``search()`` runs it standalone and
+        ``search_steps()`` lets a service drive it with pooled
+        evaluation.
+        """
+        config = config or self.config
+        objective = objective if objective is not None else self.objective
         num_devices = self.estimator.embedding.num_devices
         env = SchedulingEnv(
             workload,
@@ -75,41 +108,63 @@ class OmniBoostScheduler(Scheduler):
             mask_illegal=self.mask_illegal,
         )
 
-        if self.objective is None:
+        def reward_fn(mapping: Mapping) -> float:
+            return self.reward_from_predictions(
+                workload,
+                [mapping],
+                self.estimator.predict_throughput_batch([(workload, mapping)]),
+                objective,
+            )[0]
 
-            def reward_fn(mapping: Mapping) -> float:
-                return self.estimator.reward(workload, mapping)
+        def reward_batch_fn(mappings):
+            predicted = self.estimator.predict_throughput_batch(
+                [(workload, mapping) for mapping in mappings]
+            )
+            return self.reward_from_predictions(
+                workload, mappings, predicted, objective
+            )
 
-            def reward_batch_fn(mappings):
-                return self.estimator.reward_batch(
-                    [(workload, mapping) for mapping in mappings]
-                )
-
-        else:
-
-            def reward_fn(mapping: Mapping) -> float:
-                predicted = self.estimator.predict_throughput(workload, mapping)
-                return self.objective.score(workload, mapping, predicted)
-
-            def reward_batch_fn(mappings):
-                predicted = self.estimator.predict_throughput_batch(
-                    [(workload, mapping) for mapping in mappings]
-                )
-                return [
-                    self.objective.score(workload, mapping, row)
-                    for mapping, row in zip(mappings, predicted)
-                ]
-
-        queries_before = self.estimator.query_count
-        search = MonteCarloTreeSearch(
-            env, reward_fn, self.config, reward_batch_fn=reward_batch_fn
+        return MonteCarloTreeSearch(
+            env, reward_fn, config, reward_batch_fn=reward_batch_fn
         )
-        result = search.search()
+
+    @staticmethod
+    def reward_from_predictions(
+        workload: Workload,
+        mappings,
+        predicted,
+        objective: Optional[SchedulingObjective] = None,
+    ) -> list:
+        """THE reward definition over raw per-device predictions.
+
+        One place turns estimator outputs into MCTS rewards — the
+        paper's mean predicted system throughput by default, or an
+        objective's score.  Both the standalone search path
+        (:meth:`make_search`) and the service's pooled evaluation call
+        this, so the two can never diverge.
+        """
+        if objective is None:
+            return [float(row.mean()) for row in predicted]
+        return [
+            float(objective.score(workload, mapping, row))
+            for mapping, row in zip(mappings, predicted)
+        ]
+
+    def decision_from_result(
+        self, result: MCTSResult, actual_queries: int
+    ) -> ScheduleDecision:
+        """Package a finished search with the paper's cost accounting.
+
+        ``actual_queries`` is what this process really paid (estimator
+        queries after cache savings); the budget view stays one query
+        per scored rollout either way.  Also records the result on
+        :attr:`last_result`.
+        """
         self.last_result = result
         return ScheduleDecision(
             mapping=result.mapping,
             expected_score=result.reward,
-            wall_time_s=0.0,  # filled by Scheduler.schedule
+            wall_time_s=0.0,  # filled by Scheduler.respond
             cost={
                 # The paper's budget accounting: one query per scored
                 # rollout, a constant budget-minus-losing per decision.
@@ -119,9 +174,7 @@ class OmniBoostScheduler(Scheduler):
                 # Section V-B pricing stays comparable with the paper
                 # whether or not the cache is enabled.
                 "estimator_queries": float(result.evaluations),
-                "estimator_queries_actual": float(
-                    self.estimator.query_count - queries_before
-                ),
+                "estimator_queries_actual": float(actual_queries),
                 "mcts_iterations": float(result.iterations),
                 "losing_rollouts": float(result.losing_rollouts),
                 "cache_hits": float(result.cache_hits),
@@ -129,3 +182,27 @@ class OmniBoostScheduler(Scheduler):
                 "eval_batches": float(result.eval_batches),
             },
         )
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+    def request_config(self, request: ScheduleRequest) -> MCTSConfig:
+        """The effective MCTS config for one request (budget override)."""
+        if request.budget is None:
+            return self.config
+        return replace(self.config, budget=request.budget)
+
+    def _decide_request(self, request: ScheduleRequest) -> ScheduleDecision:
+        queries_before = self.estimator.query_count
+        search = self.make_search(
+            request.workload,
+            config=self.request_config(request),
+            objective=request.objective,
+        )
+        result = search.search()
+        return self.decision_from_result(
+            result, self.estimator.query_count - queries_before
+        )
+
+    def _decide(self, workload: Workload) -> ScheduleDecision:
+        return self._decide_request(ScheduleRequest(workload=workload))

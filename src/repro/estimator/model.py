@@ -82,12 +82,16 @@ class ThroughputEstimator:
         """Batched physical throughput predictions ``(N, num_devices)``.
 
         Stacks the masked embedding tensors and runs a single ResNet9
-        forward over the whole batch, then denormalizes.  Predictions
-        agree with ``N`` scalar :meth:`predict_throughput` calls to
-        float32 tolerance (~1e-7: BLAS may reorder accumulation per
-        batch shape, so agreement is tight but not bitwise) at a
-        fraction of the per-call overhead.  This is the search hot
-        path's vectorized entry point.
+        forward over the whole batch, then denormalizes.  Row ``i`` is
+        *bitwise identical* to the standalone
+        :meth:`predict_throughput` call for pair ``i``, no matter how
+        the batch is composed: every eval-mode op prices each sample
+        independently (convs via broadcast matmul, the head via
+        :func:`~repro.nn.functional.linear_rowwise`).  Batching is
+        purely an amortization of per-call overhead — and the property
+        the scheduling service's cross-request evaluation pooling
+        relies on to stay result-identical to per-request calls.  This
+        is the search hot path's vectorized entry point.
         """
         normalized = self.predict_normalized_batch(pairs)
         return self.target_transform.inverse(normalized)

@@ -19,6 +19,7 @@ __all__ = [
     "avg_pool2d",
     "global_avg_pool2d",
     "linear",
+    "linear_rowwise",
     "batch_norm2d",
     "l1_loss",
     "mse_loss",
@@ -223,6 +224,36 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     if bias is not None:
         out = out + bias
     return out
+
+
+def linear_rowwise(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """:func:`linear` computed sample-by-sample: batch-composition invariant.
+
+    A single ``(N, K) @ (K, M)`` GEMM lets BLAS pick blocking by the
+    batch size ``N``, so row ``i`` of the result can differ (in the
+    last float32 ulps) depending on which other rows share the batch.
+    This variant runs one ``(1, K) @ (K, M)`` product per sample via
+    broadcast matmul, making each row bitwise identical to a
+    standalone single-sample call no matter how requests are pooled —
+    the property the scheduling service's cross-request batching
+    relies on to stay result-identical to per-request evaluation.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"linear_rowwise expects a 2-D input, got shape {x.shape}")
+    out_data = np.matmul(x.data[:, None, :], weight.data.T)[:, 0, :]
+    if bias is not None:
+        out_data = out_data + bias.data
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad @ weight.data)
+        if weight.requires_grad:
+            weight._accumulate(grad.T @ x.data)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=0))
+
+    return Tensor._make(out_data, parents, backward)
 
 
 def batch_norm2d(

@@ -215,7 +215,13 @@ class Linear(Module):
         )
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.linear(x, self.weight, self.bias)
+        if self.training:
+            return F.linear(x, self.weight, self.bias)
+        # Eval mode prices each sample independently so batched
+        # inference is bitwise invariant to batch composition — the
+        # guarantee cross-request evaluation pooling is built on
+        # (train-mode numerics are untouched).
+        return F.linear_rowwise(x, self.weight, self.bias)
 
 
 class BatchNorm2d(Module):

@@ -3,65 +3,34 @@
 One call builds everything the paper's Figure 2 shows: the board
 (simulator), the kernel-profiled latency tables, the distributed
 embedding tensor, the estimator trained on random multi-DNN workloads,
-and the MCTS scheduler on top -- plus the three comparison schedulers,
+and the MCTS scheduler on top -- plus the comparison schedulers,
 so examples and benches can reproduce the evaluation with a few lines:
 
 >>> from repro import build_system
 >>> system = build_system(epochs=10)          # doctest: +SKIP
 >>> mix = system.generator.sample_mix(4)      # doctest: +SKIP
 >>> decision = system.omniboost.schedule(mix) # doctest: +SKIP
+
+``build_system()`` is now a thin, eager shim over the staged
+:class:`~repro.builder.SystemBuilder` — new code should prefer the
+builder (lazy stages, scheduler registry, checkpoint loading) or the
+request/response front end in :mod:`repro.service`; this function
+remains for the paper-reproduction scripts and builds byte-identical
+artifacts (same seeds, same stage order).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-import numpy as np
-
-from .baselines.ga import GAConfig, GeneticScheduler, StaticCostModel
-from .baselines.gpu_only import GpuOnlyScheduler
-from .baselines.mosaic import LayerLatencyRegression, MosaicScheduler
+from .baselines.ga import GAConfig
+from .builder import OmniBoostSystem, SystemBuilder
 from .core.mcts import MCTSConfig
-from .core.scheduler import OmniBoostScheduler
-from .estimator.embedding import EmbeddingSpace
-from .estimator.model import ThroughputEstimator
-from .estimator.training import (
-    EstimatorDatasetBuilder,
-    EstimatorTrainer,
-    TrainingHistory,
-)
 from .hw.platform_ import Platform
-from .hw.presets import hikey970
-from .models.registry import MODEL_NAMES, build_all_models
-from .sim.profiler import KernelProfiler, LatencyTable
-from .sim.simulator import BoardSimulator, SimConfig
-from .workloads.generator import WorkloadGenerator
+from .models.registry import MODEL_NAMES
+from .sim.simulator import SimConfig
 
 __all__ = ["OmniBoostSystem", "build_system"]
-
-
-@dataclass
-class OmniBoostSystem:
-    """Everything assembled: board, estimator, schedulers, generator."""
-
-    platform: Platform
-    simulator: BoardSimulator
-    profiler: KernelProfiler
-    latency_table: LatencyTable
-    embedding: EmbeddingSpace
-    estimator: ThroughputEstimator
-    training_history: Optional[TrainingHistory]
-    generator: WorkloadGenerator
-    omniboost: OmniBoostScheduler
-    baseline: GpuOnlyScheduler
-    mosaic: MosaicScheduler
-    ga: GeneticScheduler
-
-    @property
-    def schedulers(self) -> Tuple:
-        """All four schedulers in the paper's comparison order."""
-        return (self.baseline, self.mosaic, self.ga, self.omniboost)
 
 
 def build_system(
@@ -88,65 +57,24 @@ def build_system(
     DNNs arriving after design time can be added without retraining
     (see :meth:`~repro.estimator.embedding.EmbeddingSpace.extend`).
     """
-    platform = platform or hikey970()
-    simulator = BoardSimulator(platform, config=sim_config)
-    profiler = KernelProfiler(platform)
-    models = build_all_models(model_names)
-    latency_table = profiler.profile(models, seed=seed)
-    embedding = EmbeddingSpace(
-        latency_table,
-        model_names,
-        reserve_layers=reserve_layers,
-        reserve_models=reserve_models,
-    )
-    estimator = ThroughputEstimator(
-        embedding, rng=np.random.default_rng(seed + 1)
-    )
-    generator = WorkloadGenerator(
-        model_names=model_names,
-        num_devices=platform.num_devices,
-        seed=seed + 2,
-    )
-    history: Optional[TrainingHistory] = None
-    if train:
-        builder = EstimatorDatasetBuilder(simulator, generator, estimator)
-        dataset = builder.build(
-            num_samples=num_training_samples,
-            measurement_seed=seed + 3,
-            repetitions=measurement_repetitions,
+    builder = (
+        SystemBuilder(seed=seed)
+        .with_models(model_names)
+        .with_estimator(
+            num_training_samples=num_training_samples,
+            epochs=epochs,
+            measurement_repetitions=measurement_repetitions,
+            train=train,
+            reserve_layers=reserve_layers,
+            reserve_models=reserve_models,
         )
-        train_size = max(1, int(round(0.8 * num_training_samples)))
-        trainer = EstimatorTrainer(estimator)
-        history = trainer.train(
-            dataset, epochs=epochs, train_size=train_size, seed=seed + 4
-        )
-        estimator.reset_query_count()
-
-    omniboost = OmniBoostScheduler(
-        estimator, config=mcts_config or MCTSConfig(seed=seed + 5)
     )
-    baseline = GpuOnlyScheduler(platform)
-    regression = LayerLatencyRegression(platform.num_devices).fit(
-        models, profiler, seed=seed + 6
-    )
-    mosaic = MosaicScheduler(platform, regression)
-    ga_cost_model = StaticCostModel(
-        platform,
-        latency_table,
-        offered_rate=simulator.config.offered_rate,
-    )
-    ga = GeneticScheduler(ga_cost_model, config=ga_config or GAConfig(seed=seed + 7))
-    return OmniBoostSystem(
-        platform=platform,
-        simulator=simulator,
-        profiler=profiler,
-        latency_table=latency_table,
-        embedding=embedding,
-        estimator=estimator,
-        training_history=history,
-        generator=generator,
-        omniboost=omniboost,
-        baseline=baseline,
-        mosaic=mosaic,
-        ga=ga,
-    )
+    if platform is not None:
+        builder.with_platform(platform)
+    if sim_config is not None:
+        builder.with_sim_config(sim_config)
+    if mcts_config is not None:
+        builder.with_mcts_config(mcts_config)
+    if ga_config is not None:
+        builder.with_ga_config(ga_config)
+    return builder.build()

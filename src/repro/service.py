@@ -1,0 +1,415 @@
+"""Request/response scheduling front end: the :class:`SchedulingService`.
+
+OmniBoost's headline property — one trained estimator answers every
+workload with no per-mix retraining — is exactly the shape of a
+long-lived scheduling *service*.  This module supplies that surface:
+
+* :meth:`SchedulingService.submit` answers one
+  :class:`~repro.core.base.ScheduleRequest` (or bare
+  :class:`~repro.workloads.mix.Workload`);
+* :meth:`SchedulingService.schedule_many` answers a batch, deduping
+  repeated mixes through a decision cache and running the remaining
+  MCTS searches *concurrently*, with their leaf evaluations pooled
+  into shared :meth:`~repro.estimator.model.ThroughputEstimator.predict_throughput_batch`
+  calls;
+* :meth:`SchedulingService.stats` reports service counters (requests
+  served, cache hit rate, pooled batches, estimator queries).
+
+Two properties make the pooling safe:
+
+1. the search exposes its evaluation points
+   (:meth:`~repro.core.mcts.MonteCarloTreeSearch.search_steps`), so
+   each search consumes exactly the rewards it would have computed
+   itself, in the same order;
+2. batched inference is bitwise invariant to batch composition
+   (eval-mode :func:`~repro.nn.functional.linear_rowwise`), so a
+   reward never depends on which *other* requests share the pool.
+
+Together they make ``schedule_many`` return mappings identical to a
+sequential per-request loop — the batching is a pure wall-clock /
+amortization win, never a behavioural change.
+
+The decision cache keys on the *canonical* mix signature (sorted model
+names — workload order carries no semantics, paper Section IV-C), the
+scheduler name and the budget override; a hit against a permuted
+duplicate re-aligns the cached mapping's rows to the request's order.
+Requests carrying an objective override bypass the cache (their reward
+scale is caller-defined) but still pool their evaluations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .builder import OmniBoostSystem, SystemBuilder
+from .core.base import ScheduleDecision, ScheduleRequest, ScheduleResponse, Scheduler
+from .core.mcts import MCTSResult
+from .core.scheduler import OmniBoostScheduler
+from .sim.mapping import Mapping
+from .workloads.mix import Workload
+
+__all__ = ["SchedulingService", "ServiceStats"]
+
+#: Cache key: (scheduler name, sorted model names, budget override).
+CacheKey = Tuple[str, Tuple[str, ...], Optional[int]]
+
+
+@dataclass
+class ServiceStats:
+    """Service-lifetime counters (monotonic; see :meth:`SchedulingService.stats`)."""
+
+    requests_served: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bypasses: int = 0
+    #: Pooled evaluator calls and the (workload, mapping) pairs they carried.
+    pooled_eval_batches: int = 0
+    pooled_evaluations: int = 0
+    #: Section V-B budget view (one query per scored rollout) and what
+    #: the estimator actually paid after transposition-cache savings.
+    estimator_queries: float = 0.0
+    estimator_queries_actual: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over cache-eligible lookups (0.0 before any lookup)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def mean_pooled_batch_size(self) -> float:
+        if not self.pooled_eval_batches:
+            return 0.0
+        return self.pooled_evaluations / self.pooled_eval_batches
+
+
+@dataclass
+class _SearchJob:
+    """One live MCTS search inside a pooled ``schedule_many`` round."""
+
+    request: ScheduleRequest
+    index: int
+    key: Optional[CacheKey]
+    started: float
+    gen: object = None
+    pending: Optional[List[Mapping]] = None
+    result: Optional[MCTSResult] = None
+    elapsed: float = 0.0
+    #: Requests with the same signature arriving after this job was
+    #: opened; they reuse its decision as in-flight cache hits.
+    followers: List[Tuple[int, ScheduleRequest, float]] = field(default_factory=list)
+
+
+class SchedulingService:
+    """Long-lived scheduling front end over a lazy builder (or built system).
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.builder.SystemBuilder` (nothing is profiled or
+        trained until the first request arrives) or an already-built
+        :class:`~repro.builder.OmniBoostSystem`.
+    scheduler:
+        Registry name of the scheduler answering requests; defaults to
+        ``"omniboost"``.  Only OmniBoost searches pool across requests
+        (the baselines have no estimator loop to pool); other
+        schedulers still get the cache/dedupe layer.
+    cache_decisions:
+        Disable to force every request through the scheduler.
+    """
+
+    def __init__(
+        self,
+        source: Union[SystemBuilder, OmniBoostSystem],
+        scheduler: str = "omniboost",
+        cache_decisions: bool = True,
+    ) -> None:
+        if isinstance(source, SystemBuilder):
+            self._builder: Optional[SystemBuilder] = source
+            self._system: Optional[OmniBoostSystem] = None
+        elif isinstance(source, OmniBoostSystem):
+            self._builder = None
+            self._system = source
+        else:
+            raise TypeError(
+                "source must be a SystemBuilder or OmniBoostSystem, "
+                f"got {type(source).__name__}"
+            )
+        self.scheduler_name = scheduler.strip().lower()
+        self.cache_decisions = cache_decisions
+        self._scheduler: Optional[Scheduler] = None
+        self._cache: Dict[CacheKey, Tuple[Tuple[str, ...], ScheduleDecision]] = {}
+        self._stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: Union[ScheduleRequest, Workload],
+        **knobs,
+    ) -> ScheduleResponse:
+        """Answer one request (``knobs`` forward to :class:`ScheduleRequest`)."""
+        return self.schedule_many([self._normalize(request, **knobs)])[0]
+
+    def schedule_many(
+        self, requests: Sequence[Union[ScheduleRequest, Workload]]
+    ) -> List[ScheduleResponse]:
+        """Answer a batch of requests; responses align with the input order.
+
+        Repeated mix signatures are served once (later arrivals are
+        cache hits, in-flight or stored); the distinct searches run
+        concurrently with their leaf evaluations pooled.  Cache and
+        search assignment follow *arrival* order — a duplicate's
+        search always runs over the first-arriving workload, so
+        results match the sequential loop exactly.  ``priority`` only
+        reorders which searches are driven first (evaluation is
+        bitwise batch-invariant, so that never changes a decision).
+        """
+        normalized = [self._normalize(request) for request in requests]
+        if not normalized:
+            return []
+        responses: List[Optional[ScheduleResponse]] = [None] * len(normalized)
+        scheduler = self._scheduler_instance()
+        pooling = isinstance(scheduler, OmniBoostScheduler)
+
+        jobs: List[_SearchJob] = []
+        open_jobs: Dict[CacheKey, _SearchJob] = {}
+        for i in range(len(normalized)):
+            request = normalized[i]
+            started = time.perf_counter()
+            key = self._cache_key(request)
+            if key is None:
+                self._stats.cache_bypasses += 1
+            else:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._stats.cache_hits += 1
+                    responses[i] = self._hit_response(request, cached, started)
+                    continue
+                in_flight = open_jobs.get(key)
+                if in_flight is not None:
+                    self._stats.cache_hits += 1
+                    in_flight.followers.append((i, request, started))
+                    continue
+                self._stats.cache_misses += 1
+            if pooling:
+                job = _SearchJob(request=request, index=i, key=key, started=started)
+                jobs.append(job)
+                if key is not None:
+                    open_jobs[key] = job
+            else:
+                responses[i] = self._respond_direct(scheduler, request)
+
+        if jobs:
+            jobs.sort(key=lambda job: (-job.request.priority, job.index))
+            self._drive_pooled(scheduler, jobs)
+            for job in jobs:
+                decision = scheduler.decision_from_result(
+                    job.result, int(job.result.cache_misses)
+                )
+                decision = replace(decision, wall_time_s=job.elapsed)
+                self._account(decision)
+                names = tuple(job.request.workload.model_names)
+                if job.key is not None:
+                    self._cache[job.key] = (names, decision)
+                responses[job.index] = ScheduleResponse(
+                    decision=decision,
+                    scheduler_name=scheduler.name,
+                    cache_status="miss" if job.key is not None else "bypass",
+                    measured_wall_time_s=job.elapsed,
+                    request_id=job.request.request_id,
+                )
+                for index, follower, follower_started in job.followers:
+                    responses[index] = self._hit_response(
+                        follower, (names, decision), follower_started
+                    )
+
+        self._stats.requests_served += len(normalized)
+        return responses  # type: ignore[return-value]
+
+    def stats(self) -> ServiceStats:
+        """A snapshot of the service counters."""
+        return replace(self._stats)
+
+    def clear_cache(self) -> int:
+        """Drop all cached decisions, returning how many were held."""
+        count = len(self._cache)
+        self._cache.clear()
+        return count
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The backing scheduler (materializing it if still lazy)."""
+        return self._scheduler_instance()
+
+    # ------------------------------------------------------------------
+    # Pooled concurrent search
+    # ------------------------------------------------------------------
+    def _drive_pooled(
+        self, scheduler: OmniBoostScheduler, jobs: List[_SearchJob]
+    ) -> None:
+        """Advance every job's search, pooling leaf evaluations.
+
+        Each round collects the open micro-batches of all searches
+        still waiting on rewards, prices them in ONE
+        ``predict_throughput_batch`` call, and feeds each search its
+        slice.  Per-search cadence, reward values and trajectories are
+        identical to running the searches one at a time (see the
+        module docstring for why).
+        """
+        estimator = scheduler.estimator
+        for job in jobs:
+            search = scheduler.make_search(
+                job.request.workload,
+                config=scheduler.request_config(job.request),
+                objective=job.request.objective,
+            )
+            job.gen = search.search_steps()
+            self._advance(job, first=True)
+
+        while True:
+            waiting = [job for job in jobs if job.pending is not None]
+            if not waiting:
+                break
+            pairs = [
+                (job.request.workload, mapping)
+                for job in waiting
+                for mapping in job.pending
+            ]
+            rows = estimator.predict_throughput_batch(pairs)
+            self._stats.pooled_eval_batches += 1
+            self._stats.pooled_evaluations += len(pairs)
+            offset = 0
+            for job in waiting:
+                count = len(job.pending)
+                slice_rows = rows[offset : offset + count]
+                offset += count
+                # Same fallback as make_search: a request override wins,
+                # else the scheduler's configured objective applies.
+                objective = (
+                    job.request.objective
+                    if job.request.objective is not None
+                    else scheduler.objective
+                )
+                rewards = scheduler.reward_from_predictions(
+                    job.request.workload, job.pending, slice_rows, objective
+                )
+                self._advance(job, rewards=rewards)
+
+    @staticmethod
+    def _advance(
+        job: _SearchJob,
+        rewards: Optional[List[float]] = None,
+        first: bool = False,
+    ) -> None:
+        """Step one search coroutine to its next yield (or completion)."""
+        try:
+            if first:
+                job.pending = next(job.gen)
+            else:
+                job.pending = job.gen.send(rewards)
+        except StopIteration as stop:
+            job.pending = None
+            job.result = stop.value
+            job.elapsed = time.perf_counter() - job.started
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _scheduler_instance(self) -> Scheduler:
+        if self._scheduler is None:
+            if self._builder is not None:
+                self._scheduler = self._builder.build_scheduler(self.scheduler_name)
+            else:
+                self._scheduler = self._system.scheduler(self.scheduler_name)
+        return self._scheduler
+
+    @staticmethod
+    def _normalize(
+        request: Union[ScheduleRequest, Workload], **knobs
+    ) -> ScheduleRequest:
+        if isinstance(request, ScheduleRequest):
+            if knobs:
+                raise TypeError(
+                    "knobs are only accepted with a bare Workload; "
+                    "set them on the ScheduleRequest instead"
+                )
+            return request
+        if isinstance(request, Workload):
+            return ScheduleRequest(workload=request, **knobs)
+        raise TypeError(
+            f"expected ScheduleRequest or Workload, got {type(request).__name__}"
+        )
+
+    def _cache_key(self, request: ScheduleRequest) -> Optional[CacheKey]:
+        if not self.cache_decisions or request.objective is not None:
+            return None
+        return (
+            self.scheduler_name,
+            tuple(sorted(request.workload.model_names)),
+            request.budget,
+        )
+
+    def _hit_response(
+        self,
+        request: ScheduleRequest,
+        cached: Tuple[Tuple[str, ...], ScheduleDecision],
+        started: float,
+    ) -> ScheduleResponse:
+        names, decision = cached
+        decision = self._align_decision(decision, names, request.workload)
+        return ScheduleResponse(
+            decision=decision,
+            scheduler_name=self._scheduler_instance().name,
+            cache_status="hit",
+            measured_wall_time_s=time.perf_counter() - started,
+            request_id=request.request_id,
+        )
+
+    @staticmethod
+    def _align_decision(
+        decision: ScheduleDecision,
+        cached_names: Tuple[str, ...],
+        workload: Workload,
+    ) -> ScheduleDecision:
+        """Re-align a cached mapping's rows to a permuted duplicate mix.
+
+        Workload order carries no semantics (networks run
+        concurrently), but mapping rows align positionally — a cached
+        decision for ``a+b`` answers ``b+a`` after swapping rows.
+        """
+        if tuple(workload.model_names) == cached_names:
+            return decision
+        row_of = {name: index for index, name in enumerate(cached_names)}
+        rows = [
+            decision.mapping.assignments[row_of[name]]
+            for name in workload.model_names
+        ]
+        return replace(decision, mapping=Mapping(rows))
+
+    def _respond_direct(
+        self, scheduler: Scheduler, request: ScheduleRequest
+    ) -> ScheduleResponse:
+        """Non-pooling fallback: one synchronous scheduler call."""
+        response = scheduler.respond(request)
+        self._account(response.decision)
+        key = self._cache_key(request)
+        if key is not None:
+            self._cache[key] = (
+                tuple(request.workload.model_names),
+                response.decision,
+            )
+        return replace(
+            response,
+            cache_status="miss" if key is not None else "bypass",
+        )
+
+    def _account(self, decision: ScheduleDecision) -> None:
+        cost = decision.cost
+        self._stats.estimator_queries += cost.get("estimator_queries", 0.0)
+        self._stats.estimator_queries_actual += cost.get(
+            "estimator_queries_actual", cost.get("estimator_queries", 0.0)
+        )

@@ -22,6 +22,23 @@ from repro.sim import BoardSimulator, KernelProfiler
 from repro.workloads import Workload, WorkloadGenerator
 
 
+@pytest.fixture(autouse=True)
+def _scheduler_registry_guard():
+    """Isolate the process-global scheduler registry per test.
+
+    ``OmniBoostSystem.schedulers`` is registry-backed, so a test that
+    registers a scheduler and fails before cleanup would otherwise
+    leak it into every later ``build()`` (e.g. the 4-scheduler
+    assertions in the pipeline integration tests).
+    """
+    from repro.core import registry
+
+    snapshot = dict(registry._REGISTRY)
+    yield
+    registry._REGISTRY.clear()
+    registry._REGISTRY.update(snapshot)
+
+
 @pytest.fixture(scope="session")
 def platform():
     return hikey970()

@@ -1,0 +1,147 @@
+"""SystemBuilder tests: laziness, stage caching, shim equivalence."""
+
+import numpy as np
+import pytest
+
+from repro import build_system
+from repro.builder import SystemBuilder
+from repro.core import MCTSConfig
+from repro.workloads import Workload
+
+
+def _small_builder(seed=21):
+    return SystemBuilder(seed=seed).with_estimator(
+        num_training_samples=40, epochs=2
+    )
+
+
+class TestLaziness:
+    def test_construction_builds_nothing(self):
+        builder = _small_builder()
+        assert builder.built_stages == ()
+
+    def test_baseline_scheduler_never_trains(self):
+        """The GPU-only baseline needs the platform only -- pulling it
+        must not profile the zoo or train the estimator."""
+        builder = _small_builder()
+        scheduler = builder.build_scheduler("baseline")
+        assert scheduler.name == "Baseline"
+        assert builder.built("platform")
+        assert not builder.built("latency_table")
+        assert not builder.built("trained")
+
+    def test_no_training_until_first_schedule(self):
+        """Satellite acceptance: a service over the builder does no
+        design-time work until the first request forces it."""
+        from repro.service import SchedulingService
+
+        builder = _small_builder()
+        service = SchedulingService(builder)
+        assert not builder.built("trained")
+        response = service.submit(Workload.from_names(["alexnet", "mobilenet"]))
+        assert builder.built("trained")
+        response.mapping.validate(
+            Workload.from_names(["alexnet", "mobilenet"]).models, 3
+        )
+
+    def test_artifacts_are_cached(self):
+        builder = _small_builder()
+        assert builder.latency_table is builder.latency_table
+        assert builder.estimator is builder.estimator
+        assert builder.build_scheduler("omniboost") is builder.build_scheduler(
+            "omniboost"
+        )
+
+    def test_train_false_skips_training(self):
+        builder = SystemBuilder(seed=21).with_estimator(train=False)
+        estimator = builder.estimator
+        assert builder.training_history is None
+        assert builder.built("trained")  # stage ran, produced no history
+        assert estimator.num_parameters == 20044
+
+
+class TestConfigurationGuards:
+    def test_reconfigure_after_build_raises(self):
+        builder = _small_builder()
+        builder.platform
+        with pytest.raises(RuntimeError, match="already built"):
+            builder.with_platform(builder.platform)
+
+    def test_seed_change_after_artifacts_raises(self):
+        builder = _small_builder()
+        builder.platform
+        with pytest.raises(RuntimeError):
+            builder.with_seed(5)
+
+    def test_models_change_after_table_raises(self):
+        builder = _small_builder()
+        builder.latency_table
+        with pytest.raises(RuntimeError):
+            builder.with_models(["alexnet"])
+
+    def test_models_change_after_generator_raises(self):
+        """The generator samples from the configured names too — a
+        later rename must not leave it stale."""
+        builder = _small_builder()
+        builder.generator
+        with pytest.raises(RuntimeError):
+            builder.with_models(["alexnet"])
+
+    def test_fluent_chaining_returns_builder(self):
+        builder = SystemBuilder()
+        assert builder.with_seed(3) is builder
+        assert builder.with_mcts_config(MCTSConfig(seed=1)) is builder
+
+
+class TestShimEquivalence:
+    """build_system() must stay a byte-identical front for the builder."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        shim = build_system(num_training_samples=40, epochs=2, seed=21)
+        built = _small_builder().build()
+        return shim, built
+
+    def test_latency_tables_identical(self, pair):
+        shim, built = pair
+        for name, table in shim.latency_table.tables.items():
+            np.testing.assert_array_equal(table, built.latency_table.tables[name])
+
+    def test_trained_weights_identical(self, pair):
+        shim, built = pair
+        for old, new in zip(
+            shim.estimator.network.parameters(),
+            built.estimator.network.parameters(),
+        ):
+            np.testing.assert_array_equal(old.data, new.data)
+
+    def test_training_histories_identical(self, pair):
+        shim, built = pair
+        assert shim.training_history.val_losses == built.training_history.val_losses
+
+    def test_decisions_identical(self, pair):
+        shim, built = pair
+        mix = Workload.from_names(["alexnet", "mobilenet", "squeezenet"])
+        assert (
+            shim.omniboost.schedule(mix).mapping
+            == built.omniboost.schedule(mix).mapping
+        )
+
+    def test_comparison_set_identical(self, pair):
+        shim, built = pair
+        assert [s.name for s in shim.schedulers] == [
+            s.name for s in built.schedulers
+        ]
+
+    def test_checkpoint_roundtrip(self, tmp_path, pair):
+        shim, _ = pair
+        path = str(tmp_path / "est.npz")
+        shim.estimator.save(path)
+        loaded = SystemBuilder(seed=21).from_checkpoint(path)
+        assert not loaded.built("trained")
+        for old, new in zip(
+            shim.estimator.network.parameters(),
+            loaded.estimator.network.parameters(),
+        ):
+            np.testing.assert_array_equal(old.data, new.data)
+        assert loaded.training_history is None

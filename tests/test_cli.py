@@ -76,6 +76,81 @@ class TestCommands:
         assert "Baseline" in out
 
 
+class TestServiceCommands:
+    def test_schedule_scheduler_selection(self, capsys):
+        assert (
+            main(
+                [
+                    "schedule",
+                    "alexnet",
+                    "mobilenet",
+                    "--samples",
+                    "40",
+                    "--epochs",
+                    "2",
+                    "--scheduler",
+                    "baseline",
+                    "--scheduler",
+                    "omniboost",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Baseline" in out
+        assert "OmniBoost" in out
+        assert "MOSAIC" not in out
+
+    def test_serve_batch(self, tmp_path, capsys):
+        import json
+
+        mix_file = tmp_path / "mixes.json"
+        mix_file.write_text(
+            json.dumps(
+                [
+                    ["alexnet", "mobilenet"],
+                    ["mobilenet", "alexnet"],
+                    {"models": ["alexnet", "squeezenet"], "budget": 30, "id": "cam"},
+                ]
+            )
+        )
+        assert (
+            main(
+                [
+                    "serve-batch",
+                    str(mix_file),
+                    "--samples",
+                    "40",
+                    "--epochs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hit" in out
+        assert "miss" in out
+        assert "cam" in out
+        assert "cache hit rate" in out
+        assert "pooled estimator batches" in out
+
+    def test_schedule_rejects_unknown_scheduler_before_training(self):
+        with pytest.raises(SystemExit, match="unknown scheduler"):
+            main(["schedule", "alexnet", "--scheduler", "bogus"])
+
+    def test_serve_batch_rejects_unknown_scheduler(self, tmp_path):
+        mix_file = tmp_path / "m.json"
+        mix_file.write_text('[["alexnet"]]')
+        with pytest.raises(SystemExit, match="unknown scheduler"):
+            main(["serve-batch", str(mix_file), "--scheduler", "bogus"])
+
+    def test_serve_batch_rejects_empty_file(self, tmp_path):
+        mix_file = tmp_path / "empty.json"
+        mix_file.write_text("[]")
+        with pytest.raises(SystemExit):
+            main(["serve-batch", str(mix_file)])
+
+
 class TestNewCommands:
     def test_models_all_includes_extensions(self, capsys):
         assert main(["models", "--all"]) == 0

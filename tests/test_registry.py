@@ -1,0 +1,123 @@
+"""Scheduler-registry tests: round-trips, aliasing, system integration."""
+
+import pytest
+
+from repro.builder import SystemBuilder
+from repro.core.base import ScheduleDecision, Scheduler
+from repro.core.registry import (
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    unregister_scheduler,
+)
+from repro.sim import Mapping
+from repro.workloads import Workload
+
+
+class _StubScheduler(Scheduler):
+    name = "stub"
+
+    def _decide(self, workload):
+        return ScheduleDecision(
+            mapping=Mapping.single_device(workload.models, 0),
+            expected_score=0.0,
+            wall_time_s=0.0,
+        )
+
+
+@pytest.fixture()
+def stub_registration():
+    """Register a stub under a test-only name; always cleaned up."""
+    register_scheduler("stub-test", lambda builder: _StubScheduler())
+    yield "stub-test"
+    try:
+        unregister_scheduler("stub-test")
+    except KeyError:
+        pass
+
+
+class TestBuiltins:
+    def test_paper_comparison_order(self):
+        names = available_schedulers()
+        assert names[:4] == ("baseline", "mosaic", "ga", "omniboost")
+
+    def test_get_builtin_factories(self):
+        for name in ("baseline", "mosaic", "ga", "omniboost"):
+            assert callable(get_scheduler(name))
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_scheduler("OmniBoost") is get_scheduler("omniboost")
+        assert get_scheduler(" Baseline ") is get_scheduler("baseline")
+
+
+class TestRoundTrip:
+    def test_register_get_unregister(self, stub_registration):
+        factory = get_scheduler(stub_registration)
+        assert factory(None).name == "stub"
+        assert stub_registration in available_schedulers()
+        unregister_scheduler(stub_registration)
+        assert stub_registration not in available_schedulers()
+        with pytest.raises(KeyError):
+            get_scheduler(stub_registration)
+
+    def test_decorator_form(self):
+        @register_scheduler("stub-decorated")
+        def _factory(builder):
+            return _StubScheduler()
+
+        try:
+            assert get_scheduler("stub-decorated") is _factory
+        finally:
+            unregister_scheduler("stub-decorated")
+
+    def test_duplicate_registration_rejected(self, stub_registration):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scheduler(stub_registration, lambda builder: _StubScheduler())
+
+    def test_duplicate_with_replace_wins(self, stub_registration):
+        replacement = lambda builder: _StubScheduler()  # noqa: E731
+        register_scheduler(stub_registration, replacement, replace=True)
+        assert get_scheduler(stub_registration) is replacement
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_scheduler("   ", lambda builder: _StubScheduler())
+
+    def test_unknown_lookup_names_known(self):
+        with pytest.raises(KeyError, match="omniboost"):
+            get_scheduler("definitely-not-registered")
+
+
+class TestSystemIntegration:
+    def test_registered_scheduler_joins_built_system(self, stub_registration):
+        """Satellite: a user registration shows up in system.schedulers
+        automatically -- no pipeline edits."""
+        builder = SystemBuilder(seed=3).with_estimator(
+            num_training_samples=40, epochs=2
+        )
+        system = builder.build()
+        names = [scheduler.name for scheduler in system.schedulers]
+        assert names == ["Baseline", "MOSAIC", "GA", "OmniBoost", "stub"]
+        assert system.scheduler(stub_registration) is system.schedulers[-1]
+
+    def test_selection_narrows_comparison(self):
+        builder = (
+            SystemBuilder(seed=3)
+            .with_scheduler("baseline")
+            .with_scheduler("omniboost")
+            .with_estimator(num_training_samples=40, epochs=2)
+        )
+        system = builder.build()
+        assert [s.name for s in system.schedulers] == ["Baseline", "OmniBoost"]
+        assert system.mosaic is None and system.ga is None
+
+    def test_with_scheduler_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            SystemBuilder().with_scheduler("nope")
+
+    def test_scheduled_mapping_is_valid(self, stub_registration):
+        builder = SystemBuilder(seed=3)
+        scheduler = builder.build_scheduler(stub_registration)
+        mix = Workload.from_names(["alexnet", "mobilenet"])
+        decision = scheduler.schedule(mix)
+        decision.mapping.validate(mix.models, 3)
