@@ -1,0 +1,105 @@
+"""PERF-ONLINE -- warm-started re-scheduling vs cold search under churn.
+
+The online subsystem's claim: after a tenancy change, re-planning by
+warm-starting MCTS from the previous decision's retained rows (seeded
+incumbent + convergence patience) costs a fraction of a cold search at
+the same configured budget, without giving up estimated throughput.
+
+This bench measures exactly the acceptance gate: on three churn
+scenarios, replay the trace to a single departure whose surviving mix
+still has >= 3 DNNs, re-plan it warm (greedy seed refinement +
+patience 80, budget 500), and compare against a cold full search of
+the identical post-departure mix at the identical budget and seed:
+
+* the warm re-search must spend <= half the estimator evaluations
+  (the decision loop's dominant cost, Section V-B);
+* its estimated throughput must be equal or better -- the refined
+  seed settles as the search's incumbent, so the result can never
+  fall below it, and the budgeted loop shares the cold search's
+  trajectory, so everything the cold search finds before the
+  patience stop is inherited too.
+
+Wall-clock is reported for context; the gate is on evaluations, which
+are deterministic for the seeded search.
+"""
+
+import time
+
+import pytest
+
+from repro.core import MCTSConfig, OmniBoostScheduler
+from repro.online import OnlineConfig, OnlineScheduler
+from repro.workloads import churn_scenario
+
+BUDGET = 500
+PATIENCE = 80
+SCENARIOS = ("bursty", "diurnal", "steady-drain")
+
+
+def _replay_to_departure(trace, min_survivors: int = 3):
+    """Index of the first departure leaving >= ``min_survivors`` tenants."""
+    active = 0
+    for index, event in enumerate(trace):
+        if event.kind == "arrival":
+            active += 1
+        else:
+            if active - 1 >= min_survivors:
+                return index
+            active -= 1
+    raise AssertionError(
+        f"trace {trace.name!r} has no departure with {min_survivors} survivors"
+    )
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_perf_warm_restart_after_departure(benchmark, paper_system, scenario):
+    trace = churn_scenario(scenario, seed=0)
+    departure_index = _replay_to_departure(trace)
+
+    config = MCTSConfig(budget=BUDGET, seed=5)
+    online = OnlineScheduler(
+        OmniBoostScheduler(paper_system.estimator, config=config),
+        OnlineConfig(warm_patience=PATIENCE),
+    )
+    for event in trace.events[:departure_index]:
+        online.apply(event)
+    # One full-budget plan of the pre-departure mix establishes the
+    # retained rows every production deployment would already hold.
+    pre = online.plan()
+    assert pre.mode == "cold"
+
+    online.apply(trace.events[departure_index])
+    post_workload = online.current_workload()
+    assert post_workload.num_dnns >= 3
+
+    cold_scheduler = OmniBoostScheduler(paper_system.estimator, config=config)
+
+    def run():
+        warm_started = time.perf_counter()
+        warm = online.plan()
+        warm_s = time.perf_counter() - warm_started
+        cold_started = time.perf_counter()
+        cold = cold_scheduler.schedule(post_workload)
+        cold_s = time.perf_counter() - cold_started
+        return warm, warm_s, cold, cold_s
+
+    warm, warm_s, cold, cold_s = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    warm_evals = warm.decision.cost["estimator_queries"]
+    cold_evals = cold.cost["estimator_queries"]
+    eval_speedup = cold_evals / warm_evals
+    print(
+        f"\n[PERF-ONLINE] {scenario}: departure #{departure_index} leaves "
+        f"{post_workload.num_dnns} DNNs; warm {warm_evals:.0f} evals "
+        f"({warm_s:.2f}s, score {warm.expected_score:.3f}) vs cold "
+        f"{cold_evals:.0f} evals ({cold_s:.2f}s, score "
+        f"{cold.expected_score:.3f}) -- {eval_speedup:.1f}x fewer "
+        f"evaluations, {cold_s / warm_s:.1f}x wall-clock"
+    )
+
+    assert warm.mode == "warm"
+    assert warm.stopped_early
+    # The acceptance gate: >= 2x fewer estimator evaluations at equal
+    # budget, at equal-or-better estimated throughput.
+    assert eval_speedup >= 2.0
+    assert warm.expected_score >= cold.expected_score

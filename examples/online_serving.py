@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Online serving end to end: churn trace in, per-event timeline out.
+
+A deployment rarely schedules one fixed mix: DNNs arrive, live for a
+while and leave.  This example replays a named churn scenario (bursty
+by default) through ``SchedulingService.run_trace``:
+
+1. a seeded ``ArrivalTrace`` supplies the tenancy dynamics;
+2. every arrival/departure triggers a re-search, *warm-started* from
+   the previous decision's retained rows (cold fallback when the seed
+   is untrustworthy) and early-stopped once the incumbent converges;
+3. events sharing a timestamp (bursts) are re-planned concurrently
+   with their estimator evaluations pooled into shared batches;
+4. the run emits a ``TimelineReport`` — per-event mode, score,
+   estimator cost, re-schedule latency — optionally written as JSON.
+
+Compare ``--no-warm`` (cold search per event) against the default to
+see what warm starting saves; ``benchmarks/test_perf_online.py`` gates
+that saving at >= 2x.
+"""
+
+import argparse
+import os
+
+from repro import OnlineConfig, SchedulingService, SystemBuilder
+from repro.core import MCTSConfig
+from repro.evaluation import write_timeline_json
+from repro.workloads import churn_scenario, churn_scenario_names
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scenario", default="bursty", choices=churn_scenario_names()
+    )
+    parser.add_argument("--events", type=int, default=30)
+    parser.add_argument("--trace-seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--samples", type=int, default=300)
+    parser.add_argument("--epochs", type=int, default=20)
+    parser.add_argument(
+        "--budget", type=int, default=200, help="MCTS budget per re-search"
+    )
+    parser.add_argument("--warm-patience", type=int, default=60)
+    parser.add_argument(
+        "--no-warm", action="store_true", help="cold search on every event"
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=str,
+        default="",
+        help="load estimator weights instead of training",
+    )
+    parser.add_argument(
+        "--report", type=str, default="", help="write TimelineReport JSON here"
+    )
+    args = parser.parse_args()
+
+    trace = churn_scenario(args.scenario, seed=args.trace_seed).truncated(
+        args.events
+    )
+    print(
+        f"scenario {args.scenario!r}: {len(trace)} events over "
+        f"{trace.horizon_s:.1f}s, peak {trace.max_concurrency} tenants\n"
+    )
+
+    builder = SystemBuilder(seed=args.seed).with_mcts_config(
+        MCTSConfig(budget=args.budget, seed=args.seed + 5)
+    )
+    if args.checkpoint and os.path.exists(args.checkpoint):
+        builder.from_checkpoint(args.checkpoint)
+        print(f"loaded estimator checkpoint {args.checkpoint}")
+    else:
+        builder.with_estimator(
+            num_training_samples=args.samples, epochs=args.epochs
+        )
+
+    service = SchedulingService(builder)
+    report = service.run_trace(
+        trace,
+        online=OnlineConfig(
+            warm=not args.no_warm, warm_patience=args.warm_patience
+        ),
+    )
+
+    print(report.event_table())
+    print(f"\n{report.summary()}")
+    stats = service.stats()
+    print(
+        f"service: {stats.trace_reschedules} re-schedules "
+        f"({stats.trace_warm_reschedules} warm), mean pooled batch "
+        f"{stats.mean_pooled_batch_size:.1f}, "
+        f"{stats.estimator_queries_actual:.0f}/{stats.estimator_queries:.0f} "
+        "estimator queries paid/budgeted"
+    )
+    for priority, latency in sorted(report.per_priority_latency().items()):
+        print(f"  priority {priority}: mean re-schedule {latency * 1000:.0f}ms")
+
+    if args.report:
+        write_timeline_json(report, args.report)
+        print(f"\ntimeline report written to {args.report}")
+
+
+if __name__ == "__main__":
+    main()

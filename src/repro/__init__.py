@@ -23,7 +23,18 @@ returns the same fully-assembled ``OmniBoostSystem`` (it is now a thin
 shim over :class:`~repro.builder.SystemBuilder`).
 """
 
-from . import baselines, core, estimator, evaluation, hw, models, nn, sim, workloads
+from . import (
+    baselines,
+    core,
+    estimator,
+    evaluation,
+    hw,
+    models,
+    nn,
+    online,
+    sim,
+    workloads,
+)
 from .builder import SystemBuilder
 from .core import (
     MCTSConfig,
@@ -38,16 +49,29 @@ from .core import (
     unregister_scheduler,
 )
 from .estimator import EmbeddingSpace, ThroughputEstimator
+from .evaluation import TimelineReport
 from .hw import Platform, hikey970
 from .models import MODEL_NAMES, build_model
+from .online import OnlineConfig, OnlineDecision, OnlineScheduler
 from .pipeline import OmniBoostSystem, build_system
 from .service import SchedulingService, ServiceStats
 from .sim import BoardSimulator, BoardUnresponsiveError, Mapping, SimConfig
-from .workloads import Workload, WorkloadGenerator
+from .workloads import (
+    ArrivalEvent,
+    ArrivalTrace,
+    TraceConfig,
+    Workload,
+    WorkloadGenerator,
+    churn_scenario,
+    churn_scenario_names,
+    generate_trace,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "ArrivalEvent",
+    "ArrivalTrace",
     "BoardSimulator",
     "BoardUnresponsiveError",
     "EmbeddingSpace",
@@ -56,6 +80,9 @@ __all__ = [
     "Mapping",
     "OmniBoostScheduler",
     "OmniBoostSystem",
+    "OnlineConfig",
+    "OnlineDecision",
+    "OnlineScheduler",
     "Platform",
     "ScheduleDecision",
     "ScheduleRequest",
@@ -66,6 +93,8 @@ __all__ = [
     "SimConfig",
     "SystemBuilder",
     "ThroughputEstimator",
+    "TimelineReport",
+    "TraceConfig",
     "Workload",
     "WorkloadGenerator",
     "__version__",
@@ -73,14 +102,18 @@ __all__ = [
     "baselines",
     "build_model",
     "build_system",
+    "churn_scenario",
+    "churn_scenario_names",
     "core",
     "estimator",
     "evaluation",
+    "generate_trace",
     "get_scheduler",
     "hikey970",
     "hw",
     "models",
     "nn",
+    "online",
     "register_scheduler",
     "sim",
     "unregister_scheduler",

@@ -11,6 +11,9 @@ Subcommands mirror the lifecycle of a deployment:
 * ``serve-batch`` -- answer a JSON file of mixes through the
   :class:`~repro.service.SchedulingService` (decision cache + pooled
   concurrent MCTS) and report per-request and service statistics;
+* ``serve-trace`` -- replay a named churn scenario (or a trace JSON
+  file) through the online subsystem: warm-started re-search per
+  arrival/departure, per-event timeline, optional JSON report;
 * ``motivate``    -- the Fig.-1 motivational sweep;
 * ``space``       -- design-space size arithmetic for a mix;
 * ``power``       -- throughput-vs-power comparison of the paper objective
@@ -112,6 +115,7 @@ def _make_builder(args: argparse.Namespace) -> SystemBuilder:
 
     builder = SystemBuilder(seed=args.seed).with_mcts_config(
         MCTSConfig(
+            budget=getattr(args, "budget", None) or MCTSConfig.budget,
             seed=args.seed + 5,
             eval_batch_size=getattr(args, "eval_batch_size", 1),
             use_eval_cache=not getattr(args, "no_eval_cache", False),
@@ -280,6 +284,48 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_trace(args: argparse.Namespace) -> int:
+    from .evaluation import write_timeline_json
+    from .online import OnlineConfig
+    from .workloads import ArrivalTrace, churn_scenario, churn_scenario_names
+
+    if args.trace_file:
+        trace = ArrivalTrace.from_json(args.trace_file)
+    else:
+        if args.scenario not in churn_scenario_names():
+            raise SystemExit(
+                f"unknown churn scenario {args.scenario!r}; available: "
+                f"{', '.join(churn_scenario_names())}"
+            )
+        trace = churn_scenario(args.scenario, seed=args.trace_seed)
+    if args.events is not None:
+        trace = trace.truncated(args.events)
+    if not len(trace):
+        raise SystemExit("trace has no events")
+    builder = _make_builder(args)
+    service = SchedulingService(builder)
+    online = OnlineConfig(
+        warm=not args.no_warm,
+        warm_patience=args.warm_patience,
+        min_overlap=args.min_overlap,
+    )
+    report = service.run_trace(trace, online=online)
+    print(report.event_table())
+    print(f"\n{report.summary()}")
+    stats = service.stats()
+    print(
+        f"service: {stats.trace_reschedules} re-schedules "
+        f"({stats.trace_warm_reschedules} warm), "
+        f"{stats.pooled_eval_batches} pooled estimator batches, "
+        f"{stats.estimator_queries_actual:.0f} estimator queries paid "
+        f"of {stats.estimator_queries:.0f} budgeted"
+    )
+    if args.report:
+        write_timeline_json(report, args.report)
+        print(f"timeline report written to {args.report}")
+    return 0
+
+
 def _cmd_motivate(args: argparse.Namespace) -> int:
     platform = hikey970()
     simulator = BoardSimulator(platform)
@@ -443,6 +489,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="also deploy each mapping on the simulated board",
     )
     serve.set_defaults(fn=_cmd_serve_batch)
+
+    trace = sub.add_parser(
+        "serve-trace",
+        help="replay a churn scenario through the online scheduler",
+    )
+    trace.add_argument(
+        "scenario",
+        nargs="?",
+        default="bursty",
+        help="churn scenario name (bursty, diurnal, priority-inversion, "
+        "steady-drain); ignored when --trace-file is given",
+    )
+    trace.add_argument(
+        "--trace-file",
+        type=str,
+        default="",
+        help="replay a trace JSON file (ArrivalTrace.to_json format) "
+        "instead of a named scenario",
+    )
+    trace.add_argument(
+        "--events",
+        type=_positive_int,
+        default=None,
+        help="truncate the trace to its first N events",
+    )
+    trace.add_argument("--trace-seed", type=int, default=0)
+    trace.add_argument("--checkpoint", type=str, default="")
+    trace.add_argument("--samples", type=int, default=300)
+    trace.add_argument("--epochs", type=int, default=25)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--eval-batch-size", type=_positive_int, default=1)
+    trace.add_argument("--no-eval-cache", action="store_true")
+    trace.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=None,
+        help="MCTS iteration budget per re-search (default: paper's 500)",
+    )
+    trace.add_argument(
+        "--warm-patience",
+        type=_positive_int,
+        default=120,
+        help="stop a warm re-search after N non-improving iterations",
+    )
+    trace.add_argument(
+        "--min-overlap",
+        type=float,
+        default=0.5,
+        help="retained-row coverage below which a cold search runs",
+    )
+    trace.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="disable warm starts (cold full search on every event)",
+    )
+    trace.add_argument(
+        "--report",
+        type=str,
+        default="",
+        help="write the TimelineReport JSON to this path",
+    )
+    trace.set_defaults(fn=_cmd_serve_trace)
 
     motivate = sub.add_parser("motivate", help="run the Fig.-1 sweep")
     motivate.add_argument("--setups", type=int, default=200)

@@ -39,6 +39,22 @@ Two run-time optimizations sit on top of the classic loop, both
   rollout flushes immediately and the search is step-for-step
   identical to the paper's sequential loop, including the seeded RNG
   stream.
+
+For *online* re-scheduling (a tenant arrives or departs and the mix
+must be re-planned) the search additionally supports **warm starts**:
+``search_steps(initial_mapping=...)`` scores a seed mapping — usually
+the previous decision's mapping projected onto the surviving tenants —
+before the budgeted loop and installs it as the incumbent.  The seed
+is deliberately kept *out* of the tree, the RNG stream and the UCT
+reward-normalization bounds, so at ``eval_batch_size=1`` the budgeted
+loop is step-identical to a cold search; the returned elite is simply
+``max(seed, cold trajectory)``, which guarantees a warm search never
+returns a worse reward than its seed and returns the *identical*
+result when seeded with the cold search's own elite.  Combined with
+``patience`` (stop after that many consecutive iterations without an
+incumbent improvement) a warm re-search converges in a fraction of the
+cold budget — the mechanism :class:`repro.online.OnlineScheduler`
+builds on.
 """
 
 from __future__ import annotations
@@ -220,6 +236,13 @@ class MCTSResult:
     prefix property is exact at ``eval_batch_size=1``; larger batches
     flush the final partial batch at the budget end, so the tail may
     differ between budgets.)
+
+    Warm-started searches carry two extra fields: ``seed_reward`` is
+    the evaluated reward of the ``initial_mapping`` (``None`` on cold
+    searches; the seed evaluation also counts in ``evaluations`` and
+    appears in ``improvements`` at iteration 0), and ``stopped_early``
+    records whether a ``patience`` limit ended the loop before the
+    budget — in which case ``iterations`` is the count actually run.
     """
 
     mapping: Mapping
@@ -233,6 +256,8 @@ class MCTSResult:
     cache_hits: int = 0
     cache_misses: int = 0
     eval_batches: int = 0
+    seed_reward: Optional[float] = None
+    stopped_early: bool = False
 
     def incumbent_at(self, iteration: int) -> Tuple[Optional[Mapping], float]:
         """Best (mapping, reward) after the first ``iteration`` iterations.
@@ -272,9 +297,15 @@ class MonteCarloTreeSearch:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def search(self) -> MCTSResult:
+    def search(
+        self,
+        initial_mapping: Optional[Mapping] = None,
+        patience: Optional[int] = None,
+    ) -> MCTSResult:
         """Run the budgeted search and return the elite mapping."""
-        steps = self.search_steps()
+        steps = self.search_steps(
+            initial_mapping=initial_mapping, patience=patience
+        )
         try:
             request = next(steps)
             while True:
@@ -282,7 +313,11 @@ class MonteCarloTreeSearch:
         except StopIteration as stop:
             return stop.value
 
-    def search_steps(self) -> "Generator[List[Mapping], Sequence[float], MCTSResult]":
+    def search_steps(
+        self,
+        initial_mapping: Optional[Mapping] = None,
+        patience: Optional[int] = None,
+    ) -> "Generator[List[Mapping], Sequence[float], MCTSResult]":
         """The search as a coroutine that externalizes leaf evaluation.
 
         Yields the open micro-batch (a list of distinct complete
@@ -295,9 +330,36 @@ class MonteCarloTreeSearch:
         pooled evaluator call — with a deterministic evaluator the
         trajectory is identical either way, because each step consumes
         exactly the rewards it would have computed itself.
+
+        ``initial_mapping`` warm-starts the search: the seed mapping is
+        scored first (one evaluation, yielded as its own micro-batch)
+        and installed as the incumbent — and, when the transposition
+        cache is on, as a cache entry, so rollouts that rediscover it
+        cost no query.  The seed touches neither the tree, the RNG
+        stream nor the reward-normalization bounds: at
+        ``eval_batch_size=1`` the budgeted loop is step-identical to a
+        cold search, so the result is ``max(seed, cold trajectory)`` —
+        never worse than the seed, and identical to the cold search
+        when seeded with that search's own elite.  The seed must map
+        exactly this environment's workload (and respect its stage
+        cap); a mismatch raises :class:`ValueError` before any
+        evaluation, which callers use as the cold-search fallback
+        trigger.
+
+        ``patience`` stops the loop once that many consecutive
+        iterations pass without an incumbent improvement (the seed
+        counts as iteration 0).  With micro-batching, improvements
+        settle at flush time, so reaching the patience threshold first
+        flushes the open micro-batch and re-checks — deferred
+        improvements still reset the counter, and a stop only fires on
+        truly stale state.
         """
         env = self.env
         config = self.config
+        if patience is not None and patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if initial_mapping is not None:
+            self._validate_seed(initial_mapping)
         root_state = env.reset()
         root = MCTSNode(root_state, None, None, env.legal_actions(root_state))
         best_mapping: Optional[Mapping] = None
@@ -322,11 +384,14 @@ class MonteCarloTreeSearch:
         #: with the batch so improvements stay in iteration order.
         resolved: List[Tuple[int, MCTSNode, Mapping, float]] = []
 
+        last_improved = 0
+        seed_reward: Optional[float] = None
+
         def settle(
             iteration: int, node: MCTSNode, mapping: Mapping, reward: float
         ) -> None:
             """Account one scored rollout whose visits are already posted."""
-            nonlocal evaluations, best_mapping, best_reward
+            nonlocal evaluations, best_mapping, best_reward, last_improved
             evaluations += 1
             rewards_seen.append(reward)
             self._reward_low = min(self._reward_low, reward)
@@ -335,6 +400,7 @@ class MonteCarloTreeSearch:
                 best_reward = reward
                 best_mapping = mapping
                 improvements.append((iteration, reward, mapping))
+                last_improved = max(last_improved, iteration)
             walk: Optional[MCTSNode] = node
             while walk is not None:
                 walk.value_sum += reward
@@ -360,7 +426,37 @@ class MonteCarloTreeSearch:
             for when, waiter, mapping, reward in entries:
                 settle(when, waiter, mapping, reward)
 
+        if initial_mapping is not None:
+            # Score the seed as iteration 0.  It becomes the incumbent
+            # (and a cache entry) but deliberately does NOT touch the
+            # tree, the RNG stream or the reward-normalization bounds:
+            # the budgeted loop below stays step-identical to a cold
+            # search at eval_batch_size=1.
+            eval_batches += 1
+            cache_misses += 1
+            evaluations += 1
+            seed_reward = float((yield [initial_mapping])[0])
+            rewards_seen.append(seed_reward)
+            best_mapping = initial_mapping
+            best_reward = seed_reward
+            improvements.append((0, seed_reward, initial_mapping))
+            if config.use_eval_cache:
+                cache[initial_mapping] = seed_reward
+
+        iterations_run = 0
+        stopped_early = False
         for iteration in range(1, config.budget + 1):
+            if patience is not None and iteration - last_improved > patience:
+                # Deferred rollouts may hold unsettled improvements:
+                # flush the open micro-batch before deciding, so a
+                # stop only ever fires on truly stale state.
+                if pending:
+                    eval_batches += 1
+                    drain((yield [m for m, _ in pending]))
+                if iteration - last_improved > patience:
+                    stopped_early = True
+                    break
+            iterations_run = iteration
             node = self._select(root)
             node = self._expand(node)
             final_state = self._rollout(node.state)
@@ -420,7 +516,7 @@ class MonteCarloTreeSearch:
         return MCTSResult(
             mapping=best_mapping,
             reward=best_reward,
-            iterations=self.config.budget,
+            iterations=iterations_run,
             evaluations=evaluations,
             losing_rollouts=losing,
             root_visits=root.visits,
@@ -429,7 +525,22 @@ class MonteCarloTreeSearch:
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             eval_batches=eval_batches,
+            seed_reward=seed_reward,
+            stopped_early=stopped_early,
         )
+
+    def _validate_seed(self, mapping: Mapping) -> None:
+        """Reject a warm-start seed that does not fit this environment.
+
+        Raised *before* any evaluation, so callers can use the error as
+        their cold-search fallback trigger.
+        """
+        mapping.validate(self.env.workload.models, self.env.num_devices)
+        if mapping.max_stages > self.env.stage_cap:
+            raise ValueError(
+                f"seed mapping uses {mapping.max_stages} stages, over the "
+                f"environment's cap of {self.env.stage_cap}"
+            )
 
     def _evaluate_batch(self, mappings: Sequence[Mapping]) -> List[float]:
         """Score a micro-batch, vectorized when a batch fn is wired."""

@@ -19,6 +19,7 @@ from .metrics import average_throughput, geometric_mean, normalized, speedup
 from .pareto import dominates, pareto_front
 from .reporting import format_comparison, format_runtime_report, format_table
 from .runtime import RuntimeCostModel, RuntimeReport, RuntimeRow
+from .timeline import TimelineRecord, TimelineReport, write_timeline_json
 from .spacesize import (
     contiguous_mappings_per_model,
     paper_combination_estimate,
@@ -39,6 +40,8 @@ __all__ = [
     "RuntimeReport",
     "RuntimeRow",
     "SchedulerOutcome",
+    "TimelineRecord",
+    "TimelineReport",
     "average_throughput",
     "comparison_to_dict",
     "comparison_to_rows",
@@ -56,4 +59,5 @@ __all__ = [
     "speedup",
     "total_contiguous_mappings",
     "unrestricted_mappings",
+    "write_timeline_json",
 ]

@@ -1,0 +1,209 @@
+"""Per-event reporting for online scheduling runs: the TimelineReport.
+
+A static comparison table answers "which scheduler won?"; an online
+run needs the *time axis*: what did each tenancy change cost to react
+to, how long did urgent events wait, how much of the re-planning ran
+warm.  :class:`TimelineRecord` captures one trace event's outcome and
+:class:`TimelineReport` aggregates them — makespan, per-priority
+re-schedule latency, warm/cold split, estimator-query totals — with a
+JSON export (:func:`write_timeline_json`) for CI artifacts and offline
+analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .reporting import format_table
+
+__all__ = ["TimelineRecord", "TimelineReport", "write_timeline_json"]
+
+
+@dataclass(frozen=True)
+class TimelineRecord:
+    """One trace event and the re-scheduling it triggered.
+
+    ``mode`` is ``"warm"``, ``"cold"`` or ``"idle"`` (the board
+    emptied; nothing to schedule).  ``evaluations`` is the budget-view
+    estimator query count of the re-search (0 when idle),
+    ``estimator_queries_actual`` what was actually paid after cache
+    savings, ``reschedule_time_s`` the host-measured cost of reacting
+    to the event.  Within a coalesced same-timestamp group each event
+    carries its own record (and its own concurrently-driven search).
+    """
+
+    index: int
+    time_s: float
+    kind: str
+    tenant_id: str
+    model: str
+    priority: int
+    active_models: Tuple[str, ...]
+    mode: str
+    expected_score: Optional[float] = None
+    seed_reward: Optional[float] = None
+    evaluations: float = 0.0
+    estimator_queries_actual: float = 0.0
+    iterations: int = 0
+    stopped_early: bool = False
+    reschedule_time_s: float = 0.0
+    mapping_rows: Optional[Tuple[Tuple[int, ...], ...]] = None
+
+    def to_dict(self) -> Dict:
+        payload = {
+            "index": self.index,
+            "time_s": self.time_s,
+            "kind": self.kind,
+            "tenant_id": self.tenant_id,
+            "model": self.model,
+            "priority": self.priority,
+            "active_models": list(self.active_models),
+            "mode": self.mode,
+            "expected_score": self.expected_score,
+            "seed_reward": self.seed_reward,
+            "evaluations": self.evaluations,
+            "estimator_queries_actual": self.estimator_queries_actual,
+            "iterations": self.iterations,
+            "stopped_early": self.stopped_early,
+            "reschedule_time_s": self.reschedule_time_s,
+        }
+        if self.mapping_rows is not None:
+            payload["mapping_rows"] = [list(row) for row in self.mapping_rows]
+        return payload
+
+
+@dataclass(frozen=True)
+class TimelineReport:
+    """The outcome of replaying one trace through a scheduling service."""
+
+    records: Tuple[TimelineRecord, ...]
+    trace_name: str = ""
+    scheduler_name: str = ""
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def makespan_s(self) -> float:
+        """Trace-clock span from the first event to the last."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].time_s - self.records[0].time_s
+
+    @property
+    def total_reschedule_time_s(self) -> float:
+        """Host seconds spent re-planning across the whole trace."""
+        return sum(record.reschedule_time_s for record in self.records)
+
+    @property
+    def total_evaluations(self) -> float:
+        return sum(record.evaluations for record in self.records)
+
+    @property
+    def total_estimator_queries_actual(self) -> float:
+        return sum(record.estimator_queries_actual for record in self.records)
+
+    @property
+    def warm_fraction(self) -> float:
+        """Share of non-idle re-schedules served by the warm path."""
+        planned = [r for r in self.records if r.mode != "idle"]
+        if not planned:
+            return 0.0
+        return sum(1 for r in planned if r.mode == "warm") / len(planned)
+
+    def per_priority_latency(self) -> Dict[int, float]:
+        """Mean re-schedule latency (seconds) per event priority."""
+        sums: Dict[int, float] = {}
+        counts: Dict[int, int] = {}
+        for record in self.records:
+            if record.mode == "idle":
+                continue
+            sums[record.priority] = (
+                sums.get(record.priority, 0.0) + record.reschedule_time_s
+            )
+            counts[record.priority] = counts.get(record.priority, 0) + 1
+        return {
+            priority: sums[priority] / counts[priority]
+            for priority in sorted(sums)
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering / export
+    # ------------------------------------------------------------------
+    def event_table(self, max_rows: Optional[int] = None) -> str:
+        """A human-readable per-event table."""
+        rows: List[List[str]] = []
+        records = self.records if max_rows is None else self.records[:max_rows]
+        for record in records:
+            rows.append(
+                [
+                    f"{record.time_s:.1f}",
+                    record.kind,
+                    record.model,
+                    str(record.priority),
+                    str(len(record.active_models)),
+                    record.mode,
+                    "-"
+                    if record.expected_score is None
+                    else f"{record.expected_score:.3f}",
+                    f"{record.evaluations:.0f}",
+                    f"{record.reschedule_time_s * 1000:.0f}",
+                ]
+            )
+        return format_table(
+            [
+                "t (s)",
+                "event",
+                "model",
+                "prio",
+                "active",
+                "mode",
+                "score",
+                "evals",
+                "cost ms",
+            ],
+            rows,
+        )
+
+    def summary(self) -> str:
+        """A one-paragraph run summary."""
+        latencies = ", ".join(
+            f"p{priority}: {latency * 1000:.0f}ms"
+            for priority, latency in self.per_priority_latency().items()
+        )
+        return (
+            f"{len(self.records)} events over {self.makespan_s:.1f}s "
+            f"({self.trace_name or 'trace'}): "
+            f"{self.warm_fraction:.0%} warm re-schedules, "
+            f"{self.total_evaluations:.0f} estimator queries budgeted / "
+            f"{self.total_estimator_queries_actual:.0f} paid, "
+            f"{self.total_reschedule_time_s:.2f}s total re-planning"
+            + (f"; mean latency {latencies}" if latencies else "")
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "trace_name": self.trace_name,
+            "scheduler_name": self.scheduler_name,
+            "makespan_s": self.makespan_s,
+            "warm_fraction": self.warm_fraction,
+            "total_reschedule_time_s": self.total_reschedule_time_s,
+            "total_evaluations": self.total_evaluations,
+            "total_estimator_queries_actual": (
+                self.total_estimator_queries_actual
+            ),
+            "per_priority_latency_s": {
+                str(priority): latency
+                for priority, latency in self.per_priority_latency().items()
+            },
+            "events": [record.to_dict() for record in self.records],
+        }
+
+
+def write_timeline_json(report: TimelineReport, path: str) -> None:
+    """Serialize a report for CI artifacts / offline analysis."""
+    with open(path, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2)
+        handle.write("\n")

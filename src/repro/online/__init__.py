@@ -1,0 +1,33 @@
+"""Online multi-DNN scheduling: react to churn instead of re-solving.
+
+The paper's system answers one fixed mix; this package turns it into a
+long-lived manager for a *changing* tenant population.  Three pieces
+cooperate:
+
+* :mod:`repro.workloads.trace` supplies the dynamics — seeded
+  arrival/departure traces and named churn scenarios;
+* :class:`OnlineScheduler` (here) maintains the active mix and
+  re-plans each tenancy change with a *warm-started* MCTS — seeded
+  from the previous decision's retained rows, early-stopped on
+  convergence, cold-search fallback when the seed is untrustworthy;
+* :meth:`SchedulingService.run_trace
+  <repro.service.SchedulingService.run_trace>` wires the event loop
+  through the service's pooled estimator batching and emits a
+  per-event :class:`~repro.evaluation.TimelineReport`.
+
+The ten-second tour::
+
+    >>> from repro import SchedulingService, SystemBuilder
+    >>> from repro.workloads import churn_scenario
+    >>> service = SchedulingService(SystemBuilder().with_estimator(epochs=20))
+    >>> report = service.run_trace(churn_scenario("bursty"))
+    >>> print(report.summary())
+    >>> print(report.per_priority_latency())
+
+Operational guidance (trace format, scenario shapes, warm-start
+semantics and tuning) lives in ``docs/online.md``.
+"""
+
+from .scheduler import OnlineConfig, OnlineDecision, OnlineScheduler
+
+__all__ = ["OnlineConfig", "OnlineDecision", "OnlineScheduler"]

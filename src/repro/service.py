@@ -35,6 +35,25 @@ scheduler name and the budget override; a hit against a permuted
 duplicate re-aligns the cached mapping's rows to the request's order.
 Requests carrying an objective override bypass the cache (their reward
 scale is caller-defined) but still pool their evaluations.
+
+The service also serves *time*: :meth:`SchedulingService.run_trace`
+replays an :class:`~repro.workloads.trace.ArrivalTrace` (tenants
+arriving and departing) through an
+:class:`~repro.online.OnlineScheduler`, re-planning each tenancy
+change with a warm-started search.  Events sharing a timestamp
+coalesce into one group whose re-searches are driven *concurrently*,
+their leaf evaluations pooled into shared
+``predict_throughput_batch`` calls exactly like a ``schedule_many``
+batch; the run returns a per-event
+:class:`~repro.evaluation.TimelineReport`.
+
+Online serving in four lines::
+
+    >>> from repro import SchedulingService, SystemBuilder
+    >>> from repro.workloads import churn_scenario
+    >>> service = SchedulingService(SystemBuilder().with_estimator(epochs=20))
+    >>> report = service.run_trace(churn_scenario("steady-drain"))
+    >>> print(report.summary())
 """
 
 from __future__ import annotations
@@ -47,8 +66,11 @@ from .builder import OmniBoostSystem, SystemBuilder
 from .core.base import ScheduleDecision, ScheduleRequest, ScheduleResponse, Scheduler
 from .core.mcts import MCTSResult
 from .core.scheduler import OmniBoostScheduler
+from .evaluation.timeline import TimelineRecord, TimelineReport
+from .online import OnlineConfig, OnlineDecision, OnlineScheduler
 from .sim.mapping import Mapping
 from .workloads.mix import Workload
+from .workloads.trace import ArrivalEvent, ArrivalTrace
 
 __all__ = ["SchedulingService", "ServiceStats"]
 
@@ -71,6 +93,16 @@ class ServiceStats:
     #: the estimator actually paid after transposition-cache savings.
     estimator_queries: float = 0.0
     estimator_queries_actual: float = 0.0
+    #: Per-priority service levels: how many requests (or trace
+    #: events) each priority submitted, and their summed host-measured
+    #: wait (latency) — the counters that make priority starvation
+    #: visible instead of anecdotal.
+    requests_by_priority: Dict[int, int] = field(default_factory=dict)
+    wait_s_by_priority: Dict[int, float] = field(default_factory=dict)
+    #: Online-trace counters (:meth:`SchedulingService.run_trace`).
+    trace_events: int = 0
+    trace_reschedules: int = 0
+    trace_warm_reschedules: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -83,6 +115,22 @@ class ServiceStats:
         if not self.pooled_eval_batches:
             return 0.0
         return self.pooled_evaluations / self.pooled_eval_batches
+
+    def mean_wait_s(self, priority: int) -> float:
+        """Mean host-measured wait of ``priority`` requests (0 if none)."""
+        count = self.requests_by_priority.get(priority, 0)
+        if not count:
+            return 0.0
+        return self.wait_s_by_priority.get(priority, 0.0) / count
+
+    def record_wait(self, priority: int, wait_s: float) -> None:
+        """Fold one served request's wait into the per-priority counters."""
+        self.requests_by_priority[priority] = (
+            self.requests_by_priority.get(priority, 0) + 1
+        )
+        self.wait_s_by_priority[priority] = (
+            self.wait_s_by_priority.get(priority, 0.0) + wait_s
+        )
 
 
 @dataclass
@@ -97,9 +145,28 @@ class _SearchJob:
     pending: Optional[List[Mapping]] = None
     result: Optional[MCTSResult] = None
     elapsed: float = 0.0
+    #: Drive priority: the leader's, raised to any follower's — a
+    #: high-priority duplicate of a low-priority in-flight mix must
+    #: not wait at low priority (classic priority inversion).
+    priority: int = 0
     #: Requests with the same signature arriving after this job was
     #: opened; they reuse its decision as in-flight cache hits.
     followers: List[Tuple[int, ScheduleRequest, float]] = field(default_factory=list)
+
+
+@dataclass
+class _TraceJob:
+    """One trace event's re-planning inside a coalesced group."""
+
+    event: ArrivalEvent
+    workload: Optional[Workload]
+    started: float = 0.0
+    gen: object = None
+    #: The open evaluation request: (workload, mappings) or None.
+    pending: Optional[List[Mapping]] = None
+    pending_workload: Optional[Workload] = None
+    outcome: Optional[OnlineDecision] = None
+    elapsed: float = 0.0
 
 
 class SchedulingService:
@@ -193,10 +260,19 @@ class SchedulingService:
                 if in_flight is not None:
                     self._stats.cache_hits += 1
                     in_flight.followers.append((i, request, started))
+                    # Priority inheritance: an urgent duplicate lifts
+                    # the in-flight search it now depends on.
+                    in_flight.priority = max(in_flight.priority, request.priority)
                     continue
                 self._stats.cache_misses += 1
             if pooling:
-                job = _SearchJob(request=request, index=i, key=key, started=started)
+                job = _SearchJob(
+                    request=request,
+                    index=i,
+                    key=key,
+                    started=started,
+                    priority=request.priority,
+                )
                 jobs.append(job)
                 if key is not None:
                     open_jobs[key] = job
@@ -204,7 +280,7 @@ class SchedulingService:
                 responses[i] = self._respond_direct(scheduler, request)
 
         if jobs:
-            jobs.sort(key=lambda job: (-job.request.priority, job.index))
+            jobs.sort(key=lambda job: (-job.priority, job.index))
             self._drive_pooled(scheduler, jobs)
             for job in jobs:
                 decision = scheduler.decision_from_result(
@@ -228,11 +304,87 @@ class SchedulingService:
                     )
 
         self._stats.requests_served += len(normalized)
+        for request, response in zip(normalized, responses):
+            self._stats.record_wait(
+                request.priority, response.measured_wall_time_s
+            )
         return responses  # type: ignore[return-value]
 
     def stats(self) -> ServiceStats:
         """A snapshot of the service counters."""
-        return replace(self._stats)
+        return replace(
+            self._stats,
+            requests_by_priority=dict(self._stats.requests_by_priority),
+            wait_s_by_priority=dict(self._stats.wait_s_by_priority),
+        )
+
+    def run_trace(
+        self,
+        trace: ArrivalTrace,
+        online: Optional[OnlineConfig] = None,
+        record_mappings: bool = False,
+    ) -> TimelineReport:
+        """Replay an arrival/departure trace, re-planning each change.
+
+        Events are processed in time order; events sharing a timestamp
+        coalesce into one *group*.  Every event in a group gets its own
+        re-search (over the mix as of that event), and the group's
+        searches are driven concurrently with their leaf evaluations —
+        and the warm path's arrival-completion candidates — pooled
+        into shared ``predict_throughput_batch`` calls, exactly like a
+        ``schedule_many`` batch.  Within a group all searches
+        warm-start from the rows retained *before* the group (they are
+        mutually independent, which is what makes the pooling legal);
+        the group's final decision is then committed as the retained
+        state for the next event.
+
+        Returns the per-event :class:`~repro.evaluation.TimelineReport`
+        (set ``record_mappings`` to embed each decision's device rows).
+        Re-planning costs also land in the service counters:
+        per-priority waits, pooled batches, estimator queries.
+        """
+        scheduler = self._scheduler_instance()
+        if not isinstance(scheduler, OmniBoostScheduler):
+            raise TypeError(
+                "run_trace requires an OmniBoost scheduler (warm starts "
+                f"drive its estimator search); got {scheduler.name!r}"
+            )
+        online_scheduler = OnlineScheduler(scheduler, online)
+        records: List[TimelineRecord] = []
+        index = 0
+        for group in trace.grouped():
+            jobs: List[_TraceJob] = []
+            for event in group:
+                online_scheduler.apply(event)
+                jobs.append(
+                    _TraceJob(
+                        event=event,
+                        workload=online_scheduler.current_workload(),
+                    )
+                )
+            self._drive_trace_jobs(scheduler, online_scheduler, jobs)
+            committed = None
+            for job in jobs:
+                if job.outcome is not None:
+                    committed = job.outcome
+                records.append(
+                    self._trace_record(index, job, record_mappings)
+                )
+                self._stats.trace_events += 1
+                if job.outcome is not None:
+                    self._stats.trace_reschedules += 1
+                    if job.outcome.mode == "warm":
+                        self._stats.trace_warm_reschedules += 1
+                    self._stats.record_wait(job.event.priority, job.elapsed)
+                    self._account(job.outcome.decision)
+                index += 1
+            if committed is not None:
+                online_scheduler.commit(committed)
+        return TimelineReport(
+            records=tuple(records),
+            trace_name=trace.name,
+            scheduler_name=scheduler.name,
+        )
 
     def clear_cache(self) -> int:
         """Drop all cached decisions, returning how many were held."""
@@ -298,6 +450,120 @@ class SchedulingService:
                     job.request.workload, job.pending, slice_rows, objective
                 )
                 self._advance(job, rewards=rewards)
+
+    def _drive_trace_jobs(
+        self,
+        scheduler: OmniBoostScheduler,
+        online_scheduler: OnlineScheduler,
+        jobs: List[_TraceJob],
+    ) -> None:
+        """Drive a coalesced group's re-planning coroutines together.
+
+        The same pooling loop as :meth:`_drive_pooled`, over
+        :meth:`~repro.online.OnlineScheduler.plan_steps` coroutines
+        (whose yields carry their own workload, since each event in
+        the group plans a different mix).
+        """
+        estimator = scheduler.estimator
+        for job in jobs:
+            job.started = time.perf_counter()
+            if job.workload is None:
+                continue  # board emptied: idle event, nothing to plan
+            job.gen = online_scheduler.plan_steps(job.workload)
+            self._advance_trace(job, first=True)
+        while True:
+            waiting = [job for job in jobs if job.pending is not None]
+            if not waiting:
+                break
+            pairs = [
+                (job.pending_workload, mapping)
+                for job in waiting
+                for mapping in job.pending
+            ]
+            rows = estimator.predict_throughput_batch(pairs)
+            self._stats.pooled_eval_batches += 1
+            self._stats.pooled_evaluations += len(pairs)
+            offset = 0
+            for job in waiting:
+                count = len(job.pending)
+                slice_rows = rows[offset : offset + count]
+                offset += count
+                rewards = scheduler.reward_from_predictions(
+                    job.pending_workload,
+                    job.pending,
+                    slice_rows,
+                    scheduler.objective,
+                )
+                self._advance_trace(job, rewards=rewards)
+
+    @staticmethod
+    def _advance_trace(
+        job: _TraceJob,
+        rewards: Optional[List[float]] = None,
+        first: bool = False,
+    ) -> None:
+        """Step one plan coroutine to its next yield (or completion)."""
+        try:
+            if first:
+                request = next(job.gen)
+            else:
+                request = job.gen.send(rewards)
+            job.pending_workload, job.pending = request
+        except StopIteration as stop:
+            job.pending = None
+            job.pending_workload = None
+            job.outcome = stop.value
+            job.elapsed = time.perf_counter() - job.started
+
+    @staticmethod
+    def _trace_record(
+        index: int, job: _TraceJob, record_mappings: bool
+    ) -> TimelineRecord:
+        """Render one trace job as a timeline record."""
+        event = job.event
+        active = (
+            job.workload.model_names if job.workload is not None else ()
+        )
+        outcome = job.outcome
+        if outcome is None:
+            return TimelineRecord(
+                index=index,
+                time_s=event.time_s,
+                kind=event.kind,
+                tenant_id=event.tenant_id,
+                model=event.model,
+                priority=event.priority,
+                active_models=tuple(active),
+                mode="idle",
+            )
+        cost = outcome.decision.cost
+        return TimelineRecord(
+            index=index,
+            time_s=event.time_s,
+            kind=event.kind,
+            tenant_id=event.tenant_id,
+            model=event.model,
+            priority=event.priority,
+            active_models=tuple(active),
+            mode=outcome.mode,
+            expected_score=outcome.expected_score,
+            seed_reward=outcome.seed_reward,
+            evaluations=cost.get("estimator_queries", 0.0),
+            estimator_queries_actual=cost.get(
+                "estimator_queries_actual", 0.0
+            ),
+            iterations=outcome.iterations,
+            stopped_early=outcome.stopped_early,
+            reschedule_time_s=job.elapsed,
+            mapping_rows=(
+                tuple(
+                    tuple(row)
+                    for row in outcome.decision.mapping.assignments
+                )
+                if record_mappings
+                else None
+            ),
+        )
 
     @staticmethod
     def _advance(

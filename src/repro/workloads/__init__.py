@@ -1,4 +1,4 @@
-"""Workload mixes, random generation and dataset sampling."""
+"""Workloads: named mixes, random generation, and dynamic churn traces."""
 
 from .generator import (
     WorkloadGenerator,
@@ -6,15 +6,40 @@ from .generator import (
     random_two_stage_mapping,
 )
 from .mix import Workload
-from .scenarios import SCENARIOS, Scenario, scenario, scenario_names
+from .scenarios import (
+    CHURN_SCENARIOS,
+    ChurnScenario,
+    SCENARIOS,
+    Scenario,
+    churn_scenario,
+    churn_scenario_names,
+    scenario,
+    scenario_names,
+)
+from .trace import (
+    ArrivalEvent,
+    ArrivalTrace,
+    TraceBuilder,
+    TraceConfig,
+    generate_trace,
+)
 
 __all__ = [
+    "ArrivalEvent",
+    "ArrivalTrace",
+    "CHURN_SCENARIOS",
+    "ChurnScenario",
     "SCENARIOS",
     "Scenario",
-    "scenario",
-    "scenario_names",
+    "TraceBuilder",
+    "TraceConfig",
     "Workload",
     "WorkloadGenerator",
+    "churn_scenario",
+    "churn_scenario_names",
+    "generate_trace",
     "random_contiguous_mapping",
     "random_two_stage_mapping",
+    "scenario",
+    "scenario_names",
 ]

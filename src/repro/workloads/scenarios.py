@@ -5,16 +5,36 @@ assistants, object detection, and virtual/augmented reality services".
 These presets bundle a mix with per-network offered frame rates, so
 examples and benches can evaluate schedulers on workloads that look
 like deployed applications rather than uniform random mixes.
+
+The second half of the module holds the *churn* scenarios — named,
+seeded :class:`~repro.workloads.trace.ArrivalTrace` factories
+(``bursty``, ``diurnal``, ``priority-inversion``, ``steady-drain``)
+that stress the online scheduling subsystem with characteristic
+tenancy dynamics instead of a static mix.  See ``docs/online.md`` for
+what each shape exercises.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
+import numpy as np
+
+from ..models.registry import MODEL_NAMES
 from .mix import Workload
+from .trace import ArrivalTrace, TraceBuilder, TraceConfig, generate_trace
 
-__all__ = ["Scenario", "SCENARIOS", "scenario", "scenario_names"]
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "scenario",
+    "scenario_names",
+    "ChurnScenario",
+    "CHURN_SCENARIOS",
+    "churn_scenario",
+    "churn_scenario_names",
+]
 
 
 @dataclass(frozen=True)
@@ -114,3 +134,185 @@ def scenario(name: str) -> Scenario:
 def scenario_names() -> List[str]:
     """All scenario names."""
     return list(SCENARIOS)
+
+
+# ----------------------------------------------------------------------
+# Churn scenarios: named arrival/departure trace shapes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChurnScenario:
+    """A named tenancy-dynamics shape for the online subsystem.
+
+    ``build(seed)`` returns a fresh, deterministic
+    :class:`~repro.workloads.trace.ArrivalTrace`; the same seed always
+    yields the same trace.
+    """
+
+    name: str
+    description: str
+    build: Callable[[int], ArrivalTrace]
+
+
+def _bursty(seed: int) -> ArrivalTrace:
+    """Quiet baseline punctuated by simultaneous arrival bursts.
+
+    A long-lived anchor tenant holds the board while bursts of 2–3
+    short-lived tenants land on *identical* timestamps every 8 s —
+    the coalesced-group / concurrent-re-search stressor.
+    """
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(max_concurrent=5, name="bursty")
+    builder.add(0.0, "mobilenet", lifetime_s=46.0, priority=0)
+    for burst in range(1, 6):
+        time_s = burst * 8.0
+        builder.advance(time_s)
+        free = [m for m in MODEL_NAMES if m not in builder.active_models]
+        size = int(rng.integers(2, 4))
+        chosen = rng.permutation(len(free))[:size]
+        for index in chosen:
+            builder.add(
+                time_s,
+                free[int(index)],
+                lifetime_s=float(rng.uniform(3.0, 7.0)),
+                priority=int(rng.integers(0, 2)),
+            )
+    return builder.finish()
+
+
+def _diurnal(seed: int) -> ArrivalTrace:
+    """Sinusoidally modulated arrival intensity (a compressed day).
+
+    Arrival candidates are drawn at a constant peak rate and thinned
+    by the instantaneous intensity, so load swells and ebbs smoothly;
+    lifetimes are long enough that the peaks stack tenants.
+    """
+    rng = np.random.default_rng(seed)
+    peak_rate = 0.8
+    period_s = 40.0
+    builder = TraceBuilder(max_concurrent=5, name="diurnal")
+    time_s = 0.0
+    while True:
+        time_s += float(rng.exponential(1.0 / peak_rate))
+        if time_s >= 80.0:
+            break
+        intensity = 0.5 * (1.0 + np.sin(2.0 * np.pi * time_s / period_s))
+        accept = rng.random() < intensity
+        lifetime = float(rng.uniform(8.0, 25.0))
+        if not accept:
+            continue
+        builder.advance(time_s)
+        free = [m for m in MODEL_NAMES if m not in builder.active_models]
+        if not free:
+            continue
+        builder.add(
+            time_s,
+            free[int(rng.integers(len(free)))],
+            lifetime_s=lifetime,
+            priority=int(rng.integers(0, 2)),
+        )
+    return builder.finish()
+
+
+def _priority_inversion(seed: int) -> ArrivalTrace:
+    """Low-priority residents first, urgent short-lived churn on top.
+
+    Three priority-0 tenants occupy the board for the whole horizon,
+    then priority-2 tenants arrive and leave quickly — the shape that
+    exposes priority handling in batching and reporting (does urgent
+    work wait behind resident bulk?).
+    """
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(max_concurrent=5, name="priority-inversion")
+    for index, model in enumerate(["vgg19", "resnet50", "inception_v3"]):
+        builder.add(2.0 * index, model, lifetime_s=60.0, priority=0)
+    time_s = 10.0
+    while True:
+        time_s += float(rng.exponential(1.0 / 0.35))
+        if time_s >= 50.0:
+            break
+        builder.advance(time_s)
+        free = [m for m in MODEL_NAMES if m not in builder.active_models]
+        if not free:
+            continue
+        builder.add(
+            time_s,
+            free[int(rng.integers(len(free)))],
+            lifetime_s=float(rng.uniform(3.0, 8.0)),
+            priority=2,
+        )
+    return builder.finish()
+
+
+def _steady_drain(seed: int) -> ArrivalTrace:
+    """A filled board that only empties: departures dominate.
+
+    All arrivals land in the first 15 s with widely spread lifetimes,
+    then tenants leave one by one until the board is empty — a pure
+    sequence of single departures, the warm-start re-search's home
+    turf.
+    """
+    return generate_trace(
+        TraceConfig(
+            arrival_rate=0.6,
+            min_lifetime_s=10.0,
+            max_lifetime_s=45.0,
+            horizon_s=15.0,
+            max_concurrent=5,
+            seed=seed,
+            name="steady-drain",
+        )
+    )
+
+
+CHURN_SCENARIOS: Dict[str, ChurnScenario] = {
+    preset.name: preset
+    for preset in [
+        ChurnScenario(
+            name="bursty",
+            description=(
+                "quiet baseline with bursts of simultaneous short-lived "
+                "arrivals every 8 s over a long-lived anchor tenant"
+            ),
+            build=_bursty,
+        ),
+        ChurnScenario(
+            name="diurnal",
+            description=(
+                "sinusoidally modulated arrival intensity with long "
+                "lifetimes; load swells and ebbs like a compressed day"
+            ),
+            build=_diurnal,
+        ),
+        ChurnScenario(
+            name="priority-inversion",
+            description=(
+                "three low-priority residents for the whole horizon, "
+                "urgent priority-2 short-lived tenants churning on top"
+            ),
+            build=_priority_inversion,
+        ),
+        ChurnScenario(
+            name="steady-drain",
+            description=(
+                "every arrival lands in the first 15 s, then the board "
+                "drains tenant by tenant to empty — pure departures"
+            ),
+            build=_steady_drain,
+        ),
+    ]
+}
+
+
+def churn_scenario(name: str, seed: int = 0) -> ArrivalTrace:
+    """Build a named churn scenario's trace (deterministic per seed)."""
+    if name not in CHURN_SCENARIOS:
+        raise KeyError(
+            f"unknown churn scenario {name!r}; available: "
+            f"{', '.join(CHURN_SCENARIOS)}"
+        )
+    return CHURN_SCENARIOS[name].build(seed)
+
+
+def churn_scenario_names() -> List[str]:
+    """All churn scenario names."""
+    return list(CHURN_SCENARIOS)

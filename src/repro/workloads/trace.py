@@ -1,0 +1,425 @@
+"""Dynamic multi-DNN workload traces: tenants arriving and departing.
+
+The paper schedules a *fixed* mix, but the deployments it motivates
+(AR headsets, smart cameras, assistant hubs) see networks come and go
+continuously: a face-unlock model spins up for seconds, a navigation
+backbone stays resident for minutes.  This module gives that dynamism
+a value type — the :class:`ArrivalTrace`, an immutable time-ordered
+sequence of :class:`ArrivalEvent` records — plus a seeded Poisson
+generator (:func:`generate_trace`) and a low-level
+:class:`TraceBuilder` that the named churn scenarios in
+:mod:`repro.workloads.scenarios` compose.
+
+A trace obeys three invariants, checked at construction: events are
+time-ordered, every departure matches an earlier arrival of the same
+tenant, and no two tenants of the *same model* are ever active at once
+(the embedding representation requires distinct networks per mix, see
+:class:`~repro.workloads.mix.Workload`).  Arrivals that would violate
+the duplicate rule or the concurrency cap are dropped by the
+generator, mirroring an admission controller.
+
+A quick feel for the surface::
+
+    >>> from repro.workloads.trace import TraceConfig, generate_trace
+    >>> trace = generate_trace(TraceConfig(seed=7, horizon_s=30.0))
+    >>> trace.events[0].kind
+    'arrival'
+    >>> trace == generate_trace(TraceConfig(seed=7, horizon_s=30.0))
+    True
+    >>> [e.kind for e in trace][:3]  # time-ordered churn
+    ['arrival', 'arrival', 'arrival']
+
+Consumers replay a trace event by event
+(:class:`repro.online.OnlineScheduler`) or in coalesced same-timestamp
+groups (:meth:`ArrivalTrace.grouped`, used by
+:meth:`repro.service.SchedulingService.run_trace` to pool the burst's
+re-searches into shared estimator batches).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models.registry import MODEL_NAMES
+
+__all__ = [
+    "ArrivalEvent",
+    "ArrivalTrace",
+    "TraceBuilder",
+    "TraceConfig",
+    "generate_trace",
+]
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One tenancy change: a DNN instance arriving or departing.
+
+    ``tenant_id`` identifies the instance (one arrival, at most one
+    departure); ``model`` is the zoo name it runs; ``priority`` rides
+    along to the scheduler (higher = more urgent re-planning and
+    reporting bucket).
+    """
+
+    time_s: float
+    kind: str  # "arrival" | "departure"
+    tenant_id: str
+    model: str
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("arrival", "departure"):
+            raise ValueError(
+                f"kind must be 'arrival' or 'departure', got {self.kind!r}"
+            )
+        if self.time_s < 0:
+            raise ValueError(f"time_s must be >= 0, got {self.time_s}")
+        if self.priority < 0:
+            raise ValueError(f"priority must be >= 0, got {self.priority}")
+
+    def to_dict(self) -> Dict:
+        return {
+            "time_s": self.time_s,
+            "kind": self.kind,
+            "tenant_id": self.tenant_id,
+            "model": self.model,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ArrivalEvent":
+        return cls(
+            time_s=float(payload["time_s"]),
+            kind=str(payload["kind"]),
+            tenant_id=str(payload["tenant_id"]),
+            model=str(payload["model"]),
+            priority=int(payload.get("priority", 0)),
+        )
+
+
+class ArrivalTrace:
+    """An immutable, validated, time-ordered sequence of tenancy events.
+
+    Construction enforces the trace invariants (time order, matched
+    departures, no concurrent duplicate models), so every consumer can
+    replay events without re-checking admission rules.
+    """
+
+    def __init__(self, events: Sequence[ArrivalEvent], name: str = "") -> None:
+        self.events: Tuple[ArrivalEvent, ...] = tuple(events)
+        self.name = name
+        self._validate()
+
+    def _validate(self) -> None:
+        active_models: Dict[str, str] = {}  # model -> tenant
+        tenant_model: Dict[str, str] = {}
+        departed: set = set()
+        previous = 0.0
+        for index, event in enumerate(self.events):
+            if event.time_s < previous:
+                raise ValueError(
+                    f"event #{index} at t={event.time_s} precedes "
+                    f"t={previous}; traces must be time-ordered"
+                )
+            previous = event.time_s
+            if event.kind == "arrival":
+                if event.tenant_id in tenant_model:
+                    raise ValueError(
+                        f"tenant {event.tenant_id!r} arrives twice"
+                    )
+                if event.model in active_models:
+                    raise ValueError(
+                        f"event #{index}: model {event.model!r} already "
+                        f"active (tenant {active_models[event.model]!r}); "
+                        "concurrent duplicates are not representable"
+                    )
+                tenant_model[event.tenant_id] = event.model
+                active_models[event.model] = event.tenant_id
+            else:
+                if event.tenant_id not in tenant_model:
+                    raise ValueError(
+                        f"departure of unknown tenant {event.tenant_id!r}"
+                    )
+                if event.tenant_id in departed:
+                    raise ValueError(
+                        f"tenant {event.tenant_id!r} departs twice"
+                    )
+                if event.model != tenant_model[event.tenant_id]:
+                    raise ValueError(
+                        f"event #{index}: tenant {event.tenant_id!r} "
+                        f"departs as {event.model!r} but arrived as "
+                        f"{tenant_model[event.tenant_id]!r}"
+                    )
+                departed.add(event.tenant_id)
+                active_models.pop(tenant_model[event.tenant_id], None)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ArrivalEvent]:
+        return iter(self.events)
+
+    def __getitem__(self, index: int) -> ArrivalEvent:
+        return self.events[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArrivalTrace):
+            return NotImplemented
+        return self.events == other.events
+
+    def __hash__(self) -> int:
+        return hash(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f"{self.name!r}, " if self.name else ""
+        return f"ArrivalTrace({label}{len(self.events)} events)"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def horizon_s(self) -> float:
+        """Time of the last event (0 for an empty trace)."""
+        return self.events[-1].time_s if self.events else 0.0
+
+    @property
+    def max_concurrency(self) -> int:
+        """Peak number of simultaneously active tenants."""
+        active = 0
+        peak = 0
+        for event in self.events:
+            active += 1 if event.kind == "arrival" else -1
+            peak = max(peak, active)
+        return peak
+
+    def grouped(self) -> List[List[ArrivalEvent]]:
+        """Events coalesced into groups sharing an identical timestamp.
+
+        A burst of simultaneous arrivals lands in one group, which the
+        service turns into concurrently driven re-searches.
+        """
+        groups: List[List[ArrivalEvent]] = []
+        for event in self.events:
+            if groups and groups[-1][-1].time_s == event.time_s:
+                groups[-1].append(event)
+            else:
+                groups.append([event])
+        return groups
+
+    def truncated(self, max_events: int) -> "ArrivalTrace":
+        """The first ``max_events`` events (tenants may never depart)."""
+        if max_events < 0:
+            raise ValueError(f"max_events must be >= 0, got {max_events}")
+        return ArrivalTrace(self.events[:max_events], name=self.name)
+
+    # ------------------------------------------------------------------
+    # Serialization (the ``serve-trace`` CLI file format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ArrivalTrace":
+        return cls(
+            [ArrivalEvent.from_dict(entry) for entry in payload["events"]],
+            name=str(payload.get("name", "")),
+        )
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def from_json(cls, path: str) -> "ArrivalTrace":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+class TraceBuilder:
+    """Admission-controlled trace assembly.
+
+    ``add`` requests an arrival at a given time; the builder flushes
+    any departures already due, drops the arrival if its model is
+    still resident (or the concurrency cap is reached), and otherwise
+    schedules the matching departure ``lifetime_s`` later.  ``finish``
+    flushes the remaining departures and returns the validated trace.
+    The churn scenarios and :func:`generate_trace` are all written on
+    top of this.
+    """
+
+    def __init__(self, max_concurrent: Optional[int] = None, name: str = "") -> None:
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        self.max_concurrent = max_concurrent
+        self.name = name
+        self._events: List[ArrivalEvent] = []
+        self._active: Dict[str, str] = {}  # model -> tenant_id
+        self._departures: List[Tuple[float, int, ArrivalEvent]] = []
+        self._counter = 0
+
+    def _flush_departures(self, until_s: float) -> None:
+        while self._departures and self._departures[0][0] <= until_s:
+            _, _, event = heapq.heappop(self._departures)
+            self._events.append(event)
+            self._active.pop(event.model, None)
+
+    def advance(self, time_s: float) -> None:
+        """Emit all departures due at or before ``time_s``.
+
+        ``add`` does this implicitly; call it directly before reading
+        :attr:`active_models` for a given instant.
+        """
+        self._flush_departures(time_s)
+
+    def add(
+        self,
+        time_s: float,
+        model: str,
+        lifetime_s: float,
+        priority: int = 0,
+    ) -> Optional[str]:
+        """Admit one arrival; returns its tenant id, or ``None`` if dropped."""
+        if lifetime_s <= 0:
+            raise ValueError(f"lifetime_s must be > 0, got {lifetime_s}")
+        self._flush_departures(time_s)
+        if model in self._active:
+            return None
+        if (
+            self.max_concurrent is not None
+            and len(self._active) >= self.max_concurrent
+        ):
+            return None
+        tenant_id = f"t{self._counter:04d}"
+        self._counter += 1
+        self._events.append(
+            ArrivalEvent(time_s, "arrival", tenant_id, model, priority)
+        )
+        departure = ArrivalEvent(
+            time_s + lifetime_s, "departure", tenant_id, model, priority
+        )
+        heapq.heappush(
+            self._departures, (departure.time_s, self._counter, departure)
+        )
+        self._active[model] = tenant_id
+        return tenant_id
+
+    @property
+    def active_models(self) -> Tuple[str, ...]:
+        """Models resident at the latest flushed time."""
+        return tuple(self._active)
+
+    def finish(self) -> ArrivalTrace:
+        """Flush all scheduled departures and return the trace."""
+        self._flush_departures(float("inf"))
+        return ArrivalTrace(self._events, name=self.name)
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs of the Poisson churn generator (:func:`generate_trace`).
+
+    ``arrival_rate`` is the Poisson intensity in arrivals/second (the
+    generator draws exponential inter-arrival gaps); lifetimes are
+    bounded uniform draws in ``[min_lifetime_s, max_lifetime_s]``;
+    ``priorities``/``priority_weights`` set the per-request priority
+    distribution.  Arrivals past ``horizon_s`` are not generated, but
+    every admitted tenant still departs, so a finished trace always
+    drains to an empty board.
+    """
+
+    arrival_rate: float = 0.4
+    min_lifetime_s: float = 4.0
+    max_lifetime_s: float = 20.0
+    horizon_s: float = 60.0
+    max_concurrent: int = 5
+    model_pool: Tuple[str, ...] = tuple(MODEL_NAMES)
+    priorities: Tuple[int, ...] = (0, 1)
+    priority_weights: Optional[Tuple[float, ...]] = None
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError(
+                f"arrival_rate must be > 0, got {self.arrival_rate}"
+            )
+        if not 0 < self.min_lifetime_s <= self.max_lifetime_s:
+            raise ValueError(
+                "need 0 < min_lifetime_s <= max_lifetime_s, got "
+                f"[{self.min_lifetime_s}, {self.max_lifetime_s}]"
+            )
+        if self.horizon_s <= 0:
+            raise ValueError(f"horizon_s must be > 0, got {self.horizon_s}")
+        if self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        if not self.model_pool:
+            raise ValueError("model_pool must be non-empty")
+        if not self.priorities:
+            raise ValueError("priorities must be non-empty")
+        if self.priority_weights is not None and (
+            len(self.priority_weights) != len(self.priorities)
+        ):
+            raise ValueError(
+                f"{len(self.priority_weights)} weights for "
+                f"{len(self.priorities)} priorities"
+            )
+
+
+def generate_trace(
+    config: Optional[TraceConfig] = None, **overrides
+) -> ArrivalTrace:
+    """Sample a seeded Poisson churn trace.
+
+    ``overrides`` are :class:`TraceConfig` fields applied on top of
+    ``config`` (or the defaults).  The same configuration always
+    yields the same trace.
+    """
+    if config is None:
+        config = TraceConfig(**overrides)
+    elif overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    rng = np.random.default_rng(config.seed)
+    builder = TraceBuilder(
+        max_concurrent=config.max_concurrent, name=config.name
+    )
+    weights = config.priority_weights
+    time_s = 0.0
+    while True:
+        time_s += float(rng.exponential(1.0 / config.arrival_rate))
+        if time_s >= config.horizon_s:
+            break
+        builder.advance(time_s)
+        candidates = [
+            model
+            for model in config.model_pool
+            if model not in builder.active_models
+        ]
+        lifetime = float(
+            rng.uniform(config.min_lifetime_s, config.max_lifetime_s)
+        )
+        priority = int(
+            rng.choice(np.asarray(config.priorities), p=weights)
+        )
+        if not candidates:
+            continue
+        model = candidates[int(rng.integers(len(candidates)))]
+        builder.add(time_s, model, lifetime, priority=priority)
+    return builder.finish()

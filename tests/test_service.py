@@ -257,6 +257,81 @@ class TestRequestKnobs:
         assert response.request_id == "abc"
 
 
+class TestPerPriorityStats:
+    """Satellite: per-priority service levels are measured, and the
+    priority-first drive order can never starve (or change the results
+    of) priority-0 requests."""
+
+    def test_mixed_priorities_counted_and_not_starved(self):
+        from dataclasses import replace as dc_replace
+
+        priorities = [0, 5, 0, 9]
+        requests = [
+            ScheduleRequest(
+                workload=Workload.from_names(names),
+                priority=priority,
+                request_id=str(index),
+            )
+            for index, (names, priority) in enumerate(
+                zip(MIX_NAMES[:4], priorities)
+            )
+        ]
+        service = _make_service()
+        responses = service.schedule_many(requests)
+        # No starvation: every priority-0 request is answered with a
+        # valid mapping and its wait is recorded.
+        for request, response in zip(requests, responses):
+            assert response is not None
+            response.mapping.validate(request.workload.models, 3)
+        stats = service.stats()
+        assert stats.requests_by_priority == {0: 2, 5: 1, 9: 1}
+        for priority in (0, 5, 9):
+            assert stats.mean_wait_s(priority) > 0
+        assert stats.mean_wait_s(42) == 0.0
+        # And the sort is cosmetic: identical decisions to an
+        # all-priority-0 batch.
+        plain = _make_service().schedule_many(
+            [dc_replace(request, priority=0) for request in requests]
+        )
+        for response_a, response_b in zip(responses, plain):
+            assert response_a.mapping == response_b.mapping
+
+    def test_follower_priority_inheritance_keeps_results(self):
+        """A high-priority duplicate of a low-priority in-flight mix
+        lifts that search's drive priority (no inversion) without
+        changing any decision."""
+        requests = [
+            ScheduleRequest(
+                workload=Workload.from_names(["alexnet", "mobilenet"]),
+                priority=0,
+            ),
+            ScheduleRequest(
+                workload=Workload.from_names(["vgg19", "resnet50"]),
+                priority=1,
+            ),
+            ScheduleRequest(
+                workload=Workload.from_names(["mobilenet", "alexnet"]),
+                priority=9,  # urgent permuted duplicate of request 0
+            ),
+        ]
+        service = _make_service()
+        responses = service.schedule_many(requests)
+        assert responses[2].cache_status == "hit"
+        sequential_service = _make_service()
+        sequential = [sequential_service.submit(r) for r in requests]
+        for response_a, response_b in zip(responses, sequential):
+            assert response_a.mapping == response_b.mapping
+        stats = service.stats()
+        assert stats.requests_by_priority == {0: 1, 1: 1, 9: 1}
+
+    def test_stats_snapshot_is_isolated(self):
+        service = _make_service()
+        service.submit(Workload.from_names(["alexnet", "mobilenet"]))
+        snapshot = service.stats()
+        snapshot.requests_by_priority[0] = 999
+        assert service.stats().requests_by_priority[0] == 1
+
+
 class TestNonPoolingScheduler:
     def test_baseline_service_with_cache(self):
         service = SchedulingService(SystemBuilder(seed=29), scheduler="baseline")
