@@ -139,6 +139,7 @@ class SystemBuilder:
         self._measurement_repetitions = 3
         self._reserve_layers = 0
         self._reserve_models = 0
+        self._use_compiled = True
         self._checkpoint: Optional[str] = None
         self._selected: Optional[list] = None  # None = every registered name
         self._artifacts: Dict[str, Any] = {}
@@ -202,8 +203,14 @@ class SystemBuilder:
         train: bool = True,
         reserve_layers: int = 0,
         reserve_models: int = 0,
+        use_compiled: bool = True,
     ) -> "SystemBuilder":
-        """Configure the estimator stage (training still deferred)."""
+        """Configure the estimator stage (training still deferred).
+
+        ``use_compiled=False`` opts the estimator out of the compiled
+        inference plan and back onto the autograd interpreter (the CLI
+        exposes this as ``--no-compiled-inference``).
+        """
         self._require_unbuilt("embedding", "estimator", "trained")
         self._num_training_samples = num_training_samples
         self._epochs = epochs
@@ -211,6 +218,7 @@ class SystemBuilder:
         self._train = train
         self._reserve_layers = reserve_layers
         self._reserve_models = reserve_models
+        self._use_compiled = use_compiled
         return self
 
     def from_checkpoint(self, path: str) -> "SystemBuilder":
@@ -333,7 +341,9 @@ class SystemBuilder:
         estimator = self._memo(
             "estimator",
             lambda: ThroughputEstimator(
-                self.embedding, rng=np.random.default_rng(self.seed + 1)
+                self.embedding,
+                rng=np.random.default_rng(self.seed + 1),
+                use_compiled=self._use_compiled,
             ),
         )
         self._ensure_trained(estimator)

@@ -121,13 +121,17 @@ def _make_builder(args: argparse.Namespace) -> SystemBuilder:
             use_eval_cache=not getattr(args, "no_eval_cache", False),
         )
     )
+    use_compiled = not getattr(args, "no_compiled_inference", False)
     checkpoint = getattr(args, "checkpoint", "")
     if checkpoint and os.path.exists(checkpoint):
+        builder.with_estimator(train=False, use_compiled=use_compiled)
         builder.from_checkpoint(checkpoint)
         print(f"loaded estimator checkpoint {checkpoint}")
     else:
         builder.with_estimator(
-            num_training_samples=args.samples, epochs=args.epochs
+            num_training_samples=args.samples,
+            epochs=args.epochs,
+            use_compiled=use_compiled,
         )
     return builder
 
@@ -453,6 +457,12 @@ def build_parser() -> argparse.ArgumentParser:
         "rollout leaves)",
     )
     schedule.add_argument(
+        "--no-compiled-inference",
+        action="store_true",
+        help="run estimator queries through the autograd interpreter "
+        "instead of the compiled inference plan",
+    )
+    schedule.add_argument(
         "--scheduler",
         action="append",
         metavar="NAME",
@@ -477,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--eval-batch-size", type=_positive_int, default=1)
     serve.add_argument("--no-eval-cache", action="store_true")
+    serve.add_argument("--no-compiled-inference", action="store_true")
     serve.add_argument(
         "--scheduler",
         type=str,
@@ -521,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--eval-batch-size", type=_positive_int, default=1)
     trace.add_argument("--no-eval-cache", action="store_true")
+    trace.add_argument("--no-compiled-inference", action="store_true")
     trace.add_argument(
         "--budget",
         type=_positive_int,
@@ -570,6 +582,7 @@ def build_parser() -> argparse.ArgumentParser:
     power.add_argument("--seed", type=int, default=0)
     power.add_argument("--eval-batch-size", type=_positive_int, default=1)
     power.add_argument("--no-eval-cache", action="store_true")
+    power.add_argument("--no-compiled-inference", action="store_true")
     power.set_defaults(fn=_cmd_power)
     return parser
 

@@ -247,14 +247,78 @@ class EmbeddingSpace:
         return self.tensor * self.mask(workload, mapping)
 
     def encode_batch(
-        self, pairs: Sequence[Tuple[Workload, Mapping]]
+        self,
+        pairs: Sequence[Tuple[Workload, Mapping]],
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Stack encodings into an ``(N, D, L, M)`` batch."""
+        """Stack encodings into an ``(N, D, L, M)`` batch.
+
+        Equivalent to stacking :meth:`encode` per pair, but vectorized:
+        instead of materializing a boolean mask per pair (a Python loop
+        over every layer), the activated cells are scattered directly —
+        one fancy-indexed gather/assign per (pair, model) row.  Cell
+        values are identical either way (``mask * U`` keeps exactly the
+        masked entries of ``U``).
+
+        ``out`` lets the caller provide the destination — notably the
+        compiled :class:`~repro.nn.inference.InferencePlan` input arena
+        (any layout accepted, e.g. a transposed NHWC interior view), so
+        the search hot path renders queries straight into the buffers
+        the plan executes from, with no staging copy.  Values are cast
+        to ``out``'s dtype on assignment, matching what feeding the
+        float64 encoding to a float32 network would do.
+        """
         if not pairs:
             raise ValueError("encode_batch needs at least one pair")
-        return np.stack(
-            [self.encode(workload, mapping) for workload, mapping in pairs]
-        )
+        shape = (len(pairs),) + self.input_shape
+        if out is None:
+            out = np.zeros(shape)
+        else:
+            if out.shape != shape:
+                raise ValueError(
+                    f"out has shape {out.shape}, batch needs {shape}"
+                )
+            out[...] = 0.0
+        # Collect every activated (pair, device, layer, column) cell
+        # with C-speed list extends, then gather from ``U`` and scatter
+        # into ``out`` in one fancy-indexed pass over the whole batch.
+        device_values: list = []
+        layer_values: list = []
+        column_values: list = []
+        cells_per_pair: list = []
+        for workload, mapping in pairs:
+            if mapping.num_dnns != workload.num_dnns:
+                raise ValueError(
+                    f"mapping covers {mapping.num_dnns} DNNs, workload has "
+                    f"{workload.num_dnns}"
+                )
+            total = 0
+            for model, row in zip(workload.models, mapping.assignments):
+                if len(row) != model.num_layers:
+                    raise ValueError(
+                        f"mapping assigns {len(row)} layers for model "
+                        f"{model.name!r} with {model.num_layers}"
+                    )
+                column = self.column_of(model.name)
+                device_values.extend(row)
+                layer_values.extend(range(len(row)))
+                column_values.extend([column] * len(row))
+                total += len(row)
+            cells_per_pair.append(total)
+        devices = np.asarray(device_values, dtype=np.intp)
+        over = devices >= self.num_devices
+        if over.any():
+            raise ValueError(
+                f"device id {int(devices[over.argmax()])} out of "
+                f"range ({self.num_devices} devices)"
+            )
+        rows = np.repeat(np.arange(len(pairs)), cells_per_pair)
+        layers = np.asarray(layer_values, dtype=np.intp)
+        columns = np.asarray(column_values, dtype=np.intp)
+        out[rows, devices, layers, columns] = self.tensor[
+            devices, layers, columns
+        ]
+        return out
 
     @property
     def input_shape(self) -> Tuple[int, int, int]:

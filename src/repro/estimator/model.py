@@ -20,6 +20,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..nn.inference import InferencePlan, PlanCompileError, compile_resnet9
 from ..nn.resnet9 import ResNet9
 from ..nn.tensor import Tensor, no_grad
 from ..sim.mapping import Mapping
@@ -31,7 +32,28 @@ __all__ = ["ThroughputEstimator"]
 
 
 class ThroughputEstimator:
-    """CNN predictor of per-component throughput under a mapping."""
+    """CNN predictor of per-component throughput under a mapping.
+
+    Inference runs through a compiled :class:`~repro.nn.inference.InferencePlan`
+    by default (``use_compiled=True``): the eval-mode backbone is
+    captured once into raw-numpy kernel steps (BatchNorm folded,
+    conv+GELU fused, preallocated arenas) and every query executes
+    that plan — same predictions within tight tolerance, several times
+    faster.  The plan compiles lazily on the first eval-mode query and
+    invalidates automatically when the backbone's weights change
+    (training-mode forwards and ``load_state_dict()`` bump
+    :attr:`~repro.nn.layers.Module.version`); call
+    :meth:`invalidate_plan` after any out-of-band in-place weight
+    write.  One known window: a query issued *between* ``backward()``
+    and ``optimizer.step()`` snapshots pre-step weights and the step
+    itself does not bump the version — the snapshot refreshes at the
+    next training forward, or immediately via :meth:`invalidate_plan`.
+    Set ``use_compiled=False`` to fall back to the autograd
+    interpreter — bit-for-bit the historical path; a backbone the
+    compiler cannot capture falls back automatically
+    (:class:`~repro.nn.inference.PlanCompileError` flips
+    ``use_compiled`` off).
+    """
 
     def __init__(
         self,
@@ -39,6 +61,7 @@ class ThroughputEstimator:
         backbone: Optional[ResNet9] = None,
         target_transform: Optional[TargetTransform] = None,
         rng: Optional[np.random.Generator] = None,
+        use_compiled: bool = True,
     ) -> None:
         self.embedding = embedding
         self.network = backbone or ResNet9(
@@ -48,6 +71,36 @@ class ThroughputEstimator:
         )
         self.target_transform = target_transform or TargetTransform()
         self.query_count = 0
+        self.use_compiled = use_compiled
+        self._plan: Optional[InferencePlan] = None
+        self._plan_version: Optional[int] = None
+        self._plan_compiles = 0
+
+    # ------------------------------------------------------------------
+    # Compiled-plan lifecycle
+    # ------------------------------------------------------------------
+    def invalidate_plan(self) -> None:
+        """Drop the compiled plan; the next eval-mode query recompiles.
+
+        Training steps and ``load_state_dict`` invalidate automatically
+        (the backbone bumps its version); this hook covers direct
+        in-place writes to ``Tensor.data`` that bypass both.
+        """
+        self._plan = None
+        self._plan_version = None
+
+    @property
+    def plan_compiles(self) -> int:
+        """How many times a compiled plan has been (re)built."""
+        return self._plan_compiles
+
+    def _compiled_plan(self) -> InferencePlan:
+        version = self.network.version
+        if self._plan is None or self._plan_version != version:
+            self._plan = compile_resnet9(self.network)
+            self._plan_version = version
+            self._plan_compiles += 1
+        return self._plan
 
     # ------------------------------------------------------------------
     # Inference
@@ -62,13 +115,45 @@ class ThroughputEstimator:
     def predict_normalized_batch(
         self, pairs: Sequence[Tuple[Workload, Mapping]]
     ) -> np.ndarray:
-        """Batched normalized predictions ``(N, num_devices)``."""
-        inputs = self.embedding.encode_batch(pairs)
+        """Batched normalized predictions ``(N, num_devices)``.
+
+        Runs in eval mode, restoring the caller's training mode on the
+        way out, and counts queries only after the forward succeeds —
+        a raising encode or forward never inflates the Section V-B
+        accounting.
+        """
+        if not pairs:
+            raise ValueError("encode_batch needs at least one pair")
+        network = self.network
+        was_training = network.training
+        if was_training:
+            network.eval()
+        try:
+            use_compiled = self.use_compiled
+            if use_compiled:
+                try:
+                    plan = self._compiled_plan()
+                except PlanCompileError:
+                    # Backbones the compiler cannot capture fall back
+                    # to the interpreter permanently (documented
+                    # contract; recompiling would fail identically).
+                    self.use_compiled = False
+                    use_compiled = False
+            if use_compiled:
+                _, height, width = self.embedding.input_shape
+                count = len(pairs)
+                view = plan.prepare(count, height, width)
+                self.embedding.encode_batch(pairs, out=view)
+                outputs = plan.execute(count, height, width)
+            else:
+                inputs = self.embedding.encode_batch(pairs)
+                with no_grad():
+                    outputs = self.network(Tensor(inputs)).numpy().copy()
+        finally:
+            if was_training:
+                network.train()
         self.query_count += len(pairs)
-        self.network.eval()
-        with no_grad():
-            outputs = self.network(Tensor(inputs))
-        return outputs.numpy().copy()
+        return outputs
 
     def predict_throughput(
         self, workload: Workload, mapping: Mapping
@@ -93,6 +178,11 @@ class ThroughputEstimator:
         relies on to stay result-identical to per-request calls.  This
         is the search hot path's vectorized entry point.
         """
+        # Fail before the forward runs: an unfitted transform would
+        # raise *after* the network was queried, which (now that only
+        # successful queries count) would still be honest — but
+        # checking first keeps the failure free.
+        self.target_transform.require_fitted()
         normalized = self.predict_normalized_batch(pairs)
         return self.target_transform.inverse(normalized)
 
@@ -143,6 +233,7 @@ class ThroughputEstimator:
             embedding,
             backbone=self.network,
             target_transform=self.target_transform,
+            use_compiled=self.use_compiled,
         )
 
     # ------------------------------------------------------------------

@@ -53,6 +53,14 @@ class TargetTransform:
         if not self.fitted:
             raise RuntimeError("TargetTransform used before fit()")
 
+    def require_fitted(self) -> None:
+        """Raise the canonical unfitted error if :meth:`fit` has not run.
+
+        Public so callers (e.g. the estimator's throughput path) can
+        fail fast *before* paying for a forward pass.
+        """
+        self._require_fitted()
+
     # ------------------------------------------------------------------
     # Transforms
     # ------------------------------------------------------------------

@@ -189,15 +189,29 @@ class EstimatorTrainer:
             history.train_losses.append(float(np.mean(epoch_losses)))
             history.val_losses.append(self.evaluate(val_split))
         history.wall_time_s = time.perf_counter() - started
+        # The epochs above mutated the backbone in place; training-mode
+        # switches already bump the backbone version, but be explicit:
+        # any compiled inference plan snapshot is now stale.
+        self.estimator.invalidate_plan()
         return history
 
     def evaluate(self, split: TensorDataset) -> float:
-        """Mean loss of the current network over a split."""
+        """Mean loss of the current network over a split.
+
+        Runs the autograd interpreter in eval mode and restores the
+        prior training mode on the way out (mirroring
+        :meth:`~repro.estimator.model.ThroughputEstimator.predict_normalized_batch`).
+        """
         network = self.estimator.network
+        was_training = network.training
         network.eval()
         from ..nn.tensor import no_grad
 
-        with no_grad():
-            predictions = network(Tensor(split.inputs))
-            loss = self._loss_fn(predictions, Tensor(split.targets))
+        try:
+            with no_grad():
+                predictions = network(Tensor(split.inputs))
+                loss = self._loss_fn(predictions, Tensor(split.targets))
+        finally:
+            if was_training:
+                network.train()
         return loss.item()

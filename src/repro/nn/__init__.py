@@ -7,6 +7,7 @@ loaders and the ResNet9 estimator backbone.
 
 from . import functional
 from .data import DataLoader, TensorDataset
+from .inference import InferencePlan, PlanCompileError, compile_resnet9
 from .functional import (
     avg_pool2d,
     conv2d,
@@ -42,10 +43,12 @@ __all__ = [
     "Flatten",
     "GELU",
     "GlobalAvgPool2d",
+    "InferencePlan",
     "Linear",
     "MaxPool2d",
     "Module",
     "Optimizer",
+    "PlanCompileError",
     "ReLU",
     "ResNet9",
     "ResidualBlock",
@@ -54,6 +57,7 @@ __all__ = [
     "Tensor",
     "TensorDataset",
     "avg_pool2d",
+    "compile_resnet9",
     "conv2d",
     "functional",
     "global_avg_pool2d",

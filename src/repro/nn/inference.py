@@ -1,0 +1,632 @@
+"""Ahead-of-time compiled inference for the ResNet9 estimator backbone.
+
+Every scheduling decision funnels ~500 estimator queries through one
+eval-mode forward pass, yet the autograd :class:`~repro.nn.tensor.Tensor`
+interpreter pays training-time overheads on each of them: per-op Tensor
+wrapping, a fresh allocation per intermediate, an ``ascontiguousarray``
+im2col copy per convolution and an unfolded eval-mode BatchNorm (six
+broadcasting ops).  This module removes all of that by *compiling* the
+network once:
+
+:func:`compile_resnet9` walks the module tree (``ConvBlock`` /
+``ResidualBlock`` / head ``Sequential``) and captures it into an
+:class:`InferencePlan` — a flat list of raw-numpy kernel steps with
+
+* **BatchNorm constant-folded** into the preceding conv's weights and
+  bias (eval mode uses frozen running statistics, so the affine
+  normalization is absorbed ahead of time);
+* **conv + GELU fused** into one step (the activation runs in place on
+  the conv's output buffer — no intermediate tensor materializes);
+* **padding folded into the gather**: inputs live inside persistent
+  zero-bordered NHWC buffers, so there is no per-call ``np.pad``;
+* **preallocated scratch arenas**, one per (batch size, geometry):
+  every matmul and ufunc writes ``out=`` into arena buffers that are
+  reused across calls — the steady-state query path performs no numpy
+  allocation beyond the returned result row block.
+
+The convolution kernel itself is a *band-split GEMM*: the padded NHWC
+activation is gathered once into width-windows of ``3*C`` contiguous
+values (a third of a classic ``9*C`` im2col copy), and the three kernel
+rows become three ``(H*W, 3C) @ (3C, O)`` per-sample matmuls that are
+summed.  Per-sample matmuls matter: like the interpreter's broadcast
+conv and :func:`~repro.nn.functional.linear_rowwise`, every kernel here
+prices each sample independently, so row ``i`` of a compiled batch is
+**bitwise identical regardless of batch composition** — the guarantee
+the scheduling service's cross-request evaluation pooling is built on.
+
+Compiled outputs are not bit-identical to the interpreter (folding and
+band-splitting re-associate float sums) but agree within tight
+tolerance (rtol ``1e-5`` in float32, far tighter in float64) — close
+enough that pinned-seed MCTS searches select identical mappings; the
+equivalence suite in ``tests/test_nn_inference.py`` and the gate in
+``benchmarks/test_perf_inference.py`` pin both properties.
+
+A plan snapshots the weights at compile time.  The estimator owns the
+compile-on-first-eval / invalidate-on-weight-update lifecycle via
+:attr:`~repro.nn.layers.Module.version` (bumped by ``train()`` and
+``load_state_dict()``); code that mutates ``Tensor.data`` in place
+outside those paths must call
+:meth:`~repro.estimator.model.ThroughputEstimator.invalidate_plan`.
+See ``docs/performance.md`` for the operational guide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .layers import (
+    BatchNorm2d,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    Module,
+    Sequential,
+)
+from .resnet9 import ConvBlock, ResidualBlock
+
+__all__ = ["PlanCompileError", "InferencePlan", "compile_resnet9"]
+
+
+class PlanCompileError(ValueError):
+    """The module tree cannot be captured into an inference plan."""
+
+
+@dataclass(frozen=True)
+class ConvStep:
+    """One folded conv3x3(+BN)+GELU(+pool) kernel step.
+
+    ``bands`` are the three kernel rows as ``(3*C, O)`` matrices in
+    width-window order (``j = dx * C + c``), already scaled by the
+    folded BatchNorm; ``bias`` absorbs the conv bias, the running mean
+    and the BatchNorm shift.  ``residual_from`` names the padded
+    buffer whose interior is added to this step's activation before it
+    is staged (the ResidualBlock skip), by conv index.
+    """
+
+    in_channels: int
+    out_channels: int
+    bands: Tuple[np.ndarray, np.ndarray, np.ndarray]
+    bias: np.ndarray
+    pool: bool
+    residual_from: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class HeadStep:
+    """One regression-head step: ``"linear"`` (rowwise) or ``"gelu"``."""
+
+    kind: str
+    weight: Optional[np.ndarray] = None  # (out, in), rowwise via .T view
+    bias: Optional[np.ndarray] = None
+
+
+def _fold_conv_block(block: ConvBlock, dtype: np.dtype) -> Tuple[Tuple, np.ndarray]:
+    """BN-fold one ConvBlock into band matrices + bias."""
+    conv = block.conv
+    norm = block.norm
+    if conv.kernel_size != 3 or conv.stride != 1 or conv.padding != 1:
+        raise PlanCompileError(
+            "only 3x3 / stride-1 / padding-1 convolutions compile "
+            f"(got k={conv.kernel_size}, s={conv.stride}, p={conv.padding})"
+        )
+    if not isinstance(norm, BatchNorm2d):
+        raise PlanCompileError(f"expected BatchNorm2d, got {type(norm).__name__}")
+    if not isinstance(block.act, GELU):
+        raise PlanCompileError(f"expected GELU activation, got {type(block.act).__name__}")
+    out_channels, in_channels = conv.out_channels, conv.in_channels
+    # Eval-mode BN is an affine map from frozen running statistics;
+    # mirror the interpreter's float arithmetic (stats are cast to the
+    # parameter dtype before (var + eps) ** 0.5, exactly as Tensor
+    # construction would cast them).
+    gamma = np.asarray(norm.weight.data, dtype=dtype)
+    beta = np.asarray(norm.bias.data, dtype=dtype)
+    mean = np.asarray(norm.running_mean, dtype=dtype)
+    var = np.asarray(norm.running_var, dtype=dtype)
+    scale = gamma / (var + dtype.type(norm.eps)) ** 0.5
+    weight = np.asarray(conv.weight.data, dtype=dtype) * scale[:, None, None, None]
+    conv_bias = (
+        np.asarray(conv.bias.data, dtype=dtype)
+        if conv.bias is not None
+        else np.zeros(out_channels, dtype=dtype)
+    )
+    bias = (conv_bias - mean) * scale + beta
+    # Kernel row dy as a (3C, O) matrix whose K axis matches the
+    # width-window gather layout: j = dx * C + c.
+    bands = tuple(
+        np.ascontiguousarray(
+            weight[:, :, dy, :].transpose(2, 1, 0).reshape(3 * in_channels, out_channels)
+        )
+        for dy in range(3)
+    )
+    return bands, np.ascontiguousarray(bias)
+
+
+def compile_resnet9(network: Module) -> "InferencePlan":
+    """Capture an eval-mode ResNet9-style network into an :class:`InferencePlan`.
+
+    Walks the module tree in registration order; any ``ConvBlock`` /
+    ``ResidualBlock`` trunk followed by a
+    ``GlobalAvgPool2d -> Flatten -> (Linear | GELU)...`` head compiles
+    (the walk is structural, so custom widths, depths and reserved
+    embedding geometries all work).  Raises :class:`PlanCompileError`
+    for anything else — callers fall back to the interpreter.
+    """
+    parameters = network.parameters()
+    if not parameters:
+        raise PlanCompileError("network has no parameters to compile")
+    dtype = np.dtype(parameters[0].data.dtype)
+    if any(np.dtype(param.data.dtype) != dtype for param in parameters):
+        raise PlanCompileError("mixed parameter dtypes cannot compile")
+
+    convs: List[ConvStep] = []
+    head: List[HeadStep] = []
+    state = {"gap": False, "features": 0}
+
+    def add_conv(block: ConvBlock, residual_from: Optional[int] = None) -> None:
+        if state["gap"]:
+            raise PlanCompileError("convolution after global pooling")
+        pool = block.pool
+        if pool is not None:
+            if not isinstance(pool, MaxPool2d):
+                raise PlanCompileError(f"expected MaxPool2d, got {type(pool).__name__}")
+            if pool.kernel_size != 2 or pool.stride not in (None, 2):
+                raise PlanCompileError("only 2x2 / stride-2 max pooling compiles")
+        if convs and block.conv.in_channels != convs[-1].out_channels:
+            raise PlanCompileError(
+                f"conv expects {block.conv.in_channels} channels, previous "
+                f"step produces {convs[-1].out_channels}"
+            )
+        bands, bias = _fold_conv_block(block, dtype)
+        convs.append(
+            ConvStep(
+                in_channels=block.conv.in_channels,
+                out_channels=block.conv.out_channels,
+                bands=bands,
+                bias=bias,
+                pool=pool is not None,
+                residual_from=residual_from,
+            )
+        )
+
+    def walk(module: Module) -> None:
+        if isinstance(module, ConvBlock):
+            add_conv(module)
+        elif isinstance(module, ResidualBlock):
+            first, second = module.block1, module.block2
+            if first.pool is not None or second.pool is not None:
+                raise PlanCompileError("pooling inside a residual block")
+            if first.conv.in_channels != second.conv.out_channels:
+                raise PlanCompileError("residual block does not preserve channels")
+            skip_source = len(convs)  # the buffer this block's input lives in
+            add_conv(first)
+            add_conv(second, residual_from=skip_source)
+        elif isinstance(module, Sequential):
+            for child in module:
+                walk(child)
+        elif isinstance(module, GlobalAvgPool2d):
+            if state["gap"]:
+                raise PlanCompileError("multiple global pooling layers")
+            if not convs:
+                raise PlanCompileError("global pooling before any convolution")
+            state["gap"] = True
+            state["features"] = convs[-1].out_channels
+        elif isinstance(module, Flatten):
+            if not state["gap"]:
+                raise PlanCompileError("Flatten outside the pooled head")
+        elif isinstance(module, Linear):
+            if not state["gap"]:
+                raise PlanCompileError("Linear outside the pooled head")
+            if module.in_features != state["features"]:
+                raise PlanCompileError(
+                    f"head linear expects {module.in_features} features, "
+                    f"previous step produces {state['features']}"
+                )
+            state["features"] = module.out_features
+            head.append(
+                HeadStep(
+                    kind="linear",
+                    # np.array (not ascontiguousarray): the plan must
+                    # SNAPSHOT the weights, never alias the live ones.
+                    weight=np.array(module.weight.data, dtype=dtype, order="C"),
+                    bias=(
+                        np.array(module.bias.data, dtype=dtype, order="C")
+                        if module.bias is not None
+                        else None
+                    ),
+                )
+            )
+        elif isinstance(module, GELU):
+            if not state["gap"]:
+                raise PlanCompileError("GELU outside the pooled head")
+            head.append(HeadStep(kind="gelu"))
+        else:
+            raise PlanCompileError(f"cannot compile module {type(module).__name__}")
+
+    for child in network.children():
+        walk(child)
+
+    if not convs:
+        raise PlanCompileError("network has no convolutional trunk")
+    if not state["gap"]:
+        raise PlanCompileError("network has no global pooling head")
+    linears = [step for step in head if step.kind == "linear"]
+    if not linears:
+        raise PlanCompileError("head has no linear layer")
+    if head[-1].kind != "linear":
+        raise PlanCompileError("head must end in a linear layer")
+    return InferencePlan(tuple(convs), tuple(head), dtype)
+
+
+def _gelu_ops(
+    x: np.ndarray,
+    scratch: np.ndarray,
+    dtype: np.dtype,
+    final_out: Optional[np.ndarray] = None,
+    defer_scale: bool = False,
+) -> List[Callable[[], None]]:
+    """In-place tanh-GELU: ``0.5 * x * (1 + tanh(c * (x + a * x^3)))``.
+
+    The inner polynomial is evaluated as ``(c*a) * x^2 + c`` times
+    ``x`` — one fewer pass over memory than the literal form, equal
+    within float re-association noise.  The chain leaves the result in
+    ``scratch`` (or writes its last multiply into ``final_out``,
+    fusing the staging copy away).  With ``defer_scale`` the final
+    ``* 0.5`` is omitted: a positive power-of-two scale is exact and
+    order-preserving, so callers may commute it past a following
+    max-pool and scale the quarter-sized output instead.
+    """
+    ca = dtype.type(float(np.sqrt(2.0 / np.pi)) * 0.044715)
+    c = dtype.type(np.sqrt(2.0 / np.pi))
+    one = dtype.type(1.0)
+    half = dtype.type(0.5)
+    ops: List[Callable[[], None]] = [
+        lambda: np.multiply(x, x, out=scratch),
+        lambda: np.multiply(scratch, ca, out=scratch),
+        lambda: np.add(scratch, c, out=scratch),
+        lambda: np.multiply(scratch, x, out=scratch),
+        lambda: np.tanh(scratch, out=scratch),
+        lambda: np.add(scratch, one, out=scratch),
+    ]
+    if defer_scale:
+        ops.append(lambda: np.multiply(scratch, x, out=scratch))
+    elif final_out is None:
+        ops.append(lambda: np.multiply(scratch, x, out=scratch))
+        ops.append(lambda: np.multiply(scratch, half, out=scratch))
+    else:
+        ops.append(lambda: np.multiply(scratch, x, out=scratch))
+        ops.append(lambda: np.multiply(scratch, half, out=final_out))
+    return ops
+
+
+class _Arena:
+    """All scratch state for one (capacity, height, width) geometry.
+
+    Padded NHWC activation buffers (zero borders written once, interiors
+    rewritten per call), width-window band buffers, conv output/scratch
+    pairs and head buffers — allocated once, reused by every query.
+    Programs (flat closure lists over ``[:n]`` views) are memoized per
+    batch size so steady-state execution does no slicing work either.
+    """
+
+    _MAX_PROGRAMS = 64
+
+    def __init__(self, plan: "InferencePlan", capacity: int, height: int, width: int):
+        self.capacity = capacity
+        self.height = height
+        self.width = width
+        dtype = plan.dtype
+        self.pads: List[np.ndarray] = []
+        self.bands: List[np.ndarray] = []
+        self.outs: List[np.ndarray] = []
+        self.scratches: List[np.ndarray] = []
+        self.pools: List[Optional[np.ndarray]] = []
+        self.shapes: List[Tuple[int, int]] = []
+        h, w = height, width
+        self.active: List[Tuple[int, int]] = []
+        for index, step in enumerate(plan.conv_steps):
+            if h < 1 or w < 1 or (step.pool and (h < 2 or w < 2)):
+                raise ValueError(
+                    f"input geometry {height}x{width} collapses to "
+                    f"{h}x{w} at conv step {index}"
+                )
+            self.shapes.append((h, w))
+            # A pool step only ever reads the even-cropped region of
+            # its conv's output, so the conv is not computed past it.
+            active_h = 2 * (h // 2) if step.pool else h
+            active_w = 2 * (w // 2) if step.pool else w
+            self.active.append((active_h, active_w))
+            self.pads.append(
+                np.zeros((capacity, h + 2, w + 2, step.in_channels), dtype=dtype)
+            )
+            # One extra, constant-1 trailing column per window row: the
+            # folded bias rides into the first band GEMM as the K+1-th
+            # term, so no separate bias pass ever runs.  The gather
+            # only ever writes the leading 3C columns, so the ones
+            # written here survive forever.
+            band = np.empty(
+                (capacity, active_h + 2, active_w, 3 * step.in_channels + 1),
+                dtype=dtype,
+            )
+            band[..., -1] = dtype.type(1.0)
+            self.bands.append(band)
+            out = np.empty(
+                (capacity, active_h, active_w, step.out_channels), dtype=dtype
+            )
+            self.outs.append(out)
+            self.scratches.append(np.empty_like(out))
+            if step.pool:
+                # Half-width staging buffer for the separable max.
+                self.pools.append(
+                    np.empty(
+                        (capacity, active_h, active_w // 2, step.out_channels),
+                        dtype=dtype,
+                    )
+                )
+                h, w = h // 2, w // 2
+            else:
+                self.pools.append(None)
+        if h < 1 or w < 1:
+            raise ValueError(
+                f"input geometry {height}x{width} pools away to {h}x{w}"
+            )
+        trunk_channels = plan.conv_steps[-1].out_channels
+        self.trunk = np.empty((capacity, h, w, trunk_channels), dtype=dtype)
+        self.trunk_shape = (h, w)
+        self.feat = np.empty((capacity, trunk_channels), dtype=dtype)
+        self.head_bufs: List[np.ndarray] = []
+        features = trunk_channels
+        for step in plan.head_steps:
+            if step.kind == "linear":
+                features = step.weight.shape[0]
+            self.head_bufs.append(np.empty((capacity, 1, features), dtype=dtype))
+        self._programs: Dict[int, Tuple[List[Callable[[], None]], np.ndarray]] = {}
+        self._plan = plan
+
+    # ------------------------------------------------------------------
+    # Program assembly
+    # ------------------------------------------------------------------
+    def _destination(self, index: int, n: int) -> np.ndarray:
+        """Where conv ``index``'s staged activation lands for batch ``n``.
+
+        The interior of the next conv's padded buffer, or the trunk
+        buffer after the last conv — either way the write is fused into
+        the step's final kernel, so no separate staging copy runs.
+        """
+        steps = self._plan.conv_steps
+        if index + 1 < len(steps):
+            h, w = self.shapes[index + 1]
+            return self.pads[index + 1][:n, 1 : 1 + h, 1 : 1 + w, :]
+        h, w = self.trunk_shape
+        return self.trunk[:n]
+
+    def _build_program(
+        self, n: int
+    ) -> Tuple[List[Callable[[], None]], np.ndarray]:
+        plan = self._plan
+        dtype = plan.dtype
+        ops: List[Callable[[], None]] = []
+        for index, step in enumerate(plan.conv_steps):
+            active_h, active_w = self.active[index]
+            channels = step.in_channels
+            pad = self.pads[index][:n]
+            band = self.bands[index][:n]
+            out = self.outs[index][:n]
+            scratch = self.scratches[index][:n]
+            # Width-window view: band[n, row, w, dx*C + c] reads the
+            # three horizontally adjacent pixels in one contiguous run
+            # (padding is part of the buffer, so no np.pad ever runs).
+            stride_n, stride_h, stride_w, stride_c = pad.strides
+            window = np.lib.stride_tricks.as_strided(
+                pad,
+                shape=(n, active_h + 2, active_w, 3 * channels),
+                strides=(stride_n, stride_h, stride_w, stride_c),
+                writeable=False,
+            )
+            positions = active_h * active_w
+            out_flat = out.reshape(n, positions, step.out_channels)
+            scratch_flat = scratch.reshape(n, positions, step.out_channels)
+            row_bands = [
+                band[:, dy : dy + active_h].reshape(
+                    n, positions, 3 * channels + 1
+                )
+                for dy in range(3)
+            ]
+            # Extended band matrices: W0 carries the folded bias on the
+            # constant-ones row; W1/W2 zero it out.
+            zero_row = np.zeros((1, step.out_channels), dtype=dtype)
+            w0 = np.vstack([step.bands[0], step.bias[None, :]])
+            w1 = np.vstack([step.bands[1], zero_row])
+            w2 = np.vstack([step.bands[2], zero_row])
+
+            def gather(dst=band[..., : 3 * channels], src=window):
+                np.copyto(dst, src)
+
+            def kernel_rows(
+                b0=row_bands[0],
+                b1=row_bands[1],
+                b2=row_bands[2],
+                w0=w0,
+                w1=w1,
+                w2=w2,
+                y=out_flat,
+                s=scratch_flat,
+            ):
+                # Three per-sample GEMMs, one per kernel row; summing
+                # them (bias included via the ones column) is the
+                # whole convolution.
+                np.matmul(b0, w0, out=y)
+                np.matmul(b1, w1, out=s)
+                np.add(y, s, out=y)
+                np.matmul(b2, w2, out=s)
+                np.add(y, s, out=y)
+
+            ops.append(gather)
+            ops.append(kernel_rows)
+            destination = self._destination(index, n)
+            if step.pool:
+                # Deferred * 0.5: exact for a power-of-two scale and
+                # order-preserving, so it commutes past the max and
+                # runs on the quarter-sized pooled output instead.
+                ops.extend(_gelu_ops(out, scratch, dtype, defer_scale=True))
+                half = dtype.type(0.5)
+                # Separable 2x2 max: horizontal pairs (adjacent in
+                # memory) into a contiguous half-width buffer, then
+                # vertical pairs into the destination — fewer strided
+                # passes than the classic four-quadrant form, same max.
+                hbuf = self.pools[index][:n]
+
+                def pool(
+                    left=scratch[:, :, 0::2, :],
+                    right=scratch[:, :, 1::2, :],
+                    hbuf=hbuf,
+                    top=hbuf[:, 0::2],
+                    bottom=hbuf[:, 1::2],
+                    dst=destination,
+                    half=half,
+                ):
+                    np.maximum(left, right, out=hbuf)
+                    np.maximum(top, bottom, out=dst)
+                    np.multiply(dst, half, out=dst)
+
+                ops.append(pool)
+            elif step.residual_from is not None:
+                source_h, source_w = self.shapes[step.residual_from]
+                skip = self.pads[step.residual_from][
+                    :n, 1 : 1 + source_h, 1 : 1 + source_w, :
+                ]
+                ops.extend(_gelu_ops(out, scratch, dtype))
+
+                def residual(a=scratch, b=skip, dst=destination):
+                    np.add(a, b, out=dst)
+
+                ops.append(residual)
+            else:
+                ops.extend(_gelu_ops(out, scratch, dtype, final_out=destination))
+
+        trunk = self.trunk[:n]
+        feat = self.feat[:n]
+
+        def global_pool(x=trunk, dst=feat):
+            np.mean(x, axis=(1, 2), out=dst)
+
+        ops.append(global_pool)
+        current = feat.reshape(n, 1, feat.shape[1])
+        for step_index, step in enumerate(plan.head_steps):
+            buffer = self.head_bufs[step_index][:n]
+            if step.kind == "linear":
+                # Same rowwise (1, K) @ (K, M) product per sample as
+                # eval-mode Linear — bitwise batch-invariant.
+                def head_linear(
+                    x=current, wt=step.weight.T, b=step.bias, dst=buffer
+                ):
+                    np.matmul(x, wt, out=dst)
+                    if b is not None:
+                        np.add(dst, b, out=dst)
+
+                ops.append(head_linear)
+                current = buffer
+            else:
+                ops.extend(_gelu_ops(current, buffer, dtype))
+                current = buffer
+        return ops, current
+
+    def run(self, n: int) -> np.ndarray:
+        program = self._programs.get(n)
+        if program is None:
+            if len(self._programs) >= self._MAX_PROGRAMS:
+                self._programs.clear()
+            program = self._build_program(n)
+            self._programs[n] = program
+        ops, result = program
+        for op in ops:
+            op()
+        return result[:, 0, :].copy()
+
+    def input_view(self, n: int) -> np.ndarray:
+        """NCHW view of the first padded buffer's interior for ``n`` rows."""
+        h, w = self.shapes[0]
+        interior = self.pads[0][:n, 1 : 1 + h, 1 : 1 + w, :]
+        return interior.transpose(0, 3, 1, 2)
+
+
+class InferencePlan:
+    """A compiled network: folded kernel steps plus reusable arenas.
+
+    Obtain one with :func:`compile_resnet9`; query it either through
+    :meth:`forward` (copies an NCHW array in) or zero-copy through the
+    :meth:`prepare` / :meth:`execute` pair, where the caller renders
+    its input directly into the plan's arena (what
+    :meth:`~repro.estimator.embedding.EmbeddingSpace.encode_batch`
+    does with ``out=``).  Plans are immutable snapshots — they never
+    see later weight updates; the owning estimator recompiles on its
+    backbone's :attr:`~repro.nn.layers.Module.version`.
+    """
+
+    def __init__(
+        self,
+        conv_steps: Tuple[ConvStep, ...],
+        head_steps: Tuple[HeadStep, ...],
+        dtype: np.dtype,
+    ) -> None:
+        self.conv_steps = conv_steps
+        self.head_steps = head_steps
+        self.dtype = np.dtype(dtype)
+        self.in_channels = conv_steps[0].in_channels
+        self.out_features = next(
+            step.weight.shape[0]
+            for step in reversed(head_steps)
+            if step.kind == "linear"
+        )
+        self._arenas: Dict[Tuple[int, int], _Arena] = {}
+
+    def _arena(self, batch: int, height: int, width: int) -> _Arena:
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        key = (height, width)
+        arena = self._arenas.get(key)
+        if arena is None or arena.capacity < batch:
+            arena = _Arena(self, batch, height, width)
+            self._arenas[key] = arena
+        return arena
+
+    def prepare(self, batch: int, height: int, width: int) -> np.ndarray:
+        """An ``(batch, C, H, W)`` NCHW view to render the input into.
+
+        The view aliases the first padded arena buffer, so a
+        subsequent :meth:`execute` call consumes it without any copy.
+        """
+        return self._arena(batch, height, width).input_view(batch)
+
+    def execute(self, batch: int, height: int, width: int) -> np.ndarray:
+        """Run the plan over an input staged via :meth:`prepare`.
+
+        Returns a fresh ``(batch, out_features)`` array (the only
+        allocation on the steady-state path).
+        """
+        arena = self._arenas.get((height, width))
+        if arena is None or arena.capacity < batch:
+            raise RuntimeError(
+                f"no prepared arena for batch {batch} geometry "
+                f"{height}x{width}; call prepare() first"
+            )
+        return arena.run(batch)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compiled forward over an NCHW array (casts to the plan dtype)."""
+        x = np.asarray(x)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (N, {self.in_channels}, H, W) input, got shape "
+                f"{x.shape}"
+            )
+        batch, _, height, width = x.shape
+        view = self.prepare(batch, height, width)
+        np.copyto(view, x, casting="unsafe")
+        return self.execute(batch, height, width)
+
+    __call__ = forward

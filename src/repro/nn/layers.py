@@ -38,6 +38,7 @@ class Module:
         self._buffers: Dict[str, np.ndarray] = {}
         self._modules: Dict[str, "Module"] = {}
         self.training = True
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Registration (attribute assignment keeps user code natural)
@@ -57,6 +58,10 @@ class Module:
     # ------------------------------------------------------------------
     # Traversal
     # ------------------------------------------------------------------
+    def children(self) -> Iterator["Module"]:
+        """Direct submodules, in registration order."""
+        return iter(self._modules.values())
+
     def parameters(self) -> List[Tensor]:
         """All trainable tensors, depth-first."""
         params = list(self._parameters.values())
@@ -81,6 +86,31 @@ class Module:
     # ------------------------------------------------------------------
     # Modes
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone weight-state counter for compiled-plan invalidation.
+
+        Bumped by every *training-mode forward* (the moment running
+        statistics drift and gradients for the next optimizer step are
+        produced) and by :meth:`load_state_dict` — the two paths
+        through which this code base updates weights.  Consumers
+        caching derived state (e.g. the estimator's
+        :class:`~repro.nn.inference.InferencePlan`) compare it to
+        decide whether their snapshot is stale.  Mode switches alone do
+        not bump, so eval-mode inference interleaved with training
+        re-snapshots at most once per training forward.  Two gaps need
+        an explicit :meth:`mark_updated`: code mutating ``Tensor.data``
+        in place without ever running a training forward, and a
+        snapshot taken *between* ``backward()`` and the optimizer step
+        (the step mutates weights without bumping; the next training
+        forward heals it).
+        """
+        return self._version
+
+    def mark_updated(self) -> None:
+        """Record an out-of-band weight update (invalidates cached plans)."""
+        self._version += 1
+
     def train(self) -> "Module":
         self.training = True
         for module in self._modules.values():
@@ -109,6 +139,7 @@ class Module:
 
     def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
         """Load arrays saved by :meth:`state_dict` (strict on names/shapes)."""
+        self._version += 1
         for name, param in self._parameters.items():
             key = f"{prefix}{name}"
             if key not in state:
@@ -144,6 +175,11 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, x: Tensor) -> Tensor:
+        if self.training:
+            # A training forward is the staleness moment for cached
+            # weight snapshots: running stats update now, and the next
+            # optimizer step follows from this pass's gradients.
+            self._version += 1
         return self.forward(x)
 
 

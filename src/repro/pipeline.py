@@ -45,6 +45,7 @@ def build_system(
     train: bool = True,
     reserve_layers: int = 0,
     reserve_models: int = 0,
+    use_compiled: bool = True,
     seed: int = 0,
 ) -> OmniBoostSystem:
     """Build and (optionally) train a complete OmniBoost deployment.
@@ -56,6 +57,8 @@ def build_system(
     ``reserve_models`` pre-allocate embedding-tensor capacity so that
     DNNs arriving after design time can be added without retraining
     (see :meth:`~repro.estimator.embedding.EmbeddingSpace.extend`).
+    ``use_compiled=False`` keeps estimator queries on the autograd
+    interpreter instead of the compiled inference plan.
     """
     builder = (
         SystemBuilder(seed=seed)
@@ -67,6 +70,7 @@ def build_system(
             train=train,
             reserve_layers=reserve_layers,
             reserve_models=reserve_models,
+            use_compiled=use_compiled,
         )
     )
     if platform is not None:

@@ -103,6 +103,10 @@ class ServiceStats:
     trace_events: int = 0
     trace_reschedules: int = 0
     trace_warm_reschedules: int = 0
+    #: How many times the estimator (re)compiled its inference plan —
+    #: filled at snapshot time; stays 0 while no scheduler (and hence
+    #: no estimator) has materialized or compiled inference is off.
+    estimator_plan_compiles: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -312,10 +316,16 @@ class SchedulingService:
 
     def stats(self) -> ServiceStats:
         """A snapshot of the service counters."""
+        plan_compiles = 0
+        scheduler = self._scheduler
+        estimator = getattr(scheduler, "estimator", None)
+        if estimator is not None:
+            plan_compiles = getattr(estimator, "plan_compiles", 0)
         return replace(
             self._stats,
             requests_by_priority=dict(self._stats.requests_by_priority),
             wait_s_by_priority=dict(self._stats.wait_s_by_priority),
+            estimator_plan_compiles=plan_compiles,
         )
 
     def run_trace(
