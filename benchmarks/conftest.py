@@ -21,7 +21,7 @@ import os
 
 import pytest
 
-from repro import build_system
+from repro import SystemBuilder
 from repro.core import MCTSConfig
 
 CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
@@ -37,21 +37,20 @@ def paper_system():
     """The full OmniBoost deployment used by the Fig.-5 benches."""
     cache_key = f"estimator_s{DEPLOY_SAMPLES}_e{DEPLOY_EPOCHS}_seed{SYSTEM_SEED}.npz"
     cache_path = os.path.join(CACHE_DIR, cache_key)
+    builder = SystemBuilder(seed=SYSTEM_SEED).with_mcts_config(
+        MCTSConfig(seed=SYSTEM_SEED + 5)
+    )
     if os.path.exists(cache_path):
-        system = build_system(
-            train=False,
-            mcts_config=MCTSConfig(seed=SYSTEM_SEED + 5),
-            seed=SYSTEM_SEED,
-        )
+        builder.with_estimator(train=False)
+        system = builder.build()
         system.estimator.load(cache_path)
     else:
-        system = build_system(
+        builder.with_estimator(
             num_training_samples=DEPLOY_SAMPLES,
             epochs=DEPLOY_EPOCHS,
             measurement_repetitions=5,
-            mcts_config=MCTSConfig(seed=SYSTEM_SEED + 5),
-            seed=SYSTEM_SEED,
         )
+        system = builder.build()
         os.makedirs(CACHE_DIR, exist_ok=True)
         system.estimator.save(cache_path)
     return system
@@ -80,25 +79,26 @@ def reserved_system():
         f"_l{RESERVED_LAYERS}m{RESERVED_MODELS}_seed{SYSTEM_SEED}.npz"
     )
     cache_path = os.path.join(CACHE_DIR, cache_key)
+    builder = SystemBuilder(seed=SYSTEM_SEED).with_mcts_config(
+        MCTSConfig(seed=SYSTEM_SEED + 5)
+    )
     if os.path.exists(cache_path):
-        system = build_system(
+        builder.with_estimator(
             train=False,
-            mcts_config=MCTSConfig(seed=SYSTEM_SEED + 5),
             reserve_layers=RESERVED_LAYERS,
             reserve_models=RESERVED_MODELS,
-            seed=SYSTEM_SEED,
         )
+        system = builder.build()
         system.estimator.load(cache_path)
     else:
-        system = build_system(
+        builder.with_estimator(
             num_training_samples=RESERVED_SAMPLES,
             epochs=RESERVED_EPOCHS,
             measurement_repetitions=5,
-            mcts_config=MCTSConfig(seed=SYSTEM_SEED + 5),
             reserve_layers=RESERVED_LAYERS,
             reserve_models=RESERVED_MODELS,
-            seed=SYSTEM_SEED,
         )
+        system = builder.build()
         os.makedirs(CACHE_DIR, exist_ok=True)
         system.estimator.save(cache_path)
     return system

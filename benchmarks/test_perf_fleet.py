@@ -1,0 +1,134 @@
+"""PERF-FLEET -- cross-request pooled scheduling vs sequential per board.
+
+The fleet's serving claim: after placement fans a burst out to the
+boards, each board answers its whole share in ONE pooled
+``schedule_many`` drive — every in-flight search's leaf evaluations
+priced in shared ``predict_throughput_batch`` calls — instead of one
+full sequential search per request.  Per-sample batch invariance makes
+the pooled decisions byte-identical to the sequential loop, so the
+batching is purely an amortization win; this bench gates its size.
+
+Setup: an 8-request burst (the ``request-burst`` fleet scenario)
+across a three-board heterogeneous cluster.  Two identically seeded
+fleets serve it — one pooled (``FleetService.schedule_many``), one
+sequentially (each request submitted alone to the SAME board the
+pooled placement chose, preserving every board's share and order).
+Estimator *forward calls* are counted per board by wrapping
+``predict_throughput_batch`` after the boards materialize; the count
+is deterministic for the seeded searches, so the gate is robust on a
+single-core box (wall-time is reported for context only).
+
+Gates:
+
+* the pooled fleet spends >= 2x fewer estimator forward calls than
+  the sequential loop (the pooled arm's count *includes* its
+  placement-scoring calls; the sequential arm pays none, which only
+  makes the gate harder);
+* equal-or-better total expected score, and byte-identical mappings
+  (the pooling must never change a decision).
+"""
+
+import time
+
+import pytest
+
+from repro.core import MCTSConfig, ScheduleRequest
+from repro.fleet import Cluster, FleetService
+from repro.workloads import fleet_scenario
+
+BOARDS = {
+    "edge0": "hikey970",
+    "edge1": "hikey970_with_npu",
+    "edge2": "cpu_only_board",
+}
+ESTIMATOR = {"num_training_samples": 60, "epochs": 5}
+BUDGET = 200
+SEED = 0
+
+
+def _fleet() -> FleetService:
+    cluster = Cluster.from_presets(
+        BOARDS,
+        seed=SEED,
+        estimator=ESTIMATOR,
+        mcts_config=MCTSConfig(budget=BUDGET, seed=SEED + 5),
+    )
+    return FleetService(cluster)
+
+
+def _count_forward_calls(service: FleetService) -> dict:
+    """Materialize every board, then count its estimator forward calls."""
+    counter = {"calls": 0}
+    for name in service.cluster.board_names:
+        estimator = service.engine(name).scheduler.estimator
+        original = estimator.predict_throughput_batch
+
+        def wrapped(pairs, _original=original):
+            counter["calls"] += 1
+            return _original(pairs)
+
+        estimator.predict_throughput_batch = wrapped
+    return counter
+
+
+def test_perf_fleet_pooled_burst_vs_sequential(benchmark):
+    mixes = fleet_scenario("request-burst").build_mixes(SEED)
+    requests = [
+        ScheduleRequest(workload=mix, request_id=str(index))
+        for index, mix in enumerate(mixes)
+    ]
+
+    pooled_fleet = _fleet()
+    pooled_counter = _count_forward_calls(pooled_fleet)
+    sequential_fleet = _fleet()
+    sequential_counter = _count_forward_calls(sequential_fleet)
+
+    def run():
+        pooled_started = time.perf_counter()
+        pooled = pooled_fleet.schedule_many(requests)
+        pooled_s = time.perf_counter() - pooled_started
+        # Sequential arm: same placement (each request straight to the
+        # board the pooled run chose, preserving per-board order), one
+        # full search at a time.
+        sequential_started = time.perf_counter()
+        sequential = [
+            sequential_fleet.engine(response.board).submit(request)
+            for request, response in zip(requests, pooled)
+        ]
+        sequential_s = time.perf_counter() - sequential_started
+        return pooled, pooled_s, sequential, sequential_s
+
+    pooled, pooled_s, sequential, sequential_s = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    pooled_calls = pooled_counter["calls"]
+    sequential_calls = sequential_counter["calls"]
+    call_reduction = sequential_calls / pooled_calls
+    per_board = {
+        name: pooled_fleet.stats().per_board[name].requests_served
+        for name in BOARDS
+    }
+    pooled_total = sum(r.expected_score for r in pooled)
+    sequential_total = sum(r.expected_score for r in sequential)
+    print(
+        f"\n[PERF-FLEET] 8-request burst over {per_board}: pooled "
+        f"{pooled_calls} estimator forward calls ({pooled_s:.2f}s, "
+        f"total score {pooled_total:.3f}) vs sequential "
+        f"{sequential_calls} calls ({sequential_s:.2f}s, total score "
+        f"{sequential_total:.3f}) -- {call_reduction:.1f}x fewer calls"
+    )
+
+    # Every board served >= 2 requests: the burst genuinely pooled.
+    assert all(count >= 2 for count in per_board.values())
+    # The acceptance gate: >= 2x fewer estimator forward calls via
+    # cross-request pooling, at equal-or-better total score.
+    assert call_reduction >= 2.0
+    assert pooled_total >= sequential_total - 1e-12
+    # And the pooling never changed a decision.
+    for pooled_response, sequential_response in zip(pooled, sequential):
+        assert pooled_response.mapping == sequential_response.mapping
+        assert (
+            pooled_response.expected_score
+            == sequential_response.expected_score
+        )

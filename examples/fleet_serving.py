@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Fleet serving end to end: one request stream, three boards.
+
+A production deployment outgrows one HiKey970 long before it outgrows
+one estimator: the throughput lever becomes *which board* serves each
+mix.  This example assembles a heterogeneous three-board cluster
+(stock HiKey970, the NPU-enabled variant, a big.LITTLE-only board) and
+drives it through both fleet surfaces:
+
+1. a **request burst** — eight mixes land at once; the placement layer
+   scores each mix on every board's own estimator (discounted by the
+   load the burst has already routed there), each board answers its
+   share in one pooled ``schedule_many`` call, and the fleet stats
+   rollup shows the placement/pooling economics;
+2. a **churn trace** — tenants arrive and depart past any single
+   board's residency cap; arrivals are placed against live tenancy,
+   every board re-plans its own changes warm, and departures that
+   leave the fleet imbalanced trigger a cross-board migration.  The
+   aggregated ``TimelineReport`` (every board's events interleaved,
+   board-tagged) is optionally written as JSON.
+
+CI runs this script as the ``fleet-smoke`` job and uploads the
+timeline artifact.
+"""
+
+import argparse
+
+from repro import Cluster, FleetService
+from repro.core import MCTSConfig
+from repro.evaluation import write_timeline_json
+from repro.online import OnlineConfig
+from repro.workloads import fleet_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--samples", type=int, default=150)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument(
+        "--budget", type=int, default=120, help="MCTS budget per search"
+    )
+    parser.add_argument("--events", type=int, default=16)
+    parser.add_argument("--trace-seed", type=int, default=0)
+    parser.add_argument("--warm-patience", type=int, default=40)
+    parser.add_argument(
+        "--placement", default="estimator", choices=["estimator", "greedy-load"]
+    )
+    parser.add_argument(
+        "--report", type=str, default="", help="write the fleet TimelineReport JSON here"
+    )
+    args = parser.parse_args()
+
+    cluster = Cluster.from_presets(
+        {
+            "edge0": "hikey970",
+            "edge1": "hikey970_with_npu",
+            "edge2": "cpu_only_board",
+        },
+        seed=args.seed,
+        estimator={
+            "num_training_samples": args.samples,
+            "epochs": args.epochs,
+        },
+        mcts_config=MCTSConfig(budget=args.budget, seed=args.seed + 5),
+    )
+    service = FleetService(cluster, placement=args.placement)
+    print(
+        "cluster: "
+        + ", ".join(f"{board.name}={board.preset}" for board in cluster)
+    )
+
+    # ------------------------------------------------------------------
+    # 1. A burst of eight mixes, placed and answered per board.
+    # ------------------------------------------------------------------
+    burst = fleet_scenario("request-burst").build_mixes(args.seed)
+    print(f"\nburst: {len(burst)} mixes arriving at once")
+    responses = service.schedule_many(burst)
+    for mix, response in zip(burst, responses):
+        print(
+            f"  {mix.name:<30} -> {response.board:<6} "
+            f"score {response.expected_score:.3f} "
+            f"({response.response.cache_status})"
+        )
+    print(service.stats().summary())
+
+    # ------------------------------------------------------------------
+    # 2. A churn trace deeper than any one board's residency cap.
+    # ------------------------------------------------------------------
+    trace = fleet_scenario("fleet-churn").build_trace(args.trace_seed)
+    if args.events:
+        trace = trace.truncated(args.events)
+    print(
+        f"\ntrace: {len(trace)} events over {trace.horizon_s:.1f}s, "
+        f"peak {trace.max_concurrency} tenants (one board hosts five)"
+    )
+    report = service.run_trace(
+        trace, online=OnlineConfig(warm_patience=args.warm_patience)
+    )
+    print(report.event_table())
+    print(f"\n{report.summary()}")
+    for board in report.boards:
+        sub = report.for_board(board)
+        print(f"  {board}: {len(sub.records)} events, {sub.warm_fraction:.0%} warm")
+    stats = service.stats()
+    print(stats.summary())
+    print(
+        f"migrations: {stats.migrations}, "
+        f"placement evaluations: {stats.placement_evaluations}"
+    )
+
+    if args.report:
+        write_timeline_json(report, args.report)
+        print(f"\nfleet timeline report written to {args.report}")
+
+
+if __name__ == "__main__":
+    main()

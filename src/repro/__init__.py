@@ -28,6 +28,7 @@ from . import (
     core,
     estimator,
     evaluation,
+    fleet,
     hw,
     models,
     nn,
@@ -48,8 +49,10 @@ from .core import (
     register_scheduler,
     unregister_scheduler,
 )
+from .engine import SchedulingEngine
 from .estimator import EmbeddingSpace, ThroughputEstimator
 from .evaluation import TimelineReport
+from .fleet import Board, Cluster, FleetResponse, FleetService, FleetStats
 from .hw import Platform, hikey970
 from .models import MODEL_NAMES, build_model
 from .online import OnlineConfig, OnlineDecision, OnlineScheduler
@@ -64,17 +67,24 @@ from .workloads import (
     WorkloadGenerator,
     churn_scenario,
     churn_scenario_names,
+    fleet_scenario,
+    fleet_scenario_names,
     generate_trace,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ArrivalEvent",
     "ArrivalTrace",
+    "Board",
     "BoardSimulator",
     "BoardUnresponsiveError",
+    "Cluster",
     "EmbeddingSpace",
+    "FleetResponse",
+    "FleetService",
+    "FleetStats",
     "MCTSConfig",
     "MODEL_NAMES",
     "Mapping",
@@ -88,6 +98,7 @@ __all__ = [
     "ScheduleRequest",
     "ScheduleResponse",
     "Scheduler",
+    "SchedulingEngine",
     "SchedulingService",
     "ServiceStats",
     "SimConfig",
@@ -107,6 +118,9 @@ __all__ = [
     "core",
     "estimator",
     "evaluation",
+    "fleet",
+    "fleet_scenario",
+    "fleet_scenario_names",
     "generate_trace",
     "get_scheduler",
     "hikey970",

@@ -14,6 +14,10 @@ Subcommands mirror the lifecycle of a deployment:
 * ``serve-trace`` -- replay a named churn scenario (or a trace JSON
   file) through the online subsystem: warm-started re-search per
   arrival/departure, per-event timeline, optional JSON report;
+* ``fleet-serve`` -- serve a mix burst (or replay a fleet churn trace
+  with ``--trace``) across a cluster of named board presets through
+  the :class:`~repro.fleet.FleetService`: estimator-scored placement,
+  per-board pooled search, fleet stats rollup;
 * ``motivate``    -- the Fig.-1 motivational sweep;
 * ``space``       -- design-space size arithmetic for a mix;
 * ``power``       -- throughput-vs-power comparison of the paper objective
@@ -330,6 +334,121 @@ def _cmd_serve_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    from .core import MCTSConfig
+    from .evaluation import write_timeline_json
+    from .fleet import Cluster, FleetService
+    from .online import OnlineConfig
+    from .workloads import fleet_scenario, fleet_scenario_names
+
+    (scheduler_name,) = _validate_scheduler_names([args.scheduler])
+    cluster = Cluster.from_presets(
+        [(f"edge{index}", preset) for index, preset in enumerate(args.boards)],
+        seed=args.seed,
+        estimator={
+            "num_training_samples": args.samples,
+            "epochs": args.epochs,
+        },
+        mcts_config=MCTSConfig(
+            budget=args.budget or MCTSConfig.budget, seed=args.seed + 5
+        ),
+    )
+    service = FleetService(
+        cluster, scheduler=scheduler_name, placement=args.placement
+    )
+    boards = ", ".join(
+        f"{board.name}={board.preset}" for board in cluster
+    )
+    print(f"fleet: {boards}\n")
+
+    if args.trace:
+        preset = fleet_scenario(args.scenario)
+        if preset.build_trace is None:
+            raise SystemExit(
+                f"fleet scenario {args.scenario!r} has no churn trace; "
+                "traced scenarios: "
+                + ", ".join(
+                    name
+                    for name in fleet_scenario_names()
+                    if fleet_scenario(name).build_trace is not None
+                )
+            )
+        trace = preset.build_trace(args.trace_seed)
+        if args.events is not None:
+            trace = trace.truncated(args.events)
+        report = service.run_trace(
+            trace, online=OnlineConfig(warm_patience=args.warm_patience)
+        )
+        print(report.event_table())
+        print(f"\n{report.summary()}")
+        for board in report.boards:
+            sub = report.for_board(board)
+            print(
+                f"  {board}: {len(sub.records)} events, "
+                f"{sub.warm_fraction:.0%} warm"
+            )
+        print(f"\n{service.stats().summary()}")
+        if args.report:
+            write_timeline_json(report, args.report)
+            print(f"timeline report written to {args.report}")
+        return 0
+
+    if args.mix_file:
+        entries = _load_mix_file(args.mix_file)
+        mixes = [
+            (Workload.from_names(models), knobs) for models, knobs in entries
+        ]
+    else:
+        mixes = [
+            (workload, {"request_id": str(index)})
+            for index, workload in enumerate(
+                fleet_scenario(args.scenario).build_mixes(args.seed)
+            )
+        ]
+    from .core import ScheduleRequest
+
+    requests = [
+        ScheduleRequest(
+            workload=workload,
+            request_id=str(knobs.get("request_id", index)),
+            budget=knobs.get("budget"),
+            priority=knobs.get("priority", 0),
+        )
+        for index, (workload, knobs) in enumerate(mixes)
+    ]
+    responses = service.schedule_many(requests)
+    rows = []
+    for request, response in zip(requests, responses):
+        for placement, part in response.parts:
+            rows.append(
+                [
+                    response.request_id,
+                    "+".join(placement.workload.model_names),
+                    placement.board,
+                    "yes" if response.split else "no",
+                    part.cache_status,
+                    f"{part.expected_score:.3f}",
+                    f"{part.measured_wall_time_s * 1000:.0f}",
+                ]
+            )
+    print(
+        format_table(
+            [
+                "request",
+                "mix",
+                "board",
+                "split",
+                "cache",
+                "score",
+                "latency ms",
+            ],
+            rows,
+        )
+    )
+    print(f"\n{service.stats().summary()}")
+    return 0
+
+
 def _cmd_motivate(args: argparse.Namespace) -> int:
     platform = hikey970()
     simulator = BoardSimulator(platform)
@@ -563,6 +682,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the TimelineReport JSON to this path",
     )
     trace.set_defaults(fn=_cmd_serve_trace)
+
+    fleet = sub.add_parser(
+        "fleet-serve",
+        help="serve a burst (or replay a churn trace) across a board fleet",
+    )
+    fleet.add_argument(
+        "mix_file",
+        nargs="?",
+        default="",
+        help="optional JSON mix file (serve-batch format); defaults to "
+        "the named --scenario's request burst",
+    )
+    fleet.add_argument(
+        "--scenario",
+        type=str,
+        default="request-burst",
+        help="fleet scenario supplying the burst (request-burst, "
+        "fleet-churn, heavy-split) or, with --trace, the churn trace",
+    )
+    fleet.add_argument(
+        "--boards",
+        nargs="+",
+        default=["hikey970", "hikey970_with_npu", "cpu_only_board"],
+        metavar="PRESET",
+        help="board platform presets, one per board (named edge0..edgeN); "
+        "presets: hikey970, hikey970_with_npu, cpu_only_board, "
+        "symmetric_board",
+    )
+    fleet.add_argument(
+        "--placement",
+        type=str,
+        default="estimator",
+        choices=["estimator", "greedy-load"],
+        help="placement policy: estimator-scored candidates (default) "
+        "or pure greedy-load",
+    )
+    fleet.add_argument(
+        "--trace",
+        action="store_true",
+        help="replay the scenario's churn trace against the fleet "
+        "instead of serving its burst",
+    )
+    fleet.add_argument("--events", type=_positive_int, default=None)
+    fleet.add_argument("--trace-seed", type=int, default=0)
+    fleet.add_argument("--warm-patience", type=_positive_int, default=60)
+    fleet.add_argument(
+        "--report",
+        type=str,
+        default="",
+        help="write the aggregated fleet TimelineReport JSON here "
+        "(with --trace)",
+    )
+    fleet.add_argument("--samples", type=int, default=150)
+    fleet.add_argument("--epochs", type=int, default=10)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--budget", type=_positive_int, default=None)
+    fleet.add_argument(
+        "--scheduler",
+        type=str,
+        default="omniboost",
+        help="registered scheduler answering on every board",
+    )
+    fleet.set_defaults(fn=_cmd_fleet_serve)
 
     motivate = sub.add_parser("motivate", help="run the Fig.-1 sweep")
     motivate.add_argument("--setups", type=int, default=200)

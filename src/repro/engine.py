@@ -1,0 +1,716 @@
+"""Per-board scheduling engine: cache + pooled search over ONE system.
+
+:class:`SchedulingEngine` is the board-scoped core extracted from the
+original ``SchedulingService``: the decision cache (canonical mix
+signature, permuted-duplicate row re-alignment), the pooled concurrent
+MCTS drive (every in-flight search's leaf evaluations priced in shared
+:meth:`~repro.estimator.model.ThroughputEstimator.predict_throughput_batch`
+calls), the online-trace replay loop, and the :class:`ServiceStats`
+counters.  Everything here assumes exactly one
+:class:`~repro.builder.OmniBoostSystem` (one platform, one estimator).
+
+Two front ends sit on top:
+
+* :class:`~repro.service.SchedulingService` — the single-board
+  request/response surface (a thin subclass, behaviour unchanged);
+* :class:`~repro.fleet.FleetService` — one engine per board of a
+  :class:`~repro.fleet.Cluster`, requests fanned out by a placement
+  layer, each board's engine pooling its own share of the batch.
+
+The pooling is safe for the same two reasons as always: searches
+externalize their evaluation points
+(:meth:`~repro.core.mcts.MonteCarloTreeSearch.search_steps`), and
+batched inference is bitwise invariant to batch composition (eval-mode
+:func:`~repro.nn.functional.linear_rowwise`), so pooled decisions are
+identical to a sequential per-request loop.
+
+The trace-replay loop is split so a fleet can drive it per board:
+:meth:`SchedulingEngine.stage_trace_event` folds one
+:class:`~repro.workloads.trace.ArrivalEvent` into a board's
+:class:`~repro.online.OnlineScheduler` and stages its re-planning job;
+:meth:`SchedulingEngine.replay_group` drives a coalesced group of
+staged jobs concurrently (pooled evaluations) and commits the group's
+final decision as the board's warm-start state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .builder import OmniBoostSystem, SystemBuilder
+from .core.base import ScheduleDecision, ScheduleRequest, ScheduleResponse, Scheduler
+from .core.mcts import MCTSResult
+from .core.scheduler import OmniBoostScheduler
+from .evaluation.timeline import TimelineRecord, TimelineReport
+from .online import OnlineConfig, OnlineDecision, OnlineScheduler
+from .sim.mapping import Mapping
+from .workloads.mix import Workload
+from .workloads.trace import ArrivalEvent, ArrivalTrace
+
+__all__ = ["SchedulingEngine", "ServiceStats"]
+
+#: Cache key: (scheduler name, sorted model names, budget override).
+CacheKey = Tuple[str, Tuple[str, ...], Optional[int]]
+
+
+@dataclass
+class ServiceStats:
+    """Engine-lifetime counters (monotonic; see :meth:`SchedulingEngine.stats`)."""
+
+    requests_served: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bypasses: int = 0
+    #: Pooled evaluator calls and the (workload, mapping) pairs they carried.
+    pooled_eval_batches: int = 0
+    pooled_evaluations: int = 0
+    #: Section V-B budget view (one query per scored rollout) and what
+    #: the estimator actually paid after transposition-cache savings.
+    estimator_queries: float = 0.0
+    estimator_queries_actual: float = 0.0
+    #: Per-priority service levels: how many requests (or trace
+    #: events) each priority submitted, and their summed host-measured
+    #: wait (latency) — the counters that make priority starvation
+    #: visible instead of anecdotal.
+    requests_by_priority: Dict[int, int] = field(default_factory=dict)
+    wait_s_by_priority: Dict[int, float] = field(default_factory=dict)
+    #: Online-trace counters (:meth:`SchedulingEngine.run_trace`).
+    trace_events: int = 0
+    trace_reschedules: int = 0
+    trace_warm_reschedules: int = 0
+    #: How many times the estimator (re)compiled its inference plan —
+    #: filled at snapshot time; stays 0 while no scheduler (and hence
+    #: no estimator) has materialized or compiled inference is off.
+    estimator_plan_compiles: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over cache-eligible lookups (0.0 before any lookup)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def mean_pooled_batch_size(self) -> float:
+        if not self.pooled_eval_batches:
+            return 0.0
+        return self.pooled_evaluations / self.pooled_eval_batches
+
+    def mean_wait_s(self, priority: int) -> float:
+        """Mean host-measured wait of ``priority`` requests (0 if none)."""
+        count = self.requests_by_priority.get(priority, 0)
+        if not count:
+            return 0.0
+        return self.wait_s_by_priority.get(priority, 0.0) / count
+
+    def record_wait(self, priority: int, wait_s: float) -> None:
+        """Fold one served request's wait into the per-priority counters."""
+        self.requests_by_priority[priority] = (
+            self.requests_by_priority.get(priority, 0) + 1
+        )
+        self.wait_s_by_priority[priority] = (
+            self.wait_s_by_priority.get(priority, 0.0) + wait_s
+        )
+
+
+@dataclass
+class _SearchJob:
+    """One live MCTS search inside a pooled ``schedule_many`` round."""
+
+    request: ScheduleRequest
+    index: int
+    key: Optional[CacheKey]
+    started: float
+    gen: object = None
+    pending: Optional[List[Mapping]] = None
+    result: Optional[MCTSResult] = None
+    elapsed: float = 0.0
+    #: Drive priority: the leader's, raised to any follower's — a
+    #: high-priority duplicate of a low-priority in-flight mix must
+    #: not wait at low priority (classic priority inversion).
+    priority: int = 0
+    #: Requests with the same signature arriving after this job was
+    #: opened; they reuse its decision as in-flight cache hits.
+    followers: List[Tuple[int, ScheduleRequest, float]] = field(default_factory=list)
+
+
+@dataclass
+class _TraceJob:
+    """One trace event's re-planning inside a coalesced group."""
+
+    event: ArrivalEvent
+    workload: Optional[Workload]
+    started: float = 0.0
+    gen: object = None
+    #: The open evaluation request: (workload, mappings) or None.
+    pending: Optional[List[Mapping]] = None
+    pending_workload: Optional[Workload] = None
+    outcome: Optional[OnlineDecision] = None
+    elapsed: float = 0.0
+
+
+class SchedulingEngine:
+    """Cache + pooled concurrent search over one board's system.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.builder.SystemBuilder` (nothing is profiled or
+        trained until the first request arrives) or an already-built
+        :class:`~repro.builder.OmniBoostSystem`.
+    scheduler:
+        Registry name of the scheduler answering requests; defaults to
+        ``"omniboost"``.  Only OmniBoost searches pool across requests
+        (the baselines have no estimator loop to pool); other
+        schedulers still get the cache/dedupe layer.
+    cache_decisions:
+        Disable to force every request through the scheduler.
+    board:
+        Optional board label; a fleet names each engine after its
+        board so stats and timeline records carry attribution.  The
+        single-board service leaves it empty.
+    """
+
+    def __init__(
+        self,
+        source: Union[SystemBuilder, OmniBoostSystem],
+        scheduler: str = "omniboost",
+        cache_decisions: bool = True,
+        board: str = "",
+    ) -> None:
+        if isinstance(source, SystemBuilder):
+            self._builder: Optional[SystemBuilder] = source
+            self._system: Optional[OmniBoostSystem] = None
+        elif isinstance(source, OmniBoostSystem):
+            self._builder = None
+            self._system = source
+        else:
+            raise TypeError(
+                "source must be a SystemBuilder or OmniBoostSystem, "
+                f"got {type(source).__name__}"
+            )
+        self.scheduler_name = scheduler.strip().lower()
+        self.cache_decisions = cache_decisions
+        self.board = board
+        self._scheduler: Optional[Scheduler] = None
+        self._cache: Dict[CacheKey, Tuple[Tuple[str, ...], ScheduleDecision]] = {}
+        self._stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: Union[ScheduleRequest, Workload],
+        **knobs,
+    ) -> ScheduleResponse:
+        """Answer one request (``knobs`` forward to :class:`ScheduleRequest`)."""
+        return self.schedule_many([self._normalize(request, **knobs)])[0]
+
+    def schedule_many(
+        self, requests: Sequence[Union[ScheduleRequest, Workload]]
+    ) -> List[ScheduleResponse]:
+        """Answer a batch of requests; responses align with the input order.
+
+        Repeated mix signatures are served once (later arrivals are
+        cache hits, in-flight or stored); the distinct searches run
+        concurrently with their leaf evaluations pooled.  Cache and
+        search assignment follow *arrival* order — a duplicate's
+        search always runs over the first-arriving workload, so
+        results match the sequential loop exactly.  ``priority`` only
+        reorders which searches are driven first (evaluation is
+        bitwise batch-invariant, so that never changes a decision).
+        """
+        normalized = [self._normalize(request) for request in requests]
+        if not normalized:
+            return []
+        responses: List[Optional[ScheduleResponse]] = [None] * len(normalized)
+        scheduler = self._scheduler_instance()
+        pooling = isinstance(scheduler, OmniBoostScheduler)
+
+        jobs: List[_SearchJob] = []
+        open_jobs: Dict[CacheKey, _SearchJob] = {}
+        for i in range(len(normalized)):
+            request = normalized[i]
+            started = time.perf_counter()
+            key = self._cache_key(request)
+            if key is None:
+                self._stats.cache_bypasses += 1
+            else:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._stats.cache_hits += 1
+                    responses[i] = self._hit_response(request, cached, started)
+                    continue
+                in_flight = open_jobs.get(key)
+                if in_flight is not None:
+                    self._stats.cache_hits += 1
+                    in_flight.followers.append((i, request, started))
+                    # Priority inheritance: an urgent duplicate lifts
+                    # the in-flight search it now depends on.
+                    in_flight.priority = max(in_flight.priority, request.priority)
+                    continue
+                self._stats.cache_misses += 1
+            if pooling:
+                job = _SearchJob(
+                    request=request,
+                    index=i,
+                    key=key,
+                    started=started,
+                    priority=request.priority,
+                )
+                jobs.append(job)
+                if key is not None:
+                    open_jobs[key] = job
+            else:
+                responses[i] = self._respond_direct(scheduler, request)
+
+        if jobs:
+            jobs.sort(key=lambda job: (-job.priority, job.index))
+            self._drive_pooled(scheduler, jobs)
+            for job in jobs:
+                decision = scheduler.decision_from_result(
+                    job.result, int(job.result.cache_misses)
+                )
+                decision = replace(decision, wall_time_s=job.elapsed)
+                self._account(decision)
+                names = tuple(job.request.workload.model_names)
+                if job.key is not None:
+                    self._cache[job.key] = (names, decision)
+                responses[job.index] = ScheduleResponse(
+                    decision=decision,
+                    scheduler_name=scheduler.name,
+                    cache_status="miss" if job.key is not None else "bypass",
+                    measured_wall_time_s=job.elapsed,
+                    request_id=job.request.request_id,
+                )
+                for index, follower, follower_started in job.followers:
+                    responses[index] = self._hit_response(
+                        follower, (names, decision), follower_started
+                    )
+
+        self._stats.requests_served += len(normalized)
+        for request, response in zip(normalized, responses):
+            self._stats.record_wait(
+                request.priority, response.measured_wall_time_s
+            )
+        return responses  # type: ignore[return-value]
+
+    def stats(self) -> ServiceStats:
+        """A snapshot of the engine counters."""
+        plan_compiles = 0
+        scheduler = self._scheduler
+        estimator = getattr(scheduler, "estimator", None)
+        if estimator is not None:
+            plan_compiles = getattr(estimator, "plan_compiles", 0)
+        return replace(
+            self._stats,
+            requests_by_priority=dict(self._stats.requests_by_priority),
+            wait_s_by_priority=dict(self._stats.wait_s_by_priority),
+            estimator_plan_compiles=plan_compiles,
+        )
+
+    def run_trace(
+        self,
+        trace: ArrivalTrace,
+        online: Optional[OnlineConfig] = None,
+        record_mappings: bool = False,
+    ) -> TimelineReport:
+        """Replay an arrival/departure trace, re-planning each change.
+
+        Events are processed in time order; events sharing a timestamp
+        coalesce into one *group*.  Every event in a group gets its own
+        re-search (over the mix as of that event), and the group's
+        searches are driven concurrently with their leaf evaluations —
+        and the warm path's arrival-completion candidates — pooled
+        into shared ``predict_throughput_batch`` calls, exactly like a
+        ``schedule_many`` batch.  Within a group all searches
+        warm-start from the rows retained *before* the group (they are
+        mutually independent, which is what makes the pooling legal);
+        the group's final decision is then committed as the retained
+        state for the next event.
+
+        Returns the per-event :class:`~repro.evaluation.TimelineReport`
+        (set ``record_mappings`` to embed each decision's device rows).
+        Re-planning costs also land in the engine counters:
+        per-priority waits, pooled batches, estimator queries.
+        """
+        online_scheduler = self.make_online_scheduler(online)
+        records: List[TimelineRecord] = []
+        index = 0
+        for group in trace.grouped():
+            jobs = [
+                self.stage_trace_event(online_scheduler, event)
+                for event in group
+            ]
+            records.extend(
+                self.replay_group(
+                    online_scheduler, jobs, index, record_mappings
+                )
+            )
+            index += len(jobs)
+        return TimelineReport(
+            records=tuple(records),
+            trace_name=trace.name,
+            scheduler_name=self._scheduler_instance().name,
+        )
+
+    def clear_cache(self) -> int:
+        """Drop all cached decisions, returning how many were held."""
+        count = len(self._cache)
+        self._cache.clear()
+        return count
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The backing scheduler (materializing it if still lazy)."""
+        return self._scheduler_instance()
+
+    # ------------------------------------------------------------------
+    # Trace replay building blocks (fleet drives these per board)
+    # ------------------------------------------------------------------
+    def make_online_scheduler(
+        self, online: Optional[OnlineConfig] = None
+    ) -> OnlineScheduler:
+        """A fresh :class:`~repro.online.OnlineScheduler` over this board.
+
+        Raises :class:`TypeError` for non-OmniBoost schedulers — warm
+        starts drive the estimator search, so there is nothing to
+        re-plan incrementally for the baselines.
+        """
+        scheduler = self._scheduler_instance()
+        if not isinstance(scheduler, OmniBoostScheduler):
+            raise TypeError(
+                "run_trace requires an OmniBoost scheduler (warm starts "
+                f"drive its estimator search); got {scheduler.name!r}"
+            )
+        return OnlineScheduler(scheduler, online)
+
+    def stage_trace_event(
+        self, online_scheduler: OnlineScheduler, event: ArrivalEvent
+    ) -> _TraceJob:
+        """Fold one event into the tenancy and stage its re-planning job."""
+        online_scheduler.apply(event)
+        return _TraceJob(
+            event=event, workload=online_scheduler.current_workload()
+        )
+
+    def replay_group(
+        self,
+        online_scheduler: OnlineScheduler,
+        jobs: List[_TraceJob],
+        start_index: int,
+        record_mappings: bool = False,
+    ) -> List[TimelineRecord]:
+        """Drive one coalesced group of staged jobs; commit the last outcome.
+
+        The group's re-searches run concurrently with pooled
+        evaluations; stats and per-priority waits are accounted here.
+        Returns the group's timeline records (indices starting at
+        ``start_index``).
+        """
+        scheduler = self._scheduler_instance()
+        self._drive_trace_jobs(scheduler, online_scheduler, jobs)
+        committed = None
+        records: List[TimelineRecord] = []
+        index = start_index
+        for job in jobs:
+            if job.outcome is not None:
+                committed = job.outcome
+            records.append(self._trace_record(index, job, record_mappings))
+            self._stats.trace_events += 1
+            if job.outcome is not None:
+                self._stats.trace_reschedules += 1
+                if job.outcome.mode == "warm":
+                    self._stats.trace_warm_reschedules += 1
+                self._stats.record_wait(job.event.priority, job.elapsed)
+                self._account(job.outcome.decision)
+            index += 1
+        if committed is not None:
+            online_scheduler.commit(committed)
+        return records
+
+    # ------------------------------------------------------------------
+    # Pooled concurrent search
+    # ------------------------------------------------------------------
+    def _drive_pooled(
+        self, scheduler: OmniBoostScheduler, jobs: List[_SearchJob]
+    ) -> None:
+        """Advance every job's search, pooling leaf evaluations.
+
+        Each round collects the open micro-batches of all searches
+        still waiting on rewards, prices them in ONE
+        ``predict_throughput_batch`` call, and feeds each search its
+        slice.  Per-search cadence, reward values and trajectories are
+        identical to running the searches one at a time (see the
+        module docstring for why).
+        """
+        estimator = scheduler.estimator
+        for job in jobs:
+            search = scheduler.make_search(
+                job.request.workload,
+                config=scheduler.request_config(job.request),
+                objective=job.request.objective,
+            )
+            job.gen = search.search_steps()
+            self._advance(job, first=True)
+
+        while True:
+            waiting = [job for job in jobs if job.pending is not None]
+            if not waiting:
+                break
+            pairs = [
+                (job.request.workload, mapping)
+                for job in waiting
+                for mapping in job.pending
+            ]
+            rows = estimator.predict_throughput_batch(pairs)
+            self._stats.pooled_eval_batches += 1
+            self._stats.pooled_evaluations += len(pairs)
+            offset = 0
+            for job in waiting:
+                count = len(job.pending)
+                slice_rows = rows[offset : offset + count]
+                offset += count
+                # Same fallback as make_search: a request override wins,
+                # else the scheduler's configured objective applies.
+                objective = (
+                    job.request.objective
+                    if job.request.objective is not None
+                    else scheduler.objective
+                )
+                rewards = scheduler.reward_from_predictions(
+                    job.request.workload, job.pending, slice_rows, objective
+                )
+                self._advance(job, rewards=rewards)
+
+    def _drive_trace_jobs(
+        self,
+        scheduler: OmniBoostScheduler,
+        online_scheduler: OnlineScheduler,
+        jobs: List[_TraceJob],
+    ) -> None:
+        """Drive a coalesced group's re-planning coroutines together.
+
+        The same pooling loop as :meth:`_drive_pooled`, over
+        :meth:`~repro.online.OnlineScheduler.plan_steps` coroutines
+        (whose yields carry their own workload, since each event in
+        the group plans a different mix).
+        """
+        estimator = scheduler.estimator
+        for job in jobs:
+            job.started = time.perf_counter()
+            if job.workload is None:
+                continue  # board emptied: idle event, nothing to plan
+            job.gen = online_scheduler.plan_steps(job.workload)
+            self._advance_trace(job, first=True)
+        while True:
+            waiting = [job for job in jobs if job.pending is not None]
+            if not waiting:
+                break
+            pairs = [
+                (job.pending_workload, mapping)
+                for job in waiting
+                for mapping in job.pending
+            ]
+            rows = estimator.predict_throughput_batch(pairs)
+            self._stats.pooled_eval_batches += 1
+            self._stats.pooled_evaluations += len(pairs)
+            offset = 0
+            for job in waiting:
+                count = len(job.pending)
+                slice_rows = rows[offset : offset + count]
+                offset += count
+                rewards = scheduler.reward_from_predictions(
+                    job.pending_workload,
+                    job.pending,
+                    slice_rows,
+                    scheduler.objective,
+                )
+                self._advance_trace(job, rewards=rewards)
+
+    @staticmethod
+    def _advance_trace(
+        job: _TraceJob,
+        rewards: Optional[List[float]] = None,
+        first: bool = False,
+    ) -> None:
+        """Step one plan coroutine to its next yield (or completion)."""
+        try:
+            if first:
+                request = next(job.gen)
+            else:
+                request = job.gen.send(rewards)
+            job.pending_workload, job.pending = request
+        except StopIteration as stop:
+            job.pending = None
+            job.pending_workload = None
+            job.outcome = stop.value
+            job.elapsed = time.perf_counter() - job.started
+
+    def _trace_record(
+        self, index: int, job: _TraceJob, record_mappings: bool
+    ) -> TimelineRecord:
+        """Render one trace job as a timeline record."""
+        event = job.event
+        active = (
+            job.workload.model_names if job.workload is not None else ()
+        )
+        outcome = job.outcome
+        if outcome is None:
+            return TimelineRecord(
+                index=index,
+                time_s=event.time_s,
+                kind=event.kind,
+                tenant_id=event.tenant_id,
+                model=event.model,
+                priority=event.priority,
+                active_models=tuple(active),
+                mode="idle",
+                board=self.board,
+            )
+        cost = outcome.decision.cost
+        return TimelineRecord(
+            index=index,
+            time_s=event.time_s,
+            kind=event.kind,
+            tenant_id=event.tenant_id,
+            model=event.model,
+            priority=event.priority,
+            active_models=tuple(active),
+            mode=outcome.mode,
+            expected_score=outcome.expected_score,
+            seed_reward=outcome.seed_reward,
+            evaluations=cost.get("estimator_queries", 0.0),
+            estimator_queries_actual=cost.get(
+                "estimator_queries_actual", 0.0
+            ),
+            iterations=outcome.iterations,
+            stopped_early=outcome.stopped_early,
+            reschedule_time_s=job.elapsed,
+            mapping_rows=(
+                tuple(
+                    tuple(row)
+                    for row in outcome.decision.mapping.assignments
+                )
+                if record_mappings
+                else None
+            ),
+            board=self.board,
+        )
+
+    @staticmethod
+    def _advance(
+        job: _SearchJob,
+        rewards: Optional[List[float]] = None,
+        first: bool = False,
+    ) -> None:
+        """Step one search coroutine to its next yield (or completion)."""
+        try:
+            if first:
+                job.pending = next(job.gen)
+            else:
+                job.pending = job.gen.send(rewards)
+        except StopIteration as stop:
+            job.pending = None
+            job.result = stop.value
+            job.elapsed = time.perf_counter() - job.started
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _scheduler_instance(self) -> Scheduler:
+        if self._scheduler is None:
+            if self._builder is not None:
+                self._scheduler = self._builder.build_scheduler(self.scheduler_name)
+            else:
+                self._scheduler = self._system.scheduler(self.scheduler_name)
+        return self._scheduler
+
+    @staticmethod
+    def _normalize(
+        request: Union[ScheduleRequest, Workload], **knobs
+    ) -> ScheduleRequest:
+        if isinstance(request, ScheduleRequest):
+            if knobs:
+                raise TypeError(
+                    "knobs are only accepted with a bare Workload; "
+                    "set them on the ScheduleRequest instead"
+                )
+            return request
+        if isinstance(request, Workload):
+            return ScheduleRequest(workload=request, **knobs)
+        raise TypeError(
+            f"expected ScheduleRequest or Workload, got {type(request).__name__}"
+        )
+
+    def _cache_key(self, request: ScheduleRequest) -> Optional[CacheKey]:
+        if not self.cache_decisions or request.objective is not None:
+            return None
+        return (
+            self.scheduler_name,
+            tuple(sorted(request.workload.model_names)),
+            request.budget,
+        )
+
+    def _hit_response(
+        self,
+        request: ScheduleRequest,
+        cached: Tuple[Tuple[str, ...], ScheduleDecision],
+        started: float,
+    ) -> ScheduleResponse:
+        names, decision = cached
+        decision = self._align_decision(decision, names, request.workload)
+        return ScheduleResponse(
+            decision=decision,
+            scheduler_name=self._scheduler_instance().name,
+            cache_status="hit",
+            measured_wall_time_s=time.perf_counter() - started,
+            request_id=request.request_id,
+        )
+
+    @staticmethod
+    def _align_decision(
+        decision: ScheduleDecision,
+        cached_names: Tuple[str, ...],
+        workload: Workload,
+    ) -> ScheduleDecision:
+        """Re-align a cached mapping's rows to a permuted duplicate mix.
+
+        Workload order carries no semantics (networks run
+        concurrently), but mapping rows align positionally — a cached
+        decision for ``a+b`` answers ``b+a`` after swapping rows.
+        """
+        if tuple(workload.model_names) == cached_names:
+            return decision
+        row_of = {name: index for index, name in enumerate(cached_names)}
+        rows = [
+            decision.mapping.assignments[row_of[name]]
+            for name in workload.model_names
+        ]
+        return replace(decision, mapping=Mapping(rows))
+
+    def _respond_direct(
+        self, scheduler: Scheduler, request: ScheduleRequest
+    ) -> ScheduleResponse:
+        """Non-pooling fallback: one synchronous scheduler call."""
+        response = scheduler.respond(request)
+        self._account(response.decision)
+        key = self._cache_key(request)
+        if key is not None:
+            self._cache[key] = (
+                tuple(request.workload.model_names),
+                response.decision,
+            )
+        return replace(
+            response,
+            cache_status="miss" if key is not None else "bypass",
+        )
+
+    def _account(self, decision: ScheduleDecision) -> None:
+        cost = decision.cost
+        self._stats.estimator_queries += cost.get("estimator_queries", 0.0)
+        self._stats.estimator_queries_actual += cost.get(
+            "estimator_queries_actual", cost.get("estimator_queries", 0.0)
+        )

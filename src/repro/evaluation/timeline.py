@@ -32,6 +32,9 @@ class TimelineRecord:
     savings, ``reschedule_time_s`` the host-measured cost of reacting
     to the event.  Within a coalesced same-timestamp group each event
     carries its own record (and its own concurrently-driven search).
+    ``board`` attributes the event to a named board in a fleet replay
+    (:meth:`repro.fleet.FleetService.run_trace`); single-board runs
+    leave it empty.
     """
 
     index: int
@@ -50,6 +53,7 @@ class TimelineRecord:
     stopped_early: bool = False
     reschedule_time_s: float = 0.0
     mapping_rows: Optional[Tuple[Tuple[int, ...], ...]] = None
+    board: str = ""
 
     def to_dict(self) -> Dict:
         payload = {
@@ -71,6 +75,8 @@ class TimelineRecord:
         }
         if self.mapping_rows is not None:
             payload["mapping_rows"] = [list(row) for row in self.mapping_rows]
+        if self.board:
+            payload["board"] = self.board
         return payload
 
 
@@ -112,6 +118,19 @@ class TimelineReport:
         if not planned:
             return 0.0
         return sum(1 for r in planned if r.mode == "warm") / len(planned)
+
+    @property
+    def boards(self) -> Tuple[str, ...]:
+        """Board names appearing in the records (fleet replays), sorted."""
+        return tuple(sorted({r.board for r in self.records if r.board}))
+
+    def for_board(self, board: str) -> "TimelineReport":
+        """The sub-report of one board's events (fleet replays)."""
+        return TimelineReport(
+            records=tuple(r for r in self.records if r.board == board),
+            trace_name=self.trace_name,
+            scheduler_name=self.scheduler_name,
+        )
 
     def per_priority_latency(self) -> Dict[int, float]:
         """Mean re-schedule latency (seconds) per event priority."""

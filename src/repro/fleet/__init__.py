@@ -1,0 +1,49 @@
+"""Fleet scheduling: many heterogeneous boards behind one service.
+
+OmniBoost solves one HiKey970; a production deployment serves heavy
+traffic from a *pool* of boards.  This package scales the serving
+stack out:
+
+* :class:`~repro.fleet.cluster.Cluster` — named heterogeneous boards
+  (each a lazy :class:`~repro.builder.SystemBuilder`), assembled from
+  platform presets via :meth:`~repro.fleet.cluster.Cluster.from_presets`;
+* :class:`~repro.fleet.placement.FleetPlacer` — estimator-scored
+  candidate placements with a greedy-load fallback, splitting mixes
+  too large for any single board;
+* :class:`~repro.fleet.service.FleetService` — fans requests out to
+  one :class:`~repro.engine.SchedulingEngine` per board (pooled MCTS
+  leaf evaluations per board), replays churn traces fleet-wide with
+  cross-board re-placement, and rolls every board's counters into a
+  :class:`~repro.fleet.service.FleetStats`.
+
+Serving a burst across three boards::
+
+    >>> from repro.fleet import Cluster, FleetService
+    >>> from repro.workloads import Workload
+    >>> cluster = Cluster.from_presets(
+    ...     {"edge0": "hikey970", "edge1": "hikey970_with_npu"},
+    ...     estimator={"num_training_samples": 150, "epochs": 10},
+    ... )
+    >>> service = FleetService(cluster)
+    >>> response = service.submit(Workload.from_names(["alexnet", "vgg19"]))
+    >>> print(response.board, response.expected_score)
+
+See ``docs/fleet.md`` for the placement policy, the rebalance
+semantics and the stats rollup.
+"""
+
+from .cluster import BOARD_PRESETS, Board, Cluster
+from .placement import BoardPlacement, FleetPlacer, PlacementError
+from .service import FleetResponse, FleetService, FleetStats
+
+__all__ = [
+    "BOARD_PRESETS",
+    "Board",
+    "BoardPlacement",
+    "Cluster",
+    "FleetPlacer",
+    "FleetResponse",
+    "FleetService",
+    "FleetStats",
+    "PlacementError",
+]

@@ -1,0 +1,186 @@
+"""Named heterogeneous boards behind one roof: the :class:`Cluster`.
+
+A fleet deployment is a set of *boards* — each its own platform, its
+own kernel profile, its own trained estimator — serving one request
+stream.  :class:`Board` pairs a stable name with the board's lazy
+:class:`~repro.builder.SystemBuilder` (or an already-built
+:class:`~repro.builder.OmniBoostSystem`): nothing is profiled or
+trained at assembly time.  Under greedy-load placement a board
+materializes only when a request routes there; under the default
+*estimator-scored* placement, every feasible candidate's estimator is
+consulted, so the first multi-candidate decision trains all feasible
+boards (see :mod:`repro.fleet.placement`).
+:class:`Cluster` is the ordered, name-unique collection the
+:class:`~repro.fleet.FleetService` and the placement layer operate on.
+
+:meth:`Cluster.from_presets` assembles mixed hardware from the named
+platform presets (:data:`BOARD_PRESETS`) in one call::
+
+    cluster = Cluster.from_presets(
+        {
+            "edge0": "hikey970",
+            "edge1": "hikey970_with_npu",
+            "edge2": "cpu_only_board",
+        },
+        seed=0,
+        estimator={"num_training_samples": 150, "epochs": 10},
+    )
+
+Every board gets its own seed lane (``seed + 1000 * position``; the
+first board keeps ``seed`` verbatim, which is what makes a one-board
+fleet byte-identical to a plain single-board service built from the
+same seed).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..builder import OmniBoostSystem, SystemBuilder
+from ..core.mcts import MCTSConfig
+from ..hw.platform_ import Platform
+from ..hw.presets import (
+    cpu_only_board,
+    hikey970,
+    hikey970_with_npu,
+    symmetric_board,
+)
+
+__all__ = ["BOARD_PRESETS", "Board", "Cluster"]
+
+#: Named platform factories :meth:`Cluster.from_presets` understands.
+BOARD_PRESETS: Dict[str, Callable[[], Platform]] = {
+    "hikey970": hikey970,
+    "hikey970_with_npu": hikey970_with_npu,
+    "cpu_only_board": cpu_only_board,
+    "symmetric_board": symmetric_board,
+}
+
+#: Seed spacing between boards: wide enough that no stage seed of one
+#: board (they span ``seed .. seed+7``) collides with a neighbour's.
+_SEED_STRIDE = 1000
+
+
+@dataclass
+class Board:
+    """One named board of a fleet.
+
+    ``source`` is the board's lazy :class:`~repro.builder.SystemBuilder`
+    or a pre-built :class:`~repro.builder.OmniBoostSystem`; ``preset``
+    records the platform preset name when built via
+    :meth:`Cluster.from_presets` (cosmetic otherwise).
+    """
+
+    name: str
+    source: Union[SystemBuilder, OmniBoostSystem]
+    preset: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("board name must be non-empty")
+        if not isinstance(self.source, (SystemBuilder, OmniBoostSystem)):
+            raise TypeError(
+                "board source must be a SystemBuilder or OmniBoostSystem, "
+                f"got {type(self.source).__name__}"
+            )
+
+    @property
+    def platform(self) -> Platform:
+        """The board's platform (materializes a builder's platform stage)."""
+        return self.source.platform
+
+    @property
+    def max_residency(self) -> int:
+        """How many DNNs this board can host concurrently (hard cliff)."""
+        return self.platform.memory.max_residency
+
+
+class Cluster:
+    """An ordered, name-unique collection of :class:`Board` objects."""
+
+    def __init__(self, boards: Sequence[Board]) -> None:
+        if not boards:
+            raise ValueError("a cluster needs at least one board")
+        self._boards: Dict[str, Board] = {}
+        for board in boards:
+            if not isinstance(board, Board):
+                raise TypeError(
+                    f"expected Board, got {type(board).__name__}"
+                )
+            if board.name in self._boards:
+                raise ValueError(f"duplicate board name {board.name!r}")
+            self._boards[board.name] = board
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_presets(
+        cls,
+        boards: Union[Dict[str, str], Sequence[Tuple[str, str]]],
+        seed: int = 0,
+        estimator: Optional[Dict] = None,
+        mcts_config: Optional[MCTSConfig] = None,
+    ) -> "Cluster":
+        """Build a cluster of preset platforms, one seed lane per board.
+
+        ``boards`` maps board name -> preset name (insertion order is
+        the cluster order).  ``estimator`` kwargs forward to each
+        board's :meth:`~repro.builder.SystemBuilder.with_estimator`;
+        ``mcts_config`` (applied verbatim per board) to
+        :meth:`~repro.builder.SystemBuilder.with_mcts_config`.
+        """
+        entries = (
+            list(boards.items())
+            if isinstance(boards, MappingABC)
+            else list(boards)
+        )
+        built: List[Board] = []
+        for position, (name, preset) in enumerate(entries):
+            if preset not in BOARD_PRESETS:
+                raise KeyError(
+                    f"unknown board preset {preset!r}; available: "
+                    f"{', '.join(sorted(BOARD_PRESETS))}"
+                )
+            builder = SystemBuilder(
+                seed=seed + _SEED_STRIDE * position
+            ).with_platform(BOARD_PRESETS[preset]())
+            if estimator is not None:
+                builder.with_estimator(**estimator)
+            if mcts_config is not None:
+                builder.with_mcts_config(mcts_config)
+            built.append(Board(name=name, source=builder, preset=preset))
+        return cls(built)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def board_names(self) -> Tuple[str, ...]:
+        return tuple(self._boards)
+
+    def board(self, name: str) -> Board:
+        if name not in self._boards:
+            raise KeyError(
+                f"cluster has no board {name!r}; boards: "
+                f"{', '.join(self._boards)}"
+            )
+        return self._boards[name]
+
+    def __len__(self) -> int:
+        return len(self._boards)
+
+    def __iter__(self) -> Iterator[Board]:
+        return iter(self._boards.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._boards
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{board.name}={board.preset or type(board.source).__name__}"
+            for board in self
+        )
+        return f"Cluster({parts})"

@@ -1,0 +1,519 @@
+"""Multi-board serving: the :class:`FleetService`.
+
+One request stream, many boards.  The fleet holds one
+:class:`~repro.engine.SchedulingEngine` per :class:`~repro.fleet.Board`
+(each engine: its own decision cache, pooled concurrent MCTS drive and
+:class:`~repro.engine.ServiceStats`), and a
+:class:`~repro.fleet.placement.FleetPlacer` that routes every incoming
+mix — or the chunks of a mix too large for any one board — to a board
+before any search runs.
+
+``schedule_many`` places the whole batch first, then hands each board
+its share *in one call*, so a board's requests pool their MCTS leaf
+evaluations through shared
+:meth:`~repro.estimator.model.ThroughputEstimator.predict_throughput_batch`
+calls exactly like a single-board batch (the per-sample
+batch-invariance doctrine makes the pooled decisions identical to a
+sequential per-request loop; only the call count drops).  Responses
+come back as :class:`FleetResponse` objects carrying board
+attribution, aligned with the input order.
+
+``run_trace`` replays an :class:`~repro.workloads.trace.ArrivalTrace`
+against the fleet: each arrival is *placed* (same scored/greedy
+policy, against live tenancy), each board re-plans its own changes
+with warm-started searches, same-timestamp groups drive their
+per-board re-searches concurrently, and a departure that leaves the
+fleet imbalanced triggers a cross-board re-placement (one tenant
+migrates from the most- to the least-loaded board, re-planned warm on
+both).  The aggregated :class:`~repro.evaluation.TimelineReport`
+interleaves every board's records in event order, each tagged with its
+board name.
+
+:meth:`FleetService.stats` returns the :class:`FleetStats` rollup:
+per-board :class:`~repro.engine.ServiceStats` plus fleet-level
+placement/migration counters and a combined cross-board summary.
+
+A three-board fleet in four lines::
+
+    >>> from repro.fleet import Cluster, FleetService
+    >>> from repro.workloads import fleet_scenario
+    >>> cluster = Cluster.from_presets(
+    ...     {"edge0": "hikey970", "edge1": "hikey970_with_npu", "edge2": "cpu_only_board"},
+    ...     estimator={"num_training_samples": 150, "epochs": 10},
+    ... )
+    >>> service = FleetService(cluster)
+    >>> responses = service.schedule_many(fleet_scenario("request-burst").build_mixes(0))
+    >>> print(service.stats().summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.base import ScheduleRequest, ScheduleResponse
+from ..engine import SchedulingEngine, ServiceStats
+from ..evaluation.timeline import TimelineRecord, TimelineReport
+from ..online import OnlineConfig, OnlineScheduler
+from ..sim.mapping import Mapping
+from ..workloads.mix import Workload
+from ..workloads.trace import ArrivalEvent, ArrivalTrace
+from .cluster import Cluster
+from .placement import BoardPlacement, FleetPlacer, PlacementError
+
+__all__ = ["FleetResponse", "FleetService", "FleetStats"]
+
+#: Load imbalance (in resident DNNs) that triggers a migration.
+_REBALANCE_GAP = 2
+
+
+@dataclass(frozen=True)
+class FleetResponse:
+    """One request's fleet answer: board-attributed part responses.
+
+    ``parts`` aligns placements with their per-board
+    :class:`~repro.core.base.ScheduleResponse`; an unsplit request has
+    exactly one part and the convenience accessors (:attr:`board`,
+    :attr:`response`, :attr:`mapping`, :attr:`expected_score`) read
+    it directly — they raise on a split response, whose parts must be
+    inspected individually.
+    """
+
+    request_id: str
+    parts: Tuple[Tuple[BoardPlacement, ScheduleResponse], ...]
+
+    @property
+    def split(self) -> bool:
+        return len(self.parts) > 1
+
+    def _single(self) -> Tuple[BoardPlacement, ScheduleResponse]:
+        if self.split:
+            boards = [placement.board for placement, _ in self.parts]
+            raise ValueError(
+                f"request was split across boards {boards}; inspect "
+                ".parts instead of the single-board accessors"
+            )
+        return self.parts[0]
+
+    @property
+    def board(self) -> str:
+        return self._single()[0].board
+
+    @property
+    def response(self) -> ScheduleResponse:
+        return self._single()[1]
+
+    @property
+    def mapping(self) -> Mapping:
+        return self.response.mapping
+
+    @property
+    def expected_score(self) -> float:
+        return self.response.expected_score
+
+    @property
+    def aggregate_score(self) -> float:
+        """DNN-weighted mean of the part scores (= the paper's mean
+        predicted system throughput over the whole original mix)."""
+        total = sum(
+            response.expected_score * placement.workload.num_dnns
+            for placement, response in self.parts
+        )
+        dnns = sum(
+            placement.workload.num_dnns for placement, _ in self.parts
+        )
+        return total / dnns
+
+
+@dataclass
+class FleetStats:
+    """The fleet rollup: per-board engine counters + placement counters."""
+
+    per_board: Dict[str, ServiceStats] = field(default_factory=dict)
+    requests_served: int = 0
+    placements: int = 0
+    scored_placements: int = 0
+    placement_evaluations: int = 0
+    greedy_fallbacks: int = 0
+    split_requests: int = 0
+    migrations: int = 0
+
+    @property
+    def combined(self) -> ServiceStats:
+        """Every board's :class:`ServiceStats` summed into one view."""
+        total = ServiceStats()
+        for stats in self.per_board.values():
+            total.requests_served += stats.requests_served
+            total.cache_hits += stats.cache_hits
+            total.cache_misses += stats.cache_misses
+            total.cache_bypasses += stats.cache_bypasses
+            total.pooled_eval_batches += stats.pooled_eval_batches
+            total.pooled_evaluations += stats.pooled_evaluations
+            total.estimator_queries += stats.estimator_queries
+            total.estimator_queries_actual += stats.estimator_queries_actual
+            total.trace_events += stats.trace_events
+            total.trace_reschedules += stats.trace_reschedules
+            total.trace_warm_reschedules += stats.trace_warm_reschedules
+            total.estimator_plan_compiles += stats.estimator_plan_compiles
+            for priority, count in stats.requests_by_priority.items():
+                total.requests_by_priority[priority] = (
+                    total.requests_by_priority.get(priority, 0) + count
+                )
+            for priority, wait in stats.wait_s_by_priority.items():
+                total.wait_s_by_priority[priority] = (
+                    total.wait_s_by_priority.get(priority, 0.0) + wait
+                )
+        return total
+
+    def summary(self) -> str:
+        """A one-paragraph fleet summary."""
+        combined = self.combined
+        return (
+            f"{self.requests_served} requests over "
+            f"{len(self.per_board)} board(s): "
+            f"{self.placements} placements "
+            f"({self.scored_placements} scored, "
+            f"{self.placement_evaluations} placement evaluations, "
+            f"{self.greedy_fallbacks} greedy fallbacks, "
+            f"{self.split_requests} split, "
+            f"{self.migrations} migrations); "
+            f"cache hit rate {combined.cache_hit_rate:.0%}, "
+            f"{combined.pooled_eval_batches} pooled estimator batches "
+            f"(mean size {combined.mean_pooled_batch_size:.1f}), "
+            f"{combined.estimator_queries_actual:.0f} estimator queries "
+            f"paid of {combined.estimator_queries:.0f} budgeted"
+        )
+
+
+class FleetService:
+    """Cross-board scheduling front end over a :class:`~repro.fleet.Cluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The named boards; each gets its own lazy
+        :class:`~repro.engine.SchedulingEngine` (nothing trains until
+        a request is routed to the board).
+    scheduler:
+        Registry name answering requests on every board.
+    cache_decisions:
+        Per-board decision caching (same semantics as the single-board
+        service).
+    placement:
+        ``"estimator"`` (scored candidates, greedy fallback) or
+        ``"greedy-load"`` — see :class:`~repro.fleet.placement.FleetPlacer`.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: str = "omniboost",
+        cache_decisions: bool = True,
+        placement: str = "estimator",
+    ) -> None:
+        if not isinstance(cluster, Cluster):
+            raise TypeError(
+                f"cluster must be a Cluster, got {type(cluster).__name__}"
+            )
+        self.cluster = cluster
+        self.scheduler_name = scheduler.strip().lower()
+        self._engines: Dict[str, SchedulingEngine] = {
+            board.name: SchedulingEngine(
+                board.source,
+                scheduler=scheduler,
+                cache_decisions=cache_decisions,
+                board=board.name,
+            )
+            for board in cluster
+        }
+        self.placer = FleetPlacer(
+            lambda name: self._engines[name].scheduler,
+            order=cluster.board_names,
+            mode=placement,
+        )
+        self._requests_served = 0
+        self._split_requests = 0
+        self._migrations = 0
+        #: Live tenancy (run_trace): board -> tenant id -> (model, priority).
+        #: Reset at the start of every replay — a trace starts from an
+        #: empty fleet, exactly like the single-board engine builds a
+        #: fresh OnlineScheduler per run_trace.
+        self._tenants: Dict[str, Dict[str, Tuple[str, int]]] = {
+            name: {} for name in cluster.board_names
+        }
+        self._tenant_board: Dict[str, str] = {}
+        self._onlines: Dict[str, OnlineScheduler] = {}
+        self._online_config: Optional[OnlineConfig] = None
+
+    # ------------------------------------------------------------------
+    # Batch serving
+    # ------------------------------------------------------------------
+    def engine(self, board: str) -> SchedulingEngine:
+        """One board's engine (for stats or direct single-board use)."""
+        if board not in self._engines:
+            raise KeyError(
+                f"fleet has no board {board!r}; boards: "
+                f"{', '.join(self._engines)}"
+            )
+        return self._engines[board]
+
+    def submit(
+        self,
+        request: Union[ScheduleRequest, Workload],
+        **knobs,
+    ) -> FleetResponse:
+        """Answer one request (``knobs`` forward to :class:`ScheduleRequest`)."""
+        return self.schedule_many(
+            [SchedulingEngine._normalize(request, **knobs)]
+        )[0]
+
+    def schedule_many(
+        self, requests: Sequence[Union[ScheduleRequest, Workload]]
+    ) -> List[FleetResponse]:
+        """Place, fan out and answer a batch; responses align with input.
+
+        Placement runs first for the whole batch (load counts what the
+        batch has already routed to each board, so similar boards
+        spread); each board then answers its share in ONE
+        ``schedule_many`` call, pooling the share's leaf evaluations.
+        A board's decisions are byte-identical to serving its share
+        sequentially — the fan-out changes call counts, never results.
+        """
+        normalized = [SchedulingEngine._normalize(r) for r in requests]
+        if not normalized:
+            return []
+        capacity = {
+            board.name: board.max_residency for board in self.cluster
+        }
+        load: Dict[str, int] = {name: 0 for name in self._engines}
+        #: board -> list of (request position, part position, placement,
+        #: sub-request) in arrival order.
+        shares: Dict[str, List[Tuple[int, int, BoardPlacement, ScheduleRequest]]] = {
+            name: [] for name in self._engines
+        }
+        placements: List[List[BoardPlacement]] = []
+        for position, request in enumerate(normalized):
+            parts = self.placer.place(request.workload, load, capacity)
+            placements.append(parts)
+            if len(parts) > 1:
+                self._split_requests += 1
+            for part_position, part in enumerate(parts):
+                sub = (
+                    request
+                    if part.workload is request.workload
+                    else replace(request, workload=part.workload)
+                )
+                shares[part.board].append(
+                    (position, part_position, part, sub)
+                )
+                load[part.board] = load.get(part.board, 0) + part.workload.num_dnns
+
+        answers: Dict[Tuple[int, int], ScheduleResponse] = {}
+        for board, share in shares.items():
+            if not share:
+                continue
+            responses = self._engines[board].schedule_many(
+                [sub for _, _, _, sub in share]
+            )
+            for (position, part_position, _, _), response in zip(
+                share, responses
+            ):
+                answers[(position, part_position)] = response
+
+        self._requests_served += len(normalized)
+        return [
+            FleetResponse(
+                request_id=request.request_id,
+                parts=tuple(
+                    (part, answers[(position, part_position)])
+                    for part_position, part in enumerate(parts)
+                ),
+            )
+            for position, (request, parts) in enumerate(
+                zip(normalized, placements)
+            )
+        ]
+
+    def stats(self) -> FleetStats:
+        """The :class:`FleetStats` rollup (snapshot; safe to mutate)."""
+        return FleetStats(
+            per_board={
+                name: engine.stats()
+                for name, engine in self._engines.items()
+            },
+            requests_served=self._requests_served,
+            placements=self.placer.placements,
+            scored_placements=self.placer.scored_placements,
+            placement_evaluations=self.placer.placement_evaluations,
+            greedy_fallbacks=self.placer.greedy_fallbacks,
+            split_requests=self._split_requests,
+            migrations=self._migrations,
+        )
+
+    # ------------------------------------------------------------------
+    # Trace replay
+    # ------------------------------------------------------------------
+    def run_trace(
+        self,
+        trace: ArrivalTrace,
+        online: Optional[OnlineConfig] = None,
+        record_mappings: bool = False,
+        rebalance: bool = True,
+    ) -> TimelineReport:
+        """Replay a churn trace against the fleet.
+
+        Arrivals are placed against live tenancy (a board never hosts
+        two tenants of one model, never exceeds its residency cap);
+        each board re-plans its own changes with warm-started
+        re-searches, and a same-timestamp group's re-searches run
+        concurrently per board with pooled evaluations.  After a group
+        containing departures, ``rebalance`` migrates one tenant from
+        the most- to the least-loaded board when the gap reaches two
+        residents (the migration re-plans both boards warm and appends
+        its departure/arrival pair to the timeline).
+
+        Returns the aggregated fleet :class:`TimelineReport` — every
+        board's records interleaved in event order, tagged with board
+        names (see :attr:`TimelineReport.boards` /
+        :meth:`TimelineReport.for_board`).  Each call replays from an
+        empty fleet (fresh tenancy, fresh per-board warm state), so
+        repeated replays are independent and deterministic.
+        """
+        self._online_config = online
+        self._onlines = {}
+        self._tenants = {name: {} for name in self._engines}
+        self._tenant_board = {}
+        records: List[TimelineRecord] = []
+        index = 0
+        for group in trace.grouped():
+            staged: Dict[str, List] = {}
+            order: List[Tuple[str, int]] = []
+            for event in group:
+                board = self._route_event(event)
+                job = self._engines[board].stage_trace_event(
+                    self._online(board), event
+                )
+                staged.setdefault(board, []).append(job)
+                order.append((board, len(staged[board]) - 1))
+            produced: Dict[str, List[TimelineRecord]] = {}
+            for board, jobs in staged.items():
+                produced[board] = self._engines[board].replay_group(
+                    self._online(board), jobs, 0, record_mappings
+                )
+            for board, job_position in order:
+                records.append(
+                    replace(produced[board][job_position], index=index)
+                )
+                index += 1
+            if rebalance and any(e.kind == "departure" for e in group):
+                migrated = self._rebalance(
+                    group[-1].time_s, index, record_mappings
+                )
+                records.extend(migrated)
+                index += len(migrated)
+        scheduler_name = ""
+        for engine in self._engines.values():
+            if engine._scheduler is not None:
+                scheduler_name = engine._scheduler.name
+                break
+        return TimelineReport(
+            records=tuple(records),
+            trace_name=trace.name,
+            scheduler_name=scheduler_name,
+        )
+
+    # ------------------------------------------------------------------
+    # Trace internals
+    # ------------------------------------------------------------------
+    def _online(self, board: str) -> OnlineScheduler:
+        if board not in self._onlines:
+            self._onlines[board] = self._engines[board].make_online_scheduler(
+                self._online_config
+            )
+        return self._onlines[board]
+
+    def _route_event(self, event: ArrivalEvent) -> str:
+        """Pick (arrival) or look up (departure) the event's board."""
+        if event.kind == "departure":
+            if event.tenant_id not in self._tenant_board:
+                raise KeyError(
+                    f"departure of unknown tenant {event.tenant_id!r}"
+                )
+            board = self._tenant_board.pop(event.tenant_id)
+            del self._tenants[board][event.tenant_id]
+            return board
+        load = {
+            name: len(tenants) for name, tenants in self._tenants.items()
+        }
+        capacity = {
+            board.name: board.max_residency - load[board.name]
+            for board in self.cluster
+        }
+        blocked = {
+            name: {model for model, _ in tenants.values()}
+            for name, tenants in self._tenants.items()
+        }
+        workload = Workload.from_names([event.model])
+        parts = self.placer.place(workload, load, capacity, blocked)
+        board = parts[0].board
+        self._tenants[board][event.tenant_id] = (event.model, event.priority)
+        self._tenant_board[event.tenant_id] = board
+        return board
+
+    def _rebalance(
+        self, time_s: float, start_index: int, record_mappings: bool
+    ) -> List[TimelineRecord]:
+        """Migrate one tenant from the most- to the least-loaded board.
+
+        Cross-board re-placement on departure: a drained board is free
+        capacity the rest of the fleet cannot see — when the resident
+        gap reaches ``_REBALANCE_GAP``, the most recently arrived
+        migratable tenant of the fullest board moves to the emptiest
+        (feasibility: the target must not host its model and must have
+        headroom), and both boards re-plan warm.  The migration is
+        recorded as a departure/arrival pair at the trigger timestamp.
+        """
+        load = {
+            name: len(tenants) for name, tenants in self._tenants.items()
+        }
+        if len(load) < 2:
+            return []
+        source = max(load, key=lambda name: (load[name],
+                                             -self.placer.order.index(name)))
+        target = min(load, key=lambda name: (load[name],
+                                             self.placer.order.index(name)))
+        if load[source] - load[target] < _REBALANCE_GAP:
+            return []
+        headroom = self.cluster.board(target).max_residency - load[target]
+        if headroom < 1:
+            return []
+        target_models = {
+            model for model, _ in self._tenants[target].values()
+        }
+        candidate = None
+        for tenant_id in reversed(list(self._tenants[source])):
+            model, priority = self._tenants[source][tenant_id]
+            if model not in target_models:
+                candidate = (tenant_id, model, priority)
+                break
+        if candidate is None:
+            return []
+        tenant_id, model, priority = candidate
+        departure = ArrivalEvent(time_s, "departure", tenant_id, model, priority)
+        arrival = ArrivalEvent(time_s, "arrival", tenant_id, model, priority)
+        del self._tenants[source][tenant_id]
+        self._tenants[target][tenant_id] = (model, priority)
+        self._tenant_board[tenant_id] = target
+        records: List[TimelineRecord] = []
+        index = start_index
+        for board, event in ((source, departure), (target, arrival)):
+            job = self._engines[board].stage_trace_event(
+                self._online(board), event
+            )
+            produced = self._engines[board].replay_group(
+                self._online(board), [job], 0, record_mappings
+            )
+            records.append(replace(produced[0], index=index))
+            index += 1
+        self._migrations += 1
+        return records

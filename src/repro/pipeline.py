@@ -16,11 +16,13 @@ so examples and benches can reproduce the evaluation with a few lines:
 builder (lazy stages, scheduler registry, checkpoint loading) or the
 request/response front end in :mod:`repro.service`; this function
 remains for the paper-reproduction scripts and builds byte-identical
-artifacts (same seeds, same stage order).
+artifacts (same seeds, same stage order), but emits a
+:class:`DeprecationWarning` pointing at the replacements.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 from .baselines.ga import GAConfig
@@ -59,7 +61,21 @@ def build_system(
     (see :meth:`~repro.estimator.embedding.EmbeddingSpace.extend`).
     ``use_compiled=False`` keeps estimator queries on the autograd
     interpreter instead of the compiled inference plan.
+
+    .. deprecated:: 1.4
+        Prefer the staged :class:`~repro.builder.SystemBuilder` (lazy
+        artifacts, registry, checkpoints) or the request/response
+        :class:`~repro.service.SchedulingService`; this eager shim
+        stays for the paper-reproduction scripts.
     """
+    warnings.warn(
+        "build_system() is deprecated: assemble lazily with "
+        "repro.SystemBuilder (or serve requests through "
+        "repro.SchedulingService); the shim builds byte-identical "
+        "artifacts but trains everything eagerly",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     builder = (
         SystemBuilder(seed=seed)
         .with_models(model_names)

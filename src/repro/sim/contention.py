@@ -41,6 +41,7 @@ def processor_sharing_rates(
     work: np.ndarray,
     rate_caps: np.ndarray,
     memory_work: Optional[np.ndarray] = None,
+    weights: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Steady-state rates under time-fair processor sharing.
 
@@ -56,6 +57,14 @@ def processor_sharing_rates(
     memory_work:
         Optional ``(M,)`` array of shared memory-controller occupancy
         per inference; treated as one extra capacity-1 resource.
+    weights:
+        Optional ``(M,)`` positive fair-share weights (rates grow as
+        ``r_i = theta * weights[i]`` while active).  Default: the
+        reciprocal of each DNN's total occupancy *as passed in*.  The
+        board simulator instead passes weights derived from the
+        *uninflated* occupancies, so a DNN's fair share is intrinsic
+        to its pipeline and cannot be redistributed by contention
+        inflation (see :class:`~repro.sim.simulator.BoardSimulator`).
 
     Returns
     -------
@@ -92,7 +101,16 @@ def processor_sharing_rates(
     # theta is equal growth of every DNN's occupied-time share.  The
     # floor guards against subnormal work values (no physical kernel is
     # faster than a picosecond) that would overflow the reciprocal.
-    weights = 1.0 / np.maximum(total_work, 1e-12)
+    if weights is None:
+        weights = 1.0 / np.maximum(total_work, 1e-12)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (num_dnns,):
+            raise ValueError(
+                f"weights shape {weights.shape} does not match {num_dnns} DNNs"
+            )
+        if (weights <= 0).any():
+            raise ValueError("weights must be positive")
     rates = np.zeros(num_dnns)
     active = np.ones(num_dnns, dtype=bool)
     # Each round freezes at least one DNN, so M rounds suffice.

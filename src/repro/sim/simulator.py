@@ -318,6 +318,7 @@ class BoardSimulator:
         for dnn_index, plan in enumerate(plans):
             for device_id in range(num_devices):
                 work[dnn_index, device_id] = plan.work_on_device(device_id)
+        intrinsic_work = work.sum(axis=1)
 
         scale = self._device_scales(models, mapping, work, num_dnns)
         work = work * scale[None, :]
@@ -349,7 +350,20 @@ class BoardSimulator:
             dram_bytes = model_dram_bytes(model, self.config.dram_traffic_fraction)
             memory_work[dnn_index] = dram_bytes / controller_bw
 
-        rates = processor_sharing_rates(work, rate_caps, memory_work)
+        # Fair-share weights come from the *uninflated* occupancies:
+        # contention inflation (thrash, residency pressure) stretches a
+        # DNN's service times but must not shrink its round-robin time
+        # share on the devices it occupies.  Deriving weights from the
+        # inflated matrix did exactly that — an added co-resident DNN
+        # that thrashed one incumbent's GPU stages lowered that
+        # incumbent's weight board-wide, handing its share of a
+        # saturated CPU cluster to another incumbent, whose rate then
+        # *rose* with added load (non-monotone; see
+        # tests/test_property_invariants.py::TestContentionMonotonicity).
+        weights = 1.0 / np.maximum(intrinsic_work + memory_work, 1e-12)
+        rates = processor_sharing_rates(
+            work, rate_caps, memory_work, weights=weights
+        )
 
         device_utilization = rates @ work
         memory_utilization = float(rates @ memory_work)

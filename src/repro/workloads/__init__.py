@@ -9,10 +9,14 @@ from .mix import Workload
 from .scenarios import (
     CHURN_SCENARIOS,
     ChurnScenario,
+    FLEET_SCENARIOS,
+    FleetScenario,
     SCENARIOS,
     Scenario,
     churn_scenario,
     churn_scenario_names,
+    fleet_scenario,
+    fleet_scenario_names,
     scenario,
     scenario_names,
 )
@@ -29,6 +33,8 @@ __all__ = [
     "ArrivalTrace",
     "CHURN_SCENARIOS",
     "ChurnScenario",
+    "FLEET_SCENARIOS",
+    "FleetScenario",
     "SCENARIOS",
     "Scenario",
     "TraceBuilder",
@@ -37,6 +43,8 @@ __all__ = [
     "WorkloadGenerator",
     "churn_scenario",
     "churn_scenario_names",
+    "fleet_scenario",
+    "fleet_scenario_names",
     "generate_trace",
     "random_contiguous_mapping",
     "random_two_stage_mapping",

@@ -12,12 +12,18 @@ seeded :class:`~repro.workloads.trace.ArrivalTrace` factories
 that stress the online scheduling subsystem with characteristic
 tenancy dynamics instead of a static mix.  See ``docs/online.md`` for
 what each shape exercises.
+
+The third group is the *fleet* scenarios — request bursts and
+high-concurrency traces sized for a multi-board
+:class:`~repro.fleet.FleetService` rather than one board
+(``request-burst``, ``fleet-churn``, ``heavy-split``).  See
+``docs/fleet.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +40,10 @@ __all__ = [
     "CHURN_SCENARIOS",
     "churn_scenario",
     "churn_scenario_names",
+    "FleetScenario",
+    "FLEET_SCENARIOS",
+    "fleet_scenario",
+    "fleet_scenario_names",
 ]
 
 
@@ -316,3 +326,118 @@ def churn_scenario(name: str, seed: int = 0) -> ArrivalTrace:
 def churn_scenario_names() -> List[str]:
     """All churn scenario names."""
     return list(CHURN_SCENARIOS)
+
+
+# ----------------------------------------------------------------------
+# Fleet scenarios: workloads sized for many boards, not one
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetScenario:
+    """A named multi-board serving shape.
+
+    ``build_mixes(seed)`` returns the scenario's deterministic request
+    burst (a list of :class:`Workload` for
+    :meth:`repro.fleet.FleetService.schedule_many`); ``build_trace``,
+    when present, its high-concurrency churn trace for
+    :meth:`repro.fleet.FleetService.run_trace`.
+    """
+
+    name: str
+    description: str
+    build_mixes: Callable[[int], List[Workload]]
+    build_trace: Optional[Callable[[int], ArrivalTrace]] = None
+
+
+def _burst_mixes(seed: int, count: int = 8, sizes: Tuple[int, ...] = (3, 2)) -> List[Workload]:
+    """``count`` distinct mixes, sizes cycling through ``sizes``."""
+    rng = np.random.default_rng(seed)
+    mixes: List[Workload] = []
+    seen = set()
+    while len(mixes) < count:
+        size = sizes[len(mixes) % len(sizes)]
+        chosen = rng.permutation(len(MODEL_NAMES))[:size]
+        names = tuple(MODEL_NAMES[int(i)] for i in chosen)
+        signature = tuple(sorted(names))
+        if signature in seen:
+            continue
+        seen.add(signature)
+        mixes.append(Workload.from_names(names))
+    return mixes
+
+
+def _heavy_split_mixes(seed: int) -> List[Workload]:
+    """A burst led by mixes larger than one board's residency cap."""
+    rng = np.random.default_rng(seed)
+    order = [MODEL_NAMES[int(i)] for i in rng.permutation(len(MODEL_NAMES))]
+    return [
+        Workload.from_names(order[:7], name="heavy-7"),
+        Workload.from_names(order[7:11], name="tail-4"),
+        Workload.from_names(order[2:5], name="mid-3"),
+    ]
+
+
+def _fleet_churn(seed: int) -> ArrivalTrace:
+    """Churn deeper than one board: up to nine concurrent tenants.
+
+    A HiKey970 hangs past five residents, so this shape *requires*
+    placement across boards; lifetimes are spread widely enough that
+    departures leave the fleet imbalanced (the migration trigger).
+    """
+    return generate_trace(
+        TraceConfig(
+            arrival_rate=0.7,
+            min_lifetime_s=6.0,
+            max_lifetime_s=30.0,
+            horizon_s=25.0,
+            max_concurrent=9,
+            seed=seed,
+            name="fleet-churn",
+        )
+    )
+
+
+FLEET_SCENARIOS: Dict[str, FleetScenario] = {
+    preset.name: preset
+    for preset in [
+        FleetScenario(
+            name="request-burst",
+            description=(
+                "eight distinct 2-3 DNN mixes arriving at once — the "
+                "cross-board pooled-scheduling stressor"
+            ),
+            build_mixes=_burst_mixes,
+        ),
+        FleetScenario(
+            name="fleet-churn",
+            description=(
+                "Poisson churn up to nine concurrent tenants — deeper "
+                "than any single board's residency cap"
+            ),
+            build_mixes=lambda seed: _burst_mixes(seed, count=4),
+            build_trace=_fleet_churn,
+        ),
+        FleetScenario(
+            name="heavy-split",
+            description=(
+                "a seven-DNN mix no single board can host (split "
+                "placement) followed by ordinary mixes"
+            ),
+            build_mixes=_heavy_split_mixes,
+        ),
+    ]
+}
+
+
+def fleet_scenario(name: str) -> FleetScenario:
+    """Fetch a named fleet scenario."""
+    if name not in FLEET_SCENARIOS:
+        raise KeyError(
+            f"unknown fleet scenario {name!r}; available: "
+            f"{', '.join(FLEET_SCENARIOS)}"
+        )
+    return FLEET_SCENARIOS[name]
+
+
+def fleet_scenario_names() -> List[str]:
+    """All fleet scenario names."""
+    return list(FLEET_SCENARIOS)

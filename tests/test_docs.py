@@ -109,6 +109,24 @@ def test_online_guide_is_linked():
     assert "online.md" in (ROOT / "docs" / "architecture.md").read_text()
 
 
+def test_fleet_guide_is_linked():
+    """The fleet operations guide is reachable from the entry docs."""
+    assert (ROOT / "docs" / "fleet.md").is_file()
+    assert "docs/fleet.md" in (ROOT / "README.md").read_text()
+    assert "fleet.md" in (ROOT / "docs" / "architecture.md").read_text()
+
+
+def test_fleet_surface_is_pinned():
+    """The fleet subcommand and core exports stay documented by name."""
+    assert "fleet-serve" in _cli_subcommands()
+    readme = (ROOT / "README.md").read_text()
+    assert "fleet-serve" in readme
+    import repro
+
+    for export in ("Cluster", "FleetService", "FleetStats", "fleet_scenario"):
+        assert export in repro.__all__, export
+
+
 # ----------------------------------------------------------------------
 # Drift pinning: CLI subcommands and public exports must be documented
 # ----------------------------------------------------------------------
@@ -160,6 +178,8 @@ NARRATIVE_MODULES = [
     "src/repro/online/scheduler.py",
     "src/repro/workloads/trace.py",
     "src/repro/service.py",
+    "src/repro/fleet/__init__.py",
+    "src/repro/fleet/service.py",
 ]
 
 

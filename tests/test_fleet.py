@@ -1,0 +1,465 @@
+"""Fleet subsystem tests: cluster, placement, fan-out, equivalence.
+
+The acceptance bar: a ``FleetService`` over a *single* board must be
+indistinguishable from a plain ``SchedulingService`` — byte-identical
+mappings and scores for the same request sequence (>= 8 mixes, with
+repeats) and identical ``ServiceStats`` counters — because the
+placement layer short-circuits a one-candidate fleet without touching
+any estimator.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import SchedulingService, SystemBuilder, Workload
+from repro.core import MCTSConfig, ScheduleRequest
+from repro.engine import SchedulingEngine
+from repro.fleet import (
+    BOARD_PRESETS,
+    Board,
+    BoardPlacement,
+    Cluster,
+    FleetPlacer,
+    FleetResponse,
+    FleetService,
+    FleetStats,
+    PlacementError,
+)
+from repro.fleet.placement import reference_mapping
+from repro.online import OnlineConfig
+from repro.workloads import (
+    ArrivalEvent,
+    ArrivalTrace,
+    fleet_scenario,
+    fleet_scenario_names,
+)
+
+#: Same shape as tests/test_service.py: >= 8 mixes with an exact
+#: repeat (#4 of #0), a permuted repeat (#5 of #0), an exact repeat
+#: (#6 of #1).
+MIX_NAMES = [
+    ["alexnet", "mobilenet", "squeezenet"],
+    ["vgg19", "resnet50", "alexnet"],
+    ["mobilenet", "vgg16", "inception_v3"],
+    ["squeezenet", "resnet34", "vgg13"],
+    ["alexnet", "mobilenet", "squeezenet"],
+    ["mobilenet", "alexnet", "squeezenet"],
+    ["vgg19", "resnet50", "alexnet"],
+    ["resnet50", "vgg19", "inception_v4"],
+    ["alexnet", "resnet101", "mobilenet"],
+]
+
+_ESTIMATOR = {"num_training_samples": 40, "epochs": 3}
+_MCTS = MCTSConfig(budget=50, seed=13)
+
+
+def _requests():
+    return [
+        ScheduleRequest(workload=Workload.from_names(names), request_id=str(i))
+        for i, names in enumerate(MIX_NAMES)
+    ]
+
+
+def _one_board_fleet() -> FleetService:
+    cluster = Cluster.from_presets(
+        {"solo": "hikey970"}, seed=29, estimator=_ESTIMATOR, mcts_config=_MCTS
+    )
+    return FleetService(cluster)
+
+
+def _plain_service() -> SchedulingService:
+    builder = (
+        SystemBuilder(seed=29)
+        .with_estimator(**_ESTIMATOR)
+        .with_mcts_config(_MCTS)
+    )
+    return SchedulingService(builder)
+
+
+@pytest.fixture(scope="module")
+def three_board_fleet():
+    cluster = Cluster.from_presets(
+        {
+            "edge0": "hikey970",
+            "edge1": "hikey970_with_npu",
+            "edge2": "cpu_only_board",
+        },
+        seed=0,
+        estimator=_ESTIMATOR,
+        mcts_config=MCTSConfig(budget=40, seed=13),
+    )
+    return FleetService(cluster)
+
+
+class TestFleetOfOneEquivalence:
+    """The tentpole guarantee: one board behind the fleet == the service."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        requests = _requests()
+        fleet = _one_board_fleet()
+        fleet_responses = fleet.schedule_many(requests)
+        plain = _plain_service()
+        plain_responses = plain.schedule_many(requests)
+        return fleet, fleet_responses, plain, plain_responses
+
+    def test_at_least_eight_mixes(self, pair):
+        _, fleet_responses, _, _ = pair
+        assert len(fleet_responses) >= 8
+
+    def test_mappings_and_scores_identical(self, pair):
+        _, fleet_responses, _, plain_responses = pair
+        for fleet_response, plain_response in zip(
+            fleet_responses, plain_responses
+        ):
+            assert not fleet_response.split
+            assert fleet_response.board == "solo"
+            assert fleet_response.mapping == plain_response.mapping
+            assert (
+                fleet_response.expected_score
+                == plain_response.expected_score
+            )
+            assert (
+                fleet_response.response.cache_status
+                == plain_response.cache_status
+            )
+
+    def test_service_stats_counters_identical(self, pair):
+        fleet, _, plain, _ = pair
+        board_stats = fleet.stats().per_board["solo"]
+        plain_stats = plain.stats()
+        # Latency sums are host-measured (never equal across runs);
+        # every discrete counter must match exactly.
+        for field in dataclasses.fields(board_stats):
+            if field.name == "wait_s_by_priority":
+                continue
+            assert getattr(board_stats, field.name) == getattr(
+                plain_stats, field.name
+            ), field.name
+
+    def test_no_placement_evaluations_spent(self, pair):
+        fleet, _, _, _ = pair
+        stats = fleet.stats()
+        assert stats.placements == len(MIX_NAMES)
+        assert stats.placement_evaluations == 0
+        assert stats.scored_placements == 0
+        assert stats.split_requests == 0
+
+
+class TestCluster:
+    def test_presets_cover_the_heterogeneous_boards(self):
+        for name in ("hikey970", "hikey970_with_npu", "cpu_only_board"):
+            assert name in BOARD_PRESETS
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown board preset"):
+            Cluster.from_presets({"edge0": "raspberry-pi"})
+
+    def test_duplicate_board_names_rejected(self):
+        board = Board(name="a", source=SystemBuilder())
+        other = Board(name="a", source=SystemBuilder())
+        with pytest.raises(ValueError, match="duplicate board name"):
+            Cluster([board, other])
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError, match="at least one board"):
+            Cluster([])
+
+    def test_board_requires_builder_or_system(self):
+        with pytest.raises(TypeError):
+            Board(name="a", source=object())
+
+    def test_boards_get_distinct_seed_lanes(self):
+        cluster = Cluster.from_presets(
+            [("a", "hikey970"), ("b", "hikey970")], seed=7
+        )
+        seeds = [board.source.seed for board in cluster]
+        assert seeds[0] == 7  # first board keeps the fleet seed verbatim
+        assert len(set(seeds)) == 2
+
+    def test_lookup_and_order(self):
+        cluster = Cluster.from_presets(
+            {"b0": "hikey970", "b1": "cpu_only_board"}
+        )
+        assert cluster.board_names == ("b0", "b1")
+        assert cluster.board("b1").preset == "cpu_only_board"
+        assert "b0" in cluster and "nope" not in cluster
+        with pytest.raises(KeyError):
+            cluster.board("nope")
+
+
+class TestPlacement:
+    def test_reference_mapping_stripes_whole_models(self):
+        workload = Workload.from_names(["alexnet", "mobilenet", "vgg13"])
+        mapping = reference_mapping(workload, 2)
+        for index, (model, row) in enumerate(
+            zip(workload.models, mapping.assignments)
+        ):
+            assert len(set(row)) == 1  # whole model on one device
+            assert row[0] == index % 2
+            assert len(row) == model.num_layers
+
+    def test_greedy_load_prefers_least_loaded(self):
+        placer = FleetPlacer(None, order=("a", "b"), mode="greedy-load")
+        workload = Workload.from_names(["alexnet", "mobilenet"])
+        parts = placer.place(
+            workload, load={"a": 3, "b": 0}, capacity={"a": 5, "b": 5}
+        )
+        assert [p.board for p in parts] == ["b"]
+        assert parts[0].indices == (0, 1)
+
+    def test_blocked_models_exclude_a_board(self):
+        placer = FleetPlacer(None, order=("a", "b"), mode="greedy-load")
+        workload = Workload.from_names(["alexnet"])
+        parts = placer.place(
+            workload,
+            load={"a": 0, "b": 2},
+            capacity={"a": 5, "b": 5},
+            blocked={"a": {"alexnet"}},
+        )
+        assert parts[0].board == "b"
+
+    def test_oversized_mix_splits_across_distinct_boards(self):
+        placer = FleetPlacer(None, order=("a", "b"), mode="greedy-load")
+        workload = fleet_scenario("heavy-split").build_mixes(0)[0]
+        assert workload.num_dnns == 7
+        parts = placer.place(
+            workload, load={}, capacity={"a": 5, "b": 5}
+        )
+        assert len(parts) == 2
+        assert {p.board for p in parts} == {"a", "b"}
+        covered = sorted(i for p in parts for i in p.indices)
+        assert covered == list(range(7))
+        for part in parts:
+            assert part.workload.model_names == tuple(
+                workload.models[i].name for i in part.indices
+            )
+        assert placer.split_mixes == 1
+
+    def test_unplaceable_mix_raises(self):
+        placer = FleetPlacer(None, order=("a",), mode="greedy-load")
+        workload = Workload.from_names(["alexnet", "mobilenet", "vgg13"])
+        with pytest.raises(PlacementError, match="cannot host"):
+            placer.place(workload, load={}, capacity={"a": 2})
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            FleetPlacer(None, order=("a",), mode="round-robin")
+
+
+class TestFleetServing:
+    def test_burst_spreads_across_boards(self, three_board_fleet):
+        mixes = fleet_scenario("request-burst").build_mixes(0)
+        responses = three_board_fleet.schedule_many(mixes)
+        boards = {response.board for response in responses}
+        assert len(boards) >= 2  # the load discount spreads the burst
+        for mix, response in zip(mixes, responses):
+            assert not response.split
+            response.mapping.validate(
+                mix.models,
+                three_board_fleet.cluster.board(
+                    response.board
+                ).platform.num_devices,
+            )
+
+    def test_fleet_decisions_match_per_board_sequential(
+        self, three_board_fleet
+    ):
+        """Pooled fan-out == the same per-board shares served one at a
+        time on a twin fleet (identical seeds): the pooling changes
+        estimator call counts, never mappings or scores."""
+        mixes = fleet_scenario("request-burst").build_mixes(1)
+        pooled = three_board_fleet.schedule_many(mixes)
+        twin = FleetService(
+            Cluster.from_presets(
+                {
+                    "edge0": "hikey970",
+                    "edge1": "hikey970_with_npu",
+                    "edge2": "cpu_only_board",
+                },
+                seed=0,
+                estimator=_ESTIMATOR,
+                mcts_config=MCTSConfig(budget=40, seed=13),
+            )
+        )
+        # Replay the SAME placement one request at a time: submitting
+        # straight to each pooled response's board preserves every
+        # board's share and its relative order.
+        for mix, pooled_response in zip(mixes, pooled):
+            solo_response = twin.engine(pooled_response.board).submit(mix)
+            assert pooled_response.mapping == solo_response.mapping
+            assert (
+                pooled_response.expected_score
+                == solo_response.expected_score
+            )
+
+    def test_split_request_covers_the_whole_mix(self, three_board_fleet):
+        heavy = fleet_scenario("heavy-split").build_mixes(0)[0]
+        response = three_board_fleet.submit(heavy)
+        assert response.split
+        boards = [placement.board for placement, _ in response.parts]
+        assert len(set(boards)) == len(boards)  # distinct boards
+        covered = sorted(
+            i for placement, _ in response.parts for i in placement.indices
+        )
+        assert covered == list(range(heavy.num_dnns))
+        assert response.aggregate_score > 0
+        with pytest.raises(ValueError, match="split"):
+            response.mapping
+
+    def test_stats_rollup_combines_boards(self, three_board_fleet):
+        stats = three_board_fleet.stats()
+        assert isinstance(stats, FleetStats)
+        combined = stats.combined
+        assert combined.requests_served == sum(
+            board.requests_served for board in stats.per_board.values()
+        )
+        assert combined.pooled_eval_batches > 0
+        assert "placements" in stats.summary()
+
+    def test_unknown_board_engine_lookup(self, three_board_fleet):
+        assert isinstance(
+            three_board_fleet.engine("edge0"), SchedulingEngine
+        )
+        with pytest.raises(KeyError):
+            three_board_fleet.engine("edge9")
+
+    def test_rejects_non_cluster(self):
+        with pytest.raises(TypeError, match="Cluster"):
+            FleetService(SystemBuilder())
+
+
+class TestFleetTrace:
+    @pytest.fixture(scope="class")
+    def trace_run(self):
+        cluster = Cluster.from_presets(
+            {"edge0": "hikey970", "edge1": "hikey970"},
+            seed=3,
+            estimator=_ESTIMATOR,
+            mcts_config=MCTSConfig(budget=30, seed=13),
+        )
+        service = FleetService(cluster)
+        trace = fleet_scenario("fleet-churn").build_trace(0)
+        report = service.run_trace(trace, online=OnlineConfig(warm_patience=20))
+        return service, trace, report
+
+    def test_records_cover_all_events_in_order(self, trace_run):
+        _, trace, report = trace_run
+        assert len(report.records) >= len(trace)
+        assert [r.index for r in report.records] == list(
+            range(len(report.records))
+        )
+
+    def test_records_carry_board_attribution(self, trace_run):
+        _, _, report = trace_run
+        assert set(report.boards) <= {"edge0", "edge1"}
+        assert all(record.board for record in report.records)
+        for board in report.boards:
+            sub = report.for_board(board)
+            assert all(record.board == board for record in sub.records)
+
+    def test_boards_replan_warm(self, trace_run):
+        service, _, report = trace_run
+        stats = service.stats()
+        warm = sum(
+            board.trace_warm_reschedules
+            for board in stats.per_board.values()
+        )
+        assert warm > 0
+        assert report.warm_fraction > 0
+
+    def test_departure_triggers_migration_records(self, trace_run):
+        service, trace, report = trace_run
+        stats = service.stats()
+        if stats.migrations == 0:
+            pytest.skip("trace never left the fleet imbalanced")
+        # A migration appends a departure/arrival pair beyond the
+        # trace's own events.
+        assert len(report.records) == len(trace) + 2 * stats.migrations
+
+    def test_residency_caps_respected_throughout(self, trace_run):
+        _, _, report = trace_run
+        for record in report.records:
+            assert len(record.active_models) <= 5
+
+    def test_online_config_reaches_every_board(self):
+        """The `online` knob must govern the per-board re-searches —
+        `warm=False` forces cold re-planning fleet-wide."""
+        cluster = Cluster.from_presets(
+            {"edge0": "hikey970", "edge1": "hikey970"},
+            seed=5,
+            estimator=_ESTIMATOR,
+            mcts_config=MCTSConfig(budget=20, seed=13),
+        )
+        service = FleetService(cluster)
+        trace = fleet_scenario("fleet-churn").build_trace(0).truncated(8)
+        report = service.run_trace(trace, online=OnlineConfig(warm=False))
+        planned = [r for r in report.records if r.mode != "idle"]
+        assert planned
+        assert all(record.mode == "cold" for record in planned)
+
+    def test_run_trace_is_reentrant(self):
+        """Each replay starts from an empty fleet: two runs of the same
+        trace on one service produce identical outcomes."""
+        cluster = Cluster.from_presets(
+            {"edge0": "hikey970", "edge1": "hikey970"},
+            seed=7,
+            estimator=_ESTIMATOR,
+            mcts_config=MCTSConfig(budget=20, seed=13),
+        )
+        service = FleetService(cluster)
+        trace = fleet_scenario("fleet-churn").build_trace(1).truncated(8)
+        online = OnlineConfig(warm_patience=15)
+        first = service.run_trace(trace, online=online)
+        second = service.run_trace(trace, online=online)
+        assert len(first.records) == len(second.records)
+        for record_a, record_b in zip(first.records, second.records):
+            assert record_a.board == record_b.board
+            assert record_a.mode == record_b.mode
+            assert record_a.expected_score == record_b.expected_score
+            assert record_a.evaluations == record_b.evaluations
+
+    def test_single_event_trace_records_one_arrival(self):
+        cluster = Cluster.from_presets(
+            {"edge0": "hikey970"},
+            seed=3,
+            estimator=_ESTIMATOR,
+            mcts_config=MCTSConfig(budget=20, seed=13),
+        )
+        service = FleetService(cluster)
+        trace = ArrivalTrace(
+            [ArrivalEvent(0.0, "arrival", "t0", "alexnet")]
+        )
+        report = service.run_trace(trace)
+        assert len(report.records) == 1
+        assert report.records[0].board == "edge0"
+        assert report.records[0].mode == "cold"
+
+
+class TestFleetScenarios:
+    def test_names_and_lookup(self):
+        names = fleet_scenario_names()
+        assert "request-burst" in names
+        assert "fleet-churn" in names
+        assert "heavy-split" in names
+        with pytest.raises(KeyError):
+            fleet_scenario("nope")
+
+    def test_request_burst_is_deterministic_and_distinct(self):
+        first = fleet_scenario("request-burst").build_mixes(5)
+        second = fleet_scenario("request-burst").build_mixes(5)
+        assert [m.model_names for m in first] == [
+            m.model_names for m in second
+        ]
+        assert len(first) == 8
+        signatures = {tuple(sorted(m.model_names)) for m in first}
+        assert len(signatures) == 8
+
+    def test_fleet_churn_exceeds_single_board_depth(self):
+        trace = fleet_scenario("fleet-churn").build_trace(0)
+        assert trace.max_concurrency > 5
+
+    def test_heavy_split_leads_with_an_oversized_mix(self):
+        mixes = fleet_scenario("heavy-split").build_mixes(0)
+        assert mixes[0].num_dnns > 5
