@@ -28,8 +28,10 @@ import time
 import pytest
 
 from repro.core import MCTSConfig, OmniBoostScheduler
+from repro.models import MODEL_NAMES
 from repro.online import OnlineConfig, OnlineScheduler
-from repro.workloads import churn_scenario
+from repro.slo import preemption_victims
+from repro.workloads import ArrivalEvent, churn_scenario
 
 BUDGET = 500
 PATIENCE = 80
@@ -103,3 +105,77 @@ def test_perf_warm_restart_after_departure(benchmark, paper_system, scenario):
     # budget, at equal-or-better estimated throughput.
     assert eval_speedup >= 2.0
     assert warm.expected_score >= cold.expected_score
+
+
+def test_perf_preemptive_warm_replan(benchmark, paper_system):
+    """SLO preemption re-plans warm: evict one, admit one, search cheap.
+
+    The enforcement path (:mod:`repro.slo`) turns a high-priority
+    arrival into evict-lowest + re-plan.  That replacement is a
+    retained-row warm start over the survivors, so it must spend
+    strictly fewer estimator forwards than a cold search of the
+    identical post-preemption mix at the same budget and seed -- the
+    count-based gate behind the docs/slo.md claim that preemption
+    costs a fraction of a cold search.
+    """
+    trace = churn_scenario("priority-storm", seed=0)
+    config = MCTSConfig(budget=BUDGET, seed=5)
+    online = OnlineScheduler(
+        OmniBoostScheduler(paper_system.estimator, config=config),
+        OnlineConfig(warm_patience=PATIENCE),
+    )
+    for event in trace:
+        if event.kind == "arrival" and len(online.active) < 4:
+            online.apply(event)
+        if len(online.active) == 4:
+            break
+    assert len(online.active) == 4
+    pre = online.plan()
+    assert pre.mode == "cold"
+
+    # A priority-3 arrival finds the board full: the enforcement loop
+    # names the lowest-priority resident and swaps it out.
+    victims = preemption_victims(online.active, incoming_priority=3)
+    assert victims, "priority-storm anchors must be preemptible"
+    victim_id, _, victim_priority = victims[0]
+    assert victim_priority < 3
+    resident_models = {model for model, _ in online.active.values()}
+    incoming_model = next(
+        name for name in MODEL_NAMES if name not in resident_models
+    )
+    stamp = trace.events[-1].time_s
+    online.apply(ArrivalEvent(stamp, "departure", victim_id, "", 0))
+    online.apply(
+        ArrivalEvent(stamp, "arrival", "preempt-in", incoming_model, 3)
+    )
+    post_workload = online.current_workload()
+    assert post_workload.num_dnns == 4
+
+    cold_scheduler = OmniBoostScheduler(paper_system.estimator, config=config)
+
+    def run():
+        warm_started = time.perf_counter()
+        warm = online.plan()
+        warm_s = time.perf_counter() - warm_started
+        cold_started = time.perf_counter()
+        cold = cold_scheduler.schedule(post_workload)
+        cold_s = time.perf_counter() - cold_started
+        return warm, warm_s, cold, cold_s
+
+    warm, warm_s, cold, cold_s = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    warm_evals = warm.decision.cost["estimator_queries"]
+    cold_evals = cold.cost["estimator_queries"]
+    print(
+        f"\n[PERF-ONLINE] preemption: evicted {victim_id!r} "
+        f"(priority {victim_priority}) for {incoming_model!r}; warm "
+        f"{warm_evals:.0f} evals ({warm_s:.2f}s, score "
+        f"{warm.expected_score:.3f}) vs cold {cold_evals:.0f} evals "
+        f"({cold_s:.2f}s, score {cold.expected_score:.3f}) -- "
+        f"{cold_evals / warm_evals:.1f}x fewer evaluations"
+    )
+
+    assert warm.mode == "warm"
+    # The gate: strictly fewer estimator forwards than a cold re-plan
+    # of the same post-preemption mix at equal budget (count-based).
+    assert warm_evals < cold_evals

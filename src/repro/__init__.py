@@ -34,6 +34,7 @@ from . import (
     nn,
     online,
     sim,
+    slo,
     workloads,
 )
 from .builder import SystemBuilder
@@ -44,6 +45,7 @@ from .core import (
     ScheduleRequest,
     ScheduleResponse,
     Scheduler,
+    SLOTarget,
     available_schedulers,
     get_scheduler,
     register_scheduler,
@@ -58,6 +60,7 @@ from .models import MODEL_NAMES, build_model
 from .online import OnlineConfig, OnlineDecision, OnlineScheduler
 from .pipeline import OmniBoostSystem, build_system
 from .service import SchedulingService, ServiceStats
+from .slo import AdmissionController, AdmissionDecision, SLOPolicy
 from .sim import BoardSimulator, BoardUnresponsiveError, Mapping, SimConfig
 from .workloads import (
     ArrivalEvent,
@@ -72,9 +75,11 @@ from .workloads import (
     generate_trace,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
     "ArrivalEvent",
     "ArrivalTrace",
     "Board",
@@ -94,6 +99,8 @@ __all__ = [
     "OnlineDecision",
     "OnlineScheduler",
     "Platform",
+    "SLOPolicy",
+    "SLOTarget",
     "ScheduleDecision",
     "ScheduleRequest",
     "ScheduleResponse",
@@ -130,6 +137,7 @@ __all__ = [
     "online",
     "register_scheduler",
     "sim",
+    "slo",
     "unregister_scheduler",
     "workloads",
 ]

@@ -317,7 +317,7 @@ def _cmd_serve_trace(args: argparse.Namespace) -> int:
         warm_patience=args.warm_patience,
         min_overlap=args.min_overlap,
     )
-    report = service.run_trace(trace, online=online)
+    report = service.run_trace(trace, online=online, slo=_slo_policy(args))
     print(report.event_table())
     print(f"\n{report.summary()}")
     stats = service.stats()
@@ -328,6 +328,17 @@ def _cmd_serve_trace(args: argparse.Namespace) -> int:
         f"{stats.estimator_queries_actual:.0f} estimator queries paid "
         f"of {stats.estimator_queries:.0f} budgeted"
     )
+    if stats.slo_requests:
+        pcts = ", ".join(
+            f"p{p}: {ratio:.2f}"
+            for p, ratio in stats.slo_percentiles().items()
+        )
+        print(
+            f"slo: {stats.slo_attained}/{stats.slo_requests} attained "
+            f"({pcts}); rejections {stats.rejections_by_priority}, "
+            f"queued {stats.queued_by_priority}, "
+            f"preemptions {stats.preemptions_by_priority}"
+        )
     if args.report:
         write_timeline_json(report, args.report)
         print(f"timeline report written to {args.report}")
@@ -354,7 +365,10 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         ),
     )
     service = FleetService(
-        cluster, scheduler=scheduler_name, placement=args.placement
+        cluster,
+        scheduler=scheduler_name,
+        placement=args.placement,
+        slo=_slo_policy(args),
     )
     boards = ", ".join(
         f"{board.name}={board.preset}" for board in cluster
@@ -419,6 +433,19 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     responses = service.schedule_many(requests)
     rows = []
     for request, response in zip(requests, responses):
+        if not response.parts:
+            rows.append(
+                [
+                    response.request_id,
+                    "+".join(request.workload.model_names),
+                    "-",
+                    "no",
+                    response.admission,
+                    "-",
+                    "-",
+                ]
+            )
+            continue
         for placement, part in response.parts:
             rows.append(
                 [
@@ -532,6 +559,51 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _add_slo_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--slo`` flag group (serve-trace / fleet-serve)."""
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        metavar="FLOOR",
+        help="per-tenant throughput floor (inf/s); switches on "
+        "admission control and priority preemption unless "
+        "--slo-observe is also given",
+    )
+    parser.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="decision-latency bound (ms) reported in SLO attainment",
+    )
+    parser.add_argument(
+        "--slo-observe",
+        action="store_true",
+        help="annotate and count SLO attainment without rejecting, "
+        "queueing or preempting anything",
+    )
+
+
+def _slo_policy(args: argparse.Namespace):
+    """The :class:`~repro.slo.SLOPolicy` the flags describe (or None)."""
+    from .core import SLOTarget
+    from .slo import SLOPolicy
+
+    if args.slo is None and args.slo_latency_ms is None:
+        return None
+    target = SLOTarget(
+        min_throughput=args.slo,
+        max_latency_s=(
+            args.slo_latency_ms / 1000.0
+            if args.slo_latency_ms is not None
+            else None
+        ),
+    )
+    enforce = not args.slo_observe
+    return SLOPolicy(target=target, admission=enforce, preemption=enforce)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -629,7 +701,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default="bursty",
         help="churn scenario name (bursty, diurnal, priority-inversion, "
-        "steady-drain); ignored when --trace-file is given",
+        "steady-drain, priority-storm, slo-squeeze); ignored when "
+        "--trace-file is given",
     )
     trace.add_argument(
         "--trace-file",
@@ -681,6 +754,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="write the TimelineReport JSON to this path",
     )
+    _add_slo_arguments(trace)
     trace.set_defaults(fn=_cmd_serve_trace)
 
     fleet = sub.add_parser(
@@ -699,7 +773,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default="request-burst",
         help="fleet scenario supplying the burst (request-burst, "
-        "fleet-churn, heavy-split) or, with --trace, the churn trace",
+        "fleet-churn, heavy-split, priority-storm, slo-squeeze) or, "
+        "with --trace, the churn trace",
     )
     fleet.add_argument(
         "--boards",
@@ -744,6 +819,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="omniboost",
         help="registered scheduler answering on every board",
     )
+    _add_slo_arguments(fleet)
     fleet.set_defaults(fn=_cmd_fleet_serve)
 
     motivate = sub.add_parser("motivate", help="run the Fig.-1 sweep")

@@ -1,6 +1,12 @@
 """OmniBoost core: scheduling environment, MCTS and the scheduler facade."""
 
-from .base import ScheduleDecision, ScheduleRequest, ScheduleResponse, Scheduler
+from .base import (
+    ScheduleDecision,
+    ScheduleRequest,
+    ScheduleResponse,
+    Scheduler,
+    SLOTarget,
+)
 from .environment import LOSS_REWARD, WIN_BONUS, SchedulingEnv, SchedulingState
 from .mcts import MCTSConfig, MCTSNode, MCTSResult, MonteCarloTreeSearch
 from .objectives import (
@@ -43,6 +49,7 @@ __all__ = [
     "ScheduleRequest",
     "ScheduleResponse",
     "Scheduler",
+    "SLOTarget",
     "SchedulingEnv",
     "SchedulingObjective",
     "SchedulingState",

@@ -37,7 +37,65 @@ __all__ = [
     "ScheduleRequest",
     "ScheduleResponse",
     "Scheduler",
+    "SLOTarget",
 ]
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """A per-request service-level objective.
+
+    Attributes
+    ----------
+    min_throughput:
+        Floor on the decision's ``expected_score`` (the scheduler's
+        predicted mean throughput, estimator-score units).  Purely a
+        function of the seeded search, so attainment against the floor
+        is deterministic — the gateable half of the contract.
+    max_latency_s:
+        Bound on the host-measured decision latency
+        (``measured_wall_time_s`` / ``reschedule_time_s``).  Wall-clock
+        and therefore machine-dependent: reported in attainment stats,
+        never gated in tests (the single-core CI rule).
+
+    At least one bound must be set.  ``ratio``/``attained`` fold an
+    observed outcome against the contract; a request whose throughput
+    ratio is >= 1.0 (and within the latency bound, when one is set)
+    attained its SLO.
+    """
+
+    min_throughput: Optional[float] = None
+    max_latency_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.min_throughput is None and self.max_latency_s is None:
+            raise ValueError(
+                "an SLOTarget needs a throughput floor and/or a "
+                "latency bound"
+            )
+        if self.min_throughput is not None and self.min_throughput <= 0:
+            raise ValueError(
+                f"min_throughput must be > 0, got {self.min_throughput}"
+            )
+        if self.max_latency_s is not None and self.max_latency_s <= 0:
+            raise ValueError(
+                f"max_latency_s must be > 0, got {self.max_latency_s}"
+            )
+
+    def ratio(self, expected_score: float) -> Optional[float]:
+        """Throughput attainment ratio (``None`` without a floor)."""
+        if self.min_throughput is None:
+            return None
+        return expected_score / self.min_throughput
+
+    def attained(self, expected_score: float, latency_s: float) -> bool:
+        """Did an outcome honor every bound this target sets?"""
+        ratio = self.ratio(expected_score)
+        if ratio is not None and ratio < 1.0:
+            return False
+        if self.max_latency_s is not None and latency_s > self.max_latency_s:
+            return False
+        return True
 
 
 @dataclass(frozen=True)
@@ -88,6 +146,11 @@ class ScheduleRequest:
         first when a batch is processed.  Results never depend on it.
     request_id:
         Caller-chosen correlation id, echoed on the response.
+    slo:
+        Optional :class:`SLOTarget` contract for this request.  Never
+        changes the decision (or the cache key) — it sets what the
+        service *accounts* the outcome against, and what an admission
+        controller enforces when one is configured.
     """
 
     workload: Workload
@@ -95,6 +158,7 @@ class ScheduleRequest:
     budget: Optional[int] = None
     priority: int = 0
     request_id: str = ""
+    slo: Optional[SLOTarget] = None
 
     def __post_init__(self) -> None:
         if self.budget is not None and self.budget < 1:

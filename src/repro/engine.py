@@ -35,6 +35,7 @@ final decision as the board's warm-start state.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -46,6 +47,7 @@ from .core.scheduler import OmniBoostScheduler
 from .evaluation.timeline import TimelineRecord, TimelineReport
 from .online import OnlineConfig, OnlineDecision, OnlineScheduler
 from .sim.mapping import Mapping
+from .slo import AdmissionController, SLOPolicy, make_estimator_scorer, preemption_victims
 from .workloads.mix import Workload
 from .workloads.trace import ArrivalEvent, ArrivalTrace
 
@@ -84,6 +86,17 @@ class ServiceStats:
     #: filled at snapshot time; stays 0 while no scheduler (and hence
     #: no estimator) has materialized or compiled inference is off.
     estimator_plan_compiles: int = 0
+    #: SLO accounting (:mod:`repro.slo`): how many outcomes were held
+    #: against a throughput floor, how many attained it, the per-
+    #: priority attainment ratios behind the percentile views, and the
+    #: per-priority enforcement actions.  All stay empty/zero while no
+    #: SLO target or policy is in play.
+    slo_requests: int = 0
+    slo_attained: int = 0
+    slo_ratios_by_priority: Dict[int, List[float]] = field(default_factory=dict)
+    rejections_by_priority: Dict[int, int] = field(default_factory=dict)
+    preemptions_by_priority: Dict[int, int] = field(default_factory=dict)
+    queued_by_priority: Dict[int, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -112,6 +125,72 @@ class ServiceStats:
         self.wait_s_by_priority[priority] = (
             self.wait_s_by_priority.get(priority, 0.0) + wait_s
         )
+
+    # -- SLO accounting (no-ops until a target/policy is in play) ------
+    @property
+    def slo_attainment_rate(self) -> float:
+        """Attained over SLO-accounted outcomes (0.0 before any)."""
+        if not self.slo_requests:
+            return 0.0
+        return self.slo_attained / self.slo_requests
+
+    def record_slo(
+        self, priority: int, ratio: Optional[float], attained: bool
+    ) -> None:
+        """Fold one outcome's contract attainment into the counters."""
+        self.slo_requests += 1
+        if attained:
+            self.slo_attained += 1
+        if ratio is not None:
+            self.slo_ratios_by_priority.setdefault(priority, []).append(ratio)
+
+    def record_rejection(self, priority: int) -> None:
+        self.rejections_by_priority[priority] = (
+            self.rejections_by_priority.get(priority, 0) + 1
+        )
+
+    def record_preemption(self, priority: int) -> None:
+        """Count one eviction, bucketed by the *victim's* priority."""
+        self.preemptions_by_priority[priority] = (
+            self.preemptions_by_priority.get(priority, 0) + 1
+        )
+
+    def record_queued(self, priority: int) -> None:
+        self.queued_by_priority[priority] = (
+            self.queued_by_priority.get(priority, 0) + 1
+        )
+
+    def slo_percentiles(
+        self,
+        percentiles: Sequence[int] = (50, 95, 99),
+        priority: Optional[int] = None,
+    ) -> Dict[int, float]:
+        """pP attainment over the recorded ratios (exact order stats).
+
+        Same definition as
+        :meth:`~repro.evaluation.TimelineReport.slo_attainment_percentiles`:
+        the worst ratio among the best P% of outcomes, so ``p95 >= 1.0``
+        means 95% of accounted outcomes met their floor.  Empty when
+        nothing was recorded (or nothing matches ``priority``).
+        """
+        ratios: List[float] = []
+        for bucket, values in self.slo_ratios_by_priority.items():
+            if priority is None or bucket == priority:
+                ratios.extend(values)
+        if not ratios:
+            return {}
+        ratios.sort(reverse=True)
+        result: Dict[int, float] = {}
+        for percentile in percentiles:
+            if not 0 < percentile <= 100:
+                raise ValueError(
+                    f"percentiles must be in (0, 100], got {percentile}"
+                )
+            rank = min(
+                len(ratios), max(1, math.ceil(percentile / 100 * len(ratios)))
+            )
+            result[percentile] = ratios[rank - 1]
+        return result
 
 
 @dataclass
@@ -295,6 +374,15 @@ class SchedulingEngine:
             self._stats.record_wait(
                 request.priority, response.measured_wall_time_s
             )
+            if request.slo is not None:
+                self._stats.record_slo(
+                    request.priority,
+                    request.slo.ratio(response.expected_score),
+                    request.slo.attained(
+                        response.expected_score,
+                        response.measured_wall_time_s,
+                    ),
+                )
         return responses  # type: ignore[return-value]
 
     def stats(self) -> ServiceStats:
@@ -308,6 +396,15 @@ class SchedulingEngine:
             self._stats,
             requests_by_priority=dict(self._stats.requests_by_priority),
             wait_s_by_priority=dict(self._stats.wait_s_by_priority),
+            slo_ratios_by_priority={
+                priority: list(ratios)
+                for priority, ratios in (
+                    self._stats.slo_ratios_by_priority.items()
+                )
+            },
+            rejections_by_priority=dict(self._stats.rejections_by_priority),
+            preemptions_by_priority=dict(self._stats.preemptions_by_priority),
+            queued_by_priority=dict(self._stats.queued_by_priority),
             estimator_plan_compiles=plan_compiles,
         )
 
@@ -316,6 +413,7 @@ class SchedulingEngine:
         trace: ArrivalTrace,
         online: Optional[OnlineConfig] = None,
         record_mappings: bool = False,
+        slo: Optional[SLOPolicy] = None,
     ) -> TimelineReport:
         """Replay an arrival/departure trace, re-planning each change.
 
@@ -331,25 +429,46 @@ class SchedulingEngine:
         the group's final decision is then committed as the retained
         state for the next event.
 
+        ``slo`` attaches an :class:`~repro.slo.SLOPolicy`.  A policy
+        with enforcement switched off is *observe-only*: the replay is
+        byte-identical to ``slo=None`` and arrival records are merely
+        annotated with attainment against the policy target.  With
+        ``admission``/``preemption`` on, arrivals the controller turns
+        away are queued (retried when a departure frees capacity) or
+        rejected, and a non-admittable arrival may first evict
+        strictly-lower-priority residents — every enforcement action
+        lands in the record's ``action`` field and the engine's
+        per-priority counters.
+
         Returns the per-event :class:`~repro.evaluation.TimelineReport`
         (set ``record_mappings`` to embed each decision's device rows).
         Re-planning costs also land in the engine counters:
         per-priority waits, pooled batches, estimator queries.
         """
         online_scheduler = self.make_online_scheduler(online)
-        records: List[TimelineRecord] = []
-        index = 0
-        for group in trace.grouped():
-            jobs = [
-                self.stage_trace_event(online_scheduler, event)
-                for event in group
-            ]
-            records.extend(
-                self.replay_group(
-                    online_scheduler, jobs, index, record_mappings
-                )
+        if slo is not None and slo.enforced:
+            records = self._replay_enforced(
+                trace, online_scheduler, slo, record_mappings
             )
-            index += len(jobs)
+        else:
+            records = []
+            index = 0
+            for group in trace.grouped():
+                jobs = [
+                    self.stage_trace_event(online_scheduler, event)
+                    for event in group
+                ]
+                records.extend(
+                    self.replay_group(
+                        online_scheduler, jobs, index, record_mappings
+                    )
+                )
+                index += len(jobs)
+            if slo is not None and slo.target is not None:
+                records = [
+                    self._annotate_slo(record, slo.target)
+                    for record in records
+                ]
         return TimelineReport(
             records=tuple(records),
             trace_name=trace.name,
@@ -430,6 +549,222 @@ class SchedulingEngine:
         if committed is not None:
             online_scheduler.commit(committed)
         return records
+
+    # ------------------------------------------------------------------
+    # SLO enforcement (run_trace with an enforcing SLOPolicy)
+    # ------------------------------------------------------------------
+    def _replay_enforced(
+        self,
+        trace: ArrivalTrace,
+        online_scheduler: OnlineScheduler,
+        slo: SLOPolicy,
+        record_mappings: bool,
+    ) -> List[TimelineRecord]:
+        """The admission/preemption replay loop over one board.
+
+        Per group: every arrival is judged against live tenancy before
+        it is staged.  A non-admittable arrival first (``preemption``)
+        evicts strictly-lower-priority residents — each eviction is a
+        staged departure that re-plans through the warm path — and
+        only then is queued or rejected (``admission``).  After each
+        group, queued arrivals are retried in FIFO order against the
+        freed capacity.  Departures of tenants that were never
+        admitted become no-op records, so the report still carries one
+        record per trace event.
+        """
+        scheduler = self._scheduler_instance()
+        target = slo.target
+        scorer = None
+        if target is not None and target.min_throughput is not None:
+            scorer = make_estimator_scorer(scheduler)
+        controller = AdmissionController(slo, scorer=scorer)
+        capacity = self._max_residency()
+        queue: List[ArrivalEvent] = []
+        queued_ids: set = set()
+        ghosts: set = set()  # rejected/preempted: later departures no-op
+        records: List[TimelineRecord] = []
+        index = 0
+
+        def evaluate(event: ArrivalEvent) -> str:
+            resident = [
+                model for model, _ in online_scheduler.active.values()
+            ]
+            if event.model in resident:
+                # A queued arrival retried while its model is still
+                # resident (the trace invariant covers offered load,
+                # not the queue) can only wait for the departure.
+                return "queue"
+            return controller.evaluate(
+                (event.model,), load=len(resident), capacity=capacity
+            ).verdict
+
+        for group in trace.grouped():
+            #: ("job", _TraceJob, action) | ("rec", ready TimelineRecord)
+            slots: List[Tuple] = []
+            jobs: List[_TraceJob] = []
+
+            def stage(event: ArrivalEvent, action: str) -> None:
+                job = self.stage_trace_event(online_scheduler, event)
+                jobs.append(job)
+                slots.append(("job", job, action))
+
+            for event in group:
+                if event.kind == "departure":
+                    if event.tenant_id in queued_ids:
+                        queued_ids.discard(event.tenant_id)
+                        queue[:] = [
+                            e for e in queue
+                            if e.tenant_id != event.tenant_id
+                        ]
+                        ghosts.add(event.tenant_id)
+                        slots.append(
+                            ("rec", self._noop_record(
+                                event, online_scheduler, "expired"
+                            ))
+                        )
+                    elif event.tenant_id in ghosts:
+                        slots.append(
+                            ("rec", self._noop_record(
+                                event, online_scheduler, "dropped"
+                            ))
+                        )
+                    else:
+                        stage(event, "")
+                    continue
+                verdict = evaluate(event)
+                # Only a "queue" verdict is load-caused, so only it can
+                # be flipped by evicting residents; a "reject" (floor
+                # unattainable even unloaded) never preempts.
+                if verdict == "queue" and slo.preemption:
+                    while verdict == "queue":
+                        victims = preemption_victims(
+                            online_scheduler.active, event.priority
+                        )
+                        if not victims:
+                            break
+                        tenant_id, model, priority = victims[0]
+                        eviction = ArrivalEvent(
+                            event.time_s, "departure", tenant_id,
+                            model, priority,
+                        )
+                        stage(eviction, "preempted")
+                        ghosts.add(tenant_id)
+                        self._stats.record_preemption(priority)
+                        verdict = evaluate(event)
+                if verdict == "admit" or not slo.admission:
+                    # Preemption without admission never drops work:
+                    # eviction is the whole enforcement.
+                    stage(event, "")
+                elif verdict == "queue" and len(queue) < slo.queue_capacity:
+                    queue.append(event)
+                    queued_ids.add(event.tenant_id)
+                    self._stats.record_queued(event.priority)
+                    slots.append(
+                        ("rec", self._noop_record(
+                            event, online_scheduler, "queued"
+                        ))
+                    )
+                else:
+                    ghosts.add(event.tenant_id)
+                    self._stats.record_rejection(event.priority)
+                    slots.append(
+                        ("rec", self._noop_record(
+                            event, online_scheduler, "rejected"
+                        ))
+                    )
+
+            produced = self.replay_group(
+                online_scheduler, jobs, 0, record_mappings
+            )
+            by_job = {
+                id(job): record for job, record in zip(jobs, produced)
+            }
+            for slot in slots:
+                if slot[0] == "job":
+                    record = replace(
+                        by_job[id(slot[1])], index=index, action=slot[2]
+                    )
+                    if target is not None:
+                        record = self._annotate_slo(record, target)
+                else:
+                    record = replace(slot[1], index=index)
+                records.append(record)
+                index += 1
+
+            # FIFO retry of queued arrivals against the freed capacity.
+            for event in list(queue):
+                if evaluate(event) != "admit":
+                    continue
+                queue.remove(event)
+                queued_ids.discard(event.tenant_id)
+                retry = ArrivalEvent(
+                    group[-1].time_s, "arrival", event.tenant_id,
+                    event.model, event.priority,
+                )
+                job = self.stage_trace_event(online_scheduler, retry)
+                produced = self.replay_group(
+                    online_scheduler, [job], 0, record_mappings
+                )
+                record = replace(
+                    produced[0], index=index, action="dequeued"
+                )
+                if target is not None:
+                    record = self._annotate_slo(record, target)
+                records.append(record)
+                index += 1
+        return records
+
+    def _annotate_slo(
+        self, record: TimelineRecord, target
+    ) -> TimelineRecord:
+        """Annotate one *arrival* outcome against a throughput floor.
+
+        Departure/idle records pass through untouched; the attainment
+        of an admitted arrival (the contract moment) is recorded into
+        the engine counters as well.
+        """
+        if (
+            record.kind != "arrival"
+            or record.expected_score is None
+            or target is None
+            or target.min_throughput is None
+        ):
+            return record
+        ratio = target.ratio(record.expected_score)
+        attained = target.attained(
+            record.expected_score, record.reschedule_time_s
+        )
+        self._stats.record_slo(record.priority, ratio, attained)
+        return replace(record, slo_ratio=ratio, slo_attained=attained)
+
+    def _noop_record(
+        self,
+        event: ArrivalEvent,
+        online_scheduler: OnlineScheduler,
+        action: str,
+    ) -> TimelineRecord:
+        """A no-plan record for an event enforcement kept off the board."""
+        return TimelineRecord(
+            index=0,
+            time_s=event.time_s,
+            kind=event.kind,
+            tenant_id=event.tenant_id,
+            model=event.model,
+            priority=event.priority,
+            active_models=tuple(
+                model for model, _ in online_scheduler.active.values()
+            ),
+            mode="idle",
+            board=self.board,
+            action=action,
+        )
+
+    def _max_residency(self) -> Optional[int]:
+        """The platform's residency cap (None when undiscoverable)."""
+        source = self._builder if self._builder is not None else self._system
+        platform = getattr(source, "platform", None)
+        memory = getattr(platform, "memory", None)
+        return getattr(memory, "max_residency", None)
 
     # ------------------------------------------------------------------
     # Pooled concurrent search

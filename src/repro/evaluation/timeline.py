@@ -13,8 +13,9 @@ analysis.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .reporting import format_table
 
@@ -35,6 +36,18 @@ class TimelineRecord:
     ``board`` attributes the event to a named board in a fleet replay
     (:meth:`repro.fleet.FleetService.run_trace`); single-board runs
     leave it empty.
+
+    ``action`` is the SLO-enforcement annotation (empty when no
+    enforcement ran): ``"rejected"`` / ``"queued"`` for arrivals the
+    admission controller turned away, ``"dequeued"`` for a queued
+    arrival admitted later, ``"preempted"`` for a resident evicted by
+    a higher-priority arrival, ``"expired"`` for a queued tenant whose
+    departure arrived before it was ever admitted, and ``"dropped"``
+    for the no-op departure of a tenant that was never resident.
+    ``slo_ratio`` / ``slo_attained`` annotate an arrival's outcome
+    against its throughput floor (``expected_score / floor``; >= 1.0
+    attains).  All three serialize only when set, so enforcement-off
+    exports stay byte-identical to the pre-SLO format.
     """
 
     index: int
@@ -54,6 +67,9 @@ class TimelineRecord:
     reschedule_time_s: float = 0.0
     mapping_rows: Optional[Tuple[Tuple[int, ...], ...]] = None
     board: str = ""
+    action: str = ""
+    slo_ratio: Optional[float] = None
+    slo_attained: Optional[bool] = None
 
     def to_dict(self) -> Dict:
         payload = {
@@ -77,6 +93,11 @@ class TimelineRecord:
             payload["mapping_rows"] = [list(row) for row in self.mapping_rows]
         if self.board:
             payload["board"] = self.board
+        if self.action:
+            payload["action"] = self.action
+        if self.slo_ratio is not None:
+            payload["slo_ratio"] = self.slo_ratio
+            payload["slo_attained"] = self.slo_attained
         return payload
 
 
@@ -131,6 +152,73 @@ class TimelineReport:
             trace_name=self.trace_name,
             scheduler_name=self.scheduler_name,
         )
+
+    # ------------------------------------------------------------------
+    # SLO attainment (records annotated by an SLOPolicy replay)
+    # ------------------------------------------------------------------
+    @property
+    def slo_records(self) -> Tuple[TimelineRecord, ...]:
+        """Records carrying an SLO attainment annotation."""
+        return tuple(r for r in self.records if r.slo_ratio is not None)
+
+    @property
+    def rejected_events(self) -> int:
+        return sum(1 for r in self.records if r.action == "rejected")
+
+    @property
+    def preempted_events(self) -> int:
+        return sum(1 for r in self.records if r.action == "preempted")
+
+    @property
+    def queued_events(self) -> int:
+        return sum(1 for r in self.records if r.action == "queued")
+
+    def slo_attainment_rate(self, priority: Optional[int] = None) -> float:
+        """Fraction of SLO-annotated events that attained their target."""
+        pool = [
+            r
+            for r in self.slo_records
+            if priority is None or r.priority == priority
+        ]
+        if not pool:
+            return 0.0
+        return sum(1 for r in pool if r.slo_attained) / len(pool)
+
+    def slo_attainment_percentiles(
+        self,
+        percentiles: Sequence[int] = (50, 95, 99),
+        priority: Optional[int] = None,
+    ) -> Dict[int, float]:
+        """pP attainment: the worst ratio among the best P% of events.
+
+        For each requested P, the returned value is the ratio attained
+        by the P-th percentile event counted from the *best* — i.e.
+        ``p95 >= 1.0`` means 95% of the annotated events met their
+        floor.  Exact order statistics (no interpolation), so the
+        values are deterministic for seeded replays.  Empty when no
+        record carries an annotation (or none matches ``priority``).
+        """
+        ratios = sorted(
+            (
+                r.slo_ratio
+                for r in self.slo_records
+                if priority is None or r.priority == priority
+            ),
+            reverse=True,
+        )
+        if not ratios:
+            return {}
+        result: Dict[int, float] = {}
+        for percentile in percentiles:
+            if not 0 < percentile <= 100:
+                raise ValueError(
+                    f"percentiles must be in (0, 100], got {percentile}"
+                )
+            rank = min(
+                len(ratios), max(1, math.ceil(percentile / 100 * len(ratios)))
+            )
+            result[percentile] = ratios[rank - 1]
+        return result
 
     def per_priority_latency(self) -> Dict[int, float]:
         """Mean re-schedule latency (seconds) per event priority."""
@@ -192,7 +280,7 @@ class TimelineReport:
             f"p{priority}: {latency * 1000:.0f}ms"
             for priority, latency in self.per_priority_latency().items()
         )
-        return (
+        text = (
             f"{len(self.records)} events over {self.makespan_s:.1f}s "
             f"({self.trace_name or 'trace'}): "
             f"{self.warm_fraction:.0%} warm re-schedules, "
@@ -201,9 +289,21 @@ class TimelineReport:
             f"{self.total_reschedule_time_s:.2f}s total re-planning"
             + (f"; mean latency {latencies}" if latencies else "")
         )
+        if self.slo_records:
+            marks = ", ".join(
+                f"p{p}: {ratio:.2f}"
+                for p, ratio in self.slo_attainment_percentiles().items()
+            )
+            text += (
+                f"; SLO attainment {self.slo_attainment_rate():.0%} "
+                f"({marks}); {self.rejected_events} rejected, "
+                f"{self.queued_events} queued, "
+                f"{self.preempted_events} preempted"
+            )
+        return text
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "trace_name": self.trace_name,
             "scheduler_name": self.scheduler_name,
             "makespan_s": self.makespan_s,
@@ -219,6 +319,20 @@ class TimelineReport:
             },
             "events": [record.to_dict() for record in self.records],
         }
+        if self.slo_records:
+            payload["slo"] = {
+                "attainment_rate": self.slo_attainment_rate(),
+                "attainment_percentiles": {
+                    f"p{p}": ratio
+                    for p, ratio in (
+                        self.slo_attainment_percentiles().items()
+                    )
+                },
+                "rejected": self.rejected_events,
+                "queued": self.queued_events,
+                "preempted": self.preempted_events,
+            }
+        return payload
 
 
 def write_timeline_json(report: TimelineReport, path: str) -> None:

@@ -56,6 +56,12 @@ from ..engine import SchedulingEngine, ServiceStats
 from ..evaluation.timeline import TimelineRecord, TimelineReport
 from ..online import OnlineConfig, OnlineScheduler
 from ..sim.mapping import Mapping
+from ..slo import (
+    AdmissionController,
+    SLOPolicy,
+    make_estimator_scorer,
+    preemption_victims,
+)
 from ..workloads.mix import Workload
 from ..workloads.trace import ArrivalEvent, ArrivalTrace
 from .cluster import Cluster
@@ -77,16 +83,27 @@ class FleetResponse:
     :attr:`response`, :attr:`mapping`, :attr:`expected_score`) read
     it directly — they raise on a split response, whose parts must be
     inspected individually.
+
+    ``admission`` is ``"admitted"`` unless a fleet
+    :class:`~repro.slo.SLOPolicy` turned the request away
+    (``"rejected"`` / ``"queued"``) — a non-admitted response carries
+    no parts.
     """
 
     request_id: str
     parts: Tuple[Tuple[BoardPlacement, ScheduleResponse], ...]
+    admission: str = "admitted"
 
     @property
     def split(self) -> bool:
         return len(self.parts) > 1
 
     def _single(self) -> Tuple[BoardPlacement, ScheduleResponse]:
+        if not self.parts:
+            raise ValueError(
+                f"request was not admitted ({self.admission}); "
+                "it carries no scheduling answer"
+            )
         if self.split:
             boards = [placement.board for placement, _ in self.parts]
             raise ValueError(
@@ -115,6 +132,11 @@ class FleetResponse:
     def aggregate_score(self) -> float:
         """DNN-weighted mean of the part scores (= the paper's mean
         predicted system throughput over the whole original mix)."""
+        if not self.parts:
+            raise ValueError(
+                f"request was not admitted ({self.admission}); "
+                "it has no score"
+            )
         total = sum(
             response.expected_score * placement.workload.num_dnns
             for placement, response in self.parts
@@ -137,10 +159,23 @@ class FleetStats:
     greedy_fallbacks: int = 0
     split_requests: int = 0
     migrations: int = 0
+    #: Fleet-level enforcement actions (no board involved: the
+    #: admission controller turned the request away before placement).
+    #: Preemptions always hit a specific board and live in that
+    #: board's :class:`~repro.engine.ServiceStats`.
+    rejections_by_priority: Dict[int, int] = field(default_factory=dict)
+    queued_by_priority: Dict[int, int] = field(default_factory=dict)
 
     @property
     def combined(self) -> ServiceStats:
-        """Every board's :class:`ServiceStats` summed into one view."""
+        """Every board's :class:`ServiceStats` summed into one view.
+
+        The rollup covers every per-priority counter — request counts,
+        waits, SLO ratios, rejections, preemptions, queue deferrals —
+        plus the fleet-level admission actions (which have no board to
+        live on), so ``combined`` is the one place per-priority
+        service levels are complete.
+        """
         total = ServiceStats()
         for stats in self.per_board.values():
             total.requests_served += stats.requests_served
@@ -155,6 +190,8 @@ class FleetStats:
             total.trace_reschedules += stats.trace_reschedules
             total.trace_warm_reschedules += stats.trace_warm_reschedules
             total.estimator_plan_compiles += stats.estimator_plan_compiles
+            total.slo_requests += stats.slo_requests
+            total.slo_attained += stats.slo_attained
             for priority, count in stats.requests_by_priority.items():
                 total.requests_by_priority[priority] = (
                     total.requests_by_priority.get(priority, 0) + count
@@ -163,12 +200,29 @@ class FleetStats:
                 total.wait_s_by_priority[priority] = (
                     total.wait_s_by_priority.get(priority, 0.0) + wait
                 )
+            for priority, ratios in stats.slo_ratios_by_priority.items():
+                total.slo_ratios_by_priority.setdefault(
+                    priority, []
+                ).extend(ratios)
+            for source, sink in (
+                (stats.rejections_by_priority, total.rejections_by_priority),
+                (stats.preemptions_by_priority, total.preemptions_by_priority),
+                (stats.queued_by_priority, total.queued_by_priority),
+            ):
+                for priority, count in source.items():
+                    sink[priority] = sink.get(priority, 0) + count
+        for source, sink in (
+            (self.rejections_by_priority, total.rejections_by_priority),
+            (self.queued_by_priority, total.queued_by_priority),
+        ):
+            for priority, count in source.items():
+                sink[priority] = sink.get(priority, 0) + count
         return total
 
     def summary(self) -> str:
         """A one-paragraph fleet summary."""
         combined = self.combined
-        return (
+        text = (
             f"{self.requests_served} requests over "
             f"{len(self.per_board)} board(s): "
             f"{self.placements} placements "
@@ -183,6 +237,24 @@ class FleetStats:
             f"{combined.estimator_queries_actual:.0f} estimator queries "
             f"paid of {combined.estimator_queries:.0f} budgeted"
         )
+        if combined.requests_by_priority:
+            waits = ", ".join(
+                f"p{priority}: {combined.mean_wait_s(priority) * 1000:.0f}ms"
+                f" ({combined.requests_by_priority[priority]})"
+                for priority in sorted(combined.requests_by_priority)
+            )
+            text += f"; mean wait by priority {waits}"
+        if combined.slo_requests:
+            rejected = sum(combined.rejections_by_priority.values())
+            preempted = sum(combined.preemptions_by_priority.values())
+            queued = sum(combined.queued_by_priority.values())
+            text += (
+                f"; SLO attainment {combined.slo_attainment_rate:.0%} "
+                f"over {combined.slo_requests} outcomes "
+                f"({rejected} rejected, {queued} queued, "
+                f"{preempted} preempted)"
+            )
+        return text
 
 
 class FleetService:
@@ -202,6 +274,13 @@ class FleetService:
     placement:
         ``"estimator"`` (scored candidates, greedy fallback) or
         ``"greedy-load"`` — see :class:`~repro.fleet.placement.FleetPlacer`.
+    slo:
+        Optional :class:`~repro.slo.SLOPolicy` serving contract.
+        ``None`` (the default) keeps the fleet byte-identical to the
+        pre-SLO service; an observe-only policy annotates outcomes
+        without changing them; an enforcing policy gates admission in
+        ``schedule_many`` and drives admission/queueing/preemption in
+        ``run_trace``.
     """
 
     def __init__(
@@ -210,6 +289,7 @@ class FleetService:
         scheduler: str = "omniboost",
         cache_decisions: bool = True,
         placement: str = "estimator",
+        slo: Optional[SLOPolicy] = None,
     ) -> None:
         if not isinstance(cluster, Cluster):
             raise TypeError(
@@ -234,6 +314,10 @@ class FleetService:
         self._requests_served = 0
         self._split_requests = 0
         self._migrations = 0
+        self.slo = slo
+        self._admission: Optional[AdmissionController] = None
+        self._rejections_by_priority: Dict[int, int] = {}
+        self._queued_by_priority: Dict[int, int] = {}
         #: Live tenancy (run_trace): board -> tenant id -> (model, priority).
         #: Reset at the start of every replay — a trace starts from an
         #: empty fleet, exactly like the single-board engine builds a
@@ -278,10 +362,18 @@ class FleetService:
         ``schedule_many`` call, pooling the share's leaf evaluations.
         A board's decisions are byte-identical to serving its share
         sequentially — the fan-out changes call counts, never results.
+
+        With an admission-enabled :class:`~repro.slo.SLOPolicy`, each
+        request is first scored against the load the batch has already
+        admitted; ``"rejected"`` / ``"queued"`` requests come back
+        with no parts (and the matching per-priority counters tick) —
+        a queued batch request is the caller's to resubmit, since a
+        batch has no later timestamp to defer it to.
         """
         normalized = [SchedulingEngine._normalize(r) for r in requests]
         if not normalized:
             return []
+        verdicts = self._admit_batch(normalized)
         capacity = {
             board.name: board.max_residency for board in self.cluster
         }
@@ -293,6 +385,9 @@ class FleetService:
         }
         placements: List[List[BoardPlacement]] = []
         for position, request in enumerate(normalized):
+            if verdicts[position] != "admitted":
+                placements.append([])
+                continue
             parts = self.placer.place(request.workload, load, capacity)
             placements.append(parts)
             if len(parts) > 1:
@@ -328,11 +423,77 @@ class FleetService:
                     (part, answers[(position, part_position)])
                     for part_position, part in enumerate(parts)
                 ),
+                admission=verdicts[position],
             )
             for position, (request, parts) in enumerate(
                 zip(normalized, placements)
             )
         ]
+
+    def _admit_batch(
+        self, normalized: Sequence[ScheduleRequest]
+    ) -> List[str]:
+        """Batch admission verdicts (all ``"admitted"`` without a policy).
+
+        Load counts what this batch has already admitted against the
+        fleet's total residency, so the controller's monotonicity
+        applies within a burst: once the batch fills the fleet past a
+        mix's floor, every later equivalent mix is turned away too.
+        """
+        slo = self.slo
+        if slo is None or not slo.admission:
+            return ["admitted"] * len(normalized)
+        controller = self._admission_controller()
+        total_capacity = sum(
+            board.max_residency for board in self.cluster
+        )
+        admitted_load = 0
+        verdicts: List[str] = []
+        for request in normalized:
+            names = request.workload.model_names
+            decision = controller.evaluate(
+                names,
+                load=admitted_load,
+                capacity=total_capacity,
+                floor=slo.floor_for(request.slo),
+            )
+            if decision.verdict == "admit":
+                verdicts.append("admitted")
+                admitted_load += len(names)
+            elif decision.verdict == "queue":
+                verdicts.append("queued")
+                self._queued_by_priority[request.priority] = (
+                    self._queued_by_priority.get(request.priority, 0) + 1
+                )
+            else:
+                verdicts.append("rejected")
+                self._rejections_by_priority[request.priority] = (
+                    self._rejections_by_priority.get(request.priority, 0)
+                    + 1
+                )
+        return verdicts
+
+    def _admission_controller(self) -> AdmissionController:
+        """The fleet's (lazy) admission controller.
+
+        The scorer resolves the first estimator-backed board on first
+        use — admission scoring is a fleet-level estimate, not a
+        per-board one, and stays untouched while no floor applies.
+        """
+        if self._admission is None:
+
+            def scorer(workload: Workload) -> float:
+                for name in self.cluster.board_names:
+                    scheduler = self._engines[name].scheduler
+                    if getattr(scheduler, "estimator", None) is not None:
+                        return make_estimator_scorer(scheduler)(workload)
+                raise TypeError(
+                    "admission scoring needs at least one "
+                    "estimator-backed board"
+                )
+
+            self._admission = AdmissionController(self.slo, scorer=scorer)
+        return self._admission
 
     def stats(self) -> FleetStats:
         """The :class:`FleetStats` rollup (snapshot; safe to mutate)."""
@@ -348,6 +509,8 @@ class FleetService:
             greedy_fallbacks=self.placer.greedy_fallbacks,
             split_requests=self._split_requests,
             migrations=self._migrations,
+            rejections_by_priority=dict(self._rejections_by_priority),
+            queued_by_priority=dict(self._queued_by_priority),
         )
 
     # ------------------------------------------------------------------
@@ -378,32 +541,129 @@ class FleetService:
         :meth:`TimelineReport.for_board`).  Each call replays from an
         empty fleet (fresh tenancy, fresh per-board warm state), so
         repeated replays are independent and deterministic.
+
+        A fleet constructed with an enforcing
+        :class:`~repro.slo.SLOPolicy` gates every arrival before
+        placement: non-admittable arrivals first evict
+        strictly-lower-priority residents when preemption is on (the
+        evicted board re-plans warm), then are queued (retried after
+        departures free capacity) or rejected.  Observe-only policies
+        annotate arrival records with attainment and change nothing
+        else.
         """
         self._online_config = online
         self._onlines = {}
         self._tenants = {name: {} for name in self._engines}
         self._tenant_board = {}
+        slo = self.slo
+        enforced = slo is not None and slo.enforced
+        target = slo.target if slo is not None else None
+        controller = self._admission_controller() if enforced else None
+        queue: List[ArrivalEvent] = []
+        queued_ids: set = set()
+        ghosts: set = set()
         records: List[TimelineRecord] = []
         index = 0
         for group in trace.grouped():
             staged: Dict[str, List] = {}
-            order: List[Tuple[str, int]] = []
-            for event in group:
-                board = self._route_event(event)
+            #: ("job", board, job position, action) | ("rec", record)
+            order: List[Tuple] = []
+
+            def stage(board: str, event: ArrivalEvent, action: str) -> None:
                 job = self._engines[board].stage_trace_event(
                     self._online(board), event
                 )
                 staged.setdefault(board, []).append(job)
-                order.append((board, len(staged[board]) - 1))
+                order.append(
+                    ("job", board, len(staged[board]) - 1, action)
+                )
+
+            for event in group:
+                if not enforced:
+                    stage(self._route_event(event), event, "")
+                    continue
+                if event.kind == "departure":
+                    if event.tenant_id in queued_ids:
+                        queued_ids.discard(event.tenant_id)
+                        queue[:] = [
+                            e for e in queue
+                            if e.tenant_id != event.tenant_id
+                        ]
+                        ghosts.add(event.tenant_id)
+                        order.append(
+                            ("rec", self._fleet_noop(event, "expired"))
+                        )
+                    elif event.tenant_id in ghosts:
+                        order.append(
+                            ("rec", self._fleet_noop(event, "dropped"))
+                        )
+                    else:
+                        stage(self._route_event(event), event, "")
+                    continue
+                verdict = self._fleet_verdict(controller, event)
+                # Preemption only answers load ("queue"); a "reject"
+                # is load-independent and evictions cannot flip it.
+                if verdict == "queue" and slo.preemption:
+                    while verdict == "queue":
+                        victims = preemption_victims(
+                            self._fleet_residents(), event.priority
+                        )
+                        if not victims:
+                            break
+                        tenant_id, model, priority = victims[0]
+                        victim_board = self._tenant_board.pop(tenant_id)
+                        del self._tenants[victim_board][tenant_id]
+                        eviction = ArrivalEvent(
+                            event.time_s, "departure", tenant_id,
+                            model, priority,
+                        )
+                        stage(victim_board, eviction, "preempted")
+                        ghosts.add(tenant_id)
+                        self._engines[victim_board]._stats.record_preemption(
+                            priority
+                        )
+                        verdict = self._fleet_verdict(controller, event)
+                if verdict == "admit" or not slo.admission:
+                    stage(self._route_event(event), event, "")
+                elif (
+                    verdict == "queue"
+                    and len(queue) < slo.queue_capacity
+                ):
+                    queue.append(event)
+                    queued_ids.add(event.tenant_id)
+                    self._queued_by_priority[event.priority] = (
+                        self._queued_by_priority.get(event.priority, 0) + 1
+                    )
+                    order.append(
+                        ("rec", self._fleet_noop(event, "queued"))
+                    )
+                else:
+                    ghosts.add(event.tenant_id)
+                    self._rejections_by_priority[event.priority] = (
+                        self._rejections_by_priority.get(event.priority, 0)
+                        + 1
+                    )
+                    order.append(
+                        ("rec", self._fleet_noop(event, "rejected"))
+                    )
             produced: Dict[str, List[TimelineRecord]] = {}
             for board, jobs in staged.items():
                 produced[board] = self._engines[board].replay_group(
                     self._online(board), jobs, 0, record_mappings
                 )
-            for board, job_position in order:
-                records.append(
-                    replace(produced[board][job_position], index=index)
-                )
+            for slot in order:
+                if slot[0] == "job":
+                    _, board, job_position, action = slot
+                    record = replace(
+                        produced[board][job_position],
+                        index=index,
+                        action=action,
+                    )
+                    if target is not None:
+                        record = self._annotate_fleet(record, target)
+                else:
+                    record = replace(slot[1], index=index)
+                records.append(record)
                 index += 1
             if rebalance and any(e.kind == "departure" for e in group):
                 migrated = self._rebalance(
@@ -411,6 +671,30 @@ class FleetService:
                 )
                 records.extend(migrated)
                 index += len(migrated)
+            if enforced:
+                for event in list(queue):
+                    if self._fleet_verdict(controller, event) != "admit":
+                        continue
+                    queue.remove(event)
+                    queued_ids.discard(event.tenant_id)
+                    retry = ArrivalEvent(
+                        group[-1].time_s, "arrival", event.tenant_id,
+                        event.model, event.priority,
+                    )
+                    board = self._route_event(retry)
+                    job = self._engines[board].stage_trace_event(
+                        self._online(board), retry
+                    )
+                    out = self._engines[board].replay_group(
+                        self._online(board), [job], 0, record_mappings
+                    )
+                    record = replace(
+                        out[0], index=index, action="dequeued"
+                    )
+                    if target is not None:
+                        record = self._annotate_fleet(record, target)
+                    records.append(record)
+                    index += 1
         scheduler_name = ""
         for engine in self._engines.values():
             if engine._scheduler is not None:
@@ -431,6 +715,85 @@ class FleetService:
                 self._online_config
             )
         return self._onlines[board]
+
+    def _fleet_verdict(
+        self, controller: Optional[AdmissionController], event: ArrivalEvent
+    ) -> str:
+        """Admission verdict for one trace arrival against live tenancy.
+
+        Feasibility (headroom somewhere, model not resident on every
+        open board) is the capacity check; the floor check runs
+        against the least-loaded feasible board — the board placement
+        would favor — keeping the verdict monotone in fleet load.
+        """
+        load = {
+            name: len(tenants) for name, tenants in self._tenants.items()
+        }
+        feasible = [
+            board.name
+            for board in self.cluster
+            if board.max_residency - load[board.name] >= 1
+            and event.model
+            not in {
+                model
+                for model, _ in self._tenants[board.name].values()
+            }
+        ]
+        if not feasible:
+            return "queue"
+        if controller is None:
+            return "admit"
+        return controller.evaluate(
+            (event.model,),
+            load=min(load[name] for name in feasible),
+            capacity=None,
+        ).verdict
+
+    def _fleet_residents(self) -> Dict[str, Tuple[str, int]]:
+        """Fleet-wide tenant -> (model, priority), in arrival order."""
+        return {
+            tenant_id: self._tenants[board][tenant_id]
+            for tenant_id, board in self._tenant_board.items()
+        }
+
+    def _fleet_noop(self, event: ArrivalEvent, action: str) -> TimelineRecord:
+        """A boardless no-plan record for a non-admitted event."""
+        return TimelineRecord(
+            index=0,
+            time_s=event.time_s,
+            kind=event.kind,
+            tenant_id=event.tenant_id,
+            model=event.model,
+            priority=event.priority,
+            active_models=tuple(
+                self._tenants[board][tenant_id][0]
+                for tenant_id, board in self._tenant_board.items()
+            ),
+            mode="idle",
+            action=action,
+        )
+
+    def _annotate_fleet(self, record: TimelineRecord, target) -> TimelineRecord:
+        """Annotate an admitted arrival against the policy target.
+
+        Attainment is recorded into the hosting board's engine
+        counters, so :attr:`FleetStats.combined` rolls it up.
+        """
+        if (
+            record.kind != "arrival"
+            or record.expected_score is None
+            or target.min_throughput is None
+        ):
+            return record
+        ratio = target.ratio(record.expected_score)
+        attained = target.attained(
+            record.expected_score, record.reschedule_time_s
+        )
+        if record.board in self._engines:
+            self._engines[record.board]._stats.record_slo(
+                record.priority, ratio, attained
+            )
+        return replace(record, slo_ratio=ratio, slo_attained=attained)
 
     def _route_event(self, event: ArrivalEvent) -> str:
         """Pick (arrival) or look up (departure) the event's board."""

@@ -16,7 +16,11 @@ long-lived scheduling *service*.  This module supplies that surface:
   served, cache hit rate, pooled batches, estimator queries);
 * :meth:`SchedulingService.run_trace` replays an
   :class:`~repro.workloads.trace.ArrivalTrace` through the online
-  subsystem with warm-started re-searches.
+  subsystem with warm-started re-searches — optionally under an
+  :class:`~repro.slo.SLOPolicy`, which annotates per-arrival SLO
+  attainment (observe-only) or additionally enforces the contract
+  with admission control, bounded queueing and priority preemption
+  (see ``docs/slo.md``).
 
 The implementation lives in :class:`~repro.engine.SchedulingEngine` —
 the board-scoped core (decision cache, pooled concurrent drive, trace

@@ -8,10 +8,11 @@ like deployed applications rather than uniform random mixes.
 
 The second half of the module holds the *churn* scenarios — named,
 seeded :class:`~repro.workloads.trace.ArrivalTrace` factories
-(``bursty``, ``diurnal``, ``priority-inversion``, ``steady-drain``)
-that stress the online scheduling subsystem with characteristic
-tenancy dynamics instead of a static mix.  See ``docs/online.md`` for
-what each shape exercises.
+(``bursty``, ``diurnal``, ``priority-inversion``, ``steady-drain``,
+``priority-storm``, ``slo-squeeze``) that stress the online
+scheduling subsystem with characteristic tenancy dynamics instead of
+a static mix.  See ``docs/online.md`` for what each shape exercises
+and ``docs/slo.md`` for the two enforcement stressors.
 
 The third group is the *fleet* scenarios — request bursts and
 high-concurrency traces sized for a multi-board
@@ -274,6 +275,88 @@ def _steady_drain(seed: int) -> ArrivalTrace:
     )
 
 
+def _priority_storm(seed: int) -> ArrivalTrace:
+    """A nearly full board under a storm of mixed-priority arrivals.
+
+    Three priority-0 anchors hold the board for the whole horizon;
+    short-lived priority 1-3 tenants then arrive every ~2 s, so most
+    of them find at most one slot of headroom.  Without a policy this
+    is a plain contention shape; under an enforcing
+    :class:`~repro.slo.SLOPolicy` it is the preemption / queueing
+    stressor (the CI ``slo-smoke`` replay).
+    """
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(max_concurrent=5, name="priority-storm")
+    for index, model in enumerate(["vgg19", "resnet50", "inception_v3"]):
+        builder.add(1.5 * index, model, lifetime_s=55.0, priority=0)
+    time_s = 6.0
+    while True:
+        time_s += float(rng.exponential(1.0 / 0.5))
+        if time_s >= 45.0:
+            break
+        builder.advance(time_s)
+        free = [m for m in MODEL_NAMES if m not in builder.active_models]
+        if not free:
+            continue
+        builder.add(
+            time_s,
+            free[int(rng.integers(len(free)))],
+            lifetime_s=float(rng.uniform(2.0, 6.0)),
+            priority=int(rng.integers(1, 4)),
+        )
+    return builder.finish()
+
+
+def _slo_squeeze(seed: int) -> ArrivalTrace:
+    """Heavy low-priority anchors squeezing a high-priority stream.
+
+    Four priority-0 heavy anchors (VGG / ResNet class) keep the board
+    one slot from full for the whole horizon while priority-2
+    short-lived light tenants arrive every ~6 s, with occasional
+    priority-0 fillers competing for the same last slot.  Observed
+    without enforcement, the high-priority stream always scores
+    through a 4-5 deep mix; with admission + preemption on, the
+    anchors give way and its attainment percentiles improve — the
+    acceptance shape pinned in ``tests/test_slo_properties.py``.
+    """
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(max_concurrent=5, name="slo-squeeze")
+    anchors = ["vgg19", "vgg16", "resnet50", "inception_v3"]
+    for index, model in enumerate(anchors):
+        builder.add(1.0 * index, model, lifetime_s=70.0, priority=0)
+    light = ["mobilenet", "squeezenet", "alexnet", "resnet34"]
+    time_s = 8.0
+    position = 0
+    while time_s < 62.0:
+        builder.advance(time_s)
+        if rng.random() < 0.25:
+            fillers = [
+                m
+                for m in ("vgg13", "resnet101", "inception_v4")
+                if m not in builder.active_models
+            ]
+            if fillers:
+                builder.add(
+                    time_s,
+                    fillers[int(rng.integers(len(fillers)))],
+                    lifetime_s=float(rng.uniform(6.0, 12.0)),
+                    priority=0,
+                )
+            time_s += float(rng.uniform(1.0, 2.0))
+            continue
+        model = light[position % len(light)]
+        position += 1
+        if model not in builder.active_models:
+            builder.add(
+                time_s,
+                model,
+                lifetime_s=float(rng.uniform(2.5, 4.5)),
+                priority=2,
+            )
+        time_s += float(rng.uniform(5.0, 7.0))
+    return builder.finish()
+
+
 CHURN_SCENARIOS: Dict[str, ChurnScenario] = {
     preset.name: preset
     for preset in [
@@ -308,6 +391,24 @@ CHURN_SCENARIOS: Dict[str, ChurnScenario] = {
                 "drains tenant by tenant to empty — pure departures"
             ),
             build=_steady_drain,
+        ),
+        ChurnScenario(
+            name="priority-storm",
+            description=(
+                "three resident anchors plus a storm of short-lived "
+                "priority 1-3 arrivals every ~2 s — the preemption and "
+                "queueing stressor for an enforcing SLO policy"
+            ),
+            build=_priority_storm,
+        ),
+        ChurnScenario(
+            name="slo-squeeze",
+            description=(
+                "four heavy low-priority anchors squeezing a periodic "
+                "priority-2 stream of light tenants — the shape where "
+                "SLO enforcement visibly lifts high-priority attainment"
+            ),
+            build=_slo_squeeze,
         ),
     ]
 }
@@ -423,6 +524,27 @@ FLEET_SCENARIOS: Dict[str, FleetScenario] = {
                 "placement) followed by ordinary mixes"
             ),
             build_mixes=_heavy_split_mixes,
+        ),
+        FleetScenario(
+            name="priority-storm",
+            description=(
+                "the priority-storm churn shape replayed against a "
+                "fleet — mixed-priority contention for admission, "
+                "queueing and preemption (the CI slo-smoke trace)"
+            ),
+            build_mixes=lambda seed: _burst_mixes(seed, count=4),
+            build_trace=_priority_storm,
+        ),
+        FleetScenario(
+            name="slo-squeeze",
+            description=(
+                "heavy low-priority anchors squeezing a high-priority "
+                "stream — the SLO-enforcement acceptance shape"
+            ),
+            build_mixes=lambda seed: _burst_mixes(
+                seed, count=4, sizes=(2,)
+            ),
+            build_trace=_slo_squeeze,
         ),
     ]
 }

@@ -41,7 +41,7 @@ from __future__ import annotations
 import heapq
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -257,15 +257,32 @@ class TraceBuilder:
     flushes the remaining departures and returns the validated trace.
     The churn scenarios and :func:`generate_trace` are all written on
     top of this.
+
+    ``admission`` is an optional veto hook called as
+    ``admission(time_s, model, priority, active_models) -> bool`` for
+    every arrival that passes the structural checks; returning
+    ``False`` drops it.  This is how a policy layer (e.g. an
+    :class:`~repro.slo.AdmissionController` closure) shapes a trace at
+    build time rather than replay time.  :attr:`dropped` counts every
+    arrival turned away, whatever the cause.
     """
 
-    def __init__(self, max_concurrent: Optional[int] = None, name: str = "") -> None:
+    def __init__(
+        self,
+        max_concurrent: Optional[int] = None,
+        name: str = "",
+        admission: Optional[
+            Callable[[float, str, int, Tuple[str, ...]], bool]
+        ] = None,
+    ) -> None:
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError(
                 f"max_concurrent must be >= 1, got {max_concurrent}"
             )
         self.max_concurrent = max_concurrent
         self.name = name
+        self.admission = admission
+        self.dropped = 0
         self._events: List[ArrivalEvent] = []
         self._active: Dict[str, str] = {}  # model -> tenant_id
         self._departures: List[Tuple[float, int, ArrivalEvent]] = []
@@ -297,11 +314,18 @@ class TraceBuilder:
             raise ValueError(f"lifetime_s must be > 0, got {lifetime_s}")
         self._flush_departures(time_s)
         if model in self._active:
+            self.dropped += 1
             return None
         if (
             self.max_concurrent is not None
             and len(self._active) >= self.max_concurrent
         ):
+            self.dropped += 1
+            return None
+        if self.admission is not None and not self.admission(
+            time_s, model, priority, self.active_models
+        ):
+            self.dropped += 1
             return None
         tenant_id = f"t{self._counter:04d}"
         self._counter += 1

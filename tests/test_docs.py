@@ -127,6 +127,38 @@ def test_fleet_surface_is_pinned():
         assert export in repro.__all__, export
 
 
+def test_slo_guide_is_linked():
+    """The SLO operations guide is reachable from the entry docs."""
+    assert (ROOT / "docs" / "slo.md").is_file()
+    assert "docs/slo.md" in (ROOT / "README.md").read_text()
+    assert "slo.md" in (ROOT / "docs" / "architecture.md").read_text()
+
+
+def test_slo_surface_is_pinned():
+    """The SLO flags and core exports stay documented by name."""
+    readme = (ROOT / "README.md").read_text()
+    for flag in ("--slo", "--slo-latency-ms", "--slo-observe"):
+        assert flag in readme, f"README.md does not mention {flag!r}"
+    import repro
+
+    for export in (
+        "SLOPolicy",
+        "SLOTarget",
+        "AdmissionController",
+        "AdmissionDecision",
+        "slo",
+    ):
+        assert export in repro.__all__, export
+    # The dedicated scenarios stay registered and documented.
+    from repro.workloads import churn_scenario_names, fleet_scenario_names
+
+    corpus = "\n".join(path.read_text() for path in DOC_FILES)
+    for name in ("priority-storm", "slo-squeeze"):
+        assert name in churn_scenario_names(), name
+        assert name in fleet_scenario_names(), name
+        assert name in corpus, f"scenario {name!r} undocumented"
+
+
 # ----------------------------------------------------------------------
 # Drift pinning: CLI subcommands and public exports must be documented
 # ----------------------------------------------------------------------

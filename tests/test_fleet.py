@@ -369,6 +369,34 @@ class TestFleetTrace:
         assert warm > 0
         assert report.warm_fraction > 0
 
+    def test_per_priority_wait_rollup(self, trace_run):
+        """`combined` is the complete per-priority service-level view:
+        every board's wait and request counters sum into it, and the
+        fleet summary surfaces the mean-wait-by-priority rollup."""
+        service, _, _ = trace_run
+        stats = service.stats()
+        combined = stats.combined
+        assert combined.requests_by_priority
+        board_priorities = {
+            priority
+            for board in stats.per_board.values()
+            for priority in board.requests_by_priority
+        }
+        assert set(combined.requests_by_priority) == board_priorities
+        for priority in board_priorities:
+            assert combined.requests_by_priority[priority] == sum(
+                board.requests_by_priority.get(priority, 0)
+                for board in stats.per_board.values()
+            )
+            assert combined.wait_s_by_priority[priority] == pytest.approx(
+                sum(
+                    board.wait_s_by_priority.get(priority, 0.0)
+                    for board in stats.per_board.values()
+                )
+            )
+            assert combined.mean_wait_s(priority) >= 0.0
+        assert "mean wait by priority" in stats.summary()
+
     def test_departure_triggers_migration_records(self, trace_run):
         service, trace, report = trace_run
         stats = service.stats()

@@ -172,6 +172,8 @@ class TestChurnScenarios:
             "diurnal",
             "priority-inversion",
             "steady-drain",
+            "priority-storm",
+            "slo-squeeze",
         ]
 
     @pytest.mark.parametrize("name", churn_scenario_names())

@@ -1,10 +1,17 @@
-"""Tests for the named application scenarios."""
+"""Tests for the named application and churn scenarios."""
 
 import pytest
 
 from repro.sim import BoardSimulator, Mapping
 from repro.workloads.scenarios import SCENARIOS, Scenario, scenario, scenario_names
-from repro.workloads import Workload
+from repro.workloads import (
+    ArrivalTrace,
+    Workload,
+    churn_scenario,
+    churn_scenario_names,
+    fleet_scenario,
+    fleet_scenario_names,
+)
 
 
 class TestRegistry:
@@ -62,3 +69,71 @@ class TestSimulation:
         # Rates never exceed the application's demand.
         for rate, offered in zip(result.rates, preset.offered_rates):
             assert rate <= offered + 1e-9
+
+
+class TestSLOChurnScenarios:
+    """The SLO-layer scenarios: priority-storm and slo-squeeze."""
+
+    NAMES = ("priority-storm", "slo-squeeze")
+
+    def test_registered_for_single_board_and_fleet(self):
+        for name in self.NAMES:
+            assert name in churn_scenario_names()
+            assert name in fleet_scenario_names()
+            assert fleet_scenario(name).build_trace is not None
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_seeded_determinism(self, name):
+        first = churn_scenario(name, seed=11)
+        second = churn_scenario(name, seed=11)
+        assert isinstance(first, ArrivalTrace)
+        assert first.events == second.events
+        assert first.name == name
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_seeds_vary_the_trace(self, name):
+        assert (
+            churn_scenario(name, seed=0).events
+            != churn_scenario(name, seed=1).events
+        )
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_fits_board_residency(self, name, platform):
+        trace = churn_scenario(name, seed=0)
+        assert trace.max_concurrency <= platform.memory.max_residency
+
+    def test_priority_storm_mixes_priorities(self):
+        trace = churn_scenario("priority-storm", seed=0)
+        priorities = {
+            event.priority for event in trace if event.kind == "arrival"
+        }
+        # Anchors at priority 0 under a storm of priorities 1-3 — the
+        # spread preemption needs to have victims AND protected tenants.
+        assert 0 in priorities
+        assert priorities - {0}
+        assert max(priorities) <= 3
+
+    def test_slo_squeeze_is_two_tier(self):
+        trace = churn_scenario("slo-squeeze", seed=0)
+        by_priority = {}
+        for event in trace:
+            if event.kind == "arrival":
+                by_priority.setdefault(event.priority, set()).add(event.model)
+        # Heavy anchors hold the board at priority 0; the latency-
+        # sensitive stream arrives entirely at priority 2.
+        assert set(by_priority) == {0, 2}
+        assert by_priority[2] <= {
+            "mobilenet",
+            "squeezenet",
+            "alexnet",
+            "resnet34",
+        }
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_fleet_variant_builds_mixes_too(self, name):
+        preset = fleet_scenario(name)
+        mixes = preset.build_mixes(0)
+        assert mixes
+        assert [mix.model_names for mix in mixes] == [
+            mix.model_names for mix in preset.build_mixes(0)
+        ]
