@@ -84,18 +84,18 @@ def test_perf_fleet_pooled_burst_vs_sequential(benchmark):
     sequential_counter = _count_forward_calls(sequential_fleet)
 
     def run():
-        pooled_started = time.perf_counter()
+        pooled_started = time.perf_counter()  # repro: lint-ignore[RPR002] -- informational host timing, not gated
         pooled = pooled_fleet.schedule_many(requests)
-        pooled_s = time.perf_counter() - pooled_started
+        pooled_s = time.perf_counter() - pooled_started  # repro: lint-ignore[RPR002] -- informational host timing, not gated
         # Sequential arm: same placement (each request straight to the
         # board the pooled run chose, preserving per-board order), one
         # full search at a time.
-        sequential_started = time.perf_counter()
+        sequential_started = time.perf_counter()  # repro: lint-ignore[RPR002] -- informational host timing, not gated
         sequential = [
             sequential_fleet.engine(response.board).submit(request)
             for request, response in zip(requests, pooled)
         ]
-        sequential_s = time.perf_counter() - sequential_started
+        sequential_s = time.perf_counter() - sequential_started  # repro: lint-ignore[RPR002] -- informational host timing, not gated
         return pooled, pooled_s, sequential, sequential_s
 
     pooled, pooled_s, sequential, sequential_s = benchmark.pedantic(

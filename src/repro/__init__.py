@@ -24,6 +24,7 @@ shim over :class:`~repro.builder.SystemBuilder`).
 """
 
 from . import (
+    analysis,
     baselines,
     core,
     estimator,
@@ -68,6 +69,7 @@ from .workloads import (
     TraceConfig,
     Workload,
     WorkloadGenerator,
+    canonical_signature,
     churn_scenario,
     churn_scenario_names,
     fleet_scenario,
@@ -75,7 +77,7 @@ from .workloads import (
     generate_trace,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AdmissionController",
@@ -116,10 +118,12 @@ __all__ = [
     "Workload",
     "WorkloadGenerator",
     "__version__",
+    "analysis",
     "available_schedulers",
     "baselines",
     "build_model",
     "build_system",
+    "canonical_signature",
     "churn_scenario",
     "churn_scenario_names",
     "core",

@@ -1,0 +1,73 @@
+"""Doctrine linter: the repo's invariants as machine-checked rules.
+
+Every subsystem since PR 1 rests on conventions that were previously
+enforced only in review: seeded determinism of the estimator-guided
+search, bitwise batch-composition invariance of eval-mode inference
+(what cross-request pooling and SLO admission scoring rely on), the
+single-core-CI rule that perf gates compare estimator forward counts
+rather than wall-time ratios, and canonical signatures on every
+mix-keyed cache.  This package turns each of those doctrines into an
+AST-level rule, run over the repo's own source by ``repro lint`` (and
+the CI ``lint`` job, before the test matrix).
+
+Layout:
+
+* :mod:`~repro.analysis.core` -- ``Rule`` / ``Finding`` / ``Severity``,
+  the shared parsed-module cache, and pragma-based suppression;
+* :mod:`~repro.analysis.config` -- per-path rule scoping and the
+  committed allowlist;
+* :mod:`~repro.analysis.rules` -- the rule catalog (RPR001-RPR008);
+* :mod:`~repro.analysis.runner` -- path expansion, text/JSON output,
+  exit-code gating.
+
+Quick start::
+
+    from repro.analysis import LintConfig, run_lint
+
+    report = run_lint(["src", "tests", "benchmarks"])
+    for finding in report.findings:
+        print(finding.location(), finding.rule, finding.message)
+    assert report.clean
+
+Suppress a deliberate, justified exception at the line that needs it::
+
+    started = time.perf_counter()  # repro: lint-ignore[RPR002] -- host measurement
+
+See ``docs/linting.md`` for the full rule catalog and the recipe for
+adding a rule.
+"""
+
+from .config import (
+    AllowlistEntry,
+    DEFAULT_PATHS,
+    LintConfig,
+    RuleScope,
+)
+from .core import Finding, ParsedModule, Rule, Severity
+from .rules import ALL_RULES, RULES_BY_CODE, rule_catalog
+from .runner import (
+    LintReport,
+    format_json,
+    format_text,
+    iter_python_files,
+    run_lint,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "AllowlistEntry",
+    "DEFAULT_PATHS",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "ParsedModule",
+    "RULES_BY_CODE",
+    "Rule",
+    "RuleScope",
+    "Severity",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "rule_catalog",
+    "run_lint",
+]

@@ -1,0 +1,244 @@
+"""The rule-engine substrate: parsed modules, findings, suppression.
+
+Everything a doctrine rule needs to run sits behind three small
+abstractions:
+
+* :class:`ParsedModule` -- one source file parsed exactly once: the
+  AST, the raw lines, the ``# repro: lint-ignore[...]`` pragmas, and
+  the line ranges of every ``def``/``class`` (so a pragma on a header
+  line can suppress findings anywhere in that body).
+* :class:`ModuleCache` -- the shared parse cache.  Eight rules walking
+  the same tree must not pay eight parses; the runner hands every rule
+  the same :class:`ParsedModule` instance.
+* :class:`Rule` -- the plug-in contract.  Per-module rules implement
+  :meth:`Rule.check`; repo-wide rules (the docs-sync rule) set
+  ``project = True`` and implement :meth:`Rule.check_project`.
+
+A finding is *suppressed* (not failed) when an in-source pragma with a
+reason covers its line, or a committed allowlist entry covers its
+(rule, path) pair -- see :mod:`repro.analysis.config`.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "ModuleCache",
+    "ParsedModule",
+    "Pragma",
+    "Rule",
+    "Severity",
+]
+
+#: ``# repro: lint-ignore[RPR002] -- host measurement``; the reason
+#: after ``--`` is mandatory -- a pragma that does not say *why* does
+#: not suppress anything (the allowlist must stay self-documenting).
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore\[([A-Za-z0-9_,\s]+)\]\s*--\s*(\S.*?)\s*$"
+)
+
+
+class Severity(enum.Enum):
+    """How hard a finding fails: both fail the run, only the color differs."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One in-source suppression: which rules, why, where."""
+
+    rules: Tuple[str, ...]
+    reason: str
+    line: int
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules
+
+
+@dataclass
+class Finding:
+    """One doctrine violation at one source location."""
+
+    rule: str
+    name: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Set by the runner when a pragma or allowlist entry absorbed the
+    #: finding; ``None`` means the finding fails the run.
+    suppressed_by: Optional[str] = None
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        payload = {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.suppressed_by is not None:
+            payload["suppressed_by"] = self.suppressed_by
+        return payload
+
+
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    def __init__(self, rel_path: str, text: str) -> None:
+        self.rel_path = rel_path
+        self.text = text
+        self.lines: List[str] = text.splitlines()
+        self.tree: ast.Module = ast.parse(text)
+        self.pragmas: Dict[int, List[Pragma]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            match = PRAGMA_RE.search(line)
+            if match is None:
+                continue
+            rules = tuple(
+                token.strip() for token in match.group(1).split(",") if token.strip()
+            )
+            self.pragmas.setdefault(number, []).append(
+                Pragma(rules=rules, reason=match.group(2), line=number)
+            )
+        #: ``(first_line, last_line, header_line)`` for every def/class,
+        #: so header-line pragmas suppress across the whole body.
+        self.scopes: List[Tuple[int, int, int]] = []
+        for node in ast.walk(self.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                self.scopes.append(
+                    (node.lineno, node.end_lineno or node.lineno, node.lineno)
+                )
+
+    # ------------------------------------------------------------------
+    # Suppression lookup
+    # ------------------------------------------------------------------
+    def suppression(self, rule: str, line: int) -> Optional[Pragma]:
+        """The pragma covering ``rule`` at ``line``, if any.
+
+        A pragma covers a finding when it sits on the finding's line,
+        on the line directly above it, or on the header line of an
+        enclosing ``def``/``class``.
+        """
+        for candidate in (line, line - 1):
+            for pragma in self.pragmas.get(candidate, ()):  # pragma: no branch
+                if pragma.covers(rule):
+                    return pragma
+        for start, end, header in self.scopes:
+            if start <= line <= end:
+                for pragma in self.pragmas.get(header, ()):
+                    if pragma.covers(rule):
+                        return pragma
+        return None
+
+    def context_comment(self, line: int, lookback: int = 3) -> str:
+        """The source text of ``line`` and up to ``lookback`` lines above.
+
+        Rules that accept a nearby explanatory comment as evidence (the
+        batch-invariance rule) read this window instead of re-slicing.
+        """
+        start = max(0, line - 1 - lookback)
+        return "\n".join(self.lines[start:line])
+
+
+class ModuleCache:
+    """Parse every file once, no matter how many rules visit it."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self._modules: Dict[str, ParsedModule] = {}
+        self._texts: Dict[str, str] = {}
+
+    def module(self, rel_path: str) -> ParsedModule:
+        """The parsed module for ``rel_path`` (raises ``SyntaxError``)."""
+        if rel_path not in self._modules:
+            self._modules[rel_path] = ParsedModule(
+                rel_path, self.read_text(rel_path)
+            )
+        return self._modules[rel_path]
+
+    def read_text(self, rel_path: str) -> str:
+        """Raw text of any repo file (docs included), cached."""
+        if rel_path not in self._texts:
+            self._texts[rel_path] = (self.root / rel_path).read_text()
+        return self._texts[rel_path]
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult beyond the module it is checking."""
+
+    root: Path
+    config: "LintConfig"  # noqa: F821 - import cycle kept lazy on purpose
+    cache: ModuleCache
+    #: The modules selected for this run, in deterministic order --
+    #: project-wide rules iterate these instead of re-walking the tree.
+    rel_paths: Tuple[str, ...] = field(default_factory=tuple)
+
+
+class Rule:
+    """Base class for one doctrine check.
+
+    Subclasses set the class attributes and implement :meth:`check`
+    (per module) or, with ``project = True``, :meth:`check_project`
+    (once per run).
+    """
+
+    code: str = "RPR000"
+    name: str = "unnamed-rule"
+    severity: Severity = Severity.ERROR
+    #: One sentence tying the rule to the repo doctrine it enforces;
+    #: surfaced by ``repro lint --list-rules`` and docs/linting.md.
+    doctrine: str = ""
+    #: Project rules run once per lint invocation, not once per module.
+    project: bool = False
+
+    def check(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, context: LintContext) -> Iterable[Finding]:
+        return ()
+
+    # ------------------------------------------------------------------
+    # Helpers shared by concrete rules
+    # ------------------------------------------------------------------
+    def finding(
+        self, module_path: str, node_or_line, message: str
+    ) -> Finding:
+        if isinstance(node_or_line, int):
+            line, col = node_or_line, 0
+        else:
+            line = getattr(node_or_line, "lineno", 0)
+            col = getattr(node_or_line, "col_offset", 0)
+        return Finding(
+            rule=self.code,
+            name=self.name,
+            severity=self.severity,
+            path=module_path,
+            line=line,
+            col=col,
+            message=message,
+        )

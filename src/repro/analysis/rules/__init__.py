@@ -1,0 +1,44 @@
+"""The rule registry: one place that knows every doctrine rule.
+
+Adding a rule is three steps (docs/linting.md walks through them):
+implement a :class:`~repro.analysis.core.Rule` subclass in a module
+here, append it to :data:`ALL_RULES`, and add a fixture test in
+``tests/test_analysis_rules.py`` proving it fires and stays quiet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from ..core import Rule
+from .caching import CanonicalCacheKeys
+from .determinism import NoUnseededRng
+from .docs_sync import ExportDocsSync
+from .gates import CountBasedPerfGates
+from .hygiene import BareExcept, MutableDefaultArgs
+from .invariance import BatchInvariance
+from .wallclock import WallclockConfinement
+
+__all__ = ["ALL_RULES", "RULES_BY_CODE", "rule_catalog"]
+
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    NoUnseededRng,
+    WallclockConfinement,
+    CountBasedPerfGates,
+    BatchInvariance,
+    CanonicalCacheKeys,
+    ExportDocsSync,
+    MutableDefaultArgs,
+    BareExcept,
+)
+
+RULES_BY_CODE: Dict[str, Type[Rule]] = {rule.code: rule for rule in ALL_RULES}
+
+
+def rule_catalog() -> str:
+    """A text table of every rule (``repro lint --list-rules``)."""
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"        {rule.doctrine}")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Small AST predicates shared by several doctrine rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+#: ``time``-module readers of the host clock.
+WALLCLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+
+def attribute_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``np.random.default_rng`` -> ``("np", "random", "default_rng")``.
+
+    ``None`` when the expression is not a plain dotted-name chain.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def module_imports(tree: ast.Module) -> Set[str]:
+    """Top-level ``import X`` module names (first dotted component)."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name.split(".")[0])
+    return names
+
+
+def from_imports(tree: ast.Module, module: str) -> Set[str]:
+    """Names pulled in with ``from <module> import ...`` at top level."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def is_wallclock_call(node: ast.AST, time_from_imports: Set[str]) -> bool:
+    """Does ``node`` read the host clock (``time.*`` or ``datetime.now``)?"""
+    if not isinstance(node, ast.Call):
+        return False
+    chain = attribute_chain(node.func)
+    if chain is not None:
+        if len(chain) == 2 and chain[0] == "time" and chain[1] in WALLCLOCK_TIME_ATTRS:
+            return True
+        if chain[-1] in {"now", "utcnow"} and "datetime" in chain:
+            return True
+    if isinstance(node.func, ast.Name) and node.func.id in time_from_imports:
+        return node.func.id in WALLCLOCK_TIME_ATTRS
+    return False
+
+
+def walk_skipping_functions(
+    node: ast.AST, skip_names: Set[str]
+) -> Iterator[ast.AST]:
+    """``ast.walk`` that prunes function bodies named in ``skip_names``.
+
+    Used to exempt hand-derived ``backward`` closures (training-path
+    gradients) from eval-path invariance checks.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if (
+                isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child.name in skip_names
+            ):
+                continue
+            stack.append(child)
+
+
+def names_in(node: ast.AST) -> Set[str]:
+    """Every bare ``Name`` referenced anywhere under ``node``."""
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}

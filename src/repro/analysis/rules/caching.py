@@ -1,0 +1,113 @@
+"""RPR005 -- caches keyed on mixes go through the canonical helper.
+
+Doctrine (PR 2's decision cache, PR 6's admission scorer): a workload
+mix's identity is order-free -- ``a+b`` and ``b+a`` are the same mix
+-- and every cache keyed on one must agree on that.  The single
+sanctioned spelling is :func:`repro.workloads.canonical_signature`;
+inline ``tuple(sorted(...))`` re-derivations drift (one call site
+forgetting the sort once cost a duplicated search), and ``id()``-keyed
+caches are wrong twice over (identity is neither stable across runs
+nor shared by equal mixes).
+
+Two checks:
+
+* in the serving-stack modules (see
+  :data:`repro.analysis.config.SIGNATURE_MODULES`), any inline
+  ``tuple(sorted(...))`` is a hand-rolled mix signature;
+* anywhere in ``src/``, subscripting / ``.get()``-ing a
+  ``*cache*``-named container with an ``id(...)`` or inline
+  ``tuple(...)`` key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..core import Finding, LintContext, ParsedModule, Rule
+from ._helpers import attribute_chain
+
+__all__ = ["CanonicalCacheKeys"]
+
+
+def _is_tuple_sorted(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "tuple"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Call)
+        and isinstance(node.args[0].func, ast.Name)
+        and node.args[0].func.id == "sorted"
+    )
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    chain = attribute_chain(node)
+    return chain[-1] if chain else None
+
+
+def _raw_key_kind(key: ast.AST) -> Optional[str]:
+    """'id()' / 'tuple(...)' when the key expression is a raw key."""
+    if isinstance(key, ast.Call):
+        if isinstance(key.func, ast.Name) and key.func.id == "id":
+            return "id()"
+        if isinstance(key.func, ast.Name) and key.func.id == "tuple":
+            return "an inline tuple(...)"
+    return None
+
+
+class CanonicalCacheKeys(Rule):
+    code = "RPR005"
+    name = "canonical-cache-keys"
+    doctrine = (
+        "Mix/request cache keys are built by canonical_signature(); "
+        "inline tuple(sorted(...)) re-derivations drift and id() keys "
+        "are unstable."
+    )
+
+    def check(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        in_signature_module = any(
+            module.rel_path.startswith(prefix)
+            for prefix in context.config.signature_modules
+        )
+        for node in ast.walk(module.tree):
+            if in_signature_module and _is_tuple_sorted(node):
+                yield self.finding(
+                    module.rel_path,
+                    node,
+                    "inline tuple(sorted(...)) builds a mix signature "
+                    "by hand; use repro.workloads.canonical_signature()",
+                )
+            elif isinstance(node, ast.Subscript):
+                container = _terminal_name(node.value)
+                if container is None or "cache" not in container.lower():
+                    continue
+                kind = _raw_key_kind(node.slice)
+                if kind is not None:
+                    yield self.finding(
+                        module.rel_path,
+                        node,
+                        f"cache {container!r} keyed on {kind}; key it "
+                        "on a canonical signature instead",
+                    )
+            elif isinstance(node, ast.Call):
+                # cache.get(id(x)) / cache.setdefault(tuple(...), ...)
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                if node.func.attr not in {"get", "setdefault", "pop"}:
+                    continue
+                container = _terminal_name(node.func.value)
+                if container is None or "cache" not in container.lower():
+                    continue
+                if node.args:
+                    kind = _raw_key_kind(node.args[0])
+                    if kind is not None:
+                        yield self.finding(
+                            module.rel_path,
+                            node,
+                            f"cache {container!r} keyed on {kind}; key "
+                            "it on a canonical signature instead",
+                        )

@@ -1,0 +1,121 @@
+"""RPR001 -- no unseeded randomness anywhere in the tree.
+
+Doctrine: every schedule, trace, and training run must be replayable
+from its seed.  The estimator-guided MCTS, the churn scenarios, and
+the fleet's placement all advertise seeded determinism; a single
+``np.random.rand()`` (the process-global legacy generator) or an
+argument-less ``default_rng()`` (OS-entropy seeded) silently breaks
+replay for everything downstream.  Seeded fallbacks like
+``default_rng(0)`` are the sanctioned idiom.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, LintContext, ParsedModule, Rule
+from ._helpers import attribute_chain, module_imports
+
+__all__ = ["NoUnseededRng"]
+
+#: The legacy process-global ``np.random`` API (non-exhaustive on
+#: purpose: these are the calls that appear in numpy tutorials and
+#: sneak into research code).
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "standard_normal",
+        "beta",
+        "binomial",
+        "poisson",
+        "exponential",
+        "gamma",
+    }
+)
+
+#: Stdlib ``random`` module-level functions (the hidden global Mersenne
+#: Twister); ``random.Random(seed)`` instances are fine.
+LEGACY_STDLIB_RANDOM = frozenset(
+    {"seed", "random", "randint", "randrange", "choice", "choices", "shuffle", "uniform", "sample", "gauss"}
+)
+
+
+class NoUnseededRng(Rule):
+    code = "RPR001"
+    name = "no-unseeded-rng"
+    doctrine = (
+        "Seeded determinism: every RNG must be an explicitly seeded "
+        "Generator; global numpy/stdlib RNG state and entropy-seeded "
+        "default_rng() make schedules unreplayable."
+    )
+
+    def check(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        has_stdlib_random = "random" in module_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain is None:
+                # ``from numpy.random import default_rng`` style.
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "default_rng"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.finding(
+                        module.rel_path,
+                        node,
+                        "default_rng() without a seed draws from OS "
+                        "entropy; pass an explicit seed",
+                    )
+                continue
+            if chain[-1] == "default_rng" and not node.args and not node.keywords:
+                yield self.finding(
+                    module.rel_path,
+                    node,
+                    "default_rng() without a seed draws from OS entropy; "
+                    "pass an explicit seed",
+                )
+                continue
+            if (
+                len(chain) == 3
+                and chain[0] in {"np", "numpy"}
+                and chain[1] == "random"
+                and chain[2] in LEGACY_NP_RANDOM
+            ):
+                yield self.finding(
+                    module.rel_path,
+                    node,
+                    f"np.random.{chain[2]}() uses the process-global "
+                    "legacy RNG; use an explicitly seeded "
+                    "np.random.default_rng(seed) Generator",
+                )
+            elif (
+                has_stdlib_random
+                and len(chain) == 2
+                and chain[0] == "random"
+                and chain[1] in LEGACY_STDLIB_RANDOM
+            ):
+                yield self.finding(
+                    module.rel_path,
+                    node,
+                    f"random.{chain[1]}() uses the hidden global Mersenne "
+                    "Twister; use a seeded random.Random(seed) or numpy "
+                    "Generator",
+                )

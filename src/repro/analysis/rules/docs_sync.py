@@ -1,0 +1,84 @@
+"""RPR006 -- every public export is documented in the API index.
+
+Doctrine: ``docs/architecture.md`` carries the full public-API index
+(its "Public API surface" rows); an export that ships undocumented is
+API drift.  ``tests/test_docs.py`` checks this *dynamically* (it
+imports ``repro`` and walks ``repro.__all__``); this rule is the
+static half -- it reads the ``__all__`` literal straight from the
+module source, so the check runs without importing the package (and
+therefore also in the fast lint CI job, before the test matrix).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..core import Finding, LintContext, Rule
+
+__all__ = ["ExportDocsSync"]
+
+
+class ExportDocsSync(Rule):
+    code = "RPR006"
+    name = "export-docs-sync"
+    doctrine = (
+        "Every name in a public module's __all__ appears in the "
+        "architecture doc's API rows; shipping an undocumented export "
+        "is API drift."
+    )
+    project = True
+
+    def check_project(self, context: LintContext) -> Iterable[Finding]:
+        exports = []
+        for rel_path in context.config.public_modules:
+            try:
+                module = context.cache.module(rel_path)
+            except (OSError, SyntaxError):
+                continue  # unparseable modules fail elsewhere
+            for name, line in self._exports(module.tree):
+                if name not in context.config.export_exemptions:
+                    exports.append((rel_path, name, line))
+        if not exports:
+            # No public module in this tree (fixture runs, partial
+            # checkouts): nothing to hold the doc against.
+            return
+        try:
+            corpus = context.cache.read_text(context.config.api_doc)
+        except OSError:
+            yield self.finding(
+                context.config.api_doc,
+                1,
+                f"API doc {context.config.api_doc!r} is missing",
+            )
+            return
+        for rel_path, name, line in exports:
+            if not re.search(rf"\b{re.escape(name)}\b", corpus):
+                yield self.finding(
+                    rel_path,
+                    line,
+                    f"public export {name!r} is missing from "
+                    f"{context.config.api_doc}'s API rows",
+                )
+
+    @staticmethod
+    def _exports(tree: ast.Module):
+        """``(name, line)`` per string literal in a top-level __all__."""
+        for node in tree.body:
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            if not any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in targets
+            ):
+                continue
+            value = node.value
+            if isinstance(value, (ast.List, ast.Tuple)):
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        yield element.value, element.lineno

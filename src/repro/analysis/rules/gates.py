@@ -1,0 +1,154 @@
+"""RPR003 -- perf gates must compare counts, not wall-clock ratios.
+
+Doctrine (ROADMAP, single-core-CI rule): acceptance gates in
+``benchmarks/`` compare *estimator forward counts* -- deterministic,
+machine-independent -- never wall-time-derived quantities.  A shared
+CI runner under load can halve any wall-clock speedup; a forward-count
+ratio is identical everywhere.  Timing ``print()``s stay welcome as
+informational output; it is the ``assert`` that must be count-based.
+
+Detection is a per-function taint pass: names that *are* wall-time by
+convention (``*_s``, ``*_secs``, ``elapsed*``, ``wall*``, ...) or are
+assigned from a host-clock read (or from a ``_timed``-style helper)
+seed the taint set; assignments whose right-hand side mentions a
+tainted name propagate it.  Any ``assert`` whose expression references
+a tainted name is a finding.  Benchmarks whose *subject* is wall time
+(the compiled-inference speedup gates) annotate their asserts with
+``# repro: lint-ignore[RPR003] -- <why wall time is the subject>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Set
+
+from ..core import Finding, LintContext, ParsedModule, Rule
+from ._helpers import from_imports, is_wallclock_call, names_in
+
+__all__ = ["CountBasedPerfGates"]
+
+#: Names that denote a wall-clock quantity by repo convention.
+WALLTIME_NAME = re.compile(
+    r"(^|_)(wall|elapsed|duration)(_|$)|_(s|secs|seconds|ms|ns)$"
+)
+
+#: Helpers that return host-clock measurements.  Deliberately exact:
+#: ``_timed`` / ``timed`` wrapper idioms only.  Looser suffix matching
+#: would drag in deterministic *modeled* costs (``decision_time()`` in
+#: the runtime cost model), which are legitimate gate inputs.
+TIMED_HELPER = re.compile(r"^_?timed$")
+
+
+def _is_timed_helper_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+    return bool(TIMED_HELPER.search(name))
+
+
+class CountBasedPerfGates(Rule):
+    code = "RPR003"
+    name = "count-based-perf-gates"
+    doctrine = (
+        "Benchmark acceptance gates compare estimator forward counts, "
+        "never wall-time ratios -- CI wall clocks are not reproducible."
+    )
+
+    def check(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        time_names = from_imports(module.tree, "time")
+        # Nested defs are walked as their own scope AND as part of the
+        # enclosing one (a closure sees the outer taint), so an assert
+        # can surface twice -- report each site once.
+        seen = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for finding in self._check_function(module, node, time_names):
+                    site = (finding.line, finding.col)
+                    if site not in seen:
+                        seen.add(site)
+                        yield finding
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        module: ParsedModule,
+        function: ast.AST,
+        time_names: Set[str],
+    ) -> Iterable[Finding]:
+        tainted = self._tainted_names(function, time_names)
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Assert):
+                continue
+            used = names_in(node.test)
+            wall = sorted(
+                name
+                for name in used
+                if name in tainted or WALLTIME_NAME.search(name)
+            )
+            if wall:
+                yield self.finding(
+                    module.rel_path,
+                    node,
+                    "assert gates on wall-time-derived value(s) "
+                    f"{', '.join(wall)}; gate on estimator forward "
+                    "counts instead (print timings informationally)",
+                )
+
+    def _tainted_names(
+        self, function: ast.AST, time_names: Set[str]
+    ) -> Set[str]:
+        """Names carrying wall-time within ``function`` (fixpoint)."""
+
+        def rhs_tainted(value: ast.AST, tainted: Set[str]) -> bool:
+            for sub in ast.walk(value):
+                if is_wallclock_call(sub, time_names):
+                    return True
+                if _is_timed_helper_call(sub):
+                    return True
+                if isinstance(sub, ast.Name) and (
+                    sub.id in tainted or WALLTIME_NAME.search(sub.id)
+                ):
+                    return True
+            return False
+
+        tainted: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(function):
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [node.target]
+                    value = node.value
+                    if value is None:
+                        continue
+                elif isinstance(node, ast.NamedExpr):
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                if not rhs_tainted(value, tainted):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if target.id not in tainted:
+                            tainted.add(target.id)
+                            changed = True
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        # A tuple unpack of a measurement helper taints
+                        # only the elements *named* like wall time --
+                        # `elapsed_s, result = _timed(...)` must not
+                        # taint `result`.
+                        for element in target.elts:
+                            if (
+                                isinstance(element, ast.Name)
+                                and WALLTIME_NAME.search(element.id)
+                                and element.id not in tainted
+                            ):
+                                tainted.add(element.id)
+                                changed = True
+        return tainted

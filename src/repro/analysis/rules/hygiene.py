@@ -1,0 +1,82 @@
+"""RPR007/RPR008 -- generic hygiene rules with doctrine teeth.
+
+* RPR007 *mutable-default-args*: a mutable default evaluates once at
+  import; state then leaks across calls.  In a serving stack where
+  engines and services are long-lived singletons, a shared default
+  list is a cross-request leak, not a style nit.
+* RPR008 *bare-except*: ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` and buries real failures as silent fallbacks -- the
+  opposite of the "fail loudly, never guess" contract the simulator
+  and schedulers follow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, LintContext, ParsedModule, Rule
+
+__all__ = ["BareExcept", "MutableDefaultArgs"]
+
+MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+
+
+class MutableDefaultArgs(Rule):
+    code = "RPR007"
+    name = "mutable-default-args"
+    doctrine = (
+        "A mutable default is shared across every call of a long-lived "
+        "service object -- cross-request state leaks hide there."
+    )
+
+    def check(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module.rel_path,
+                        default,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and construct inside the body",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in MUTABLE_CONSTRUCTORS
+            and not node.args
+            and not node.keywords
+        )
+
+
+class BareExcept(Rule):
+    code = "RPR008"
+    name = "bare-except"
+    doctrine = (
+        "except: catches KeyboardInterrupt/SystemExit and converts "
+        "real failures into silent fallbacks; name the exception."
+    )
+
+    def check(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module.rel_path,
+                    node,
+                    "bare except: swallows interrupts and hides real "
+                    "failures; catch a named exception type",
+                )

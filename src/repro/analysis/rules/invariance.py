@@ -1,0 +1,184 @@
+"""RPR004 -- bitwise batch-composition invariance of the eval path.
+
+Doctrine (PR 2, relied on by cross-request pooling, the SLO admission
+scorer, and priority reordering): row ``i`` of a batched eval-mode
+forward must be *bitwise identical* to the standalone single-sample
+call, no matter which other samples share the batch.  That holds only
+when every GEMM prices samples independently (broadcast per-sample
+matmuls, ``linear_rowwise``) and nothing reduces *across* the batch
+axis.  A stacked ``(N, K) @ (K, M)`` GEMM lets BLAS pick blocking by
+``N`` and silently breaks the pooling guarantee in the last ulps.
+
+Scoped to the eval-path kernels (``nn/inference.py``,
+``nn/functional.py``).  The rule is conservative: a GEMM counts as
+per-sample only with structural evidence (a ``[:, None, :]``-style
+broadcast expansion in an operand, an enclosing ``*rowwise*``
+function) or an explanatory comment naming the idiom within three
+lines (``per-sample`` / ``rowwise`` / ``batch-invariant``).
+Hand-derived ``backward`` closures are training-path gradients and
+are exempt; deliberate training-mode batch math carries a pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Optional
+
+from ..core import Finding, LintContext, ParsedModule, Rule
+from ._helpers import attribute_chain, walk_skipping_functions
+
+__all__ = ["BatchInvariance"]
+
+EVIDENCE_COMMENT = re.compile(
+    r"per-?sample|row-?wise|batch-?invariant", re.IGNORECASE
+)
+
+#: numpy reductions that collapse an axis.
+REDUCTIONS = frozenset(
+    {"sum", "mean", "max", "min", "prod", "std", "var", "median", "average"}
+)
+
+GEMM_FUNCTIONS = frozenset({"matmul", "dot", "einsum", "tensordot", "inner"})
+
+
+def _has_broadcast_expansion(node: ast.AST) -> bool:
+    """Does the expression contain a ``[..., None, ...]`` subscript?"""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Subscript):
+            continue
+        index = sub.slice
+        elements = index.elts if isinstance(index, ast.Tuple) else [index]
+        for element in elements:
+            if isinstance(element, ast.Constant) and element.value is None:
+                return True
+    return False
+
+
+def _enclosing_function(
+    tree: ast.Module, line: int
+) -> Optional[ast.FunctionDef]:
+    best: Optional[ast.FunctionDef] = None
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.lineno <= line <= (node.end_lineno or node.lineno):
+                if best is None or node.lineno > best.lineno:
+                    best = node
+    return best
+
+
+class BatchInvariance(Rule):
+    code = "RPR004"
+    name = "batch-invariance"
+    doctrine = (
+        "Eval-path GEMMs must be per-sample and nothing may reduce "
+        "across the batch axis -- pooled evaluation is only "
+        "result-identical because batching never changes a row."
+    )
+
+    def check(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        # Gradient closures are training-path math: exempt wholesale.
+        for node in walk_skipping_functions(module.tree, {"backward"}):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                finding = self._check_gemm(
+                    module, node, [node.left, node.right], "a @ b"
+                )
+                if finding is not None:
+                    yield finding
+            elif isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if chain:
+                    terminal = chain[-1]
+                elif isinstance(node.func, ast.Attribute):
+                    # Method call on a computed receiver, e.g.
+                    # ``(centered**2).mean(axis=...)``.
+                    terminal = node.func.attr
+                else:
+                    terminal = ""
+                if terminal in GEMM_FUNCTIONS:
+                    finding = self._check_gemm(
+                        module, node, list(node.args), f"{terminal}()"
+                    )
+                    if finding is not None:
+                        yield finding
+                elif terminal in REDUCTIONS:
+                    finding = self._check_reduction(module, node, terminal)
+                    if finding is not None:
+                        yield finding
+
+    # ------------------------------------------------------------------
+    def _check_gemm(self, module, node, operands, label) -> Optional[Finding]:
+        if any(_has_broadcast_expansion(operand) for operand in operands):
+            return None  # explicit (1, K)-per-sample broadcast expansion
+        enclosing = _enclosing_function(module.tree, node.lineno)
+        if enclosing is not None and "rowwise" in enclosing.name:
+            return None
+        # Six lines of lookback so one comment can vouch for a small
+        # group of GEMMs (the three-band convolution writes three).
+        if EVIDENCE_COMMENT.search(module.context_comment(node.lineno, 6)):
+            return None
+        return self.finding(
+            module.rel_path,
+            node,
+            f"{label} in the eval path has no per-sample evidence: a "
+            "stacked-batch GEMM lets BLAS blocking depend on batch "
+            "size and breaks bitwise batch-composition invariance "
+            "(use the broadcast per-sample form, or document the "
+            "idiom in a nearby comment)",
+        )
+
+    def _check_reduction(self, module, node, terminal) -> Optional[Finding]:
+        axis = next(
+            (kw.value for kw in node.keywords if kw.arg == "axis"), None
+        )
+        if axis is None:
+            return None  # full reductions are loss-path territory
+        constants = self._resolve_axis(module, node, axis)
+        if constants is None or 0 not in constants:
+            return None
+        return self.finding(
+            module.rel_path,
+            node,
+            f"{terminal}(axis=...) reduces across axis 0 (the batch "
+            "axis) in the eval path: cross-sample reductions make a "
+            "row depend on its batch neighbors",
+        )
+
+    def _resolve_axis(self, module, node, axis):
+        """Literal axis values, following one local constant assignment."""
+        if isinstance(axis, ast.Constant):
+            return {axis.value}
+        if isinstance(axis, ast.Tuple):
+            values = set()
+            for element in axis.elts:
+                if not isinstance(element, ast.Constant):
+                    return None
+                values.add(element.value)
+            return values
+        if isinstance(axis, ast.Name):
+            bindings = self._local_constants(module, node.lineno)
+            return bindings.get(axis.id)
+        return None
+
+    def _local_constants(self, module, line) -> Dict[str, set]:
+        """``name -> literal axis values`` for the enclosing function."""
+        enclosing = _enclosing_function(module.tree, line)
+        if enclosing is None:
+            return {}
+        bindings: Dict[str, set] = {}
+        for node in ast.walk(enclosing):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, ast.Constant):
+                bindings[target.id] = {value.value}
+            elif isinstance(value, ast.Tuple) and all(
+                isinstance(e, ast.Constant) for e in value.elts
+            ):
+                bindings[target.id] = {e.value for e in value.elts}
+        return bindings

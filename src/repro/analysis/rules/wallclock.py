@@ -1,0 +1,48 @@
+"""RPR002 -- wall-clock reads confined to host-measurement sites.
+
+Doctrine: simulated time and host time must never mix.  Decisions,
+simulator results, and estimator predictions are pure functions of
+their seeds; the only legitimate host-clock consumers are the
+*measurement* sites -- ``measured_wall_time_s`` on responses, training
+history, benchmark harness timers -- each individually annotated with
+``# repro: lint-ignore[RPR002] -- <why this site measures the host>``
+or allowlisted as a whole file in :mod:`repro.analysis.config`.  A
+bare ``time.perf_counter()`` in ``core/``, ``sim/`` or the inference
+hot path is how nondeterminism (and CI-box wall-clock flakiness)
+creeps into decision paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, LintContext, ParsedModule, Rule
+from ._helpers import from_imports, is_wallclock_call
+
+__all__ = ["WallclockConfinement"]
+
+
+class WallclockConfinement(Rule):
+    code = "RPR002"
+    name = "wallclock-confinement"
+    doctrine = (
+        "Host-clock reads are only legal at annotated measurement "
+        "sites; decision paths must be pure functions of their seeds."
+    )
+
+    def check(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        time_names = from_imports(module.tree, "time")
+        for node in ast.walk(module.tree):
+            if is_wallclock_call(node, time_names):
+                called = ast.unparse(node.func)
+                yield self.finding(
+                    module.rel_path,
+                    node,
+                    f"{called}() reads the host clock outside an "
+                    "annotated measurement site; if this is genuine "
+                    "host measurement, annotate it with "
+                    "`# repro: lint-ignore[RPR002] -- <reason>`",
+                )

@@ -1,0 +1,288 @@
+"""Drive the rules over a file set; format and gate the findings.
+
+The runner is what the CLI (``repro lint``) and the CI lint job call:
+
+* expand the requested paths into repo-relative ``.py`` files,
+* run every enabled, in-scope rule over the shared parse cache,
+* resolve suppression (in-source pragmas, then the committed
+  allowlist) per finding,
+* render text or JSON, and exit nonzero iff any finding survived.
+
+A file that does not parse yields a single ``RPR000`` finding at the
+syntax error -- the linter never crashes on broken input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .config import DEFAULT_PATHS, LintConfig
+from .core import Finding, LintContext, ModuleCache, Severity
+from .rules import ALL_RULES, RULES_BY_CODE, rule_catalog
+
+__all__ = [
+    "LintReport",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "main",
+    "run_lint",
+]
+
+SKIP_DIRS = {"__pycache__", ".git", ".cache", ".pytest_cache", "node_modules"}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "clean": self.clean,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+        }
+
+
+def iter_python_files(
+    paths: Sequence[str], root: Path
+) -> List[str]:
+    """Repo-relative posix paths of every ``.py`` under ``paths``."""
+    found = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            if path.suffix == ".py":
+                found.add(_rel(path, root))
+        elif path.is_dir():
+            for file in path.rglob("*.py"):
+                if any(part in SKIP_DIRS for part in file.parts):
+                    continue
+                found.add(_rel(file, root))
+    return sorted(found)
+
+
+def _rel(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None,
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Run every enabled rule over ``paths`` and resolve suppression."""
+    root = (root or Path.cwd()).resolve()
+    config = config or LintConfig()
+    rel_paths = iter_python_files(paths or DEFAULT_PATHS, root)
+    cache = ModuleCache(root)
+    context = LintContext(
+        root=root, config=config, cache=cache, rel_paths=tuple(rel_paths)
+    )
+    rules = [
+        rule_class()
+        for rule_class in ALL_RULES
+        if config.rule_enabled(rule_class.code)
+    ]
+
+    raw: List[Finding] = []
+    for rel_path in rel_paths:
+        try:
+            module = cache.module(rel_path)
+        except SyntaxError as error:
+            raw.append(
+                Finding(
+                    rule="RPR000",
+                    name="syntax-error",
+                    severity=Severity.ERROR,
+                    path=rel_path,
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            if rule.project:
+                continue
+            if not config.scope_for(rule.code).applies(rel_path):
+                continue
+            raw.extend(rule.check(module, context))
+    for rule in rules:
+        if rule.project:
+            raw.extend(rule.check_project(context))
+
+    report = LintReport(
+        root=str(root),
+        files_checked=len(rel_paths),
+        rules_run=tuple(rule.code for rule in rules),
+    )
+    for finding in sorted(raw, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        suppression = None
+        try:
+            module = cache.module(finding.path)
+        except (OSError, SyntaxError):
+            module = None
+        if module is not None:
+            pragma = module.suppression(finding.rule, finding.line)
+            if pragma is not None:
+                suppression = f"pragma (line {pragma.line}): {pragma.reason}"
+        if suppression is None:
+            entry = config.allowlisted(finding.rule, finding.path)
+            if entry is not None:
+                suppression = f"allowlist ({entry.path}): {entry.reason}"
+        if suppression is not None:
+            finding.suppressed_by = suppression
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Output formats
+# ----------------------------------------------------------------------
+def format_text(report: LintReport, show_suppressed: bool = False) -> str:
+    lines = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule} [{finding.severity}] "
+            f"{finding.message}"
+        )
+    if show_suppressed:
+        for finding in report.suppressed:
+            lines.append(
+                f"{finding.location()}: {finding.rule} [suppressed] "
+                f"{finding.message} -- {finding.suppressed_by}"
+            )
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    lines.append(
+        f"{len(report.findings)} {noun} "
+        f"({len(report.suppressed)} suppressed) across "
+        f"{report.files_checked} files"
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Entry point (wired into ``python -m repro lint``)
+# ----------------------------------------------------------------------
+def _split_codes(values: Optional[Sequence[str]]) -> Tuple[str, ...]:
+    codes: List[str] = []
+    for value in values or ():
+        codes.extend(token.strip() for token in value.split(",") if token.strip())
+    return tuple(codes)
+
+
+def build_arg_parser(
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> argparse.ArgumentParser:
+    parser = parser or argparse.ArgumentParser(
+        prog="repro lint", description="doctrine static analysis"
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE[,RULE]",
+        help="run only these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE[,RULE]",
+        help="skip these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="additionally write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="list pragma/allowlist-suppressed findings too (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Shared implementation behind ``repro lint`` and ``main``."""
+    if args.list_rules:
+        print(rule_catalog())
+        return 0
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    unknown = [
+        code for code in (*select, *ignore) if code not in RULES_BY_CODE
+    ]
+    if unknown:
+        print(
+            f"unknown rule code(s): {', '.join(sorted(set(unknown)))} "
+            f"(known: {', '.join(sorted(RULES_BY_CODE))})",
+            file=sys.stderr,
+        )
+        return 2
+    config = LintConfig().with_selection(select=select or None, ignore=ignore)
+    report = run_lint(paths=args.paths, config=config)
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report, show_suppressed=args.show_suppressed))
+    if args.output:
+        Path(args.output).write_text(format_json(report) + "\n")
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_arg_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    return run_from_args(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    sys.exit(main())

@@ -18,6 +18,10 @@ Subcommands mirror the lifecycle of a deployment:
   with ``--trace``) across a cluster of named board presets through
   the :class:`~repro.fleet.FleetService`: estimator-scored placement,
   per-board pooled search, fleet stats rollup;
+* ``lint``        -- doctrine static analysis over the repo's own
+  source (:mod:`repro.analysis`): determinism, wall-clock confinement,
+  count-based perf gates, batch invariance, canonical cache keys,
+  export/docs sync;
 * ``motivate``    -- the Fig.-1 motivational sweep;
 * ``space``       -- design-space size arithmetic for a mix;
 * ``power``       -- throughput-vs-power comparison of the paper objective
@@ -37,6 +41,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .analysis.runner import build_arg_parser as lint_arg_parser
+from .analysis.runner import run_from_args as lint_run_from_args
 from .builder import SystemBuilder
 from .core.registry import available_schedulers
 from .evaluation import (
@@ -821,6 +827,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_slo_arguments(fleet)
     fleet.set_defaults(fn=_cmd_fleet_serve)
+
+    lint = sub.add_parser(
+        "lint",
+        help="doctrine static analysis (determinism, batch invariance, "
+        "count-based gates) over the repo's own source",
+    )
+    lint_arg_parser(lint)
+    lint.set_defaults(fn=lint_run_from_args)
 
     motivate = sub.add_parser("motivate", help="run the Fig.-1 sweep")
     motivate.add_argument("--setups", type=int, default=200)

@@ -170,7 +170,7 @@ class EstimatorTrainer:
         network = self.estimator.network
         optimizer = Adam(network.parameters(), lr=self.learning_rate)
         history = TrainingHistory()
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: lint-ignore[RPR002] -- host measurement of training wall time
         for epoch in range(epochs):
             # Cosine decay to a tenth of the base rate over the run.
             progress = epoch / max(epochs - 1, 1)
@@ -188,7 +188,7 @@ class EstimatorTrainer:
                 epoch_losses.append(loss.item())
             history.train_losses.append(float(np.mean(epoch_losses)))
             history.val_losses.append(self.evaluate(val_split))
-        history.wall_time_s = time.perf_counter() - started
+        history.wall_time_s = time.perf_counter() - started  # repro: lint-ignore[RPR002] -- host measurement of training wall time
         # The epochs above mutated the backbone in place; training-mode
         # switches already bump the backbone version, but be explicit:
         # any compiled inference plan snapshot is now stale.

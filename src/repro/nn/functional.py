@@ -116,7 +116,9 @@ def conv2d(
     cols, out_h, out_w = _im2col(x_padded.data, kh, kw, stride_pair)
     n = x.shape[0]
     w_mat = weight.data.reshape(out_channels, -1)
-    out = np.matmul(w_mat, cols)  # (O, F) @ (N, F, P) -> (N, O, P)
+    # Per-sample batched GEMM: (O, F) @ (N, F, P) -> (N, O, P); the
+    # shared weight broadcasts, so each sample's product is independent.
+    out = np.matmul(w_mat, cols)
     out_data = out.reshape(n, out_channels, out_h, out_w)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, -1, 1, 1)
@@ -220,6 +222,8 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine map ``x @ weight.T + bias`` for 2-D inputs ``(N, in)``."""
+    # repro: lint-ignore[RPR004] -- training-path linear; the eval path
+    # routes through linear_rowwise instead
     out = x @ weight.transpose()
     if bias is not None:
         out = out + bias
@@ -256,7 +260,7 @@ def linear_rowwise(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> 
     return Tensor._make(out_data, parents, backward)
 
 
-def batch_norm2d(
+def batch_norm2d(  # repro: lint-ignore[RPR004] -- training-mode batch statistics are cross-sample by definition
     x: Tensor,
     weight: Tensor,
     bias: Tensor,

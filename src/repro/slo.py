@@ -54,7 +54,7 @@ from typing import (
 
 from .core.base import SLOTarget
 from .sim.mapping import Mapping
-from .workloads.mix import Workload
+from .workloads.mix import Workload, canonical_signature
 
 __all__ = [
     "AdmissionController",
@@ -170,7 +170,7 @@ class AdmissionController:
         """The undiscounted score of a mix (cached per signature)."""
         if self._scorer is None:
             raise ValueError("controller has no scorer")
-        signature = tuple(sorted(names))
+        signature = canonical_signature(names)
         if signature not in self._base_scores:
             self._base_scores[signature] = float(
                 self._scorer(Workload.from_names(list(names)))

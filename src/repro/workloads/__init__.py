@@ -5,7 +5,7 @@ from .generator import (
     random_contiguous_mapping,
     random_two_stage_mapping,
 )
-from .mix import Workload
+from .mix import Workload, canonical_signature
 from .scenarios import (
     CHURN_SCENARIOS,
     ChurnScenario,
@@ -41,6 +41,7 @@ __all__ = [
     "TraceConfig",
     "Workload",
     "WorkloadGenerator",
+    "canonical_signature",
     "churn_scenario",
     "churn_scenario_names",
     "fleet_scenario",

@@ -7,7 +7,21 @@ from typing import Iterator, Sequence, Tuple
 from ..models.graph import ModelGraph
 from ..models.registry import build_model
 
-__all__ = ["Workload"]
+__all__ = ["Workload", "canonical_signature"]
+
+
+def canonical_signature(names: Sequence[str]) -> Tuple[str, ...]:
+    """The order-free identity of a mix: its sorted model-name tuple.
+
+    Workload order carries no semantics (the networks run
+    concurrently), so ``a+b`` and ``b+a`` are the same mix — and every
+    cache, dedup set, or admission score keyed on a mix must agree on
+    that.  This helper is the single sanctioned spelling; the doctrine
+    linter (rule RPR005) flags hand-rolled re-derivations in the
+    serving stack.
+    """
+    # repro: lint-ignore[RPR005] -- this IS the canonical helper
+    return tuple(sorted(names))
 
 
 class Workload:

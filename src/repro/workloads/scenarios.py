@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..models.registry import MODEL_NAMES
-from .mix import Workload
+from .mix import Workload, canonical_signature
 from .trace import ArrivalTrace, TraceBuilder, TraceConfig, generate_trace
 
 __all__ = [
@@ -458,7 +458,7 @@ def _burst_mixes(seed: int, count: int = 8, sizes: Tuple[int, ...] = (3, 2)) -> 
         size = sizes[len(mixes) % len(sizes)]
         chosen = rng.permutation(len(MODEL_NAMES))[:size]
         names = tuple(MODEL_NAMES[int(i)] for i in chosen)
-        signature = tuple(sorted(names))
+        signature = canonical_signature(names)
         if signature in seen:
             continue
         seen.add(signature)

@@ -1,0 +1,287 @@
+"""Runner mechanics: suppression, selection, formats, CLI exit codes."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AllowlistEntry,
+    LintConfig,
+    format_json,
+    format_text,
+    run_lint,
+)
+from repro.analysis.runner import main
+from repro.cli import main as cli_main
+
+VIOLATION = """
+import time
+
+def decide():
+    return time.perf_counter()
+"""
+
+
+def write(tmp_path, source, rel_path="src/repro/mod.py"):
+    file = tmp_path / rel_path
+    file.parent.mkdir(parents=True, exist_ok=True)
+    file.write_text(textwrap.dedent(source))
+    return rel_path
+
+
+def lint(tmp_path, rel_path, config=None):
+    return run_lint(
+        paths=[rel_path],
+        config=config or LintConfig(allowlist=()),
+        root=tmp_path,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pragma suppression
+# ----------------------------------------------------------------------
+class TestPragmas:
+    def test_inline_pragma_suppresses(self, tmp_path):
+        rel = write(
+            tmp_path,
+            """
+            import time
+
+            def decide():
+                return time.perf_counter()  # repro: lint-ignore[RPR002] -- host measurement
+            """,
+        )
+        report = lint(tmp_path, rel)
+        assert report.clean
+        assert [f.rule for f in report.suppressed] == ["RPR002"]
+        assert report.suppressed[0].suppressed_by.startswith("pragma")
+        assert "host measurement" in report.suppressed[0].suppressed_by
+
+    def test_previous_line_pragma_suppresses(self, tmp_path):
+        rel = write(
+            tmp_path,
+            """
+            import time
+
+            def decide():
+                # repro: lint-ignore[RPR002] -- host measurement
+                return time.perf_counter()
+            """,
+        )
+        report = lint(tmp_path, rel)
+        assert report.clean
+        assert len(report.suppressed) == 1
+
+    def test_def_header_pragma_covers_the_body(self, tmp_path):
+        rel = write(
+            tmp_path,
+            """
+            import time
+
+            def decide():  # repro: lint-ignore[RPR002] -- measurement wrapper
+                started = time.perf_counter()
+                return time.perf_counter() - started
+            """,
+        )
+        report = lint(tmp_path, rel)
+        assert report.clean
+        assert len(report.suppressed) == 2
+
+    def test_reasonless_pragma_does_not_suppress(self, tmp_path):
+        # The reason after `--` is mandatory: a pragma that does not
+        # say why suppresses nothing.
+        rel = write(
+            tmp_path,
+            """
+            import time
+
+            def decide():
+                return time.perf_counter()  # repro: lint-ignore[RPR002]
+            """,
+        )
+        report = lint(tmp_path, rel)
+        assert [f.rule for f in report.findings] == ["RPR002"]
+        assert not report.suppressed
+
+    def test_pragma_for_another_rule_does_not_suppress(self, tmp_path):
+        rel = write(
+            tmp_path,
+            """
+            import time
+
+            def decide():
+                return time.perf_counter()  # repro: lint-ignore[RPR001] -- wrong rule
+            """,
+        )
+        report = lint(tmp_path, rel)
+        assert [f.rule for f in report.findings] == ["RPR002"]
+
+    def test_multi_rule_pragma(self, tmp_path):
+        rel = write(
+            tmp_path,
+            """
+            import time
+
+            def decide(queue=[]):  # repro: lint-ignore[RPR002, RPR007] -- fixture
+                return time.perf_counter()
+            """,
+        )
+        report = lint(tmp_path, rel)
+        assert report.clean
+        assert sorted(f.rule for f in report.suppressed) == ["RPR002", "RPR007"]
+
+
+# ----------------------------------------------------------------------
+# Allowlist suppression
+# ----------------------------------------------------------------------
+class TestAllowlist:
+    def test_allowlist_entry_suppresses(self, tmp_path):
+        rel = write(tmp_path, VIOLATION)
+        config = LintConfig(
+            allowlist=(
+                AllowlistEntry(
+                    rule="RPR002", path=rel, reason="measurement module"
+                ),
+            )
+        )
+        report = lint(tmp_path, rel, config)
+        assert report.clean
+        assert report.suppressed[0].suppressed_by.startswith("allowlist")
+
+    def test_allowlist_is_rule_specific(self, tmp_path):
+        rel = write(tmp_path, VIOLATION)
+        config = LintConfig(
+            allowlist=(
+                AllowlistEntry(rule="RPR001", path=rel, reason="other rule"),
+            )
+        )
+        report = lint(tmp_path, rel, config)
+        assert [f.rule for f in report.findings] == ["RPR002"]
+
+
+# ----------------------------------------------------------------------
+# Selection and scoping
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_select_runs_only_named_rules(self, tmp_path):
+        rel = write(tmp_path, VIOLATION)
+        config = LintConfig(allowlist=()).with_selection(select=("RPR008",))
+        report = lint(tmp_path, rel, config)
+        assert report.rules_run == ("RPR008",)
+        assert report.clean
+
+    def test_ignore_drops_a_rule(self, tmp_path):
+        rel = write(tmp_path, VIOLATION)
+        config = LintConfig(allowlist=()).with_selection(ignore=("RPR002",))
+        report = lint(tmp_path, rel, config)
+        assert "RPR002" not in report.rules_run
+        assert report.clean
+
+
+# ----------------------------------------------------------------------
+# Broken input
+# ----------------------------------------------------------------------
+class TestSyntaxError:
+    def test_unparseable_file_yields_rpr000(self, tmp_path):
+        rel = write(tmp_path, "def broken(:\n")
+        report = lint(tmp_path, rel)
+        assert [f.rule for f in report.findings] == ["RPR000"]
+        assert "does not parse" in report.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Output formats
+# ----------------------------------------------------------------------
+class TestFormats:
+    def test_text_format_lists_findings_and_summary(self, tmp_path):
+        rel = write(tmp_path, VIOLATION)
+        report = lint(tmp_path, rel)
+        text = format_text(report)
+        assert f"{rel}:5:" in text
+        assert "RPR002" in text
+        assert "1 finding (0 suppressed) across 1 files" in text
+
+    def test_show_suppressed_appends_pragma_lines(self, tmp_path):
+        rel = write(
+            tmp_path,
+            """
+            import time
+
+            t = time.perf_counter()  # repro: lint-ignore[RPR002] -- fixture
+            """,
+        )
+        report = lint(tmp_path, rel)
+        text = format_text(report, show_suppressed=True)
+        assert "[suppressed]" in text
+        assert "fixture" in text
+
+    def test_json_format_round_trips(self, tmp_path):
+        rel = write(tmp_path, VIOLATION)
+        report = lint(tmp_path, rel)
+        payload = json.loads(format_json(report))
+        assert payload["clean"] is False
+        assert payload["files_checked"] == 1
+        assert payload["findings"][0]["rule"] == "RPR002"
+        assert payload["findings"][0]["path"] == rel
+        assert payload["findings"][0]["severity"] == "error"
+
+    def test_findings_are_deterministically_ordered(self, tmp_path):
+        write(tmp_path, VIOLATION, "src/repro/b.py")
+        write(tmp_path, VIOLATION, "src/repro/a.py")
+        report = run_lint(
+            paths=["src"], config=LintConfig(allowlist=()), root=tmp_path
+        )
+        assert [f.path for f in report.findings] == [
+            "src/repro/a.py",
+            "src/repro/b.py",
+        ]
+
+
+# ----------------------------------------------------------------------
+# CLI entry points
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_exit_one_on_findings(self, tmp_path, monkeypatch, capsys):
+        rel = write(tmp_path, VIOLATION)
+        monkeypatch.chdir(tmp_path)
+        assert main([rel]) == 1
+        assert "RPR002" in capsys.readouterr().out
+
+    def test_exit_zero_when_clean(self, tmp_path, monkeypatch, capsys):
+        rel = write(tmp_path, "VALUE = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main([rel]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, monkeypatch, capsys):
+        rel = write(tmp_path, "VALUE = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main([rel, "--select", "RPR999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_output_writes_json_artifact(self, tmp_path, monkeypatch, capsys):
+        rel = write(tmp_path, VIOLATION)
+        monkeypatch.chdir(tmp_path)
+        artifact = tmp_path / "findings.json"
+        assert main([rel, "--format", "json", "--output", str(artifact)]) == 1
+        payload = json.loads(artifact.read_text())
+        assert payload["findings"][0]["rule"] == "RPR002"
+        # stdout carries the same JSON document.
+        assert json.loads(capsys.readouterr().out) == payload
+
+    def test_list_rules_prints_catalog(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR004", "RPR008"):
+            assert code in out
+
+    def test_repro_lint_subcommand_dispatches(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        rel = write(tmp_path, VIOLATION)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", rel]) == 1
+        assert "RPR002" in capsys.readouterr().out
+        assert cli_main(["lint", rel, "--ignore", "RPR002"]) == 0

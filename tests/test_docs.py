@@ -159,6 +159,31 @@ def test_slo_surface_is_pinned():
         assert name in corpus, f"scenario {name!r} undocumented"
 
 
+def test_linting_guide_is_linked():
+    """The doctrine-linter guide is reachable from the entry docs."""
+    assert (ROOT / "docs" / "linting.md").is_file()
+    assert "docs/linting.md" in (ROOT / "README.md").read_text()
+    assert "linting.md" in (ROOT / "docs" / "architecture.md").read_text()
+
+
+def test_lint_surface_is_pinned():
+    """The lint subcommand, exports, and rule catalog stay documented."""
+    assert "lint" in _cli_subcommands()
+    import repro
+
+    for export in ("analysis", "canonical_signature"):
+        assert export in repro.__all__, export
+    # Every registered rule appears in the guide's catalog table by
+    # code and name -- adding a rule without documenting it fails here.
+    from repro.analysis import ALL_RULES
+
+    guide = (ROOT / "docs" / "linting.md").read_text()
+    assert len(ALL_RULES) >= 8
+    for rule in ALL_RULES:
+        assert rule.code in guide, rule.code
+        assert rule.name in guide, rule.name
+
+
 # ----------------------------------------------------------------------
 # Drift pinning: CLI subcommands and public exports must be documented
 # ----------------------------------------------------------------------
