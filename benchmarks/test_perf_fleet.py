@@ -26,6 +26,12 @@ Gates:
   makes the gate harder);
 * equal-or-better total expected score, and byte-identical mappings
   (the pooling must never change a decision).
+
+The second bench gates the elastic drain path: retiring a board by
+*warm-migrating* its residents (each hop a warm-started re-search on
+the destination) must spend >= 2x fewer estimator forward calls than
+cold re-placement of the same residents (a full-budget search per
+hop).  Wall-time is informational only — the counts are the gate.
 """
 
 import time
@@ -34,7 +40,8 @@ import pytest
 
 from repro.core import MCTSConfig, ScheduleRequest
 from repro.fleet import Cluster, FleetService
-from repro.workloads import fleet_scenario
+from repro.online import OnlineConfig
+from repro.workloads import ArrivalEvent, ArrivalTrace, fleet_scenario
 
 BOARDS = {
     "edge0": "hikey970",
@@ -132,3 +139,79 @@ def test_perf_fleet_pooled_burst_vs_sequential(benchmark):
             pooled_response.expected_score
             == sequential_response.expected_score
         )
+
+
+def test_perf_fleet_warm_drain_vs_cold_replacement(benchmark):
+    """Drain-and-retire must ride the warm-migration discount.
+
+    Two identically seeded two-board fleets host the same four
+    residents (greedy-load spreads them 2/2); each then drains
+    ``edge0``.  The warm fleet replayed its trace with warm re-search
+    enabled, so every migration hop re-plans the destination from its
+    warm tree; the cold fleet replayed with ``warm=False``, so every
+    hop pays a full-budget search.  Counters are installed *after* the
+    populate phase — they price only the drain.
+    """
+    trace = ArrivalTrace(
+        [
+            ArrivalEvent(0.0, "arrival", "t0", "alexnet"),
+            ArrivalEvent(1.0, "arrival", "t1", "mobilenet"),
+            ArrivalEvent(2.0, "arrival", "t2", "vgg13"),
+            ArrivalEvent(3.0, "arrival", "t3", "squeezenet"),
+        ]
+    )
+
+    def build() -> FleetService:
+        cluster = Cluster.from_presets(
+            {"edge0": "hikey970", "edge1": "hikey970"},
+            seed=SEED,
+            estimator=ESTIMATOR,
+            mcts_config=MCTSConfig(budget=BUDGET, seed=SEED + 5),
+        )
+        return FleetService(cluster, placement="greedy-load")
+
+    warm_fleet = build()
+    warm_fleet.run_trace(trace, online=OnlineConfig(warm_patience=60))
+    cold_fleet = build()
+    cold_fleet.run_trace(trace, online=OnlineConfig(warm=False))
+    residents = set(warm_fleet._tenants["edge0"])
+    assert len(residents) >= 2
+    assert set(cold_fleet._tenants["edge0"]) == residents
+
+    warm_counter = _count_forward_calls(warm_fleet)
+    cold_counter = _count_forward_calls(cold_fleet)
+
+    def run():
+        warm_started = time.perf_counter()  # repro: lint-ignore[RPR002] -- informational host timing, not gated
+        warm_records = warm_fleet.drain_board("edge0", time_s=10.0)
+        warm_s = time.perf_counter() - warm_started  # repro: lint-ignore[RPR002] -- informational host timing, not gated
+        cold_started = time.perf_counter()  # repro: lint-ignore[RPR002] -- informational host timing, not gated
+        cold_records = cold_fleet.drain_board("edge0", time_s=10.0)
+        cold_s = time.perf_counter() - cold_started  # repro: lint-ignore[RPR002] -- informational host timing, not gated
+        return warm_records, warm_s, cold_records, cold_s
+
+    warm_records, warm_s, cold_records, cold_s = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    warm_calls = warm_counter["calls"]
+    cold_calls = cold_counter["calls"]
+    assert warm_calls > 0
+    call_reduction = cold_calls / warm_calls
+    print(
+        f"\n[PERF-FLEET] drain of {len(residents)} residents: warm "
+        f"migration {warm_calls} estimator forward calls ({warm_s:.2f}s) "
+        f"vs cold re-placement {cold_calls} calls ({cold_s:.2f}s) -- "
+        f"{call_reduction:.1f}x fewer calls"
+    )
+
+    # Both arms conserved every resident on the survivor...
+    for fleet in (warm_fleet, cold_fleet):
+        assert fleet.cluster.board_names == ("edge1",)
+        assert residents <= set(fleet._tenants["edge1"])
+    migration_pairs = 2 * len(residents)
+    assert len(warm_records) == migration_pairs + 1  # + retirement marker
+    assert len(cold_records) == migration_pairs + 1
+    # ...and the warm path is the acceptance gate: >= 2x fewer
+    # estimator forward calls than cold re-placement.
+    assert call_reduction >= 2.0

@@ -55,8 +55,16 @@ from .core import (
 from .engine import SchedulingEngine
 from .estimator import EmbeddingSpace, ThroughputEstimator
 from .evaluation import TimelineReport
-from .fleet import Board, Cluster, FleetResponse, FleetService, FleetStats
-from .hw import Platform, hikey970
+from .fleet import (
+    Autoscaler,
+    Board,
+    Cluster,
+    ElasticPolicy,
+    FleetResponse,
+    FleetService,
+    FleetStats,
+)
+from .hw import Platform, cloud_tier, hikey970
 from .models import MODEL_NAMES, build_model
 from .online import OnlineConfig, OnlineDecision, OnlineScheduler
 from .pipeline import OmniBoostSystem, build_system
@@ -66,6 +74,8 @@ from .sim import BoardSimulator, BoardUnresponsiveError, Mapping, SimConfig
 from .workloads import (
     ArrivalEvent,
     ArrivalTrace,
+    ChaosPlan,
+    FailureEvent,
     TraceConfig,
     Workload,
     WorkloadGenerator,
@@ -77,18 +87,22 @@ from .workloads import (
     generate_trace,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "ArrivalEvent",
     "ArrivalTrace",
+    "Autoscaler",
     "Board",
     "BoardSimulator",
     "BoardUnresponsiveError",
+    "ChaosPlan",
     "Cluster",
+    "ElasticPolicy",
     "EmbeddingSpace",
+    "FailureEvent",
     "FleetResponse",
     "FleetService",
     "FleetStats",
@@ -126,6 +140,7 @@ __all__ = [
     "canonical_signature",
     "churn_scenario",
     "churn_scenario_names",
+    "cloud_tier",
     "core",
     "estimator",
     "evaluation",

@@ -17,7 +17,9 @@ Subcommands mirror the lifecycle of a deployment:
 * ``fleet-serve`` -- serve a mix burst (or replay a fleet churn trace
   with ``--trace``) across a cluster of named board presets through
   the :class:`~repro.fleet.FleetService`: estimator-scored placement,
-  per-board pooled search, fleet stats rollup;
+  per-board pooled search, fleet stats rollup; ``--chaos BOARD@TIME``
+  kills boards mid-replay (orphans recover by warm re-search) and
+  ``--elastic`` attaches the policy-driven autoscaler;
 * ``lint``        -- doctrine static analysis over the repo's own
   source (:mod:`repro.analysis`): determinism, wall-clock confinement,
   count-based perf gates, batch invariance, canonical cache keys,
@@ -351,14 +353,51 @@ def _cmd_serve_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_plan(args: argparse.Namespace):
+    """The :class:`~repro.workloads.ChaosPlan` of the ``--chaos`` flags."""
+    from .workloads import ChaosPlan, FailureEvent
+
+    if not args.chaos:
+        return None
+    if not args.trace:
+        raise SystemExit("--chaos only applies to --trace replays")
+    failures = []
+    for spec in args.chaos:
+        board, sep, time_text = spec.rpartition("@")
+        try:
+            time_s = float(time_text) if sep and board else None
+        except ValueError:
+            time_s = None
+        if time_s is None:
+            raise SystemExit(
+                f"--chaos expects BOARD@TIME (e.g. edge1@10.0), got {spec!r}"
+            )
+        failures.append(FailureEvent(time_s=time_s, board=board))
+    failures.sort(key=lambda failure: failure.time_s)
+    try:
+        return ChaosPlan(tuple(failures), name="cli")
+    except ValueError as error:
+        raise SystemExit(f"--chaos: {error}") from None
+
+
 def _cmd_fleet_serve(args: argparse.Namespace) -> int:
     from .core import MCTSConfig
     from .evaluation import write_timeline_json
-    from .fleet import Cluster, FleetService
+    from .fleet import Cluster, ElasticPolicy, FleetService
     from .online import OnlineConfig
     from .workloads import fleet_scenario, fleet_scenario_names
 
     (scheduler_name,) = _validate_scheduler_names([args.scheduler])
+    chaos = _chaos_plan(args)
+    elastic = None
+    if args.elastic:
+        if not args.trace:
+            raise SystemExit("--elastic only applies to --trace replays")
+        elastic = ElasticPolicy(
+            preset=args.elastic_preset,
+            max_boards=args.elastic_max_boards,
+            seed=args.seed,
+        )
     cluster = Cluster.from_presets(
         [(f"edge{index}", preset) for index, preset in enumerate(args.boards)],
         seed=args.seed,
@@ -397,7 +436,10 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         if args.events is not None:
             trace = trace.truncated(args.events)
         report = service.run_trace(
-            trace, online=OnlineConfig(warm_patience=args.warm_patience)
+            trace,
+            online=OnlineConfig(warm_patience=args.warm_patience),
+            chaos=chaos,
+            elastic=elastic,
         )
         print(report.event_table())
         print(f"\n{report.summary()}")
@@ -406,6 +448,17 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
             print(
                 f"  {board}: {len(sub.records)} events, "
                 f"{sub.warm_fraction:.0%} warm"
+            )
+        extent = report.fleet_size_extent
+        if extent is not None:
+            print(
+                f"  fleet size {extent[0]}-{extent[1]} "
+                f"(final {report.final_fleet_size}): "
+                f"{report.failure_events} failure(s), "
+                f"{report.recovered_events} recovered, "
+                f"{report.scale_out_events} scale-out(s), "
+                f"{report.scale_in_events} scale-in(s), "
+                f"{report.drained_events} drained"
             )
         print(f"\n{service.stats().summary()}")
         if args.report:
@@ -779,8 +832,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default="request-burst",
         help="fleet scenario supplying the burst (request-burst, "
-        "fleet-churn, heavy-split, priority-storm, slo-squeeze) or, "
-        "with --trace, the churn trace",
+        "fleet-churn, heavy-split, priority-storm, slo-squeeze, "
+        "board-failure, flash-crowd) or, with --trace, the churn trace",
     )
     fleet.add_argument(
         "--boards",
@@ -789,7 +842,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PRESET",
         help="board platform presets, one per board (named edge0..edgeN); "
         "presets: hikey970, hikey970_with_npu, cpu_only_board, "
-        "symmetric_board",
+        "symmetric_board, cloud_tier",
     )
     fleet.add_argument(
         "--placement",
@@ -808,6 +861,37 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--events", type=_positive_int, default=None)
     fleet.add_argument("--trace-seed", type=int, default=0)
     fleet.add_argument("--warm-patience", type=_positive_int, default=60)
+    fleet.add_argument(
+        "--chaos",
+        action="append",
+        default=None,
+        metavar="BOARD@TIME",
+        help="with --trace: kill the named board when the replay "
+        "reaches the timestamp (repeatable); its orphaned tenants "
+        "recover onto the survivors by warm re-search",
+    )
+    fleet.add_argument(
+        "--elastic",
+        action="store_true",
+        help="with --trace: attach the policy-driven autoscaler "
+        "(scale-out under queue/attainment pressure, drain-and-retire "
+        "back to baseline when load recedes)",
+    )
+    fleet.add_argument(
+        "--elastic-preset",
+        type=str,
+        default="cloud_tier",
+        metavar="PRESET",
+        help="board preset scale-outs provision from (default: "
+        "cloud_tier, the network-taxed onload tier)",
+    )
+    fleet.add_argument(
+        "--elastic-max-boards",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="fleet-size ceiling for scale-out (default: 4)",
+    )
     fleet.add_argument(
         "--report",
         type=str,

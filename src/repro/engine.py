@@ -160,6 +160,46 @@ class ServiceStats:
             self.queued_by_priority.get(priority, 0) + 1
         )
 
+    def absorb(self, other: "ServiceStats") -> None:
+        """Fold another snapshot's counters into this one.
+
+        The fleet rollup (:attr:`repro.fleet.FleetStats.combined`) sums
+        live *and* retired boards through this method, so a board
+        drained or killed mid-trace keeps contributing its request and
+        wait totals instead of vanishing from the aggregate.
+        """
+        self.requests_served += other.requests_served
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_bypasses += other.cache_bypasses
+        self.pooled_eval_batches += other.pooled_eval_batches
+        self.pooled_evaluations += other.pooled_evaluations
+        self.estimator_queries += other.estimator_queries
+        self.estimator_queries_actual += other.estimator_queries_actual
+        self.trace_events += other.trace_events
+        self.trace_reschedules += other.trace_reschedules
+        self.trace_warm_reschedules += other.trace_warm_reschedules
+        self.estimator_plan_compiles += other.estimator_plan_compiles
+        self.slo_requests += other.slo_requests
+        self.slo_attained += other.slo_attained
+        for priority, count in other.requests_by_priority.items():
+            self.requests_by_priority[priority] = (
+                self.requests_by_priority.get(priority, 0) + count
+            )
+        for priority, wait_s in other.wait_s_by_priority.items():
+            self.wait_s_by_priority[priority] = (
+                self.wait_s_by_priority.get(priority, 0.0) + wait_s
+            )
+        for priority, ratios in other.slo_ratios_by_priority.items():
+            self.slo_ratios_by_priority.setdefault(priority, []).extend(ratios)
+        for counters, source in (
+            (self.rejections_by_priority, other.rejections_by_priority),
+            (self.preemptions_by_priority, other.preemptions_by_priority),
+            (self.queued_by_priority, other.queued_by_priority),
+        ):
+            for priority, count in source.items():
+                counters[priority] = counters.get(priority, 0) + count
+
     def slo_percentiles(
         self,
         percentiles: Sequence[int] = (50, 95, 99),

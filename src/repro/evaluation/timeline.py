@@ -48,6 +48,16 @@ class TimelineRecord:
     against its throughput floor (``expected_score / floor``; >= 1.0
     attains).  All three serialize only when set, so enforcement-off
     exports stay byte-identical to the pre-SLO format.
+
+    Elastic replays add two more annotation families, serialized only
+    when set for the same byte-identity reason: ``fleet_size`` marks a
+    fleet-composition change (the size *after* it), and ``action``
+    gains ``"board-failed"`` (a :class:`~repro.workloads.trace.ChaosPlan`
+    fault, record ``kind="failure"``), ``"recovered"`` (an orphaned
+    resident re-placed after a failure), ``"scale-out"`` /
+    ``"scale-in"`` (autoscaler moves, record ``kind="scale"``),
+    ``"drained"`` (a resident warm-migrated off a retiring board) and
+    ``"retired"`` (a manual :meth:`repro.fleet.FleetService.drain_board`).
     """
 
     index: int
@@ -70,6 +80,7 @@ class TimelineRecord:
     action: str = ""
     slo_ratio: Optional[float] = None
     slo_attained: Optional[bool] = None
+    fleet_size: Optional[int] = None
 
     def to_dict(self) -> Dict:
         payload = {
@@ -98,6 +109,8 @@ class TimelineRecord:
         if self.slo_ratio is not None:
             payload["slo_ratio"] = self.slo_ratio
             payload["slo_attained"] = self.slo_attained
+        if self.fleet_size is not None:
+            payload["fleet_size"] = self.fleet_size
         return payload
 
 
@@ -172,6 +185,50 @@ class TimelineReport:
     @property
     def queued_events(self) -> int:
         return sum(1 for r in self.records if r.action == "queued")
+
+    # ------------------------------------------------------------------
+    # Elastic-fleet annotations (chaos faults and autoscaler moves)
+    # ------------------------------------------------------------------
+    @property
+    def failure_events(self) -> int:
+        """Boards killed by a chaos plan during this replay."""
+        return sum(1 for r in self.records if r.action == "board-failed")
+
+    @property
+    def recovered_events(self) -> int:
+        """Orphaned residents re-placed after board failures."""
+        return sum(1 for r in self.records if r.action == "recovered")
+
+    @property
+    def scale_out_events(self) -> int:
+        return sum(1 for r in self.records if r.action == "scale-out")
+
+    @property
+    def scale_in_events(self) -> int:
+        return sum(1 for r in self.records if r.action == "scale-in")
+
+    @property
+    def drained_events(self) -> int:
+        """Residents warm-migrated off retiring boards (one per hop)."""
+        return sum(
+            1
+            for r in self.records
+            if r.action == "drained" and r.kind == "arrival"
+        )
+
+    @property
+    def fleet_size_extent(self) -> Optional[Tuple[int, int]]:
+        """(min, max) fleet size over the composition-change markers."""
+        sizes = [r.fleet_size for r in self.records if r.fleet_size is not None]
+        if not sizes:
+            return None
+        return (min(sizes), max(sizes))
+
+    @property
+    def final_fleet_size(self) -> Optional[int]:
+        """Fleet size after the last composition change (None if none)."""
+        sizes = [r.fleet_size for r in self.records if r.fleet_size is not None]
+        return sizes[-1] if sizes else None
 
     def slo_attainment_rate(self, priority: Optional[int] = None) -> float:
         """Fraction of SLO-annotated events that attained their target."""
@@ -300,6 +357,15 @@ class TimelineReport:
                 f"{self.queued_events} queued, "
                 f"{self.preempted_events} preempted"
             )
+        if self.fleet_size_extent is not None:
+            low, high = self.fleet_size_extent
+            text += (
+                f"; fleet {low}-{high} boards "
+                f"({self.failure_events} failed, "
+                f"{self.recovered_events} recovered, "
+                f"{self.scale_out_events} scale-outs, "
+                f"{self.scale_in_events} scale-ins)"
+            )
         return text
 
     def to_dict(self) -> Dict:
@@ -331,6 +397,18 @@ class TimelineReport:
                 "rejected": self.rejected_events,
                 "queued": self.queued_events,
                 "preempted": self.preempted_events,
+            }
+        if self.fleet_size_extent is not None:
+            low, high = self.fleet_size_extent
+            payload["elastic"] = {
+                "fleet_size_min": low,
+                "fleet_size_max": high,
+                "final_fleet_size": self.final_fleet_size,
+                "failures": self.failure_events,
+                "recovered": self.recovered_events,
+                "scale_outs": self.scale_out_events,
+                "scale_ins": self.scale_in_events,
+                "drained": self.drained_events,
             }
         return payload
 

@@ -14,7 +14,14 @@ stack out:
   one :class:`~repro.engine.SchedulingEngine` per board (pooled MCTS
   leaf evaluations per board), replays churn traces fleet-wide with
   cross-board re-placement, and rolls every board's counters into a
-  :class:`~repro.fleet.service.FleetStats`.
+  :class:`~repro.fleet.service.FleetStats`;
+* :class:`~repro.fleet.elastic.Autoscaler` — policy-driven elasticity
+  (:class:`~repro.fleet.elastic.ElasticPolicy`): scale-out provisions
+  preset boards (the :func:`~repro.hw.presets.cloud_tier` onload tier
+  by default) under queue or attainment pressure, scale-in drains and
+  retires the least-loaded safe board; chaos replays
+  (:class:`~repro.workloads.trace.ChaosPlan`) kill boards mid-trace
+  and recover the orphans by warm re-search.
 
 Serving a burst across three boards::
 
@@ -33,14 +40,17 @@ semantics and the stats rollup.
 """
 
 from .cluster import BOARD_PRESETS, Board, Cluster
+from .elastic import Autoscaler, ElasticPolicy
 from .placement import BoardPlacement, FleetPlacer, PlacementError
 from .service import FleetResponse, FleetService, FleetStats
 
 __all__ = [
+    "Autoscaler",
     "BOARD_PRESETS",
     "Board",
     "BoardPlacement",
     "Cluster",
+    "ElasticPolicy",
     "FleetPlacer",
     "FleetResponse",
     "FleetService",

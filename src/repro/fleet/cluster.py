@@ -42,6 +42,7 @@ from ..builder import OmniBoostSystem, SystemBuilder
 from ..core.mcts import MCTSConfig
 from ..hw.platform_ import Platform
 from ..hw.presets import (
+    cloud_tier,
     cpu_only_board,
     hikey970,
     hikey970_with_npu,
@@ -56,6 +57,7 @@ BOARD_PRESETS: Dict[str, Callable[[], Platform]] = {
     "hikey970_with_npu": hikey970_with_npu,
     "cpu_only_board": cpu_only_board,
     "symmetric_board": symmetric_board,
+    "cloud_tier": cloud_tier,
 }
 
 #: Seed spacing between boards: wide enough that no stage seed of one
@@ -104,14 +106,13 @@ class Cluster:
         if not boards:
             raise ValueError("a cluster needs at least one board")
         self._boards: Dict[str, Board] = {}
+        #: Assembly defaults reused by :meth:`provision` so an elastic
+        #: scale-out builds boards the same way :meth:`from_presets`
+        #: built the originals (populated there; None otherwise).
+        self.estimator_defaults: Optional[Dict] = None
+        self.mcts_default: Optional[MCTSConfig] = None
         for board in boards:
-            if not isinstance(board, Board):
-                raise TypeError(
-                    f"expected Board, got {type(board).__name__}"
-                )
-            if board.name in self._boards:
-                raise ValueError(f"duplicate board name {board.name!r}")
-            self._boards[board.name] = board
+            self.add_board(board)
 
     # ------------------------------------------------------------------
     # Assembly
@@ -152,7 +153,53 @@ class Cluster:
             if mcts_config is not None:
                 builder.with_mcts_config(mcts_config)
             built.append(Board(name=name, source=builder, preset=preset))
-        return cls(built)
+        cluster = cls(built)
+        cluster.estimator_defaults = dict(estimator) if estimator else None
+        cluster.mcts_default = mcts_config
+        return cluster
+
+    # ------------------------------------------------------------------
+    # Elasticity (the autoscaler's grow/shrink hooks)
+    # ------------------------------------------------------------------
+    def add_board(self, board: Board) -> None:
+        """Append ``board`` to the cluster order (names stay unique)."""
+        if not isinstance(board, Board):
+            raise TypeError(f"expected Board, got {type(board).__name__}")
+        if board.name in self._boards:
+            raise ValueError(f"duplicate board name {board.name!r}")
+        self._boards[board.name] = board
+
+    def remove_board(self, name: str) -> Board:
+        """Drop a board by name; a cluster never shrinks to zero."""
+        board = self.board(name)
+        if len(self._boards) == 1:
+            raise ValueError(
+                f"cannot remove {name!r}: a cluster needs at least one board"
+            )
+        del self._boards[name]
+        return board
+
+    def provision(self, name: str, preset: str, seed: int = 0) -> Board:
+        """Build and append a fresh preset board on its own seed lane.
+
+        Reuses the assembly defaults captured by :meth:`from_presets`
+        (estimator regimen, MCTS config) so an elastically provisioned
+        board is configured like its siblings; nothing is profiled or
+        trained until placement first routes a request there.
+        """
+        if preset not in BOARD_PRESETS:
+            raise KeyError(
+                f"unknown board preset {preset!r}; available: "
+                f"{', '.join(sorted(BOARD_PRESETS))}"
+            )
+        builder = SystemBuilder(seed=seed).with_platform(BOARD_PRESETS[preset]())
+        if self.estimator_defaults is not None:
+            builder.with_estimator(**self.estimator_defaults)
+        if self.mcts_default is not None:
+            builder.with_mcts_config(self.mcts_default)
+        board = Board(name=name, source=builder, preset=preset)
+        self.add_board(board)
+        return board
 
     # ------------------------------------------------------------------
     # Access

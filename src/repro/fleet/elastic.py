@@ -1,0 +1,272 @@
+"""Policy-driven fleet elasticity: the :class:`Autoscaler`.
+
+PR 5 gave the fleet placement and migration over a *fixed*
+:class:`~repro.fleet.Cluster`; this module makes the cluster a control
+variable.  An :class:`ElasticPolicy` names the scale signals and their
+thresholds, and the :class:`Autoscaler` applies them once per event
+group inside :meth:`repro.fleet.FleetService.run_trace`:
+
+* **Scale-out** — when the deferred-arrival queue reaches
+  ``scale_out_queue_depth``, or the windowed p95 SLO attainment
+  (:class:`~repro.slo.AttainmentTracker`, the signal RankMap-style
+  priority management keys on) falls below ``p95_floor``, a fresh
+  board is provisioned from ``preset`` — by default the DynO-style
+  :func:`~repro.hw.presets.cloud_tier` onload target — and joins the
+  placement order before queued arrivals are retried.  The decision is
+  **monotone in queue depth**: more load never provisions fewer boards
+  (pinned in ``tests/test_fleet_elastic.py``).
+* **Scale-in** — when the queue is empty and the fleet sits above its
+  baseline, the least-loaded board holding at most ``drain_residency``
+  residents is drained over the cross-board migration path (each
+  resident warm-migrates to a surviving board) and retired.  A
+  scale-in only commits if a dry-run drain plan proves every resident
+  has a feasible destination *and* — under an
+  :class:`~repro.slo.SLOPolicy` floor — that each resident's
+  load-discounted admission score at its destination still clears the
+  floor: shrinking the fleet never violates a resident's
+  :class:`~repro.core.base.SLOTarget`.
+
+Both decisions read only deterministic replay state (queue depth,
+tenancy, seeded attainment ratios) — never a clock — so an elastic
+replay is exactly reproducible from ``(seed, trace, policy)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Optional
+
+from ..evaluation.timeline import TimelineRecord
+from ..slo import AttainmentTracker
+from .cluster import BOARD_PRESETS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .service import FleetService
+
+__all__ = ["Autoscaler", "ElasticPolicy"]
+
+
+@dataclass(frozen=True)
+class ElasticPolicy:
+    """Thresholds governing when a fleet grows and shrinks.
+
+    Attributes
+    ----------
+    preset:
+        :data:`~repro.fleet.BOARD_PRESETS` name scale-outs provision
+        from; the default is the :func:`~repro.hw.presets.cloud_tier`
+        overflow target.
+    max_boards:
+        Hard ceiling on fleet size; scale-out is a no-op at the cap.
+    min_boards:
+        Floor for scale-in.  ``None`` means the fleet's size when the
+        autoscaler attaches (the replay's baseline).
+    scale_out_queue_depth:
+        Deferred arrivals that trigger a scale-out.
+    p95_floor:
+        Scale out when the windowed p95 attainment ratio drops below
+        this (``None`` disables the attainment signal; 1.0 means "95%
+        of recent outcomes met their floor").
+    min_attainment_samples:
+        Observations the attainment window needs before its p95 is
+        trusted — a cold window must not trigger a scale-out.
+    drain_residency:
+        A board is a scale-in candidate only while hosting at most
+        this many residents (bounds the migration work of one drain).
+    seed:
+        Seed base for provisioned boards; board lanes continue the
+        cluster's ``seed + 1000 * position`` scheme past the initial
+        fleet.
+    """
+
+    preset: str = "cloud_tier"
+    max_boards: int = 4
+    min_boards: Optional[int] = None
+    scale_out_queue_depth: int = 2
+    p95_floor: Optional[float] = None
+    min_attainment_samples: int = 8
+    drain_residency: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.preset not in BOARD_PRESETS:
+            raise KeyError(
+                f"unknown board preset {self.preset!r}; available: "
+                f"{', '.join(sorted(BOARD_PRESETS))}"
+            )
+        if self.max_boards < 1:
+            raise ValueError(
+                f"max_boards must be >= 1, got {self.max_boards}"
+            )
+        if self.min_boards is not None and self.min_boards < 1:
+            raise ValueError(
+                f"min_boards must be >= 1, got {self.min_boards}"
+            )
+        if self.scale_out_queue_depth < 1:
+            raise ValueError(
+                "scale_out_queue_depth must be >= 1, got "
+                f"{self.scale_out_queue_depth}"
+            )
+        if self.p95_floor is not None and self.p95_floor <= 0:
+            raise ValueError(
+                f"p95_floor must be > 0, got {self.p95_floor}"
+            )
+        if self.min_attainment_samples < 1:
+            raise ValueError(
+                "min_attainment_samples must be >= 1, got "
+                f"{self.min_attainment_samples}"
+            )
+        if self.drain_residency < 0:
+            raise ValueError(
+                f"drain_residency must be >= 0, got {self.drain_residency}"
+            )
+
+    def wants_scale_out(
+        self, queue_depth: int, p95: Optional[float] = None
+    ) -> bool:
+        """Does the load picture call for another board?
+
+        Monotone in ``queue_depth`` by construction (a single >=
+        threshold), independent of everything but the two signals —
+        the property the autoscaler tests pin.
+        """
+        if queue_depth >= self.scale_out_queue_depth:
+            return True
+        return (
+            self.p95_floor is not None
+            and p95 is not None
+            and p95 < self.p95_floor
+        )
+
+
+class Autoscaler:
+    """Applies an :class:`ElasticPolicy` to one fleet, group by group.
+
+    Constructed per replay by
+    :meth:`~repro.fleet.FleetService.run_trace` (or directly for
+    manual driving); captures the fleet's current size as the
+    scale-in baseline.  :meth:`step` returns the timeline records of
+    whatever move it committed — a ``"scale-out"`` marker, or a
+    drain's ``"drained"`` pairs plus ``"scale-in"`` marker — and at
+    most one move per step, so the fleet changes by one board per
+    event group.
+    """
+
+    def __init__(self, service: "FleetService", policy: ElasticPolicy) -> None:
+        self.service = service
+        self.policy = policy
+        self.baseline_size = len(service.cluster)
+        self.floor = (
+            policy.min_boards
+            if policy.min_boards is not None
+            else self.baseline_size
+        )
+        self.scale_outs = 0
+        self.scale_ins = 0
+
+    def step(
+        self,
+        time_s: float,
+        queue_depth: int,
+        attainment: Optional[AttainmentTracker] = None,
+        start_index: int = 0,
+        record_mappings: bool = False,
+    ) -> List[TimelineRecord]:
+        """Decide and commit at most one scale move for this group."""
+        service = self.service
+        policy = self.policy
+        p95 = None
+        if (
+            attainment is not None
+            and len(attainment) >= policy.min_attainment_samples
+        ):
+            p95 = attainment.percentile(95)
+        if len(service.cluster) < policy.max_boards and (
+            policy.wants_scale_out(queue_depth, p95)
+        ):
+            board = service.provision_board(
+                policy.preset, seed_base=policy.seed
+            )
+            self.scale_outs += 1
+            return [
+                replace(
+                    service._fleet_marker(
+                        time_s, "scale", board.name, "scale-out"
+                    ),
+                    index=start_index,
+                )
+            ]
+        if queue_depth == 0 and len(service.cluster) > self.floor:
+            victim = self._scale_in_victim()
+            if victim is not None:
+                moves = service._drain_and_retire(
+                    victim,
+                    time_s,
+                    start_index,
+                    record_mappings,
+                    action="scale-in",
+                )
+                self.scale_ins += 1
+                return moves
+        return []
+
+    def _scale_in_victim(self) -> Optional[str]:
+        """The least-loaded provisioned board provably safe to retire.
+
+        Only elastically provisioned boards are candidates — scale-in
+        returns the rented onload tier, never the baseline edge fleet
+        (the residents flow *back* to the edge, the DynO direction).
+        Candidates in (load, newest-first) order; each must pass the
+        dry-run drain plan (every resident has a destination) and the
+        SLO safety check (:meth:`_would_violate_slo`).  ``None`` when
+        no board qualifies — the fleet stays as it is.
+        """
+        service = self.service
+        load = {
+            name: len(service._tenants[name])
+            for name in service.cluster.board_names
+        }
+        candidates = [
+            name for name in load if name in service._elastic_names
+        ]
+        order = service.placer.order
+        for name in sorted(
+            candidates, key=lambda name: (load[name], -order.index(name))
+        ):
+            if load[name] > self.policy.drain_residency:
+                break  # sorted ascending: everything after is fuller
+            plan = service._drain_plan(name)
+            if plan is None:
+                continue
+            if self._would_violate_slo(name, plan, load):
+                continue
+            return name
+        return None
+
+    def _would_violate_slo(self, victim, plan, load) -> bool:
+        """Would executing ``plan`` break a resident's floor?
+
+        Replays the admission math at each destination: the resident's
+        cached base score discounted by the destination's load at its
+        arrival (earlier migrations of the same plan included) must
+        still clear the policy floor.  No floor — nothing to violate.
+        """
+        service = self.service
+        slo = service.slo
+        if slo is None:
+            return False
+        floor = slo.floor_for(None)
+        if floor is None:
+            return False
+        controller = service._admission_controller()
+        dest_load = {
+            name: count for name, count in load.items() if name != victim
+        }
+        for _, model, _, dest in plan:
+            effective = controller.base_score((model,)) / (
+                1.0 + slo.load_penalty * dest_load[dest]
+            )
+            if effective < floor:
+                return True
+            dest_load[dest] += 1
+        return False

@@ -124,6 +124,14 @@ class FleetPlacer:
         self.greedy_fallbacks = 0
         self.split_mixes = 0
 
+    def update_order(self, order: Sequence[str]) -> None:
+        """Track an elastic fleet: reset the candidate/tie-break order.
+
+        Called by the service when a board is provisioned, drained, or
+        killed; counters are untouched (they are fleet-lifetime).
+        """
+        self.order = tuple(order)
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------

@@ -48,6 +48,7 @@ A three-board fleet in four lines::
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -58,13 +59,15 @@ from ..online import OnlineConfig, OnlineScheduler
 from ..sim.mapping import Mapping
 from ..slo import (
     AdmissionController,
+    AttainmentTracker,
     SLOPolicy,
     make_estimator_scorer,
     preemption_victims,
 )
 from ..workloads.mix import Workload
-from ..workloads.trace import ArrivalEvent, ArrivalTrace
-from .cluster import Cluster
+from ..workloads.trace import ArrivalEvent, ArrivalTrace, ChaosPlan
+from .cluster import _SEED_STRIDE, Board, Cluster
+from .elastic import Autoscaler, ElasticPolicy
 from .placement import BoardPlacement, FleetPlacer, PlacementError
 
 __all__ = ["FleetResponse", "FleetService", "FleetStats"]
@@ -152,6 +155,10 @@ class FleetStats:
     """The fleet rollup: per-board engine counters + placement counters."""
 
     per_board: Dict[str, ServiceStats] = field(default_factory=dict)
+    #: Final counter snapshots of boards drained or killed mid-trace —
+    #: :attr:`combined` sums these too, so retiring a board never
+    #: un-counts the requests and waits it already served.
+    retired_boards: Dict[str, ServiceStats] = field(default_factory=dict)
     requests_served: int = 0
     placements: int = 0
     scored_placements: int = 0
@@ -174,43 +181,17 @@ class FleetStats:
         waits, SLO ratios, rejections, preemptions, queue deferrals —
         plus the fleet-level admission actions (which have no board to
         live on), so ``combined`` is the one place per-priority
-        service levels are complete.
+        service levels are complete.  Boards retired mid-trace
+        (drained by the autoscaler or killed by a chaos plan) keep
+        contributing through :attr:`retired_boards` — totals are
+        conserved across fleet-composition changes (pinned in
+        ``tests/test_fleet_elastic.py``).
         """
         total = ServiceStats()
         for stats in self.per_board.values():
-            total.requests_served += stats.requests_served
-            total.cache_hits += stats.cache_hits
-            total.cache_misses += stats.cache_misses
-            total.cache_bypasses += stats.cache_bypasses
-            total.pooled_eval_batches += stats.pooled_eval_batches
-            total.pooled_evaluations += stats.pooled_evaluations
-            total.estimator_queries += stats.estimator_queries
-            total.estimator_queries_actual += stats.estimator_queries_actual
-            total.trace_events += stats.trace_events
-            total.trace_reschedules += stats.trace_reschedules
-            total.trace_warm_reschedules += stats.trace_warm_reschedules
-            total.estimator_plan_compiles += stats.estimator_plan_compiles
-            total.slo_requests += stats.slo_requests
-            total.slo_attained += stats.slo_attained
-            for priority, count in stats.requests_by_priority.items():
-                total.requests_by_priority[priority] = (
-                    total.requests_by_priority.get(priority, 0) + count
-                )
-            for priority, wait in stats.wait_s_by_priority.items():
-                total.wait_s_by_priority[priority] = (
-                    total.wait_s_by_priority.get(priority, 0.0) + wait
-                )
-            for priority, ratios in stats.slo_ratios_by_priority.items():
-                total.slo_ratios_by_priority.setdefault(
-                    priority, []
-                ).extend(ratios)
-            for source, sink in (
-                (stats.rejections_by_priority, total.rejections_by_priority),
-                (stats.preemptions_by_priority, total.preemptions_by_priority),
-                (stats.queued_by_priority, total.queued_by_priority),
-            ):
-                for priority, count in source.items():
-                    sink[priority] = sink.get(priority, 0) + count
+            total.absorb(stats)
+        for stats in self.retired_boards.values():
+            total.absorb(stats)
         for source, sink in (
             (self.rejections_by_priority, total.rejections_by_priority),
             (self.queued_by_priority, total.queued_by_priority),
@@ -222,9 +203,12 @@ class FleetStats:
     def summary(self) -> str:
         """A one-paragraph fleet summary."""
         combined = self.combined
+        boards = f"{len(self.per_board)} board(s)"
+        if self.retired_boards:
+            boards += f" (+{len(self.retired_boards)} retired)"
         text = (
             f"{self.requests_served} requests over "
-            f"{len(self.per_board)} board(s): "
+            f"{boards}: "
             f"{self.placements} placements "
             f"({self.scored_placements} scored, "
             f"{self.placement_evaluations} placement evaluations, "
@@ -297,20 +281,20 @@ class FleetService:
             )
         self.cluster = cluster
         self.scheduler_name = scheduler.strip().lower()
-        self._engines: Dict[str, SchedulingEngine] = {
-            board.name: SchedulingEngine(
-                board.source,
-                scheduler=scheduler,
-                cache_decisions=cache_decisions,
-                board=board.name,
-            )
-            for board in cluster
-        }
+        self._cache_decisions = cache_decisions
+        self._engines: Dict[str, SchedulingEngine] = {}
+        #: Live tenancy (run_trace): board -> tenant id -> (model, priority).
+        #: Reset at the start of every replay — a trace starts from an
+        #: empty fleet, exactly like the single-board engine builds a
+        #: fresh OnlineScheduler per run_trace.
+        self._tenants: Dict[str, Dict[str, Tuple[str, int]]] = {}
         self.placer = FleetPlacer(
             lambda name: self._engines[name].scheduler,
             order=cluster.board_names,
             mode=placement,
         )
+        for board in cluster:
+            self._register_board(board)
         self._requests_served = 0
         self._split_requests = 0
         self._migrations = 0
@@ -318,16 +302,22 @@ class FleetService:
         self._admission: Optional[AdmissionController] = None
         self._rejections_by_priority: Dict[int, int] = {}
         self._queued_by_priority: Dict[int, int] = {}
-        #: Live tenancy (run_trace): board -> tenant id -> (model, priority).
-        #: Reset at the start of every replay — a trace starts from an
-        #: empty fleet, exactly like the single-board engine builds a
-        #: fresh OnlineScheduler per run_trace.
-        self._tenants: Dict[str, Dict[str, Tuple[str, int]]] = {
-            name: {} for name in cluster.board_names
-        }
         self._tenant_board: Dict[str, str] = {}
         self._onlines: Dict[str, OnlineScheduler] = {}
         self._online_config: Optional[OnlineConfig] = None
+        #: Final counter snapshots of boards retired (drained or
+        #: killed) — rolled into :attr:`FleetStats.retired_boards`.
+        self._retired: Dict[str, ServiceStats] = {}
+        #: Seed-lane bookkeeping for elastically provisioned boards:
+        #: board i of the initial fleet sits on lane ``seed + 1000*i``,
+        #: so provisioned boards continue at lane ``initial_size +
+        #: provisioned`` and never collide with a sibling.
+        self._initial_size = len(cluster)
+        self._provisioned = 0
+        #: Names of live elastically provisioned boards — the only
+        #: boards scale-in may retire (the onload tier returns; the
+        #: baseline edge fleet stays).
+        self._elastic_names: set = set()
 
     # ------------------------------------------------------------------
     # Batch serving
@@ -502,6 +492,7 @@ class FleetService:
                 name: engine.stats()
                 for name, engine in self._engines.items()
             },
+            retired_boards=copy.deepcopy(self._retired),
             requests_served=self._requests_served,
             placements=self.placer.placements,
             scored_placements=self.placer.scored_placements,
@@ -514,6 +505,279 @@ class FleetService:
         )
 
     # ------------------------------------------------------------------
+    # Elasticity: boards joining and leaving a live fleet
+    # ------------------------------------------------------------------
+    def _register_board(self, board: Board) -> None:
+        """Wire a cluster board into the fleet (engine, tenancy, order)."""
+        self._engines[board.name] = SchedulingEngine(
+            board.source,
+            scheduler=self.scheduler_name,
+            cache_decisions=self._cache_decisions,
+            board=board.name,
+        )
+        self._tenants.setdefault(board.name, {})
+        self.placer.update_order(self.cluster.board_names)
+
+    def _retire_board(self, name: str) -> ServiceStats:
+        """Drop an empty board, archiving its counters for the rollup."""
+        if self._tenants.get(name):
+            raise ValueError(
+                f"board {name!r} still hosts "
+                f"{len(self._tenants[name])} tenant(s); drain it first"
+            )
+        snapshot = self._engines[name].stats()
+        if name in self._retired:
+            self._retired[name].absorb(snapshot)
+        else:
+            self._retired[name] = snapshot
+        del self._engines[name]
+        self._onlines.pop(name, None)
+        self._tenants.pop(name, None)
+        self._elastic_names.discard(name)
+        self.cluster.remove_board(name)
+        self.placer.update_order(self.cluster.board_names)
+        return snapshot
+
+    def provision_board(
+        self,
+        preset: str,
+        seed_base: int = 0,
+        name: Optional[str] = None,
+    ) -> Board:
+        """Scale-out: provision a preset board and join it to the fleet.
+
+        The new board continues the cluster's seed-lane scheme
+        (``seed_base + 1000 * lane``, lanes counting past the initial
+        fleet), is named ``elastic<N>`` unless overridden, and stays
+        lazy — nothing profiles or trains until placement first routes
+        a mix there.
+        """
+        if name is None:
+            name = f"elastic{self._provisioned}"
+        seed = seed_base + _SEED_STRIDE * (
+            self._initial_size + self._provisioned
+        )
+        board = self.cluster.provision(name, preset, seed)
+        self._provisioned += 1
+        self._elastic_names.add(board.name)
+        self._register_board(board)
+        return board
+
+    def drain_board(
+        self,
+        board: str,
+        time_s: float = 0.0,
+        record_mappings: bool = False,
+    ) -> List[TimelineRecord]:
+        """Warm-migrate every resident off ``board``, then retire it.
+
+        Residents move in arrival order to greedy least-loaded feasible
+        destinations (the cross-board migration path ``run_trace``'s
+        rebalancer uses); each hop re-plans the destination through the
+        warm re-search and appends a ``"drained"`` departure/arrival
+        pair, followed by a ``"retired"`` marker carrying the new fleet
+        size.  The board's counters are archived into
+        :attr:`FleetStats.retired_boards`.  Raises
+        :class:`~repro.fleet.PlacementError` when the survivors cannot
+        host every resident, and ``ValueError`` on the last board.
+        """
+        if board not in self._engines:
+            raise KeyError(
+                f"fleet has no board {board!r}; boards: "
+                f"{', '.join(self._engines)}"
+            )
+        return self._drain_and_retire(
+            board, time_s, 0, record_mappings, action="retired"
+        )
+
+    def _active_models(self) -> Tuple[str, ...]:
+        """Fleet-wide resident models, tenant arrival order."""
+        return tuple(
+            self._tenants[board][tenant_id][0]
+            for tenant_id, board in self._tenant_board.items()
+        )
+
+    def _fleet_marker(
+        self, time_s: float, kind: str, board: str, action: str
+    ) -> TimelineRecord:
+        """A composition-change marker (failure / scale) record."""
+        return TimelineRecord(
+            index=0,
+            time_s=time_s,
+            kind=kind,
+            tenant_id="",
+            model="",
+            priority=0,
+            active_models=self._active_models(),
+            mode="idle",
+            board=board,
+            action=action,
+            fleet_size=len(self.cluster),
+        )
+
+    def _drain_plan(
+        self, board: str
+    ) -> Optional[List[Tuple[str, str, int, str]]]:
+        """Destinations for every resident of ``board``, or ``None``.
+
+        Greedy least-loaded assignment in arrival order (cluster-order
+        tie-break), honoring residency caps and the no-duplicate-model
+        rule.  Pure planning — no estimator call, no state change — so
+        the autoscaler can dry-run it to prove a scale-in is safe
+        before committing.
+        """
+        load = {
+            name: len(tenants)
+            for name, tenants in self._tenants.items()
+            if name != board
+        }
+        blocked = {
+            name: {model for model, _ in tenants.values()}
+            for name, tenants in self._tenants.items()
+            if name != board
+        }
+        capacity = {
+            entry.name: entry.max_residency
+            for entry in self.cluster
+            if entry.name != board
+        }
+        order = [name for name in self.placer.order if name != board]
+        plan: List[Tuple[str, str, int, str]] = []
+        for tenant_id, (model, priority) in self._tenants[board].items():
+            feasible = [
+                name
+                for name in order
+                if load[name] < capacity[name] and model not in blocked[name]
+            ]
+            if not feasible:
+                return None
+            dest = min(
+                feasible, key=lambda name: (load[name], order.index(name))
+            )
+            plan.append((tenant_id, model, priority, dest))
+            load[dest] += 1
+            blocked[dest].add(model)
+        return plan
+
+    def _drain_and_retire(
+        self,
+        board: str,
+        time_s: float,
+        start_index: int,
+        record_mappings: bool,
+        action: str,
+    ) -> List[TimelineRecord]:
+        """Execute a drain plan, retire the board, emit the records."""
+        plan = self._drain_plan(board)
+        if plan is None:
+            raise PlacementError(
+                f"cannot drain {board!r}: the surviving boards cannot "
+                "host every resident"
+            )
+        target = self.slo.target if self.slo is not None else None
+        records: List[TimelineRecord] = []
+        index = start_index
+        for tenant_id, model, priority, dest in plan:
+            del self._tenants[board][tenant_id]
+            self._tenant_board.pop(tenant_id, None)
+            records.append(
+                TimelineRecord(
+                    index=index,
+                    time_s=time_s,
+                    kind="departure",
+                    tenant_id=tenant_id,
+                    model=model,
+                    priority=priority,
+                    active_models=self._active_models(),
+                    mode="idle",
+                    board=board,
+                    action="drained",
+                )
+            )
+            index += 1
+            arrival = ArrivalEvent(time_s, "arrival", tenant_id, model, priority)
+            self._tenants[dest][tenant_id] = (model, priority)
+            self._tenant_board[tenant_id] = dest
+            job = self._engines[dest].stage_trace_event(
+                self._online(dest), arrival
+            )
+            produced = self._engines[dest].replay_group(
+                self._online(dest), [job], 0, record_mappings
+            )
+            record = replace(produced[0], index=index, action="drained")
+            if target is not None:
+                record = self._annotate_fleet(record, target)
+            records.append(record)
+            index += 1
+            self._migrations += 1
+        self._retire_board(board)
+        records.append(
+            replace(
+                self._fleet_marker(time_s, "scale", board, action),
+                index=index,
+            )
+        )
+        return records
+
+    def _fail_board(
+        self,
+        failure,
+        start_index: int,
+        record_mappings: bool,
+        target,
+    ) -> List[TimelineRecord]:
+        """Kill a board mid-trace and recover its orphaned residents.
+
+        The board vanishes instantly (no drain): its counters are
+        archived, its tenants orphaned, and each orphan re-placed as a
+        fresh arrival on the survivors via the normal placement path +
+        warm re-search, recorded as ``"recovered"`` arrivals after the
+        ``"board-failed"`` marker.
+        """
+        board = failure.board
+        if board not in self._engines:
+            raise KeyError(
+                f"chaos plan kills unknown board {board!r}; live "
+                f"boards: {', '.join(self._engines)}"
+            )
+        if len(self._engines) == 1:
+            raise ValueError(
+                f"chaos plan kills {board!r}, the last live board; "
+                "a fleet cannot recover from losing every board"
+            )
+        orphans = list(self._tenants[board].items())
+        for tenant_id, _ in orphans:
+            self._tenant_board.pop(tenant_id, None)
+        self._tenants[board].clear()
+        self._retire_board(board)
+        records = [
+            replace(
+                self._fleet_marker(
+                    failure.time_s, "failure", board, "board-failed"
+                ),
+                index=start_index,
+            )
+        ]
+        index = start_index + 1
+        for tenant_id, (model, priority) in orphans:
+            arrival = ArrivalEvent(
+                failure.time_s, "arrival", tenant_id, model, priority
+            )
+            dest = self._route_event(arrival)
+            job = self._engines[dest].stage_trace_event(
+                self._online(dest), arrival
+            )
+            produced = self._engines[dest].replay_group(
+                self._online(dest), [job], 0, record_mappings
+            )
+            record = replace(produced[0], index=index, action="recovered")
+            if target is not None:
+                record = self._annotate_fleet(record, target)
+            records.append(record)
+            index += 1
+        return records
+
+    # ------------------------------------------------------------------
     # Trace replay
     # ------------------------------------------------------------------
     def run_trace(
@@ -522,6 +786,8 @@ class FleetService:
         online: Optional[OnlineConfig] = None,
         record_mappings: bool = False,
         rebalance: bool = True,
+        chaos: Optional[ChaosPlan] = None,
+        elastic: Optional[ElasticPolicy] = None,
     ) -> TimelineReport:
         """Replay a churn trace against the fleet.
 
@@ -550,6 +816,24 @@ class FleetService:
         departures free capacity) or rejected.  Observe-only policies
         annotate arrival records with attainment and change nothing
         else.
+
+        ``chaos`` injects board failures: each
+        :class:`~repro.workloads.trace.FailureEvent` fires immediately
+        before the first event group whose timestamp reaches it — the
+        board vanishes, its counters are archived, and its orphaned
+        residents are re-placed on the survivors via warm re-search
+        (``"board-failed"`` marker + ``"recovered"`` arrivals).  An
+        empty plan (or ``None``) changes nothing, byte-for-byte.
+
+        ``elastic`` attaches an :class:`~repro.fleet.Autoscaler` for
+        the replay: after each group (and rebalance), queue depth and
+        the windowed p95 attainment feed the policy's thresholds —
+        scale-out provisions a preset board before queued arrivals are
+        retried, scale-in drains the least-loaded safe board back down
+        to the baseline.  Chaos kills, drains, and scale-outs change
+        the fleet's composition *persistently*: a later replay (or
+        batch call) runs on the evolved fleet, while tenancy and warm
+        state still reset per call.
         """
         self._online_config = online
         self._onlines = {}
@@ -564,7 +848,21 @@ class FleetService:
         ghosts: set = set()
         records: List[TimelineRecord] = []
         index = 0
+        pending_failures = list(chaos.failures) if chaos is not None else []
+        scaler = Autoscaler(self, elastic) if elastic is not None else None
+        tracker = AttainmentTracker() if scaler is not None else None
         for group in trace.grouped():
+            group_start = len(records)
+            while (
+                pending_failures
+                and pending_failures[0].time_s <= group[0].time_s
+            ):
+                failure = pending_failures.pop(0)
+                produced_failure = self._fail_board(
+                    failure, index, record_mappings, target
+                )
+                records.extend(produced_failure)
+                index += len(produced_failure)
             staged: Dict[str, List] = {}
             #: ("job", board, job position, action) | ("rec", record)
             order: List[Tuple] = []
@@ -671,6 +969,19 @@ class FleetService:
                 )
                 records.extend(migrated)
                 index += len(migrated)
+            if scaler is not None:
+                for record in records[group_start:]:
+                    if record.slo_ratio is not None:
+                        tracker.observe(record.slo_ratio)
+                moves = scaler.step(
+                    group[-1].time_s,
+                    queue_depth=len(queue),
+                    attainment=tracker,
+                    start_index=index,
+                    record_mappings=record_mappings,
+                )
+                records.extend(moves)
+                index += len(moves)
             if enforced:
                 for event in list(queue):
                     if self._fleet_verdict(controller, event) != "admit":

@@ -14,6 +14,7 @@ from .presets import (
     GPU_ID,
     LITTLE_CPU_ID,
     NPU_ID,
+    cloud_tier,
     cpu_only_board,
     hikey970,
     hikey970_with_npu,
@@ -38,6 +39,7 @@ __all__ = [
     "GPU_ID",
     "LITTLE_CPU_ID",
     "NPU_ID",
+    "cloud_tier",
     "cpu_only_board",
     "hikey970",
     "hikey970_with_npu",

@@ -32,6 +32,7 @@ __all__ = [
     "NPU_ID",
     "cpu_only_board",
     "symmetric_board",
+    "cloud_tier",
 ]
 
 #: Device ids on the HiKey970 preset, in the order the paper lists them.
@@ -172,3 +173,46 @@ def symmetric_board(num_devices: int = 3, peak_gflops: float = 60.0) -> Platform
         for index in range(num_devices)
     ]
     return Platform("symmetric", devices, memory=MemorySystem())
+
+
+def cloud_tier(
+    num_devices: int = 6,
+    peak_gflops: float = 120.0,
+    network_latency_s: float = 25e-3,
+    network_bandwidth_gbs: float = 0.9,
+) -> Platform:
+    """A DynO-style cloud onload tier: big, symmetric, and far away.
+
+    Models the overflow target an edge fleet onloads mixes to when it
+    saturates (Almeida et al., *DynO*, PAPERS.md): a rack-class pool of
+    ``num_devices`` identical workers, each well above edge-device
+    compute, behind a WAN hop.  The distance is the point — every
+    kernel dispatch carries the network round-trip as launch overhead
+    and every cross-device hop rides the WAN link, so the estimator
+    scores the tier *below* an unloaded edge board and placement only
+    overflows to it under pressure (and migrates work back once edge
+    capacity recovers).  The larger ``max_residency`` is the onload
+    headroom that absorbs a flash crowd.
+    """
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    devices = [
+        Device(
+            device_id=index,
+            name=f"cloud-{index}",
+            kind=DeviceKind.BIG_CPU,
+            peak_gflops=peak_gflops,
+            mem_bandwidth_gbs=12.0,
+            # The network tax: every dispatch pays the WAN round-trip.
+            launch_overhead_s=network_latency_s,
+        )
+        for index in range(num_devices)
+    ]
+    wan = Link(bandwidth_gbs=network_bandwidth_gbs, latency_s=network_latency_s)
+    memory = MemorySystem(
+        total_bandwidth_gbs=64.0,
+        comfortable_residency=5,
+        pressure_per_dnn=0.10,
+        max_residency=8,
+    )
+    return Platform("cloud-tier", devices, default_link=wan, memory=memory)

@@ -59,6 +59,7 @@ from .workloads.mix import Workload, canonical_signature
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "AttainmentTracker",
     "SLOPolicy",
     "make_estimator_scorer",
     "preemption_victims",
@@ -296,3 +297,58 @@ def preemption_victims(
         (tenant_id, model, priority)
         for priority, _, tenant_id, model in eligible
     ]
+
+
+class AttainmentTracker:
+    """A sliding window of SLO attainment ratios feeding scale decisions.
+
+    The elastic layer (:class:`repro.fleet.Autoscaler`) needs a *live*
+    degradation signal, not the end-of-replay percentiles a
+    :class:`~repro.evaluation.TimelineReport` computes: the fleet feeds
+    every annotated outcome's ratio in as it is produced, and the
+    autoscaler reads the windowed p95 after each event group.  The
+    window (newest ``window`` observations) keeps the signal recent —
+    an early healthy phase must not mask a later squeeze.
+
+    Percentile semantics match the report exactly (exact order
+    statistics, no interpolation): ``percentile(95)`` is the worst
+    ratio among the best 95% of windowed outcomes.
+    """
+
+    def __init__(self, window: int = 32) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._ratios: List[float] = []
+        self._observed = 0
+
+    def observe(self, ratio: float) -> None:
+        """Fold one outcome's attainment ratio into the window."""
+        self._ratios.append(float(ratio))
+        if len(self._ratios) > self.window:
+            del self._ratios[0]
+        self._observed += 1
+
+    def __len__(self) -> int:
+        """Observations currently in the window."""
+        return len(self._ratios)
+
+    @property
+    def observed(self) -> int:
+        """Lifetime observation count (window evictions included)."""
+        return self._observed
+
+    def percentile(self, percentile: int = 95) -> Optional[float]:
+        """pP attainment over the window (``None`` while empty)."""
+        if not 0 < percentile <= 100:
+            raise ValueError(
+                f"percentile must be in (0, 100], got {percentile}"
+            )
+        if not self._ratios:
+            return None
+        ordered = sorted(self._ratios, reverse=True)
+        rank = min(
+            len(ordered),
+            max(1, -(-percentile * len(ordered) // 100)),
+        )
+        return ordered[rank - 1]

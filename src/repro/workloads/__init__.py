@@ -23,6 +23,8 @@ from .scenarios import (
 from .trace import (
     ArrivalEvent,
     ArrivalTrace,
+    ChaosPlan,
+    FailureEvent,
     TraceBuilder,
     TraceConfig,
     generate_trace,
@@ -32,8 +34,10 @@ __all__ = [
     "ArrivalEvent",
     "ArrivalTrace",
     "CHURN_SCENARIOS",
+    "ChaosPlan",
     "ChurnScenario",
     "FLEET_SCENARIOS",
+    "FailureEvent",
     "FleetScenario",
     "SCENARIOS",
     "Scenario",

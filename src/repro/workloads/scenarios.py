@@ -17,8 +17,12 @@ and ``docs/slo.md`` for the two enforcement stressors.
 The third group is the *fleet* scenarios — request bursts and
 high-concurrency traces sized for a multi-board
 :class:`~repro.fleet.FleetService` rather than one board
-(``request-burst``, ``fleet-churn``, ``heavy-split``).  See
-``docs/fleet.md``.
+(``request-burst``, ``fleet-churn``, ``heavy-split``), plus the two
+elastic-fleet stressors: ``board-failure`` (churn sized so a two-board
+fleet survives losing either board at any event index — the chaos
+sweep shape) and ``flash-crowd`` (a simultaneous arrival spike that
+overflows a small fleet and then drains — the autoscaler shape).  See
+``docs/fleet.md`` and ``docs/elastic.md``.
 """
 
 from __future__ import annotations
@@ -497,6 +501,57 @@ def _fleet_churn(seed: int) -> ArrivalTrace:
     )
 
 
+def _board_failure(seed: int) -> ArrivalTrace:
+    """Moderate churn a degraded fleet can always absorb.
+
+    At most four concurrent tenants with mid-length lifetimes: one
+    HiKey970 (five-resident cap) can host the whole tenancy alone, so
+    a two-board fleet survives a :class:`~repro.workloads.trace.ChaosPlan`
+    killing either board at *any* event index — the property the
+    kill-sweep test replays exhaustively.
+    """
+    return generate_trace(
+        TraceConfig(
+            arrival_rate=0.5,
+            min_lifetime_s=8.0,
+            max_lifetime_s=24.0,
+            horizon_s=20.0,
+            max_concurrent=4,
+            seed=seed,
+            name="board-failure",
+        )
+    )
+
+
+def _flash_crowd(seed: int) -> ArrivalTrace:
+    """Two steady anchors, then a spike of simultaneous arrivals.
+
+    Six tenants land on the *same* timestamp at t=10 s over two
+    long-lived anchors — more residents than a small edge fleet can
+    hold.  The crowd arrives at priority 0 *below* the priority-1
+    anchors, so an enforcing policy cannot preempt its way out: the
+    overflow queues, queue depth crosses the autoscaler threshold,
+    and the fleet scales out into the cloud tier; the crowd drains
+    within ~15 s and scale-in brings the fleet back to baseline while
+    the anchors linger.
+    """
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(max_concurrent=8, name="flash-crowd")
+    builder.add(0.0, "mobilenet", lifetime_s=40.0, priority=1)
+    builder.add(1.0, "resnet50", lifetime_s=39.0, priority=1)
+    builder.advance(10.0)
+    free = [m for m in MODEL_NAMES if m not in builder.active_models]
+    chosen = rng.permutation(len(free))[:6]
+    for index in chosen:
+        builder.add(
+            10.0,
+            free[int(index)],
+            lifetime_s=float(rng.uniform(6.0, 14.0)),
+            priority=0,
+        )
+    return builder.finish()
+
+
 FLEET_SCENARIOS: Dict[str, FleetScenario] = {
     preset.name: preset
     for preset in [
@@ -545,6 +600,26 @@ FLEET_SCENARIOS: Dict[str, FleetScenario] = {
                 seed, count=4, sizes=(2,)
             ),
             build_trace=_slo_squeeze,
+        ),
+        FleetScenario(
+            name="board-failure",
+            description=(
+                "moderate churn sized so a two-board fleet survives "
+                "losing either board at any event index — the chaos "
+                "kill-sweep and CI chaos-smoke shape"
+            ),
+            build_mixes=lambda seed: _burst_mixes(seed, count=4),
+            build_trace=_board_failure,
+        ),
+        FleetScenario(
+            name="flash-crowd",
+            description=(
+                "six simultaneous arrivals at t=10 s over two anchors "
+                "— overflow that queues on a small fleet, triggers a "
+                "cloud-tier scale-out, and drains back to baseline"
+            ),
+            build_mixes=lambda seed: _burst_mixes(seed, count=6, sizes=(2,)),
+            build_trace=_flash_crowd,
         ),
     ]
 }

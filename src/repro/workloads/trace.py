@@ -50,6 +50,8 @@ from ..models.registry import MODEL_NAMES
 __all__ = [
     "ArrivalEvent",
     "ArrivalTrace",
+    "ChaosPlan",
+    "FailureEvent",
     "TraceBuilder",
     "TraceConfig",
     "generate_trace",
@@ -447,3 +449,124 @@ def generate_trace(
         model = candidates[int(rng.integers(len(candidates)))]
         builder.add(time_s, model, lifetime, priority=priority)
     return builder.finish()
+
+
+# ----------------------------------------------------------------------
+# Fault injection: boards dying at trace timestamps
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected fault: a named board dying at a trace timestamp.
+
+    The fleet replays the fault *before* the first event group whose
+    timestamp is at or past ``time_s`` — the board's residents are
+    orphaned at that instant and re-placed onto the survivors via warm
+    re-search (:meth:`repro.fleet.FleetService.run_trace`).
+    """
+
+    time_s: float
+    board: str
+    kind: str = "board-failure"
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"time_s must be >= 0, got {self.time_s}")
+        if not self.board:
+            raise ValueError("board must be a non-empty name")
+        if self.kind != "board-failure":
+            raise ValueError(
+                f"kind must be 'board-failure', got {self.kind!r}"
+            )
+
+    def to_dict(self) -> Dict:
+        return {"time_s": self.time_s, "board": self.board, "kind": self.kind}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FailureEvent":
+        return cls(
+            time_s=float(payload["time_s"]),
+            board=str(payload["board"]),
+            kind=str(payload.get("kind", "board-failure")),
+        )
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A validated schedule of :class:`FailureEvent` faults for one replay.
+
+    Invariants mirror :class:`ArrivalTrace`: failures are time-ordered
+    and a board dies at most once.  An empty plan is the explicit no-op
+    — replaying under ``ChaosPlan()`` touches no randomness and no
+    estimator, so it is byte-identical to replaying with no plan at
+    all (pinned by ``tests/test_fleet_elastic.py``).  A failure timed
+    past the last trace event never fires.
+    """
+
+    failures: Tuple[FailureEvent, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "failures", tuple(self.failures))
+        previous = 0.0
+        seen: set = set()
+        for index, failure in enumerate(self.failures):
+            if not isinstance(failure, FailureEvent):
+                raise TypeError(
+                    f"failure #{index} must be a FailureEvent, "
+                    f"got {type(failure).__name__}"
+                )
+            if failure.time_s < previous:
+                raise ValueError(
+                    f"failure #{index} at t={failure.time_s} precedes "
+                    f"t={previous}; chaos plans must be time-ordered"
+                )
+            previous = failure.time_s
+            if failure.board in seen:
+                raise ValueError(
+                    f"board {failure.board!r} dies twice; a board can "
+                    "fail at most once per plan"
+                )
+            seen.add(failure.board)
+
+    @classmethod
+    def kill(cls, board: str, time_s: float, name: str = "") -> "ChaosPlan":
+        """The one-fault plan: ``board`` dies at ``time_s``."""
+        return cls(failures=(FailureEvent(time_s, board),), name=name)
+
+    def __len__(self) -> int:
+        return len(self.failures)
+
+    def __iter__(self) -> Iterator[FailureEvent]:
+        return iter(self.failures)
+
+    @property
+    def boards(self) -> Tuple[str, ...]:
+        """The boards this plan kills, in failure order."""
+        return tuple(failure.board for failure in self.failures)
+
+    # -- serialization (the ``--chaos`` CLI artifact format) -----------
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ChaosPlan":
+        return cls(
+            failures=tuple(
+                FailureEvent.from_dict(entry)
+                for entry in payload["failures"]
+            ),
+            name=str(payload.get("name", "")),
+        )
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def from_json(cls, path: str) -> "ChaosPlan":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))

@@ -159,6 +159,37 @@ def test_slo_surface_is_pinned():
         assert name in corpus, f"scenario {name!r} undocumented"
 
 
+def test_elastic_guide_is_linked():
+    """The elastic operations guide is reachable from the entry docs."""
+    assert (ROOT / "docs" / "elastic.md").is_file()
+    assert "docs/elastic.md" in (ROOT / "README.md").read_text()
+    assert "elastic.md" in (ROOT / "docs" / "architecture.md").read_text()
+
+
+def test_elastic_surface_is_pinned():
+    """The chaos/elastic flags and core exports stay documented by name."""
+    readme = (ROOT / "README.md").read_text()
+    for flag in ("--chaos", "--elastic", "--elastic-preset", "--elastic-max-boards"):
+        assert flag in readme, f"README.md does not mention {flag!r}"
+    import repro
+
+    for export in (
+        "Autoscaler",
+        "ChaosPlan",
+        "ElasticPolicy",
+        "FailureEvent",
+        "cloud_tier",
+    ):
+        assert export in repro.__all__, export
+    # The dedicated scenarios stay registered and documented.
+    from repro.workloads import fleet_scenario_names
+
+    corpus = "\n".join(path.read_text() for path in DOC_FILES)
+    for name in ("board-failure", "flash-crowd"):
+        assert name in fleet_scenario_names(), name
+        assert name in corpus, f"scenario {name!r} undocumented"
+
+
 def test_linting_guide_is_linked():
     """The doctrine-linter guide is reachable from the entry docs."""
     assert (ROOT / "docs" / "linting.md").is_file()

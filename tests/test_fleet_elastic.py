@@ -1,0 +1,438 @@
+"""Elastic-fleet tests: chaos recovery, autoscaling, retired counters.
+
+The acceptance bar has three legs:
+
+* the kill-at-every-event-index sweep over ``board-failure`` — no
+  resident is ever lost, recovery is deterministic (same seed + trace
+  + failure on two freshly built fleets produces identical timelines
+  up to host-measured latency), and an empty
+  :class:`~repro.workloads.ChaosPlan` replays byte-identical to a
+  plain ``run_trace``;
+* the autoscaler properties — scale-out is monotone in queue depth,
+  scale-in never retires a board whose residents would land below
+  their :class:`~repro.core.SLOTarget` floor, and the fleet returns
+  to its baseline size once a flash crowd drains;
+* the stats-conservation regression — retiring a board mid-trace must
+  keep its counters flowing into ``FleetStats.combined``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import SchedulingService, SystemBuilder
+from repro.core import MCTSConfig, SLOTarget
+from repro.fleet import (
+    Autoscaler,
+    Cluster,
+    ElasticPolicy,
+    FleetService,
+)
+from repro.evaluation import TimelineReport
+from repro.online import OnlineConfig
+from repro.slo import AttainmentTracker, SLOPolicy
+from repro.workloads import (
+    ArrivalEvent,
+    ArrivalTrace,
+    ChaosPlan,
+    FailureEvent,
+    fleet_scenario,
+)
+
+_ESTIMATOR = {"num_training_samples": 40, "epochs": 3}
+_MCTS = MCTSConfig(budget=20, seed=13)
+_ONLINE = OnlineConfig(warm_patience=20)
+
+
+def _two_board_service(seed: int = 3, slo=None) -> FleetService:
+    cluster = Cluster.from_presets(
+        {"edge0": "hikey970", "edge1": "hikey970"},
+        seed=seed,
+        estimator=_ESTIMATOR,
+        mcts_config=_MCTS,
+    )
+    return FleetService(cluster, slo=slo)
+
+
+def _strip_timing(report: TimelineReport) -> TimelineReport:
+    """The report with host-measured re-planning latency zeroed.
+
+    Everything else — boards, modes, scores, evaluation counts, fleet
+    annotations, serialization — must reproduce exactly.
+    """
+    return dataclasses.replace(
+        report,
+        records=tuple(
+            dataclasses.replace(record, reschedule_time_s=0.0)
+            for record in report.records
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def failure_trace():
+    return fleet_scenario("board-failure").build_trace(0)
+
+
+# ----------------------------------------------------------------------
+# Chaos plan types
+# ----------------------------------------------------------------------
+class TestChaosPlanTypes:
+    def test_kill_and_round_trip(self, tmp_path):
+        plan = ChaosPlan.kill("edge1", 10.0)
+        assert len(plan) == 1
+        assert plan.boards == ("edge1",)
+        assert ChaosPlan.from_dict(plan.to_dict()) == plan
+        path = tmp_path / "plan.json"
+        plan.to_json(str(path))
+        assert ChaosPlan.from_json(str(path)) == plan
+
+    def test_failures_must_be_time_ordered(self):
+        with pytest.raises(ValueError, match="time-ordered"):
+            ChaosPlan(
+                (
+                    FailureEvent(time_s=5.0, board="a"),
+                    FailureEvent(time_s=1.0, board="b"),
+                )
+            )
+
+    def test_board_dies_at_most_once(self):
+        with pytest.raises(ValueError, match="at most once"):
+            ChaosPlan(
+                (
+                    FailureEvent(time_s=1.0, board="a"),
+                    FailureEvent(time_s=5.0, board="a"),
+                )
+            )
+
+    def test_failure_event_validation(self):
+        with pytest.raises(ValueError):
+            FailureEvent(time_s=-1.0, board="a")
+        with pytest.raises(ValueError):
+            FailureEvent(time_s=0.0, board="")
+        with pytest.raises(ValueError):
+            FailureEvent(time_s=0.0, board="a", kind="meteor")
+
+
+# ----------------------------------------------------------------------
+# The kill sweep
+# ----------------------------------------------------------------------
+class TestChaosKillSweep:
+    def test_kill_at_every_event_index_loses_no_resident(
+        self, failure_trace
+    ):
+        """Kill edge1 at every event timestamp of ``board-failure``.
+
+        The trace is sized so one HiKey970 can host the whole tenancy
+        alone, so every sweep point must recover: the replay completes
+        (a lost resident's departure would raise), every tenant's
+        arrival and departure are both recorded, and the fleet ends
+        empty.
+        """
+        tenants = {event.tenant_id for event in failure_trace.events}
+        for index, event in enumerate(failure_trace.events):
+            service = _two_board_service()
+            chaos = ChaosPlan.kill("edge1", event.time_s)
+            report = service.run_trace(
+                failure_trace, online=_ONLINE, chaos=chaos
+            )
+            assert report.failure_events == 1, f"sweep index {index}"
+            seen = {
+                (record.tenant_id, record.kind)
+                for record in report.records
+                if record.tenant_id
+            }
+            for tenant in tenants:
+                assert (tenant, "arrival") in seen, f"sweep index {index}"
+                assert (tenant, "departure") in seen, f"sweep index {index}"
+            assert report.records[-1].active_models == ()
+            assert service.cluster.board_names == ("edge0",)
+
+    def test_recovery_is_deterministic(self, failure_trace):
+        """Two freshly built identical fleets under the same chaos plan
+        replay to identical timelines (host latency aside)."""
+        kill_at = failure_trace.events[len(failure_trace.events) // 2].time_s
+        chaos = ChaosPlan.kill("edge1", kill_at)
+        reports = [
+            _strip_timing(
+                _two_board_service().run_trace(
+                    failure_trace, online=_ONLINE, chaos=chaos
+                )
+            )
+            for _ in range(2)
+        ]
+        assert reports[0] == reports[1]
+        assert reports[0].to_dict() == reports[1].to_dict()
+
+    def test_empty_chaos_plan_is_a_byte_identical_noop(self, failure_trace):
+        plain = _strip_timing(
+            _two_board_service().run_trace(failure_trace, online=_ONLINE)
+        )
+        noop = _strip_timing(
+            _two_board_service().run_trace(
+                failure_trace, online=_ONLINE, chaos=ChaosPlan(())
+            )
+        )
+        assert noop == plain
+        assert noop.to_dict() == plain.to_dict()
+
+    def test_killing_unknown_board_raises(self, failure_trace):
+        service = _two_board_service()
+        with pytest.raises(KeyError, match="unknown board"):
+            service.run_trace(
+                failure_trace,
+                online=_ONLINE,
+                chaos=ChaosPlan.kill("edge9", 0.0),
+            )
+
+    def test_killing_the_last_board_raises(self):
+        cluster = Cluster.from_presets(
+            {"solo": "hikey970"},
+            seed=3,
+            estimator=_ESTIMATOR,
+            mcts_config=_MCTS,
+        )
+        service = FleetService(cluster)
+        trace = ArrivalTrace([ArrivalEvent(0.0, "arrival", "t0", "alexnet")])
+        with pytest.raises(ValueError, match="last live board"):
+            service.run_trace(trace, chaos=ChaosPlan.kill("solo", 0.0))
+
+
+# ----------------------------------------------------------------------
+# Fleet-of-one acceptance: the elastic machinery must cost nothing
+# ----------------------------------------------------------------------
+class TestFleetOfOneReplay:
+    def test_no_chaos_matches_plain_service_replay(self, failure_trace):
+        """A one-board fleet with no chaos plan replays exactly like
+        the plain single-board service (board attribution aside)."""
+        cluster = Cluster.from_presets(
+            {"solo": "hikey970"},
+            seed=29,
+            estimator=_ESTIMATOR,
+            mcts_config=_MCTS,
+        )
+        fleet_report = FleetService(cluster).run_trace(
+            failure_trace, online=_ONLINE, chaos=ChaosPlan(())
+        )
+        builder = (
+            SystemBuilder(seed=29)
+            .with_estimator(**_ESTIMATOR)
+            .with_mcts_config(_MCTS)
+        )
+        plain_report = SchedulingService(builder).run_trace(
+            failure_trace, online=_ONLINE
+        )
+        assert len(fleet_report.records) == len(plain_report.records)
+        for ours, theirs in zip(
+            fleet_report.records, plain_report.records
+        ):
+            assert dataclasses.replace(
+                ours, board=theirs.board, reschedule_time_s=0.0
+            ) == dataclasses.replace(theirs, reschedule_time_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# Autoscaler properties
+# ----------------------------------------------------------------------
+class TestElasticPolicy:
+    def test_scale_out_monotone_in_queue_depth(self):
+        """More queued load never un-triggers a scale-out."""
+        for threshold in (1, 2, 5):
+            policy = ElasticPolicy(scale_out_queue_depth=threshold)
+            verdicts = [
+                policy.wants_scale_out(depth) for depth in range(10)
+            ]
+            for lighter, heavier in zip(verdicts, verdicts[1:]):
+                assert heavier >= lighter
+            assert verdicts[threshold] is True
+
+    def test_attainment_floor_triggers_scale_out(self):
+        policy = ElasticPolicy(p95_floor=1.0)
+        assert not policy.wants_scale_out(0, p95=None)
+        assert not policy.wants_scale_out(0, p95=1.2)
+        assert policy.wants_scale_out(0, p95=0.8)
+
+    def test_validation(self):
+        with pytest.raises(KeyError, match="unknown board preset"):
+            ElasticPolicy(preset="mainframe")
+        with pytest.raises(ValueError):
+            ElasticPolicy(max_boards=0)
+        with pytest.raises(ValueError):
+            ElasticPolicy(scale_out_queue_depth=0)
+        with pytest.raises(ValueError):
+            ElasticPolicy(p95_floor=0.0)
+        with pytest.raises(ValueError):
+            ElasticPolicy(min_attainment_samples=0)
+
+    def test_attainment_tracker_percentile(self):
+        tracker = AttainmentTracker(window=4)
+        assert tracker.percentile(95) is None
+        for ratio in (1.0, 0.5, 2.0, 0.25, 4.0):
+            tracker.observe(ratio)
+        assert len(tracker) == 4  # the 1.0 fell out of the window
+        assert tracker.observed == 5
+        assert tracker.percentile(95) == 0.25
+
+
+class TestScaleInSafety:
+    @pytest.fixture()
+    def occupied_pair(self):
+        """A baseline board plus a provisioned board, one resident
+        each (greedy-load placement spreads the two arrivals)."""
+
+        def build(slo):
+            cluster = Cluster.from_presets(
+                {"edge0": "hikey970"},
+                seed=11,
+                estimator=_ESTIMATOR,
+                mcts_config=_MCTS,
+            )
+            service = FleetService(
+                cluster, placement="greedy-load", slo=slo
+            )
+            service.provision_board("hikey970", seed_base=11)
+            trace = ArrivalTrace(
+                [
+                    ArrivalEvent(0.0, "arrival", "t0", "alexnet"),
+                    ArrivalEvent(1.0, "arrival", "t1", "mobilenet"),
+                ]
+            )
+            service.run_trace(trace, online=_ONLINE)
+            return service
+
+        return build
+
+    def test_scale_in_never_violates_the_slo_floor(self, occupied_pair):
+        """An unreachable floor vetoes every resident-carrying victim."""
+        service = occupied_pair(
+            SLOPolicy(
+                target=SLOTarget(min_throughput=1e9),
+                admission=False,
+                preemption=False,
+            )
+        )
+        scaler = Autoscaler(service, ElasticPolicy(min_boards=1))
+        assert scaler.step(2.0, queue_depth=0) == []
+        assert scaler.scale_ins == 0
+        assert len(service.cluster) == 2
+
+    def test_scale_in_proceeds_when_the_floor_clears(self, occupied_pair):
+        service = occupied_pair(
+            SLOPolicy(
+                target=SLOTarget(min_throughput=1e-9),
+                admission=False,
+                preemption=False,
+            )
+        )
+        scaler = Autoscaler(service, ElasticPolicy(min_boards=1))
+        moves = scaler.step(2.0, queue_depth=0)
+        assert scaler.scale_ins == 1
+        assert len(service.cluster) == 1
+        # Scale-in retires the provisioned board, never the baseline
+        # edge board: the resident flows back to the edge.
+        assert service.cluster.board_names == ("edge0",)
+        assert moves[-1].action == "scale-in"
+        assert moves[-1].fleet_size == 1
+        assert any(record.action == "drained" for record in moves)
+
+    def test_scale_in_never_goes_below_the_floor_size(self, occupied_pair):
+        service = occupied_pair(None)
+        scaler = Autoscaler(service, ElasticPolicy())  # floor = baseline 2
+        assert scaler.step(2.0, queue_depth=0) == []
+        assert len(service.cluster) == 2
+
+
+class TestBaselineReturn:
+    def test_flash_crowd_scales_out_then_returns_to_baseline(self):
+        """The flash crowd queues past the threshold, the fleet scales
+        out into the cloud tier, and the steady drain that follows
+        scales it back in: final fleet size == baseline."""
+        cluster = Cluster.from_presets(
+            {"edge0": "hikey970"},
+            seed=3,
+            estimator=_ESTIMATOR,
+            mcts_config=_MCTS,
+        )
+        service = FleetService(
+            cluster,
+            slo=SLOPolicy(target=SLOTarget(min_throughput=0.01)),
+        )
+        trace = fleet_scenario("flash-crowd").build_trace(0)
+        report = service.run_trace(
+            trace, online=_ONLINE, elastic=ElasticPolicy()
+        )
+        assert report.scale_out_events >= 1
+        assert report.scale_in_events == report.scale_out_events
+        assert report.fleet_size_extent[1] > 1
+        assert report.final_fleet_size == 1
+        assert len(service.cluster) == 1
+        assert service.cluster.board_names == ("edge0",)
+
+
+# ----------------------------------------------------------------------
+# Stats conservation across retirement
+# ----------------------------------------------------------------------
+class TestRetiredCounters:
+    def test_retiring_a_board_conserves_request_and_wait_totals(
+        self, failure_trace
+    ):
+        """Regression: ``FleetStats.combined`` must keep counters from
+        boards retired mid-run — draining a board cannot un-count the
+        requests and waits it already served."""
+        service = _two_board_service(seed=9)
+        service.run_trace(failure_trace, online=_ONLINE)
+        before = service.stats().combined
+        assert before.trace_events > 0
+        service.drain_board("edge1")
+        after_stats = service.stats()
+        after = after_stats.combined
+        assert "edge1" in after_stats.retired_boards
+        assert "edge1" not in after_stats.per_board
+        assert after.trace_events == before.trace_events
+        assert after.requests_by_priority == before.requests_by_priority
+        for priority, total in before.wait_s_by_priority.items():
+            assert after.wait_s_by_priority[priority] == pytest.approx(
+                total
+            )
+        assert after.estimator_queries == before.estimator_queries
+        assert "+1 retired" in after_stats.summary()
+
+    def test_drain_moves_residents_before_retiring(self):
+        """Draining a board that still hosts tenants warm-migrates
+        them (counted as migrations) instead of dropping them."""
+        service = _two_board_service(seed=15)
+        trace = ArrivalTrace(
+            [
+                ArrivalEvent(0.0, "arrival", "t0", "alexnet"),
+                ArrivalEvent(1.0, "arrival", "t1", "mobilenet"),
+                ArrivalEvent(2.0, "arrival", "t2", "vgg13"),
+            ]
+        )
+        service.run_trace(trace, online=_ONLINE)
+        hosted = {
+            board: len(service._tenants[board])
+            for board in service.cluster.board_names
+        }
+        victim = max(hosted, key=hosted.get)
+        migrations_before = service.stats().migrations
+        records = service.drain_board(victim, time_s=3.0)
+        assert len(service.cluster) == 1
+        survivor = service.cluster.board_names[0]
+        assert len(service._tenants[survivor]) == 3
+        assert (
+            service.stats().migrations - migrations_before
+            == hosted[victim]
+        )
+        assert records[-1].action == "retired"
+        assert records[-1].fleet_size == 1
+
+    def test_draining_the_last_board_raises(self):
+        cluster = Cluster.from_presets(
+            {"solo": "hikey970"},
+            seed=3,
+            estimator=_ESTIMATOR,
+            mcts_config=_MCTS,
+        )
+        service = FleetService(cluster)
+        with pytest.raises(ValueError, match="at least one board"):
+            service.drain_board("solo")
