@@ -34,6 +34,7 @@ from . import (
     models,
     nn,
     online,
+    resilience,
     sim,
     slo,
     workloads,
@@ -53,7 +54,7 @@ from .core import (
     unregister_scheduler,
 )
 from .engine import SchedulingEngine
-from .estimator import EmbeddingSpace, ThroughputEstimator
+from .estimator import EmbeddingSpace, EstimatorFault, ThroughputEstimator
 from .evaluation import TimelineReport
 from .fleet import (
     Autoscaler,
@@ -68,6 +69,7 @@ from .hw import Platform, cloud_tier, hikey970
 from .models import MODEL_NAMES, build_model
 from .online import OnlineConfig, OnlineDecision, OnlineScheduler
 from .pipeline import OmniBoostSystem, build_system
+from .resilience import FaultPlan, FaultSpec, ResiliencePolicy
 from .service import SchedulingService, ServiceStats
 from .slo import AdmissionController, AdmissionDecision, SLOPolicy
 from .sim import BoardSimulator, BoardUnresponsiveError, Mapping, SimConfig
@@ -87,7 +89,7 @@ from .workloads import (
     generate_trace,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AdmissionController",
@@ -102,7 +104,10 @@ __all__ = [
     "Cluster",
     "ElasticPolicy",
     "EmbeddingSpace",
+    "EstimatorFault",
     "FailureEvent",
+    "FaultPlan",
+    "FaultSpec",
     "FleetResponse",
     "FleetService",
     "FleetStats",
@@ -115,6 +120,7 @@ __all__ = [
     "OnlineDecision",
     "OnlineScheduler",
     "Platform",
+    "ResiliencePolicy",
     "SLOPolicy",
     "SLOTarget",
     "ScheduleDecision",
@@ -155,6 +161,7 @@ __all__ = [
     "nn",
     "online",
     "register_scheduler",
+    "resilience",
     "sim",
     "slo",
     "unregister_scheduler",

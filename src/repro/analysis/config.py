@@ -75,6 +75,11 @@ class AllowlistEntry:
 #:   kernels; flagging training code or tests would be noise.
 #: * RPR005 -- canonical cache keys are a production-code doctrine;
 #:   tests build ad-hoc tuples legitimately.
+#: * RPR009 -- fault visibility is a serving-path doctrine: the
+#:   modules on the request path (engine, service, SLO, fleet,
+#:   resilience) must surface every swallowed exception as a counter
+#:   or re-raise; library and test code handles exceptions for many
+#:   legitimate local reasons.
 DEFAULT_SCOPES: Dict[str, RuleScope] = {
     "RPR002": RuleScope(include=("src/", "benchmarks/")),
     "RPR003": RuleScope(include=("benchmarks/",)),
@@ -85,6 +90,15 @@ DEFAULT_SCOPES: Dict[str, RuleScope] = {
         )
     ),
     "RPR005": RuleScope(include=("src/",)),
+    "RPR009": RuleScope(
+        include=(
+            "src/repro/engine.py",
+            "src/repro/service.py",
+            "src/repro/slo.py",
+            "src/repro/fleet/",
+            "src/repro/resilience/",
+        )
+    ),
 }
 
 #: Serving-stack modules where an inline ``tuple(sorted(...))`` is a

@@ -17,6 +17,7 @@ from .docs_sync import ExportDocsSync
 from .gates import CountBasedPerfGates
 from .hygiene import BareExcept, MutableDefaultArgs
 from .invariance import BatchInvariance
+from .serving import ServingPathFaultVisibility
 from .wallclock import WallclockConfinement
 
 __all__ = ["ALL_RULES", "RULES_BY_CODE", "rule_catalog"]
@@ -30,6 +31,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     ExportDocsSync,
     MutableDefaultArgs,
     BareExcept,
+    ServingPathFaultVisibility,
 )
 
 RULES_BY_CODE: Dict[str, Type[Rule]] = {rule.code: rule for rule in ALL_RULES}

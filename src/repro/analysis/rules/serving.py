@@ -1,0 +1,112 @@
+"""RPR009 -- silent fault swallowing in the serving path.
+
+The resilience layer's whole contract is that degradation is *visible*:
+every fault the ladder absorbs shows up in
+:class:`~repro.core.scheduler.SchedulerStats` counters and on the
+timeline.  An ``except`` block in a serving-path module that neither
+re-raises nor records defeats that contract -- the fault vanishes and
+the operator debugging a brownout sees a healthy service.
+
+A handler is compliant when its body does any of:
+
+* **re-raise** -- any ``raise`` statement (bare or typed);
+* **record** -- a call to a ``record_*`` method (the ladder /
+  attainment-tracker idiom);
+* **count** -- an assignment or augmented assignment to an attribute
+  whose name mentions ``stats``, ``count``, ``fault`` or ``fallback``
+  (``self._stats.faults_detected += 1``,
+  ``self.greedy_fallbacks += 1``);
+* **pragma** -- ``# repro: lint-ignore[RPR009] -- reason`` when the
+  swallow is genuinely the point (e.g. dropping a torn journal tail
+  *is* the crash recovery).
+
+``except StopIteration`` handlers are exempt: they are the generator
+protocol's return channel, not error handling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, LintContext, ParsedModule, Rule
+
+__all__ = ["ServingPathFaultVisibility"]
+
+#: Attribute-name fragments that mark a handler body as *counting* the
+#: swallowed fault into a stats surface.
+COUNTER_FRAGMENTS = ("stats", "count", "fault", "fallback")
+
+
+class ServingPathFaultVisibility(Rule):
+    code = "RPR009"
+    name = "serving-path-fault-visibility"
+    doctrine = (
+        "A serving-path except block must re-raise, record, or count "
+        "the fault it catches -- silent swallows turn brownouts into "
+        "invisible healthy-looking service."
+    )
+
+    def check(
+        self, module: ParsedModule, context: LintContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if self._catches_stop_iteration(node):
+                continue
+            if self._is_visible(node):
+                continue
+            caught = self._caught_names(node)
+            yield self.finding(
+                module.rel_path,
+                node,
+                f"except {caught} swallows the fault silently; re-raise, "
+                "call a record_* hook, or bump a stats/fault counter "
+                "(or pragma-annotate why the swallow is the point)",
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _caught_names(handler: ast.ExceptHandler) -> str:
+        if handler.type is None:
+            return "(bare)"
+        return ast.unparse(handler.type)
+
+    @staticmethod
+    def _catches_stop_iteration(handler: ast.ExceptHandler) -> bool:
+        """Generator-protocol handlers are flow control, not faults."""
+        kind = handler.type
+        names: Iterable[ast.expr]
+        if kind is None:
+            return False
+        names = kind.elts if isinstance(kind, ast.Tuple) else (kind,)
+        return any(
+            isinstance(name, ast.Name) and name.id == "StopIteration"
+            for name in names
+        )
+
+    @classmethod
+    def _is_visible(cls, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr.startswith("record_")
+            ):
+                return True
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and any(
+                        fragment in target.attr.lower()
+                        for fragment in COUNTER_FRAGMENTS
+                    ):
+                        return True
+        return False

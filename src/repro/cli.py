@@ -318,14 +318,26 @@ def _cmd_serve_trace(args: argparse.Namespace) -> int:
         trace = trace.truncated(args.events)
     if not len(trace):
         raise SystemExit("trace has no events")
+    slo = _slo_policy(args)
+    journal = _journal_args(args, slo)
     builder = _make_builder(args)
-    service = SchedulingService(builder)
+    service = SchedulingService(builder, resilience=_resilience_policy(args))
     online = OnlineConfig(
         warm=not args.no_warm,
         warm_patience=args.warm_patience,
         min_overlap=args.min_overlap,
     )
-    report = service.run_trace(trace, online=online, slo=_slo_policy(args))
+    if args.resume:
+        try:
+            report = service.resume_trace(
+                trace, journal, online=online, slo=slo
+            )
+        except ValueError as error:
+            raise SystemExit(f"--resume: {error}") from None
+    else:
+        report = service.run_trace(
+            trace, online=online, slo=slo, checkpoint=journal
+        )
     print(report.event_table())
     print(f"\n{report.summary()}")
     stats = service.stats()
@@ -336,6 +348,16 @@ def _cmd_serve_trace(args: argparse.Namespace) -> int:
         f"{stats.estimator_queries_actual:.0f} estimator queries paid "
         f"of {stats.estimator_queries:.0f} budgeted"
     )
+    if stats.faults_detected or stats.degraded_decisions:
+        tiers = dict(sorted(stats.decisions_by_tier.items()))
+        print(
+            f"resilience: {stats.faults_detected} fault(s) detected, "
+            f"{stats.cache_corruptions} cache corruption(s), "
+            f"{stats.degraded_decisions} degraded decision(s) {tiers}, "
+            f"{stats.tier_step_downs} step-down(s), "
+            f"{stats.tier_step_ups} step-up(s), "
+            f"{stats.tier_probes} probe(s)"
+        )
     if stats.slo_requests:
         pcts = ", ".join(
             f"p{p}: {ratio:.2f}"
@@ -372,12 +394,91 @@ def _chaos_plan(args: argparse.Namespace):
             raise SystemExit(
                 f"--chaos expects BOARD@TIME (e.g. edge1@10.0), got {spec!r}"
             )
-        failures.append(FailureEvent(time_s=time_s, board=board))
+        try:
+            failures.append(FailureEvent(time_s=time_s, board=board))
+        except ValueError as error:
+            # e.g. a negative timestamp: a usage error, not a traceback.
+            raise SystemExit(f"--chaos {spec!r}: {error}") from None
     failures.sort(key=lambda failure: failure.time_s)
     try:
         return ChaosPlan(tuple(failures), name="cli")
     except ValueError as error:
         raise SystemExit(f"--chaos: {error}") from None
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared fault/checkpoint flag group (serve-trace / fleet-serve)."""
+    parser.add_argument(
+        "--faults",
+        action="append",
+        default=None,
+        metavar="KIND@CALL[xN]",
+        help="inject a deterministic fault at an estimator call count "
+        "(repeatable): estimator-nan, estimator-inf, plan-error at "
+        "forward CALL, or cache-corrupt at lookup CALL; xN widens the "
+        "window to N calls (e.g. estimator-nan@3x5); arms the "
+        "degradation ladder",
+    )
+    parser.add_argument(
+        "--journal",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="crash-consistent trace journal: every committed event "
+        "group is fsynced here so --resume can continue the replay "
+        "byte-identically after a crash",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the replay from --journal instead of starting "
+        "over (completed groups are re-emitted, serving state is "
+        "restored, the remainder re-plans and keeps journaling)",
+    )
+
+
+def _resilience_policy(args: argparse.Namespace):
+    """The :class:`~repro.resilience.ResiliencePolicy` of the flags.
+
+    ``--faults`` specs are parsed and composed into a
+    :class:`~repro.resilience.FaultPlan` (sorted by call count; plan
+    validation errors become one-line usage errors).  Returns ``None``
+    when no fault flag was given — the byte-identical default.
+    """
+    from .resilience import FaultPlan, FaultSpec, ResiliencePolicy
+
+    if not args.faults:
+        return None
+    specs = []
+    for text in args.faults:
+        try:
+            specs.append(FaultSpec.parse(text))
+        except ValueError as error:
+            raise SystemExit(f"--faults {text!r}: {error}") from None
+    specs.sort(key=lambda spec: spec.at_call)
+    try:
+        plan = FaultPlan(tuple(specs), name="cli")
+    except ValueError as error:
+        raise SystemExit(f"--faults: {error}") from None
+    return ResiliencePolicy(faults=plan)
+
+
+def _journal_args(args: argparse.Namespace, slo) -> Optional[str]:
+    """Validate the ``--journal``/``--resume`` combination.
+
+    Returns the journal path (or ``None``) for ``run_trace``; usage
+    conflicts — resuming without a journal, journaling under an
+    *enforcing* SLO policy — exit with a one-line error instead of
+    surfacing as tracebacks from the service layer.
+    """
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal PATH")
+    if args.journal and slo is not None and slo.enforced:
+        raise SystemExit(
+            "--journal does not cover the SLO enforcement queue; "
+            "add --slo-observe or drop --slo"
+        )
+    return args.journal or None
 
 
 def _cmd_fleet_serve(args: argparse.Namespace) -> int:
@@ -389,6 +490,15 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
 
     (scheduler_name,) = _validate_scheduler_names([args.scheduler])
     chaos = _chaos_plan(args)
+    slo = _slo_policy(args)
+    journal = _journal_args(args, slo)
+    if (args.journal or args.resume) and not args.trace:
+        raise SystemExit("--journal/--resume only apply to --trace replays")
+    if args.journal and args.elastic:
+        raise SystemExit(
+            "--journal does not cover elastic fleet-composition "
+            "changes; drop --elastic"
+        )
     elastic = None
     if args.elastic:
         if not args.trace:
@@ -413,7 +523,8 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         cluster,
         scheduler=scheduler_name,
         placement=args.placement,
-        slo=_slo_policy(args),
+        slo=slo,
+        resilience=_resilience_policy(args),
     )
     boards = ", ".join(
         f"{board.name}={board.preset}" for board in cluster
@@ -435,12 +546,22 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         trace = preset.build_trace(args.trace_seed)
         if args.events is not None:
             trace = trace.truncated(args.events)
-        report = service.run_trace(
-            trace,
-            online=OnlineConfig(warm_patience=args.warm_patience),
-            chaos=chaos,
-            elastic=elastic,
-        )
+        online = OnlineConfig(warm_patience=args.warm_patience)
+        if args.resume:
+            try:
+                report = service.resume_trace(
+                    trace, journal, online=online, chaos=chaos
+                )
+            except ValueError as error:
+                raise SystemExit(f"--resume: {error}") from None
+        else:
+            report = service.run_trace(
+                trace,
+                online=online,
+                chaos=chaos,
+                elastic=elastic,
+                checkpoint=journal,
+            )
         print(report.event_table())
         print(f"\n{report.summary()}")
         for board in report.boards:
@@ -760,8 +881,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default="bursty",
         help="churn scenario name (bursty, diurnal, priority-inversion, "
-        "steady-drain, priority-storm, slo-squeeze); ignored when "
-        "--trace-file is given",
+        "steady-drain, priority-storm, slo-squeeze, estimator-brownout); "
+        "ignored when --trace-file is given",
     )
     trace.add_argument(
         "--trace-file",
@@ -814,6 +935,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the TimelineReport JSON to this path",
     )
     _add_slo_arguments(trace)
+    _add_resilience_arguments(trace)
     trace.set_defaults(fn=_cmd_serve_trace)
 
     fleet = sub.add_parser(
@@ -910,6 +1032,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered scheduler answering on every board",
     )
     _add_slo_arguments(fleet)
+    _add_resilience_arguments(fleet)
     fleet.set_defaults(fn=_cmd_fleet_serve)
 
     lint = sub.add_parser(

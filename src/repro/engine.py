@@ -37,15 +37,28 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
+from .baselines.ga import StaticCostModel
 from .builder import OmniBoostSystem, SystemBuilder
 from .core.base import ScheduleDecision, ScheduleRequest, ScheduleResponse, Scheduler
 from .core.mcts import MCTSResult
 from .core.scheduler import OmniBoostScheduler
+from .estimator.model import EstimatorFault
 from .evaluation.timeline import TimelineRecord, TimelineReport
+from .nn.inference import PlanExecutionError
 from .online import OnlineConfig, OnlineDecision, OnlineScheduler
+from .resilience import (
+    TIERS,
+    DegradationLadder,
+    FaultInjector,
+    ResiliencePolicy,
+    TraceJournal,
+    trace_fingerprint,
+)
 from .sim.mapping import Mapping
 from .slo import AdmissionController, SLOPolicy, make_estimator_scorer, preemption_victims
 from .workloads.mix import Workload, canonical_signature
@@ -97,6 +110,19 @@ class ServiceStats:
     rejections_by_priority: Dict[int, int] = field(default_factory=dict)
     preemptions_by_priority: Dict[int, int] = field(default_factory=dict)
     queued_by_priority: Dict[int, int] = field(default_factory=dict)
+    #: Resilience accounting (:mod:`repro.resilience`): typed faults
+    #: the degradation ladder caught, poisoned decision-cache entries
+    #: detected and dropped, decisions made below the normal serving
+    #: tier (total and per tier), and the ladder's step-down /
+    #: step-up / half-open-probe transition counts (filled at snapshot
+    #: time).  All stay zero/empty without a ResiliencePolicy.
+    faults_detected: int = 0
+    cache_corruptions: int = 0
+    degraded_decisions: int = 0
+    decisions_by_tier: Dict[str, int] = field(default_factory=dict)
+    tier_step_downs: int = 0
+    tier_step_ups: int = 0
+    tier_probes: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -182,6 +208,16 @@ class ServiceStats:
         self.estimator_plan_compiles += other.estimator_plan_compiles
         self.slo_requests += other.slo_requests
         self.slo_attained += other.slo_attained
+        self.faults_detected += other.faults_detected
+        self.cache_corruptions += other.cache_corruptions
+        self.degraded_decisions += other.degraded_decisions
+        self.tier_step_downs += other.tier_step_downs
+        self.tier_step_ups += other.tier_step_ups
+        self.tier_probes += other.tier_probes
+        for tier, count in other.decisions_by_tier.items():
+            self.decisions_by_tier[tier] = (
+                self.decisions_by_tier.get(tier, 0) + count
+            )
         for priority, count in other.requests_by_priority.items():
             self.requests_by_priority[priority] = (
                 self.requests_by_priority.get(priority, 0) + count
@@ -244,6 +280,9 @@ class _SearchJob:
     gen: object = None
     pending: Optional[List[Mapping]] = None
     result: Optional[MCTSResult] = None
+    #: Set instead of ``result`` when the greedy resilience tier
+    #: answered without a search.
+    decision: Optional[ScheduleDecision] = None
     elapsed: float = 0.0
     #: Drive priority: the leader's, raised to any follower's — a
     #: high-priority duplicate of a low-priority in-flight mix must
@@ -289,6 +328,12 @@ class SchedulingEngine:
         Optional board label; a fleet names each engine after its
         board so stats and timeline records carry attribution.  The
         single-board service leaves it empty.
+    resilience:
+        Optional :class:`~repro.resilience.ResiliencePolicy` arming the
+        degradation ladder (and, when the policy carries a fault plan,
+        the deterministic fault injector).  ``None`` — the default —
+        leaves every code path byte-identical to an engine built before
+        the resilience layer existed.
     """
 
     def __init__(
@@ -297,6 +342,7 @@ class SchedulingEngine:
         scheduler: str = "omniboost",
         cache_decisions: bool = True,
         board: str = "",
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         if isinstance(source, SystemBuilder):
             self._builder: Optional[SystemBuilder] = source
@@ -315,6 +361,17 @@ class SchedulingEngine:
         self._scheduler: Optional[Scheduler] = None
         self._cache: Dict[CacheKey, Tuple[Tuple[str, ...], ScheduleDecision]] = {}
         self._stats = ServiceStats()
+        self.resilience = resilience
+        self._ladder = (
+            DegradationLadder(resilience) if resilience is not None else None
+        )
+        self._injector = (
+            FaultInjector(resilience.faults) if resilience is not None else None
+        )
+        #: The ladder tier the in-flight pooled drive runs at ("" when
+        #: healthy/no policy) — consulted by :meth:`_evaluate_pairs`.
+        self._active_tier = ""
+        self._static_cost: Optional[StaticCostModel] = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -358,6 +415,17 @@ class SchedulingEngine:
                 self._stats.cache_bypasses += 1
             else:
                 cached = self._cache.get(key)
+                if (
+                    self._injector is not None
+                    and self._injector.on_cache_lookup()
+                    and cached is not None
+                ):
+                    # Injected corruption drill: the poisoned entry is
+                    # detected, dropped, counted — and the request
+                    # falls through to a fresh search.
+                    self._stats.cache_corruptions += 1
+                    del self._cache[key]
+                    cached = None
                 if cached is not None:
                     self._stats.cache_hits += 1
                     responses[i] = self._hit_response(request, cached, started)
@@ -387,11 +455,14 @@ class SchedulingEngine:
 
         if jobs:
             jobs.sort(key=lambda job: (-job.priority, job.index))
-            self._drive_pooled(scheduler, jobs)
+            self._resilient_drive(scheduler, None, jobs, kind="search")
             for job in jobs:
-                decision = scheduler.decision_from_result(
-                    job.result, int(job.result.cache_misses)
-                )
+                if job.decision is not None:
+                    decision = job.decision
+                else:
+                    decision = scheduler.decision_from_result(
+                        job.result, int(job.result.cache_misses)
+                    )
                 decision = replace(decision, wall_time_s=job.elapsed)
                 self._account(decision)
                 names = tuple(job.request.workload.model_names)
@@ -446,6 +517,16 @@ class SchedulingEngine:
             preemptions_by_priority=dict(self._stats.preemptions_by_priority),
             queued_by_priority=dict(self._stats.queued_by_priority),
             estimator_plan_compiles=plan_compiles,
+            decisions_by_tier=dict(self._stats.decisions_by_tier),
+            tier_step_downs=(
+                self._ladder.step_downs if self._ladder is not None else 0
+            ),
+            tier_step_ups=(
+                self._ladder.step_ups if self._ladder is not None else 0
+            ),
+            tier_probes=(
+                self._ladder.probes if self._ladder is not None else 0
+            ),
         )
 
     def run_trace(
@@ -454,6 +535,7 @@ class SchedulingEngine:
         online: Optional[OnlineConfig] = None,
         record_mappings: bool = False,
         slo: Optional[SLOPolicy] = None,
+        checkpoint: Optional[str] = None,
     ) -> TimelineReport:
         """Replay an arrival/departure trace, re-planning each change.
 
@@ -484,36 +566,202 @@ class SchedulingEngine:
         (set ``record_mappings`` to embed each decision's device rows).
         Re-planning costs also land in the engine counters:
         per-priority waits, pooled batches, estimator queries.
+
+        ``checkpoint`` names a crash-consistent journal file
+        (:class:`~repro.resilience.TraceJournal`): every committed
+        event group is fsynced to it, and :meth:`resume_trace` can
+        reconstruct and continue the replay after a crash,
+        byte-identically.  Journaling is incompatible with an
+        *enforcing* SLO policy (the enforcement queue is not
+        checkpointed); observe-only policies are fine.
         """
         online_scheduler = self.make_online_scheduler(online)
         if slo is not None and slo.enforced:
+            if checkpoint is not None:
+                raise ValueError(
+                    "checkpointing does not cover the SLO enforcement "
+                    "queue; run with an observe-only policy or none"
+                )
             records = self._replay_enforced(
                 trace, online_scheduler, slo, record_mappings
             )
-        else:
-            records = []
-            index = 0
-            for group in trace.grouped():
-                jobs = [
-                    self.stage_trace_event(online_scheduler, event)
-                    for event in group
+            return self._trace_report(trace, records)
+        journal = None
+        if checkpoint is not None:
+            journal = TraceJournal.create(
+                checkpoint,
+                self._journal_header(trace, online, record_mappings),
+            )
+        return self._replay_journaled(
+            trace, online_scheduler, record_mappings, slo, journal,
+            skip_groups=0, prefix=(),
+        )
+
+    def resume_trace(
+        self,
+        trace: ArrivalTrace,
+        checkpoint: str,
+        online: Optional[OnlineConfig] = None,
+        record_mappings: bool = False,
+        slo: Optional[SLOPolicy] = None,
+    ) -> TimelineReport:
+        """Continue a journaled :meth:`run_trace` after a crash.
+
+        The journal's completed groups are not re-planned: their
+        records are re-emitted verbatim and the serving state (online
+        tenancy + warm rows, ladder and injector counters) is restored
+        from the last committed group, so the remainder of the replay
+        — which keeps journaling into the same file — produces a
+        :class:`~repro.evaluation.TimelineReport` byte-identical to
+        the uninterrupted run.  Arguments must match the original call
+        (the journal header pins them); a mismatch raises
+        :class:`ValueError`.  Resuming an already-complete journal
+        just re-emits the report.
+        """
+        if slo is not None and slo.enforced:
+            raise ValueError(
+                "checkpointing does not cover the SLO enforcement "
+                "queue; run with an observe-only policy or none"
+            )
+        online_scheduler = self.make_online_scheduler(online)
+        journal, header, entries = TraceJournal.resume(checkpoint)
+        expected = self._journal_header(trace, online, record_mappings)
+        mismatched = [
+            key
+            for key, value in expected.items()
+            if header.get(key) != value
+        ]
+        if mismatched:
+            raise ValueError(
+                f"journal {checkpoint} was written for a different "
+                f"replay (mismatched: {', '.join(sorted(mismatched))})"
+            )
+        records: List[TimelineRecord] = []
+        for entry in entries:
+            records.extend(
+                TimelineRecord.from_dict(record)
+                for record in entry["records"]
+            )
+        if entries:
+            self._restore_journal_state(online_scheduler, entries[-1]["state"])
+        return self._replay_journaled(
+            trace, online_scheduler, record_mappings, slo, journal,
+            skip_groups=len(entries), prefix=tuple(records),
+        )
+
+    # ------------------------------------------------------------------
+    # Crash-consistent journaling (checkpoint= / resume_trace)
+    # ------------------------------------------------------------------
+    def _replay_journaled(
+        self,
+        trace: ArrivalTrace,
+        online_scheduler: OnlineScheduler,
+        record_mappings: bool,
+        slo: Optional[SLOPolicy],
+        journal: Optional[TraceJournal],
+        skip_groups: int,
+        prefix: Tuple[TimelineRecord, ...],
+    ) -> TimelineReport:
+        """The (non-enforcing) replay loop, optionally journaled.
+
+        With ``journal=None`` and ``skip_groups=0`` this is exactly the
+        historical replay: per-group staging, pooled driving, and
+        observe-only SLO annotation applied per group (a per-record
+        transform, so annotating each group as it completes is
+        byte-identical to annotating the whole list at the end — and
+        it has to happen before the group is journaled).
+        """
+        records: List[TimelineRecord] = list(prefix)
+        index = len(records)
+        target = slo.target if slo is not None else None
+        for position, group in enumerate(trace.grouped()):
+            if position < skip_groups:
+                continue
+            jobs = [
+                self.stage_trace_event(online_scheduler, event)
+                for event in group
+            ]
+            produced = self.replay_group(
+                online_scheduler, jobs, index, record_mappings
+            )
+            if target is not None:
+                produced = [
+                    self._annotate_slo(record, target)
+                    for record in produced
                 ]
-                records.extend(
-                    self.replay_group(
-                        online_scheduler, jobs, index, record_mappings
-                    )
+            records.extend(produced)
+            index += len(jobs)
+            if journal is not None:
+                journal.append_group(
+                    position,
+                    len(group),
+                    [record.to_dict() for record in produced],
+                    self._journal_state(online_scheduler),
                 )
-                index += len(jobs)
-            if slo is not None and slo.target is not None:
-                records = [
-                    self._annotate_slo(record, slo.target)
-                    for record in records
-                ]
+        if journal is not None:
+            journal.close()
+        return self._trace_report(trace, records)
+
+    def _trace_report(
+        self, trace: ArrivalTrace, records: List[TimelineRecord]
+    ) -> TimelineReport:
         return TimelineReport(
             records=tuple(records),
             trace_name=trace.name,
             scheduler_name=self._scheduler_instance().name,
         )
+
+    def _journal_header(
+        self,
+        trace: ArrivalTrace,
+        online: Optional[OnlineConfig],
+        record_mappings: bool,
+    ) -> Dict:
+        """What a resume must match for byte-identity to be possible."""
+        return {
+            "surface": "engine",
+            "board": self.board,
+            "scheduler": self.scheduler_name,
+            "record_mappings": bool(record_mappings),
+            "online": asdict(online or OnlineConfig()),
+            "faults": (
+                self.resilience.faults.to_dict()
+                if self.resilience is not None
+                else None
+            ),
+            "trace": trace_fingerprint(trace),
+        }
+
+    def _journal_state(self, online_scheduler: OnlineScheduler) -> Dict:
+        """Serving state as of the last committed group."""
+        state = {"online": online_scheduler.export_state()}
+        resilience = self.resilience_state()
+        if resilience is not None:
+            state["resilience"] = resilience
+        return state
+
+    def _restore_journal_state(
+        self, online_scheduler: OnlineScheduler, state: Dict
+    ) -> None:
+        online_scheduler.restore_state(state["online"])
+        if "resilience" in state:
+            self.restore_resilience_state(state["resilience"])
+
+    def resilience_state(self) -> Optional[Dict]:
+        """Ladder + injector counters for checkpointing (None if unarmed)."""
+        if self._ladder is None:
+            return None
+        return {
+            "ladder": self._ladder.export_state(),
+            "injector": self._injector.export_state(),
+        }
+
+    def restore_resilience_state(self, state: Optional[Dict]) -> None:
+        """Restore a :meth:`resilience_state` snapshot."""
+        if state is None or self._ladder is None:
+            return
+        self._ladder.restore_state(state["ladder"])
+        self._injector.restore_state(state["injector"])
 
     def clear_cache(self) -> int:
         """Drop all cached decisions, returning how many were held."""
@@ -570,14 +818,18 @@ class SchedulingEngine:
         ``start_index``).
         """
         scheduler = self._scheduler_instance()
-        self._drive_trace_jobs(scheduler, online_scheduler, jobs)
+        tier = self._resilient_drive(
+            scheduler, online_scheduler, jobs, kind="trace"
+        )
         committed = None
         records: List[TimelineRecord] = []
         index = start_index
         for job in jobs:
             if job.outcome is not None:
                 committed = job.outcome
-            records.append(self._trace_record(index, job, record_mappings))
+            records.append(
+                self._trace_record(index, job, record_mappings, tier)
+            )
             self._stats.trace_events += 1
             if job.outcome is not None:
                 self._stats.trace_reschedules += 1
@@ -807,6 +1059,184 @@ class SchedulingEngine:
         return getattr(memory, "max_residency", None)
 
     # ------------------------------------------------------------------
+    # Degradation ladder (resilient pooled driving)
+    # ------------------------------------------------------------------
+    def _resilient_drive(
+        self,
+        scheduler: Scheduler,
+        online_scheduler: Optional[OnlineScheduler],
+        jobs: List,
+        kind: str,
+    ) -> str:
+        """Run one pooled drive under the degradation ladder.
+
+        Without a :class:`~repro.resilience.ResiliencePolicy` this is a
+        straight call into the historical drive loop — byte-identical
+        behaviour.  With one, a drive that dies with a typed fault
+        (:class:`~repro.estimator.model.EstimatorFault` /
+        :class:`~repro.nn.inference.PlanExecutionError`) is counted,
+        stepped down, and *retried from scratch* at the new tier — the
+        coroutines are recreated deterministically, so the retry is a
+        pure function of the tier.  The greedy floor cannot fault, so
+        every request is always answered.  Returns the tier that
+        produced the decisions, ``""`` for the healthy top tier.
+        """
+        if self._ladder is None:
+            if kind == "search":
+                self._drive_pooled(scheduler, jobs)
+            else:
+                self._drive_trace_jobs(scheduler, online_scheduler, jobs)
+            return ""
+        estimator = getattr(scheduler, "estimator", None)
+        decisions = (
+            len(jobs)
+            if kind == "search"
+            else sum(1 for job in jobs if job.workload is not None)
+        )
+        while True:
+            tier = self._ladder.begin_attempt()
+            try:
+                if tier == "greedy":
+                    if kind == "search":
+                        self._greedy_search_jobs(jobs)
+                    else:
+                        self._greedy_trace_jobs(jobs)
+                else:
+                    saved = None
+                    if estimator is not None and tier == "interpreter":
+                        saved = estimator.use_compiled
+                        estimator.use_compiled = False
+                    self._active_tier = tier
+                    try:
+                        if kind == "search":
+                            self._drive_pooled(scheduler, jobs)
+                        else:
+                            self._drive_trace_jobs(
+                                scheduler, online_scheduler, jobs
+                            )
+                    finally:
+                        self._active_tier = ""
+                        if saved is not None:
+                            estimator.use_compiled = saved
+            except (EstimatorFault, PlanExecutionError):
+                self._stats.faults_detected += 1
+                self._ladder.record_fault()
+                if kind == "search":
+                    self._reset_search_jobs(jobs)
+                else:
+                    self._reset_trace_jobs(jobs)
+                continue
+            self._ladder.complete_attempt(decisions)
+            if tier == TIERS[0]:
+                return ""
+            if decisions:
+                self._stats.degraded_decisions += decisions
+                self._stats.decisions_by_tier[tier] = (
+                    self._stats.decisions_by_tier.get(tier, 0) + decisions
+                )
+            return tier
+
+    def _evaluate_pairs(self, estimator, pairs) -> np.ndarray:
+        """Price one pooled micro-batch at the active ladder tier.
+
+        The static tier fabricates constant per-device rows from the
+        closed-form :class:`~repro.baselines.ga.StaticCostModel` — zero
+        estimator forwards — shaped exactly like
+        ``predict_throughput_batch`` output so the search machinery is
+        none the wiser (``reward_from_predictions`` reduces each row to
+        its mean, recovering the static estimate).
+        """
+        if self._active_tier == "static":
+            model = self._static_cost_model()
+            num_devices = model.platform.num_devices
+            return np.array(
+                [
+                    [model.estimate(workload, mapping)] * num_devices
+                    for workload, mapping in pairs
+                ]
+            )
+        return estimator.predict_throughput_batch(pairs)
+
+    def _static_cost_model(self) -> StaticCostModel:
+        if self._static_cost is None:
+            if self._builder is not None:
+                self._static_cost = self._builder.ga_cost_model
+            else:
+                self._static_cost = StaticCostModel(
+                    self._system.platform,
+                    self._system.latency_table,
+                    offered_rate=self._system.simulator.config.offered_rate,
+                )
+        return self._static_cost
+
+    def _greedy_decision(self, workload: Workload) -> ScheduleDecision:
+        """The ladder floor: deterministic no-search whole-DNN placement.
+
+        Each DNN lands, in workload order, on the device with the
+        least accumulated profiled latency (its own estimated run time
+        included; ties break on the lower device id).  Scored by the
+        static cost model — zero estimator forwards, zero search
+        iterations, always an answer.
+        """
+        cost_model = self._static_cost_model()
+        table = cost_model.latency_table
+        num_devices = cost_model.platform.num_devices
+        busy = [0.0] * num_devices
+        rows = []
+        for model in workload.models:
+            per_device = table.tables[model.name].sum(axis=1)
+            device = min(
+                range(num_devices),
+                key=lambda d: (busy[d] + float(per_device[d]), d),
+            )
+            rows.append((device,) * model.num_layers)
+            busy[device] += float(per_device[device])
+        mapping = Mapping(rows)
+        score = float(cost_model.estimate(workload, mapping))
+        return ScheduleDecision(
+            mapping=mapping,
+            expected_score=score,
+            wall_time_s=0.0,
+            cost={
+                "estimator_queries": 0.0,
+                "estimator_queries_actual": 0.0,
+            },
+        )
+
+    def _greedy_search_jobs(self, jobs: List[_SearchJob]) -> None:
+        for job in jobs:
+            job.decision = self._greedy_decision(job.request.workload)
+            job.elapsed = time.perf_counter() - job.started  # repro: lint-ignore[RPR002] -- host measurement of per-request latency
+
+    def _greedy_trace_jobs(self, jobs: List[_TraceJob]) -> None:
+        for job in jobs:
+            job.started = time.perf_counter()  # repro: lint-ignore[RPR002] -- host measurement of trace-step latency
+            if job.workload is None:
+                continue  # board emptied: idle event, nothing to place
+            decision = self._greedy_decision(job.workload)
+            job.outcome = OnlineDecision(
+                decision=decision, workload=job.workload, mode="greedy"
+            )
+            job.elapsed = time.perf_counter() - job.started  # repro: lint-ignore[RPR002] -- host measurement of trace-step latency
+
+    @staticmethod
+    def _reset_search_jobs(jobs: List[_SearchJob]) -> None:
+        """Rewind faulted searches so the next tier retries from scratch."""
+        for job in jobs:
+            job.gen = None
+            job.pending = None
+            job.result = None
+            job.decision = None
+
+    @staticmethod
+    def _reset_trace_jobs(jobs: List[_TraceJob]) -> None:
+        for job in jobs:
+            job.gen = None
+            job.pending = None
+            job.pending_workload = None
+            job.outcome = None
+
+    # ------------------------------------------------------------------
     # Pooled concurrent search
     # ------------------------------------------------------------------
     def _drive_pooled(
@@ -840,7 +1270,7 @@ class SchedulingEngine:
                 for job in waiting
                 for mapping in job.pending
             ]
-            rows = estimator.predict_throughput_batch(pairs)
+            rows = self._evaluate_pairs(estimator, pairs)
             self._stats.pooled_eval_batches += 1
             self._stats.pooled_evaluations += len(pairs)
             offset = 0
@@ -889,7 +1319,7 @@ class SchedulingEngine:
                 for job in waiting
                 for mapping in job.pending
             ]
-            rows = estimator.predict_throughput_batch(pairs)
+            rows = self._evaluate_pairs(estimator, pairs)
             self._stats.pooled_eval_batches += 1
             self._stats.pooled_evaluations += len(pairs)
             offset = 0
@@ -925,7 +1355,11 @@ class SchedulingEngine:
             job.elapsed = time.perf_counter() - job.started  # repro: lint-ignore[RPR002] -- host measurement of trace-step latency
 
     def _trace_record(
-        self, index: int, job: _TraceJob, record_mappings: bool
+        self,
+        index: int,
+        job: _TraceJob,
+        record_mappings: bool,
+        tier: str = "",
     ) -> TimelineRecord:
         """Render one trace job as a timeline record."""
         event = job.event
@@ -973,6 +1407,7 @@ class SchedulingEngine:
                 else None
             ),
             board=self.board,
+            tier=tier,
         )
 
     @staticmethod
@@ -1001,6 +1436,10 @@ class SchedulingEngine:
                 self._scheduler = self._builder.build_scheduler(self.scheduler_name)
             else:
                 self._scheduler = self._system.scheduler(self.scheduler_name)
+            if self._injector is not None:
+                estimator = getattr(self._scheduler, "estimator", None)
+                if estimator is not None:
+                    estimator.fault_hook = self._injector.on_forward
         return self._scheduler
 
     @staticmethod

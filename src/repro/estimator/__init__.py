@@ -1,7 +1,7 @@
 """Throughput estimator: embeddings, preprocessing, CNN and training."""
 
 from .embedding import EmbeddingSpace
-from .model import ThroughputEstimator
+from .model import EstimatorFault, ThroughputEstimator
 from .preprocessing import TargetTransform
 from .quality import RankingReport, ranking_report, spearman_rho, top_k_regret
 from .training import (
@@ -14,6 +14,7 @@ from .training import (
 __all__ = [
     "EmbeddingSpace",
     "EstimatorDataset",
+    "EstimatorFault",
     "EstimatorDatasetBuilder",
     "EstimatorTrainer",
     "RankingReport",

@@ -28,7 +28,20 @@ from ..workloads.mix import Workload
 from .embedding import EmbeddingSpace
 from .preprocessing import TargetTransform
 
-__all__ = ["ThroughputEstimator"]
+__all__ = ["EstimatorFault", "ThroughputEstimator"]
+
+
+class EstimatorFault(RuntimeError):
+    """The estimator produced (or was injected with) non-finite output.
+
+    A NaN/Inf prediction must never reach MCTS reward ordering: NaN
+    comparisons are all false, so a single poisoned evaluation silently
+    corrupts UCT child selection instead of failing.  The throughput
+    path therefore guards every denormalized batch with ``isfinite``
+    and raises this typed fault, which the serving engine's degradation
+    ladder (:mod:`repro.resilience`) catches to step down to a safer
+    decision tier.
+    """
 
 
 class ThroughputEstimator:
@@ -72,6 +85,12 @@ class ThroughputEstimator:
         self.target_transform = target_transform or TargetTransform()
         self.query_count = 0
         self.use_compiled = use_compiled
+        #: Optional fault-injection seam (:mod:`repro.resilience`): a
+        #: callable ``(outputs, backend) -> outputs`` invoked once per
+        #: batched forward with ``backend`` one of ``"compiled"`` /
+        #: ``"interpreter"``.  ``None`` (the default) is a straight
+        #: pass-through — production replays never pay for it.
+        self.fault_hook = None
         self._plan: Optional[InferencePlan] = None
         self._plan_version: Optional[int] = None
         self._plan_compiles = 0
@@ -152,6 +171,13 @@ class ThroughputEstimator:
         finally:
             if was_training:
                 network.train()
+        if self.fault_hook is not None:
+            # Fires before accounting: an injected raise (plan-error)
+            # must not inflate the Section V-B query count, exactly
+            # like a real failing forward.
+            outputs = self.fault_hook(
+                outputs, "compiled" if use_compiled else "interpreter"
+            )
         self.query_count += len(pairs)
         return outputs
 
@@ -184,7 +210,15 @@ class ThroughputEstimator:
         # checking first keeps the failure free.
         self.target_transform.require_fitted()
         normalized = self.predict_normalized_batch(pairs)
-        return self.target_transform.inverse(normalized)
+        predicted = self.target_transform.inverse(normalized)
+        if not np.isfinite(predicted).all():
+            raise EstimatorFault(
+                "estimator produced non-finite throughput predictions; "
+                "a NaN/Inf reward would silently corrupt UCT ordering "
+                "in MCTS (all NaN comparisons are false), so the fault "
+                "is raised here instead"
+            )
+        return predicted
 
     def reward(self, workload: Workload, mapping: Mapping) -> float:
         """Scalar MCTS reward: expected system throughput.

@@ -19,7 +19,12 @@ from .metrics import average_throughput, geometric_mean, normalized, speedup
 from .pareto import dominates, pareto_front
 from .reporting import format_comparison, format_runtime_report, format_table
 from .runtime import RuntimeCostModel, RuntimeReport, RuntimeRow
-from .timeline import TimelineRecord, TimelineReport, write_timeline_json
+from .timeline import (
+    TimelineRecord,
+    TimelineReport,
+    read_timeline_json,
+    write_timeline_json,
+)
 from .spacesize import (
     contiguous_mappings_per_model,
     paper_combination_estimate,
@@ -59,5 +64,6 @@ __all__ = [
     "speedup",
     "total_contiguous_mappings",
     "unrestricted_mappings",
+    "read_timeline_json",
     "write_timeline_json",
 ]

@@ -19,7 +19,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .reporting import format_table
 
-__all__ = ["TimelineRecord", "TimelineReport", "write_timeline_json"]
+__all__ = [
+    "TimelineRecord",
+    "TimelineReport",
+    "read_timeline_json",
+    "write_timeline_json",
+]
 
 
 @dataclass(frozen=True)
@@ -58,6 +63,13 @@ class TimelineRecord:
     ``"scale-in"`` (autoscaler moves, record ``kind="scale"``),
     ``"drained"`` (a resident warm-migrated off a retiring board) and
     ``"retired"`` (a manual :meth:`repro.fleet.FleetService.drain_board`).
+
+    ``tier`` is the resilience annotation (:mod:`repro.resilience`):
+    the degradation-ladder tier that produced this decision when it was
+    *below* the normal serving path — ``"interpreter"``, ``"static"``
+    or ``"greedy"`` — and empty for healthy decisions.  Serialized only
+    when set, so non-degraded exports stay byte-identical to the
+    pre-resilience format.
     """
 
     index: int
@@ -81,6 +93,7 @@ class TimelineRecord:
     slo_ratio: Optional[float] = None
     slo_attained: Optional[bool] = None
     fleet_size: Optional[int] = None
+    tier: str = ""
 
     def to_dict(self) -> Dict:
         payload = {
@@ -111,7 +124,49 @@ class TimelineRecord:
             payload["slo_attained"] = self.slo_attained
         if self.fleet_size is not None:
             payload["fleet_size"] = self.fleet_size
+        if self.tier:
+            payload["tier"] = self.tier
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TimelineRecord":
+        """Inverse of :meth:`to_dict`: ``from_dict(r.to_dict()) == r``.
+
+        This round-trip is the contract the crash-consistent trace
+        checkpoint journal (:mod:`repro.resilience.checkpoint`) builds
+        on — journaled records must re-serialize byte-identically.
+        """
+        mapping_rows = payload.get("mapping_rows")
+        return cls(
+            index=int(payload["index"]),
+            time_s=payload["time_s"],
+            kind=payload["kind"],
+            tenant_id=payload["tenant_id"],
+            model=payload["model"],
+            priority=int(payload["priority"]),
+            active_models=tuple(payload["active_models"]),
+            mode=payload["mode"],
+            expected_score=payload.get("expected_score"),
+            seed_reward=payload.get("seed_reward"),
+            evaluations=payload.get("evaluations", 0.0),
+            estimator_queries_actual=payload.get(
+                "estimator_queries_actual", 0.0
+            ),
+            iterations=int(payload.get("iterations", 0)),
+            stopped_early=bool(payload.get("stopped_early", False)),
+            reschedule_time_s=payload.get("reschedule_time_s", 0.0),
+            mapping_rows=(
+                tuple(tuple(int(d) for d in row) for row in mapping_rows)
+                if mapping_rows is not None
+                else None
+            ),
+            board=payload.get("board", ""),
+            action=payload.get("action", ""),
+            slo_ratio=payload.get("slo_ratio"),
+            slo_attained=payload.get("slo_attained"),
+            fleet_size=payload.get("fleet_size"),
+            tier=payload.get("tier", ""),
+        )
 
 
 @dataclass(frozen=True)
@@ -229,6 +284,23 @@ class TimelineReport:
         """Fleet size after the last composition change (None if none)."""
         sizes = [r.fleet_size for r in self.records if r.fleet_size is not None]
         return sizes[-1] if sizes else None
+
+    # ------------------------------------------------------------------
+    # Resilience annotations (degradation-ladder tiers)
+    # ------------------------------------------------------------------
+    @property
+    def degraded_records(self) -> Tuple[TimelineRecord, ...]:
+        """Records whose decision came from a degraded ladder tier."""
+        return tuple(r for r in self.records if r.tier)
+
+    @property
+    def decisions_by_tier(self) -> Dict[str, int]:
+        """Degraded decision counts keyed by ladder tier."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            if record.tier:
+                counts[record.tier] = counts.get(record.tier, 0) + 1
+        return counts
 
     def slo_attainment_rate(self, priority: Optional[int] = None) -> float:
         """Fraction of SLO-annotated events that attained their target."""
@@ -366,6 +438,15 @@ class TimelineReport:
                 f"{self.scale_out_events} scale-outs, "
                 f"{self.scale_in_events} scale-ins)"
             )
+        if self.degraded_records:
+            tiers = ", ".join(
+                f"{tier}: {count}"
+                for tier, count in sorted(self.decisions_by_tier.items())
+            )
+            text += (
+                f"; {len(self.degraded_records)} degraded decisions "
+                f"({tiers})"
+            )
         return text
 
     def to_dict(self) -> Dict:
@@ -410,7 +491,35 @@ class TimelineReport:
                 "scale_ins": self.scale_in_events,
                 "drained": self.drained_events,
             }
+        if self.degraded_records:
+            payload["resilience"] = {
+                "degraded_decisions": len(self.degraded_records),
+                "decisions_by_tier": {
+                    tier: count
+                    for tier, count in sorted(
+                        self.decisions_by_tier.items()
+                    )
+                },
+            }
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TimelineReport":
+        """Rebuild a report from its :meth:`to_dict` export.
+
+        Only the ``events`` list and identity fields are read — every
+        aggregate (and the ``slo``/``elastic``/``resilience`` blocks)
+        is re-derived from the records, so a round-tripped report
+        re-exports byte-identically.
+        """
+        return cls(
+            records=tuple(
+                TimelineRecord.from_dict(record)
+                for record in payload["events"]
+            ),
+            trace_name=payload.get("trace_name", ""),
+            scheduler_name=payload.get("scheduler_name", ""),
+        )
 
 
 def write_timeline_json(report: TimelineReport, path: str) -> None:
@@ -418,3 +527,9 @@ def write_timeline_json(report: TimelineReport, path: str) -> None:
     with open(path, "w") as handle:
         json.dump(report.to_dict(), handle, indent=2)
         handle.write("\n")
+
+
+def read_timeline_json(path: str) -> TimelineReport:
+    """Inverse of :func:`write_timeline_json` (round-trip contract)."""
+    with open(path) as handle:
+        return TimelineReport.from_dict(json.load(handle))

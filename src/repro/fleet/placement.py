@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.scheduler import OmniBoostScheduler
+from ..estimator.model import EstimatorFault
 from ..sim.mapping import Mapping
 from ..workloads.mix import Workload
 
@@ -194,9 +195,16 @@ class FleetPlacer:
             mapping = reference_mapping(
                 workload, scheduler.estimator.embedding.num_devices
             )
-            predicted = scheduler.estimator.predict_throughput_batch(
-                [(workload, mapping)]
-            )
+            try:
+                predicted = scheduler.estimator.predict_throughput_batch(
+                    [(workload, mapping)]
+                )
+            except EstimatorFault:
+                # A faulting estimator cannot price candidates; degrade
+                # this one placement to greedy-load (the board's own
+                # engine ladder handles the search that follows).
+                self.greedy_fallbacks += 1
+                return self._greedy(feasible, load)
             self.placement_evaluations += 1
             raw = float(predicted[0].mean())
             scores.append((raw / (1.0 + load.get(name, 0)), name))

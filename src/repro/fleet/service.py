@@ -49,13 +49,14 @@ A three-board fleet in four lines::
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.base import ScheduleRequest, ScheduleResponse
 from ..engine import SchedulingEngine, ServiceStats
 from ..evaluation.timeline import TimelineRecord, TimelineReport
 from ..online import OnlineConfig, OnlineScheduler
+from ..resilience import ResiliencePolicy, TraceJournal, trace_fingerprint
 from ..sim.mapping import Mapping
 from ..slo import (
     AdmissionController,
@@ -265,6 +266,12 @@ class FleetService:
         without changing them; an enforcing policy gates admission in
         ``schedule_many`` and drives admission/queueing/preemption in
         ``run_trace``.
+    resilience:
+        Optional :class:`~repro.resilience.ResiliencePolicy` armed on
+        *every* board's engine — each board gets its own independent
+        degradation ladder and fault injector (fault call counts are
+        per board, matching each board's private estimator).  ``None``
+        keeps every path byte-identical to the pre-resilience fleet.
     """
 
     def __init__(
@@ -274,6 +281,7 @@ class FleetService:
         cache_decisions: bool = True,
         placement: str = "estimator",
         slo: Optional[SLOPolicy] = None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         if not isinstance(cluster, Cluster):
             raise TypeError(
@@ -282,6 +290,7 @@ class FleetService:
         self.cluster = cluster
         self.scheduler_name = scheduler.strip().lower()
         self._cache_decisions = cache_decisions
+        self.resilience = resilience
         self._engines: Dict[str, SchedulingEngine] = {}
         #: Live tenancy (run_trace): board -> tenant id -> (model, priority).
         #: Reset at the start of every replay — a trace starts from an
@@ -318,6 +327,15 @@ class FleetService:
         #: boards scale-in may retire (the onload tier returns; the
         #: baseline edge fleet stays).
         self._elastic_names: set = set()
+        #: Checkpoint/resume bookkeeping for the current replay: online
+        #: states restored from a journal but not yet re-materialized,
+        #: boards chaos already killed, failures already fired, and the
+        #: journaled report scheduler name (a fully-consumed resume
+        #: materializes no scheduler to read it from).
+        self._pending_online_state: Dict[str, Dict] = {}
+        self._chaos_dead: List[str] = []
+        self._failures_fired = 0
+        self._resumed_scheduler_name = ""
 
     # ------------------------------------------------------------------
     # Batch serving
@@ -514,6 +532,7 @@ class FleetService:
             scheduler=self.scheduler_name,
             cache_decisions=self._cache_decisions,
             board=board.name,
+            resilience=self.resilience,
         )
         self._tenants.setdefault(board.name, {})
         self.placer.update_order(self.cluster.board_names)
@@ -532,6 +551,7 @@ class FleetService:
             self._retired[name] = snapshot
         del self._engines[name]
         self._onlines.pop(name, None)
+        self._pending_online_state.pop(name, None)
         self._tenants.pop(name, None)
         self._elastic_names.discard(name)
         self.cluster.remove_board(name)
@@ -750,6 +770,7 @@ class FleetService:
             self._tenant_board.pop(tenant_id, None)
         self._tenants[board].clear()
         self._retire_board(board)
+        self._chaos_dead.append(board)
         records = [
             replace(
                 self._fleet_marker(
@@ -788,6 +809,7 @@ class FleetService:
         rebalance: bool = True,
         chaos: Optional[ChaosPlan] = None,
         elastic: Optional[ElasticPolicy] = None,
+        checkpoint: Optional[str] = None,
     ) -> TimelineReport:
         """Replay a churn trace against the fleet.
 
@@ -834,11 +856,120 @@ class FleetService:
         the fleet's composition *persistently*: a later replay (or
         batch call) runs on the evolved fleet, while tenancy and warm
         state still reset per call.
+
+        ``checkpoint`` names a crash-consistent journal file
+        (:class:`~repro.resilience.TraceJournal`): every committed
+        event group — its records, the fleet tenancy, each board's
+        warm state and resilience counters, and how many chaos
+        failures have fired — is fsynced to it, and
+        :meth:`resume_trace` (on a *freshly constructed* equivalent
+        fleet) continues the replay byte-identically.  Journaling is
+        incompatible with ``elastic`` (scale decisions depend on
+        un-checkpointed attainment windows) and with an enforcing SLO
+        policy (the enforcement queue is not checkpointed); chaos
+        plans are fully supported.
         """
+        if checkpoint is not None:
+            if elastic is not None:
+                raise ValueError(
+                    "checkpointing does not cover elastic fleet-"
+                    "composition changes; run without an ElasticPolicy"
+                )
+            if self.slo is not None and self.slo.enforced:
+                raise ValueError(
+                    "checkpointing does not cover the SLO enforcement "
+                    "queue; run with an observe-only policy or none"
+                )
+        self._reset_replay(online)
+        journal = None
+        if checkpoint is not None:
+            journal = TraceJournal.create(
+                checkpoint,
+                self._journal_header(
+                    trace, online, record_mappings, rebalance, chaos
+                ),
+            )
+        return self._replay_trace(
+            trace, record_mappings, rebalance, chaos, elastic, journal,
+            skip_groups=0, prefix=(),
+        )
+
+    def resume_trace(
+        self,
+        trace: ArrivalTrace,
+        checkpoint: str,
+        online: Optional[OnlineConfig] = None,
+        record_mappings: bool = False,
+        rebalance: bool = True,
+        chaos: Optional[ChaosPlan] = None,
+    ) -> TimelineReport:
+        """Continue a journaled fleet :meth:`run_trace` after a crash.
+
+        Call it on a freshly constructed fleet equivalent to the one
+        that crashed (same cluster, scheduler, resilience policy): the
+        journal's completed groups are re-emitted verbatim, chaos
+        kills that already fired are replayed against the fresh fleet
+        (board retired, no records), tenancy / per-board warm state /
+        resilience counters are restored from the last committed
+        group, and the remainder — which keeps journaling into the
+        same file — reproduces the uninterrupted report byte for
+        byte.  Arguments must match the original call (the journal
+        header pins them); a mismatch raises :class:`ValueError`.
+        """
+        if self.slo is not None and self.slo.enforced:
+            raise ValueError(
+                "checkpointing does not cover the SLO enforcement "
+                "queue; run with an observe-only policy or none"
+            )
+        journal, header, entries = TraceJournal.resume(checkpoint)
+        self._reset_replay(online)
+        expected = self._journal_header(
+            trace, online, record_mappings, rebalance, chaos
+        )
+        mismatched = [
+            key
+            for key, value in expected.items()
+            if header.get(key) != value
+        ]
+        if mismatched:
+            raise ValueError(
+                f"journal {checkpoint} was written for a different "
+                f"replay (mismatched: {', '.join(sorted(mismatched))})"
+            )
+        records = [
+            TimelineRecord.from_dict(record)
+            for entry in entries
+            for record in entry["records"]
+        ]
+        if entries:
+            self._restore_fleet_state(entries[-1]["state"])
+        return self._replay_trace(
+            trace, record_mappings, rebalance, chaos, None, journal,
+            skip_groups=len(entries), prefix=tuple(records),
+        )
+
+    def _reset_replay(self, online: Optional[OnlineConfig]) -> None:
+        """Per-replay state reset (tenancy, warm state, chaos/journal)."""
         self._online_config = online
         self._onlines = {}
+        self._pending_online_state = {}
         self._tenants = {name: {} for name in self._engines}
         self._tenant_board = {}
+        self._chaos_dead = []
+        self._failures_fired = 0
+        self._resumed_scheduler_name = ""
+
+    def _replay_trace(
+        self,
+        trace: ArrivalTrace,
+        record_mappings: bool,
+        rebalance: bool,
+        chaos: Optional[ChaosPlan],
+        elastic: Optional[ElasticPolicy],
+        journal: Optional[TraceJournal],
+        skip_groups: int,
+        prefix: Tuple[TimelineRecord, ...],
+    ) -> TimelineReport:
         slo = self.slo
         enforced = slo is not None and slo.enforced
         target = slo.target if slo is not None else None
@@ -846,18 +977,27 @@ class FleetService:
         queue: List[ArrivalEvent] = []
         queued_ids: set = set()
         ghosts: set = set()
-        records: List[TimelineRecord] = []
-        index = 0
-        pending_failures = list(chaos.failures) if chaos is not None else []
+        records: List[TimelineRecord] = list(prefix)
+        index = len(records)
+        #: Failures the journal says already fired are not re-fired —
+        #: their boards were re-retired by _restore_fleet_state.
+        pending_failures = (
+            list(chaos.failures)[self._failures_fired :]
+            if chaos is not None
+            else []
+        )
         scaler = Autoscaler(self, elastic) if elastic is not None else None
         tracker = AttainmentTracker() if scaler is not None else None
-        for group in trace.grouped():
+        for position, group in enumerate(trace.grouped()):
+            if position < skip_groups:
+                continue
             group_start = len(records)
             while (
                 pending_failures
                 and pending_failures[0].time_s <= group[0].time_s
             ):
                 failure = pending_failures.pop(0)
+                self._failures_fired += 1
                 produced_failure = self._fail_board(
                     failure, index, record_mappings, target
                 )
@@ -1006,16 +1146,137 @@ class FleetService:
                         record = self._annotate_fleet(record, target)
                     records.append(record)
                     index += 1
-        scheduler_name = ""
-        for engine in self._engines.values():
-            if engine._scheduler is not None:
-                scheduler_name = engine._scheduler.name
-                break
+            if journal is not None:
+                journal.append_group(
+                    position,
+                    len(group),
+                    [record.to_dict() for record in records[group_start:]],
+                    self._journal_state(),
+                )
+        if journal is not None:
+            journal.close()
         return TimelineReport(
             records=tuple(records),
             trace_name=trace.name,
-            scheduler_name=scheduler_name,
+            scheduler_name=self._report_scheduler_name(),
         )
+
+    # ------------------------------------------------------------------
+    # Crash-consistent journaling (checkpoint= / resume_trace)
+    # ------------------------------------------------------------------
+    def _report_scheduler_name(self) -> str:
+        """The report's scheduler attribution.
+
+        The first materialized engine's scheduler, falling back to the
+        journaled name — a resume that found every group already
+        committed never materializes a scheduler at all.
+        """
+        for engine in self._engines.values():
+            if engine._scheduler is not None:
+                return engine._scheduler.name
+        return self._resumed_scheduler_name
+
+    def _journal_header(
+        self,
+        trace: ArrivalTrace,
+        online: Optional[OnlineConfig],
+        record_mappings: bool,
+        rebalance: bool,
+        chaos: Optional[ChaosPlan],
+    ) -> Dict:
+        """What a resume must match for byte-identity to be possible.
+
+        ``boards`` pins the fleet composition *at trace start* — a
+        resume therefore needs a freshly constructed fleet, not the
+        evolved survivor of the crash (chaos kills from the completed
+        groups are replayed against it during restore).
+        """
+        return {
+            "surface": "fleet",
+            "boards": sorted(self._engines),
+            "scheduler": self.scheduler_name,
+            "record_mappings": bool(record_mappings),
+            "rebalance": bool(rebalance),
+            "online": asdict(self._online_config or OnlineConfig()),
+            "faults": (
+                self.resilience.faults.to_dict()
+                if self.resilience is not None
+                else None
+            ),
+            "chaos": (
+                [failure.to_dict() for failure in chaos.failures]
+                if chaos is not None
+                else None
+            ),
+            "trace": trace_fingerprint(trace),
+        }
+
+    def _journal_state(self) -> Dict:
+        """Fleet serving state as of the last committed group."""
+        onlines = {
+            board: online.export_state()
+            for board, online in self._onlines.items()
+        }
+        for board, pending in self._pending_online_state.items():
+            # A board restored from a journal but not touched since:
+            # carry its warm state forward so a second crash+resume
+            # does not lose it.
+            onlines.setdefault(board, pending)
+        state = {
+            "tenants": {
+                board: [
+                    [tenant_id, model, priority]
+                    for tenant_id, (model, priority) in tenants.items()
+                ]
+                for board, tenants in self._tenants.items()
+            },
+            "tenant_board": [
+                [tenant_id, board]
+                for tenant_id, board in self._tenant_board.items()
+            ],
+            "onlines": onlines,
+            "failures_fired": self._failures_fired,
+            "dead_boards": list(self._chaos_dead),
+            "scheduler": self._report_scheduler_name(),
+        }
+        resilience = {
+            board: snapshot
+            for board, snapshot in (
+                (name, engine.resilience_state())
+                for name, engine in self._engines.items()
+            )
+            if snapshot is not None
+        }
+        if resilience:
+            state["resilience"] = resilience
+        return state
+
+    def _restore_fleet_state(self, state: Dict) -> None:
+        """Rebuild the fleet mid-trace from a journal's last state."""
+        for name in state["dead_boards"]:
+            if name in self._engines:
+                self._tenants[name] = {}
+                self._retire_board(name)
+        self._chaos_dead = list(state["dead_boards"])
+        self._failures_fired = int(state["failures_fired"])
+        self._resumed_scheduler_name = state.get("scheduler", "")
+        self._tenants = {name: {} for name in self._engines}
+        for board, tenants in state["tenants"].items():
+            if board in self._engines:
+                self._tenants[board] = {
+                    tenant_id: (model, int(priority))
+                    for tenant_id, model, priority in tenants
+                }
+        self._tenant_board = {
+            tenant_id: board
+            for tenant_id, board in state["tenant_board"]
+        }
+        #: Applied lazily in _online() — restoring eagerly would train
+        #: every board's estimator even when no group remains.
+        self._pending_online_state = dict(state["onlines"])
+        for board, snapshot in state.get("resilience", {}).items():
+            if board in self._engines:
+                self._engines[board].restore_resilience_state(snapshot)
 
     # ------------------------------------------------------------------
     # Trace internals
@@ -1025,6 +1286,9 @@ class FleetService:
             self._onlines[board] = self._engines[board].make_online_scheduler(
                 self._online_config
             )
+            pending = self._pending_online_state.pop(board, None)
+            if pending is not None:
+                self._onlines[board].restore_state(pending)
         return self._onlines[board]
 
     def _fleet_verdict(

@@ -69,11 +69,28 @@ from .layers import (
 )
 from .resnet9 import ConvBlock, ResidualBlock
 
-__all__ = ["PlanCompileError", "InferencePlan", "compile_resnet9"]
+__all__ = [
+    "PlanCompileError",
+    "PlanExecutionError",
+    "InferencePlan",
+    "compile_resnet9",
+]
 
 
 class PlanCompileError(ValueError):
     """The module tree cannot be captured into an inference plan."""
+
+
+class PlanExecutionError(RuntimeError):
+    """A compiled plan failed at serve time (after compiling cleanly).
+
+    Unlike :class:`PlanCompileError` — which the estimator heals by
+    permanently falling back to the interpreter — an execution fault is
+    transient serve-path breakage (a missing arena, or an injected
+    fault from :mod:`repro.resilience`); the degradation ladder retries
+    the decision on the interpreter tier instead of abandoning the
+    compiled backend forever.
+    """
 
 
 @dataclass(frozen=True)
@@ -610,7 +627,7 @@ class InferencePlan:
         """
         arena = self._arenas.get((height, width))
         if arena is None or arena.capacity < batch:
-            raise RuntimeError(
+            raise PlanExecutionError(
                 f"no prepared arena for batch {batch} geometry "
                 f"{height}x{width}; call prepare() first"
             )

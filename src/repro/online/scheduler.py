@@ -222,6 +222,40 @@ class OnlineScheduler:
         self.last = None
 
     # ------------------------------------------------------------------
+    # Checkpointing (crash-consistent trace replay)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict:
+        """JSON-ready snapshot of tenancy and warm-start rows.
+
+        This is the *complete* serving state of an online scheduler —
+        ``plan_steps`` is a pure function of the active set, the
+        retained rows and the (immutable) config — which is what makes
+        the resilience layer's per-event journal
+        (:mod:`repro.resilience.checkpoint`) sufficient for a resumed
+        replay to be byte-identical to an uninterrupted one.  Insertion
+        order of ``active`` is preserved (it defines workload order).
+        """
+        return {
+            "active": [
+                [tenant_id, model, priority]
+                for tenant_id, (model, priority) in self.active.items()
+            ],
+            "rows": {name: list(row) for name, row in self._rows.items()},
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Restore an :meth:`export_state` snapshot."""
+        self.active = {
+            tenant_id: (model, int(priority))
+            for tenant_id, model, priority in state["active"]
+        }
+        self._rows = {
+            name: tuple(int(device) for device in row)
+            for name, row in state["rows"].items()
+        }
+        self.last = None
+
+    # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
     def plan(self) -> Optional[OnlineDecision]:

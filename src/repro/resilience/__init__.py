@@ -1,0 +1,49 @@
+"""Resilience layer: fault injection, degradation ladder, checkpointing.
+
+PR 8's elastic tier made the fleet survive *board* failures; this
+package makes the serving stack survive *software* failures in its one
+learned component, the throughput estimator — and makes long replays
+survive the process itself dying.  Three cooperating parts:
+
+* :mod:`~repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultPlan` (sibling of :class:`~repro.workloads.trace.ChaosPlan`)
+  injecting typed faults at component boundaries by **call count**,
+  never wall-clock;
+* :mod:`~repro.resilience.ladder` — a count-based circuit breaker
+  stepping compiled → interpreter → static-cost → greedy, with
+  half-open probes that climb back up; no request is ever dropped
+  while degraded;
+* :mod:`~repro.resilience.checkpoint` — an fsynced JSONL journal of
+  per-event-group replay state, so ``resume_trace`` after a SIGKILL is
+  byte-identical to the uninterrupted run.
+
+Typical use::
+
+    from repro import FaultPlan, ResiliencePolicy, SchedulingEngine, SystemBuilder
+
+    policy = ResiliencePolicy(faults=FaultPlan.single("estimator-nan", at_call=40))
+    engine = SchedulingEngine(SystemBuilder(seed=7), resilience=policy)
+    report = engine.run_trace(trace, checkpoint="replay.journal")
+    # ...after a crash:
+    report = engine.resume_trace(trace, "replay.journal")
+
+See ``docs/resilience.md`` for the fault spec syntax, ladder
+semantics, and the journal format.
+"""
+
+from .checkpoint import JOURNAL_FORMAT, TraceJournal, trace_fingerprint
+from .faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
+from .ladder import TIERS, DegradationLadder, ResiliencePolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "JOURNAL_FORMAT",
+    "TIERS",
+    "DegradationLadder",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "ResiliencePolicy",
+    "TraceJournal",
+    "trace_fingerprint",
+]

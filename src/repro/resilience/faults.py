@@ -1,0 +1,276 @@
+"""Deterministic fault injection: typed faults at component boundaries.
+
+The elastic tier (PR 8) made the fleet survive *board* failures; this
+module is the *software*-failure half of the resilience layer.  A
+:class:`FaultPlan` is the :class:`~repro.workloads.trace.ChaosPlan`'s
+sibling for component faults: a seeded, declarative list of
+:class:`FaultSpec` entries, each firing at a **call count** — the
+N-th estimator forward, the N-th decision-cache lookup — never at a
+wall-clock time (doctrine rules RPR002/RPR003: replays must be pure
+functions of their inputs, and CI machines do not share clocks).
+
+Three fault channels are injected:
+
+* ``estimator-nan`` / ``estimator-inf`` — the estimator's normalized
+  forward output is replaced with non-finite values, which the
+  :class:`~repro.estimator.model.ThroughputEstimator` guard turns into
+  a typed :class:`~repro.estimator.model.EstimatorFault` instead of
+  silently corrupting MCTS reward ordering;
+* ``plan-error`` — the compiled
+  :class:`~repro.nn.inference.InferencePlan` raises
+  :class:`~repro.nn.inference.PlanExecutionError` at serve time (only
+  while the compiled backend is actually in use, so the interpreter
+  tier of the degradation ladder heals it by construction);
+* ``cache-corrupt`` — a decision-cache lookup returns a poisoned
+  entry; the engine detects it, drops the entry, counts the incident
+  and re-searches.
+
+The :class:`FaultInjector` is the runtime: it owns the call counters,
+decides per call whether a spec's window covers it, and exports /
+restores its counters for crash-consistent checkpointing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.inference import PlanExecutionError
+
+__all__ = ["FAULT_KINDS", "FaultInjector", "FaultPlan", "FaultSpec"]
+
+#: The typed fault channels a plan may inject.
+FAULT_KINDS: Tuple[str, ...] = (
+    "estimator-nan",
+    "estimator-inf",
+    "plan-error",
+    "cache-corrupt",
+)
+
+#: Fault kinds triggered by the estimator-forward counter.
+ESTIMATOR_KINDS: Tuple[str, ...] = (
+    "estimator-nan",
+    "estimator-inf",
+    "plan-error",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One typed fault window: ``kind`` fires on calls ``at_call``..``at_call+count-1``.
+
+    ``at_call`` is 1-based and counts calls of the fault's *channel*
+    (estimator forwards for the ``estimator-*``/``plan-error`` kinds,
+    decision-cache lookups for ``cache-corrupt``), so a spec is a pure
+    function of the replay — no clocks, no racing.
+    """
+
+    kind: str
+    at_call: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.at_call < 1:
+            raise ValueError(
+                f"at_call is 1-based and must be >= 1, got {self.at_call}"
+            )
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    def covers(self, call: int) -> bool:
+        """Whether this window covers (1-based) call number ``call``."""
+        return self.at_call <= call < self.at_call + self.count
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI syntax ``KIND@CALL`` or ``KIND@CALLxN``.
+
+        ``estimator-nan@3`` corrupts the 3rd estimator forward;
+        ``estimator-nan@3x2`` corrupts the 3rd and 4th.  Raises
+        :class:`ValueError` (one line, no traceback context) on any
+        malformed spec so callers can turn it into a usage error.
+        """
+        kind, sep, window = text.strip().partition("@")
+        if not sep or not kind or not window:
+            raise ValueError(
+                f"expected KIND@CALL or KIND@CALLxN (e.g. "
+                f"estimator-nan@3x2), got {text!r}"
+            )
+        call_text, times, count_text = window.partition("x")
+        try:
+            at_call = int(call_text)
+            count = int(count_text) if times else 1
+        except ValueError:
+            raise ValueError(
+                f"fault window {window!r} is not CALL or CALLxN "
+                f"(integers), in {text!r}"
+            ) from None
+        return cls(kind=kind, at_call=at_call, count=count)
+
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, "at_call": self.at_call, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultSpec":
+        return cls(
+            kind=payload["kind"],
+            at_call=int(payload["at_call"]),
+            count=int(payload.get("count", 1)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, declarative fault schedule (may be empty).
+
+    Specs must be ordered by ``at_call`` (the replay fires them in
+    counter order, exactly like a :class:`~repro.workloads.trace.ChaosPlan`
+    fires failures in time order), and two windows of the same kind
+    must not overlap — a call covered twice by one kind is a plan
+    authoring error, not a feature.  An empty plan injects nothing and
+    leaves every replay byte-identical to running without one.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        calls = [spec.at_call for spec in self.faults]
+        if calls != sorted(calls):
+            raise ValueError("fault specs must be ordered by at_call")
+        by_kind: Dict[str, FaultSpec] = {}
+        for spec in self.faults:
+            previous = by_kind.get(spec.kind)
+            if previous is not None and spec.covers(
+                previous.at_call + previous.count - 1
+            ):
+                raise ValueError(
+                    f"overlapping {spec.kind!r} windows: calls "
+                    f"{previous.at_call}..{previous.at_call + previous.count - 1} "
+                    f"and {spec.at_call}..{spec.at_call + spec.count - 1}"
+                )
+            by_kind[spec.kind] = spec
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @classmethod
+    def single(cls, kind: str, at_call: int, count: int = 1) -> "FaultPlan":
+        """The common one-window plan."""
+        return cls(
+            (FaultSpec(kind=kind, at_call=at_call, count=count),),
+            name=f"{kind}@{at_call}",
+        )
+
+    def active(self, kinds: Sequence[str], call: int) -> Optional[str]:
+        """The kind (among ``kinds``) whose window covers ``call``, if any."""
+        for spec in self.faults:
+            if spec.kind in kinds and spec.covers(call):
+                return spec.kind
+        return None
+
+    # ------------------------------------------------------------------
+    # Serialization (journal headers embed plans for resume verification)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultPlan":
+        return cls(
+            faults=tuple(
+                FaultSpec.from_dict(entry) for entry in payload["faults"]
+            ),
+            name=payload.get("name", ""),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+class FaultInjector:
+    """The runtime that fires a :class:`FaultPlan` by call count.
+
+    One injector belongs to one
+    :class:`~repro.engine.SchedulingEngine`: the engine installs
+    :meth:`on_forward` as the estimator's ``fault_hook`` and consults
+    :meth:`on_cache_lookup` per decision-cache read.  All state is two
+    monotonic counters, so a checkpointed replay restores the injector
+    with :meth:`restore_state` and every later fault fires at exactly
+    the call it would have fired at uninterrupted.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan or FaultPlan()
+        self.estimator_calls = 0
+        self.cache_lookups = 0
+        self.faults_fired = 0
+
+    def on_forward(self, outputs: np.ndarray, backend: str) -> np.ndarray:
+        """Estimator fault hook: one call per batched forward.
+
+        Returns the (possibly corrupted) outputs; raises
+        :class:`~repro.nn.inference.PlanExecutionError` for a
+        ``plan-error`` window while the compiled backend is in use
+        (the window is a no-op on the interpreter — that asymmetry is
+        what lets the ladder's interpreter tier heal plan faults).
+        """
+        self.estimator_calls += 1
+        kind = self.plan.active(ESTIMATOR_KINDS, self.estimator_calls)
+        if kind is None:
+            return outputs
+        if kind == "plan-error":
+            if backend != "compiled":
+                return outputs
+            self.faults_fired += 1
+            raise PlanExecutionError(
+                f"injected plan-error at estimator call {self.estimator_calls}"
+            )
+        self.faults_fired += 1
+        value = np.nan if kind == "estimator-nan" else np.inf
+        return np.full_like(outputs, value)
+
+    def on_cache_lookup(self) -> bool:
+        """Count one decision-cache lookup; True when it is corrupted."""
+        self.cache_lookups += 1
+        fired = (
+            self.plan.active(("cache-corrupt",), self.cache_lookups)
+            is not None
+        )
+        if fired:
+            self.faults_fired += 1
+        return fired
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict:
+        """JSON-ready counter snapshot (the plan travels separately)."""
+        return {
+            "estimator_calls": self.estimator_calls,
+            "cache_lookups": self.cache_lookups,
+            "faults_fired": self.faults_fired,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self.estimator_calls = int(state["estimator_calls"])
+        self.cache_lookups = int(state["cache_lookups"])
+        self.faults_fired = int(state["faults_fired"])

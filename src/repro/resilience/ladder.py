@@ -1,0 +1,164 @@
+"""The estimator degradation ladder: a count-based circuit breaker.
+
+When the :class:`~repro.estimator.model.ThroughputEstimator` starts
+misbehaving — non-finite forwards (:class:`~repro.estimator.model.EstimatorFault`)
+or compiled-plan failures (:class:`~repro.nn.inference.PlanExecutionError`)
+— dropping requests would be the worst possible answer: RankMap-style
+priority contracts only mean something if the scheduler keeps
+answering while degraded.  Instead the engine walks a fixed ladder of
+progressively cheaper-but-safer decision tiers:
+
+====================  ====================================================
+tier                  decision quality / estimator dependence
+====================  ====================================================
+``compiled``          full MCTS over the compiled estimator (the normal
+                      serving path)
+``interpreter``       full MCTS over the interpreter backend (heals
+                      compiled-plan faults; same weights, same rewards)
+``static``            full MCTS scored by the closed-form
+                      :class:`~repro.baselines.ga.StaticCostModel` —
+                      **zero** estimator forwards per decision
+``greedy``            no search at all: deterministic least-loaded
+                      whole-DNN placement from the profiled latency
+                      table; always answers
+====================  ====================================================
+
+Stepping is a pure function of counts (doctrine RPR002/RPR003): after
+``step_down_after`` detected faults at a tier the ladder steps down one
+rung; after ``probe_after`` consecutive successful decisions at a
+degraded tier it half-opens — the next attempt probes the tier above,
+climbing on success and staying put (window closed, counters reset) on
+failure.  No wall-clock cool-downs anywhere, so a checkpointed replay
+that restores the ladder's counters resumes byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .faults import FaultPlan
+
+__all__ = ["TIERS", "DegradationLadder", "ResiliencePolicy"]
+
+#: The ladder's rungs, best first.  Index 0 is the normal serving path.
+TIERS: Tuple[str, ...] = ("compiled", "interpreter", "static", "greedy")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Configuration for a resilient :class:`~repro.engine.SchedulingEngine`.
+
+    ``faults`` is the deterministic injection plan (empty by default —
+    an empty plan plus default thresholds leaves every replay
+    byte-identical to an engine built without a policy).
+    ``step_down_after`` faults at one tier trigger a step down;
+    ``probe_after`` consecutive successes at a degraded tier trigger a
+    half-open probe of the tier above.  Both are decision counts.
+    """
+
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    step_down_after: int = 1
+    probe_after: int = 4
+
+    def __post_init__(self) -> None:
+        if self.step_down_after < 1:
+            raise ValueError(
+                f"step_down_after must be >= 1, got {self.step_down_after}"
+            )
+        if self.probe_after < 1:
+            raise ValueError(f"probe_after must be >= 1, got {self.probe_after}")
+
+
+class DegradationLadder:
+    """Mutable ladder state: current tier, fault/success counters, probes.
+
+    The engine calls :meth:`begin_attempt` before each drive (it may
+    return the tier above the resident one when a half-open probe is
+    due), :meth:`record_fault` when a drive dies with a typed fault,
+    and :meth:`complete_attempt` when a drive finishes.  All state is
+    integer counters, exported and restored verbatim by the trace
+    checkpoint journal.
+    """
+
+    def __init__(self, policy: ResiliencePolicy) -> None:
+        self.policy = policy
+        self.level = 0
+        self.faults_at_level = 0
+        self.successes = 0
+        self.probing = False
+        self.step_downs = 0
+        self.step_ups = 0
+        self.probes = 0
+
+    @property
+    def tier(self) -> str:
+        """The resident tier (ignoring any in-flight probe)."""
+        return TIERS[self.level]
+
+    def begin_attempt(self) -> str:
+        """The tier the next drive should run at (may open a probe)."""
+        if (
+            self.level > 0
+            and not self.probing
+            and self.successes >= self.policy.probe_after
+        ):
+            self.probing = True
+            self.probes += 1
+        if self.probing:
+            return TIERS[self.level - 1]
+        return TIERS[self.level]
+
+    def record_fault(self) -> None:
+        """A drive at :meth:`begin_attempt`'s tier died with a typed fault."""
+        if self.probing:
+            # Failed probe: the tier above is still broken.  Close the
+            # half-open window and start earning successes again.
+            self.probing = False
+            self.successes = 0
+            return
+        self.faults_at_level += 1
+        if (
+            self.faults_at_level >= self.policy.step_down_after
+            and self.level < len(TIERS) - 1
+        ):
+            self.level += 1
+            self.step_downs += 1
+            self.faults_at_level = 0
+            self.successes = 0
+
+    def complete_attempt(self, decisions: int = 1) -> None:
+        """A drive finished cleanly, producing ``decisions`` decisions."""
+        if self.probing:
+            # Successful probe: climb one rung and close the window.
+            self.level -= 1
+            self.step_ups += 1
+            self.probing = False
+            self.successes = 0
+            self.faults_at_level = 0
+        elif self.level > 0:
+            self.successes += decisions
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict:
+        """JSON-ready snapshot of every counter (policy travels separately)."""
+        return {
+            "level": self.level,
+            "faults_at_level": self.faults_at_level,
+            "successes": self.successes,
+            "probing": self.probing,
+            "step_downs": self.step_downs,
+            "step_ups": self.step_ups,
+            "probes": self.probes,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self.level = int(state["level"])
+        self.faults_at_level = int(state["faults_at_level"])
+        self.successes = int(state["successes"])
+        self.probing = bool(state["probing"])
+        self.step_downs = int(state["step_downs"])
+        self.step_ups = int(state["step_ups"])
+        self.probes = int(state["probes"])

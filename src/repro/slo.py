@@ -53,6 +53,7 @@ from typing import (
 )
 
 from .core.base import SLOTarget
+from .estimator.model import EstimatorFault
 from .sim.mapping import Mapping
 from .workloads.mix import Workload, canonical_signature
 
@@ -166,6 +167,8 @@ class AdmissionController:
         self.policy = policy
         self._scorer = scorer
         self._base_scores: Dict[Tuple[str, ...], float] = {}
+        #: Estimator faults swallowed by fail-open admission.
+        self.scorer_faults = 0
 
     def base_score(self, names: Sequence[str]) -> float:
         """The undiscounted score of a mix (cached per signature)."""
@@ -211,7 +214,18 @@ class AdmissionController:
             floor = self.policy.floor_for(None)
         if floor is None or self._scorer is None:
             return AdmissionDecision(verdict="admit", reason="no floor set")
-        base = self.base_score(names)
+        try:
+            base = self.base_score(names)
+        except EstimatorFault:
+            # Fail open: admission is an optimization, not a safety
+            # gate — a faulting scorer must not start rejecting work
+            # (the engine's degradation ladder covers the search that
+            # follows).  The fault stays visible via the counter.
+            self.scorer_faults += 1
+            return AdmissionDecision(
+                verdict="admit",
+                reason="scorer fault: admitting without a floor check",
+            )
         effective = base / (1.0 + self.policy.load_penalty * load)
         if base < floor:
             return AdmissionDecision(

@@ -9,10 +9,11 @@ like deployed applications rather than uniform random mixes.
 The second half of the module holds the *churn* scenarios — named,
 seeded :class:`~repro.workloads.trace.ArrivalTrace` factories
 (``bursty``, ``diurnal``, ``priority-inversion``, ``steady-drain``,
-``priority-storm``, ``slo-squeeze``) that stress the online
-scheduling subsystem with characteristic tenancy dynamics instead of
-a static mix.  See ``docs/online.md`` for what each shape exercises
-and ``docs/slo.md`` for the two enforcement stressors.
+``priority-storm``, ``slo-squeeze``, ``estimator-brownout``) that
+stress the online scheduling subsystem with characteristic tenancy
+dynamics instead of a static mix.  See ``docs/online.md`` for what
+each shape exercises, ``docs/slo.md`` for the two enforcement
+stressors, and ``docs/resilience.md`` for the fault-injection drill.
 
 The third group is the *fleet* scenarios — request bursts and
 high-concurrency traces sized for a multi-board
@@ -361,6 +362,30 @@ def _slo_squeeze(seed: int) -> ArrivalTrace:
     return builder.finish()
 
 
+def _estimator_brownout(seed: int) -> ArrivalTrace:
+    """Steady small-mix churn sized for fault-injection drills.
+
+    A compact horizon (~20 s) of modest arrivals with overlapping
+    lifetimes: enough re-searches that a seeded
+    :class:`~repro.resilience.FaultPlan` can hit estimator forwards at
+    predictable call counts, short enough that a resilience smoke test
+    (replay, crash, resume, compare — the CI ``resilience-smoke`` job)
+    stays cheap.  The shape itself is benign; the *brownout* comes
+    from the fault plan injected on top.
+    """
+    return generate_trace(
+        TraceConfig(
+            arrival_rate=0.5,
+            min_lifetime_s=6.0,
+            max_lifetime_s=22.0,
+            horizon_s=20.0,
+            max_concurrent=4,
+            seed=seed,
+            name="estimator-brownout",
+        )
+    )
+
+
 CHURN_SCENARIOS: Dict[str, ChurnScenario] = {
     preset.name: preset
     for preset in [
@@ -413,6 +438,15 @@ CHURN_SCENARIOS: Dict[str, ChurnScenario] = {
                 "SLO enforcement visibly lifts high-priority attainment"
             ),
             build=_slo_squeeze,
+        ),
+        ChurnScenario(
+            name="estimator-brownout",
+            description=(
+                "compact steady churn sized for deterministic fault "
+                "drills — the replay a seeded FaultPlan degrades and "
+                "the CI resilience smoke crash-resumes"
+            ),
+            build=_estimator_brownout,
         ),
     ]
 }

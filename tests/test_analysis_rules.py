@@ -531,3 +531,148 @@ class TestBareExcept:
             select=["RPR008"],
         )
         assert report.clean
+
+
+# ----------------------------------------------------------------------
+# RPR009 serving-path-fault-visibility
+# ----------------------------------------------------------------------
+class TestServingPathFaultVisibility:
+    def test_flags_silent_swallow_in_serving_module(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def drive(jobs):
+                try:
+                    return search(jobs)
+                except RuntimeError:
+                    return None
+            """,
+            rel_path="src/repro/engine.py",
+            select=["RPR009"],
+        )
+        assert codes(report) == ["RPR009"]
+
+    def test_out_of_scope_module_passes(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def drive(jobs):
+                try:
+                    return search(jobs)
+                except RuntimeError:
+                    return None
+            """,
+            rel_path="src/repro/evaluation/metrics.py",
+            select=["RPR009"],
+        )
+        assert report.clean
+
+    def test_reraise_passes(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def drive(jobs):
+                try:
+                    return search(jobs)
+                except RuntimeError as error:
+                    raise ValueError("wrapped") from error
+            """,
+            rel_path="src/repro/engine.py",
+            select=["RPR009"],
+        )
+        assert report.clean
+
+    def test_record_hook_passes(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def drive(self, jobs):
+                try:
+                    return search(jobs)
+                except RuntimeError:
+                    self.ladder.record_fault()
+                    return None
+            """,
+            rel_path="src/repro/engine.py",
+            select=["RPR009"],
+        )
+        assert report.clean
+
+    def test_stats_counter_passes(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def drive(self, jobs):
+                try:
+                    return search(jobs)
+                except RuntimeError:
+                    self._stats.faults_detected += 1
+                    return None
+            """,
+            rel_path="src/repro/slo.py",
+            select=["RPR009"],
+        )
+        assert report.clean
+
+    def test_fallback_counter_passes(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def choose(self, feasible, load):
+                try:
+                    return self.score(feasible)
+                except RuntimeError:
+                    self.greedy_fallbacks += 1
+                    return self.greedy(feasible, load)
+            """,
+            rel_path="src/repro/fleet/placement.py",
+            select=["RPR009"],
+        )
+        assert report.clean
+
+    def test_unrelated_counter_still_flags(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def drive(self, jobs):
+                try:
+                    return search(jobs)
+                except RuntimeError:
+                    self.retries += 1
+                    return None
+            """,
+            rel_path="src/repro/engine.py",
+            select=["RPR009"],
+        )
+        assert codes(report) == ["RPR009"]
+
+    def test_stop_iteration_is_exempt(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def advance(job):
+                try:
+                    return next(job.gen)
+                except StopIteration as stop:
+                    return stop.value
+            """,
+            rel_path="src/repro/engine.py",
+            select=["RPR009"],
+        )
+        assert report.clean
+
+    def test_pragma_suppresses_with_reason(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            def load(path):
+                try:
+                    return parse(path)
+                except ValueError:  # repro: lint-ignore[RPR009] -- the swallow is the recovery
+                    return None
+            """,
+            rel_path="src/repro/resilience/checkpoint.py",
+            select=["RPR009"],
+        )
+        assert report.clean
+        assert report.suppressed

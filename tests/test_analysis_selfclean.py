@@ -23,7 +23,8 @@ def test_repo_is_lint_clean():
     assert report.clean, "\n" + format_text(report)
     # The full default rule set actually ran -- a selection bug must
     # not let the gate pass vacuously.
-    assert len(report.rules_run) >= 8
+    assert len(report.rules_run) >= 9
+    assert "RPR009" in report.rules_run
     assert report.files_checked > 100
 
 

@@ -181,3 +181,55 @@ class TestNewCommands:
         out = capsys.readouterr().out
         assert "inf/J" in out
         assert "throughput (paper)" in out
+
+
+class TestResilienceFlags:
+    def test_malformed_fault_kind_is_usage_error(self):
+        with pytest.raises(SystemExit, match="unknown fault kind"):
+            main(["serve-trace", "estimator-brownout", "--faults", "bogus@2"])
+
+    def test_malformed_fault_window_is_usage_error(self):
+        with pytest.raises(SystemExit, match="KIND@CALL"):
+            main(
+                ["serve-trace", "estimator-brownout", "--faults",
+                 "estimator-nan"]
+            )
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SystemExit, match="--resume requires --journal"):
+            main(["serve-trace", "estimator-brownout", "--resume"])
+
+    def test_journal_rejects_enforcing_slo(self, tmp_path):
+        with pytest.raises(SystemExit, match="enforcement queue"):
+            main(
+                ["serve-trace", "estimator-brownout",
+                 "--journal", str(tmp_path / "x.journal"), "--slo", "1.0"]
+            )
+
+    def test_malformed_chaos_is_usage_error(self):
+        with pytest.raises(SystemExit, match="BOARD@TIME"):
+            main(
+                ["fleet-serve", "--trace", "--scenario", "fleet-churn",
+                 "--chaos", "edge0@abc"]
+            )
+
+    def test_negative_chaos_time_is_usage_error(self):
+        with pytest.raises(SystemExit, match="time_s"):
+            main(
+                ["fleet-serve", "--trace", "--scenario", "fleet-churn",
+                 "--chaos", "edge0@-5"]
+            )
+
+    def test_journal_rejects_elastic(self, tmp_path):
+        with pytest.raises(SystemExit, match="elastic"):
+            main(
+                ["fleet-serve", "--trace", "--scenario", "fleet-churn",
+                 "--journal", str(tmp_path / "x.journal"), "--elastic"]
+            )
+
+    def test_fleet_journal_requires_trace(self, tmp_path):
+        with pytest.raises(SystemExit, match="--trace"):
+            main(
+                ["fleet-serve", "--scenario", "request-burst",
+                 "--journal", str(tmp_path / "x.journal")]
+            )

@@ -174,6 +174,7 @@ class TestChurnScenarios:
             "steady-drain",
             "priority-storm",
             "slo-squeeze",
+            "estimator-brownout",
         ]
 
     @pytest.mark.parametrize("name", churn_scenario_names())

@@ -1,0 +1,380 @@
+"""Resilience layer tests: fault plans, the degradation ladder, visibility.
+
+The acceptance bar, pinned here as property tests: an empty
+``FaultPlan`` is byte-identical to no policy at all, ladder stepping is
+a deterministic function of its event sequence, no request is ever
+dropped while degraded, and the static tier makes zero estimator
+forwards per decision.
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.builder import SystemBuilder
+from repro.core import MCTSConfig
+from repro.core.base import SLOTarget
+from repro.estimator.model import EstimatorFault
+from repro.evaluation import read_timeline_json, write_timeline_json
+from repro.fleet.placement import reference_mapping
+from repro.nn.inference import PlanExecutionError
+from repro.online import OnlineConfig
+from repro.resilience import (
+    TIERS,
+    DegradationLadder,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    ResiliencePolicy,
+)
+from repro.service import SchedulingService
+from repro.slo import AdmissionController, SLOPolicy
+from repro.workloads import Workload, churn_scenario
+
+_ESTIMATOR = {"num_training_samples": 40, "epochs": 3}
+_MCTS = MCTSConfig(budget=20, seed=13)
+_ONLINE = OnlineConfig(warm_patience=20)
+_EVENTS = 4
+
+
+def _builder(seed=29):
+    return (
+        SystemBuilder(seed=seed)
+        .with_estimator(**_ESTIMATOR)
+        .with_mcts_config(_MCTS)
+    )
+
+
+def _run(resilience, events=_EVENTS):
+    """Replay the brownout drill with host timers pinned (byte-identity)."""
+    trace = churn_scenario("estimator-brownout").truncated(events)
+    service = SchedulingService(_builder(), resilience=resilience)
+    real = time.perf_counter
+    time.perf_counter = lambda: 0.0
+    try:
+        report = service.run_trace(trace, online=_ONLINE)
+    finally:
+        time.perf_counter = real
+    return service, report
+
+
+def _canonical(report):
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# FaultSpec / FaultPlan
+# ----------------------------------------------------------------------
+class TestFaultSpec:
+    def test_parse_single_call(self):
+        spec = FaultSpec.parse("estimator-nan@3")
+        assert (spec.kind, spec.at_call, spec.count) == ("estimator-nan", 3, 1)
+
+    def test_parse_window(self):
+        spec = FaultSpec.parse("plan-error@5x4")
+        assert (spec.kind, spec.at_call, spec.count) == ("plan-error", 5, 4)
+        assert spec.covers(5) and spec.covers(8) and not spec.covers(9)
+
+    @pytest.mark.parametrize(
+        "text", ["", "estimator-nan", "@3", "estimator-nan@", "estimator-nan@x",
+                 "estimator-nan@3xq", "bogus@3"]
+    )
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            FaultSpec.parse(text)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(kind="estimator-nan", at_call=0)
+        with pytest.raises(ValueError, match="count"):
+            FaultSpec(kind="estimator-nan", at_call=1, count=0)
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(kind="cache-corrupt", at_call=7, count=2)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert len(FaultPlan()) == 0
+
+    def test_rejects_unordered_specs(self):
+        with pytest.raises(ValueError, match="ordered"):
+            FaultPlan(
+                (
+                    FaultSpec(kind="estimator-nan", at_call=5),
+                    FaultSpec(kind="estimator-inf", at_call=2),
+                )
+            )
+
+    def test_rejects_overlapping_windows_of_one_kind(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultPlan(
+                (
+                    FaultSpec(kind="estimator-nan", at_call=2, count=3),
+                    FaultSpec(kind="estimator-nan", at_call=4),
+                )
+            )
+
+    def test_distinct_kinds_may_interleave(self):
+        plan = FaultPlan(
+            (
+                FaultSpec(kind="estimator-nan", at_call=2, count=3),
+                FaultSpec(kind="plan-error", at_call=3),
+            )
+        )
+        assert plan.active(("estimator-nan",), 4) == "estimator-nan"
+        assert plan.active(("plan-error",), 3) == "plan-error"
+        assert plan.active(("plan-error",), 4) is None
+
+    def test_json_round_trip(self):
+        plan = FaultPlan.single("estimator-inf", at_call=9, count=2)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+class TestFaultInjector:
+    def test_nan_window_corrupts_exactly_its_calls(self):
+        injector = FaultInjector(FaultPlan.single("estimator-nan", 2, count=2))
+        outputs = np.ones((3, 2))
+        assert injector.on_forward(outputs, "compiled") is outputs
+        assert np.isnan(injector.on_forward(outputs, "compiled")).all()
+        assert np.isnan(injector.on_forward(outputs, "compiled")).all()
+        assert injector.on_forward(outputs, "compiled") is outputs
+        assert injector.faults_fired == 2
+        # The original array is never mutated (arena-view safety).
+        assert np.isfinite(outputs).all()
+
+    def test_plan_error_fires_only_on_compiled_backend(self):
+        injector = FaultInjector(FaultPlan.single("plan-error", 1, count=3))
+        outputs = np.ones((1, 2))
+        with pytest.raises(PlanExecutionError):
+            injector.on_forward(outputs, "compiled")
+        # Same window, interpreter backend: the fault is a no-op --
+        # which is what lets the interpreter tier heal plan faults.
+        assert injector.on_forward(outputs, "interpreter") is outputs
+        assert injector.faults_fired == 1
+
+    def test_cache_lookup_window(self):
+        injector = FaultInjector(FaultPlan.single("cache-corrupt", 2))
+        assert not injector.on_cache_lookup()
+        assert injector.on_cache_lookup()
+        assert not injector.on_cache_lookup()
+        assert injector.faults_fired == 1
+
+    def test_state_round_trip_resumes_counting(self):
+        injector = FaultInjector(FaultPlan.single("estimator-nan", 3))
+        injector.on_forward(np.ones(2), "compiled")
+        injector.on_forward(np.ones(2), "compiled")
+        resumed = FaultInjector(injector.plan)
+        resumed.restore_state(injector.export_state())
+        assert np.isnan(resumed.on_forward(np.ones(2), "compiled")).all()
+
+
+# ----------------------------------------------------------------------
+# DegradationLadder (pure counter properties)
+# ----------------------------------------------------------------------
+class TestDegradationLadder:
+    def test_step_down_after_threshold(self):
+        ladder = DegradationLadder(ResiliencePolicy(step_down_after=2))
+        assert ladder.begin_attempt() == "compiled"
+        ladder.record_fault()
+        assert ladder.tier == "compiled"
+        ladder.record_fault()
+        assert ladder.tier == "interpreter"
+        assert ladder.step_downs == 1
+
+    def test_probe_climbs_on_success(self):
+        ladder = DegradationLadder(ResiliencePolicy(probe_after=2))
+        ladder.record_fault()
+        assert ladder.tier == "interpreter"
+        for _ in range(2):
+            assert ladder.begin_attempt() == "interpreter"
+            ladder.complete_attempt()
+        # Half-open: the next attempt probes the tier above.
+        assert ladder.begin_attempt() == "compiled"
+        assert ladder.probes == 1
+        ladder.complete_attempt()
+        assert ladder.tier == "compiled"
+        assert ladder.step_ups == 1
+
+    def test_failed_probe_closes_the_window(self):
+        ladder = DegradationLadder(ResiliencePolicy(probe_after=1))
+        ladder.record_fault()
+        ladder.complete_attempt()
+        assert ladder.begin_attempt() == "compiled"  # probing
+        ladder.record_fault()
+        assert ladder.tier == "interpreter"  # probe failed, no step
+        assert ladder.step_downs == 1  # the original one only
+        # Successes restart from zero after the failed probe.
+        assert ladder.begin_attempt() == "interpreter"
+
+    def test_bottom_rung_never_steps_below_greedy(self):
+        ladder = DegradationLadder(ResiliencePolicy())
+        for _ in range(10):
+            ladder.record_fault()
+        assert ladder.tier == TIERS[-1] == "greedy"
+
+    def test_scripted_walk_is_deterministic(self):
+        script = ["fault", "ok", "ok", "ok", "ok", "fault", "ok", "fault",
+                  "ok", "ok", "ok", "ok", "ok", "ok", "ok"]
+
+        def walk():
+            ladder = DegradationLadder(ResiliencePolicy())
+            states = []
+            for step in script:
+                ladder.begin_attempt()
+                if step == "fault":
+                    ladder.record_fault()
+                else:
+                    ladder.complete_attempt()
+                states.append(tuple(sorted(ladder.export_state().items())))
+            return states
+
+        assert walk() == walk()
+
+    def test_state_round_trip_is_behavior_identical(self):
+        ladder = DegradationLadder(ResiliencePolicy())
+        for _ in range(3):
+            ladder.begin_attempt()
+            ladder.record_fault()
+        restored = DegradationLadder(ResiliencePolicy())
+        restored.restore_state(ladder.export_state())
+        for _ in range(6):
+            assert restored.begin_attempt() == ladder.begin_attempt()
+            restored.complete_attempt()
+            ladder.complete_attempt()
+        assert restored.export_state() == ladder.export_state()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="step_down_after"):
+            ResiliencePolicy(step_down_after=0)
+        with pytest.raises(ValueError, match="probe_after"):
+            ResiliencePolicy(probe_after=0)
+
+
+# ----------------------------------------------------------------------
+# Replay properties (one estimator training per fixture, module scope)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def nan_run():
+    policy = ResiliencePolicy(
+        faults=FaultPlan.single("estimator-nan", at_call=2)
+    )
+    return _run(policy)
+
+
+class TestResilientReplay:
+    def test_empty_plan_is_byte_identical_to_no_policy(self):
+        _, control = _run(None)
+        service, report = _run(ResiliencePolicy())
+        assert _canonical(report) == _canonical(control)
+        stats = service.stats()
+        assert stats.faults_detected == 0
+        assert stats.degraded_decisions == 0
+
+    def test_fault_degrades_without_dropping_requests(self, nan_run):
+        service, report = nan_run
+        stats = service.stats()
+        assert stats.faults_detected >= 1
+        assert stats.degraded_decisions > 0
+        assert "interpreter" in stats.decisions_by_tier
+        # No request dropped while degraded: every trace event has a
+        # committed record, and every degraded record names its tier.
+        assert len(report.records) == _EVENTS
+        assert report.degraded_records
+        assert all(r.tier in TIERS[1:] for r in report.degraded_records)
+
+    def test_degradation_is_reported(self, nan_run):
+        service, report = nan_run
+        payload = report.to_dict()
+        assert payload["resilience"]["degraded_decisions"] > 0
+        assert "interpreter" in payload["resilience"]["decisions_by_tier"]
+        assert "degraded decisions" in report.summary()
+
+    def test_report_json_round_trip(self, nan_run, tmp_path):
+        _, report = nan_run
+        path = str(tmp_path / "timeline.json")
+        write_timeline_json(report, path)
+        loaded = read_timeline_json(path)
+        assert _canonical(loaded) == _canonical(report)
+
+    def test_replay_under_faults_is_deterministic(self, nan_run):
+        _, first = nan_run
+        policy = ResiliencePolicy(
+            faults=FaultPlan.single("estimator-nan", at_call=2)
+        )
+        _, second = _run(policy)
+        assert _canonical(second) == _canonical(first)
+
+
+@pytest.fixture(scope="module")
+def materialized_service():
+    service = SchedulingService(_builder(), resilience=ResiliencePolicy())
+    service.submit(Workload.from_names(["alexnet", "mobilenet"]))
+    return service
+
+
+class TestTierMechanics:
+    def test_static_tier_makes_zero_estimator_forwards(
+        self, materialized_service
+    ):
+        service = materialized_service
+        service._ladder.level = TIERS.index("static")
+        before_calls = service._injector.estimator_calls
+        before_static = service.stats().decisions_by_tier.get("static", 0)
+        response = service.submit(Workload.from_names(["vgg19", "resnet50"]))
+        assert response.mapping is not None
+        assert service._injector.estimator_calls == before_calls
+        assert (
+            service.stats().decisions_by_tier.get("static", 0)
+            == before_static + 1
+        )
+        service._ladder.level = 0
+
+    def test_non_finite_forward_raises_typed_fault(self, materialized_service):
+        estimator = materialized_service.scheduler.estimator
+        workload = Workload.from_names(["alexnet"])
+        mapping = reference_mapping(
+            workload, estimator.embedding.num_devices
+        )
+        estimator.fault_hook = (
+            lambda outputs, backend: np.full_like(outputs, np.nan)
+        )
+        try:
+            with pytest.raises(EstimatorFault):
+                estimator.predict_throughput_batch([(workload, mapping)])
+        finally:
+            estimator.fault_hook = None
+
+    def test_cache_corruption_is_detected_and_counted(self):
+        service = SchedulingService(
+            _builder(),
+            resilience=ResiliencePolicy(
+                faults=FaultPlan.single("cache-corrupt", at_call=2)
+            ),
+        )
+        mix = Workload.from_names(["alexnet", "mobilenet"])
+        first = service.submit(mix)
+        second = service.submit(mix)  # corrupted lookup: drop + re-search
+        assert service.stats().cache_corruptions == 1
+        assert second.mapping == first.mapping
+
+
+# ----------------------------------------------------------------------
+# Fail-soft estimator consumers outside the engine ladder
+# ----------------------------------------------------------------------
+class TestAdmissionFailOpen:
+    def test_scorer_fault_admits_and_counts(self):
+        policy = SLOPolicy(target=SLOTarget(min_throughput=1.0))
+
+        def scorer(workload):
+            raise EstimatorFault("injected")
+
+        controller = AdmissionController(policy, scorer=scorer)
+        decision = controller.evaluate(["alexnet"], load=0)
+        assert decision.verdict == "admit"
+        assert "fault" in decision.reason
+        assert controller.scorer_faults == 1
