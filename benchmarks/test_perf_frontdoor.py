@@ -1,0 +1,144 @@
+"""PERF-FRONTDOOR -- full-forward accounting of the distilled fast path.
+
+The deal PR 10's fast path offers: spend the paper's 500-query
+decision budget as a *wide* exploration (``explore_factor`` more
+candidates, scored by a tiny distilled student) and let only the best
+of each evaluation batch pay a real estimator forward, plus a final
+re-certification batch.  The gates, all **count-based** (RPR003; the
+counts are deterministic for the pinned seeds + committed estimator
+checkpoint):
+
+* every fast-path decision pays at most ``budget / 5`` full-estimator
+  forwards -- the issue's ">= 5x fewer forwards" bar (measured: ~88 of
+  500 on every Fig.-5 mix);
+* across the fifteen Fig.-5 mixes (sizes 3/4/5) the fast path's mean
+  chosen score is **equal-or-better** than exact-500 MCTS, and no
+  single mix falls below 0.9x its exact score.  The suite-aggregate
+  form mirrors the Fig.-5 benches, which gate banded *averages*: MCTS
+  is chaotic enough that +-5% per-mix swings survive even a perfect
+  proxy (tiny reward deltas flip argmaxes early in the tree), while
+  the aggregate is stable;
+* a service restarted onto the same ``cache_dir`` replays every
+  previously-decided mix with **zero** full-estimator forwards.
+
+The student's distillation corpus is a one-time bill (~500 teacher
+forwards, amortized across every decision of the process lifetime) and
+is therefore warmed before the ledger starts.
+"""
+
+import os
+
+from conftest import CACHE_DIR, DEPLOY_EPOCHS, DEPLOY_SAMPLES, SYSTEM_SEED
+from fig5_common import paper_mixes
+
+from repro import SystemBuilder
+from repro.core import MCTSConfig, ScheduleRequest
+from repro.estimator import FastPathPolicy
+from repro.service import SchedulingService
+
+BUDGET = 500
+CHECKPOINT = os.path.join(
+    CACHE_DIR,
+    f"estimator_s{DEPLOY_SAMPLES}_e{DEPLOY_EPOCHS}_seed{SYSTEM_SEED}.npz",
+)
+
+
+def _service(**kwargs) -> SchedulingService:
+    builder = (
+        SystemBuilder(seed=SYSTEM_SEED)
+        .with_mcts_config(MCTSConfig(budget=BUDGET, seed=SYSTEM_SEED))
+        .with_estimator(train=False)
+    )
+    service = SchedulingService(builder, **kwargs)
+    service._scheduler_instance().estimator.load(CHECKPOINT)
+    return service
+
+
+def _suite_mixes():
+    return paper_mixes(3) + paper_mixes(4) + paper_mixes(5)
+
+
+def test_fast_path_forward_counts_and_scores(benchmark, paper_system):
+    """>= 5x fewer full forwards per decision, equal-or-better scores."""
+    del paper_system  # requested to guarantee the checkpoint exists
+    mixes = _suite_mixes()
+
+    exact = _service(cache_decisions=False)
+    fast = _service(cache_decisions=False, fast_path=FastPathPolicy())
+    fast_estimator = fast._scheduler_instance().estimator
+    fast._student_instance(fast_estimator)  # one-time distillation bill
+    fast_estimator.reset_query_count()
+
+    def run():
+        rows = []
+        for mix in mixes:
+            exact_score = exact.submit(mix).expected_score
+            before = fast_estimator.query_count
+            fast_score = fast.submit(mix).expected_score
+            forwards = fast_estimator.query_count - before
+            rows.append((mix, exact_score, fast_score, forwards))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(f"\n[FRONTDOOR] budget {BUDGET}, gate <= {BUDGET // 5} forwards")
+    for mix, exact_score, fast_score, forwards in rows:
+        names = "+".join(mix.model_names)
+        print(
+            f"[FRONTDOOR] {names}: exact {exact_score:.4f} "
+            f"fast {fast_score:.4f} ({forwards} full forwards)"
+        )
+    exact_mean = sum(row[1] for row in rows) / len(rows)
+    fast_mean = sum(row[2] for row in rows) / len(rows)
+    print(
+        f"[FRONTDOOR] suite means: exact {exact_mean:.4f}, "
+        f"fast {fast_mean:.4f}"
+    )
+
+    for mix, exact_score, fast_score, forwards in rows:
+        # The >=5x count gate, per decision.
+        assert forwards <= BUDGET // 5
+        # Per-mix floor: MCTS chaos allows small losses on individual
+        # mixes; none may be large.
+        assert fast_score >= exact_score * 0.9
+    # Equal-or-better on the suite aggregate (the Fig.-5 gate form).
+    assert fast_mean >= exact_mean
+    # The stats ledger agrees with the external counter.
+    stats = fast.stats()
+    assert stats.distilled_pruned > 0
+    assert stats.estimator_queries_actual == sum(row[3] for row in rows)
+
+
+def test_persistent_replay_pays_zero_forwards(
+    benchmark, paper_system, tmp_path
+):
+    """Cross-restart cache reuse: a previously-decided trace replays
+    with zero full-estimator forwards."""
+    del paper_system
+    cache_dir = str(tmp_path / "decisions")
+    requests = [
+        ScheduleRequest(workload=mix, request_id=str(index))
+        for index, mix in enumerate(paper_mixes(3))
+    ]
+
+    first = _service(cache_dir=cache_dir, fast_path=FastPathPolicy())
+    cold = first.schedule_many(requests)
+    assert first.stats().cache_persisted > 0
+
+    second = _service(cache_dir=cache_dir, fast_path=FastPathPolicy())
+    second_estimator = second._scheduler_instance().estimator
+    second_estimator.reset_query_count()
+    warm = benchmark.pedantic(
+        second.schedule_many, args=(requests,), rounds=1, iterations=1
+    )
+
+    stats = second.stats()
+    print(
+        f"\n[FRONTDOOR] replay: {stats.cache_hits} hits, "
+        f"{second_estimator.query_count} full forwards"
+    )
+    assert stats.cache_hits == len(requests)
+    assert second_estimator.query_count == 0  # the zero-forward gate
+    for warm_response, cold_response in zip(warm, cold):
+        assert warm_response.mapping == cold_response.mapping
+        assert warm_response.expected_score == cold_response.expected_score

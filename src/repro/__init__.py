@@ -30,6 +30,7 @@ from . import (
     estimator,
     evaluation,
     fleet,
+    frontdoor,
     hw,
     models,
     nn,
@@ -54,7 +55,13 @@ from .core import (
     unregister_scheduler,
 )
 from .engine import SchedulingEngine
-from .estimator import EmbeddingSpace, EstimatorFault, ThroughputEstimator
+from .estimator import (
+    DistilledEstimator,
+    EmbeddingSpace,
+    EstimatorFault,
+    FastPathPolicy,
+    ThroughputEstimator,
+)
 from .evaluation import TimelineReport
 from .fleet import (
     Autoscaler,
@@ -64,6 +71,13 @@ from .fleet import (
     FleetResponse,
     FleetService,
     FleetStats,
+)
+from .frontdoor import (
+    AsyncFrontDoor,
+    FrontDoorStats,
+    ShardedDecisionCache,
+    clear_cache_dir,
+    inspect_cache_dir,
 )
 from .hw import Platform, cloud_tier, hikey970
 from .models import MODEL_NAMES, build_model
@@ -89,28 +103,32 @@ from .workloads import (
     generate_trace,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "ArrivalEvent",
     "ArrivalTrace",
+    "AsyncFrontDoor",
     "Autoscaler",
     "Board",
     "BoardSimulator",
     "BoardUnresponsiveError",
     "ChaosPlan",
     "Cluster",
+    "DistilledEstimator",
     "ElasticPolicy",
     "EmbeddingSpace",
     "EstimatorFault",
     "FailureEvent",
+    "FastPathPolicy",
     "FaultPlan",
     "FaultSpec",
     "FleetResponse",
     "FleetService",
     "FleetStats",
+    "FrontDoorStats",
     "MCTSConfig",
     "MODEL_NAMES",
     "Mapping",
@@ -130,6 +148,7 @@ __all__ = [
     "SchedulingEngine",
     "SchedulingService",
     "ServiceStats",
+    "ShardedDecisionCache",
     "SimConfig",
     "SystemBuilder",
     "ThroughputEstimator",
@@ -146,6 +165,7 @@ __all__ = [
     "canonical_signature",
     "churn_scenario",
     "churn_scenario_names",
+    "clear_cache_dir",
     "cloud_tier",
     "core",
     "estimator",
@@ -153,10 +173,12 @@ __all__ = [
     "fleet",
     "fleet_scenario",
     "fleet_scenario_names",
+    "frontdoor",
     "generate_trace",
     "get_scheduler",
     "hikey970",
     "hw",
+    "inspect_cache_dir",
     "models",
     "nn",
     "online",

@@ -80,6 +80,9 @@ class AllowlistEntry:
 #:   resilience) must surface every swallowed exception as a counter
 #:   or re-raise; library and test code handles exceptions for many
 #:   legitimate local reasons.
+#: * RPR010 -- bounded caches are likewise a serving-path doctrine:
+#:   a dict cache in a one-shot script or a test is fine; one on the
+#:   request path of a long-lived service is a leak.
 DEFAULT_SCOPES: Dict[str, RuleScope] = {
     "RPR002": RuleScope(include=("src/", "benchmarks/")),
     "RPR003": RuleScope(include=("benchmarks/",)),
@@ -97,6 +100,15 @@ DEFAULT_SCOPES: Dict[str, RuleScope] = {
             "src/repro/slo.py",
             "src/repro/fleet/",
             "src/repro/resilience/",
+        )
+    ),
+    "RPR010": RuleScope(
+        include=(
+            "src/repro/engine.py",
+            "src/repro/service.py",
+            "src/repro/slo.py",
+            "src/repro/fleet/",
+            "src/repro/frontdoor/",
         )
     ),
 }
@@ -122,6 +134,14 @@ DEFAULT_ALLOWLIST: Tuple[AllowlistEntry, ...] = (
         reason=(
             "designated host-measurement module: the runtime cost model "
             "is *about* wall time by definition"
+        ),
+    ),
+    AllowlistEntry(
+        rule="RPR010",
+        path="src/repro/frontdoor/cache.py",
+        reason=(
+            "the bounded cache's own implementation: its per-shard "
+            "OrderedDicts evict at capacity and count what they evict"
         ),
     ),
 )

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Tuple, Type
 
 from ..core import Rule
+from .bounded import BoundedServingCaches
 from .caching import CanonicalCacheKeys
 from .determinism import NoUnseededRng
 from .docs_sync import ExportDocsSync
@@ -32,6 +33,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     MutableDefaultArgs,
     BareExcept,
     ServingPathFaultVisibility,
+    BoundedServingCaches,
 )
 
 RULES_BY_CODE: Dict[str, Type[Rule]] = {rule.code: rule for rule in ALL_RULES}

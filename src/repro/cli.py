@@ -249,13 +249,59 @@ def _load_mix_file(path: str):
     return entries
 
 
+def _frontdoor_kwargs(args: argparse.Namespace) -> dict:
+    """Service kwargs of the front-door flags (cache dir, fast path)."""
+    kwargs = {}
+    if getattr(args, "cache_dir", ""):
+        kwargs["cache_dir"] = args.cache_dir
+    if getattr(args, "distill", False):
+        from .estimator.distill import FastPathPolicy
+
+        kwargs["fast_path"] = FastPathPolicy()
+    return kwargs
+
+
+def _serve_requests(service, requests, args: argparse.Namespace):
+    """One batch call, or pooled async windows under ``--window-size``.
+
+    Without the flag the batch goes through ``schedule_many`` whole —
+    today's path.  With it, requests stream through the
+    :class:`~repro.frontdoor.AsyncFrontDoor` in windows, and
+    ``--frontdoor-report`` captures the ingress counters.
+    """
+    if args.window_size is None:
+        responses = service.schedule_many(requests)
+        stats = None
+    else:
+        from .frontdoor import AsyncFrontDoor
+
+        door = AsyncFrontDoor(service, window_size=args.window_size)
+        responses = door.serve(requests)
+        stats = door.stats
+    if getattr(args, "frontdoor_report", ""):
+        import json
+        from dataclasses import asdict
+
+        report = {
+            "window_size": args.window_size,
+            "frontdoor": stats.to_dict() if stats is not None else None,
+            "service": asdict(service.stats()),
+        }
+        with open(args.frontdoor_report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"front-door report written to {args.frontdoor_report}")
+    return responses
+
+
 def _cmd_serve_batch(args: argparse.Namespace) -> int:
     from .core import ScheduleRequest
 
     entries = _load_mix_file(args.mix_file)
     (scheduler_name,) = _validate_scheduler_names([args.scheduler])
     builder = _make_builder(args)
-    service = SchedulingService(builder, scheduler=scheduler_name)
+    service = SchedulingService(
+        builder, scheduler=scheduler_name, **_frontdoor_kwargs(args)
+    )
     requests = [
         ScheduleRequest(
             workload=Workload.from_names(models),
@@ -265,7 +311,7 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
         )
         for index, (models, knobs) in enumerate(entries)
     ]
-    responses = service.schedule_many(requests)
+    responses = _serve_requests(service, requests, args)
     rows = []
     for request, response in zip(requests, responses):
         row = [
@@ -291,12 +337,20 @@ def _cmd_serve_batch(args: argparse.Namespace) -> int:
     print(
         f"\nservice: {stats.requests_served} requests, "
         f"cache hit rate {stats.cache_hit_rate:.0%} "
-        f"({stats.cache_hits} hits / {stats.cache_misses} misses), "
+        f"({stats.cache_hits} hits / {stats.cache_misses} misses, "
+        f"{stats.cache_evictions} evicted, "
+        f"{stats.cache_persisted} persisted), "
         f"{stats.pooled_eval_batches} pooled estimator batches "
         f"(mean size {stats.mean_pooled_batch_size:.1f}), "
         f"{stats.estimator_queries_actual:.0f} estimator queries paid "
         f"of {stats.estimator_queries:.0f} budgeted"
     )
+    if stats.distilled_queries:
+        print(
+            f"fast path: {stats.distilled_queries:.0f} student queries, "
+            f"{stats.distilled_pruned:.0f} candidates pruned before the "
+            "full estimator"
+        )
     return 0
 
 
@@ -525,6 +579,7 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         placement=args.placement,
         slo=slo,
         resilience=_resilience_policy(args),
+        **_frontdoor_kwargs(args),
     )
     boards = ", ".join(
         f"{board.name}={board.preset}" for board in cluster
@@ -610,7 +665,7 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         )
         for index, (workload, knobs) in enumerate(mixes)
     ]
-    responses = service.schedule_many(requests)
+    responses = _serve_requests(service, requests, args)
     rows = []
     for request, response in zip(requests, responses):
         if not response.parts:
@@ -728,6 +783,57 @@ def _cmd_power(args: argparse.Namespace) -> int:
         )
     print(format_table(["objective", "T (inf/s)", "power (W)", "inf/J"], rows))
     return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from .frontdoor import clear_cache_dir, inspect_cache_dir
+
+    if args.action == "clear":
+        removed = clear_cache_dir(args.cache_dir)
+        print(f"removed {removed} snapshot file(s) from {args.cache_dir}")
+        return 0
+    print(json.dumps(inspect_cache_dir(args.cache_dir), indent=2,
+                     sort_keys=True))
+    return 0
+
+
+def _add_frontdoor_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--window-size``/``--cache-dir``/``--distill`` flag block."""
+    group = parser.add_argument_group("front door")
+    group.add_argument(
+        "--window-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="pool requests through the async front door in windows "
+        "of N (1 = identical to the direct batch call; default: "
+        "one whole-batch call, no front door)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        type=str,
+        default="",
+        metavar="DIR",
+        help="persist the decision cache under DIR and reload it on "
+        "the next run (invalidated when the estimator weights move)",
+    )
+    group.add_argument(
+        "--distill",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="prune MCTS candidates with the distilled fast-path "
+        "student (--no-distill: every candidate pays the full "
+        "estimator)",
+    )
+    group.add_argument(
+        "--frontdoor-report",
+        type=str,
+        default="",
+        metavar="PATH",
+        help="write window-size and cache-counter JSON to PATH",
+    )
 
 
 def _positive_int(value: str) -> int:
@@ -870,6 +976,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also deploy each mapping on the simulated board",
     )
+    _add_frontdoor_arguments(serve)
     serve.set_defaults(fn=_cmd_serve_batch)
 
     trace = sub.add_parser(
@@ -1031,9 +1138,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="omniboost",
         help="registered scheduler answering on every board",
     )
+    _add_frontdoor_arguments(fleet)
     _add_slo_arguments(fleet)
     _add_resilience_arguments(fleet)
     fleet.set_defaults(fn=_cmd_fleet_serve)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear a persistent decision-cache directory",
+    )
+    cache.add_argument("action", choices=["inspect", "clear"])
+    cache.add_argument(
+        "cache_dir", help="directory previously passed as --cache-dir"
+    )
+    cache.set_defaults(fn=_cmd_cache)
 
     lint = sub.add_parser(
         "lint",

@@ -55,6 +55,17 @@ result when seeded with the cold search's own elite.  Combined with
 incumbent improvement) a warm re-search converges in a fraction of the
 cold budget — the mechanism :class:`repro.online.OnlineScheduler`
 builds on.
+
+The search itself is agnostic about *where* its rewards come from: it
+maximizes whatever number the evaluation step hands back.  The
+engine's distilled fast path (PR 10) exploits exactly that — under
+:class:`repro.estimator.FastPathPolicy` most rollout leaves are scored
+by the distilled student, calibrated onto the full estimator's reward
+scale, and only the per-batch survivors pay a real forward.  Because
+proxy rewards steer the *tree*, not the final answer, the engine
+re-certifies afterwards: the served mapping is always chosen by full
+estimator scores over the fully-scored candidates, never by a proxy
+number alone.
 """
 
 from __future__ import annotations

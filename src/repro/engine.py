@@ -47,7 +47,13 @@ from .builder import OmniBoostSystem, SystemBuilder
 from .core.base import ScheduleDecision, ScheduleRequest, ScheduleResponse, Scheduler
 from .core.mcts import MCTSResult
 from .core.scheduler import OmniBoostScheduler
+from .estimator.distill import (
+    DistilledEstimator,
+    FastPathPolicy,
+    distill_estimator,
+)
 from .estimator.model import EstimatorFault
+from .frontdoor.cache import ShardedDecisionCache, estimator_cache_token
 from .evaluation.timeline import TimelineRecord, TimelineReport
 from .nn.inference import PlanExecutionError
 from .online import OnlineConfig, OnlineDecision, OnlineScheduler
@@ -61,6 +67,7 @@ from .resilience import (
 )
 from .sim.mapping import Mapping
 from .slo import AdmissionController, SLOPolicy, make_estimator_scorer, preemption_victims
+from .workloads.generator import WorkloadGenerator, random_contiguous_mapping
 from .workloads.mix import Workload, canonical_signature
 from .workloads.trace import ArrivalEvent, ArrivalTrace
 
@@ -78,6 +85,14 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_bypasses: int = 0
+    #: Decision-cache bounds and persistence (PR 10): LRU entries
+    #: evicted past the shard capacity, and entries written to the
+    #: on-disk snapshot — both filled at snapshot time from the
+    #: :class:`~repro.frontdoor.cache.ShardedDecisionCache`, so the
+    #: old unbounded-growth / silent-restart-drop failure modes are
+    #: observable instead of latent.
+    cache_evictions: int = 0
+    cache_persisted: int = 0
     #: Pooled evaluator calls and the (workload, mapping) pairs they carried.
     pooled_eval_batches: int = 0
     pooled_evaluations: int = 0
@@ -85,6 +100,12 @@ class ServiceStats:
     #: the estimator actually paid after transposition-cache savings.
     estimator_queries: float = 0.0
     estimator_queries_actual: float = 0.0
+    #: Distilled fast path (:mod:`repro.estimator.distill`): student
+    #: forwards performed, and candidates whose full-estimator forward
+    #: was pruned away (they back up the student's estimate instead).
+    #: Both stay zero without a :class:`FastPathPolicy`.
+    distilled_queries: float = 0.0
+    distilled_pruned: float = 0.0
     #: Per-priority service levels: how many requests (or trace
     #: events) each priority submitted, and their summed host-measured
     #: wait (latency) — the counters that make priority starvation
@@ -198,10 +219,14 @@ class ServiceStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_bypasses += other.cache_bypasses
+        self.cache_evictions += other.cache_evictions
+        self.cache_persisted += other.cache_persisted
         self.pooled_eval_batches += other.pooled_eval_batches
         self.pooled_evaluations += other.pooled_evaluations
         self.estimator_queries += other.estimator_queries
         self.estimator_queries_actual += other.estimator_queries_actual
+        self.distilled_queries += other.distilled_queries
+        self.distilled_pruned += other.distilled_pruned
         self.trace_events += other.trace_events
         self.trace_reschedules += other.trace_reschedules
         self.trace_warm_reschedules += other.trace_warm_reschedules
@@ -291,6 +316,21 @@ class _SearchJob:
     #: Requests with the same signature arriving after this job was
     #: opened; they reuse its decision as in-flight cache hits.
     followers: List[Tuple[int, ScheduleRequest, float]] = field(default_factory=list)
+    #: Distilled fast path: whether any round of this search pruned
+    #: candidates, and the full-estimator rewards of every candidate
+    #: that *did* reach the full estimator — the certification set the
+    #: final decision is drawn from (the correctness contract).
+    pruned: bool = False
+    #: Full-estimator forwards this job actually paid (survivors plus
+    #: re-certification); replaces the search's own
+    #: ``estimator_queries_actual`` counter for pruned jobs, which
+    #: cannot see that most of its rewards were student proxies.
+    full_forwards: int = 0
+    full_scores: Optional[Dict[Mapping, float]] = None
+    #: Student proxy rewards of candidates whose full forward was
+    #: pruned — the recertification pool (best of them get one full
+    #: batch at certification time).
+    proxy_scores: Optional[Dict[Mapping, float]] = None
 
 
 @dataclass
@@ -334,6 +374,20 @@ class SchedulingEngine:
         the deterministic fault injector).  ``None`` — the default —
         leaves every code path byte-identical to an engine built before
         the resilience layer existed.
+    cache_shards / cache_capacity:
+        Geometry of the bounded decision cache
+        (:class:`~repro.frontdoor.cache.ShardedDecisionCache`):
+        ``cache_shards`` LRU shards of ``cache_capacity`` entries each.
+    cache_dir:
+        Directory for the persisted decision-cache snapshot; ``None``
+        keeps the cache in-memory only.  Snapshots are keyed by the
+        estimator's ``Module.version`` plus a weight digest, so a
+        retrained/re-loaded estimator never serves stale decisions.
+    fast_path:
+        Optional :class:`~repro.estimator.distill.FastPathPolicy`
+        arming the distilled pruning fast path.  ``None`` — the
+        default — keeps every search exact and byte-identical to an
+        engine built before the fast path existed.
     """
 
     def __init__(
@@ -343,6 +397,10 @@ class SchedulingEngine:
         cache_decisions: bool = True,
         board: str = "",
         resilience: Optional[ResiliencePolicy] = None,
+        cache_shards: int = 4,
+        cache_capacity: int = 128,
+        cache_dir: Optional[str] = None,
+        fast_path: Optional[FastPathPolicy] = None,
     ) -> None:
         if isinstance(source, SystemBuilder):
             self._builder: Optional[SystemBuilder] = source
@@ -359,7 +417,14 @@ class SchedulingEngine:
         self.cache_decisions = cache_decisions
         self.board = board
         self._scheduler: Optional[Scheduler] = None
-        self._cache: Dict[CacheKey, Tuple[Tuple[str, ...], ScheduleDecision]] = {}
+        self._cache = ShardedDecisionCache(
+            num_shards=cache_shards,
+            shard_capacity=cache_capacity,
+            cache_dir=cache_dir,
+        )
+        self.fast_path = fast_path
+        self._student: Optional[DistilledEstimator] = None
+        self._cache_token: Optional[Tuple[int, str]] = None
         self._stats = ServiceStats()
         self.resilience = resilience
         self._ladder = (
@@ -422,9 +487,11 @@ class SchedulingEngine:
                 ):
                     # Injected corruption drill: the poisoned entry is
                     # detected, dropped, counted — and the request
-                    # falls through to a fresh search.
+                    # falls through to a fresh search.  ``discard``
+                    # also rewrites the persisted snapshot, so a
+                    # restart cannot resurrect the poisoned entry.
                     self._stats.cache_corruptions += 1
-                    del self._cache[key]
+                    self._cache.discard(key)
                     cached = None
                 if cached is not None:
                     self._stats.cache_hits += 1
@@ -463,11 +530,25 @@ class SchedulingEngine:
                     decision = scheduler.decision_from_result(
                         job.result, int(job.result.cache_misses)
                     )
+                if job.pruned:
+                    # The search's own "actual" counter believes every
+                    # rollout reward was an estimator forward; for a
+                    # pruned job only the survivors (and the
+                    # certification batch) really paid one.
+                    decision = replace(
+                        decision,
+                        cost={
+                            **decision.cost,
+                            "estimator_queries_actual": float(
+                                job.full_forwards
+                            ),
+                        },
+                    )
                 decision = replace(decision, wall_time_s=job.elapsed)
                 self._account(decision)
                 names = tuple(job.request.workload.model_names)
                 if job.key is not None:
-                    self._cache[job.key] = (names, decision)
+                    self._cache.put(job.key, names, decision)
                 responses[job.index] = ScheduleResponse(
                     decision=decision,
                     scheduler_name=scheduler.name,
@@ -517,6 +598,8 @@ class SchedulingEngine:
             preemptions_by_priority=dict(self._stats.preemptions_by_priority),
             queued_by_priority=dict(self._stats.queued_by_priority),
             estimator_plan_compiles=plan_compiles,
+            cache_evictions=self._cache.evictions,
+            cache_persisted=self._cache.persisted,
             decisions_by_tier=dict(self._stats.decisions_by_tier),
             tier_step_downs=(
                 self._ladder.step_downs if self._ladder is not None else 0
@@ -763,11 +846,19 @@ class SchedulingEngine:
         self._ladder.restore_state(state["ladder"])
         self._injector.restore_state(state["injector"])
 
-    def clear_cache(self) -> int:
-        """Drop all cached decisions, returning how many were held."""
-        count = len(self._cache)
-        self._cache.clear()
-        return count
+    def clear_cache(self, persistent: bool = False) -> int:
+        """Drop all cached decisions, returning how many were held.
+
+        With ``persistent`` the on-disk snapshot is deleted too
+        (``repro cache clear``); without it, a bound snapshot is
+        rewritten empty so memory and disk stay in agreement.
+        """
+        return self._cache.clear(persistent=persistent)
+
+    @property
+    def decision_cache(self) -> ShardedDecisionCache:
+        """The bounded decision cache (inspection / tests)."""
+        return self._cache
 
     @property
     def scheduler(self) -> Scheduler:
@@ -1227,6 +1318,9 @@ class SchedulingEngine:
             job.pending = None
             job.result = None
             job.decision = None
+            job.pruned = False
+            job.full_scores = None
+            job.proxy_scores = None
 
     @staticmethod
     def _reset_trace_jobs(jobs: List[_TraceJob]) -> None:
@@ -1252,32 +1346,55 @@ class SchedulingEngine:
         module docstring for why).
         """
         estimator = scheduler.estimator
+        prune = self._fast_path_active()
+        student = self._student_instance(estimator) if prune else None
         for job in jobs:
+            config = scheduler.request_config(job.request)
+            job_objective = (
+                job.request.objective
+                if job.request.objective is not None
+                else scheduler.objective
+            )
+            if prune and job_objective is None:
+                # The fast path ranks within rollout micro-batches; at
+                # the default eval_batch_size=1 there is nothing to
+                # rank, so the policy widens the batch — and multiplies
+                # the candidate budget, spending the full forwards it
+                # saves on a much wider search (student forwards are
+                # ~free).  Only when this job will actually prune: a
+                # degraded-tier retry or an objective-scored request
+                # (which the student cannot rank) falls back to the
+                # exact default search, which would otherwise pay the
+                # widened budget in full forwards.
+                config = replace(
+                    config,
+                    eval_batch_size=max(
+                        config.eval_batch_size, self.fast_path.eval_batch_size
+                    ),
+                    budget=config.budget * self.fast_path.explore_factor,
+                )
             search = scheduler.make_search(
                 job.request.workload,
-                config=scheduler.request_config(job.request),
+                config=config,
                 objective=job.request.objective,
             )
             job.gen = search.search_steps()
+            job.full_scores = {} if prune else None
+            job.proxy_scores = {} if prune else None
             self._advance(job, first=True)
 
         while True:
             waiting = [job for job in jobs if job.pending is not None]
             if not waiting:
                 break
-            pairs = [
-                (job.request.workload, mapping)
-                for job in waiting
-                for mapping in job.pending
-            ]
-            rows = self._evaluate_pairs(estimator, pairs)
-            self._stats.pooled_eval_batches += 1
-            self._stats.pooled_evaluations += len(pairs)
-            offset = 0
+            # Per-job candidate selection: pruning ranks only within a
+            # job's own micro-batch, never across the pool — otherwise
+            # a decision would depend on which other requests share the
+            # batch, breaking the pooled == sequential contract.
+            rounds = []
+            pooled_pairs: List[Tuple[Workload, Mapping]] = []
             for job in waiting:
-                count = len(job.pending)
-                slice_rows = rows[offset : offset + count]
-                offset += count
+                workload = job.request.workload
                 # Same fallback as make_search: a request override wins,
                 # else the scheduler's configured objective applies.
                 objective = (
@@ -1285,10 +1402,133 @@ class SchedulingEngine:
                     if job.request.objective is not None
                     else scheduler.objective
                 )
-                rewards = scheduler.reward_from_predictions(
-                    job.request.workload, job.pending, slice_rows, objective
+                mappings = job.pending
+                proxy = None
+                # Exact mode for objective-scored requests: the student
+                # ranks the paper's mean-throughput reward, and an
+                # explicit objective may order candidates differently.
+                keep = (
+                    self.fast_path.keep_count(len(mappings))
+                    if student is not None and objective is None
+                    else len(mappings)
                 )
+                if keep < len(mappings):
+                    proxy = student.score_candidates(workload, mappings)
+                    self._stats.distilled_queries += len(mappings)
+                    ranked = sorted(
+                        range(len(mappings)),
+                        key=lambda i: (-proxy[i], i),
+                    )
+                    survivors = sorted(ranked[:keep])
+                    self._stats.distilled_pruned += len(mappings) - keep
+                    job.pruned = True
+                else:
+                    survivors = list(range(len(mappings)))
+                rounds.append((job, objective, mappings, proxy, survivors))
+                pooled_pairs.extend(
+                    (workload, mappings[i]) for i in survivors
+                )
+            rows = self._evaluate_pairs(estimator, pooled_pairs)
+            self._stats.pooled_eval_batches += 1
+            self._stats.pooled_evaluations += len(pooled_pairs)
+            offset = 0
+            for job, objective, mappings, proxy, survivors in rounds:
+                count = len(survivors)
+                slice_rows = rows[offset : offset + count]
+                offset += count
+                job.full_forwards += count
+                kept = [mappings[i] for i in survivors]
+                full_rewards = scheduler.reward_from_predictions(
+                    job.request.workload, kept, slice_rows, objective
+                )
+                if proxy is None:
+                    rewards = list(full_rewards)
+                else:
+                    # Survivors back up their full-estimator reward;
+                    # pruned candidates back up the student's centered
+                    # score, calibrated onto the reward scale with the
+                    # survivors as anchors (the student only predicts
+                    # within-batch deviations — see its docstring).
+                    scale = student.reward_scale
+                    anchor = sum(full_rewards) / len(full_rewards)
+                    surv_mean = float(
+                        np.mean([proxy[i] for i in survivors])
+                    )
+                    rewards = [
+                        anchor + scale * (float(p) - surv_mean)
+                        for p in proxy
+                    ]
+                    for index, reward in zip(survivors, full_rewards):
+                        rewards[index] = reward
+                    cut = set(survivors)
+                    for i, mapping in enumerate(mappings):
+                        if i not in cut:
+                            job.proxy_scores[mapping] = rewards[i]
+                if job.full_scores is not None:
+                    for mapping, reward in zip(kept, full_rewards):
+                        job.full_scores[mapping] = float(reward)
                 self._advance(job, rewards=rewards)
+
+        if prune:
+            self._certify_pruned_jobs(scheduler, estimator, jobs)
+
+    def _certify_pruned_jobs(
+        self,
+        scheduler: OmniBoostScheduler,
+        estimator,
+        jobs: List[_SearchJob],
+    ) -> None:
+        """Enforce the fast-path contract on every pruned search.
+
+        The final chosen mapping's score always comes from the full
+        estimator: a search pick that only ever carried a student
+        proxy score is re-certified with one full forward, and if any
+        *fully-scored* candidate seen during the search beats the
+        pick's full score, that incumbent is served instead.  The
+        student therefore only ever decides evaluation order — never
+        the served mapping's score, and never a score downgrade.
+        """
+        for job in jobs:
+            if job.result is None or not job.pruned:
+                continue
+            workload = job.request.workload
+            objective = (
+                job.request.objective
+                if job.request.objective is not None
+                else scheduler.objective
+            )
+            chosen = job.result.mapping
+            recertify = [
+                mapping
+                for mapping in sorted(
+                    job.proxy_scores,
+                    key=job.proxy_scores.__getitem__,
+                    reverse=True,
+                )[: self.fast_path.recertify]
+                if mapping not in job.full_scores
+            ]
+            if chosen not in job.full_scores and chosen not in recertify:
+                recertify.append(chosen)
+            if recertify:
+                job.full_forwards += len(recertify)
+                rows = self._evaluate_pairs(
+                    estimator,
+                    [(workload, mapping) for mapping in recertify],
+                )
+                rewards = scheduler.reward_from_predictions(
+                    workload, recertify, rows, objective
+                )
+                for mapping, reward in zip(recertify, rewards):
+                    job.full_scores[mapping] = float(reward)
+            full = job.full_scores[chosen]
+            best_mapping, best_reward = chosen, full
+            for mapping, reward in job.full_scores.items():
+                if reward > best_reward:
+                    best_mapping, best_reward = mapping, reward
+            if best_mapping is not chosen or best_reward != job.result.reward:
+                job.result = replace(
+                    job.result, mapping=best_mapping, reward=best_reward
+                )
 
     def _drive_trace_jobs(
         self,
@@ -1440,7 +1680,101 @@ class SchedulingEngine:
                 estimator = getattr(self._scheduler, "estimator", None)
                 if estimator is not None:
                     estimator.fault_hook = self._injector.on_forward
+        self._bind_cache()
         return self._scheduler
+
+    def _bind_cache(self) -> None:
+        """Attach the estimator identity to the decision cache.
+
+        Binding loads any persisted snapshot whose token still matches
+        (restart warm-up), quarantines corrupt snapshots into
+        ``ServiceStats.cache_corruptions``, and — should the estimator
+        retrain or re-load mid-process (``Module.version`` bump) —
+        drops every now-stale entry rather than serve one.
+        """
+        estimator = getattr(self._scheduler, "estimator", None)
+        if estimator is not None:
+            version = int(estimator.network.version)
+            if self._cache_token is None or self._cache_token[0] != version:
+                self._cache_token = (
+                    version,
+                    estimator_cache_token(estimator.network),
+                )
+            token = self._cache_token[1]
+        else:
+            # Estimator-free baselines: decisions depend only on the
+            # (deterministic) cost model, named in the cache key.
+            token = f"scheduler:{self.scheduler_name}"
+        quarantined = self._cache.bind(token)
+        if quarantined:
+            self._stats.cache_corruptions += quarantined
+
+    def _student_instance(self, estimator) -> DistilledEstimator:
+        """The distilled student, (re)built lazily from the teacher.
+
+        A stale student (the teacher's ``Module.version`` moved since
+        distillation — retraining, ``load_state_dict``, an embedding
+        swap) is re-distilled rather than consulted: its rankings
+        describe a network that no longer exists.
+        """
+        if self._student is None or self._student.is_stale(estimator):
+            self._student = distill_estimator(
+                estimator,
+                self._distill_groups(),
+                self._static_cost_model(),
+                self.fast_path,
+            )
+        return self._student
+
+    def _distill_groups(self) -> List[Tuple[Workload, List[Mapping]]]:
+        """Deterministic per-mix distillation groups, fresh generator.
+
+        A dedicated :class:`~repro.workloads.generator.WorkloadGenerator`
+        (seeded from the policy) keeps distillation from consuming the
+        shared generator's stream — sampling through the system's own
+        generator would shift every later seeded draw and change
+        decisions elsewhere.  Each group is one mix with several random
+        contiguous mappings: the student trains on *within-mix*
+        contrast, the only signal pruning ever uses (mix sizes cycle
+        1..5 so every workload width the front door serves is
+        represented).
+        """
+        base = (
+            self._builder.generator
+            if self._builder is not None
+            else self._system.generator
+        )
+        sampler = WorkloadGenerator(
+            model_names=base.model_names,
+            num_devices=base.num_devices,
+            max_total_weight_bytes=base.max_total_weight_bytes,
+            seed=self.fast_path.seed + 11,
+        )
+        rng = np.random.default_rng(self.fast_path.seed + 13)
+        groups: List[Tuple[Workload, List[Mapping]]] = []
+        for index in range(self.fast_path.mixes):
+            mix = sampler.sample_mix(1 + index % 5)
+            mappings = [
+                random_contiguous_mapping(
+                    mix.models, sampler.num_devices, rng
+                )
+                for _ in range(self.fast_path.mappings_per_mix)
+            ]
+            groups.append((mix, mappings))
+        return groups
+
+    def _fast_path_active(self) -> bool:
+        """Prune only on the healthy (full-estimator) tiers.
+
+        Degraded tiers are the exact-mode fallback: the interpreter
+        tier is already answering a fault, and the static/greedy tiers
+        never touch the estimator at all — a student trained against
+        it would be ranking for the wrong oracle.
+        """
+        return self.fast_path is not None and self._active_tier in (
+            "",
+            TIERS[0],
+        )
 
     @staticmethod
     def _normalize(
@@ -1513,7 +1847,8 @@ class SchedulingEngine:
         self._account(response.decision)
         key = self._cache_key(request)
         if key is not None:
-            self._cache[key] = (
+            self._cache.put(
+                key,
                 tuple(request.workload.model_names),
                 response.decision,
             )

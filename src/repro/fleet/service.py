@@ -49,11 +49,13 @@ A three-board fleet in four lines::
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.base import ScheduleRequest, ScheduleResponse
 from ..engine import SchedulingEngine, ServiceStats
+from ..estimator.distill import FastPathPolicy
 from ..evaluation.timeline import TimelineRecord, TimelineReport
 from ..online import OnlineConfig, OnlineScheduler
 from ..resilience import ResiliencePolicy, TraceJournal, trace_fingerprint
@@ -272,6 +274,18 @@ class FleetService:
         degradation ladder and fault injector (fault call counts are
         per board, matching each board's private estimator).  ``None``
         keeps every path byte-identical to the pre-resilience fleet.
+    cache_shards / cache_capacity:
+        Per-board decision-cache geometry (forwarded to every engine's
+        :class:`~repro.frontdoor.cache.ShardedDecisionCache`).
+    cache_dir:
+        Root directory for persisted decision caches; each board
+        snapshots under ``<cache_dir>/<board name>/`` so a restarted
+        fleet replays previously-decided mixes with zero estimator
+        forwards.  ``None`` keeps the caches in-memory only.
+    fast_path:
+        Optional :class:`~repro.estimator.distill.FastPathPolicy`
+        arming the distilled pruning fast path on every board's
+        engine.
     """
 
     def __init__(
@@ -282,6 +296,10 @@ class FleetService:
         placement: str = "estimator",
         slo: Optional[SLOPolicy] = None,
         resilience: Optional[ResiliencePolicy] = None,
+        cache_shards: int = 4,
+        cache_capacity: int = 128,
+        cache_dir: Optional[str] = None,
+        fast_path: Optional["FastPathPolicy"] = None,
     ) -> None:
         if not isinstance(cluster, Cluster):
             raise TypeError(
@@ -290,6 +308,10 @@ class FleetService:
         self.cluster = cluster
         self.scheduler_name = scheduler.strip().lower()
         self._cache_decisions = cache_decisions
+        self._cache_shards = cache_shards
+        self._cache_capacity = cache_capacity
+        self._cache_dir = cache_dir
+        self.fast_path = fast_path
         self.resilience = resilience
         self._engines: Dict[str, SchedulingEngine] = {}
         #: Live tenancy (run_trace): board -> tenant id -> (model, priority).
@@ -533,6 +555,14 @@ class FleetService:
             cache_decisions=self._cache_decisions,
             board=board.name,
             resilience=self.resilience,
+            cache_shards=self._cache_shards,
+            cache_capacity=self._cache_capacity,
+            cache_dir=(
+                os.path.join(self._cache_dir, board.name)
+                if self._cache_dir is not None
+                else None
+            ),
+            fast_path=self.fast_path,
         )
         self._tenants.setdefault(board.name, {})
         self.placer.update_order(self.cluster.board_names)

@@ -1,0 +1,418 @@
+"""Bounded, sharded, restart-surviving decision cache.
+
+The engine's decision cache started life (PR 2) as a process-local
+``dict`` -- unbounded across long traces and silently dropped on every
+restart.  :class:`ShardedDecisionCache` replaces it with the same
+mapping semantics behind three additional properties:
+
+* **bounded**: entries live in per-shard LRU stores
+  (``num_shards x shard_capacity``); inserting past capacity evicts
+  the least-recently-used entry of that shard and counts it
+  (``evictions`` -> :attr:`~repro.engine.ServiceStats.cache_evictions`);
+* **sharded deterministically**: the shard index is
+  ``crc32(key) % num_shards`` -- *never* the builtin ``hash()``, whose
+  ``PYTHONHASHSEED`` salting would scatter the same key to different
+  shards across processes and break replay determinism;
+* **persistent**: when constructed with a ``cache_dir`` the cache
+  writes a checksummed JSON snapshot after every insert (atomic
+  ``os.replace``, the ``benchmarks/.cache`` idiom) keyed by the
+  estimator's :attr:`~repro.nn.layers.Module.version` *and* a digest
+  of its weights, so a restarted service replays previously-decided
+  mixes with zero full-estimator forwards -- and a retrained or
+  re-loaded estimator (version bump) makes every persisted entry a
+  miss rather than a stale decision.
+
+A corrupt snapshot (truncated write, bit rot, or the
+``--faults cache-corrupt`` drill) is detected by the embedded
+checksum, quarantined under ``<file>.corrupt`` and reported so the
+engine can fold it into ``ServiceStats.cache_corruptions`` -- the
+serving path cold re-decides; it never serves a wrong mapping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.base import ScheduleDecision
+from ..sim.mapping import Mapping
+
+__all__ = [
+    "ShardedDecisionCache",
+    "estimator_cache_token",
+    "inspect_cache_dir",
+    "clear_cache_dir",
+]
+
+#: One cached decision: the model-name order the mapping rows follow,
+#: plus the decision itself.
+CacheEntry = Tuple[Tuple[str, ...], ScheduleDecision]
+
+#: Canonical cache key: ``(scheduler_name, canonical_signature, budget)``.
+CacheKey = Tuple[str, Tuple[str, ...], Optional[int]]
+
+SNAPSHOT_NAME = "decisions.json"
+SNAPSHOT_FORMAT = 1
+
+
+# ----------------------------------------------------------------------
+# Estimator identity
+# ----------------------------------------------------------------------
+def estimator_cache_token(network) -> str:
+    """``"<version>-<weights digest>"`` for a :class:`~repro.nn.layers.Module`.
+
+    The version counter alone is not a safe persistence key: two
+    *different* checkpoints each loaded once both sit at the same
+    small version number, and a cache keyed on the bare integer would
+    serve one checkpoint's decisions against the other's estimator.
+    Folding in a CRC over the parameter bytes makes the token unique
+    per weight state while staying stdlib-only.
+    """
+    digest = 0
+    state = network.state_dict()
+    for name in sorted(state):
+        digest = zlib.crc32(name.encode("utf-8"), digest)
+        digest = zlib.crc32(state[name].tobytes(), digest)
+    return f"{int(network.version)}-{digest:08x}"
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def _decision_to_dict(decision: ScheduleDecision) -> dict:
+    return {
+        "mapping": [list(row) for row in decision.mapping.assignments],
+        "expected_score": float(decision.expected_score),
+        "wall_time_s": float(decision.wall_time_s),
+        "cost": {str(k): float(v) for k, v in decision.cost.items()},
+    }
+
+
+def _decision_from_dict(payload: dict) -> ScheduleDecision:
+    return ScheduleDecision(
+        mapping=Mapping(payload["mapping"]),
+        expected_score=float(payload["expected_score"]),
+        wall_time_s=float(payload["wall_time_s"]),
+        cost={str(k): float(v) for k, v in payload["cost"].items()},
+    )
+
+
+def _key_to_wire(key: CacheKey) -> list:
+    scheduler, signature, budget = key
+    return [scheduler, list(signature), budget]
+
+
+def _key_from_wire(payload: list) -> CacheKey:
+    scheduler, signature, budget = payload
+    return (
+        str(scheduler),
+        tuple(str(name) for name in signature),
+        None if budget is None else int(budget),
+    )
+
+
+def _entries_checksum(token: str, entries: list) -> int:
+    body = json.dumps([token, entries], sort_keys=True).encode("utf-8")
+    return zlib.crc32(body)
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+class ShardedDecisionCache:
+    """Per-shard LRU decision store with optional disk persistence.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of LRU shards; the shard index of a key is
+        ``crc32(key) % num_shards`` (stable across processes).
+    shard_capacity:
+        Maximum entries per shard; inserts beyond it evict the
+        shard's least-recently-used entry.
+    cache_dir:
+        Directory for the persisted snapshot, or ``None`` to keep the
+        cache purely in-memory (the pre-PR-10 behaviour, minus the
+        unbounded growth).
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        shard_capacity: int = 128,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if shard_capacity < 1:
+            raise ValueError("shard_capacity must be >= 1")
+        self.num_shards = int(num_shards)
+        self.shard_capacity = int(shard_capacity)
+        self.cache_dir = cache_dir
+        self._shards: List["OrderedDict[CacheKey, CacheEntry]"] = [
+            OrderedDict() for _ in range(self.num_shards)
+        ]
+        #: Cumulative LRU evictions (``ServiceStats.cache_evictions``).
+        self.evictions = 0
+        #: Cumulative entries written to disk (``cache_persisted``).
+        self.persisted = 0
+        #: Entries restored from a valid snapshot at :meth:`bind` time.
+        self.loaded = 0
+        #: Snapshots found corrupt and quarantined at :meth:`bind` time.
+        self.corrupt_files = 0
+        #: Snapshots skipped because their token no longer matches.
+        self.stale_files = 0
+        self._token: Optional[str] = None
+        self._bound = False
+
+    # -- shard routing -------------------------------------------------
+    @staticmethod
+    def _encode_key(key: CacheKey) -> bytes:
+        scheduler, signature, budget = key
+        return "\x1f".join(
+            [scheduler, "+".join(signature), "" if budget is None else str(budget)]
+        ).encode("utf-8")
+
+    def _shard_for(self, key: CacheKey) -> "OrderedDict[CacheKey, CacheEntry]":
+        index = zlib.crc32(self._encode_key(key)) % self.num_shards
+        return self._shards[index]
+
+    def shard_index(self, key: CacheKey) -> int:
+        """Deterministic shard index of ``key`` (exposed for tests)."""
+        return zlib.crc32(self._encode_key(key)) % self.num_shards
+
+    # -- mapping protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._shard_for(key)
+
+    def get(self, key: CacheKey) -> Optional[CacheEntry]:
+        """The cached entry for ``key``, refreshed to most-recent."""
+        shard = self._shard_for(key)
+        entry = shard.get(key)
+        if entry is not None:
+            shard.move_to_end(key)
+        return entry
+
+    def put(self, key: CacheKey, names: Tuple[str, ...], decision: ScheduleDecision) -> None:
+        """Insert (or refresh) an entry, evicting LRU past capacity."""
+        shard = self._shard_for(key)
+        if key in shard:
+            shard.move_to_end(key)
+        shard[key] = (tuple(names), decision)
+        while len(shard) > self.shard_capacity:
+            shard.popitem(last=False)
+            self.evictions += 1
+        self._persist()
+
+    def discard(self, key: CacheKey) -> bool:
+        """Drop ``key`` from memory *and* the persisted snapshot.
+
+        Used by the ``cache-corrupt`` fault drill: once an entry is
+        declared poisoned it must not survive in either tier, or a
+        restart would resurrect it.
+        """
+        shard = self._shard_for(key)
+        if key not in shard:
+            return False
+        del shard[key]
+        self._persist()
+        return True
+
+    def clear(self, persistent: bool = False) -> int:
+        """Drop every entry; with ``persistent`` also the snapshot."""
+        count = len(self)
+        for shard in self._shards:
+            shard.clear()
+        if persistent and self.cache_dir is not None:
+            path = self._snapshot_path()
+            if path is not None and os.path.exists(path):
+                os.remove(path)
+        elif self._bound:
+            self._persist()
+        return count
+
+    def items(self) -> Iterator[Tuple[CacheKey, CacheEntry]]:
+        for shard in self._shards:
+            yield from shard.items()
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard) for shard in self._shards]
+
+    # -- persistence ---------------------------------------------------
+    def _snapshot_path(self) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, SNAPSHOT_NAME)
+
+    def bind(self, token: str) -> int:
+        """Attach the estimator identity and load any valid snapshot.
+
+        Returns the number of corrupt snapshot files quarantined (the
+        engine folds it into ``ServiceStats.cache_corruptions``).
+        Idempotent for a given token; re-binding with a *different*
+        token (retrained estimator mid-process) drops every entry.
+        """
+        if self._bound and token == self._token:
+            return 0
+        if self._bound and token != self._token:
+            for shard in self._shards:
+                shard.clear()
+        self._token = token
+        self._bound = True
+        path = self._snapshot_path()
+        if path is None:
+            return 0
+        os.makedirs(self.cache_dir, exist_ok=True)
+        if not os.path.exists(path):
+            return 0
+        payload = self._read_snapshot(path)
+        if payload is None:
+            self.corrupt_files += 1
+            self._quarantine(path)
+            return 1
+        if payload["token"] != token:
+            # A different estimator wrote this snapshot (training step
+            # or load_state_dict bumped Module.version, or different
+            # weights entirely).  Serving it would be a stale decision;
+            # start cold and let the next insert overwrite it.
+            self.stale_files += 1
+            return 0
+        for wire_key, names, decision_payload in payload["entries"]:
+            key = _key_from_wire(wire_key)
+            shard = self._shard_for(key)
+            shard[key] = (
+                tuple(str(n) for n in names),
+                _decision_from_dict(decision_payload),
+            )
+            while len(shard) > self.shard_capacity:
+                shard.popitem(last=False)
+                self.evictions += 1
+        self.loaded = len(self)
+        return 0
+
+    @property
+    def bound(self) -> bool:
+        return self._bound
+
+    @property
+    def token(self) -> Optional[str]:
+        return self._token
+
+    def _read_snapshot(self, path: str) -> Optional[dict]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("format") != SNAPSHOT_FORMAT:
+                return None
+            token = payload["token"]
+            entries = payload["entries"]
+            if int(payload["checksum"]) != _entries_checksum(token, entries):
+                return None
+            return {"token": str(token), "entries": entries}
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    @staticmethod
+    def _quarantine(path: str) -> None:
+        quarantined = path + ".corrupt"
+        if os.path.exists(quarantined):
+            os.remove(quarantined)
+        os.replace(path, quarantined)
+
+    def _persist(self) -> None:
+        path = self._snapshot_path()
+        if path is None or not self._bound:
+            return
+        entries = [
+            [_key_to_wire(key), list(names), _decision_to_dict(decision)]
+            for key, (names, decision) in self.items()
+        ]
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "token": self._token,
+            "checksum": _entries_checksum(self._token, entries),
+            "entries": entries,
+        }
+        os.makedirs(self.cache_dir, exist_ok=True)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+        self.persisted += len(entries)
+
+    # -- reporting -----------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        return {
+            "entries": len(self),
+            "num_shards": self.num_shards,
+            "shard_capacity": self.shard_capacity,
+            "shard_sizes": self.shard_sizes(),
+            "evictions": self.evictions,
+            "persisted": self.persisted,
+            "loaded": self.loaded,
+            "corrupt_files": self.corrupt_files,
+            "stale_files": self.stale_files,
+            "token": self._token,
+            "cache_dir": self.cache_dir,
+        }
+
+
+# ----------------------------------------------------------------------
+# Offline inspection (``repro cache``)
+# ----------------------------------------------------------------------
+def _snapshot_files(cache_dir: str) -> List[str]:
+    """Every snapshot under ``cache_dir`` (fleet layouts nest per board)."""
+    found = []
+    for root, _dirs, files in os.walk(cache_dir):
+        for name in files:
+            if name == SNAPSHOT_NAME or name == SNAPSHOT_NAME + ".corrupt":
+                found.append(os.path.join(root, name))
+    return sorted(found)
+
+
+def inspect_cache_dir(cache_dir: str) -> Dict[str, object]:
+    """A JSON-friendly report over every snapshot in ``cache_dir``."""
+    snapshots = []
+    for path in _snapshot_files(cache_dir):
+        if path.endswith(".corrupt"):
+            snapshots.append({"path": path, "status": "quarantined"})
+            continue
+        probe = ShardedDecisionCache()
+        payload = probe._read_snapshot(path)
+        if payload is None:
+            snapshots.append({"path": path, "status": "corrupt"})
+            continue
+        mixes = [
+            {
+                "scheduler": wire_key[0],
+                "signature": list(wire_key[1]),
+                "budget": wire_key[2],
+                "expected_score": decision_payload["expected_score"],
+            }
+            for wire_key, _names, decision_payload in payload["entries"]
+        ]
+        snapshots.append(
+            {
+                "path": path,
+                "status": "ok",
+                "token": payload["token"],
+                "entries": len(payload["entries"]),
+                "decisions": mixes,
+            }
+        )
+    return {"cache_dir": cache_dir, "snapshots": snapshots}
+
+
+def clear_cache_dir(cache_dir: str) -> int:
+    """Delete every snapshot (and quarantine file) under ``cache_dir``."""
+    removed = 0
+    for path in _snapshot_files(cache_dir):
+        os.remove(path)
+        removed += 1
+    return removed

@@ -504,6 +504,19 @@ def _burst_mixes(seed: int, count: int = 8, sizes: Tuple[int, ...] = (3, 2)) -> 
     return mixes
 
 
+def _frontdoor_burst_mixes(seed: int) -> List[Workload]:
+    """A duplicate-heavy burst: few distinct mixes, many arrivals.
+
+    Twelve requests drawn from only four distinct mixes (each repeated
+    three times, interleaved), the shape the async front door is built
+    for: requests sharing a window dedupe through the decision cache,
+    and a replay of the same burst against a persistent ``cache_dir``
+    should decide nothing at all.
+    """
+    distinct = _burst_mixes(seed, count=4)
+    return [distinct[index % len(distinct)] for index in range(12)]
+
+
 def _heavy_split_mixes(seed: int) -> List[Workload]:
     """A burst led by mixes larger than one board's residency cap."""
     rng = np.random.default_rng(seed)
@@ -596,6 +609,16 @@ FLEET_SCENARIOS: Dict[str, FleetScenario] = {
                 "cross-board pooled-scheduling stressor"
             ),
             build_mixes=_burst_mixes,
+        ),
+        FleetScenario(
+            name="frontdoor-burst",
+            description=(
+                "twelve arrivals over only four distinct mixes — the "
+                "duplicate-heavy async-ingress shape where decision "
+                "windows and the persistent cache dedupe hardest (the "
+                "CI frontdoor-smoke shape)"
+            ),
+            build_mixes=_frontdoor_burst_mixes,
         ),
         FleetScenario(
             name="fleet-churn",

@@ -676,3 +676,85 @@ class TestServingPathFaultVisibility:
         )
         assert report.clean
         assert report.suppressed
+
+
+# ----------------------------------------------------------------------
+# RPR010 bounded-serving-caches
+# ----------------------------------------------------------------------
+class TestBoundedServingCaches:
+    def test_flags_dict_literal_cache_in_serving_module(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class Engine:
+                def __init__(self):
+                    self._decision_cache = {}
+            """,
+            rel_path="src/repro/engine.py",
+            select=["RPR010"],
+        )
+        assert codes(report) == ["RPR010"]
+        assert "ShardedDecisionCache" in report.findings[0].message
+
+    def test_flags_constructor_and_list_caches(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from collections import OrderedDict
+
+            class Service:
+                def __init__(self):
+                    self._eval_cache = OrderedDict()
+                    self.result_cache: dict = dict()
+                    reply_cache = []
+            """,
+            rel_path="src/repro/service.py",
+            select=["RPR010"],
+        )
+        assert codes(report) == ["RPR010", "RPR010", "RPR010"]
+
+    def test_bounded_cache_and_non_cache_names_pass(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            from repro.frontdoor import ShardedDecisionCache
+
+            class Engine:
+                def __init__(self):
+                    self._decision_cache = ShardedDecisionCache(
+                        num_shards=4, shard_capacity=128
+                    )
+                    self._pending = {}
+                    self._cache_capacity = 128
+            """,
+            rel_path="src/repro/engine.py",
+            select=["RPR010"],
+        )
+        assert report.clean
+
+    def test_out_of_scope_module_passes(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class Trainer:
+                def __init__(self):
+                    self._grad_cache = {}
+            """,
+            rel_path="src/repro/estimator/training.py",
+            select=["RPR010"],
+        )
+        assert report.clean
+
+    def test_pragma_suppresses_with_reason(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            """
+            class Engine:
+                def __init__(self):
+                    self._probe_cache = {}  # repro: lint-ignore[RPR010] -- bounded by the fixed probe set
+            """,
+            rel_path="src/repro/engine.py",
+            select=["RPR010"],
+        )
+        assert report.clean
+        assert report.suppressed

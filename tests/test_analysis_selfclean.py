@@ -23,8 +23,9 @@ def test_repo_is_lint_clean():
     assert report.clean, "\n" + format_text(report)
     # The full default rule set actually ran -- a selection bug must
     # not let the gate pass vacuously.
-    assert len(report.rules_run) >= 9
+    assert len(report.rules_run) >= 10
     assert "RPR009" in report.rules_run
+    assert "RPR010" in report.rules_run
     assert report.files_checked > 100
 
 

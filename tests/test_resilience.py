@@ -378,3 +378,55 @@ class TestAdmissionFailOpen:
         assert decision.verdict == "admit"
         assert "fault" in decision.reason
         assert controller.scorer_faults == 1
+
+
+# ----------------------------------------------------------------------
+# Persistent decision cache under the cache-corrupt drill (PR 10)
+# ----------------------------------------------------------------------
+class TestPersistentCacheCorruption:
+    def test_drill_discards_from_snapshot_too(self, tmp_path):
+        """A poisoned entry must not survive in either tier: the drill
+        drops it from memory *and* the persisted snapshot, re-decides,
+        and the re-decided entry is what a restart replays."""
+        cache_dir = str(tmp_path / "decisions")
+        mix = Workload.from_names(["alexnet", "mobilenet"])
+        service = SchedulingService(
+            _builder(),
+            cache_dir=cache_dir,
+            resilience=ResiliencePolicy(
+                faults=FaultPlan.single("cache-corrupt", at_call=2)
+            ),
+        )
+        first = service.submit(mix)
+        second = service.submit(mix)  # poisoned lookup: drop + re-search
+        assert service.stats().cache_corruptions == 1
+        assert second.mapping == first.mapping
+
+        restarted = SchedulingService(_builder(), cache_dir=cache_dir)
+        replay = restarted.submit(mix)
+        stats = restarted.stats()
+        assert replay.cache_status == "hit"
+        assert replay.mapping == second.mapping
+        assert stats.cache_corruptions == 0
+        assert stats.estimator_queries == 0
+
+    def test_on_disk_corruption_quarantines_and_re_decides(self, tmp_path):
+        """Bit rot on the snapshot itself: checksum mismatch at bind
+        time quarantines the file, counts the corruption, and the
+        serving path cold re-decides instead of serving garbage."""
+        cache_dir = tmp_path / "decisions"
+        mix = Workload.from_names(["alexnet", "mobilenet"])
+        first = SchedulingService(_builder(), cache_dir=str(cache_dir))
+        cold = first.submit(mix)
+
+        snapshot = cache_dir / "decisions.json"
+        snapshot.write_text(snapshot.read_text()[:-25] + "rotted")
+
+        second = SchedulingService(_builder(), cache_dir=str(cache_dir))
+        redecided = second.submit(mix)
+        stats = second.stats()
+        assert stats.cache_corruptions == 1
+        assert stats.cache_misses == 1
+        assert redecided.cache_status == "miss"
+        assert redecided.mapping == cold.mapping  # deterministic re-search
+        assert (cache_dir / "decisions.json.corrupt").exists()
